@@ -1,0 +1,383 @@
+package orchestra
+
+// One testing.B benchmark per figure of the paper's evaluation (§VI).
+// Each benchmark exercises the figure's characteristic configuration at a
+// laptop-scale single point; the full sweeps that regenerate the figures'
+// series are run by cmd/orchestra-bench (see DESIGN.md §3).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"orchestra/internal/ring"
+	"orchestra/internal/stbench"
+	"orchestra/internal/tpch"
+)
+
+// benchClusters caches loaded clusters across benchmarks in one process.
+var benchClusters struct {
+	mu sync.Mutex
+	m  map[string]*Cluster
+}
+
+func benchCluster(b *testing.B, key string, nodes int, load func(*Cluster) error, opts ...Option) *Cluster {
+	b.Helper()
+	benchClusters.mu.Lock()
+	defer benchClusters.mu.Unlock()
+	if benchClusters.m == nil {
+		benchClusters.m = make(map[string]*Cluster)
+	}
+	if c, ok := benchClusters.m[key]; ok {
+		return c
+	}
+	c, err := NewCluster(nodes, opts...)
+	if err != nil {
+		b.Fatalf("NewCluster: %v", err)
+	}
+	if err := load(c); err != nil {
+		b.Fatalf("load: %v", err)
+	}
+	benchClusters.m[key] = c
+	return c
+}
+
+func loadSTB(tuples int) func(*Cluster) error {
+	return func(c *Cluster) error {
+		data := stbench.Generate(stbench.Config{Tuples: tuples, Seed: 42})
+		for _, s := range stbench.Schemas() {
+			if err := c.CreateRelationSchema(s); err != nil {
+				return err
+			}
+			if _, err := c.PublishTyped(0, s.Relation, data[s.Relation]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func loadTPC(sf float64) func(*Cluster) error {
+	return func(c *Cluster) error {
+		data := tpch.Generate(sf, 42)
+		for _, s := range tpch.Schemas() {
+			if err := c.CreateRelationSchema(s); err != nil {
+				return err
+			}
+			if _, err := c.PublishTyped(0, s.Relation, data[s.Relation]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// benchQuery measures repeated executions of one query, reporting network
+// traffic per op.
+func benchQuery(b *testing.B, c *Cluster, sqlText string) {
+	b.Helper()
+	if _, err := c.Query(sqlText); err != nil { // warm caches, as in §VI-A
+		b.Fatalf("warm: %v", err)
+	}
+	c.ResetNetworkStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query(sqlText); err != nil {
+			b.Fatalf("query: %v", err)
+		}
+	}
+	b.StopTimer()
+	st := c.NetworkStats()
+	b.ReportMetric(float64(st.TotalBytes)/float64(b.N)/(1<<20), "MB/op")
+}
+
+// --- Fig 2: range allocation schemes ---
+
+func BenchmarkFig02_RangeAllocation(b *testing.B) {
+	for _, scheme := range []ring.Scheme{ring.Balanced, ring.PastryStyle} {
+		b.Run(scheme.String(), func(b *testing.B) {
+			ids := make([]ring.NodeID, 50)
+			for i := range ids {
+				ids[i] = ring.NodeID(fmt.Sprintf("node-%03d", i))
+			}
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				t, err := ring.New(ids, scheme, 3)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = t.Balance()
+			}
+			b.ReportMetric(ratio, "max/min-share")
+		})
+	}
+}
+
+// --- Figs 7-9: STBenchmark scaling over nodes (8-node point) ---
+
+func BenchmarkFig07_STBenchScaleNodes(b *testing.B) {
+	c := benchCluster(b, "stb8", 8, loadSTB(2000))
+	for _, sc := range stbench.Scenarios() {
+		b.Run(sc.Name, func(b *testing.B) { benchQuery(b, c, sc.SQL) })
+	}
+}
+
+func BenchmarkFig08_STBenchTrafficNodes(b *testing.B) {
+	c := benchCluster(b, "stb8", 8, loadSTB(2000))
+	b.Run("Join", func(b *testing.B) { benchQuery(b, c, stbench.Scenarios()[2].SQL) })
+}
+
+func BenchmarkFig09_STBenchPerNodeTraffic(b *testing.B) {
+	c := benchCluster(b, "stb8", 8, loadSTB(2000))
+	sc := stbench.Scenarios()[0] // Copy: the per-node traffic extreme
+	if _, err := c.Query(sc.SQL); err != nil {
+		b.Fatal(err)
+	}
+	c.ResetNetworkStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query(sc.SQL); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := c.NetworkStats()
+	var maxNode int64
+	for _, v := range st.SentBytes {
+		if v > maxNode {
+			maxNode = v
+		}
+	}
+	b.ReportMetric(float64(maxNode)/float64(b.N)/(1<<20), "maxNodeMB/op")
+}
+
+// --- Figs 10-12: TPC-H scaling over nodes (8-node point) ---
+
+func BenchmarkFig10_TPCHScaleNodes(b *testing.B) {
+	c := benchCluster(b, "tpch8", 8, loadTPC(0.005))
+	for _, q := range tpch.Queries() {
+		b.Run(q.Name, func(b *testing.B) { benchQuery(b, c, q.SQL) })
+	}
+}
+
+func BenchmarkFig11_TPCHTrafficNodes(b *testing.B) {
+	c := benchCluster(b, "tpch8", 8, loadTPC(0.005))
+	b.Run("Q5", func(b *testing.B) { benchQuery(b, c, tpch.QueryByName("Q5").SQL) })
+}
+
+func BenchmarkFig12_TPCHPerNodeTraffic(b *testing.B) {
+	c := benchCluster(b, "tpch8", 8, loadTPC(0.005))
+	b.Run("Q10", func(b *testing.B) { benchQuery(b, c, tpch.QueryByName("Q10").SQL) })
+}
+
+// --- Figs 13-16: data-size scaling (double-size point) ---
+
+func BenchmarkFig13_STBenchScaleData(b *testing.B) {
+	c := benchCluster(b, "stb8x2", 8, loadSTB(4000))
+	for _, sc := range stbench.Scenarios() {
+		b.Run(sc.Name, func(b *testing.B) { benchQuery(b, c, sc.SQL) })
+	}
+}
+
+func BenchmarkFig14_TPCHScaleData(b *testing.B) {
+	c := benchCluster(b, "tpch8x2", 8, loadTPC(0.01))
+	for _, q := range tpch.Queries() {
+		b.Run(q.Name, func(b *testing.B) { benchQuery(b, c, q.SQL) })
+	}
+}
+
+func BenchmarkFig15_STBenchTrafficData(b *testing.B) {
+	c := benchCluster(b, "stb8x2", 8, loadSTB(4000))
+	b.Run("Copy", func(b *testing.B) { benchQuery(b, c, stbench.Scenarios()[0].SQL) })
+}
+
+func BenchmarkFig16_TPCHTrafficData(b *testing.B) {
+	c := benchCluster(b, "tpch8x2", 8, loadTPC(0.01))
+	b.Run("Q3", func(b *testing.B) { benchQuery(b, c, tpch.QueryByName("Q3").SQL) })
+}
+
+// --- Fig 17 and the §VI-C latency note ---
+
+func BenchmarkFig17_TPCHBandwidth(b *testing.B) {
+	// 400 KB/s per node: the paper's "acceptable" knee point.
+	c := benchCluster(b, "tpch-bw400", 4, loadTPC(0.002), WithBandwidth(400<<10))
+	b.Run("Q3", func(b *testing.B) { benchQuery(b, c, tpch.QueryByName("Q3").SQL) })
+	b.Run("Q6", func(b *testing.B) { benchQuery(b, c, tpch.QueryByName("Q6").SQL) })
+}
+
+func BenchmarkLatency_TPCH(b *testing.B) {
+	c := benchCluster(b, "tpch-lat", 4, loadTPC(0.002), WithLatency(20*time.Millisecond))
+	b.Run("Q1", func(b *testing.B) { benchQuery(b, c, tpch.QueryByName("Q1").SQL) })
+}
+
+// --- Figs 18-20: larger node counts ---
+
+func BenchmarkFig18_EC2ScaleNodes(b *testing.B) {
+	c := benchCluster(b, "tpch25", 25, loadTPC(0.005))
+	for _, q := range tpch.Queries() {
+		b.Run(q.Name, func(b *testing.B) { benchQuery(b, c, q.SQL) })
+	}
+}
+
+func BenchmarkFig19_EC2Traffic(b *testing.B) {
+	c := benchCluster(b, "tpch25", 25, loadTPC(0.005))
+	b.Run("Q5", func(b *testing.B) { benchQuery(b, c, tpch.QueryByName("Q5").SQL) })
+}
+
+func BenchmarkFig20_EC2PerNodeTraffic(b *testing.B) {
+	c := benchCluster(b, "tpch25", 25, loadTPC(0.005))
+	b.Run("Q1", func(b *testing.B) { benchQuery(b, c, tpch.QueryByName("Q1").SQL) })
+}
+
+// --- Fig 21: failure recovery strategies ---
+
+func benchRecovery(b *testing.B, mode RecoveryMode) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c, err := NewCluster(6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := loadTPC(0.002)(c); err != nil {
+			b.Fatal(err)
+		}
+		q := tpch.QueryByName("Q10").SQL
+		if _, err := c.Query(q); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		go func() {
+			time.Sleep(time.Millisecond)
+			c.Kill(4)
+		}()
+		if _, err := c.QueryOpts(q, QueryOptions{Recovery: mode}); err != nil {
+			b.Fatalf("recovery query: %v", err)
+		}
+		b.StopTimer()
+		c.Shutdown()
+		b.StartTimer()
+	}
+}
+
+func BenchmarkFig21_FailureRecovery(b *testing.B) {
+	b.Run("Restart", func(b *testing.B) { benchRecovery(b, RecoverRestart) })
+	b.Run("Incremental", func(b *testing.B) { benchRecovery(b, RecoverIncremental) })
+}
+
+// --- §VI-E: overhead of recovery support ---
+
+func BenchmarkRecoveryOverhead(b *testing.B) {
+	c := benchCluster(b, "tpch8", 8, loadTPC(0.005))
+	q := tpch.QueryByName("Q10").SQL
+	if _, err := c.Query(q); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("ProvenanceOff", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := c.QueryOpts(q, QueryOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ProvenanceOn", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := c.QueryOpts(q, QueryOptions{Provenance: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- §V-A: failure detection ---
+
+func BenchmarkFailureDetection(b *testing.B) {
+	b.Run("ConnectionDrop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			c, err := NewCluster(4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ch := make(chan struct{}, 1)
+			c.OnNodeDown(0, func(string) {
+				select {
+				case ch <- struct{}{}:
+				default:
+				}
+			})
+			b.StartTimer()
+			c.Kill(2)
+			<-ch
+			b.StopTimer()
+			c.Shutdown()
+			b.StartTimer()
+		}
+	})
+	b.Run("PingHungNode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			c, err := NewCluster(4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.StartPingers(5*time.Millisecond, 20*time.Millisecond)
+			ch := make(chan struct{}, 1)
+			c.OnNodeDown(0, func(string) {
+				select {
+				case ch <- struct{}{}:
+				default:
+				}
+			})
+			b.StartTimer()
+			c.Hang(2)
+			<-ch
+			b.StopTimer()
+			c.Shutdown()
+			b.StartTimer()
+		}
+	})
+}
+
+// --- §VIII future-work ablation: capacity-weighted range allocation ---
+
+// BenchmarkAblation_WeightedAllocation compares a uniform cluster against a
+// capacity-weighted one on a heterogeneous-node scenario: one node is 4x
+// slower (modeled by giving it 1/4 the capacity share in the weighted
+// variant). The reported metric is the straggler's share of scan work —
+// lower is better for the slow node.
+func BenchmarkAblation_WeightedAllocation(b *testing.B) {
+	load := func(c *Cluster) error {
+		if err := c.CreateRelation(NewSchema("load", "k:int", "v:int").Key("k")); err != nil {
+			return err
+		}
+		rows := make(Rows, 4000)
+		for i := range rows {
+			rows[i] = Row{i, i}
+		}
+		_, err := c.Publish("load", rows)
+		return err
+	}
+	run := func(b *testing.B, c *Cluster) {
+		var slowShare float64
+		for i := 0; i < b.N; i++ {
+			res, err := c.Query("SELECT k, v FROM load")
+			if err != nil {
+				b.Fatal(err)
+			}
+			total := res.Stats.Scanned
+			slow := res.PerNode[c.NodeID(0)].Scanned
+			slowShare = float64(slow) / float64(total)
+		}
+		b.ReportMetric(slowShare*100, "slowNode%")
+	}
+	b.Run("Uniform", func(b *testing.B) {
+		c := benchCluster(b, "abl-uniform", 5, load)
+		run(b, c)
+	})
+	b.Run("Weighted", func(b *testing.B) {
+		// Node 0 is the slow machine: weight 1 vs 4 for the others.
+		c := benchCluster(b, "abl-weighted", 0, load, WithCapacities(1, 4, 4, 4, 4))
+		run(b, c)
+	})
+}

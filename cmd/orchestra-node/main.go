@@ -1,0 +1,245 @@
+// Command orchestra-node runs one ORCHESTRA storage/query node over real
+// TCP — a laptop-scale multi-process deployment of the same stack the
+// simulated experiments exercise. Every process is given the full member
+// list (the complete routing table of §III-B); identities are the listen
+// addresses.
+//
+// Start a 3-node cluster in three shells:
+//
+//	orchestra-node -listen 127.0.0.1:7001 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
+//	orchestra-node -listen 127.0.0.1:7002 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
+//	orchestra-node -listen 127.0.0.1:7003 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
+//
+// Then drive any node through its REPL on stdin:
+//
+//	create inv item:string qty:int
+//	publish inv bolt 90
+//	publish inv nut 120
+//	query SELECT item, qty FROM inv WHERE qty > 100
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"orchestra/internal/cluster"
+	"orchestra/internal/engine"
+	"orchestra/internal/kvstore"
+	"orchestra/internal/optimizer"
+	"orchestra/internal/ring"
+	"orchestra/internal/sql"
+	"orchestra/internal/transport"
+	"orchestra/internal/tuple"
+	"orchestra/internal/vstore"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7001", "listen address (also this node's identity)")
+	peers := flag.String("peers", "", "comma-separated full member list (must include -listen)")
+	replication := flag.Int("replication", 3, "total copies of each data item")
+	dataDir := flag.String("data", "", "persist the local store to this directory (default: memory)")
+	pingEvery := flag.Duration("ping", 2*time.Second, "hung-peer probe interval (0 disables)")
+	flag.Parse()
+
+	members := strings.Split(*peers, ",")
+	ids := make([]ring.NodeID, 0, len(members))
+	self := false
+	for _, m := range members {
+		m = strings.TrimSpace(m)
+		if m == "" {
+			continue
+		}
+		if m == *listen {
+			self = true
+		}
+		ids = append(ids, ring.NodeID(m))
+	}
+	if !self {
+		log.Fatalf("orchestra-node: -peers must include the -listen address %s", *listen)
+	}
+
+	table, err := ring.New(ids, ring.Balanced, *replication)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ep, err := transport.ListenTCP(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := kvstore.NewMemory()
+	if *dataDir != "" {
+		store, err = kvstore.Open(*dataDir, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	node := cluster.NewNode(ep, store, table, cluster.Config{Replication: *replication})
+	eng := engine.New(node)
+	node.Gossip().Start(time.Second)
+	if *pingEvery > 0 {
+		node.StartPinger(*pingEvery, 3**pingEvery)
+	}
+	node.OnPeerDown(func(id ring.NodeID) {
+		log.Printf("peer down: %s", id)
+	})
+	defer node.Close()
+
+	log.Printf("node %s up; %d members, replication %d", *listen, len(ids), *replication)
+	repl(node, eng)
+}
+
+// repl drives the node interactively: create / publish / query / epoch.
+func repl(node *cluster.Node, eng *engine.Engine) {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Println("commands: create <rel> <col:type>... | publish <rel> <vals>... | query <sql> | epoch | quit")
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		switch fields[0] {
+		case "quit", "exit":
+			cancel()
+			return
+		case "epoch":
+			fmt.Println(node.Gossip().Current())
+		case "create":
+			if len(fields) < 3 {
+				fmt.Println("usage: create <rel> <col:type>...")
+				break
+			}
+			if err := createRelation(ctx, node, fields[1], fields[2:]); err != nil {
+				fmt.Println("error:", err)
+			}
+		case "publish":
+			if len(fields) < 3 {
+				fmt.Println("usage: publish <rel> <vals>...")
+				break
+			}
+			if err := publishRow(ctx, node, fields[1], fields[2:]); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("epoch", node.Gossip().Current())
+			}
+		case "query":
+			sqlText := strings.TrimSpace(strings.TrimPrefix(line, "query"))
+			if err := runQuery(ctx, node, eng, sqlText); err != nil {
+				fmt.Println("error:", err)
+			}
+		default:
+			fmt.Println("unknown command:", fields[0])
+		}
+		cancel()
+	}
+}
+
+func createRelation(ctx context.Context, node *cluster.Node, rel string, colSpecs []string) error {
+	var cols []tuple.Column
+	for _, c := range colSpecs {
+		parts := strings.SplitN(c, ":", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("bad column %q", c)
+		}
+		var t tuple.Type
+		switch parts[1] {
+		case "int":
+			t = tuple.Int64
+		case "float":
+			t = tuple.Float64
+		case "string":
+			t = tuple.String
+		default:
+			return fmt.Errorf("bad type %q", parts[1])
+		}
+		cols = append(cols, tuple.Column{Name: parts[0], Type: t})
+	}
+	s, err := tuple.NewSchema(rel, cols, cols[0].Name)
+	if err != nil {
+		return err
+	}
+	return node.CreateRelation(ctx, s)
+}
+
+func publishRow(ctx context.Context, node *cluster.Node, rel string, vals []string) error {
+	cat, err := node.GetCatalog(ctx, rel)
+	if err != nil {
+		return err
+	}
+	if len(vals) != cat.Schema.Arity() {
+		return fmt.Errorf("want %d values", cat.Schema.Arity())
+	}
+	row := make(tuple.Row, len(vals))
+	for i, v := range vals {
+		switch cat.Schema.Columns[i].Type {
+		case tuple.Int64:
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return err
+			}
+			row[i] = tuple.I(n)
+		case tuple.Float64:
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return err
+			}
+			row[i] = tuple.F(f)
+		default:
+			row[i] = tuple.S(v)
+		}
+	}
+	_, err = node.Publish(ctx, rel, []vstore.Update{{Op: vstore.OpInsert, Row: row}})
+	return err
+}
+
+func runQuery(ctx context.Context, node *cluster.Node, eng *engine.Engine, sqlText string) error {
+	q, err := sql.Parse(sqlText)
+	if err != nil {
+		return err
+	}
+	cat := &nodeCatalog{ctx: ctx, node: node}
+	plan, info, err := optimizer.Build(q, cat, optimizer.Environment{Nodes: node.Table().Size()})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := eng.Run(ctx, plan, engine.Options{Recovery: engine.RecoverRestart})
+	if err != nil {
+		return err
+	}
+	for _, r := range res.Rows {
+		fmt.Println(" ", r)
+	}
+	fmt.Printf("-- %d rows in %s (cost est %.6fs, epoch %d)\n",
+		len(res.Rows), time.Since(start).Round(time.Microsecond), info.Cost, res.Epoch)
+	return nil
+}
+
+// nodeCatalog resolves schemas from the cluster's replicated catalogs.
+type nodeCatalog struct {
+	ctx  context.Context
+	node *cluster.Node
+}
+
+func (c *nodeCatalog) Schema(table string) (*tuple.Schema, error) {
+	cat, err := c.node.GetCatalog(c.ctx, table)
+	if err != nil {
+		return nil, err
+	}
+	return cat.Schema, nil
+}
+
+func (c *nodeCatalog) Stats(string) optimizer.TableStats { return optimizer.TableStats{} }

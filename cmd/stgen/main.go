@@ -1,0 +1,78 @@
+// Command stgen emits the STBenchmark-style relations (paper §VI-A) as
+// pipe-delimited text for inspection, mirroring tpchgen.
+//
+// Usage:
+//
+//	stgen -tuples 1000 -table stb_copy
+//	stgen -tuples 1000 -dir /tmp/stb
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"orchestra/internal/stbench"
+	"orchestra/internal/tuple"
+)
+
+func main() {
+	tuples := flag.Int("tuples", 10000, "tuples per relation")
+	table := flag.String("table", "", "single relation to emit to stdout")
+	dir := flag.String("dir", "", "emit every relation to <dir>/<name>.tbl")
+	seed := flag.Int64("seed", 42, "generator seed")
+	flag.Parse()
+
+	data := stbench.Generate(stbench.Config{Tuples: *tuples, Seed: *seed})
+	if *table != "" {
+		rows, ok := data[*table]
+		if !ok {
+			log.Fatalf("stgen: unknown relation %q", *table)
+		}
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		writeRows(w, rows)
+		return
+	}
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "stgen: need -table or -dir; relations:")
+		for _, s := range stbench.Schemas() {
+			fmt.Fprintf(os.Stderr, "  %-10s %d columns, %d rows\n",
+				s.Relation, s.Arity(), len(data[s.Relation]))
+		}
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for name, rows := range data {
+		f, err := os.Create(filepath.Join(*dir, name+".tbl"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		writeRows(w, rows)
+		if err := w.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d rows)\n", f.Name(), len(rows))
+	}
+}
+
+func writeRows(w *bufio.Writer, rows []tuple.Row) {
+	for _, r := range rows {
+		for i, v := range r {
+			if i > 0 {
+				w.WriteByte('|')
+			}
+			w.WriteString(v.String())
+		}
+		w.WriteByte('\n')
+	}
+}

@@ -1,0 +1,124 @@
+// Biosharing: the paper's motivating scenario (§I) — life-science groups
+// with autonomous databases and different schemas collaborating through
+// the CDSS publish/import cycle. Two labs publish gene annotations with a
+// conflicting entry; a third lab imports both feeds through schema
+// mappings (update exchange) and reconciliation resolves the disagreement
+// by peer priority.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"orchestra/internal/cdss"
+	"orchestra/internal/cluster"
+	"orchestra/internal/engine"
+	"orchestra/internal/transport"
+	"orchestra/internal/tuple"
+)
+
+func main() {
+	// A shared storage/query fabric contributed by the participants' own
+	// machines — no dedicated server (§I).
+	local, err := cluster.NewLocal(5, cluster.Config{Replication: 3}, transport.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer local.Shutdown()
+	engines := make([]*engine.Engine, 5)
+	for i, n := range local.Nodes() {
+		engines[i] = engine.New(n)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	geneSchema := tuple.MustSchema("genes",
+		[]tuple.Column{
+			{Name: "gene", Type: tuple.String},
+			{Name: "organism", Type: tuple.String},
+			{Name: "function", Type: tuple.String},
+		}, "gene")
+
+	// Two annotating labs; the curated lab is trusted more.
+	fieldLab := cdss.NewParticipant("fieldlab", local.Node(0), engines[0], 1)
+	curated := cdss.NewParticipant("curated", local.Node(1), engines[1], 5)
+	fieldLab.DefineLocal(geneSchema)
+	curated.DefineLocal(geneSchema)
+
+	// Each lab edits only its local DBMS, then publishes its update log.
+	apply := func(p *cdss.Participant, gene, org, fn string) {
+		if err := p.Apply("genes", cdss.OpInsert,
+			tuple.Row{tuple.S(gene), tuple.S(org), tuple.S(fn)}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	apply(fieldLab, "brca1", "human", "unknown repair role")
+	apply(fieldLab, "myc", "human", "transcription factor")
+	apply(curated, "brca1", "human", "double-strand break repair")
+	apply(curated, "tp53", "human", "tumor suppressor")
+
+	for _, p := range []*cdss.Participant{fieldLab, curated} {
+		e, err := p.Publish(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s published %s updates (epoch %d)\n", p.Name, "its", e)
+	}
+
+	// The consumer lab has a different local schema: it keeps only gene
+	// and function, tagged with the providing source.
+	consumer := cdss.NewParticipant("consumer", local.Node(2), engines[2], 0)
+	consumer.DefineLocal(tuple.MustSchema("annotations",
+		[]tuple.Column{
+			{Name: "gene", Type: tuple.String},
+			{Name: "function", Type: tuple.String},
+		}, "gene"))
+
+	// Schema mappings: update exchange runs these as distributed queries
+	// over a consistent snapshot of the published state (§II).
+	consumer.AddMapping(cdss.Mapping{
+		Peer:   "fieldlab",
+		Target: "annotations",
+		SQL:    "SELECT gene, function FROM fieldlab_genes WHERE organism = 'human'",
+	})
+	consumer.AddMapping(cdss.Mapping{
+		Peer:   "curated",
+		Target: "annotations",
+		SQL:    "SELECT gene, function FROM curated_genes WHERE organism = 'human'",
+	})
+
+	priorities := map[string]int{"fieldlab": 1, "curated": 5}
+	rep, err := consumer.Import(ctx, priorities)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nimport at epoch %d: %d rows installed, %d conflict(s) resolved\n",
+		rep.Epoch, rep.Imported, len(rep.Conflicts))
+	for _, c := range rep.Conflicts {
+		fmt.Printf("  conflict on %s: kept %q from %s, rejected %d assertion(s)\n",
+			c.Winner.Row[0].Str, c.Winner.Row[1].Str, c.Winner.Peer, len(c.Rejected))
+	}
+
+	fmt.Println("\nconsumer's local instance after reconciliation:")
+	for _, r := range consumer.Rows("annotations") {
+		fmt.Printf("  %-6s → %s\n", r[0].Str, r[1].Str)
+	}
+
+	// A later correction by the curated lab propagates on the next cycle.
+	if err := curated.Apply("genes", cdss.OpUpdate,
+		tuple.Row{tuple.S("tp53"), tuple.S("human"), tuple.S("guardian of the genome")}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := curated.Publish(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := consumer.Import(ctx, priorities); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nafter the curated lab's correction and a second import:")
+	for _, r := range consumer.Rows("annotations") {
+		fmt.Printf("  %-6s → %s\n", r[0].Str, r[1].Str)
+	}
+}

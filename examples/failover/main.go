@@ -1,0 +1,95 @@
+// Failover: demonstrate reliable query execution under node failure — the
+// paper's headline capability (§V). A node is killed in the middle of a
+// distributed join; the query completes with the exact answer set anyway,
+// first by incremental recomputation of only the lost state (§V-D), then
+// by full restart for comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"orchestra"
+)
+
+const query = `
+SELECT region, COUNT(*) AS orders, SUM(amount) AS revenue
+FROM orders, customers
+WHERE orders.cust = customers.id
+GROUP BY region
+ORDER BY region`
+
+func load(c *orchestra.Cluster) {
+	check(c.CreateRelation(
+		orchestra.NewSchema("customers", "id:int", "region:string").Key("id")))
+	check(c.CreateRelation(
+		orchestra.NewSchema("orders", "oid:int", "cust:int", "amount:float").Key("oid")))
+
+	regions := []string{"east", "west", "north", "south"}
+	var customers orchestra.Rows
+	for i := 0; i < 400; i++ {
+		customers = append(customers, orchestra.Row{i, regions[i%len(regions)]})
+	}
+	var orders orchestra.Rows
+	for i := 0; i < 8000; i++ {
+		orders = append(orders, orchestra.Row{i, i % 400, float64(i%97) + 0.5})
+	}
+	_, err := c.Publish("customers", customers)
+	check(err)
+	_, err = c.Publish("orders", orders)
+	check(err)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(mode orchestra.RecoveryMode, label string) {
+	c, err := orchestra.NewCluster(6)
+	check(err)
+	defer c.Shutdown()
+	load(c)
+
+	// Reference answer on the healthy cluster.
+	ref, err := c.Query(query)
+	check(err)
+
+	// Kill a node shortly after the query starts.
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		c.Kill(3)
+		fmt.Printf("  [%s] node 3 killed mid-query\n", label)
+	}()
+	start := time.Now()
+	res, err := c.QueryOpts(query, orchestra.QueryOptions{Recovery: mode})
+	check(err)
+	elapsed := time.Since(start)
+
+	// The answer must be complete and duplicate-free despite the failure.
+	if len(res.Rows) != len(ref.Rows) {
+		log.Fatalf("[%s] row count changed after failure: %d vs %d",
+			label, len(res.Rows), len(ref.Rows))
+	}
+	for i := range res.Rows {
+		if !res.Rows[i].Equal(ref.Rows[i]) {
+			log.Fatalf("[%s] row %d differs: %v vs %v", label, i, res.Rows[i], ref.Rows[i])
+		}
+	}
+	fmt.Printf("  [%s] completed in %s (phases=%d, restarts=%d) — exact answer preserved\n",
+		label, elapsed.Round(time.Millisecond), res.Phases, res.Restarts)
+	for _, row := range res.Rows {
+		fmt.Printf("    %-6s %6d orders  %10.2f revenue\n",
+			row[0].Str, row[1].AsInt(), row[2].AsFloat())
+	}
+}
+
+func main() {
+	fmt.Println("incremental recomputation (§V-D: purge tainted state, replay, restart leaves):")
+	run(orchestra.RecoverIncremental, "incremental")
+
+	fmt.Println("\nfull restart over the survivors:")
+	run(orchestra.RecoverRestart, "restart")
+}

@@ -1,0 +1,68 @@
+// OLAP: run the paper's TPC-H workload (§VI-A) over a distributed cluster
+// — the five single-block queries (Q1, Q3, Q5, Q6, Q10), with timing and
+// byte-accurate network traffic per query.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"orchestra"
+	"orchestra/internal/tpch"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 8, "cluster size")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
+	flag.Parse()
+
+	c, err := orchestra.NewCluster(*nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Shutdown()
+
+	fmt.Printf("generating TPC-H at scale factor %g…\n", *sf)
+	data := tpch.Generate(*sf, 42)
+	loadStart := time.Now()
+	total := 0
+	for _, s := range tpch.Schemas() {
+		if err := c.CreateRelationSchema(s); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := c.PublishTyped(0, s.Relation, data[s.Relation]); err != nil {
+			log.Fatal(err)
+		}
+		total += len(data[s.Relation])
+	}
+	fmt.Printf("published %d tuples across 8 tables in %s (epoch %d)\n\n",
+		total, time.Since(loadStart).Round(time.Millisecond), c.CurrentEpoch())
+
+	fmt.Printf("%-4s  %10s  %10s  %8s  %s\n", "qry", "time", "traffic", "rows", "first row")
+	for _, q := range tpch.Queries() {
+		// Warm run (caches, JIT-equivalent), as the paper measures.
+		if _, err := c.Query(q.SQL); err != nil {
+			log.Fatalf("%s: %v", q.Name, err)
+		}
+		c.ResetNetworkStats()
+		start := time.Now()
+		res, err := c.Query(q.SQL)
+		if err != nil {
+			log.Fatalf("%s: %v", q.Name, err)
+		}
+		elapsed := time.Since(start)
+		st := c.NetworkStats()
+		first := "-"
+		if len(res.Rows) > 0 {
+			first = res.Rows[0].String()
+			if len(first) > 48 {
+				first = first[:45] + "..."
+			}
+		}
+		fmt.Printf("%-4s  %10s  %8.2fMB  %8d  %s\n",
+			q.Name, elapsed.Round(time.Microsecond), float64(st.TotalBytes)/(1<<20),
+			len(res.Rows), first)
+	}
+}

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// microConfig keeps harness self-tests fast.
+func microConfig() Config {
+	return Config{
+		STBTuples:  200,
+		TPCHScale:  0.001,
+		Nodes:      []int{1, 2},
+		DataPoints: []float64{1},
+	}.WithDefaults()
+}
+
+func TestFig2(t *testing.T) {
+	fig, err := Run("fig2", microConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series: %d", len(fig.Series))
+	}
+	// Balanced must be uniform; Pastry-style skewed.
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			if s.Label == "balanced" && p.Y != 1 {
+				t.Fatalf("balanced skew %f at n=%f", p.Y, p.X)
+			}
+			if s.Label == "pastry" && p.Y <= 1 {
+				t.Fatalf("pastry unexpectedly uniform at n=%f", p.X)
+			}
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	fig, err := Run("fig7", microConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 5 {
+		t.Fatalf("want 5 scenarios, got %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("%s: %d points", s.Label, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Y <= 0 {
+				t.Fatalf("%s: non-positive time %f", s.Label, p.Y)
+			}
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	fig, err := Run("fig10", microConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 5 {
+		t.Fatalf("want 5 queries, got %d", len(fig.Series))
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	if _, err := Run("fig999", microConfig()); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRenderAndMarkdown(t *testing.T) {
+	fig, err := Run("fig2", microConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	Render(&sb, fig)
+	if !strings.Contains(sb.String(), "fig2") || !strings.Contains(sb.String(), "balanced") {
+		t.Fatalf("render output:\n%s", sb.String())
+	}
+	md := Markdown(fig)
+	if !strings.Contains(md, "| nodes |") {
+		t.Fatalf("markdown output:\n%s", md)
+	}
+}
+
+func TestFigureIDsComplete(t *testing.T) {
+	ids := FigureIDs()
+	if len(ids) != 19 {
+		t.Fatalf("got %d figure ids", len(ids))
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %s", id)
+		}
+		seen[id] = true
+	}
+	for _, want := range []string{"fig2", "fig7", "fig17", "fig21", "ovh", "fdet", "lat"} {
+		if !seen[want] {
+			t.Fatalf("missing id %s", want)
+		}
+	}
+}

@@ -1,0 +1,615 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"orchestra"
+	"orchestra/internal/ring"
+	"orchestra/internal/stbench"
+	"orchestra/internal/tpch"
+)
+
+// metric selects which Measurement field a figure plots.
+type metric int
+
+const (
+	metricTime metric = iota
+	metricTotalMB
+	metricPerNodeMB
+)
+
+func (m metric) of(meas *Measurement) float64 {
+	switch m {
+	case metricTotalMB:
+		return meas.TotalMB
+	case metricPerNodeMB:
+		return meas.PerNodeMB
+	default:
+		return meas.Modeled
+	}
+}
+
+func (m metric) label() string {
+	switch m {
+	case metricTotalMB:
+		return "network traffic (MB)"
+	case metricPerNodeMB:
+		return "per-node network traffic (MB)"
+	default:
+		return "modeled execution time (sec)"
+	}
+}
+
+// Run regenerates one figure by id; see FigureIDs.
+func Run(id string, cfg Config) (*Figure, error) {
+	cfg = cfg.WithDefaults()
+	switch id {
+	case "fig2":
+		return fig2RangeAllocation(cfg)
+	case "fig7":
+		return stbenchNodesSweep(cfg, "fig7", metricTime)
+	case "fig8":
+		return stbenchNodesSweep(cfg, "fig8", metricTotalMB)
+	case "fig9":
+		return stbenchNodesSweep(cfg, "fig9", metricPerNodeMB)
+	case "fig10":
+		return tpchNodesSweep(cfg, "fig10", metricTime)
+	case "fig11":
+		return tpchNodesSweep(cfg, "fig11", metricTotalMB)
+	case "fig12":
+		return tpchNodesSweep(cfg, "fig12", metricPerNodeMB)
+	case "fig13":
+		return stbenchDataSweep(cfg, "fig13", metricTime)
+	case "fig14":
+		return tpchDataSweep(cfg, "fig14", metricTime)
+	case "fig15":
+		return stbenchDataSweep(cfg, "fig15", metricTotalMB)
+	case "fig16":
+		return tpchDataSweep(cfg, "fig16", metricTotalMB)
+	case "fig17":
+		return fig17Bandwidth(cfg)
+	case "lat":
+		return latencySweep(cfg)
+	case "fig18":
+		return ec2Sweep(cfg, "fig18", metricTime)
+	case "fig19":
+		return ec2Sweep(cfg, "fig19", metricTotalMB)
+	case "fig20":
+		return ec2Sweep(cfg, "fig20", metricPerNodeMB)
+	case "fig21":
+		return fig21Recovery(cfg)
+	case "ovh":
+		return recoveryOverhead(cfg)
+	case "fdet":
+		return failureDetection(cfg)
+	default:
+		return nil, fmt.Errorf("bench: unknown figure %q (known: %v)", id, FigureIDs())
+	}
+}
+
+// FigureIDs lists every regenerable figure.
+func FigureIDs() []string {
+	return []string{
+		"fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+		"fig13", "fig14", "fig15", "fig16", "fig17", "lat",
+		"fig18", "fig19", "fig20", "fig21", "ovh", "fdet",
+	}
+}
+
+// --- Fig 2: range allocation balance ---
+
+func fig2RangeAllocation(cfg Config) (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig2",
+		Title:  "Range allocation: key-space share skew (max/min owned share)",
+		XLabel: "nodes",
+		YLabel: "max/min share ratio (1.0 = uniform)",
+	}
+	sizes := []int{5, 10, 20, 50, 100}
+	for _, scheme := range []ring.Scheme{ring.PastryStyle, ring.Balanced} {
+		s := Series{Label: scheme.String()}
+		for _, n := range sizes {
+			ids := make([]ring.NodeID, n)
+			for i := range ids {
+				ids[i] = ring.NodeID(fmt.Sprintf("node-%03d", i))
+			}
+			t, err := ring.New(ids, scheme, 3)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, Point{X: float64(n), Y: t.Balance()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	fig.Notes = append(fig.Notes,
+		"Pastry-style allocation leaves small networks badly skewed (Fig 2a);",
+		"balanced allocation is uniform by construction (Fig 2b).")
+	return fig, nil
+}
+
+// --- Figs 7-9: STBenchmark over node counts ---
+
+func stbenchNodesSweep(cfg Config, id string, m metric) (*Figure, error) {
+	fig := &Figure{
+		ID: id,
+		Title: fmt.Sprintf("STBenchmark, %d tuples/relation, 1-%d nodes",
+			cfg.STBTuples, cfg.Nodes[len(cfg.Nodes)-1]),
+		XLabel: "nodes",
+		YLabel: m.label(),
+	}
+	series := map[string]*Series{}
+	for _, sc := range stbench.Scenarios() {
+		series[sc.Name] = &Series{Label: sc.Name}
+	}
+	for _, n := range cfg.Nodes {
+		cfg.logf("%s: %d nodes", id, n)
+		c, err := orchestra.NewCluster(n)
+		if err != nil {
+			return nil, err
+		}
+		if err := loadSTBench(c, cfg.STBTuples); err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+		for _, sc := range stbench.Scenarios() {
+			meas, err := warmAndMeasure(c, sc.SQL, defaultLinkBps)
+			if err != nil {
+				c.Shutdown()
+				return nil, fmt.Errorf("%s on %d nodes: %w", sc.Name, n, err)
+			}
+			series[sc.Name].Points = append(series[sc.Name].Points,
+				Point{X: float64(n), Y: m.of(meas)})
+		}
+		c.Shutdown()
+	}
+	for _, sc := range stbench.Scenarios() {
+		fig.Series = append(fig.Series, *series[sc.Name])
+	}
+	return fig, nil
+}
+
+// --- Figs 10-12: TPC-H over node counts ---
+
+func tpchNodesSweep(cfg Config, id string, m metric) (*Figure, error) {
+	fig := &Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("TPC-H SF %.3g, 1-%d nodes", cfg.TPCHScale, cfg.Nodes[len(cfg.Nodes)-1]),
+		XLabel: "nodes",
+		YLabel: m.label(),
+	}
+	series := map[string]*Series{}
+	for _, q := range tpch.Queries() {
+		series[q.Name] = &Series{Label: q.Name}
+	}
+	for _, n := range cfg.Nodes {
+		cfg.logf("%s: %d nodes", id, n)
+		c, err := orchestra.NewCluster(n)
+		if err != nil {
+			return nil, err
+		}
+		if err := loadTPCH(c, cfg.TPCHScale); err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+		for _, q := range tpch.Queries() {
+			meas, err := warmAndMeasure(c, q.SQL, defaultLinkBps)
+			if err != nil {
+				c.Shutdown()
+				return nil, fmt.Errorf("%s on %d nodes: %w", q.Name, n, err)
+			}
+			series[q.Name].Points = append(series[q.Name].Points,
+				Point{X: float64(n), Y: m.of(meas)})
+		}
+		c.Shutdown()
+	}
+	for _, q := range tpch.Queries() {
+		fig.Series = append(fig.Series, *series[q.Name])
+	}
+	return fig, nil
+}
+
+// --- Figs 13/15: STBenchmark over data size; Figs 14/16: TPC-H ---
+
+func stbenchDataSweep(cfg Config, id string, m metric) (*Figure, error) {
+	const nodes = 8
+	fig := &Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("STBenchmark on %d nodes, data-size sweep", nodes),
+		XLabel: "tuples/relation",
+		YLabel: m.label(),
+	}
+	series := map[string]*Series{}
+	for _, sc := range stbench.Scenarios() {
+		series[sc.Name] = &Series{Label: sc.Name}
+	}
+	for _, mult := range cfg.DataPoints {
+		tuples := int(float64(cfg.STBTuples) * mult)
+		cfg.logf("%s: %d tuples/relation", id, tuples)
+		c, err := orchestra.NewCluster(nodes)
+		if err != nil {
+			return nil, err
+		}
+		if err := loadSTBench(c, tuples); err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+		for _, sc := range stbench.Scenarios() {
+			meas, err := warmAndMeasure(c, sc.SQL, defaultLinkBps)
+			if err != nil {
+				c.Shutdown()
+				return nil, err
+			}
+			series[sc.Name].Points = append(series[sc.Name].Points,
+				Point{X: float64(tuples), Y: m.of(meas)})
+		}
+		c.Shutdown()
+	}
+	for _, sc := range stbench.Scenarios() {
+		fig.Series = append(fig.Series, *series[sc.Name])
+	}
+	return fig, nil
+}
+
+func tpchDataSweep(cfg Config, id string, m metric) (*Figure, error) {
+	const nodes = 8
+	fig := &Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("TPC-H on %d nodes, scale-factor sweep", nodes),
+		XLabel: "scale factor",
+		YLabel: m.label(),
+	}
+	series := map[string]*Series{}
+	for _, q := range tpch.Queries() {
+		series[q.Name] = &Series{Label: q.Name}
+	}
+	for _, mult := range cfg.DataPoints {
+		sf := cfg.TPCHScale * mult
+		cfg.logf("%s: SF %.4f", id, sf)
+		c, err := orchestra.NewCluster(nodes)
+		if err != nil {
+			return nil, err
+		}
+		if err := loadTPCH(c, sf); err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+		for _, q := range tpch.Queries() {
+			meas, err := warmAndMeasure(c, q.SQL, defaultLinkBps)
+			if err != nil {
+				c.Shutdown()
+				return nil, err
+			}
+			series[q.Name].Points = append(series[q.Name].Points,
+				Point{X: sf, Y: m.of(meas)})
+		}
+		c.Shutdown()
+	}
+	for _, q := range tpch.Queries() {
+		fig.Series = append(fig.Series, *series[q.Name])
+	}
+	return fig, nil
+}
+
+// --- Fig 17: bandwidth sensitivity; §VI-C latency note ---
+
+func fig17Bandwidth(cfg Config) (*Figure, error) {
+	const nodes = 8
+	// Bandwidth shaping makes wall time real: scale the data down so the
+	// low-bandwidth points finish in seconds rather than minutes.
+	sf := cfg.TPCHScale * 0.2
+	fig := &Figure{
+		ID:     "fig17",
+		Title:  fmt.Sprintf("TPC-H SF %.3g on %d nodes vs per-node bandwidth", sf, nodes),
+		XLabel: "per-node bandwidth (KB/s)",
+		YLabel: "wall execution time (sec)",
+		Notes: []string{
+			"Wall time here includes the real token-bucket shaping delays;",
+			"rehash-heavy joins (Q3/Q5/Q10) degrade far more than scan-only Q1/Q6.",
+		},
+	}
+	series := map[string]*Series{}
+	for _, q := range tpch.Queries() {
+		series[q.Name] = &Series{Label: q.Name}
+	}
+	for _, bw := range cfg.Bandwidths {
+		cfg.logf("fig17: bandwidth %d KB/s", bw>>10)
+		c, err := orchestra.NewCluster(nodes, orchestra.WithBandwidth(bw))
+		if err != nil {
+			return nil, err
+		}
+		if err := loadTPCH(c, sf); err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+		for _, q := range tpch.Queries() {
+			meas, err := runQuery(c, q.SQL, orchestra.QueryOptions{Timeout: 10 * time.Minute}, float64(bw))
+			if err != nil {
+				c.Shutdown()
+				return nil, err
+			}
+			series[q.Name].Points = append(series[q.Name].Points,
+				Point{X: float64(bw) / 1024, Y: meas.Wall.Seconds()})
+		}
+		c.Shutdown()
+	}
+	for _, q := range tpch.Queries() {
+		fig.Series = append(fig.Series, *series[q.Name])
+	}
+	return fig, nil
+}
+
+func latencySweep(cfg Config) (*Figure, error) {
+	const nodes = 8
+	fig := &Figure{
+		ID:     "lat",
+		Title:  "TPC-H vs one-way link latency (§VI-C: little impact up to 200ms)",
+		XLabel: "one-way latency (ms)",
+		YLabel: "wall execution time (sec)",
+	}
+	series := map[string]*Series{}
+	for _, q := range tpch.Queries() {
+		series[q.Name] = &Series{Label: q.Name}
+	}
+	for _, lat := range cfg.Latencies {
+		cfg.logf("lat: latency %s", lat)
+		c, err := orchestra.NewCluster(nodes, orchestra.WithLatency(lat))
+		if err != nil {
+			return nil, err
+		}
+		if err := loadTPCH(c, cfg.TPCHScale*0.2); err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+		for _, q := range tpch.Queries() {
+			meas, err := runQuery(c, q.SQL, orchestra.QueryOptions{Timeout: 10 * time.Minute}, defaultLinkBps)
+			if err != nil {
+				c.Shutdown()
+				return nil, err
+			}
+			series[q.Name].Points = append(series[q.Name].Points,
+				Point{X: float64(lat.Milliseconds()), Y: meas.Wall.Seconds()})
+		}
+		c.Shutdown()
+	}
+	for _, q := range tpch.Queries() {
+		fig.Series = append(fig.Series, *series[q.Name])
+	}
+	return fig, nil
+}
+
+// --- Figs 18-20: larger node counts (the EC2 experiment) ---
+
+func ec2Sweep(cfg Config, id string, m metric) (*Figure, error) {
+	nodes := []int{10, 25, 50, 100}
+	fig := &Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("TPC-H SF %.3g at 10-100 nodes (EC2 experiment substitute)", cfg.TPCHScale),
+		XLabel: "nodes",
+		YLabel: m.label(),
+	}
+	series := map[string]*Series{}
+	for _, q := range tpch.Queries() {
+		series[q.Name] = &Series{Label: q.Name}
+	}
+	for _, n := range nodes {
+		cfg.logf("%s: %d nodes", id, n)
+		c, err := orchestra.NewCluster(n)
+		if err != nil {
+			return nil, err
+		}
+		if err := loadTPCH(c, cfg.TPCHScale); err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+		for _, q := range tpch.Queries() {
+			meas, err := warmAndMeasure(c, q.SQL, defaultLinkBps)
+			if err != nil {
+				c.Shutdown()
+				return nil, err
+			}
+			series[q.Name].Points = append(series[q.Name].Points,
+				Point{X: float64(n), Y: m.of(meas)})
+		}
+		c.Shutdown()
+	}
+	for _, q := range tpch.Queries() {
+		fig.Series = append(fig.Series, *series[q.Name])
+	}
+	return fig, nil
+}
+
+// --- Fig 21: failure time vs completion, restart vs incremental ---
+
+func fig21Recovery(cfg Config) (*Figure, error) {
+	const nodes = 8
+	fig := &Figure{
+		ID:     "fig21",
+		Title:  "Completion time with one node failure: restart vs incremental recovery",
+		XLabel: "failure time offset (fraction of failure-free runtime)",
+		YLabel: "wall completion time (sec)",
+	}
+	queries := []string{"Q1", "Q10"}
+	for _, qname := range queries {
+		q := tpch.QueryByName(qname)
+		for _, mode := range []struct {
+			label string
+			rec   orchestra.RecoveryMode
+		}{
+			{qname + "/Restart", orchestra.RecoverRestart},
+			{qname + "/Incremental", orchestra.RecoverIncremental},
+		} {
+			s := Series{Label: mode.label}
+			for _, frac := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+				c, err := orchestra.NewCluster(nodes)
+				if err != nil {
+					return nil, err
+				}
+				if err := loadTPCH(c, cfg.TPCHScale); err != nil {
+					c.Shutdown()
+					return nil, err
+				}
+				// Failure-free baseline run to calibrate the offset.
+				base := time.Now()
+				if _, err := c.Query(q.SQL); err != nil {
+					c.Shutdown()
+					return nil, err
+				}
+				baseline := time.Since(base)
+
+				delay := time.Duration(frac * float64(baseline))
+				victim := nodes - 2 // never the initiator
+				done := make(chan struct{})
+				go func() {
+					select {
+					case <-time.After(delay):
+						c.Kill(victim)
+					case <-done:
+					}
+				}()
+				start := time.Now()
+				_, err = c.QueryOpts(q.SQL, orchestra.QueryOptions{
+					Recovery: mode.rec,
+					Timeout:  5 * time.Minute,
+				})
+				close(done)
+				if err != nil {
+					c.Shutdown()
+					return nil, fmt.Errorf("fig21 %s frac %.1f: %w", mode.label, frac, err)
+				}
+				s.Points = append(s.Points, Point{X: frac, Y: time.Since(start).Seconds()})
+				c.Shutdown()
+			}
+			fig.Series = append(fig.Series, s)
+		}
+	}
+	fig.Notes = append(fig.Notes,
+		"The paper reports incremental recovery beating restart by ≈20% (Fig 21);",
+		"both are slower than failure-free runs due to replica cache misses.")
+	return fig, nil
+}
+
+// --- §VI-E: overhead of incremental recovery support ---
+
+func recoveryOverhead(cfg Config) (*Figure, error) {
+	const nodes = 8
+	fig := &Figure{
+		ID:     "ovh",
+		Title:  "Overhead of recovery support (provenance + caches), no failures",
+		XLabel: "query (index)",
+		YLabel: "overhead (%)",
+		Notes: []string{
+			"Paper: 2-7% execution-time overhead, ≤2% traffic overhead (§VI-E).",
+			"X axis indexes the TPC-H queries Q1,Q3,Q5,Q6,Q10 as 1..5.",
+		},
+	}
+	c, err := orchestra.NewCluster(nodes)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Shutdown()
+	if err := loadTPCH(c, cfg.TPCHScale); err != nil {
+		return nil, err
+	}
+	timeSeries := Series{Label: "modeled-time overhead %"}
+	trafficSeries := Series{Label: "traffic overhead %"}
+	for i, q := range tpch.Queries() {
+		if _, err := c.Query(q.SQL); err != nil {
+			return nil, err
+		}
+		// Median-of-3 per configuration to stabilize.
+		run := func(prov bool) (*Measurement, error) {
+			var ms []*Measurement
+			for k := 0; k < 3; k++ {
+				m, err := runQuery(c, q.SQL, orchestra.QueryOptions{Provenance: prov}, defaultLinkBps)
+				if err != nil {
+					return nil, err
+				}
+				ms = append(ms, m)
+			}
+			sort.Slice(ms, func(a, b int) bool { return ms[a].Modeled < ms[b].Modeled })
+			return ms[1], nil
+		}
+		off, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		on, err := run(true)
+		if err != nil {
+			return nil, err
+		}
+		x := float64(i + 1)
+		timeSeries.Points = append(timeSeries.Points,
+			Point{X: x, Y: 100 * (on.Modeled - off.Modeled) / off.Modeled})
+		trafficSeries.Points = append(trafficSeries.Points,
+			Point{X: x, Y: 100 * (on.TotalMB - off.TotalMB) / off.TotalMB})
+	}
+	fig.Series = append(fig.Series, timeSeries, trafficSeries)
+	return fig, nil
+}
+
+// --- §V-A: failure detection latency ---
+
+func failureDetection(cfg Config) (*Figure, error) {
+	fig := &Figure{
+		ID:     "fdet",
+		Title:  "Failure detection latency: connection drop vs background pings",
+		XLabel: "trial",
+		YLabel: "detection latency (ms)",
+		Notes: []string{
+			"A crashed node's dropped connections are detected almost immediately;",
+			"a hung node (connections alive, no replies) needs the pinger (§V-A, §V-C).",
+		},
+	}
+	drop := Series{Label: "connection-drop (crash)"}
+	ping := Series{Label: "ping-based (hung)"}
+	for trial := 0; trial < 5; trial++ {
+		// Crash detection.
+		c, err := orchestra.NewCluster(4)
+		if err != nil {
+			return nil, err
+		}
+		ch := make(chan time.Duration, 1)
+		start := time.Now()
+		c.OnNodeDown(0, func(string) {
+			select {
+			case ch <- time.Since(start):
+			default:
+			}
+		})
+		c.Kill(2)
+		select {
+		case d := <-ch:
+			drop.Points = append(drop.Points, Point{X: float64(trial), Y: float64(d.Microseconds()) / 1000})
+		case <-time.After(5 * time.Second):
+			drop.Points = append(drop.Points, Point{X: float64(trial), Y: 5000})
+		}
+		c.Shutdown()
+
+		// Hung-machine detection via pings.
+		c2, err := orchestra.NewCluster(4)
+		if err != nil {
+			return nil, err
+		}
+		c2.StartPingers(20*time.Millisecond, 60*time.Millisecond)
+		ch2 := make(chan time.Duration, 1)
+		start2 := time.Now()
+		c2.OnNodeDown(0, func(string) {
+			select {
+			case ch2 <- time.Since(start2):
+			default:
+			}
+		})
+		c2.Hang(2)
+		select {
+		case d := <-ch2:
+			ping.Points = append(ping.Points, Point{X: float64(trial), Y: float64(d.Microseconds()) / 1000})
+		case <-time.After(5 * time.Second):
+			ping.Points = append(ping.Points, Point{X: float64(trial), Y: 5000})
+		}
+		c2.Shutdown()
+	}
+	fig.Series = append(fig.Series, drop, ping)
+	return fig, nil
+}

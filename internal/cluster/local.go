@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"orchestra/internal/kvstore"
+	"orchestra/internal/ring"
+	"orchestra/internal/transport"
+)
+
+// Local is an in-process ORCHESTRA cluster over the simulated network: the
+// deployment used by tests, examples, and the experiment harness. All
+// messages are genuinely encoded, shaped, and accounted by the transport;
+// only the processes are colocated.
+type Local struct {
+	Net   *transport.Network
+	cfg   Config
+	nodes []*Node
+	byID  map[ring.NodeID]*Node
+}
+
+// NodeName returns the canonical name of the i'th local node.
+func NodeName(i int) ring.NodeID {
+	return ring.NodeID(fmt.Sprintf("orch-%03d", i))
+}
+
+// NewLocal builds an n-node cluster with balanced range allocation.
+func NewLocal(n int, cfg Config, netCfg transport.Config) (*Local, error) {
+	return NewLocalScheme(n, cfg, netCfg, ring.Balanced)
+}
+
+// NewLocalWeighted builds a cluster whose range allocation is proportional
+// to per-node capacity weights — the load-balancing extension of paper
+// §VIII (future work): nodes with more capacity own more key space.
+func NewLocalWeighted(capacities []float64, cfg Config, netCfg transport.Config) (*Local, error) {
+	cfg = cfg.withDefaults()
+	weights := make([]ring.Weight, len(capacities))
+	for i, c := range capacities {
+		weights[i] = ring.Weight{ID: NodeName(i), Capacity: c}
+	}
+	table, err := ring.NewWeighted(weights, cfg.Replication)
+	if err != nil {
+		return nil, err
+	}
+	l := &Local{
+		Net:  transport.NewNetwork(netCfg),
+		cfg:  cfg,
+		byID: make(map[ring.NodeID]*Node, len(capacities)),
+	}
+	for _, w := range weights {
+		ep, err := l.Net.Join(w.ID)
+		if err != nil {
+			l.Shutdown()
+			return nil, err
+		}
+		node := NewNode(ep, kvstore.NewMemory(), table, cfg)
+		l.nodes = append(l.nodes, node)
+		l.byID[w.ID] = node
+	}
+	return l, nil
+}
+
+// NewLocalScheme builds an n-node cluster with the given allocation scheme.
+func NewLocalScheme(n int, cfg Config, netCfg transport.Config, scheme ring.Scheme) (*Local, error) {
+	cfg = cfg.withDefaults()
+	ids := make([]ring.NodeID, n)
+	for i := range ids {
+		ids[i] = NodeName(i)
+	}
+	table, err := ring.New(ids, scheme, cfg.Replication)
+	if err != nil {
+		return nil, err
+	}
+	l := &Local{
+		Net:  transport.NewNetwork(netCfg),
+		cfg:  cfg,
+		byID: make(map[ring.NodeID]*Node, n),
+	}
+	for _, id := range ids {
+		ep, err := l.Net.Join(id)
+		if err != nil {
+			l.Shutdown()
+			return nil, err
+		}
+		node := NewNode(ep, kvstore.NewMemory(), table, cfg)
+		l.nodes = append(l.nodes, node)
+		l.byID[id] = node
+	}
+	return l, nil
+}
+
+// Nodes returns all nodes (including killed ones; check Alive).
+func (l *Local) Nodes() []*Node { return l.nodes }
+
+// Node returns the i'th node.
+func (l *Local) Node(i int) *Node { return l.nodes[i] }
+
+// ByID returns the node with the given identity.
+func (l *Local) ByID(id ring.NodeID) *Node { return l.byID[id] }
+
+// Table returns the first live node's routing table.
+func (l *Local) Table() *ring.Table {
+	for _, n := range l.nodes {
+		if l.Net.Alive(n.ID()) {
+			return n.Table()
+		}
+	}
+	return nil
+}
+
+// Kill abruptly fails a node (connection drops everywhere).
+func (l *Local) Kill(id ring.NodeID) { l.Net.Kill(id) }
+
+// Hang simulates a hung node (connections stay up; only pings detect it).
+func (l *Local) Hang(id ring.NodeID) { l.Net.Hang(id) }
+
+// AddNode joins a fresh node: it receives the next canonical name, a new
+// balanced table is broadcast, and every prior member rebalances its data
+// to the new allocation. Per §V-C the new node participates only in queries
+// whose snapshot is taken after the join.
+func (l *Local) AddNode(ctx context.Context) (*Node, error) {
+	id := NodeName(len(l.nodes))
+	ep, err := l.Net.Join(id)
+	if err != nil {
+		return nil, err
+	}
+	oldTable := l.Table()
+	node := NewNode(ep, kvstore.NewMemory(), oldTable, l.cfg)
+	newTable, err := oldTable.WithMembers(append(oldTable.Members(), id))
+	if err != nil {
+		return nil, err
+	}
+	if err := node.BroadcastTable(ctx, newTable); err != nil {
+		return nil, err
+	}
+	// Pull the current epoch from the existing members so queries initiated
+	// at the newcomer immediately see the latest published state.
+	node.Gossip().Sync(ctx, oldTable.Members())
+	for _, n := range l.nodes {
+		if !l.Net.Alive(n.ID()) {
+			continue
+		}
+		if err := n.Rebalance(ctx, oldTable, newTable); err != nil {
+			return nil, err
+		}
+	}
+	l.nodes = append(l.nodes, node)
+	l.byID[id] = node
+	return node, nil
+}
+
+// RemoveNode gracefully retires a node: a fresh table without it is
+// broadcast, data is rebalanced (including by the leaver), and the node
+// closes.
+func (l *Local) RemoveNode(ctx context.Context, id ring.NodeID) error {
+	node := l.byID[id]
+	if node == nil {
+		return fmt.Errorf("cluster: unknown node %s", id)
+	}
+	oldTable := l.Table()
+	var rest []ring.NodeID
+	for _, m := range oldTable.Members() {
+		if m != id {
+			rest = append(rest, m)
+		}
+	}
+	newTable, err := oldTable.WithMembers(rest)
+	if err != nil {
+		return err
+	}
+	if err := node.BroadcastTable(ctx, newTable, id); err != nil {
+		return err
+	}
+	// The leaver still rebalances by the old table, shipping away data it
+	// alone holds.
+	for _, n := range l.nodes {
+		if !l.Net.Alive(n.ID()) {
+			continue
+		}
+		if err := n.Rebalance(ctx, oldTable, newTable); err != nil {
+			return err
+		}
+	}
+	node.Close()
+	delete(l.byID, id)
+	for i, n := range l.nodes {
+		if n == node {
+			l.nodes = append(l.nodes[:i], l.nodes[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// StartPingers begins hung-node detection on every node.
+func (l *Local) StartPingers(interval, timeout time.Duration) {
+	for _, n := range l.nodes {
+		n.StartPinger(interval, timeout)
+	}
+}
+
+// Shutdown stops every node and the network fabric.
+func (l *Local) Shutdown() {
+	for _, n := range l.nodes {
+		n.Close()
+	}
+	l.Net.Shutdown()
+}

@@ -1,0 +1,179 @@
+// Package cluster binds the substrate together into running ORCHESTRA
+// storage nodes: each Node couples a transport endpoint, the shared routing
+// table, a local ordered store, and the epoch gossiper, and implements the
+// distributed versioned storage protocol of paper §III-IV — replicated
+// record writes, replica-fallback reads, the publish (copy-on-write) path,
+// Algorithm 1 retrieval with index→data-node bypass, and membership changes
+// with range redistribution.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"orchestra/internal/gossip"
+	"orchestra/internal/kvstore"
+	"orchestra/internal/ring"
+	"orchestra/internal/transport"
+)
+
+// Message types used by the storage layer (engine types live in 0x0200+).
+const (
+	msgPutRecord  transport.MsgType = 0x0100
+	msgPutBatch   transport.MsgType = 0x0101
+	msgGetRecord  transport.MsgType = 0x0102
+	msgScanPage   transport.MsgType = 0x0103
+	msgFetchFwd   transport.MsgType = 0x0104
+	msgScanResult transport.MsgType = 0x0105
+	msgNewTable   transport.MsgType = 0x0106
+	msgDelRecord  transport.MsgType = 0x0107
+)
+
+// Errors surfaced by storage operations.
+var (
+	// ErrNotFound indicates no live replica holds the requested record.
+	ErrNotFound = errors.New("cluster: record not found")
+	// ErrNoSuchRelation indicates the relation has no catalog.
+	ErrNoSuchRelation = errors.New("cluster: no such relation")
+	// ErrRelationExists indicates a CreateRelation for an existing name.
+	ErrRelationExists = errors.New("cluster: relation already exists")
+	// ErrUnavailable indicates all replicas for a record are unreachable.
+	ErrUnavailable = errors.New("cluster: no replica reachable")
+)
+
+// Config tunes a node.
+type Config struct {
+	// Replication is the total copy count r (default 3).
+	Replication int
+	// MaxPageEntries bounds index page size (default vstore's).
+	MaxPageEntries int
+	// RequestTimeout bounds individual storage RPCs (default 10s).
+	RequestTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replication <= 0 {
+		c.Replication = 3
+	}
+	if c.MaxPageEntries <= 0 {
+		c.MaxPageEntries = 512
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Node is one ORCHESTRA storage/query node.
+type Node struct {
+	id     ring.NodeID
+	ep     transport.Endpoint
+	store  *kvstore.Store
+	gsp    *gossip.Gossiper
+	cfg    Config
+	pinger *transport.Pinger
+
+	mu    sync.RWMutex
+	table *ring.Table
+
+	scanMu   sync.Mutex
+	scans    map[uint64]*scanCollector
+	nextScan uint64
+	downMu   sync.Mutex
+	downSubs []func(ring.NodeID)
+}
+
+// NewNode constructs a node on an endpoint with a local store and the
+// initial routing table, and registers all storage message handlers.
+func NewNode(ep transport.Endpoint, store *kvstore.Store, table *ring.Table, cfg Config) *Node {
+	n := &Node{
+		id:    ep.ID(),
+		ep:    ep,
+		store: store,
+		cfg:   cfg.withDefaults(),
+		table: table,
+		scans: make(map[uint64]*scanCollector),
+	}
+	n.gsp = gossip.New(ep, int64(ep.ID().Hash().Uint64()))
+	n.gsp.SetPeers(table.Members())
+	n.registerHandlers()
+	ep.OnPeerDown(n.notifyDown)
+	return n
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() ring.NodeID { return n.id }
+
+// Endpoint exposes the transport endpoint (the query engine shares it).
+func (n *Node) Endpoint() transport.Endpoint { return n.ep }
+
+// Store exposes the local ordered store (the engine's leaf scans read it).
+func (n *Node) Store() *kvstore.Store { return n.store }
+
+// Gossip exposes the epoch gossiper.
+func (n *Node) Gossip() *gossip.Gossiper { return n.gsp }
+
+// Config returns the node's configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// Table returns the node's current routing table.
+func (n *Node) Table() *ring.Table {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.table
+}
+
+// adoptTable installs a newer routing table (no-op for stale versions).
+func (n *Node) adoptTable(t *ring.Table) {
+	n.mu.Lock()
+	if t.Version() > n.table.Version() {
+		n.table = t
+		n.gsp.SetPeers(t.Members())
+	}
+	n.mu.Unlock()
+}
+
+// OnPeerDown registers a callback for peer failure notifications from
+// either the transport (connection drop) or the pinger (hung machine).
+func (n *Node) OnPeerDown(fn func(ring.NodeID)) {
+	n.downMu.Lock()
+	n.downSubs = append(n.downSubs, fn)
+	n.downMu.Unlock()
+}
+
+func (n *Node) notifyDown(id ring.NodeID) {
+	n.downMu.Lock()
+	subs := append([]func(ring.NodeID){}, n.downSubs...)
+	n.downMu.Unlock()
+	for _, fn := range subs {
+		fn(id)
+	}
+}
+
+// StartPinger begins background hung-machine detection against all current
+// table members (§V-C).
+func (n *Node) StartPinger(interval, timeout time.Duration) {
+	if n.pinger != nil {
+		n.pinger.Stop()
+	}
+	n.pinger = transport.NewPinger(n.ep, interval, timeout, n.notifyDown)
+	for _, m := range n.Table().Members() {
+		n.pinger.Watch(m)
+	}
+	n.pinger.Start()
+}
+
+// Close stops background activity. The local store remains usable.
+func (n *Node) Close() {
+	if n.pinger != nil {
+		n.pinger.Stop()
+	}
+	n.gsp.Stop()
+	_ = n.ep.Close()
+}
+
+func (n *Node) String() string {
+	return fmt.Sprintf("node(%s)", n.id)
+}

@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"orchestra/internal/keyspace"
+	"orchestra/internal/ring"
+	"orchestra/internal/vstore"
+)
+
+// BroadcastTable disseminates a new routing table to every member (and to
+// any extra recipients, e.g. a node about to join). Nodes ignore stale
+// versions, so repeated broadcasts are harmless.
+func (n *Node) BroadcastTable(ctx context.Context, t *ring.Table, extra ...ring.NodeID) error {
+	data, err := t.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	targets := append(t.Members(), extra...)
+	var lastErr error
+	for _, m := range targets {
+		if m == n.id {
+			n.adoptTable(t)
+			continue
+		}
+		rctx, cancel := context.WithTimeout(ctx, n.cfg.RequestTimeout)
+		_, err := n.ep.Request(rctx, m, msgNewTable, data)
+		cancel()
+		if err != nil {
+			lastErr = err
+		}
+	}
+	n.adoptTable(t)
+	return lastErr
+}
+
+// placementOf reconstructs the ring placement key of a locally stored
+// record from its key (and, for pages, its value).
+func placementOf(kvKey, value []byte) (keyspace.Key, bool) {
+	if len(kvKey) < 2 {
+		return keyspace.Key{}, false
+	}
+	switch {
+	case kvKey[0] == 'c' && kvKey[1] == '/':
+		return vstore.CatalogPlacement(string(kvKey[2:])), true
+	case kvKey[0] == 'r' && kvKey[1] == '/':
+		// r/<relation>\x00<epoch:8>
+		rest := kvKey[2:]
+		if len(rest) < 9 {
+			return keyspace.Key{}, false
+		}
+		rel := string(rest[:len(rest)-9])
+		c, err := vstore.DecodeCoordinator(value)
+		if err != nil || c.Relation != rel {
+			// Fall back to decoding the record, which is authoritative.
+			if err != nil {
+				return keyspace.Key{}, false
+			}
+		}
+		return vstore.CoordPlacement(c.Relation, c.Epoch), true
+	case kvKey[0] == 'p' && kvKey[1] == '/':
+		p, err := vstore.DecodePage(value)
+		if err != nil {
+			return keyspace.Key{}, false
+		}
+		return p.Ref.Placement(), true
+	case kvKey[0] == 't' && kvKey[1] == '/':
+		h, ok := vstore.TupleKeyHash(kvKey)
+		return h, ok
+	default:
+		return keyspace.Key{}, false
+	}
+}
+
+// Rebalance redistributes this node's records after a membership change
+// from oldTable to newTable: records gain copies at their new replicas and
+// are dropped from nodes that no longer replicate them. To avoid duplicate
+// shipping, for each record only the first surviving member of its old
+// replica set pushes (pushes are idempotent puts, so overlap is harmless).
+// This is the explicit range-redistribution step of §III-C — the paper
+// notes that under balanced allocation "a single node arrival or departure
+// will cause all the ranges to change slightly", trading membership-change
+// cost for uniform distribution.
+func (n *Node) Rebalance(ctx context.Context, oldTable, newTable *ring.Table) error {
+	type destBatch struct {
+		items []RecordPut
+	}
+	pushes := make(map[ring.NodeID]*destBatch)
+	var drops [][]byte
+
+	n.store.Scan(nil, nil, func(k, v []byte) bool {
+		placement, ok := placementOf(k, v)
+		if !ok {
+			return true
+		}
+		oldReps := oldTable.Replicas(placement)
+		newReps := newTable.Replicas(placement)
+
+		// Elect the pusher: first old replica that survives into the new
+		// membership.
+		pusher := ring.NodeID("")
+		for _, r := range oldReps {
+			if newTable.Contains(r) {
+				pusher = r
+				break
+			}
+		}
+		inNew := false
+		for _, r := range newReps {
+			if r == n.id {
+				inNew = true
+				break
+			}
+		}
+		if pusher == n.id {
+			for _, r := range newReps {
+				if r == n.id {
+					continue
+				}
+				alreadyOld := false
+				for _, o := range oldReps {
+					if o == r {
+						alreadyOld = true
+						break
+					}
+				}
+				if alreadyOld {
+					continue // r already holds it
+				}
+				b := pushes[r]
+				if b == nil {
+					b = &destBatch{}
+					pushes[r] = b
+				}
+				b.items = append(b.items, RecordPut{
+					Placement: placement,
+					KVKey:     append([]byte(nil), k...),
+					Value:     append([]byte(nil), v...),
+				})
+			}
+		}
+		if !inNew {
+			drops = append(drops, append([]byte(nil), k...))
+		}
+		return true
+	})
+
+	var lastErr error
+	for dest, batch := range pushes {
+		rctx, cancel := context.WithTimeout(ctx, n.cfg.RequestTimeout)
+		_, err := n.ep.Request(rctx, dest, msgPutBatch, encodeBatch(batch.items))
+		cancel()
+		if err != nil {
+			lastErr = fmt.Errorf("cluster: rebalance push to %s: %w", dest, err)
+		}
+	}
+	if lastErr != nil {
+		// Keep the records we failed to move; a later rebalance retries.
+		return lastErr
+	}
+	for _, k := range drops {
+		if _, err := n.store.Delete(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}

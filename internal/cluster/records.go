@@ -1,0 +1,256 @@
+package cluster
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"orchestra/internal/keyspace"
+	"orchestra/internal/ring"
+)
+
+// RecordPut is one replicated record write: the ring placement key plus the
+// local-store key/value to install at every replica.
+type RecordPut struct {
+	Placement keyspace.Key
+	KVKey     []byte
+	Value     []byte
+}
+
+// --- wire helpers ---
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func readBytes(data []byte) ([]byte, []byte, error) {
+	l, n := binary.Uvarint(data)
+	if n <= 0 || len(data) < n+int(l) {
+		return nil, nil, errors.New("cluster: truncated field")
+	}
+	return data[n : n+int(l)], data[n+int(l):], nil
+}
+
+func encodePut(kvKey, value []byte) []byte {
+	out := appendBytes(nil, kvKey)
+	return appendBytes(out, value)
+}
+
+func decodePut(data []byte) (kvKey, value []byte, err error) {
+	kvKey, rest, err := readBytes(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	value, rest, err = readBytes(rest)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(rest) != 0 {
+		return nil, nil, errors.New("cluster: trailing bytes in put")
+	}
+	return kvKey, value, nil
+}
+
+func encodeBatch(items []RecordPut) []byte {
+	out := binary.AppendUvarint(nil, uint64(len(items)))
+	for _, it := range items {
+		out = appendBytes(out, it.KVKey)
+		out = appendBytes(out, it.Value)
+	}
+	return out
+}
+
+func decodeBatch(data []byte) ([][2][]byte, error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, errors.New("cluster: truncated batch")
+	}
+	data = data[n:]
+	if count > 1<<26 {
+		return nil, fmt.Errorf("cluster: implausible batch count %d", count)
+	}
+	out := make([][2][]byte, 0, count)
+	for i := uint64(0); i < count; i++ {
+		k, rest, err := readBytes(data)
+		if err != nil {
+			return nil, err
+		}
+		v, rest, err := readBytes(rest)
+		if err != nil {
+			return nil, err
+		}
+		data = rest
+		out = append(out, [2][]byte{k, v})
+	}
+	return out, nil
+}
+
+// registerRecordHandlers installs the basic replicated-record RPCs.
+func (n *Node) registerRecordHandlers() {
+	n.ep.Handle(msgPutRecord, func(from ring.NodeID, payload []byte) ([]byte, error) {
+		kvKey, value, err := decodePut(payload)
+		if err != nil {
+			return nil, err
+		}
+		return nil, n.store.Put(kvKey, value)
+	})
+	n.ep.Handle(msgPutBatch, func(from ring.NodeID, payload []byte) ([]byte, error) {
+		items, err := decodeBatch(payload)
+		if err != nil {
+			return nil, err
+		}
+		for _, it := range items {
+			if err := n.store.Put(it[0], it[1]); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	})
+	n.ep.Handle(msgGetRecord, func(from ring.NodeID, payload []byte) ([]byte, error) {
+		v, ok := n.store.Get(payload)
+		if !ok {
+			return []byte{0}, nil
+		}
+		return append([]byte{1}, v...), nil
+	})
+	n.ep.Handle(msgDelRecord, func(from ring.NodeID, payload []byte) ([]byte, error) {
+		_, err := n.store.Delete(payload)
+		return nil, err
+	})
+	n.ep.Handle(msgNewTable, func(from ring.NodeID, payload []byte) ([]byte, error) {
+		t, err := ring.UnmarshalTable(payload)
+		if err != nil {
+			return nil, err
+		}
+		n.adoptTable(t)
+		return nil, nil
+	})
+}
+
+// PutRecord writes one record to all replicas of its placement key. Dead
+// replicas are skipped; the write fails only if no replica accepted it.
+func (n *Node) PutRecord(ctx context.Context, placement keyspace.Key, kvKey, value []byte) error {
+	table := n.Table()
+	payload := encodePut(kvKey, value)
+	var firstErr error
+	acked := 0
+	for _, rep := range table.Replicas(placement) {
+		if rep == n.id {
+			if err := n.store.Put(kvKey, value); err != nil {
+				return err
+			}
+			acked++
+			continue
+		}
+		rctx, cancel := context.WithTimeout(ctx, n.cfg.RequestTimeout)
+		_, err := n.ep.Request(rctx, rep, msgPutRecord, payload)
+		cancel()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		acked++
+	}
+	if acked == 0 {
+		return fmt.Errorf("%w: put %q: %v", ErrUnavailable, kvKey, firstErr)
+	}
+	return nil
+}
+
+// PutRecords writes a set of records, grouping them into one batch message
+// per destination node — the destination-batched shipping of §V-A applied
+// to the bulk-load path.
+func (n *Node) PutRecords(ctx context.Context, items []RecordPut) error {
+	table := n.Table()
+	byDest := make(map[ring.NodeID][]RecordPut)
+	for _, it := range items {
+		for _, rep := range table.Replicas(it.Placement) {
+			byDest[rep] = append(byDest[rep], it)
+		}
+	}
+	// Local writes first.
+	for _, it := range byDest[n.id] {
+		if err := n.store.Put(it.KVKey, it.Value); err != nil {
+			return err
+		}
+	}
+	delete(byDest, n.id)
+	type result struct {
+		dest ring.NodeID
+		err  error
+	}
+	results := make(chan result, len(byDest))
+	for dest, its := range byDest {
+		go func(dest ring.NodeID, its []RecordPut) {
+			rctx, cancel := context.WithTimeout(ctx, n.cfg.RequestTimeout)
+			defer cancel()
+			_, err := n.ep.Request(rctx, dest, msgPutBatch, encodeBatch(its))
+			results <- result{dest, err}
+		}(dest, its)
+	}
+	var failed []ring.NodeID
+	for range byDest {
+		r := <-results
+		if r.err != nil {
+			failed = append(failed, r.dest)
+		}
+	}
+	if len(failed) == len(byDest) && len(byDest) > 0 {
+		return fmt.Errorf("%w: bulk put failed at all %d destinations", ErrUnavailable, len(failed))
+	}
+	return nil
+}
+
+// GetRecord reads a record, trying the owner first and falling back to the
+// other replicas (§IV: "proactively try to retrieve the missing state from
+// other nearby nodes"). ErrNotFound means every reachable replica lacks it.
+func (n *Node) GetRecord(ctx context.Context, placement keyspace.Key, kvKey []byte) ([]byte, error) {
+	table := n.Table()
+	var lastErr error
+	sawReplica := false
+	for _, rep := range table.Replicas(placement) {
+		if rep == n.id {
+			sawReplica = true
+			if v, ok := n.store.Get(kvKey); ok {
+				return v, nil
+			}
+			continue
+		}
+		rctx, cancel := context.WithTimeout(ctx, n.cfg.RequestTimeout)
+		resp, err := n.ep.Request(rctx, rep, msgGetRecord, kvKey)
+		cancel()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		sawReplica = true
+		if len(resp) >= 1 && resp[0] == 1 {
+			return resp[1:], nil
+		}
+	}
+	if !sawReplica {
+		return nil, fmt.Errorf("%w: get %q: %v", ErrUnavailable, kvKey, lastErr)
+	}
+	return nil, fmt.Errorf("%w: %q", ErrNotFound, kvKey)
+}
+
+// DeleteRecord removes a record from all replicas (best effort).
+func (n *Node) DeleteRecord(ctx context.Context, placement keyspace.Key, kvKey []byte) error {
+	table := n.Table()
+	for _, rep := range table.Replicas(placement) {
+		if rep == n.id {
+			if _, err := n.store.Delete(kvKey); err != nil {
+				return err
+			}
+			continue
+		}
+		rctx, cancel := context.WithTimeout(ctx, n.cfg.RequestTimeout)
+		_, _ = n.ep.Request(rctx, rep, msgDelRecord, kvKey)
+		cancel()
+	}
+	return nil
+}

@@ -1,0 +1,458 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+
+	"orchestra/internal/keyspace"
+	"orchestra/internal/ring"
+	"orchestra/internal/tuple"
+)
+
+// flushRows is the destination-batch size: tuples are accumulated per
+// destination and shipped in compressed blocks (§V-A).
+const flushRows = 1024
+
+// --- batch wire codec ---
+//
+// Batches carry the rows (columnar, compressed — tuple.EncodeBatch), the
+// execution phase, and a dictionary-coded provenance column: distinct
+// provenance sets are listed once, each row referencing its set by index.
+// This keeps the provenance overhead to roughly one byte per tuple, which
+// is how the paper achieves its ≤2% traffic overhead for recovery support.
+
+func encodeTupBatch(ts []Tup, phase uint32, withProv bool) ([]byte, error) {
+	out := binary.BigEndian.AppendUint32(nil, phase)
+	if withProv {
+		out = append(out, 1)
+		dict := make(map[string]int)
+		var keys []string
+		idxs := make([]int, len(ts))
+		for i, t := range ts {
+			k := t.Prov.Key()
+			id, ok := dict[k]
+			if !ok {
+				id = len(keys)
+				dict[k] = id
+				keys = append(keys, k)
+			}
+			idxs[i] = id
+		}
+		out = binary.AppendUvarint(out, uint64(len(keys)))
+		for _, k := range keys {
+			out = binary.AppendUvarint(out, uint64(len(k)))
+			out = append(out, k...)
+		}
+		out = binary.AppendUvarint(out, uint64(len(idxs)))
+		for _, id := range idxs {
+			out = binary.AppendUvarint(out, uint64(id))
+		}
+	} else {
+		out = append(out, 0)
+	}
+	rows := make([]tuple.Row, len(ts))
+	for i, t := range ts {
+		rows[i] = t.Row
+	}
+	body, err := tuple.EncodeBatch(rows)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, body...), nil
+}
+
+func decodeTupBatch(data []byte) ([]Tup, uint32, error) {
+	if len(data) < 5 {
+		return nil, 0, errors.New("engine: short batch")
+	}
+	phase := binary.BigEndian.Uint32(data)
+	withProv := data[4] == 1
+	off := 5
+	var provs []Prov
+	var idxs []uint64
+	if withProv {
+		nDict, n := binary.Uvarint(data[off:])
+		if n <= 0 || nDict > 1<<20 {
+			return nil, 0, errors.New("engine: bad prov dict")
+		}
+		off += n
+		provs = make([]Prov, nDict)
+		for i := range provs {
+			l, n := binary.Uvarint(data[off:])
+			if n <= 0 || off+n+int(l) > len(data) {
+				return nil, 0, errors.New("engine: bad prov entry")
+			}
+			off += n
+			provs[i] = ProvFromKey(string(data[off : off+int(l)]))
+			off += int(l)
+		}
+	}
+	if withProv {
+		nIdx, n := binary.Uvarint(data[off:])
+		if n <= 0 || nIdx > 1<<28 {
+			return nil, 0, errors.New("engine: bad prov index count")
+		}
+		off += n
+		idxs = make([]uint64, nIdx)
+		for i := range idxs {
+			v, n := binary.Uvarint(data[off:])
+			if n <= 0 {
+				return nil, 0, errors.New("engine: bad prov index")
+			}
+			idxs[i] = v
+			off += n
+		}
+	}
+	rows, err := tuple.DecodeBatch(data[off:])
+	if err != nil {
+		return nil, 0, err
+	}
+	if withProv && len(idxs) != len(rows) {
+		return nil, 0, errors.New("engine: prov index count mismatch")
+	}
+	ts := make([]Tup, len(rows))
+	for i, r := range rows {
+		ts[i] = Tup{Row: r, Phase: phase}
+		if withProv {
+			id := idxs[i]
+			if id >= uint64(len(provs)) {
+				return nil, 0, errors.New("engine: prov index out of range")
+			}
+			ts[i].Prov = provs[id].Clone()
+		}
+	}
+	return ts, phase, nil
+}
+
+// --- exchange producer (rehash) ---
+
+// cachedTup is a produced tuple retained for replay, with its routing hash
+// and the node it was last sent to. Replay resends exactly the entries
+// whose last destination has failed: entries routed by the recovery table
+// (a concurrent push after the table swap) must not be sent twice.
+type cachedTup struct {
+	t      Tup
+	h      keyspace.Key
+	sentTo ring.NodeID
+}
+
+// exchProducer is the sending half of a rehash: it partitions its input by
+// hash of the key columns, batches per destination, and retains an output
+// cache so that tuples sent to a node that later fails can be recreated
+// without redoing the upstream work (§V-D stage 4).
+type exchProducer struct {
+	ex     *executor
+	exchID int
+	keys   []int
+
+	mu      sync.Mutex
+	pending map[ring.NodeID][]Tup
+	cache   []cachedTup
+}
+
+func newExchProducer(ex *executor, exchID int, keys []int) *exchProducer {
+	return &exchProducer{
+		ex:      ex,
+		exchID:  exchID,
+		keys:    keys,
+		pending: make(map[ring.NodeID][]Tup),
+	}
+}
+
+func (p *exchProducer) routeHash(row tuple.Row) keyspace.Key {
+	return keyspace.Hash(tuple.EncodeKey(row, p.keys))
+}
+
+func (p *exchProducer) push(ts []Tup) {
+	var flushes []flushUnit
+	p.mu.Lock()
+	// The routing table must be read inside the cache critical section:
+	// replay() holds the same lock after the recovery table is installed,
+	// so every cache entry is either scanned by replay or routed by the
+	// recovery table — never routed to a dead node and missed by replay.
+	table := p.ex.currentTable()
+	for _, t := range ts {
+		h := p.routeHash(t.Row)
+		dest := table.Owner(h)
+		if p.ex.opts.Provenance {
+			p.cache = append(p.cache, cachedTup{t: t, h: h, sentTo: dest})
+		}
+		p.pending[dest] = append(p.pending[dest], t)
+		if len(p.pending[dest]) >= flushRows {
+			flushes = append(flushes, flushUnit{dest: dest, ts: p.pending[dest]})
+			p.pending[dest] = nil
+		}
+	}
+	p.mu.Unlock()
+	for _, f := range flushes {
+		p.ex.sendExchBatch(p.exchID, f.dest, f.ts)
+	}
+}
+
+type flushUnit struct {
+	dest ring.NodeID
+	ts   []Tup
+}
+
+// eos flushes all pending batches and broadcasts end-of-stream for the
+// current phase to every live node (§V-B: the rehash operator cannot
+// complete until its data is fully delivered; per-link FIFO ordering plus
+// the trailing EOS marker provide that guarantee).
+func (p *exchProducer) eos(phase uint32) {
+	p.mu.Lock()
+	flushes := make([]flushUnit, 0, len(p.pending))
+	for dest, ts := range p.pending {
+		if len(ts) > 0 {
+			flushes = append(flushes, flushUnit{dest: dest, ts: ts})
+		}
+	}
+	p.pending = make(map[ring.NodeID][]Tup)
+	p.mu.Unlock()
+	for _, f := range flushes {
+		p.ex.sendExchBatch(p.exchID, f.dest, f.ts)
+	}
+	p.ex.broadcastExchEOS(p.exchID, phase)
+}
+
+// replay re-sends cached clean tuples whose last destination has since
+// failed, now routed by the recovery table and tagged with the new phase.
+// Tainted cache entries are dropped: the upstream restart will regenerate
+// them. Entries already routed by the recovery table (by a push concurrent
+// with the table swap) are left alone — resending them would duplicate.
+func (p *exchProducer) replay(failed Prov, newTable *ring.Table, newPhase uint32) {
+	p.mu.Lock()
+	kept := p.cache[:0]
+	byDest := make(map[ring.NodeID][]Tup)
+	for _, c := range p.cache {
+		if c.t.Prov.Intersects(failed) {
+			continue
+		}
+		if !newTable.Contains(c.sentTo) {
+			c.sentTo = newTable.Owner(c.h)
+			t := c.t
+			t.Phase = newPhase
+			byDest[c.sentTo] = append(byDest[c.sentTo], t)
+		}
+		kept = append(kept, c)
+	}
+	p.cache = kept
+	p.mu.Unlock()
+
+	for dest, ts := range byDest {
+		p.ex.sendExchBatch(p.exchID, dest, ts)
+	}
+}
+
+// --- exchange consumer ---
+
+// exchConsumer is the receiving half of a rehash on one node: it filters
+// tainted tuples, stamps the local node into each tuple's provenance, and
+// tracks per-phase end-of-stream from every live producer.
+type exchConsumer struct {
+	ex  *executor
+	out sink
+
+	mu         sync.Mutex
+	eosFrom    map[uint32]map[ring.NodeID]bool
+	firedPhase map[uint32]bool
+}
+
+func newExchConsumer(ex *executor, out sink) *exchConsumer {
+	return &exchConsumer{
+		ex:         ex,
+		out:        out,
+		eosFrom:    make(map[uint32]map[ring.NodeID]bool),
+		firedPhase: make(map[uint32]bool),
+	}
+}
+
+// receive processes an incoming batch (possibly from an earlier phase —
+// clean tuples from live nodes remain valid; tainted ones are dropped).
+func (c *exchConsumer) receive(ts []Tup) {
+	ts = c.ex.filterAndStamp(ts)
+	if len(ts) > 0 {
+		c.out.push(ts)
+	}
+}
+
+// eosFromNode records a producer's end-of-stream for a phase and fires
+// downstream EOS when every live node has finished the current phase.
+func (c *exchConsumer) eosFromNode(from ring.NodeID, phase uint32) {
+	c.mu.Lock()
+	m := c.eosFrom[phase]
+	if m == nil {
+		m = make(map[ring.NodeID]bool)
+		c.eosFrom[phase] = m
+	}
+	m[from] = true
+	fire, donePhase := c.completeLocked()
+	c.mu.Unlock()
+	if fire {
+		c.out.eos(donePhase)
+	}
+}
+
+// recheck re-evaluates completion (called after recovery changes the live
+// set or phase).
+func (c *exchConsumer) recheck() {
+	c.mu.Lock()
+	fire, donePhase := c.completeLocked()
+	c.mu.Unlock()
+	if fire {
+		c.out.eos(donePhase)
+	}
+}
+
+func (c *exchConsumer) completeLocked() (bool, uint32) {
+	phase := c.ex.phaseNow()
+	if c.firedPhase[phase] {
+		return false, phase
+	}
+	m := c.eosFrom[phase]
+	for _, id := range c.ex.liveMembers() {
+		if !m[id] {
+			return false, phase
+		}
+	}
+	c.firedPhase[phase] = true
+	return true, phase
+}
+
+// --- ship ---
+
+// shipProducer sends final fragment output to the query initiator
+// (Table I, ship).
+type shipProducer struct {
+	ex *executor
+
+	mu      sync.Mutex
+	pending []Tup
+}
+
+func (s *shipProducer) push(ts []Tup) {
+	var flush []Tup
+	s.mu.Lock()
+	s.pending = append(s.pending, ts...)
+	if len(s.pending) >= flushRows {
+		flush = s.pending
+		s.pending = nil
+	}
+	s.mu.Unlock()
+	if flush != nil {
+		s.ex.sendShipBatch(flush)
+	}
+}
+
+func (s *shipProducer) eos(phase uint32) {
+	s.mu.Lock()
+	flush := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+	if len(flush) > 0 {
+		s.ex.sendShipBatch(flush)
+	}
+	s.ex.sendShipEOS(phase)
+}
+
+// shipConsumer collects results at the initiator, purging tainted rows on
+// recovery. It signals each phase whose EOS wave completes on completeCh;
+// the initiator's run loop accepts a completion only if that phase is still
+// current — a completion that races with a failure detection is stale and
+// ignored (§V-D: phases differentiate old in-flight data from recomputed
+// results).
+type shipConsumer struct {
+	ex *executor
+
+	mu         sync.Mutex
+	rows       []Tup
+	eosFrom    map[uint32]map[ring.NodeID]bool
+	statsBy    map[ring.NodeID]NodeStats
+	firedPhase map[uint32]bool
+	completeCh chan uint32
+}
+
+func newShipConsumer(ex *executor) *shipConsumer {
+	return &shipConsumer{
+		ex:         ex,
+		eosFrom:    make(map[uint32]map[ring.NodeID]bool),
+		statsBy:    make(map[ring.NodeID]NodeStats),
+		firedPhase: make(map[uint32]bool),
+		completeCh: make(chan uint32, 16),
+	}
+}
+
+func (s *shipConsumer) receive(ts []Tup) {
+	ts = s.ex.filterTainted(ts)
+	s.mu.Lock()
+	s.rows = append(s.rows, ts...)
+	s.mu.Unlock()
+}
+
+func (s *shipConsumer) eosFromNode(from ring.NodeID, phase uint32, st NodeStats) {
+	s.mu.Lock()
+	m := s.eosFrom[phase]
+	if m == nil {
+		m = make(map[ring.NodeID]bool)
+		s.eosFrom[phase] = m
+	}
+	m[from] = true
+	s.statsBy[from] = st
+	s.completeLocked()
+	s.mu.Unlock()
+}
+
+// purge drops tainted collected rows (recovery at the initiator).
+func (s *shipConsumer) purge(failed Prov) {
+	s.mu.Lock()
+	kept := s.rows[:0]
+	for _, t := range s.rows {
+		if !t.Prov.Intersects(failed) {
+			kept = append(kept, t)
+		}
+	}
+	s.rows = kept
+	s.mu.Unlock()
+}
+
+func (s *shipConsumer) recheck() {
+	s.mu.Lock()
+	s.completeLocked()
+	s.mu.Unlock()
+}
+
+func (s *shipConsumer) completeLocked() {
+	phase := s.ex.phaseNow()
+	if s.firedPhase[phase] {
+		return
+	}
+	m := s.eosFrom[phase]
+	for _, id := range s.ex.liveMembers() {
+		if !m[id] {
+			return
+		}
+	}
+	s.firedPhase[phase] = true
+	select {
+	case s.completeCh <- phase:
+	default:
+	}
+}
+
+// results returns the collected rows (after done fires).
+func (s *shipConsumer) results() []Tup {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rows
+}
+
+// nodeStats returns the per-node counters reported with ship EOS.
+func (s *shipConsumer) nodeStats() map[ring.NodeID]NodeStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[ring.NodeID]NodeStats, len(s.statsBy))
+	for k, v := range s.statsBy {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,1153 @@
+package engine
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"orchestra/internal/cluster"
+	"orchestra/internal/ring"
+	"orchestra/internal/transport"
+	"orchestra/internal/tuple"
+	"orchestra/internal/vstore"
+)
+
+// Message types used by the query engine (storage types live in 0x0100+).
+const (
+	msgPrepare   transport.MsgType = 0x0200 // RPC: disseminate plan + snapshot
+	msgBegin     transport.MsgType = 0x0201 // start leaf operations
+	msgExchBatch transport.MsgType = 0x0202 // rehash data block
+	msgExchEOS   transport.MsgType = 0x0203 // rehash end-of-stream for a phase
+	msgScanIDs   transport.MsgType = 0x0204 // index node → data node tuple IDs
+	msgScanDone  transport.MsgType = 0x0205 // index-side completion marker
+	msgShipBatch transport.MsgType = 0x0206 // results to the query initiator
+	msgShipEOS   transport.MsgType = 0x0207 // fragment completion + stats
+	msgRecover   transport.MsgType = 0x0208 // incremental recovery directive
+	msgCancel    transport.MsgType = 0x0209 // abandon the query
+)
+
+// RecoveryMode selects how the initiator reacts to a node failure during
+// query execution (§V-D).
+type RecoveryMode uint8
+
+const (
+	// RecoverFail aborts the query and reports the failure to the caller.
+	RecoverFail RecoveryMode = iota
+	// RecoverRestart terminates and restarts the query over the remaining
+	// nodes (§V-D "one option ... is to terminate and restart").
+	RecoverRestart
+	// RecoverIncremental recomputes only the portions of the query state
+	// affected by the failed node (§V-D stages 1-4).
+	RecoverIncremental
+)
+
+func (m RecoveryMode) String() string {
+	switch m {
+	case RecoverFail:
+		return "fail"
+	case RecoverRestart:
+		return "restart"
+	case RecoverIncremental:
+		return "incremental"
+	default:
+		return fmt.Sprintf("RecoveryMode(%d)", uint8(m))
+	}
+}
+
+// Options configures one query execution.
+type Options struct {
+	// Provenance enables tagging each tuple with the set of nodes that
+	// processed it, plus the producer-side output caches — the bookkeeping
+	// required for incremental recovery (§V-D). Leaving it off removes the
+	// 2-7% time overhead but forces restart-on-failure.
+	Provenance bool
+	// Recovery selects the failure reaction at the initiator.
+	Recovery RecoveryMode
+	// Epoch pins the snapshot epoch; 0 means the current gossip epoch.
+	Epoch tuple.Epoch
+	// MaxRestarts bounds RecoverRestart attempts (default 3).
+	MaxRestarts int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Recovery == RecoverIncremental {
+		o.Provenance = true // incremental recovery requires provenance
+	}
+	if o.MaxRestarts <= 0 {
+		o.MaxRestarts = 3
+	}
+	return o
+}
+
+// NodeStats are the per-node work counters reported with each fragment's
+// completion, used by the experiment harness to model completion time at
+// the slowest node or link (§VI "Query Optimizer" cost logic).
+type NodeStats struct {
+	Scanned   uint64 // tuples produced by leaf scans
+	ExchSent  uint64 // tuples sent through rehash operators
+	ExchRecv  uint64 // tuples received from rehash operators
+	Shipped   uint64 // tuples shipped to the initiator
+	BytesSent uint64 // engine-layer payload bytes sent
+	BytesRecv uint64 // engine-layer payload bytes received
+}
+
+// Add accumulates counters from another snapshot.
+func (s *NodeStats) Add(o NodeStats) {
+	s.Scanned += o.Scanned
+	s.ExchSent += o.ExchSent
+	s.ExchRecv += o.ExchRecv
+	s.Shipped += o.Shipped
+	s.BytesSent += o.BytesSent
+	s.BytesRecv += o.BytesRecv
+}
+
+func encodeNodeStats(dst []byte, s NodeStats) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, s.Scanned)
+	dst = binary.BigEndian.AppendUint64(dst, s.ExchSent)
+	dst = binary.BigEndian.AppendUint64(dst, s.ExchRecv)
+	dst = binary.BigEndian.AppendUint64(dst, s.Shipped)
+	dst = binary.BigEndian.AppendUint64(dst, s.BytesSent)
+	dst = binary.BigEndian.AppendUint64(dst, s.BytesRecv)
+	return dst
+}
+
+func decodeNodeStats(data []byte) (NodeStats, []byte, error) {
+	if len(data) < 48 {
+		return NodeStats{}, nil, errors.New("engine: short node stats")
+	}
+	var s NodeStats
+	s.Scanned = binary.BigEndian.Uint64(data[0:])
+	s.ExchSent = binary.BigEndian.Uint64(data[8:])
+	s.ExchRecv = binary.BigEndian.Uint64(data[16:])
+	s.Shipped = binary.BigEndian.Uint64(data[24:])
+	s.BytesSent = binary.BigEndian.Uint64(data[32:])
+	s.BytesRecv = binary.BigEndian.Uint64(data[40:])
+	return s, data[48:], nil
+}
+
+// statsCounters is the live (atomic) form of NodeStats.
+type statsCounters struct {
+	scanned   atomic.Uint64
+	exchSent  atomic.Uint64
+	exchRecv  atomic.Uint64
+	shipped   atomic.Uint64
+	bytesSent atomic.Uint64
+	bytesRecv atomic.Uint64
+}
+
+func (s *statsCounters) addScanned(n int)  { s.scanned.Add(uint64(n)) }
+func (s *statsCounters) addExchSent(n int) { s.exchSent.Add(uint64(n)) }
+func (s *statsCounters) addExchRecv(n int) { s.exchRecv.Add(uint64(n)) }
+func (s *statsCounters) addShipped(n int)  { s.shipped.Add(uint64(n)) }
+func (s *statsCounters) addSentBytes(n int) {
+	s.bytesSent.Add(uint64(n))
+}
+func (s *statsCounters) addRecvBytes(n int) {
+	s.bytesRecv.Add(uint64(n))
+}
+
+func (s *statsCounters) snapshot() NodeStats {
+	return NodeStats{
+		Scanned:   s.scanned.Load(),
+		ExchSent:  s.exchSent.Load(),
+		ExchRecv:  s.exchRecv.Load(),
+		Shipped:   s.shipped.Load(),
+		BytesSent: s.bytesSent.Load(),
+		BytesRecv: s.bytesRecv.Load(),
+	}
+}
+
+// Result is a completed query's answer set and execution metadata.
+type Result struct {
+	// Rows is the final answer set (after initiator-side final operators).
+	Rows []tuple.Row
+	// Stats maps each participating node to its work counters (the last
+	// report received from each).
+	Stats map[ring.NodeID]NodeStats
+	// Phases is 1 + the number of incremental recovery invocations.
+	Phases uint32
+	// Restarts counts full restarts performed (RecoverRestart mode).
+	Restarts int
+	// Epoch is the snapshot epoch the query executed against.
+	Epoch tuple.Epoch
+}
+
+// TotalStats sums the per-node counters.
+func (r *Result) TotalStats() NodeStats {
+	var t NodeStats
+	for _, s := range r.Stats {
+		t.Add(s)
+	}
+	return t
+}
+
+// Engine is the per-node distributed query processor. Exactly one Engine is
+// attached to each cluster node; it registers the engine message handlers
+// on the node's transport endpoint and hosts one executor per in-flight
+// query (local or remote).
+type Engine struct {
+	node *cluster.Node
+
+	mu    sync.Mutex
+	execs map[uint64]*executor
+	nextQ uint32
+}
+
+// New attaches a query engine to a storage node.
+func New(node *cluster.Node) *Engine {
+	e := &Engine{
+		node:  node,
+		execs: make(map[uint64]*executor),
+	}
+	e.registerHandlers()
+	node.OnPeerDown(e.peerDown)
+	return e
+}
+
+// Node returns the storage node this engine is attached to.
+func (e *Engine) Node() *cluster.Node { return e.node }
+
+// newQueryID derives a globally unique query identifier: the initiator's
+// hashed identity in the top 32 bits, a local counter below.
+func (e *Engine) newQueryID() uint64 {
+	h := fnv.New32a()
+	h.Write([]byte(e.node.ID()))
+	e.mu.Lock()
+	e.nextQ++
+	q := e.nextQ
+	e.mu.Unlock()
+	return uint64(h.Sum32())<<32 | uint64(q)
+}
+
+func (e *Engine) getExec(q uint64) *executor {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.execs[q]
+}
+
+func (e *Engine) putExec(q uint64, ex *executor) {
+	e.mu.Lock()
+	e.execs[q] = ex
+	e.mu.Unlock()
+}
+
+func (e *Engine) dropExec(q uint64) {
+	e.mu.Lock()
+	delete(e.execs, q)
+	e.mu.Unlock()
+}
+
+// peerDown reacts to a node failure: initiator-side executors start
+// recovery per their options; remote executors whose initiator died are
+// abandoned.
+func (e *Engine) peerDown(id ring.NodeID) {
+	e.mu.Lock()
+	var affected []*executor
+	for _, ex := range e.execs {
+		affected = append(affected, ex)
+	}
+	e.mu.Unlock()
+	for _, ex := range affected {
+		if ex.initiator == e.node.ID() {
+			ex.handleFailure(id)
+		} else if ex.initiator == id {
+			e.dropExec(ex.queryID)
+		}
+	}
+}
+
+// --- executor ---
+
+// executor is the per-query, per-node execution state: the instantiated
+// operator graph, the routing-table snapshot (and successive recovery
+// tables), the phase counter, and the provenance bookkeeping.
+type executor struct {
+	eng     *Engine
+	queryID uint64
+	plan    *Plan
+	opts    Options
+	epoch   tuple.Epoch
+	metas   map[string]*relMeta
+
+	initiator ring.NodeID
+	snapshot  *ring.Table // phase-0 table; member indices = provenance bits
+	selfIdx   int
+
+	mu        sync.Mutex
+	table     *ring.Table // current (recovery) table
+	phase     uint32
+	failed    Prov       // accumulated failed snapshot-member indices
+	recoverMu sync.Mutex // serializes applyRecover invocations
+
+	scans        map[int]*scanLeaf
+	producers    map[int]*exchProducer
+	consumers    map[int]*exchConsumer
+	recoverables []recoverable
+	shipper      *shipProducer
+	shipCons     *shipConsumer // non-nil at the initiator only
+
+	failCh chan ring.NodeID // initiator: failures needing Run's attention
+	stats  statsCounters
+}
+
+func newExecutor(eng *Engine, queryID uint64, plan *Plan, opts Options, epoch tuple.Epoch,
+	initiator ring.NodeID, snap *ring.Table, metas map[string]*relMeta) (*executor, error) {
+	selfIdx, ok := snap.MemberIndex(eng.node.ID())
+	if !ok {
+		return nil, fmt.Errorf("engine: node %s not in query snapshot", eng.node.ID())
+	}
+	ex := &executor{
+		eng:       eng,
+		queryID:   queryID,
+		plan:      plan,
+		opts:      opts,
+		epoch:     epoch,
+		metas:     metas,
+		initiator: initiator,
+		snapshot:  snap,
+		selfIdx:   selfIdx,
+		table:     snap,
+		failed:    NewProv(snap.Size()),
+		scans:     make(map[int]*scanLeaf),
+		producers: make(map[int]*exchProducer),
+		consumers: make(map[int]*exchConsumer),
+	}
+	if initiator == eng.node.ID() {
+		ex.shipCons = newShipConsumer(ex)
+		ex.failCh = make(chan ring.NodeID, snap.Size())
+	}
+	ex.shipper = &shipProducer{ex: ex}
+	if err := ex.build(plan.Root, ex.shipper); err != nil {
+		return nil, err
+	}
+	return ex, nil
+}
+
+// build instantiates the operator graph: out is the sink consuming node n's
+// output; scan leaves and exchange halves register themselves for message
+// dispatch and recovery.
+func (ex *executor) build(n Node, out sink) error {
+	switch t := n.(type) {
+	case *ScanNode:
+		meta := ex.metas[t.Relation]
+		leaf := newScanLeaf(ex, t, meta, out)
+		ex.scans[t.ScanID] = leaf
+		return nil
+	case *SelectNode:
+		return ex.build(t.Child, &selectOp{pred: t.Pred, out: out})
+	case *ProjectNode:
+		return ex.build(t.Child, &projectOp{cols: t.Cols, out: out})
+	case *ComputeNode:
+		return ex.build(t.Child, &computeOp{exprs: t.Exprs, out: out})
+	case *JoinNode:
+		j := newJoinOp(t.LeftKeys, t.RightKeys, ex.phaseNow, out)
+		ex.recoverables = append(ex.recoverables, j)
+		if err := ex.build(t.Left, joinSide{j: j, left: true}); err != nil {
+			return err
+		}
+		return ex.build(t.Right, joinSide{j: j, left: false})
+	case *AggNode:
+		a := newAggOp(t.GroupCols, t.Aggs, t.Mode, ex.opts.Provenance, ex.phaseNow, out)
+		ex.recoverables = append(ex.recoverables, a)
+		return ex.build(t.Child, a)
+	case *RehashNode:
+		cons := newExchConsumer(ex, out)
+		ex.consumers[t.ExchID] = cons
+		prod := newExchProducer(ex, t.ExchID, t.Keys)
+		ex.producers[t.ExchID] = prod
+		return ex.build(t.Child, prod)
+	default:
+		return fmt.Errorf("engine: unknown plan node %T", n)
+	}
+}
+
+// --- executor accessors used by operators ---
+
+func (ex *executor) self() ring.NodeID { return ex.eng.node.ID() }
+
+func (ex *executor) currentTable() *ring.Table {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	return ex.table
+}
+
+func (ex *executor) phaseNow() uint32 {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	return ex.phase
+}
+
+func (ex *executor) liveMembers() []ring.NodeID {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	return ex.table.Members()
+}
+
+func (ex *executor) failedProv() Prov {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	return ex.failed.Clone()
+}
+
+// originTup wraps a freshly scanned row with this node's provenance stamp.
+func (ex *executor) originTup(row tuple.Row, phase uint32) Tup {
+	t := Tup{Row: row, Phase: phase}
+	if ex.opts.Provenance {
+		t.Prov = ProvOf(ex.snapshot.Size(), ex.selfIdx)
+	}
+	return t
+}
+
+// filterAndStamp drops tainted tuples and stamps this node into the
+// provenance of the survivors (the node has now processed them).
+func (ex *executor) filterAndStamp(ts []Tup) []Tup {
+	if !ex.opts.Provenance {
+		return ts
+	}
+	failed := ex.failedProv()
+	kept := ts[:0]
+	for _, t := range ts {
+		if t.Prov.Intersects(failed) {
+			continue
+		}
+		if t.Prov == nil {
+			t.Prov = NewProv(ex.snapshot.Size())
+		}
+		t.Prov.Set(ex.selfIdx)
+		kept = append(kept, t)
+	}
+	return kept
+}
+
+// filterTainted drops tainted tuples without stamping (initiator side).
+func (ex *executor) filterTainted(ts []Tup) []Tup {
+	if !ex.opts.Provenance {
+		return ts
+	}
+	failed := ex.failedProv()
+	kept := ts[:0]
+	for _, t := range ts {
+		if !t.Prov.Intersects(failed) {
+			kept = append(kept, t)
+		}
+	}
+	return kept
+}
+
+// cloneTups deep-copies provenance for loopback delivery, where sender and
+// receiver would otherwise share (and mutate) the same bitsets.
+func cloneTups(ts []Tup) []Tup {
+	out := make([]Tup, len(ts))
+	for i, t := range ts {
+		out[i] = Tup{Row: t.Row, Prov: t.Prov.Clone(), Phase: t.Phase}
+	}
+	return out
+}
+
+// --- message sending ---
+
+func (ex *executor) header(dst []byte) []byte {
+	return binary.BigEndian.AppendUint64(dst, ex.queryID)
+}
+
+// sendExchBatch delivers a rehash block to dest (loopback bypasses the
+// network, mirroring a real deployment where local partitions never touch
+// the wire).
+func (ex *executor) sendExchBatch(exchID int, dest ring.NodeID, ts []Tup) {
+	ex.stats.addExchSent(len(ts))
+	if dest == ex.self() {
+		if cons := ex.consumers[exchID]; cons != nil {
+			ex.stats.addExchRecv(len(ts))
+			cons.receive(cloneTups(ts))
+		}
+		return
+	}
+	body, err := encodeTupBatch(ts, ex.phaseNow(), ex.opts.Provenance)
+	if err != nil {
+		return
+	}
+	payload := ex.header(nil)
+	payload = binary.AppendUvarint(payload, uint64(exchID))
+	payload = append(payload, body...)
+	ex.stats.addSentBytes(len(payload))
+	_ = ex.eng.node.Endpoint().Send(dest, msgExchBatch, payload)
+}
+
+// broadcastExchEOS announces this node's end-of-stream for an exchange in
+// the given wave phase to every live node (including itself).
+func (ex *executor) broadcastExchEOS(exchID int, phase uint32) {
+	payload := ex.header(nil)
+	payload = binary.AppendUvarint(payload, uint64(exchID))
+	payload = binary.BigEndian.AppendUint32(payload, phase)
+	for _, id := range ex.liveMembers() {
+		if id == ex.self() {
+			if cons := ex.consumers[exchID]; cons != nil {
+				cons.eosFromNode(id, phase)
+			}
+			continue
+		}
+		ex.stats.addSentBytes(len(payload))
+		_ = ex.eng.node.Endpoint().Send(id, msgExchEOS, payload)
+	}
+}
+
+// sendScanIDs ships filtered tuple IDs from the index side to a data
+// storage node (Algorithm 1's inner request).
+func (ex *executor) sendScanIDs(scanID int, dest ring.NodeID, ids []tuple.ID) {
+	if dest == ex.self() {
+		if leaf := ex.scans[scanID]; leaf != nil {
+			leaf.addWanted(ids, ex.selfIdx)
+		}
+		return
+	}
+	payload := ex.header(nil)
+	payload = binary.AppendUvarint(payload, uint64(scanID))
+	payload = binary.AppendUvarint(payload, uint64(ex.selfIdx))
+	payload = binary.AppendUvarint(payload, uint64(len(ids)))
+	for _, id := range ids {
+		payload = binary.BigEndian.AppendUint64(payload, uint64(id.Epoch))
+		payload = binary.AppendUvarint(payload, uint64(len(id.Key)))
+		payload = append(payload, id.Key...)
+	}
+	ex.stats.addSentBytes(len(payload))
+	_ = ex.eng.node.Endpoint().Send(dest, msgScanIDs, payload)
+}
+
+// broadcastScanDone announces that this node's index-side work for a scan
+// is complete in the given wave phase.
+func (ex *executor) broadcastScanDone(scanID int, phase uint32) {
+	payload := ex.header(nil)
+	payload = binary.AppendUvarint(payload, uint64(scanID))
+	payload = binary.BigEndian.AppendUint32(payload, phase)
+	for _, id := range ex.liveMembers() {
+		if id == ex.self() {
+			if leaf := ex.scans[scanID]; leaf != nil {
+				leaf.doneMark(id, phase)
+			}
+			continue
+		}
+		ex.stats.addSentBytes(len(payload))
+		_ = ex.eng.node.Endpoint().Send(id, msgScanDone, payload)
+	}
+}
+
+// sendShipBatch delivers fragment output to the query initiator.
+func (ex *executor) sendShipBatch(ts []Tup) {
+	ex.stats.addShipped(len(ts))
+	if ex.initiator == ex.self() {
+		if ex.shipCons != nil {
+			ex.shipCons.receive(cloneTups(ts))
+		}
+		return
+	}
+	body, err := encodeTupBatch(ts, ex.phaseNow(), ex.opts.Provenance)
+	if err != nil {
+		return
+	}
+	payload := ex.header(nil)
+	payload = append(payload, body...)
+	ex.stats.addSentBytes(len(payload))
+	_ = ex.eng.node.Endpoint().Send(ex.initiator, msgShipBatch, payload)
+}
+
+// sendShipEOS reports fragment completion for the given wave phase, along
+// with this node's work counters.
+func (ex *executor) sendShipEOS(phase uint32) {
+	st := ex.stats.snapshot()
+	if ex.initiator == ex.self() {
+		if ex.shipCons != nil {
+			ex.shipCons.eosFromNode(ex.self(), phase, st)
+		}
+		return
+	}
+	payload := ex.header(nil)
+	payload = binary.BigEndian.AppendUint32(payload, phase)
+	payload = encodeNodeStats(payload, st)
+	ex.stats.addSentBytes(len(payload))
+	_ = ex.eng.node.Endpoint().Send(ex.initiator, msgShipEOS, payload)
+}
+
+// start launches the leaf operations for phase 0. Tickets are issued
+// synchronously so a recovery directive processed later can never have its
+// index work scheduled ahead of phase 0's.
+func (ex *executor) start() {
+	for _, leaf := range ex.scans {
+		tick := leaf.idxSeq.ticket()
+		go leaf.runIndexSide(0, nil, nil, tick)
+	}
+}
+
+// --- handler registration and dispatch ---
+
+func readHeader(payload []byte) (uint64, []byte, error) {
+	if len(payload) < 8 {
+		return 0, nil, errors.New("engine: short message")
+	}
+	return binary.BigEndian.Uint64(payload), payload[8:], nil
+}
+
+func (e *Engine) registerHandlers() {
+	ep := e.node.Endpoint()
+
+	ep.Handle(msgPrepare, func(from ring.NodeID, payload []byte) ([]byte, error) {
+		return nil, e.handlePrepare(payload)
+	})
+
+	ep.Handle(msgBegin, func(from ring.NodeID, payload []byte) ([]byte, error) {
+		q, _, err := readHeader(payload)
+		if err != nil {
+			return nil, err
+		}
+		if ex := e.getExec(q); ex != nil {
+			ex.start()
+		}
+		return nil, nil
+	})
+
+	ep.Handle(msgExchBatch, func(from ring.NodeID, payload []byte) ([]byte, error) {
+		q, rest, err := readHeader(payload)
+		if err != nil {
+			return nil, err
+		}
+		ex := e.getExec(q)
+		if ex == nil {
+			return nil, nil // stale or cancelled query
+		}
+		exchID, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, errors.New("engine: bad exch id")
+		}
+		ts, _, err := decodeTupBatch(rest[n:])
+		if err != nil {
+			return nil, err
+		}
+		ex.stats.addRecvBytes(len(payload))
+		ex.stats.addExchRecv(len(ts))
+		if cons := ex.consumers[int(exchID)]; cons != nil {
+			cons.receive(ts)
+		}
+		return nil, nil
+	})
+
+	ep.Handle(msgExchEOS, func(from ring.NodeID, payload []byte) ([]byte, error) {
+		q, rest, err := readHeader(payload)
+		if err != nil {
+			return nil, err
+		}
+		ex := e.getExec(q)
+		if ex == nil {
+			return nil, nil
+		}
+		exchID, n := binary.Uvarint(rest)
+		if n <= 0 || len(rest) < n+4 {
+			return nil, errors.New("engine: bad exch eos")
+		}
+		phase := binary.BigEndian.Uint32(rest[n:])
+		ex.stats.addRecvBytes(len(payload))
+		if cons := ex.consumers[int(exchID)]; cons != nil {
+			cons.eosFromNode(from, phase)
+		}
+		return nil, nil
+	})
+
+	ep.Handle(msgScanIDs, func(from ring.NodeID, payload []byte) ([]byte, error) {
+		q, rest, err := readHeader(payload)
+		if err != nil {
+			return nil, err
+		}
+		ex := e.getExec(q)
+		if ex == nil {
+			return nil, nil
+		}
+		scanID, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, errors.New("engine: bad scan id")
+		}
+		rest = rest[n:]
+		fromIdx, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, errors.New("engine: bad scan sender")
+		}
+		rest = rest[n:]
+		count, n := binary.Uvarint(rest)
+		if n <= 0 || count > 1<<26 {
+			return nil, errors.New("engine: bad scan id count")
+		}
+		rest = rest[n:]
+		ids := make([]tuple.ID, 0, count)
+		for i := uint64(0); i < count; i++ {
+			if len(rest) < 8 {
+				return nil, errors.New("engine: truncated scan id")
+			}
+			ep := tuple.Epoch(binary.BigEndian.Uint64(rest))
+			rest = rest[8:]
+			l, n := binary.Uvarint(rest)
+			if n <= 0 || len(rest) < n+int(l) {
+				return nil, errors.New("engine: truncated scan key")
+			}
+			ids = append(ids, tuple.ID{Key: string(rest[n : n+int(l)]), Epoch: ep})
+			rest = rest[n+int(l):]
+		}
+		ex.stats.addRecvBytes(len(payload))
+		if leaf := ex.scans[int(scanID)]; leaf != nil {
+			leaf.addWanted(ids, int(fromIdx))
+		}
+		return nil, nil
+	})
+
+	ep.Handle(msgScanDone, func(from ring.NodeID, payload []byte) ([]byte, error) {
+		q, rest, err := readHeader(payload)
+		if err != nil {
+			return nil, err
+		}
+		ex := e.getExec(q)
+		if ex == nil {
+			return nil, nil
+		}
+		scanID, n := binary.Uvarint(rest)
+		if n <= 0 || len(rest) < n+4 {
+			return nil, errors.New("engine: bad scan done")
+		}
+		phase := binary.BigEndian.Uint32(rest[n:])
+		ex.stats.addRecvBytes(len(payload))
+		if leaf := ex.scans[int(scanID)]; leaf != nil {
+			leaf.doneMark(from, phase)
+		}
+		return nil, nil
+	})
+
+	ep.Handle(msgShipBatch, func(from ring.NodeID, payload []byte) ([]byte, error) {
+		q, rest, err := readHeader(payload)
+		if err != nil {
+			return nil, err
+		}
+		ex := e.getExec(q)
+		if ex == nil || ex.shipCons == nil {
+			return nil, nil
+		}
+		ts, _, err := decodeTupBatch(rest)
+		if err != nil {
+			return nil, err
+		}
+		ex.stats.addRecvBytes(len(payload))
+		ex.shipCons.receive(ts)
+		return nil, nil
+	})
+
+	ep.Handle(msgShipEOS, func(from ring.NodeID, payload []byte) ([]byte, error) {
+		q, rest, err := readHeader(payload)
+		if err != nil {
+			return nil, err
+		}
+		ex := e.getExec(q)
+		if ex == nil || ex.shipCons == nil {
+			return nil, nil
+		}
+		if len(rest) < 4 {
+			return nil, errors.New("engine: short ship eos")
+		}
+		phase := binary.BigEndian.Uint32(rest)
+		st, _, err := decodeNodeStats(rest[4:])
+		if err != nil {
+			return nil, err
+		}
+		ex.stats.addRecvBytes(len(payload))
+		ex.shipCons.eosFromNode(from, phase, st)
+		return nil, nil
+	})
+
+	ep.Handle(msgRecover, func(from ring.NodeID, payload []byte) ([]byte, error) {
+		q, rest, err := readHeader(payload)
+		if err != nil {
+			return nil, err
+		}
+		ex := e.getExec(q)
+		if ex == nil {
+			return nil, nil
+		}
+		dir, err := decodeRecoverDirective(rest)
+		if err != nil {
+			return nil, err
+		}
+		// Mark the failed members synchronously, on the delivery loop:
+		// per-link FIFO guarantees the directive precedes any recovery-
+		// phase traffic from its sender, and arrival-time taint filtering
+		// (filterAndStamp, addWanted) must already see the failed bits
+		// when that traffic is processed. The heavyweight purge/replay/
+		// restart work runs off-loop.
+		ex.markFailed(dir.failedIdxs)
+		go ex.applyRecover(dir)
+		return nil, nil
+	})
+
+	ep.Handle(msgCancel, func(from ring.NodeID, payload []byte) ([]byte, error) {
+		q, _, err := readHeader(payload)
+		if err != nil {
+			return nil, err
+		}
+		e.dropExec(q)
+		return nil, nil
+	})
+}
+
+// --- prepare / dissemination ---
+
+func encodeMeta(dst []byte, name string, m *relMeta) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(name)))
+	dst = append(dst, name...)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(m.effEpoch))
+	schemaEnc := vstore.EncodeSchema(m.schema)
+	dst = binary.AppendUvarint(dst, uint64(len(schemaEnc)))
+	dst = append(dst, schemaEnc...)
+	if m.coord == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	coordEnc := vstore.EncodeCoordinator(m.coord)
+	dst = binary.AppendUvarint(dst, uint64(len(coordEnc)))
+	return append(dst, coordEnc...)
+}
+
+func decodeMeta(data []byte) (string, *relMeta, []byte, error) {
+	l, n := binary.Uvarint(data)
+	if n <= 0 || len(data) < n+int(l) {
+		return "", nil, nil, errors.New("engine: bad meta name")
+	}
+	name := string(data[n : n+int(l)])
+	data = data[n+int(l):]
+	if len(data) < 8 {
+		return "", nil, nil, errors.New("engine: bad meta epoch")
+	}
+	m := &relMeta{effEpoch: tuple.Epoch(binary.BigEndian.Uint64(data))}
+	data = data[8:]
+	l, n = binary.Uvarint(data)
+	if n <= 0 || len(data) < n+int(l) {
+		return "", nil, nil, errors.New("engine: bad meta schema")
+	}
+	schema, err := vstore.DecodeSchema(data[n : n+int(l)])
+	if err != nil {
+		return "", nil, nil, err
+	}
+	m.schema = schema
+	data = data[n+int(l):]
+	if len(data) < 1 {
+		return "", nil, nil, errors.New("engine: bad meta coord flag")
+	}
+	hasCoord := data[0] == 1
+	data = data[1:]
+	if hasCoord {
+		l, n = binary.Uvarint(data)
+		if n <= 0 || len(data) < n+int(l) {
+			return "", nil, nil, errors.New("engine: bad meta coord")
+		}
+		coord, err := vstore.DecodeCoordinator(data[n : n+int(l)])
+		if err != nil {
+			return "", nil, nil, err
+		}
+		m.coord = coord
+		data = data[n+int(l):]
+	}
+	return name, m, data, nil
+}
+
+// encodePrepare packages everything a node needs to participate: the query
+// identity, the initiator, the snapshot epoch, the options, the routing
+// table snapshot, the plan, and the resolved per-relation metadata.
+func encodePrepare(queryID uint64, initiator ring.NodeID, epoch tuple.Epoch,
+	opts Options, table *ring.Table, plan *Plan, metas map[string]*relMeta) ([]byte, error) {
+	out := binary.BigEndian.AppendUint64(nil, queryID)
+	out = binary.AppendUvarint(out, uint64(len(initiator)))
+	out = append(out, initiator...)
+	out = binary.BigEndian.AppendUint64(out, uint64(epoch))
+	var flags byte
+	if opts.Provenance {
+		flags |= 1
+	}
+	out = append(out, flags, byte(opts.Recovery))
+	tb, err := table.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	out = binary.AppendUvarint(out, uint64(len(tb)))
+	out = append(out, tb...)
+	pb := EncodePlan(plan)
+	out = binary.AppendUvarint(out, uint64(len(pb)))
+	out = append(out, pb...)
+	out = binary.AppendUvarint(out, uint64(len(metas)))
+	for name, m := range metas {
+		out = encodeMeta(out, name, m)
+	}
+	return out, nil
+}
+
+func (e *Engine) handlePrepare(payload []byte) error {
+	if len(payload) < 8 {
+		return errors.New("engine: short prepare")
+	}
+	queryID := binary.BigEndian.Uint64(payload)
+	data := payload[8:]
+	l, n := binary.Uvarint(data)
+	if n <= 0 || len(data) < n+int(l) {
+		return errors.New("engine: bad prepare initiator")
+	}
+	initiator := ring.NodeID(data[n : n+int(l)])
+	data = data[n+int(l):]
+	if len(data) < 10 {
+		return errors.New("engine: short prepare header")
+	}
+	epoch := tuple.Epoch(binary.BigEndian.Uint64(data))
+	data = data[8:]
+	opts := Options{Provenance: data[0]&1 != 0, Recovery: RecoveryMode(data[1])}
+	data = data[2:]
+	l, n = binary.Uvarint(data)
+	if n <= 0 || len(data) < n+int(l) {
+		return errors.New("engine: bad prepare table")
+	}
+	table, err := ring.UnmarshalTable(data[n : n+int(l)])
+	if err != nil {
+		return err
+	}
+	data = data[n+int(l):]
+	l, n = binary.Uvarint(data)
+	if n <= 0 || len(data) < n+int(l) {
+		return errors.New("engine: bad prepare plan")
+	}
+	plan, err := DecodePlan(data[n : n+int(l)])
+	if err != nil {
+		return err
+	}
+	data = data[n+int(l):]
+	count, n := binary.Uvarint(data)
+	if n <= 0 || count > 1<<12 {
+		return errors.New("engine: bad prepare meta count")
+	}
+	data = data[n:]
+	metas := make(map[string]*relMeta, count)
+	for i := uint64(0); i < count; i++ {
+		name, m, rest, err := decodeMeta(data)
+		if err != nil {
+			return err
+		}
+		metas[name] = m
+		data = rest
+	}
+	if e.getExec(queryID) != nil {
+		return nil // duplicate prepare (idempotent)
+	}
+	ex, err := newExecutor(e, queryID, plan, opts, epoch, initiator, table, metas)
+	if err != nil {
+		return err
+	}
+	e.putExec(queryID, ex)
+	return nil
+}
+
+// --- initiator-side execution ---
+
+// resolveMetas resolves every scanned relation's schema, effective epoch,
+// and coordinator record, so all nodes share one consistent snapshot.
+func (e *Engine) resolveMetas(ctx context.Context, p *Plan, epoch tuple.Epoch) (map[string]*relMeta, error) {
+	metas := make(map[string]*relMeta)
+	for _, rel := range p.Relations() {
+		eff, cat, ok, err := e.node.ResolveEpoch(ctx, rel, epoch)
+		if err != nil {
+			return nil, fmt.Errorf("engine: resolve %s@%d: %w", rel, epoch, err)
+		}
+		m := &relMeta{schema: cat.Schema, effEpoch: eff}
+		if ok {
+			coord, err := e.node.GetCoordinator(ctx, rel, eff)
+			if err != nil {
+				return nil, fmt.Errorf("engine: coordinator %s@%d: %w", rel, eff, err)
+			}
+			m.coord = coord
+		}
+		metas[rel] = m
+	}
+	return metas, nil
+}
+
+// Run executes a finalized plan and returns the complete, duplicate-free
+// answer set as of the snapshot epoch. Node failures during execution are
+// handled per opts.Recovery.
+func (e *Engine) Run(ctx context.Context, p *Plan, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	epoch := opts.Epoch
+	if epoch == 0 {
+		epoch = e.node.Gossip().Current()
+	}
+	snap := e.node.Table()
+	restarts := 0
+	for {
+		res, err := e.runOnce(ctx, p, opts, epoch, snap)
+		if err == nil {
+			res.Restarts = restarts
+			return res, nil
+		}
+		var fe *FailureError
+		if !errors.As(err, &fe) || opts.Recovery == RecoverFail || restarts >= opts.MaxRestarts {
+			return nil, err
+		}
+		// Restart over the remaining nodes (§V-D "terminate and restart").
+		// Incremental mode also lands here when a failure precedes query
+		// start (there is no in-flight state to recover incrementally).
+		restarts++
+		snap2, err2 := snap.WithoutNodes(fe.Failed)
+		if err2 != nil {
+			return nil, fmt.Errorf("engine: restart table: %w", err2)
+		}
+		snap = snap2
+	}
+}
+
+// FailureError reports nodes that failed during query execution when the
+// recovery mode does not (or can no longer) compensate.
+type FailureError struct {
+	Failed []ring.NodeID
+}
+
+func (e *FailureError) Error() string {
+	return fmt.Sprintf("engine: node failure during query: %v", e.Failed)
+}
+
+func (e *Engine) runOnce(ctx context.Context, p *Plan, opts Options, epoch tuple.Epoch, snap *ring.Table) (*Result, error) {
+	metas, err := e.resolveMetas(ctx, p, epoch)
+	if err != nil {
+		return nil, err
+	}
+	queryID := e.newQueryID()
+	ex, err := newExecutor(e, queryID, p, opts, epoch, e.node.ID(), snap, metas)
+	if err != nil {
+		return nil, err
+	}
+	e.putExec(queryID, ex)
+	defer func() {
+		e.dropExec(queryID)
+		ex.broadcastCancel()
+	}()
+
+	prep, err := encodePrepare(queryID, e.node.ID(), epoch, opts, snap, p, metas)
+	if err != nil {
+		return nil, err
+	}
+	// Two-round start: prepare everywhere (so every node's handlers exist
+	// before any data flows), then begin.
+	var wg sync.WaitGroup
+	errCh := make(chan error, snap.Size())
+	for _, id := range snap.Members() {
+		if id == e.node.ID() {
+			continue
+		}
+		wg.Add(1)
+		go func(id ring.NodeID) {
+			defer wg.Done()
+			rctx, cancel := context.WithTimeout(ctx, e.node.Config().RequestTimeout)
+			defer cancel()
+			if _, err := e.node.Endpoint().Request(rctx, id, msgPrepare, prep); err != nil {
+				// Report as a node failure so restart mode can retry over
+				// the remaining membership.
+				errCh <- fmt.Errorf("engine: prepare at %s (%v): %w",
+					id, err, &FailureError{Failed: []ring.NodeID{id}})
+			}
+		}(id)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	begin := ex.header(nil)
+	for _, id := range snap.Members() {
+		if id == e.node.ID() {
+			continue
+		}
+		_ = e.node.Endpoint().Send(id, msgBegin, begin)
+	}
+	ex.start()
+
+	// Wait for completion, reacting to failures per the recovery mode. A
+	// completion signal is accepted only for the current phase: if a
+	// recovery advanced the phase, earlier completions are stale.
+	var allFailed []ring.NodeID
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case id := <-ex.failCh:
+			if !ex.currentTable().Contains(id) {
+				continue // stale notification
+			}
+			allFailed = append(allFailed, id)
+			switch opts.Recovery {
+			case RecoverIncremental:
+				if err := ex.initiateRecovery(id); err != nil {
+					return nil, fmt.Errorf("engine: recovery after %s failed: %w", id, err)
+				}
+			default:
+				return nil, &FailureError{Failed: allFailed}
+			}
+		case phase := <-ex.shipCons.completeCh:
+			if phase != ex.phaseNow() {
+				continue // stale completion from before a recovery
+			}
+			rows := make([]tuple.Row, 0, len(ex.shipCons.results()))
+			for _, t := range ex.shipCons.results() {
+				rows = append(rows, t.Row)
+			}
+			final, err := applyFinalOps(p.Final, rows)
+			if err != nil {
+				return nil, err
+			}
+			stats := ex.shipCons.nodeStats()
+			return &Result{
+				Rows:   final,
+				Stats:  stats,
+				Phases: ex.phaseNow() + 1,
+				Epoch:  epoch,
+			}, nil
+		}
+	}
+}
+
+// markFailed records failed snapshot-member indices immediately, ahead of
+// the full recovery application (see the msgRecover handler).
+func (ex *executor) markFailed(idxs []int) {
+	ex.mu.Lock()
+	for _, idx := range idxs {
+		if idx >= 0 && idx < ex.snapshot.Size() {
+			ex.failed.Set(idx)
+		}
+	}
+	ex.mu.Unlock()
+}
+
+// handleFailure is invoked (from the engine's peer-down callback) on the
+// initiator when a node dies; it defers the decision to the Run loop.
+func (ex *executor) handleFailure(id ring.NodeID) {
+	if ex.failCh == nil {
+		return
+	}
+	select {
+	case ex.failCh <- id:
+	default:
+	}
+}
+
+// broadcastCancel tells all remote participants to abandon the query.
+func (ex *executor) broadcastCancel() {
+	payload := ex.header(nil)
+	for _, id := range ex.snapshot.Members() {
+		if id == ex.self() {
+			continue
+		}
+		_ = ex.eng.node.Endpoint().Send(id, msgCancel, payload)
+	}
+}

@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"orchestra/internal/tuple"
+)
+
+// applyFinalOps runs the initiator-side final processing pipeline over the
+// collected rows (§V-B: "All data is ultimately collected at the query
+// initiator node, which may do final processing, such as the last stage of
+// aggregation, or a final sort").
+func applyFinalOps(ops []FinalOp, rows []tuple.Row) ([]tuple.Row, error) {
+	for _, op := range ops {
+		switch f := op.(type) {
+		case *FinalAgg:
+			rows = mergeFinal(f.GroupCols, f.Aggs, rows)
+		case *FinalSort:
+			sortRows(rows, f.Keys)
+		case *FinalCompute:
+			for i, row := range rows {
+				out := make(tuple.Row, len(f.Exprs))
+				for j, e := range f.Exprs {
+					out[j] = e.Eval(row)
+				}
+				rows[i] = out
+			}
+		case *FinalLimit:
+			if len(rows) > f.N {
+				rows = rows[:f.N]
+			}
+		default:
+			return nil, fmt.Errorf("engine: unknown final op %T", op)
+		}
+	}
+	return rows, nil
+}
+
+// sortRows orders rows by the sort keys (stable, so equal keys preserve
+// arrival order for deterministic tests downstream of a prior sort).
+func sortRows(rows []tuple.Row, keys []SortKey) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range keys {
+			c := rows[i][k.Col].Cmp(rows[j][k.Col])
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}

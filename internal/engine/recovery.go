@@ -1,0 +1,200 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"orchestra/internal/ring"
+)
+
+// recoverDirective is the initiator's recovery broadcast (§V-D): the new
+// phase number, the snapshot-member indices of ALL nodes failed so far
+// (cumulative, so that directives are order-insensitive), and the recovery
+// routing table (survivors keep their ranges; failed ranges are split among
+// the failed node's replicas).
+type recoverDirective struct {
+	newPhase   uint32
+	failedIdxs []int
+	newTable   *ring.Table
+}
+
+func encodeRecoverDirective(d recoverDirective) ([]byte, error) {
+	out := binary.BigEndian.AppendUint32(nil, d.newPhase)
+	out = binary.AppendUvarint(out, uint64(len(d.failedIdxs)))
+	for _, idx := range d.failedIdxs {
+		out = binary.AppendUvarint(out, uint64(idx))
+	}
+	tb, err := d.newTable.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	out = binary.AppendUvarint(out, uint64(len(tb)))
+	return append(out, tb...), nil
+}
+
+func decodeRecoverDirective(data []byte) (recoverDirective, error) {
+	var d recoverDirective
+	if len(data) < 4 {
+		return d, errors.New("engine: short recover directive")
+	}
+	d.newPhase = binary.BigEndian.Uint32(data)
+	data = data[4:]
+	count, n := binary.Uvarint(data)
+	if n <= 0 || count > 1<<16 {
+		return d, errors.New("engine: bad failed count")
+	}
+	data = data[n:]
+	for i := uint64(0); i < count; i++ {
+		idx, n := binary.Uvarint(data)
+		if n <= 0 {
+			return d, errors.New("engine: bad failed index")
+		}
+		d.failedIdxs = append(d.failedIdxs, int(idx))
+		data = data[n:]
+	}
+	l, n := binary.Uvarint(data)
+	if n <= 0 || len(data) < n+int(l) {
+		return d, errors.New("engine: bad recover table")
+	}
+	table, err := ring.UnmarshalTable(data[n : n+int(l)])
+	if err != nil {
+		return d, err
+	}
+	d.newTable = table
+	return d, nil
+}
+
+// initiateRecovery runs at the query initiator when a node failure is
+// detected mid-query with incremental recovery enabled. It determines the
+// change in range assignment (stage 1 of §V-D), then broadcasts the
+// directive so every live node performs stages 2-4.
+func (ex *executor) initiateRecovery(failed ring.NodeID) error {
+	ex.mu.Lock()
+	if !ex.table.Contains(failed) {
+		ex.mu.Unlock()
+		return nil // already handled
+	}
+	idx, ok := ex.snapshot.MemberIndex(failed)
+	if !ok {
+		ex.mu.Unlock()
+		return fmt.Errorf("engine: failed node %s not in snapshot", failed)
+	}
+	newTable, err := ex.table.WithoutNodes([]ring.NodeID{failed})
+	if err != nil {
+		ex.mu.Unlock()
+		return err
+	}
+	// Cumulative failed set: every index failed so far plus the new one,
+	// so a node that misses or reorders directives still converges.
+	failedIdxs := []int{idx}
+	for i := 0; i < ex.snapshot.Size(); i++ {
+		if ex.failed.Has(i) {
+			failedIdxs = append(failedIdxs, i)
+		}
+	}
+	dir := recoverDirective{
+		newPhase:   ex.phase + 1,
+		failedIdxs: failedIdxs,
+		newTable:   newTable,
+	}
+	ex.mu.Unlock()
+
+	// Mark locally before any recovery traffic can possibly arrive back.
+	ex.markFailed(dir.failedIdxs)
+
+	payload := ex.header(nil)
+	body, err := encodeRecoverDirective(dir)
+	if err != nil {
+		return err
+	}
+	payload = append(payload, body...)
+	// Broadcast to the survivors, then apply locally. Per-link FIFO from
+	// the initiator guarantees every node sees the directive before any
+	// later traffic the initiator produces for the new phase.
+	for _, id := range newTable.Members() {
+		if id == ex.self() {
+			continue
+		}
+		_ = ex.eng.node.Endpoint().Send(id, msgRecover, payload)
+	}
+	ex.applyRecover(dir)
+	return nil
+}
+
+// applyRecover performs the local portion of incremental recomputation
+// (§V-D stages 2-4) on every live node:
+//
+//  2. Drop all intermediate results dependent on data from the failed
+//     nodes: purge tainted tuples from join build tables, drop tainted
+//     aggregate sub-groups, discard tainted pending scan IDs, and (at the
+//     initiator) purge tainted collected results.
+//  3. Restart leaf-level operations for the failed nodes' hash key space
+//     ranges: re-run the index side over inherited ranges.
+//  4. Re-create data that was sent to the failed nodes' ranges: replay the
+//     exchange output caches for tuples whose destination died, routed by
+//     the recovery table and tagged with the new phase.
+func (ex *executor) applyRecover(dir recoverDirective) {
+	// Serialize whole recovery applications: directives dispatched on
+	// separate goroutines must not interleave their purge/replay stages.
+	ex.recoverMu.Lock()
+	defer ex.recoverMu.Unlock()
+
+	ex.mu.Lock()
+	if dir.newPhase <= ex.phase {
+		ex.mu.Unlock()
+		return // duplicate or out-of-date directive (failed sets are
+		// cumulative, so the newer directive subsumes this one)
+	}
+	prevTable := ex.table
+	ex.table = dir.newTable
+	ex.phase = dir.newPhase
+	for _, idx := range dir.failedIdxs {
+		ex.failed.Set(idx)
+	}
+	failed := ex.failed.Clone()
+	newPhase := ex.phase
+	ex.mu.Unlock()
+
+	// Stage 2: purge tainted state everywhere.
+	for _, r := range ex.recoverables {
+		r.recover(failed)
+	}
+	for _, leaf := range ex.scans {
+		leaf.purgeTainted(failed)
+	}
+	if ex.shipCons != nil {
+		ex.shipCons.purge(failed)
+	}
+
+	// Stage 4: replay cached exchange output bound for failed nodes.
+	for _, prod := range ex.producers {
+		prod.replay(failed, dir.newTable, newPhase)
+	}
+
+	// Stage 3: restart leaf-level operations for the inherited ranges. A
+	// range is inherited if this node owns it now but did not before.
+	self := ex.self()
+	var inherited []ring.Range
+	for _, mv := range ring.Diff(prevTable, dir.newTable) {
+		if mv.To == self {
+			inherited = append(inherited, mv.Range)
+		}
+	}
+	for _, leaf := range ex.scans {
+		tick := leaf.idxSeq.ticket()
+		go leaf.runIndexSide(newPhase, inherited, prevTable, tick)
+	}
+
+	// The live set shrank and the phase advanced: re-evaluate every gate
+	// that might already hold all the markers it needs.
+	for _, leaf := range ex.scans {
+		leaf.recheck()
+	}
+	for _, cons := range ex.consumers {
+		cons.recheck()
+	}
+	if ex.shipCons != nil {
+		ex.shipCons.recheck()
+	}
+}

@@ -1,0 +1,340 @@
+package engine
+
+import (
+	"context"
+	"sync"
+
+	"orchestra/internal/cluster"
+	"orchestra/internal/ring"
+	"orchestra/internal/tuple"
+	"orchestra/internal/vstore"
+)
+
+// relMeta is the per-relation metadata resolved by the initiator and
+// shipped with the query so every node sees the same snapshot: the schema,
+// the effective modification epoch, and that epoch's coordinator record.
+type relMeta struct {
+	schema   *tuple.Schema
+	effEpoch tuple.Epoch
+	coord    *vstore.Coordinator // nil when the relation has no data at the epoch
+}
+
+// scanLeaf drives one scan operator instance on one node. It has two
+// halves, mirroring the distributed scan of Table I:
+//
+//   - The index side processes the index pages this node is responsible
+//     for (under the query snapshot; under the recovery table for later
+//     phases), filters tuple IDs with the sargable predicate, and ships ID
+//     collections to the data storage nodes — mostly itself, thanks to
+//     page/tuple colocation.
+//   - The data side accumulates wanted IDs, and when every live node has
+//     signalled that its index work for the phase is complete, retrieves
+//     the tuples in a single pass through its local hash-ID range and
+//     pushes them into the local plan.
+//
+// Covering index scans skip the data side entirely: key attributes are
+// decoded straight out of the tuple IDs (Table I, covering index scan).
+type scanLeaf struct {
+	ex   *executor
+	spec *ScanNode
+	meta *relMeta
+	out  sink
+
+	// idxSeq orders runIndexSide invocations by launch order: a later
+	// phase's index work (and its trailing done marker) must not overtake
+	// an earlier phase's ID shipments on any link, or data nodes would run
+	// their pass before all the earlier IDs arrived and strand stragglers.
+	idxSeq sequencer
+
+	// passSeq orders runPass invocations the same way on the data side:
+	// the end-of-stream a later pass propagates must follow every emission
+	// of the earlier pass on every link. A plain mutex is insufficient for
+	// either: goroutine scheduling could let wave p+1 acquire it first.
+	passSeq sequencer
+
+	mu       sync.Mutex
+	wanted   map[tuple.ID]int // tuple ID → index-node snapshot member index
+	doneFrom map[uint32]map[ring.NodeID]bool
+	passRun  map[uint32]bool
+}
+
+func newScanLeaf(ex *executor, spec *ScanNode, meta *relMeta, out sink) *scanLeaf {
+	return &scanLeaf{
+		ex:       ex,
+		spec:     spec,
+		meta:     meta,
+		out:      out,
+		wanted:   make(map[tuple.ID]int),
+		doneFrom: make(map[uint32]map[ring.NodeID]bool),
+		passRun:  make(map[uint32]bool),
+	}
+}
+
+// runIndexSide performs this node's index work for a phase. For phase 0,
+// the node serves the pages whose placement it owns under the snapshot.
+// For recovery phases it serves (a) pages in ranges inherited from failed
+// nodes — re-shipped in full, since every phase-0 row from those pages is
+// tainted by the failed index node — and (b) its own pages, re-shipping
+// only IDs whose previous data owner failed (§V-D stages 3 and 4).
+func (l *scanLeaf) runIndexSide(phase uint32, inherited []ring.Range, prevTable *ring.Table, tick uint64) {
+	l.idxSeq.wait(tick)
+	defer l.idxSeq.done()
+	cur := l.ex.currentTable()
+	self := l.ex.self()
+	var coveringOut []Tup
+	if l.meta != nil && l.meta.coord != nil {
+		byDest := make(map[ring.NodeID][]tuple.ID)
+		for _, ref := range l.meta.coord.Pages {
+			placement := ref.Placement()
+			full := false
+			if phase == 0 {
+				if cur.Owner(placement) != self {
+					continue
+				}
+				full = true
+			} else {
+				inInherited := false
+				for _, r := range inherited {
+					if r.Contains(placement) {
+						inInherited = true
+						break
+					}
+				}
+				if inInherited {
+					full = true
+				} else if prevTable.Owner(placement) != self {
+					continue
+				}
+			}
+			page, err := l.loadPage(ref)
+			if err != nil {
+				continue // replicas unreachable; data side observes the gap
+			}
+			for _, id := range page.IDs {
+				if !l.spec.Pred.Match(id.Key) {
+					continue
+				}
+				if l.spec.Covering {
+					if full {
+						if row, err := id.KeyValues(); err == nil {
+							coveringOut = append(coveringOut, l.ex.originTup(tuple.Row(row), phase))
+						}
+					}
+					continue
+				}
+				owner := cur.Owner(id.Hash())
+				if !full {
+					// Resend mode: only IDs whose old data owner failed.
+					if cur.Contains(prevTable.Owner(id.Hash())) {
+						continue
+					}
+				}
+				byDest[owner] = append(byDest[owner], id)
+			}
+		}
+		for dest, ids := range byDest {
+			l.ex.sendScanIDs(l.spec.ScanID, dest, ids)
+		}
+	}
+	if l.spec.Covering {
+		if len(coveringOut) > 0 {
+			l.ex.stats.addScanned(len(coveringOut))
+			l.out.push(coveringOut)
+		}
+		l.out.eos(phase)
+		return
+	}
+	// Signal that this node's index work for the phase is complete; the
+	// marker follows all ID shipments on each link (FIFO), so data sides
+	// that have every marker have every ID. The marker carries this wave's
+	// phase, not the node's current phase, which may already be newer.
+	l.ex.broadcastScanDone(l.spec.ScanID, phase)
+}
+
+// loadPage fetches a page from the local store, falling back to replicas.
+func (l *scanLeaf) loadPage(ref vstore.PageRef) (*vstore.Page, error) {
+	kv := vstore.PageKVKey(ref.ID)
+	if data, ok := l.ex.eng.node.Store().Get(kv); ok {
+		return vstore.DecodePage(data)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), l.ex.eng.node.Config().RequestTimeout)
+	defer cancel()
+	data, err := l.ex.eng.node.GetRecord(ctx, ref.Placement(), kv)
+	if err != nil {
+		return nil, err
+	}
+	return vstore.DecodePage(data)
+}
+
+// addWanted records incoming tuple IDs from an index node. Shipments from
+// senders already known to have failed are ignored, and a failed sender
+// never displaces a clean requester: a dead node's in-flight bulk shipment
+// must not clobber the heir's re-shipped entries, or the whole block would
+// be emitted tainted and dropped downstream. (A clean entry recorded before
+// the sender's failure becomes known is removed by purgeTainted, which runs
+// after the failed bit is set.)
+func (l *scanLeaf) addWanted(ids []tuple.ID, fromIdx int) {
+	failed := l.ex.failedProv()
+	if failed.Has(fromIdx) {
+		return
+	}
+	l.mu.Lock()
+	for _, id := range ids {
+		if cur, ok := l.wanted[id]; ok && !failed.Has(cur) {
+			continue
+		}
+		l.wanted[id] = fromIdx
+	}
+	l.mu.Unlock()
+}
+
+// purgeTainted drops pending wanted IDs whose index node failed; the
+// inheriting nodes re-ship them in the new phase.
+func (l *scanLeaf) purgeTainted(failed Prov) {
+	l.mu.Lock()
+	for id, idx := range l.wanted {
+		if failed.Has(idx) {
+			delete(l.wanted, id)
+		}
+	}
+	l.mu.Unlock()
+}
+
+// doneMark records an index-side completion marker; when all live nodes
+// have finished the current phase, the data pass runs (once per phase).
+func (l *scanLeaf) doneMark(from ring.NodeID, phase uint32) {
+	l.mu.Lock()
+	m := l.doneFrom[phase]
+	if m == nil {
+		m = make(map[ring.NodeID]bool)
+		l.doneFrom[phase] = m
+	}
+	m[from] = true
+	run, passPhase, tick := l.readyLocked()
+	l.mu.Unlock()
+	if run {
+		go l.runPass(passPhase, tick)
+	}
+}
+
+// recheck re-evaluates pass readiness after a membership change.
+func (l *scanLeaf) recheck() {
+	if l.spec.Covering {
+		return
+	}
+	l.mu.Lock()
+	run, passPhase, tick := l.readyLocked()
+	l.mu.Unlock()
+	if run {
+		go l.runPass(passPhase, tick)
+	}
+}
+
+// readyLocked reports whether the current phase's pass should fire, and if
+// so claims its execution ticket. Tickets are claimed under l.mu, so pass
+// execution order always matches the (phase-monotonic) firing order.
+func (l *scanLeaf) readyLocked() (bool, uint32, uint64) {
+	phase := l.ex.phaseNow()
+	if l.passRun[phase] {
+		return false, phase, 0
+	}
+	m := l.doneFrom[phase]
+	for _, id := range l.ex.liveMembers() {
+		if !m[id] {
+			return false, phase, 0
+		}
+	}
+	l.passRun[phase] = true
+	return true, phase, l.passSeq.ticket()
+}
+
+// runPass is the data-storage-node half: a single pass through the local
+// hash-ID ranges, emitting the wanted tuple versions (§V-B: "the tuples
+// from each index page are stored nearby on disk, and are retrieved in a
+// single pass through the hash ID range for that page").
+func (l *scanLeaf) runPass(phase uint32, tick uint64) {
+	l.passSeq.wait(tick)
+	defer l.passSeq.done()
+	l.mu.Lock()
+	wanted := l.wanted
+	l.wanted = make(map[tuple.ID]int)
+	l.mu.Unlock()
+
+	store := l.ex.eng.node.Store()
+	self := l.ex.self()
+	cur := l.ex.currentTable()
+	var batch []Tup
+	flush := func() {
+		if len(batch) > 0 {
+			l.ex.stats.addScanned(len(batch))
+			l.out.push(batch)
+			batch = nil
+		}
+	}
+	emit := func(rec vstore.TupleRecord, fromIdx int) {
+		t := l.ex.originTup(rec.Row, phase)
+		if t.Prov != nil && fromIdx >= 0 {
+			t.Prov.Set(fromIdx)
+		}
+		batch = append(batch, t)
+		if len(batch) >= flushRows {
+			flush()
+		}
+	}
+
+	if len(wanted) > 0 && l.meta != nil {
+		scanRange := func(lo, hi []byte) {
+			store.Scan(lo, hi, func(k, v []byte) bool {
+				id, ok := vstore.TupleIDFromKVKey(k)
+				if !ok {
+					return true
+				}
+				fromIdx, want := wanted[id]
+				if !want {
+					return true
+				}
+				rec, err := vstore.DecodeTupleRecord(l.meta.schema, v)
+				if err != nil {
+					return true
+				}
+				delete(wanted, id)
+				emit(rec, fromIdx)
+				return true
+			})
+		}
+		for _, r := range cur.RangesOf(self) {
+			lo, hi, wrapped := vstore.TupleScanBounds(r.Lo, r.Hi)
+			if wrapped {
+				scanRange(lo, []byte("t0"))
+				scanRange([]byte("t/"), hi)
+			} else {
+				scanRange(lo, hi)
+			}
+		}
+		// Any IDs not found locally (replication lag, churn) are fetched
+		// from other replicas — the exact version, never stale data (§IV).
+		if len(wanted) > 0 {
+			ctx, cancel := context.WithTimeout(context.Background(), l.ex.eng.node.Config().RequestTimeout)
+			for id, fromIdx := range wanted {
+				data, err := l.ex.eng.node.GetRecord(ctx, id.Hash(), vstore.TupleKVKey(id))
+				if err != nil {
+					continue
+				}
+				rec, err := vstore.DecodeTupleRecord(l.meta.schema, data)
+				if err != nil {
+					continue
+				}
+				emit(rec, fromIdx)
+			}
+			cancel()
+		}
+	}
+	flush()
+	l.out.eos(phase)
+}
+
+// CoveringPred builds the scan predicate for an equality on the leading
+// key attribute.
+func CoveringPred(s *tuple.Schema, v tuple.Value) cluster.KeyPred {
+	return cluster.EqPred(s, v)
+}

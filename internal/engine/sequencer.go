@@ -1,0 +1,47 @@
+package engine
+
+import "sync"
+
+// sequencer runs critical sections strictly in ticket-issue order. It is
+// used to keep wave-ordered work (index sides, data passes) from being
+// reordered by goroutine scheduling: a goroutine launched for wave p+1 must
+// not run before the goroutine launched earlier for wave p.
+type sequencer struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	next uint64 // next ticket to issue
+	turn uint64 // ticket currently allowed to proceed
+}
+
+// ticket claims the next execution slot. Claim tickets in the order the
+// work is logically fired.
+func (s *sequencer) ticket() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.next
+	s.next++
+	return t
+}
+
+// wait blocks until it is ticket t's turn.
+func (s *sequencer) wait(t uint64) {
+	s.mu.Lock()
+	if s.cond == nil {
+		s.cond = sync.NewCond(&s.mu)
+	}
+	for s.turn != t {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// done releases the current turn to the next ticket.
+func (s *sequencer) done() {
+	s.mu.Lock()
+	if s.cond == nil {
+		s.cond = sync.NewCond(&s.mu)
+	}
+	s.turn++
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}

@@ -1,0 +1,169 @@
+// Package gossip maintains the CDSS's current epoch — the logical timestamp
+// that advances after each batch of updates is published by a peer. Per
+// paper §IV, "the current epoch can be determined through a simple 'gossip'
+// protocol and does not require a single point of failure": each node keeps
+// its highest-seen epoch and periodically pushes it to a few random peers;
+// receiving a higher epoch adopts it.
+package gossip
+
+import (
+	"context"
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"time"
+
+	"orchestra/internal/ring"
+	"orchestra/internal/transport"
+	"orchestra/internal/tuple"
+)
+
+// MsgEpoch is the transport message type used by the gossiper.
+const MsgEpoch transport.MsgType = 0x00F0
+
+// Fanout is how many random peers receive each gossip push.
+const Fanout = 3
+
+// Gossiper tracks and disseminates the current epoch on one node.
+type Gossiper struct {
+	ep transport.Endpoint
+
+	mu      sync.Mutex
+	current tuple.Epoch
+	peers   []ring.NodeID
+	rng     *rand.Rand
+	stop    chan struct{}
+	stopped bool
+}
+
+// New creates a gossiper bound to the endpoint and registers its message
+// handler. Call SetPeers and Start to begin anti-entropy.
+func New(ep transport.Endpoint, seed int64) *Gossiper {
+	g := &Gossiper{
+		ep:   ep,
+		rng:  rand.New(rand.NewSource(seed)),
+		stop: make(chan struct{}),
+	}
+	ep.Handle(MsgEpoch, func(from ring.NodeID, payload []byte) ([]byte, error) {
+		if len(payload) == 8 {
+			g.merge(tuple.Epoch(binary.BigEndian.Uint64(payload)))
+		}
+		// Reply with our (possibly newer) epoch so pulls work too.
+		return g.encodeCurrent(), nil
+	})
+	return g
+}
+
+// Current returns the highest epoch this node has seen.
+func (g *Gossiper) Current() tuple.Epoch {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.current
+}
+
+// SetPeers replaces the peer set used for pushes.
+func (g *Gossiper) SetPeers(peers []ring.NodeID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.peers = nil
+	for _, p := range peers {
+		if p != g.ep.ID() {
+			g.peers = append(g.peers, p)
+		}
+	}
+}
+
+// Advance raises the local epoch to at least e and pushes it to Fanout
+// random peers immediately. It returns the (possibly higher) local epoch.
+func (g *Gossiper) Advance(e tuple.Epoch) tuple.Epoch {
+	g.merge(e)
+	g.push()
+	return g.Current()
+}
+
+// Next claims the next epoch after everything this node has seen: the
+// publish path of §IV ("a logical timestamp (epoch) that advances after
+// each batch of updates is published by a peer").
+func (g *Gossiper) Next() tuple.Epoch {
+	g.mu.Lock()
+	g.current++
+	e := g.current
+	g.mu.Unlock()
+	g.push()
+	return e
+}
+
+func (g *Gossiper) merge(e tuple.Epoch) {
+	g.mu.Lock()
+	if e > g.current {
+		g.current = e
+	}
+	g.mu.Unlock()
+}
+
+func (g *Gossiper) encodeCurrent() []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(g.Current()))
+	return b[:]
+}
+
+// push sends the current epoch to up to Fanout random peers.
+func (g *Gossiper) push() {
+	g.mu.Lock()
+	n := len(g.peers)
+	var targets []ring.NodeID
+	if n > 0 {
+		perm := g.rng.Perm(n)
+		for i := 0; i < n && i < Fanout; i++ {
+			targets = append(targets, g.peers[perm[i]])
+		}
+	}
+	g.mu.Unlock()
+	payload := g.encodeCurrent()
+	for _, t := range targets {
+		// Best effort: unreachable peers learn the epoch later.
+		_ = g.ep.Send(t, MsgEpoch, payload)
+	}
+}
+
+// Sync pulls the current epoch from the given peers, adopting the highest
+// seen. Joining nodes use this to catch up immediately instead of waiting
+// for the next anti-entropy round.
+func (g *Gossiper) Sync(ctx context.Context, peers []ring.NodeID) tuple.Epoch {
+	for _, p := range peers {
+		if p == g.ep.ID() {
+			continue
+		}
+		resp, err := g.ep.Request(ctx, p, MsgEpoch, g.encodeCurrent())
+		if err == nil && len(resp) == 8 {
+			g.merge(tuple.Epoch(binary.BigEndian.Uint64(resp)))
+		}
+	}
+	return g.Current()
+}
+
+// Start launches periodic anti-entropy pushes at the given interval.
+func (g *Gossiper) Start(interval time.Duration) {
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-g.stop:
+				return
+			case <-ticker.C:
+				g.push()
+			}
+		}
+	}()
+}
+
+// Stop halts anti-entropy.
+func (g *Gossiper) Stop() {
+	g.mu.Lock()
+	if !g.stopped {
+		g.stopped = true
+		close(g.stop)
+	}
+	g.mu.Unlock()
+}

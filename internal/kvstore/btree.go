@@ -1,0 +1,221 @@
+// Package kvstore is an embedded ordered key-value store: an in-memory
+// B+tree over byte-string keys with optional write-ahead-log persistence.
+// It plays the role BerkeleyDB Java Edition played in the paper's prototype
+// (§VI: "uses BerkeleyDB Java Edition 3.3.69 for persistent storage of
+// data") — each ORCHESTRA node keeps its share of tuples, index pages, and
+// coordinator records in one of these stores.
+package kvstore
+
+import (
+	"bytes"
+	"sort"
+)
+
+// branching is the maximum number of keys per B+tree node. 64 keeps nodes
+// within a couple of cache lines of key headers while keeping the tree
+// shallow for millions of entries.
+const branching = 64
+
+type node struct {
+	leaf     bool
+	keys     [][]byte
+	vals     [][]byte // leaves only; parallel to keys
+	children []*node  // internal only; len(children) == len(keys)+1
+	next     *node    // leaf chain for range scans
+}
+
+func (n *node) search(key []byte) int {
+	return sort.Search(len(n.keys), func(i int) bool {
+		return bytes.Compare(n.keys[i], key) >= 0
+	})
+}
+
+// btree is the core in-memory structure; it is not safe for concurrent use
+// (Store adds locking).
+type btree struct {
+	root *node
+	size int
+}
+
+func newBtree() *btree {
+	return &btree{root: &node{leaf: true}}
+}
+
+// get returns the value and whether the key exists.
+func (t *btree) get(key []byte) ([]byte, bool) {
+	n := t.root
+	for !n.leaf {
+		i := n.search(key)
+		if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+			i++ // keys equal to the separator live in the right child
+		}
+		n = n.children[i]
+	}
+	i := n.search(key)
+	if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+		return n.vals[i], true
+	}
+	return nil, false
+}
+
+// put inserts or replaces; returns true if the key was new.
+func (t *btree) put(key, val []byte) bool {
+	k := append([]byte(nil), key...)
+	v := append([]byte(nil), val...)
+	inserted, splitKey, splitNode := t.insert(t.root, k, v)
+	if splitNode != nil {
+		newRoot := &node{
+			leaf:     false,
+			keys:     [][]byte{splitKey},
+			children: []*node{t.root, splitNode},
+		}
+		t.root = newRoot
+	}
+	if inserted {
+		t.size++
+	}
+	return inserted
+}
+
+// insert descends into n; on child split, the new right sibling and its
+// separator key bubble up.
+func (t *btree) insert(n *node, key, val []byte) (inserted bool, upKey []byte, upNode *node) {
+	if n.leaf {
+		i := n.search(key)
+		if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+			n.vals[i] = val
+			return false, nil, nil
+		}
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, nil)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = val
+		if len(n.keys) > branching {
+			upKey, upNode = t.splitLeaf(n)
+		}
+		return true, upKey, upNode
+	}
+
+	i := n.search(key)
+	if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+		i++
+	}
+	inserted, childKey, childNode := t.insert(n.children[i], key, val)
+	if childNode != nil {
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = childKey
+		n.children = append(n.children, nil)
+		copy(n.children[i+2:], n.children[i+1:])
+		n.children[i+1] = childNode
+		if len(n.keys) > branching {
+			upKey, upNode = t.splitInternal(n)
+		}
+	}
+	return inserted, upKey, upNode
+}
+
+func (t *btree) splitLeaf(n *node) ([]byte, *node) {
+	mid := len(n.keys) / 2
+	right := &node{
+		leaf: true,
+		keys: append([][]byte(nil), n.keys[mid:]...),
+		vals: append([][]byte(nil), n.vals[mid:]...),
+		next: n.next,
+	}
+	n.keys = n.keys[:mid:mid]
+	n.vals = n.vals[:mid:mid]
+	n.next = right
+	return right.keys[0], right
+}
+
+func (t *btree) splitInternal(n *node) ([]byte, *node) {
+	mid := len(n.keys) / 2
+	upKey := n.keys[mid]
+	right := &node{
+		leaf:     false,
+		keys:     append([][]byte(nil), n.keys[mid+1:]...),
+		children: append([]*node(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return upKey, right
+}
+
+// delete removes a key; returns whether it existed. Deletion is lazy: leaves
+// may underflow but remain valid, which suits ORCHESTRA's log-structured,
+// insert-dominated workload (§IV: instead of replacing a tuple we record a
+// new version; deletions are rare).
+func (t *btree) delete(key []byte) bool {
+	n := t.root
+	for !n.leaf {
+		i := n.search(key)
+		if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+			i++
+		}
+		n = n.children[i]
+	}
+	i := n.search(key)
+	if i >= len(n.keys) || !bytes.Equal(n.keys[i], key) {
+		return false
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	t.size--
+	return true
+}
+
+// leafFor returns the leaf that would contain key, for scan starts.
+func (t *btree) leafFor(key []byte) *node {
+	n := t.root
+	for !n.leaf {
+		i := n.search(key)
+		if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+			i++
+		}
+		n = n.children[i]
+	}
+	return n
+}
+
+// scan calls fn for each pair with lo <= key < hi in key order; nil lo means
+// from the start, nil hi means to the end. fn returning false stops the scan.
+func (t *btree) scan(lo, hi []byte, fn func(k, v []byte) bool) {
+	var n *node
+	var i int
+	if lo == nil {
+		n = t.root
+		for !n.leaf {
+			n = n.children[0]
+		}
+		i = 0
+	} else {
+		n = t.leafFor(lo)
+		i = n.search(lo)
+	}
+	for n != nil {
+		for ; i < len(n.keys); i++ {
+			if hi != nil && bytes.Compare(n.keys[i], hi) >= 0 {
+				return
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+		i = 0
+	}
+}
+
+// depth returns the tree height (for tests and stats).
+func (t *btree) depth() int {
+	d := 1
+	n := t.root
+	for !n.leaf {
+		d++
+		n = n.children[0]
+	}
+	return d
+}

@@ -1,0 +1,383 @@
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store is a concurrency-safe ordered key-value store, optionally durable via
+// a write-ahead log plus snapshot checkpoints.
+//
+// Durability model: every mutation is appended to the WAL before being
+// applied in memory. Checkpoint() writes a full snapshot atomically
+// (write-temp + rename) and truncates the WAL. Open replays snapshot + WAL.
+// Records carry CRC32 checksums; a torn tail is truncated on recovery, like
+// the log-structured stores that inspired the paper's storage design (§IV).
+type Store struct {
+	mu   sync.RWMutex
+	tree *btree
+
+	dir     string
+	wal     *os.File
+	walBuf  *bufio.Writer
+	walSize int64
+	sync    bool
+}
+
+const (
+	walName      = "store.wal"
+	snapName     = "store.snap"
+	snapTempName = "store.snap.tmp"
+
+	opPut    = byte(1)
+	opDelete = byte(2)
+)
+
+// NewMemory returns a volatile in-memory store.
+func NewMemory() *Store {
+	return &Store{tree: newBtree()}
+}
+
+// Open returns a durable store rooted at dir, creating it if needed and
+// recovering any existing snapshot and WAL. If syncEveryWrite is true, each
+// mutation is fsynced (slow but safest); otherwise the OS flushes the log.
+func Open(dir string, syncEveryWrite bool) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("kvstore: create dir: %w", err)
+	}
+	s := &Store{tree: newBtree(), dir: dir, sync: syncEveryWrite}
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := s.replayWAL(); err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: open wal: %w", err)
+	}
+	st, err := wal.Stat()
+	if err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("kvstore: stat wal: %w", err)
+	}
+	s.wal = wal
+	s.walSize = st.Size()
+	s.walBuf = bufio.NewWriter(wal)
+	return s, nil
+}
+
+// Close flushes and closes the WAL. The store must not be used afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.walBuf.Flush(); err != nil {
+		return err
+	}
+	err := s.wal.Close()
+	s.wal = nil
+	return err
+}
+
+// Get returns a copy of the value for key.
+func (s *Store) Get(key []byte) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.tree.get(key)
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// Has reports whether key exists.
+func (s *Store) Has(key []byte) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.tree.get(key)
+	return ok
+}
+
+// Put stores key → val (replacing any existing value).
+func (s *Store) Put(key, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.logRecord(opPut, key, val); err != nil {
+		return err
+	}
+	s.tree.put(key, val)
+	return nil
+}
+
+// Delete removes key if present; reports whether it existed.
+func (s *Store) Delete(key []byte) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.logRecord(opDelete, key, nil); err != nil {
+		return false, err
+	}
+	return s.tree.delete(key), nil
+}
+
+// Scan calls fn for every pair with lo <= key < hi in key order (nil bounds
+// are open). fn must not mutate the store; returning false stops the scan.
+// The key and value slices are only valid during the callback.
+func (s *Store) Scan(lo, hi []byte, fn func(k, v []byte) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.tree.scan(lo, hi, fn)
+}
+
+// ScanPrefix scans all keys beginning with prefix.
+func (s *Store) ScanPrefix(prefix []byte, fn func(k, v []byte) bool) {
+	if len(prefix) == 0 {
+		s.Scan(nil, nil, fn)
+		return
+	}
+	hi := prefixEnd(prefix)
+	s.Scan(prefix, hi, fn)
+}
+
+// prefixEnd returns the smallest key greater than every key with the given
+// prefix, or nil if the prefix is all 0xFF.
+func prefixEnd(prefix []byte) []byte {
+	hi := append([]byte(nil), prefix...)
+	for i := len(hi) - 1; i >= 0; i-- {
+		if hi[i] != 0xFF {
+			hi[i]++
+			return hi[:i+1]
+		}
+	}
+	return nil
+}
+
+// Len returns the number of keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.size
+}
+
+// Depth returns the B+tree height (diagnostics).
+func (s *Store) Depth() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.depth()
+}
+
+// WALSize returns the current WAL length in bytes (0 for memory stores).
+func (s *Store) WALSize() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.walSize
+}
+
+// --- WAL record format ---
+// op(1) | keyLen uvarint | key | valLen uvarint | val | crc32(4, IEEE, of all prior bytes)
+
+func appendRecord(dst []byte, op byte, key, val []byte) []byte {
+	start := len(dst)
+	dst = append(dst, op)
+	dst = binary.AppendUvarint(dst, uint64(len(key)))
+	dst = append(dst, key...)
+	dst = binary.AppendUvarint(dst, uint64(len(val)))
+	dst = append(dst, val...)
+	crc := crc32.ChecksumIEEE(dst[start:])
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], crc)
+	return append(dst, b[:]...)
+}
+
+func (s *Store) logRecord(op byte, key, val []byte) error {
+	if s.wal == nil {
+		return nil // memory-only store
+	}
+	rec := appendRecord(nil, op, key, val)
+	if _, err := s.walBuf.Write(rec); err != nil {
+		return fmt.Errorf("kvstore: wal append: %w", err)
+	}
+	if err := s.walBuf.Flush(); err != nil {
+		return fmt.Errorf("kvstore: wal flush: %w", err)
+	}
+	if s.sync {
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("kvstore: wal sync: %w", err)
+		}
+	}
+	s.walSize += int64(len(rec))
+	return nil
+}
+
+func (s *Store) replayWAL() error {
+	path := filepath.Join(s.dir, walName)
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("kvstore: open wal for replay: %w", err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(bufio.NewReader(f))
+	if err != nil {
+		return fmt.Errorf("kvstore: read wal: %w", err)
+	}
+	off := 0
+	validEnd := 0
+	for off < len(data) {
+		op, key, val, n, ok := parseRecord(data[off:])
+		if !ok {
+			break // torn tail: stop replay here
+		}
+		switch op {
+		case opPut:
+			s.tree.put(key, val)
+		case opDelete:
+			s.tree.delete(key)
+		default:
+			// Unknown op: treat as corruption, stop.
+			off = len(data) + 1
+		}
+		off += n
+		validEnd = off
+	}
+	if validEnd < len(data) {
+		// Truncate the torn tail so future appends are clean.
+		if err := os.Truncate(path, int64(validEnd)); err != nil {
+			return fmt.Errorf("kvstore: truncate torn wal: %w", err)
+		}
+	}
+	return nil
+}
+
+func parseRecord(data []byte) (op byte, key, val []byte, n int, ok bool) {
+	if len(data) < 1 {
+		return 0, nil, nil, 0, false
+	}
+	op = data[0]
+	off := 1
+	kl, m := binary.Uvarint(data[off:])
+	if m <= 0 || off+m+int(kl) > len(data) {
+		return 0, nil, nil, 0, false
+	}
+	off += m
+	key = data[off : off+int(kl)]
+	off += int(kl)
+	vl, m := binary.Uvarint(data[off:])
+	if m <= 0 || off+m+int(vl) > len(data) {
+		return 0, nil, nil, 0, false
+	}
+	off += m
+	val = data[off : off+int(vl)]
+	off += int(vl)
+	if off+4 > len(data) {
+		return 0, nil, nil, 0, false
+	}
+	want := binary.BigEndian.Uint32(data[off:])
+	if crc32.ChecksumIEEE(data[:off]) != want {
+		return 0, nil, nil, 0, false
+	}
+	return op, key, val, off + 4, true
+}
+
+// Checkpoint writes a snapshot of the full tree and truncates the WAL.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	tmp := filepath.Join(s.dir, snapTempName)
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("kvstore: create snapshot: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	writeErr := func() error {
+		var hdr [8]byte
+		binary.BigEndian.PutUint64(hdr[:], uint64(s.tree.size))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		var rec []byte
+		var failed error
+		s.tree.scan(nil, nil, func(k, v []byte) bool {
+			rec = appendRecord(rec[:0], opPut, k, v)
+			if _, err := w.Write(rec); err != nil {
+				failed = err
+				return false
+			}
+			return true
+		})
+		if failed != nil {
+			return failed
+		}
+		return w.Flush()
+	}()
+	if writeErr != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("kvstore: write snapshot: %w", writeErr)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("kvstore: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("kvstore: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapName)); err != nil {
+		return fmt.Errorf("kvstore: publish snapshot: %w", err)
+	}
+	// Truncate the WAL: everything is in the snapshot now.
+	if err := s.walBuf.Flush(); err != nil {
+		return err
+	}
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("kvstore: truncate wal: %w", err)
+	}
+	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("kvstore: rewind wal: %w", err)
+	}
+	s.walSize = 0
+	return nil
+}
+
+func (s *Store) loadSnapshot() error {
+	f, err := os.Open(filepath.Join(s.dir, snapName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("kvstore: open snapshot: %w", err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(bufio.NewReader(f))
+	if err != nil {
+		return fmt.Errorf("kvstore: read snapshot: %w", err)
+	}
+	if len(data) < 8 {
+		return errors.New("kvstore: snapshot too short")
+	}
+	count := binary.BigEndian.Uint64(data[:8])
+	off := 8
+	for i := uint64(0); i < count; i++ {
+		op, key, val, n, ok := parseRecord(data[off:])
+		if !ok || op != opPut {
+			return fmt.Errorf("kvstore: corrupt snapshot at record %d", i)
+		}
+		s.tree.put(key, val)
+		off += n
+	}
+	return nil
+}

@@ -1,0 +1,454 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGet(t *testing.T) {
+	s := NewMemory()
+	if err := s.Put([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s.Get([]byte("k1"))
+	if !ok || string(v) != "v1" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if _, ok := s.Get([]byte("missing")); ok {
+		t.Error("missing key found")
+	}
+	// Replace.
+	if err := s.Put([]byte("k1"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = s.Get([]byte("k1"))
+	if string(v) != "v2" {
+		t.Errorf("after replace Get = %q", v)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := NewMemory()
+	s.Put([]byte("a"), []byte("1"))
+	ok, err := s.Delete([]byte("a"))
+	if err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if s.Has([]byte("a")) {
+		t.Error("key still present after delete")
+	}
+	ok, _ = s.Delete([]byte("a"))
+	if ok {
+		t.Error("second delete reported existing")
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestValueIsolation(t *testing.T) {
+	s := NewMemory()
+	val := []byte("mutable")
+	s.Put([]byte("k"), val)
+	val[0] = 'X'
+	got, _ := s.Get([]byte("k"))
+	if string(got) != "mutable" {
+		t.Error("store aliases caller's value slice")
+	}
+	got[0] = 'Y'
+	got2, _ := s.Get([]byte("k"))
+	if string(got2) != "mutable" {
+		t.Error("returned slice aliases stored value")
+	}
+}
+
+func TestScanOrderedRange(t *testing.T) {
+	s := NewMemory()
+	keys := []string{"b", "d", "a", "c", "e"}
+	for _, k := range keys {
+		s.Put([]byte(k), []byte("v"+k))
+	}
+	var got []string
+	s.Scan([]byte("b"), []byte("e"), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	want := []string{"b", "c", "d"}
+	if len(got) != len(want) {
+		t.Fatalf("scan got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("scan[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanFullAndEarlyStop(t *testing.T) {
+	s := NewMemory()
+	for i := 0; i < 100; i++ {
+		s.Put([]byte(fmt.Sprintf("key%03d", i)), []byte{byte(i)})
+	}
+	n := 0
+	s.Scan(nil, nil, func(k, v []byte) bool {
+		n++
+		return true
+	})
+	if n != 100 {
+		t.Errorf("full scan visited %d", n)
+	}
+	n = 0
+	s.Scan(nil, nil, func(k, v []byte) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestScanPrefix(t *testing.T) {
+	s := NewMemory()
+	s.Put([]byte("aa1"), nil)
+	s.Put([]byte("aa2"), nil)
+	s.Put([]byte("ab1"), nil)
+	s.Put([]byte("b"), nil)
+	var got []string
+	s.ScanPrefix([]byte("aa"), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if len(got) != 2 || got[0] != "aa1" || got[1] != "aa2" {
+		t.Errorf("ScanPrefix(aa) = %v", got)
+	}
+	// Prefix of all 0xFF must scan to the end without panicking.
+	s.Put([]byte{0xFF, 0xFF, 0x01}, nil)
+	count := 0
+	s.ScanPrefix([]byte{0xFF, 0xFF}, func(k, v []byte) bool {
+		count++
+		return true
+	})
+	if count != 1 {
+		t.Errorf("ScanPrefix(ff ff) = %d entries", count)
+	}
+	// Empty prefix = full scan.
+	count = 0
+	s.ScanPrefix(nil, func(k, v []byte) bool { count++; return true })
+	if count != 5 {
+		t.Errorf("ScanPrefix(nil) = %d entries", count)
+	}
+}
+
+func TestLargeInsertMaintainsOrderAndDepth(t *testing.T) {
+	s := NewMemory()
+	const n = 50000
+	r := rand.New(rand.NewSource(1))
+	perm := r.Perm(n)
+	for _, i := range perm {
+		s.Put([]byte(fmt.Sprintf("%08d", i)), []byte{1})
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	prev := []byte(nil)
+	count := 0
+	s.Scan(nil, nil, func(k, v []byte) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("scan out of order: %s after %s", k, prev)
+		}
+		prev = append(prev[:0], k...)
+		count++
+		return true
+	})
+	if count != n {
+		t.Fatalf("scan count %d", count)
+	}
+	if d := s.Depth(); d > 5 {
+		t.Errorf("tree depth %d too deep for %d keys with branching %d", d, n, branching)
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	s := NewMemory()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				s.Put([]byte(fmt.Sprintf("w%d-%05d", w, i)), []byte("x"))
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Scan(nil, nil, func(k, v []byte) bool { return true })
+				s.Get([]byte("w0-00000"))
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 8000 {
+		t.Errorf("Len = %d, want 8000", s.Len())
+	}
+}
+
+// --- persistence ---
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Delete([]byte("k0007"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 499 {
+		t.Fatalf("recovered Len = %d, want 499", s2.Len())
+	}
+	v, ok := s2.Get([]byte("k0123"))
+	if !ok || string(v) != "val-123" {
+		t.Errorf("recovered k0123 = %q, %v", v, ok)
+	}
+	if s2.Has([]byte("k0007")) {
+		t.Error("deleted key resurrected")
+	}
+}
+
+func TestCheckpointTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		s.Put([]byte(fmt.Sprintf("k%03d", i)), bytes.Repeat([]byte("v"), 50))
+	}
+	if s.WALSize() == 0 {
+		t.Fatal("WAL should have grown")
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if s.WALSize() != 0 {
+		t.Errorf("WAL size after checkpoint = %d", s.WALSize())
+	}
+	// More writes after checkpoint, then recover from snapshot + wal.
+	s.Put([]byte("after"), []byte("checkpoint"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 101 {
+		t.Fatalf("recovered Len = %d, want 101", s2.Len())
+	}
+	if v, ok := s2.Get([]byte("after")); !ok || string(v) != "checkpoint" {
+		t.Error("post-checkpoint write lost")
+	}
+}
+
+func TestTornWALTailIsDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		s.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("value"))
+	}
+	s.Close()
+
+	// Corrupt the tail: chop some bytes off the WAL.
+	walPath := filepath.Join(dir, "store.wal")
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, false)
+	if err != nil {
+		t.Fatalf("recovery from torn WAL failed: %v", err)
+	}
+	defer s2.Close()
+	// The last record is lost, everything before survives.
+	if s2.Len() != 49 {
+		t.Errorf("recovered Len = %d, want 49", s2.Len())
+	}
+	if !s2.Has([]byte("k48")) {
+		t.Error("k48 should have survived")
+	}
+	if s2.Has([]byte("k49")) {
+		t.Error("torn record should be gone")
+	}
+}
+
+func TestCorruptWALRecordStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, false)
+	for i := 0; i < 10; i++ {
+		s.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	s.Close()
+	walPath := filepath.Join(dir, "store.wal")
+	data, _ := os.ReadFile(walPath)
+	data[len(data)/2] ^= 0xFF // flip a bit mid-log
+	os.WriteFile(walPath, data, 0o644)
+	s2, err := Open(dir, false)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer s2.Close()
+	if s2.Len() >= 10 {
+		t.Errorf("corrupted log replayed fully: len=%d", s2.Len())
+	}
+}
+
+func TestSyncEveryWriteMode(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- property test against a model ---
+
+type opKind uint8
+
+type modelOp struct {
+	Kind opKind // 0 put, 1 delete, 2 get
+	Key  uint16 // small key domain to force collisions
+	Val  uint32
+}
+
+func TestPropMatchesMapModel(t *testing.T) {
+	f := func(ops []modelOp) bool {
+		s := NewMemory()
+		model := map[string]string{}
+		for _, op := range ops {
+			k := []byte(fmt.Sprintf("key-%05d", op.Key%512))
+			switch op.Kind % 3 {
+			case 0:
+				v := []byte(fmt.Sprintf("val-%d", op.Val))
+				s.Put(k, v)
+				model[string(k)] = string(v)
+			case 1:
+				ok, _ := s.Delete(k)
+				_, inModel := model[string(k)]
+				if ok != inModel {
+					return false
+				}
+				delete(model, string(k))
+			case 2:
+				v, ok := s.Get(k)
+				mv, inModel := model[string(k)]
+				if ok != inModel || (ok && string(v) != mv) {
+					return false
+				}
+			}
+		}
+		if s.Len() != len(model) {
+			return false
+		}
+		// Full scan must equal the sorted model.
+		var modelKeys []string
+		for k := range model {
+			modelKeys = append(modelKeys, k)
+		}
+		sort.Strings(modelKeys)
+		i := 0
+		match := true
+		s.Scan(nil, nil, func(k, v []byte) bool {
+			if i >= len(modelKeys) || string(k) != modelKeys[i] || string(v) != model[modelKeys[i]] {
+				match = false
+				return false
+			}
+			i++
+			return true
+		})
+		return match && i == len(modelKeys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropRangeScanMatchesModel(t *testing.T) {
+	f := func(keys []uint16, loRaw, hiRaw uint16) bool {
+		s := NewMemory()
+		model := map[string]bool{}
+		for _, k := range keys {
+			key := fmt.Sprintf("%05d", k)
+			s.Put([]byte(key), []byte("x"))
+			model[key] = true
+		}
+		lo := fmt.Sprintf("%05d", loRaw)
+		hi := fmt.Sprintf("%05d", hiRaw)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		var got []string
+		s.Scan([]byte(lo), []byte(hi), func(k, v []byte) bool {
+			got = append(got, string(k))
+			return true
+		})
+		var want []string
+		for k := range model {
+			if k >= lo && k < hi {
+				want = append(want, k)
+			}
+		}
+		sort.Strings(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

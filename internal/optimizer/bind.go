@@ -1,0 +1,411 @@
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+
+	"orchestra/internal/engine"
+	"orchestra/internal/sql"
+	"orchestra/internal/tuple"
+)
+
+// colID identifies a base column as (FROM-position, column index).
+type colID struct {
+	table int
+	col   int
+}
+
+// binding is the name-resolved form of a query: tables with schemas and
+// stats, per-table filters, equi-join edges, residual cross-table
+// predicates, and the resolved output expressions.
+type binding struct {
+	q       *sql.Query
+	tables  []boundTable
+	byName  map[string]int // alias/name → table index
+	filters [][]sql.Expr   // per-table conjuncts (single-table references)
+	joins   []joinEdge     // equi-join conjuncts
+	cross   []sql.Expr     // other multi-table conjuncts (post-join filter)
+
+	// Column equivalence classes induced by the equi-join predicates; used
+	// to recognize co-partitioned inputs (colocated joins need no rehash).
+	classOf map[colID]int
+
+	// referenced records every base column the query touches, per table —
+	// used to choose covering index scans (Table I) when a table's key
+	// columns suffice.
+	referenced map[colID]bool
+}
+
+type boundTable struct {
+	ref    sql.TableRef
+	schema *tuple.Schema
+	stats  TableStats
+}
+
+// joinEdge is one equi-join conjunct l = r with l, r on different tables.
+type joinEdge struct {
+	l, r colID
+}
+
+// bind resolves the query against the catalog.
+func bind(q *sql.Query, cat Catalog) (*binding, error) {
+	if len(q.From) == 0 {
+		return nil, fmt.Errorf("optimizer: query has no FROM tables")
+	}
+	if len(q.From) > 31 {
+		return nil, fmt.Errorf("optimizer: too many tables (%d)", len(q.From))
+	}
+	b := &binding{
+		q:          q,
+		byName:     make(map[string]int),
+		classOf:    make(map[colID]int),
+		referenced: make(map[colID]bool),
+	}
+	for i, ref := range q.From {
+		schema, err := cat.Schema(ref.Table)
+		if err != nil {
+			return nil, err
+		}
+		stats := cat.Stats(ref.Table)
+		if stats.Rows <= 0 {
+			stats.Rows = 1000
+		}
+		name := ref.Name()
+		if _, dup := b.byName[name]; dup {
+			return nil, fmt.Errorf("optimizer: duplicate table name %q (alias needed)", name)
+		}
+		b.byName[name] = i
+		b.tables = append(b.tables, boundTable{ref: ref, schema: schema, stats: stats})
+	}
+	b.filters = make([][]sql.Expr, len(b.tables))
+
+	if q.Where != nil {
+		for _, conj := range splitConjuncts(q.Where) {
+			if err := b.placeConjunct(conj); err != nil {
+				return nil, err
+			}
+		}
+	}
+	b.buildClasses()
+	b.collectReferenced()
+	return b, nil
+}
+
+// collectReferenced walks every expression in the query and records the
+// base columns it touches. A star reference touches every column.
+func (b *binding) collectReferenced() {
+	mark := func(e sql.Expr) {
+		var walk func(sql.Expr)
+		walk = func(e sql.Expr) {
+			switch t := e.(type) {
+			case sql.ColRef:
+				if id, err := b.lookupColumn(t); err == nil {
+					b.referenced[id] = true
+				}
+			case sql.BinExpr:
+				walk(t.L)
+				walk(t.R)
+			case sql.NotExpr:
+				walk(t.E)
+			case sql.BetweenExpr:
+				walk(t.E)
+				walk(t.Lo)
+				walk(t.Hi)
+			case sql.AggExpr:
+				if t.Arg != nil {
+					walk(t.Arg)
+				}
+			}
+		}
+		walk(e)
+	}
+	for _, item := range b.q.Select {
+		if item.Star {
+			for ti, t := range b.tables {
+				for ci := range t.schema.Columns {
+					b.referenced[colID{table: ti, col: ci}] = true
+				}
+			}
+			continue
+		}
+		mark(item.Expr)
+	}
+	if b.q.Where != nil {
+		mark(b.q.Where)
+	}
+	for _, g := range b.q.GroupBy {
+		mark(g)
+	}
+	for _, o := range b.q.OrderBy {
+		mark(o.Expr)
+	}
+	for _, j := range b.joins {
+		b.referenced[j.l] = true
+		b.referenced[j.r] = true
+	}
+}
+
+// keyOnly reports whether the query touches only key columns of table ti.
+func (b *binding) keyOnly(ti int) bool {
+	t := b.tables[ti]
+	isKey := make(map[int]bool, len(t.schema.Key))
+	for _, k := range t.schema.Key {
+		isKey[k] = true
+	}
+	for id := range b.referenced {
+		if id.table == ti && !isKey[id.col] {
+			return false
+		}
+	}
+	return true
+}
+
+// splitConjuncts flattens a predicate into AND-connected conjuncts.
+func splitConjuncts(e sql.Expr) []sql.Expr {
+	if be, ok := e.(sql.BinExpr); ok && be.Op == sql.OpAnd {
+		return append(splitConjuncts(be.L), splitConjuncts(be.R)...)
+	}
+	return []sql.Expr{e}
+}
+
+// placeConjunct classifies one conjunct as a single-table filter, an
+// equi-join edge, or a residual cross-table predicate.
+func (b *binding) placeConjunct(e sql.Expr) error {
+	tables, err := b.referencedTables(e)
+	if err != nil {
+		return err
+	}
+	switch len(tables) {
+	case 0:
+		// Constant predicate: attach to the first table (evaluated there).
+		b.filters[0] = append(b.filters[0], e)
+		return nil
+	case 1:
+		for t := range tables {
+			b.filters[t] = append(b.filters[t], e)
+		}
+		return nil
+	}
+	// Equi-join pattern: col = col across two tables.
+	if be, ok := e.(sql.BinExpr); ok && be.Op == sql.OpEq {
+		lc, lok := b.resolveColRef(be.L)
+		rc, rok := b.resolveColRef(be.R)
+		if lok && rok && lc.table != rc.table {
+			b.joins = append(b.joins, joinEdge{l: lc, r: rc})
+			return nil
+		}
+	}
+	b.cross = append(b.cross, e)
+	return nil
+}
+
+// resolveColRef resolves an expression that is exactly a column reference.
+func (b *binding) resolveColRef(e sql.Expr) (colID, bool) {
+	cr, ok := e.(sql.ColRef)
+	if !ok {
+		return colID{}, false
+	}
+	id, err := b.lookupColumn(cr)
+	if err != nil {
+		return colID{}, false
+	}
+	return id, true
+}
+
+// lookupColumn resolves a (possibly unqualified) column reference.
+func (b *binding) lookupColumn(cr sql.ColRef) (colID, error) {
+	if cr.Table != "" {
+		ti, ok := b.byName[cr.Table]
+		if !ok {
+			return colID{}, fmt.Errorf("optimizer: unknown table %q in %s", cr.Table, cr)
+		}
+		ci := b.tables[ti].schema.ColumnIndex(cr.Column)
+		if ci < 0 {
+			return colID{}, fmt.Errorf("optimizer: unknown column %s", cr)
+		}
+		return colID{table: ti, col: ci}, nil
+	}
+	found := colID{table: -1}
+	for ti, t := range b.tables {
+		if ci := t.schema.ColumnIndex(cr.Column); ci >= 0 {
+			if found.table >= 0 {
+				return colID{}, fmt.Errorf("optimizer: ambiguous column %q", cr.Column)
+			}
+			found = colID{table: ti, col: ci}
+		}
+	}
+	if found.table < 0 {
+		return colID{}, fmt.Errorf("optimizer: unknown column %q", cr.Column)
+	}
+	return found, nil
+}
+
+// referencedTables collects the FROM positions referenced by e.
+func (b *binding) referencedTables(e sql.Expr) (map[int]bool, error) {
+	out := make(map[int]bool)
+	var walk func(sql.Expr) error
+	walk = func(e sql.Expr) error {
+		switch t := e.(type) {
+		case sql.ColRef:
+			id, err := b.lookupColumn(t)
+			if err != nil {
+				return err
+			}
+			out[id.table] = true
+		case sql.BinExpr:
+			if err := walk(t.L); err != nil {
+				return err
+			}
+			return walk(t.R)
+		case sql.NotExpr:
+			return walk(t.E)
+		case sql.BetweenExpr:
+			if err := walk(t.E); err != nil {
+				return err
+			}
+			if err := walk(t.Lo); err != nil {
+				return err
+			}
+			return walk(t.Hi)
+		case sql.AggExpr:
+			if t.Arg != nil {
+				return walk(t.Arg)
+			}
+		}
+		return nil
+	}
+	if err := walk(e); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// buildClasses computes column equivalence classes (union-find over the
+// equi-join edges); columns in the same class carry equal values in join
+// results, so partitioning on one is partitioning on the other.
+func (b *binding) buildClasses() {
+	parent := make(map[colID]colID)
+	var find func(c colID) colID
+	find = func(c colID) colID {
+		p, ok := parent[c]
+		if !ok || p == c {
+			return c
+		}
+		root := find(p)
+		parent[c] = root
+		return root
+	}
+	union := func(a, c colID) {
+		ra, rc := find(a), find(c)
+		if ra != rc {
+			parent[ra] = rc
+		}
+	}
+	for _, j := range b.joins {
+		union(j.l, j.r)
+	}
+	// Number the classes densely for canonical property strings.
+	ids := make(map[colID]int)
+	classID := func(c colID) int {
+		root := find(c)
+		id, ok := ids[root]
+		if !ok {
+			id = len(ids)
+			ids[root] = id
+		}
+		return id
+	}
+	for ti, t := range b.tables {
+		for ci := range t.schema.Columns {
+			c := colID{table: ti, col: ci}
+			b.classOf[c] = classID(c)
+		}
+	}
+}
+
+// propOf canonicalizes a partitioning property: the class ids of the hash
+// columns, in hash order. Matching properties mean matching tuples land on
+// the same node without a rehash.
+func (b *binding) propOf(cols []colID) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = fmt.Sprintf("%d", b.classOf[c])
+	}
+	return strings.Join(parts, ",")
+}
+
+// convertScalar lowers a scalar sql.Expr to an engine.Expr over a given
+// column layout (base-column positions). Aggregates are rejected here; the
+// aggregate path extracts them first.
+func convertScalar(e sql.Expr, resolve func(sql.ColRef) (int, error)) (engine.Expr, error) {
+	switch t := e.(type) {
+	case sql.ColRef:
+		pos, err := resolve(t)
+		if err != nil {
+			return nil, err
+		}
+		return engine.C(pos), nil
+	case sql.IntLit:
+		return engine.CI(t.V), nil
+	case sql.FloatLit:
+		return engine.CF(t.V), nil
+	case sql.StringLit:
+		return engine.CS(t.V), nil
+	case sql.NotExpr:
+		inner, err := convertScalar(t.E, resolve)
+		if err != nil {
+			return nil, err
+		}
+		return engine.Not{E: inner}, nil
+	case sql.BetweenExpr:
+		v, err := convertScalar(t.E, resolve)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := convertScalar(t.Lo, resolve)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := convertScalar(t.Hi, resolve)
+		if err != nil {
+			return nil, err
+		}
+		return engine.B(engine.OpAnd,
+			engine.B(engine.OpGe, v, lo),
+			engine.B(engine.OpLe, v, hi)), nil
+	case sql.BinExpr:
+		l, err := convertScalar(t.L, resolve)
+		if err != nil {
+			return nil, err
+		}
+		r, err := convertScalar(t.R, resolve)
+		if err != nil {
+			return nil, err
+		}
+		op, ok := binOps[t.Op]
+		if !ok {
+			return nil, fmt.Errorf("optimizer: unsupported operator %q", t.Op)
+		}
+		return engine.B(op, l, r), nil
+	case sql.AggExpr:
+		return nil, fmt.Errorf("optimizer: aggregate %s in scalar context", t)
+	default:
+		return nil, fmt.Errorf("optimizer: unsupported expression %T", e)
+	}
+}
+
+var binOps = map[string]engine.OpCode{
+	sql.OpOr:     engine.OpOr,
+	sql.OpAnd:    engine.OpAnd,
+	sql.OpEq:     engine.OpEq,
+	sql.OpNe:     engine.OpNe,
+	sql.OpLt:     engine.OpLt,
+	sql.OpLe:     engine.OpLe,
+	sql.OpGt:     engine.OpGt,
+	sql.OpGe:     engine.OpGe,
+	sql.OpAdd:    engine.OpAdd,
+	sql.OpSub:    engine.OpSub,
+	sql.OpMul:    engine.OpMul,
+	sql.OpDiv:    engine.OpDiv,
+	sql.OpConcat: engine.OpConcat,
+}

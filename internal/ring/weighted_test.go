@@ -1,0 +1,172 @@
+package ring
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"orchestra/internal/keyspace"
+)
+
+func TestWeightedProportionalShares(t *testing.T) {
+	weights := []Weight{
+		{ID: "slow", Capacity: 1},
+		{ID: "medium", Capacity: 2},
+		{ID: "fast", Capacity: 4},
+	}
+	tbl, err := NewWeighted(weights, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := tbl.CapacityShares()
+	total := 1.0 + 2 + 4
+	for _, w := range weights {
+		want := w.Capacity / total
+		if got := shares[w.ID]; math.Abs(got-want) > 0.01 {
+			t.Fatalf("%s share %f, want %f", w.ID, got, want)
+		}
+	}
+}
+
+func TestWeightedEqualMatchesBalanced(t *testing.T) {
+	ids := []NodeID{"a", "b", "c", "d", "e"}
+	var weights []Weight
+	for _, id := range ids {
+		weights = append(weights, Weight{ID: id, Capacity: 3})
+	}
+	wt, err := NewWeighted(weights, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := wt.Balance(); r > 1.01 {
+		t.Fatalf("equal weights should be uniform, ratio %f", r)
+	}
+	// Ownership lookups agree with the unweighted balanced table for a
+	// sample of keys (both divide evenly in hash order).
+	bt, err := New(ids, Balanced, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		var k [20]byte
+		rng.Read(k[:])
+		key := keyFromBytes(k[:])
+		if wt.Owner(key) != bt.Owner(key) {
+			t.Fatalf("owners diverge at %v: %s vs %s", key, wt.Owner(key), bt.Owner(key))
+		}
+	}
+}
+
+func TestWeightedProperties(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			n := 2 + rng.Intn(12)
+			ws := make([]Weight, n)
+			for i := range ws {
+				ws[i] = Weight{
+					ID:       NodeID(fmt.Sprintf("n%02d", i)),
+					Capacity: 0.5 + rng.Float64()*9.5,
+				}
+			}
+			vals[0] = reflect.ValueOf(ws)
+		},
+	}
+	f := func(ws []Weight) bool {
+		tbl, err := NewWeighted(ws, 3)
+		if err != nil {
+			return false
+		}
+		// Shares sum to 1 and each is proportional within float tolerance.
+		shares := tbl.CapacityShares()
+		total := 0.0
+		capTotal := 0.0
+		for _, w := range ws {
+			capTotal += w.Capacity
+		}
+		for _, w := range ws {
+			s := shares[w.ID]
+			total += s
+			if math.Abs(s-w.Capacity/capTotal) > 0.02 {
+				return false
+			}
+		}
+		if math.Abs(total-1) > 0.01 {
+			return false
+		}
+		// Every key has an owner that is a member, and contiguity holds:
+		// each member owns exactly one range (entry merge invariant).
+		owners := map[NodeID]int{}
+		for _, r := range tbl.Ranges() {
+			owners[r.Owner]++
+		}
+		for id, count := range owners {
+			// The first member may own a wrapped range split across the
+			// ring origin; all others own exactly one.
+			if count > 2 {
+				return false
+			}
+			if !tbl.Contains(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func keyFromBytes(b []byte) (k keyspace.Key) {
+	copy(k[:], b)
+	return k
+}
+
+func TestWeightedErrors(t *testing.T) {
+	if _, err := NewWeighted(nil, 3); err == nil {
+		t.Fatal("empty weights accepted")
+	}
+	if _, err := NewWeighted([]Weight{{ID: "a", Capacity: 0}}, 3); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := NewWeighted([]Weight{{ID: "a", Capacity: -1}}, 3); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+	if _, err := NewWeighted([]Weight{
+		{ID: "a", Capacity: 1}, {ID: "a", Capacity: 2},
+	}, 3); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+}
+
+func TestWeightedSurvivesFailures(t *testing.T) {
+	// WithoutNodes works on weighted tables too: survivors keep ranges,
+	// heirs split the failed node's range.
+	weights := []Weight{
+		{ID: "a", Capacity: 1}, {ID: "b", Capacity: 2},
+		{ID: "c", Capacity: 3}, {ID: "d", Capacity: 4},
+	}
+	tbl, err := NewWeighted(weights, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt, err := tbl.WithoutNodes([]NodeID{"c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nt.Contains("c") || nt.Size() != 3 {
+		t.Fatalf("bad recovery table: %v", nt)
+	}
+	// Survivors' own ranges are untouched.
+	for _, id := range []NodeID{"a", "b", "d"} {
+		for _, r := range tbl.RangesOf(id) {
+			if nt.Owner(r.Lo) != id {
+				t.Fatalf("%s lost its range start", id)
+			}
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Query is a single-block SELECT statement.
+type Query struct {
+	Select  []SelectItem
+	From    []TableRef
+	Where   Expr // nil when absent; conjunctions split by the optimizer
+	GroupBy []Expr
+	OrderBy []OrderItem
+	Limit   int // -1 when absent
+}
+
+// SelectItem is one output column: an expression or aggregate, optionally
+// aliased. Star expands to all columns of all FROM tables in order.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool
+}
+
+// TableRef names a base relation with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// Name returns the reference's binding name (alias if present).
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// --- expressions ---
+
+// Expr is a scalar or aggregate expression in the AST.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// ColRef references a column, optionally qualified by a table name/alias.
+type ColRef struct {
+	Table  string // "" when unqualified
+	Column string
+}
+
+func (ColRef) exprNode() {}
+
+func (c ColRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// IntLit is an integer literal.
+type IntLit struct{ V int64 }
+
+func (IntLit) exprNode()        {}
+func (l IntLit) String() string { return fmt.Sprintf("%d", l.V) }
+
+// FloatLit is a floating-point literal.
+type FloatLit struct{ V float64 }
+
+func (FloatLit) exprNode()        {}
+func (l FloatLit) String() string { return fmt.Sprintf("%g", l.V) }
+
+// StringLit is a string literal.
+type StringLit struct{ V string }
+
+func (StringLit) exprNode()        {}
+func (l StringLit) String() string { return fmt.Sprintf("'%s'", strings.ReplaceAll(l.V, "'", "''")) }
+
+// BinOp kinds, in precedence groups.
+const (
+	OpOr     = "OR"
+	OpAnd    = "AND"
+	OpEq     = "="
+	OpNe     = "<>"
+	OpLt     = "<"
+	OpLe     = "<="
+	OpGt     = ">"
+	OpGe     = ">="
+	OpAdd    = "+"
+	OpSub    = "-"
+	OpMul    = "*"
+	OpDiv    = "/"
+	OpConcat = "||"
+)
+
+// BinExpr is a binary operation.
+type BinExpr struct {
+	Op   string
+	L, R Expr
+}
+
+func (BinExpr) exprNode() {}
+
+func (b BinExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// NotExpr is logical negation.
+type NotExpr struct{ E Expr }
+
+func (NotExpr) exprNode()        {}
+func (n NotExpr) String() string { return fmt.Sprintf("NOT %s", n.E) }
+
+// BetweenExpr is `e BETWEEN lo AND hi` (inclusive).
+type BetweenExpr struct {
+	E, Lo, Hi Expr
+}
+
+func (BetweenExpr) exprNode() {}
+func (b BetweenExpr) String() string {
+	return fmt.Sprintf("(%s BETWEEN %s AND %s)", b.E, b.Lo, b.Hi)
+}
+
+// AggExpr is an aggregate function application. Col is nil for COUNT(*).
+type AggExpr struct {
+	Func string // COUNT SUM MIN MAX AVG (upper-case)
+	Arg  Expr   // nil for COUNT(*)
+}
+
+func (AggExpr) exprNode() {}
+
+func (a AggExpr) String() string {
+	if a.Arg == nil {
+		return a.Func + "(*)"
+	}
+	return fmt.Sprintf("%s(%s)", a.Func, a.Arg)
+}
+
+// ContainsAggregate reports whether the expression tree contains an
+// aggregate function application.
+func ContainsAggregate(e Expr) bool {
+	switch t := e.(type) {
+	case AggExpr:
+		return true
+	case BinExpr:
+		return ContainsAggregate(t.L) || ContainsAggregate(t.R)
+	case NotExpr:
+		return ContainsAggregate(t.E)
+	case BetweenExpr:
+		return ContainsAggregate(t.E) || ContainsAggregate(t.Lo) || ContainsAggregate(t.Hi)
+	default:
+		return false
+	}
+}
+
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, s := range q.Select {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if s.Star {
+			b.WriteString("*")
+			continue
+		}
+		b.WriteString(s.Expr.String())
+		if s.Alias != "" {
+			b.WriteString(" AS " + s.Alias)
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, t := range q.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.Table)
+		if t.Alias != "" {
+			b.WriteString(" " + t.Alias)
+		}
+	}
+	if q.Where != nil {
+		b.WriteString(" WHERE " + q.Where.String())
+	}
+	if len(q.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range q.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+	if len(q.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range q.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Expr.String())
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if q.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package sql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics drives the parser with random byte soup and random
+// token recombinations; it must return (ast, nil) or (nil, error), never
+// panic or hang.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		_, _ = Parse(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+
+	frags := []string{
+		"SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT", "AND",
+		"OR", "NOT", "COUNT", "SUM", "(", ")", ",", ".", "*", "=", "<", ">",
+		"<=", ">=", "<>", "||", "+", "-", "/", "R", "x", "42", "'s'", "BETWEEN",
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(16)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = frags[rng.Intn(len(frags))]
+		}
+		_, _ = Parse(strings.Join(parts, " "))
+	}
+}
+
+// TestParsedQueriesRoundTripProperty: everything that parses re-parses
+// from its own String() to the same String().
+func TestParsedQueriesRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cols := []string{"a", "b", "c"}
+	ops := []string{"=", "<", ">", "<=", ">=", "<>"}
+	for trial := 0; trial < 300; trial++ {
+		var b strings.Builder
+		b.WriteString("SELECT ")
+		nSel := 1 + rng.Intn(3)
+		for i := 0; i < nSel; i++ {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(cols[rng.Intn(len(cols))])
+		}
+		b.WriteString(" FROM R")
+		if rng.Intn(2) == 0 {
+			b.WriteString(", S")
+		}
+		if rng.Intn(2) == 0 {
+			b.WriteString(" WHERE ")
+			b.WriteString(cols[rng.Intn(len(cols))])
+			b.WriteString(" " + ops[rng.Intn(len(ops))] + " ")
+			b.WriteString([]string{"1", "2.5", "'v'"}[rng.Intn(3)])
+		}
+		if rng.Intn(3) == 0 {
+			b.WriteString(" LIMIT ")
+			b.WriteString([]string{"1", "10", "100"}[rng.Intn(3)])
+		}
+		src := b.String()
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("generated query failed to parse: %q: %v", src, err)
+		}
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("round trip failed: %q → %q: %v", src, q.String(), err)
+		}
+		if q.String() != q2.String() {
+			t.Fatalf("unstable round trip: %q vs %q", q.String(), q2.String())
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package sql implements the single-block SQL front end of ORCHESTRA's
+// query processor (paper §VI "Query Optimizer": "It currently handles
+// single-block SQL queries, including function evaluation and grouping").
+// The parser produces an AST that the optimizer lowers to a distributed
+// engine plan.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexical tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol  // ( ) , . * = < > <= >= <> + - / ||
+	tokKeyword // SELECT FROM WHERE ...
+)
+
+// keywords recognized by the lexer (stored upper-case).
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "LIMIT": true, "AS": true, "AND": true, "OR": true,
+	"NOT": true, "ASC": true, "DESC": true, "COUNT": true, "SUM": true,
+	"MIN": true, "MAX": true, "AVG": true, "BETWEEN": true, "IN": true,
+	"LIKE": true, "IS": true, "NULL": true, "DISTINCT": true, "HAVING": true,
+}
+
+type token struct {
+	kind tokKind
+	text string // keywords upper-cased; idents as written
+	pos  int    // byte offset, for error messages
+}
+
+// Error is a parse error with position context.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("sql: %s (at offset %d)", e.Msg, e.Pos) }
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.lexIdent(start)
+		case c >= '0' && c <= '9':
+			l.lexNumber(start)
+		case c == '\'':
+			if err := l.lexString(start); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexSymbol(start); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func (l *lexer) lexIdent(start int) {
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	upper := strings.ToUpper(text)
+	if keywords[upper] {
+		l.toks = append(l.toks, token{kind: tokKeyword, text: upper, pos: start})
+	} else {
+		l.toks = append(l.toks, token{kind: tokIdent, text: text, pos: start})
+	}
+}
+
+func (l *lexer) lexNumber(start int) {
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		break
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexString(start int) error {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// '' escapes a quote.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return &Error{Pos: start, Msg: "unterminated string literal"}
+}
+
+// twoCharSymbols in match order.
+var twoCharSymbols = []string{"<=", ">=", "<>", "!=", "||"}
+
+func (l *lexer) lexSymbol(start int) error {
+	rest := l.src[l.pos:]
+	for _, s := range twoCharSymbols {
+		if strings.HasPrefix(rest, s) {
+			l.pos += 2
+			l.toks = append(l.toks, token{kind: tokSymbol, text: s, pos: start})
+			return nil
+		}
+	}
+	switch rest[0] {
+	case '(', ')', ',', '.', '*', '=', '<', '>', '+', '-', '/':
+		l.pos++
+		l.toks = append(l.toks, token{kind: tokSymbol, text: rest[:1], pos: start})
+		return nil
+	}
+	return &Error{Pos: start, Msg: fmt.Sprintf("unexpected character %q", rest[0])}
+}

@@ -1,0 +1,184 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return q
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	q := mustParse(t, "SELECT x, y FROM R")
+	if len(q.Select) != 2 || len(q.From) != 1 {
+		t.Fatalf("wrong shape: %v", q)
+	}
+	if q.From[0].Table != "R" || q.Where != nil || q.Limit != -1 {
+		t.Fatalf("wrong parse: %v", q)
+	}
+	if c, ok := q.Select[0].Expr.(ColRef); !ok || c.Column != "x" {
+		t.Fatalf("select[0] = %v", q.Select[0].Expr)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM R")
+	if !q.Select[0].Star {
+		t.Fatal("expected star")
+	}
+}
+
+func TestParseQualifiedColumnsAndAliases(t *testing.T) {
+	q := mustParse(t, "SELECT r.x AS a, s.z b FROM R r, S AS s WHERE r.y = s.y")
+	if q.Select[0].Alias != "a" || q.Select[1].Alias != "b" {
+		t.Fatalf("aliases: %v", q.Select)
+	}
+	if q.From[0].Name() != "r" || q.From[1].Name() != "s" {
+		t.Fatalf("from names: %v", q.From)
+	}
+	be, ok := q.Where.(BinExpr)
+	if !ok || be.Op != OpEq {
+		t.Fatalf("where: %v", q.Where)
+	}
+	if l := be.L.(ColRef); l.Table != "r" || l.Column != "y" {
+		t.Fatalf("where lhs: %v", be.L)
+	}
+}
+
+func TestParsePredicatePrecedence(t *testing.T) {
+	q := mustParse(t, "SELECT x FROM R WHERE a = 1 AND b = 2 OR c = 3")
+	or, ok := q.Where.(BinExpr)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("want OR at top, got %v", q.Where)
+	}
+	and, ok := or.L.(BinExpr)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("want AND below OR, got %v", or.L)
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	q := mustParse(t, "SELECT a + b * c FROM R")
+	add, ok := q.Select[0].Expr.(BinExpr)
+	if !ok || add.Op != OpAdd {
+		t.Fatalf("want + at top: %v", q.Select[0].Expr)
+	}
+	if mul, ok := add.R.(BinExpr); !ok || mul.Op != OpMul {
+		t.Fatalf("want * on the right: %v", add.R)
+	}
+}
+
+func TestParseAggregatesAndGroupBy(t *testing.T) {
+	q := mustParse(t, "SELECT x, COUNT(*), SUM(y), MIN(z), AVG(w) FROM R GROUP BY x")
+	if len(q.GroupBy) != 1 {
+		t.Fatalf("group by: %v", q.GroupBy)
+	}
+	cnt := q.Select[1].Expr.(AggExpr)
+	if cnt.Func != "COUNT" || cnt.Arg != nil {
+		t.Fatalf("count(*): %v", cnt)
+	}
+	s := q.Select[2].Expr.(AggExpr)
+	if s.Func != "SUM" {
+		t.Fatalf("sum: %v", s)
+	}
+	if !ContainsAggregate(q.Select[1].Expr) || ContainsAggregate(q.Select[0].Expr) {
+		t.Fatal("ContainsAggregate misbehaves")
+	}
+}
+
+func TestParseBetween(t *testing.T) {
+	q := mustParse(t, "SELECT x FROM R WHERE y BETWEEN 3 AND 7")
+	b, ok := q.Where.(BetweenExpr)
+	if !ok {
+		t.Fatalf("want between: %v", q.Where)
+	}
+	if b.Lo.(IntLit).V != 3 || b.Hi.(IntLit).V != 7 {
+		t.Fatalf("bounds: %v", b)
+	}
+}
+
+func TestParseOrderLimit(t *testing.T) {
+	q := mustParse(t, "SELECT x, y FROM R ORDER BY y DESC, x LIMIT 10")
+	if len(q.OrderBy) != 2 || !q.OrderBy[0].Desc || q.OrderBy[1].Desc {
+		t.Fatalf("order: %v", q.OrderBy)
+	}
+	if q.Limit != 10 {
+		t.Fatalf("limit: %d", q.Limit)
+	}
+}
+
+func TestParseStringsAndConcat(t *testing.T) {
+	q := mustParse(t, "SELECT a || '-' || b FROM R WHERE c = 'it''s'")
+	be := q.Where.(BinExpr)
+	if be.R.(StringLit).V != "it's" {
+		t.Fatalf("escaped string: %v", be.R)
+	}
+	cat := q.Select[0].Expr.(BinExpr)
+	if cat.Op != OpConcat {
+		t.Fatalf("concat: %v", cat)
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	q := mustParse(t, "SELECT x FROM R WHERE y > -5 AND z < -1.5")
+	and := q.Where.(BinExpr)
+	gt := and.L.(BinExpr)
+	if gt.R.(IntLit).V != -5 {
+		t.Fatalf("neg int: %v", gt.R)
+	}
+	lt := and.R.(BinExpr)
+	if lt.R.(FloatLit).V != -1.5 {
+		t.Fatalf("neg float: %v", lt.R)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	mustParse(t, "SELECT x -- trailing comment\nFROM R")
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM R",
+		"SELECT x",
+		"SELECT x FROM",
+		"SELECT x FROM R WHERE",
+		"SELECT x FROM R GROUP x",
+		"SELECT x FROM R LIMIT abc",
+		"SELECT x FROM R HAVING x > 1",
+		"SELECT x FROM R; SELECT y FROM S",
+		"SELECT x FROM R WHERE y = 'unterminated",
+		"SELECT x FROM R WHERE y @ 3",
+		"SELECT COUNT( FROM R",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"SELECT x, MIN(z) FROM R, S WHERE (R.y = S.y) GROUP BY x",
+		"SELECT * FROM lineitem WHERE (l_quantity < 24)",
+		"SELECT a AS total FROM R ORDER BY a DESC LIMIT 3",
+	}
+	for _, src := range srcs {
+		q := mustParse(t, src)
+		q2 := mustParse(t, q.String())
+		if q.String() != q2.String() {
+			t.Errorf("round trip changed:\n%s\n%s", q, q2)
+		}
+		if !strings.Contains(q.String(), "SELECT") {
+			t.Errorf("stringer broken: %s", q)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package tpch
+
+// Query is one TPC-H query in the single-block dialect the optimizer
+// accepts. Dates appear as YYYYMMDD integer literals (see gen.go).
+type Query struct {
+	Name string
+	SQL  string
+}
+
+// Queries returns the five TPC-H queries studied in the paper (§VI-A):
+// Q1 and Q6 are aggregations over lineitem (Q1 aggregates distributively
+// and re-aggregates at the coordinator; Q6 aggregates at the coordinator
+// only); Q3, Q5, and Q10 are 3-way, 6-way, and 4-way joins followed by
+// aggregation.
+func Queries() []Query {
+	return []Query{
+		{Name: "Q1", SQL: `
+SELECT l_returnflag, l_linestatus,
+       SUM(l_quantity) AS sum_qty,
+       SUM(l_extendedprice) AS sum_base_price,
+       SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       AVG(l_quantity) AS avg_qty,
+       AVG(l_extendedprice) AS avg_price,
+       AVG(l_discount) AS avg_disc,
+       COUNT(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= 19980902
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus`},
+
+		{Name: "Q3", SQL: `
+SELECT l_orderkey,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+       o_orderdate, o_shippriority
+FROM customer, orders, lineitem
+WHERE c_mktsegment = 'BUILDING'
+  AND c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate < 19950315
+  AND l_shipdate > 19950315
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate
+LIMIT 10`},
+
+		{Name: "Q5", SQL: `
+SELECT n_name,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem, supplier, nation, region
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND l_suppkey = s_suppkey
+  AND c_nationkey = s_nationkey
+  AND s_nationkey = n_nationkey
+  AND n_regionkey = r_regionkey
+  AND r_name = 'ASIA'
+  AND o_orderdate >= 19940101
+  AND o_orderdate < 19950101
+GROUP BY n_name
+ORDER BY revenue DESC`},
+
+		{Name: "Q6", SQL: `
+SELECT SUM(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= 19940101
+  AND l_shipdate < 19950101
+  AND l_discount BETWEEN 0.05 AND 0.07
+  AND l_quantity < 24`},
+
+		{Name: "Q10", SQL: `
+SELECT c_custkey, c_name,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+       c_acctbal, n_name, c_address, c_phone
+FROM customer, orders, lineitem, nation
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate >= 19931001
+  AND o_orderdate < 19940101
+  AND l_returnflag = 'R'
+  AND c_nationkey = n_nationkey
+GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address
+ORDER BY revenue DESC
+LIMIT 20`},
+	}
+}
+
+// QueryByName returns the named query, or an empty Query.
+func QueryByName(name string) Query {
+	for _, q := range Queries() {
+		if q.Name == name {
+			return q
+		}
+	}
+	return Query{}
+}

@@ -1,0 +1,122 @@
+package transport
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"orchestra/internal/ring"
+)
+
+// Pinger implements background failure detection for "hung" machines
+// (paper §V-C): connection drops are detected immediately by the transport,
+// but a machine that stops making progress while keeping its connections
+// alive is only caught by periodic application-level pings.
+type Pinger struct {
+	ep       Endpoint
+	interval time.Duration
+	timeout  time.Duration
+	onDown   func(ring.NodeID)
+
+	mu      sync.Mutex
+	peers   map[ring.NodeID]bool // true once reported down
+	stop    chan struct{}
+	stopped bool
+}
+
+// NewPinger creates a pinger on ep that probes each watched peer every
+// interval and reports it down (once) if a ping gets no reply within
+// timeout. Call Watch to add peers and Start to begin probing.
+func NewPinger(ep Endpoint, interval, timeout time.Duration, onDown func(ring.NodeID)) *Pinger {
+	return &Pinger{
+		ep:       ep,
+		interval: interval,
+		timeout:  timeout,
+		onDown:   onDown,
+		peers:    make(map[ring.NodeID]bool),
+		stop:     make(chan struct{}),
+	}
+}
+
+// Watch adds a peer to the probe set.
+func (p *Pinger) Watch(id ring.NodeID) {
+	if id == p.ep.ID() {
+		return
+	}
+	p.mu.Lock()
+	if _, ok := p.peers[id]; !ok {
+		p.peers[id] = false
+	}
+	p.mu.Unlock()
+}
+
+// Unwatch removes a peer from the probe set.
+func (p *Pinger) Unwatch(id ring.NodeID) {
+	p.mu.Lock()
+	delete(p.peers, id)
+	p.mu.Unlock()
+}
+
+// Start launches the probe loop.
+func (p *Pinger) Start() {
+	go p.loop()
+}
+
+// Stop terminates the probe loop.
+func (p *Pinger) Stop() {
+	p.mu.Lock()
+	if !p.stopped {
+		p.stopped = true
+		close(p.stop)
+	}
+	p.mu.Unlock()
+}
+
+func (p *Pinger) loop() {
+	ticker := time.NewTicker(p.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-ticker.C:
+			p.probeAll()
+		}
+	}
+}
+
+func (p *Pinger) probeAll() {
+	p.mu.Lock()
+	var targets []ring.NodeID
+	for id, down := range p.peers {
+		if !down {
+			targets = append(targets, id)
+		}
+	}
+	p.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, id := range targets {
+		wg.Add(1)
+		go func(id ring.NodeID) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
+			defer cancel()
+			if _, err := p.ep.Request(ctx, id, typePing, nil); err != nil {
+				p.reportDown(id)
+			}
+		}(id)
+	}
+	wg.Wait()
+}
+
+func (p *Pinger) reportDown(id ring.NodeID) {
+	p.mu.Lock()
+	already, watched := p.peers[id]
+	if watched && !already {
+		p.peers[id] = true
+	}
+	p.mu.Unlock()
+	if watched && !already && p.onDown != nil {
+		p.onDown(id)
+	}
+}

@@ -1,0 +1,517 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"orchestra/internal/ring"
+)
+
+// Config controls the simulated network's behaviour. The zero value is an
+// ideal network: no latency, unlimited bandwidth.
+type Config struct {
+	// Latency is the one-way delivery delay applied to every inter-node
+	// message (the NetEm substitute of §VI-C).
+	Latency time.Duration
+	// BandwidthBps caps each node's outbound bytes/second (the HTB
+	// substitute of §VI-C). 0 means unlimited.
+	BandwidthBps int64
+}
+
+// Network is a simulated message fabric connecting endpoints in-process.
+// Messages are really encoded by the layers above, so the byte counters
+// reflect genuine wire sizes.
+type Network struct {
+	cfg Config
+
+	mu    sync.Mutex
+	nodes map[ring.NodeID]*simEndpoint
+	links map[linkKey]*link
+
+	totalBytes atomic.Int64
+	totalMsgs  atomic.Int64
+	statsMu    sync.Mutex
+	sentBytes  map[ring.NodeID]int64
+	recvBytes  map[ring.NodeID]int64
+}
+
+type linkKey struct{ from, to ring.NodeID }
+
+// NewNetwork creates a simulated network.
+func NewNetwork(cfg Config) *Network {
+	return &Network{
+		cfg:       cfg,
+		nodes:     make(map[ring.NodeID]*simEndpoint),
+		links:     make(map[linkKey]*link),
+		sentBytes: make(map[ring.NodeID]int64),
+		recvBytes: make(map[ring.NodeID]int64),
+	}
+}
+
+// Join attaches a new endpoint with the given identity.
+func (n *Network) Join(id ring.NodeID) (Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.nodes[id]; exists {
+		return nil, fmt.Errorf("transport: node %q already joined", id)
+	}
+	ep := &simEndpoint{
+		net:      n,
+		id:       id,
+		handlers: make(map[MsgType]HandlerFunc),
+		pending:  make(map[uint64]pendingReq),
+	}
+	ep.cond = sync.NewCond(&ep.mu)
+	n.nodes[id] = ep
+	go ep.deliveryLoop()
+	return ep, nil
+}
+
+// Kill abruptly fails a node: its endpoint stops, in-flight messages to it
+// are dropped, and every other endpoint's OnPeerDown callbacks fire — the
+// moral equivalent of all its TCP connections dropping (§V-A).
+func (n *Network) Kill(id ring.NodeID) {
+	n.mu.Lock()
+	ep := n.nodes[id]
+	var peers []*simEndpoint
+	for pid, p := range n.nodes {
+		if pid != id {
+			peers = append(peers, p)
+		}
+	}
+	n.mu.Unlock()
+	if ep == nil {
+		return
+	}
+	ep.shutdown(true)
+	for _, p := range peers {
+		p.peerDown(id)
+	}
+}
+
+// Hang simulates a machine that stops making progress without dropping its
+// connections: sends to it still succeed, but nothing is processed and no
+// pings are answered. Only the background ping mechanism detects this state.
+func (n *Network) Hang(id ring.NodeID) {
+	n.mu.Lock()
+	ep := n.nodes[id]
+	n.mu.Unlock()
+	if ep != nil {
+		ep.setHung(true)
+	}
+}
+
+// Unhang resumes a hung node.
+func (n *Network) Unhang(id ring.NodeID) {
+	n.mu.Lock()
+	ep := n.nodes[id]
+	n.mu.Unlock()
+	if ep != nil {
+		ep.setHung(false)
+	}
+}
+
+// Alive reports whether the node is attached and not killed.
+func (n *Network) Alive(id ring.NodeID) bool {
+	n.mu.Lock()
+	ep := n.nodes[id]
+	n.mu.Unlock()
+	return ep != nil && !ep.isClosed()
+}
+
+// Stats is a snapshot of traffic counters. Self-addressed (local) messages
+// are not counted: they never cross the network.
+type Stats struct {
+	TotalBytes int64
+	TotalMsgs  int64
+	SentBytes  map[ring.NodeID]int64
+	RecvBytes  map[ring.NodeID]int64
+}
+
+// Stats returns a snapshot of the accumulated traffic counters.
+func (n *Network) Stats() Stats {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	s := Stats{
+		TotalBytes: n.totalBytes.Load(),
+		TotalMsgs:  n.totalMsgs.Load(),
+		SentBytes:  make(map[ring.NodeID]int64, len(n.sentBytes)),
+		RecvBytes:  make(map[ring.NodeID]int64, len(n.recvBytes)),
+	}
+	for k, v := range n.sentBytes {
+		s.SentBytes[k] = v
+	}
+	for k, v := range n.recvBytes {
+		s.RecvBytes[k] = v
+	}
+	return s
+}
+
+// ResetStats zeroes the traffic counters.
+func (n *Network) ResetStats() {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	n.totalBytes.Store(0)
+	n.totalMsgs.Store(0)
+	n.sentBytes = make(map[ring.NodeID]int64)
+	n.recvBytes = make(map[ring.NodeID]int64)
+}
+
+func (n *Network) account(from, to ring.NodeID, size int) {
+	n.totalBytes.Add(int64(size))
+	n.totalMsgs.Add(1)
+	n.statsMu.Lock()
+	n.sentBytes[from] += int64(size)
+	n.recvBytes[to] += int64(size)
+	n.statsMu.Unlock()
+}
+
+// envelope is a message in flight.
+type envelope struct {
+	from    ring.NodeID
+	mtype   MsgType
+	reqID   uint64 // nonzero for requests and replies
+	payload []byte
+}
+
+// link preserves FIFO order per (from,to) pair while applying latency.
+type link struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []timedEnvelope
+	dst    *simEndpoint
+	closed bool
+}
+
+type timedEnvelope struct {
+	env       envelope
+	deliverAt time.Time
+}
+
+func (n *Network) getLink(from ring.NodeID, dst *simEndpoint) *link {
+	key := linkKey{from, dst.id}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l, ok := n.links[key]
+	if !ok {
+		l = &link{dst: dst}
+		l.cond = sync.NewCond(&l.mu)
+		n.links[key] = l
+		go l.run()
+	}
+	return l
+}
+
+func (l *link) push(env envelope, deliverAt time.Time) {
+	l.mu.Lock()
+	l.queue = append(l.queue, timedEnvelope{env, deliverAt})
+	l.mu.Unlock()
+	l.cond.Signal()
+}
+
+func (l *link) run() {
+	for {
+		l.mu.Lock()
+		for len(l.queue) == 0 && !l.closed {
+			l.cond.Wait()
+		}
+		if l.closed {
+			l.mu.Unlock()
+			return
+		}
+		te := l.queue[0]
+		l.queue = l.queue[1:]
+		l.mu.Unlock()
+		if d := time.Until(te.deliverAt); d > 0 {
+			time.Sleep(d)
+		}
+		l.dst.enqueue(te.env)
+	}
+}
+
+// Shutdown stops all endpoints and link goroutines. The network must not be
+// used afterwards.
+func (n *Network) Shutdown() {
+	n.mu.Lock()
+	eps := make([]*simEndpoint, 0, len(n.nodes))
+	for _, ep := range n.nodes {
+		eps = append(eps, ep)
+	}
+	links := make([]*link, 0, len(n.links))
+	for _, l := range n.links {
+		links = append(links, l)
+	}
+	n.nodes = map[ring.NodeID]*simEndpoint{}
+	n.links = map[linkKey]*link{}
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.shutdown(false)
+	}
+	for _, l := range links {
+		l.mu.Lock()
+		l.closed = true
+		l.mu.Unlock()
+		l.cond.Signal()
+	}
+}
+
+// rpcResult carries a reply or failure to a waiting requester.
+type rpcResult struct {
+	payload []byte
+	err     error
+}
+
+// pendingReq tracks an outstanding RPC so it can be failed if its peer dies.
+type pendingReq struct {
+	peer ring.NodeID
+	ch   chan rpcResult
+}
+
+// simEndpoint implements Endpoint on a Network.
+type simEndpoint struct {
+	net *Network
+	id  ring.NodeID
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inbox    []envelope
+	closed   bool
+	hung     bool
+	handlers map[MsgType]HandlerFunc
+	downFns  []func(ring.NodeID)
+	pending  map[uint64]pendingReq
+	nextReq  uint64
+
+	// Outbound bandwidth shaping state.
+	shapeMu  sync.Mutex
+	nextFree time.Time
+}
+
+func (e *simEndpoint) ID() ring.NodeID { return e.id }
+
+func (e *simEndpoint) Handle(mtype MsgType, h HandlerFunc) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handlers[mtype] = h
+}
+
+func (e *simEndpoint) OnPeerDown(fn func(ring.NodeID)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.downFns = append(e.downFns, fn)
+}
+
+func (e *simEndpoint) isClosed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}
+
+func (e *simEndpoint) setHung(h bool) {
+	e.mu.Lock()
+	e.hung = h
+	e.mu.Unlock()
+	e.cond.Broadcast()
+}
+
+// shape applies outbound bandwidth limiting: the caller sleeps until the
+// virtual NIC has capacity, which is exactly the back-pressure a full TCP
+// send buffer provides (§V-A "automatically provides flow control").
+func (e *simEndpoint) shape(size int) {
+	bw := e.net.cfg.BandwidthBps
+	if bw <= 0 {
+		return
+	}
+	cost := time.Duration(float64(size) / float64(bw) * float64(time.Second))
+	e.shapeMu.Lock()
+	now := time.Now()
+	if e.nextFree.Before(now) {
+		e.nextFree = now
+	}
+	wait := e.nextFree.Sub(now)
+	e.nextFree = e.nextFree.Add(cost)
+	e.shapeMu.Unlock()
+	if wait > 0 {
+		time.Sleep(wait)
+	}
+}
+
+func (e *simEndpoint) deliver(to ring.NodeID, env envelope) error {
+	if e.isClosed() {
+		return ErrClosed
+	}
+	if to == e.id {
+		// Loopback: no latency, no shaping, no traffic accounting.
+		e.enqueue(env)
+		return nil
+	}
+	e.net.mu.Lock()
+	dst := e.net.nodes[to]
+	e.net.mu.Unlock()
+	if dst == nil || dst.isClosed() {
+		return fmt.Errorf("%w: %s", ErrPeerDown, to)
+	}
+	size := len(env.payload) + headerOverhead
+	e.shape(size)
+	e.net.account(e.id, to, size)
+	l := e.net.getLink(e.id, dst)
+	l.push(env, time.Now().Add(e.net.cfg.Latency))
+	return nil
+}
+
+func (e *simEndpoint) Send(to ring.NodeID, mtype MsgType, payload []byte) error {
+	return e.deliver(to, envelope{from: e.id, mtype: mtype, payload: payload})
+}
+
+func (e *simEndpoint) Request(ctx context.Context, to ring.NodeID, mtype MsgType, payload []byte) ([]byte, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	e.nextReq++
+	reqID := e.nextReq
+	ch := make(chan rpcResult, 1)
+	e.pending[reqID] = pendingReq{peer: to, ch: ch}
+	e.mu.Unlock()
+
+	defer func() {
+		e.mu.Lock()
+		delete(e.pending, reqID)
+		e.mu.Unlock()
+	}()
+
+	if err := e.deliver(to, envelope{from: e.id, mtype: mtype, reqID: reqID, payload: payload}); err != nil {
+		return nil, err
+	}
+	select {
+	case res := <-ch:
+		return res.payload, res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (e *simEndpoint) enqueue(env envelope) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.inbox = append(e.inbox, env)
+	e.mu.Unlock()
+	e.cond.Signal()
+}
+
+func (e *simEndpoint) deliveryLoop() {
+	for {
+		e.mu.Lock()
+		for (len(e.inbox) == 0 || e.hung) && !e.closed {
+			e.cond.Wait()
+		}
+		if e.closed {
+			e.mu.Unlock()
+			return
+		}
+		env := e.inbox[0]
+		e.inbox = e.inbox[1:]
+		e.mu.Unlock()
+		e.dispatch(env)
+	}
+}
+
+func (e *simEndpoint) dispatch(env envelope) {
+	switch env.mtype {
+	case typePing:
+		// Application-level pong: a hung machine never reaches here.
+		reply := envelope{from: e.id, mtype: typeReply, reqID: env.reqID}
+		_ = e.deliver(env.from, reply)
+	case typeReply, typeErrReply:
+		e.mu.Lock()
+		pr, ok := e.pending[env.reqID]
+		e.mu.Unlock()
+		if ok {
+			var res rpcResult
+			if env.mtype == typeErrReply {
+				res.err = &RemoteError{Peer: env.from, Msg: string(env.payload)}
+			} else {
+				res.payload = env.payload
+			}
+			pr.ch <- res
+		}
+	default:
+		e.mu.Lock()
+		h := e.handlers[env.mtype]
+		e.mu.Unlock()
+		if env.reqID == 0 {
+			if h != nil {
+				_, _ = h(env.from, env.payload)
+			}
+			return
+		}
+		// Request: reply with the handler result.
+		var reply envelope
+		reply.from = e.id
+		reply.reqID = env.reqID
+		if h == nil {
+			reply.mtype = typeErrReply
+			reply.payload = []byte(fmt.Sprintf("%v: %d", ErrNoHandler, env.mtype))
+		} else if out, err := h(env.from, env.payload); err != nil {
+			reply.mtype = typeErrReply
+			reply.payload = []byte(err.Error())
+		} else {
+			reply.mtype = typeReply
+			reply.payload = out
+		}
+		_ = e.deliver(env.from, reply)
+	}
+}
+
+// peerDown fails pending requests to the dead peer and fires callbacks.
+func (e *simEndpoint) peerDown(id ring.NodeID) {
+	e.mu.Lock()
+	fns := append([]func(ring.NodeID){}, e.downFns...)
+	var failed []chan rpcResult
+	for reqID, pr := range e.pending {
+		if pr.peer == id {
+			failed = append(failed, pr.ch)
+			delete(e.pending, reqID)
+		}
+	}
+	e.mu.Unlock()
+	for _, ch := range failed {
+		ch <- rpcResult{err: fmt.Errorf("%w: %s", ErrPeerDown, id)}
+	}
+	for _, fn := range fns {
+		go fn(id)
+	}
+}
+
+func (e *simEndpoint) shutdown(abrupt bool) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	pend := e.pending
+	e.pending = map[uint64]pendingReq{}
+	e.inbox = nil
+	e.mu.Unlock()
+	e.cond.Broadcast()
+	for _, pr := range pend {
+		pr.ch <- rpcResult{err: ErrClosed}
+	}
+	_ = abrupt
+}
+
+func (e *simEndpoint) Close() error {
+	e.net.mu.Lock()
+	delete(e.net.nodes, e.id)
+	e.net.mu.Unlock()
+	e.shutdown(false)
+	return nil
+}

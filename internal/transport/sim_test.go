@@ -1,0 +1,398 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"orchestra/internal/ring"
+)
+
+const (
+	typeEcho MsgType = 1
+	typeNote MsgType = 2
+	typeFail MsgType = 3
+)
+
+func twoNodes(t *testing.T, cfg Config) (*Network, Endpoint, Endpoint) {
+	t.Helper()
+	net := NewNetwork(cfg)
+	t.Cleanup(net.Shutdown)
+	a, err := net.Join("nodeA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Join("nodeB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, a, b
+}
+
+func TestSendAndHandle(t *testing.T) {
+	_, a, b := twoNodes(t, Config{})
+	got := make(chan string, 1)
+	b.Handle(typeNote, func(from ring.NodeID, payload []byte) ([]byte, error) {
+		got <- fmt.Sprintf("%s:%s", from, payload)
+		return nil, nil
+	})
+	if err := a.Send("nodeB", typeNote, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case s := <-got:
+		if s != "nodeA:hello" {
+			t.Errorf("got %q", s)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("message not delivered")
+	}
+}
+
+func TestRequestReply(t *testing.T) {
+	_, a, b := twoNodes(t, Config{})
+	b.Handle(typeEcho, func(from ring.NodeID, payload []byte) ([]byte, error) {
+		return append([]byte("echo:"), payload...), nil
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	resp, err := a.Request(ctx, "nodeB", typeEcho, []byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "echo:ping" {
+		t.Errorf("resp = %q", resp)
+	}
+}
+
+func TestRequestRemoteError(t *testing.T) {
+	_, a, b := twoNodes(t, Config{})
+	b.Handle(typeFail, func(from ring.NodeID, payload []byte) ([]byte, error) {
+		return nil, errors.New("boom")
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, err := a.Request(ctx, "nodeB", typeFail, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("want RemoteError, got %v", err)
+	}
+	if re.Msg != "boom" || re.Peer != "nodeB" {
+		t.Errorf("RemoteError = %+v", re)
+	}
+}
+
+func TestRequestNoHandler(t *testing.T) {
+	_, a, _ := twoNodes(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, err := a.Request(ctx, "nodeB", MsgType(77), nil)
+	if err == nil {
+		t.Fatal("want error for missing handler")
+	}
+}
+
+func TestPerLinkOrdering(t *testing.T) {
+	_, a, b := twoNodes(t, Config{Latency: time.Millisecond})
+	var mu sync.Mutex
+	var got []int
+	done := make(chan struct{})
+	const n = 200
+	b.Handle(typeNote, func(from ring.NodeID, payload []byte) ([]byte, error) {
+		mu.Lock()
+		got = append(got, int(payload[0])<<8|int(payload[1]))
+		if len(got) == n {
+			close(done)
+		}
+		mu.Unlock()
+		return nil, nil
+	})
+	for i := 0; i < n; i++ {
+		if err := a.Send("nodeB", typeNote, []byte{byte(i >> 8), byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("not all messages arrived")
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != i {
+			t.Fatalf("out of order at %d: %d", i, got[i])
+		}
+	}
+}
+
+func TestLoopbackDelivery(t *testing.T) {
+	net, a, _ := twoNodes(t, Config{})
+	got := make(chan struct{}, 1)
+	a.Handle(typeNote, func(from ring.NodeID, payload []byte) ([]byte, error) {
+		got <- struct{}{}
+		return nil, nil
+	})
+	if err := a.Send("nodeA", typeNote, []byte("self")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("loopback not delivered")
+	}
+	if s := net.Stats(); s.TotalBytes != 0 {
+		t.Errorf("loopback counted as traffic: %d bytes", s.TotalBytes)
+	}
+}
+
+func TestKillFailsSendsAndNotifies(t *testing.T) {
+	net, a, b := twoNodes(t, Config{})
+	b.Handle(typeNote, func(from ring.NodeID, payload []byte) ([]byte, error) { return nil, nil })
+	downCh := make(chan ring.NodeID, 1)
+	a.OnPeerDown(func(id ring.NodeID) { downCh <- id })
+
+	net.Kill("nodeB")
+	select {
+	case id := <-downCh:
+		if id != "nodeB" {
+			t.Errorf("down peer = %s", id)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnPeerDown not fired")
+	}
+	if err := a.Send("nodeB", typeNote, []byte("x")); !errors.Is(err, ErrPeerDown) {
+		t.Errorf("Send to dead peer = %v, want ErrPeerDown", err)
+	}
+	if net.Alive("nodeB") {
+		t.Error("killed node still alive")
+	}
+}
+
+func TestKillFailsPendingRequests(t *testing.T) {
+	net, a, b := twoNodes(t, Config{})
+	started := make(chan struct{})
+	b.Handle(typeEcho, func(from ring.NodeID, payload []byte) ([]byte, error) {
+		close(started)
+		time.Sleep(10 * time.Second) // never replies in time
+		return nil, nil
+	})
+	errCh := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_, err := a.Request(ctx, "nodeB", typeEcho, nil)
+		errCh <- err
+	}()
+	<-started
+	net.Kill("nodeB")
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrPeerDown) {
+			t.Errorf("pending request got %v, want ErrPeerDown", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("pending request not failed on peer death")
+	}
+}
+
+func TestHangIsSilent(t *testing.T) {
+	net, a, b := twoNodes(t, Config{})
+	var processed atomic.Int32
+	b.Handle(typeNote, func(from ring.NodeID, payload []byte) ([]byte, error) {
+		processed.Add(1)
+		return nil, nil
+	})
+	downFired := make(chan struct{}, 1)
+	a.OnPeerDown(func(id ring.NodeID) { downFired <- struct{}{} })
+
+	net.Hang("nodeB")
+	// Sends to a hung node still succeed (connections are alive).
+	if err := a.Send("nodeB", typeNote, []byte("x")); err != nil {
+		t.Fatalf("send to hung peer failed: %v", err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if processed.Load() != 0 {
+		t.Error("hung node processed a message")
+	}
+	select {
+	case <-downFired:
+		t.Error("OnPeerDown fired for a hang (connections alive)")
+	default:
+	}
+	// Resume: the queued message is processed.
+	net.Unhang("nodeB")
+	deadline := time.Now().Add(2 * time.Second)
+	for processed.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if processed.Load() != 1 {
+		t.Error("message lost across hang/unhang")
+	}
+}
+
+func TestPingerDetectsHungPeer(t *testing.T) {
+	net, a, _ := twoNodes(t, Config{})
+	detected := make(chan ring.NodeID, 2)
+	p := NewPinger(a, 20*time.Millisecond, 50*time.Millisecond, func(id ring.NodeID) {
+		detected <- id
+	})
+	p.Watch("nodeB")
+	p.Start()
+	defer p.Stop()
+
+	// Healthy peer: no detection for a few intervals.
+	select {
+	case id := <-detected:
+		t.Fatalf("false positive: %s", id)
+	case <-time.After(150 * time.Millisecond):
+	}
+
+	net.Hang("nodeB")
+	select {
+	case id := <-detected:
+		if id != "nodeB" {
+			t.Errorf("detected %s", id)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("hung peer not detected")
+	}
+	// Only reported once.
+	select {
+	case <-detected:
+		t.Error("peer reported down twice")
+	case <-time.After(200 * time.Millisecond):
+	}
+}
+
+func TestLatencyShaping(t *testing.T) {
+	_, a, b := twoNodes(t, Config{Latency: 80 * time.Millisecond})
+	got := make(chan time.Time, 1)
+	b.Handle(typeNote, func(from ring.NodeID, payload []byte) ([]byte, error) {
+		got <- time.Now()
+		return nil, nil
+	})
+	start := time.Now()
+	if err := a.Send("nodeB", typeNote, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	arrival := <-got
+	if d := arrival.Sub(start); d < 70*time.Millisecond {
+		t.Errorf("delivery took %v, want >= ~80ms", d)
+	}
+}
+
+func TestBandwidthShaping(t *testing.T) {
+	// 100 KB at 200 KB/s should take ~0.5s of send-side shaping.
+	_, a, b := twoNodes(t, Config{BandwidthBps: 200 * 1024})
+	done := make(chan struct{}, 16)
+	b.Handle(typeNote, func(from ring.NodeID, payload []byte) ([]byte, error) {
+		done <- struct{}{}
+		return nil, nil
+	})
+	payload := make([]byte, 25*1024)
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		if err := a.Send("nodeB", typeNote, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("message lost")
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed < 350*time.Millisecond {
+		t.Errorf("4x25KB at 200KB/s finished in %v, want >= ~0.5s", elapsed)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	net, a, b := twoNodes(t, Config{})
+	received := make(chan struct{}, 1)
+	b.Handle(typeNote, func(from ring.NodeID, payload []byte) ([]byte, error) {
+		received <- struct{}{}
+		return nil, nil
+	})
+	payload := make([]byte, 1000)
+	if err := a.Send("nodeB", typeNote, payload); err != nil {
+		t.Fatal(err)
+	}
+	<-received
+	s := net.Stats()
+	want := int64(1000 + headerOverhead)
+	if s.TotalBytes != want {
+		t.Errorf("TotalBytes = %d, want %d", s.TotalBytes, want)
+	}
+	if s.TotalMsgs != 1 {
+		t.Errorf("TotalMsgs = %d", s.TotalMsgs)
+	}
+	if s.SentBytes["nodeA"] != want || s.RecvBytes["nodeB"] != want {
+		t.Errorf("per-node stats wrong: %+v", s)
+	}
+	net.ResetStats()
+	if s := net.Stats(); s.TotalBytes != 0 || len(s.SentBytes) != 0 {
+		t.Error("ResetStats did not clear counters")
+	}
+}
+
+func TestDuplicateJoinRejected(t *testing.T) {
+	net := NewNetwork(Config{})
+	defer net.Shutdown()
+	if _, err := net.Join("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Join("x"); err == nil {
+		t.Fatal("duplicate join should fail")
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	_, a, b := twoNodes(t, Config{})
+	b.Handle(typeEcho, func(from ring.NodeID, payload []byte) ([]byte, error) {
+		return payload, nil
+	})
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			msg := []byte(fmt.Sprintf("m%d", i))
+			resp, err := a.Request(ctx, "nodeB", typeEcho, msg)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if string(resp) != string(msg) {
+				errs <- fmt.Errorf("resp %q != %q", resp, msg)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestCloseEndpoint(t *testing.T) {
+	_, a, _ := twoNodes(t, Config{})
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("nodeB", typeNote, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send after close = %v", err)
+	}
+	ctx := context.Background()
+	if _, err := a.Request(ctx, "nodeB", typeEcho, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("Request after close = %v", err)
+	}
+}

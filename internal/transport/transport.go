@@ -1,0 +1,85 @@
+// Package transport provides the reliable, message-based networking layer
+// with flow control required by the substrate (paper §III-B). Two
+// implementations are provided: a simulated in-process network (Network)
+// with per-link latency, per-node bandwidth shaping, byte-accurate traffic
+// accounting, and failure injection — used for experiments, mirroring the
+// paper's NetEm/HTB setup (§VI-C) — and a TCP implementation (TCPNetwork)
+// for real multi-process deployments, matching the paper's design choice of
+// a direct TCP connection to each node for single-hop communication.
+//
+// Failure detection follows §V-A: a downstream node detects an upstream
+// failure almost immediately because the connection drops (OnPeerDown); a
+// "hung" machine that keeps its connections alive is detected by background
+// pings (Pinger).
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"orchestra/internal/ring"
+)
+
+// MsgType identifies the semantics of a message; higher layers define their
+// own constants. Values at and above reservedBase are reserved for the
+// transport itself (pings, RPC replies).
+type MsgType uint16
+
+const (
+	reservedBase MsgType = 0xFF00
+	typePing     MsgType = 0xFF01
+	typeReply    MsgType = 0xFF02
+	typeErrReply MsgType = 0xFF03
+)
+
+// headerOverhead approximates per-message framing cost (type, ids, lengths)
+// counted by the traffic accounting, roughly matching the TCP implementation
+// frame header.
+const headerOverhead = 24
+
+// HandlerFunc processes an incoming message. For one-way messages the return
+// values are ignored. For requests, the returned payload is sent back as the
+// reply, and a non-nil error is propagated to the requester.
+type HandlerFunc func(from ring.NodeID, payload []byte) ([]byte, error)
+
+// Endpoint is one node's attachment to the network.
+type Endpoint interface {
+	// ID returns this node's identity.
+	ID() ring.NodeID
+	// Send delivers a one-way message reliably and in order per link.
+	// It may block briefly under bandwidth shaping (flow control).
+	Send(to ring.NodeID, mtype MsgType, payload []byte) error
+	// Request performs an RPC: it sends the message and waits for the
+	// peer's handler to return a reply, honoring ctx cancellation.
+	Request(ctx context.Context, to ring.NodeID, mtype MsgType, payload []byte) ([]byte, error)
+	// Handle registers the handler for a message type. It must be called
+	// before messages of that type arrive; handlers run on the endpoint's
+	// delivery goroutine, one message at a time.
+	Handle(mtype MsgType, h HandlerFunc)
+	// OnPeerDown registers a callback invoked (once per peer failure) when
+	// a connection to a peer drops. Callbacks run on their own goroutine.
+	OnPeerDown(fn func(ring.NodeID))
+	// Close detaches the endpoint from the network.
+	Close() error
+}
+
+// Errors returned by endpoints.
+var (
+	// ErrPeerDown indicates the destination's connection is gone.
+	ErrPeerDown = errors.New("transport: peer down")
+	// ErrClosed indicates the local endpoint is closed.
+	ErrClosed = errors.New("transport: endpoint closed")
+	// ErrNoHandler indicates the peer has no handler for the message type.
+	ErrNoHandler = errors.New("transport: no handler for message type")
+)
+
+// RemoteError wraps an error string returned by a remote handler.
+type RemoteError struct {
+	Peer ring.NodeID
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("transport: remote error from %s: %s", e.Peer, e.Msg)
+}

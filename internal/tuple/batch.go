@@ -1,0 +1,178 @@
+package tuple
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Batch codec. The query processor batches tuples into blocks by destination,
+// compresses them using lightweight Zip-based compression, and marshals them
+// in a format that exploits their commonalities (§V-A). We marshal
+// column-major — values of one attribute are adjacent, so flate's LZ77 window
+// sees their shared prefixes/structure — and compress with compress/flate.
+
+const (
+	batchVersion     = 1
+	flagCompressed   = 0x01
+	minCompressBytes = 256 // below this, compression overhead dominates
+)
+
+// EncodeBatch serializes rows column-major and compresses the payload. All
+// rows must have the same arity and positional types. Empty batches are
+// legal.
+func EncodeBatch(rows []Row) ([]byte, error) {
+	var body []byte
+	body = binary.AppendUvarint(body, uint64(len(rows)))
+	arity := 0
+	if len(rows) > 0 {
+		arity = len(rows[0])
+	}
+	body = binary.AppendUvarint(body, uint64(arity))
+	for c := 0; c < arity; c++ {
+		t := rows[0][c].T
+		if !t.IsValidType() {
+			return nil, fmt.Errorf("tuple: batch column %d has invalid type", c)
+		}
+		body = append(body, byte(t))
+		for r, row := range rows {
+			if len(row) != arity {
+				return nil, fmt.Errorf("tuple: batch row %d arity %d != %d", r, len(row), arity)
+			}
+			v := row[c]
+			if v.T != t {
+				return nil, fmt.Errorf("tuple: batch row %d col %d type %v != %v", r, c, v.T, t)
+			}
+			switch t {
+			case Int64:
+				body = binary.AppendVarint(body, v.I64)
+			case Float64:
+				var b [8]byte
+				binary.BigEndian.PutUint64(b[:], math.Float64bits(v.F64))
+				body = append(body, b[:]...)
+			case String:
+				body = binary.AppendUvarint(body, uint64(len(v.Str)))
+				body = append(body, v.Str...)
+			}
+		}
+	}
+
+	if len(body) < minCompressBytes {
+		out := make([]byte, 0, len(body)+2)
+		out = append(out, batchVersion, 0)
+		return append(out, body...), nil
+	}
+	var cbuf bytes.Buffer
+	cbuf.WriteByte(batchVersion)
+	cbuf.WriteByte(flagCompressed)
+	fw, err := flate.NewWriter(&cbuf, flate.BestSpeed)
+	if err != nil {
+		return nil, fmt.Errorf("tuple: flate: %w", err)
+	}
+	if _, err := fw.Write(body); err != nil {
+		return nil, fmt.Errorf("tuple: compress batch: %w", err)
+	}
+	if err := fw.Close(); err != nil {
+		return nil, fmt.Errorf("tuple: compress batch: %w", err)
+	}
+	// If compression did not help (e.g. random strings), keep it anyway:
+	// framing simplicity beats the rare byte savings.
+	return cbuf.Bytes(), nil
+}
+
+// IsValidType reports whether t is a known column type.
+func (t Type) IsValidType() bool { return t >= Int64 && t <= String }
+
+// DecodeBatch reverses EncodeBatch.
+func DecodeBatch(data []byte) ([]Row, error) {
+	if len(data) < 2 {
+		return nil, errors.New("tuple: batch too short")
+	}
+	if data[0] != batchVersion {
+		return nil, fmt.Errorf("tuple: unknown batch version %d", data[0])
+	}
+	flags := data[1]
+	body := data[2:]
+	if flags&flagCompressed != 0 {
+		fr := flate.NewReader(bytes.NewReader(body))
+		decompressed, err := io.ReadAll(fr)
+		if err != nil {
+			return nil, fmt.Errorf("tuple: decompress batch: %w", err)
+		}
+		if err := fr.Close(); err != nil {
+			return nil, fmt.Errorf("tuple: decompress batch: %w", err)
+		}
+		body = decompressed
+	}
+
+	off := 0
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(body[off:])
+		if n <= 0 {
+			return 0, errors.New("tuple: bad uvarint in batch")
+		}
+		off += n
+		return v, nil
+	}
+	nRows, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	arity, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nRows > 1<<28 || arity > 1<<16 {
+		return nil, fmt.Errorf("tuple: implausible batch dims %d x %d", nRows, arity)
+	}
+	rows := make([]Row, nRows)
+	if nRows == 0 {
+		return rows, nil
+	}
+	backing := make([]Value, int(nRows)*int(arity))
+	for i := range rows {
+		rows[i] = Row(backing[i*int(arity) : (i+1)*int(arity)])
+	}
+	for c := 0; c < int(arity); c++ {
+		if off >= len(body) {
+			return nil, errors.New("tuple: truncated batch column header")
+		}
+		t := Type(body[off])
+		off++
+		if !t.IsValidType() {
+			return nil, fmt.Errorf("tuple: bad column type %d in batch", t)
+		}
+		for r := 0; r < int(nRows); r++ {
+			switch t {
+			case Int64:
+				v, n := binary.Varint(body[off:])
+				if n <= 0 {
+					return nil, errors.New("tuple: bad varint in batch")
+				}
+				off += n
+				rows[r][c] = I(v)
+			case Float64:
+				if off+8 > len(body) {
+					return nil, errors.New("tuple: truncated float in batch")
+				}
+				rows[r][c] = F(math.Float64frombits(binary.BigEndian.Uint64(body[off:])))
+				off += 8
+			case String:
+				l, err := readUvarint()
+				if err != nil {
+					return nil, err
+				}
+				if off+int(l) > len(body) {
+					return nil, errors.New("tuple: truncated string in batch")
+				}
+				rows[r][c] = S(string(body[off : off+int(l)]))
+				off += int(l)
+			}
+		}
+	}
+	return rows, nil
+}

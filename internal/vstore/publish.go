@@ -1,0 +1,227 @@
+package vstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"orchestra/internal/keyspace"
+	"orchestra/internal/tuple"
+)
+
+// Op is the kind of a published change. ORCHESTRA's workload is batch
+// publication of update logs, primarily insertions of new data (§I, §IV).
+type Op uint8
+
+const (
+	// OpInsert adds a new tuple.
+	OpInsert Op = iota + 1
+	// OpUpdate replaces the current version of a tuple (same key).
+	OpUpdate
+	// OpDelete removes the tuple from the current version; prior versions
+	// remain in storage for historical queries.
+	OpDelete
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "insert"
+	case OpUpdate:
+		return "update"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Update is one entry of a published update log.
+type Update struct {
+	Op  Op
+	Row tuple.Row // for OpDelete only the key columns are consulted
+}
+
+// TupleWrite is a tuple version that must be stored at its data node.
+type TupleWrite struct {
+	ID  tuple.ID
+	Row tuple.Row
+}
+
+// DefaultMaxPageEntries bounds index page size. The paper uses "a slightly
+// higher number of entries [than CFS-style i-nodes] representing partitions
+// of the tuple space"; a few hundred IDs per page keeps pages retrievable
+// from one or at most a few data storage nodes.
+const DefaultMaxPageEntries = 512
+
+// pageEntry pairs a tuple ID with its cached hash during page builds.
+type pageEntry struct {
+	id   tuple.ID
+	hash keyspace.Key
+}
+
+func sortEntries(entries []pageEntry) {
+	// Order by (hash, key): the storage order of the data nodes.
+	sort.Slice(entries, func(i, j int) bool {
+		if c := entries[i].hash.Cmp(entries[j].hash); c != 0 {
+			return c < 0
+		}
+		return entries[i].id.Key < entries[j].id.Key
+	})
+}
+
+// BuildInitialPages constructs the first version of a relation from a batch
+// of updates at the given epoch: tuple IDs are sorted by hash and chunked
+// into pages whose ranges partition the full ring, so every future tuple
+// hash maps to exactly one page.
+func BuildInitialPages(s *tuple.Schema, epoch tuple.Epoch, ups []Update, maxPerPage int) ([]Page, []TupleWrite, error) {
+	if maxPerPage <= 0 {
+		maxPerPage = DefaultMaxPageEntries
+	}
+	byKey := make(map[string]pageEntry)
+	var writes []TupleWrite
+	for _, u := range ups {
+		switch u.Op {
+		case OpInsert, OpUpdate:
+			if len(u.Row) != s.Arity() {
+				return nil, nil, fmt.Errorf("vstore: update row arity %d != schema %d", len(u.Row), s.Arity())
+			}
+			id := tuple.NewID(s, u.Row, epoch)
+			byKey[id.Key] = pageEntry{id: id, hash: id.Hash()}
+			writes = append(writes, TupleWrite{ID: id, Row: u.Row})
+		case OpDelete:
+			id := tuple.NewID(s, u.Row, epoch)
+			delete(byKey, id.Key)
+		default:
+			return nil, nil, fmt.Errorf("vstore: unknown op %v", u.Op)
+		}
+	}
+	entries := make([]pageEntry, 0, len(byKey))
+	for _, e := range byKey {
+		entries = append(entries, e)
+	}
+	sortEntries(entries)
+
+	var seq uint32
+	pages := chunkIntoPages(s.Relation, epoch, &seq, entries, keyspace.Zero, keyspace.Zero, maxPerPage)
+	return pages, writes, nil
+}
+
+// chunkIntoPages splits sorted entries into pages of at most maxPerPage IDs
+// whose ranges partition [min, max). Chunk boundaries fall only between
+// distinct hashes so every entry lies strictly within its page's range.
+func chunkIntoPages(relation string, epoch tuple.Epoch, seq *uint32, entries []pageEntry, min, max keyspace.Key, maxPerPage int) []Page {
+	newPage := func(lo, hi keyspace.Key, es []pageEntry) Page {
+		ids := make([]tuple.ID, len(es))
+		for i, e := range es {
+			ids[i] = e.id
+		}
+		p := Page{
+			Ref: PageRef{
+				ID:  PageID{Relation: relation, Epoch: epoch, Seq: *seq},
+				Min: lo,
+				Max: hi,
+			},
+			IDs: ids,
+		}
+		*seq++
+		return p
+	}
+
+	if len(entries) <= maxPerPage {
+		return []Page{newPage(min, max, entries)}
+	}
+
+	// Find chunk boundaries: advance past runs of equal hashes.
+	var pages []Page
+	lo := min
+	start := 0
+	for start < len(entries) {
+		end := start + maxPerPage
+		if end >= len(entries) {
+			pages = append(pages, newPage(lo, max, entries[start:]))
+			break
+		}
+		// Move end forward past entries sharing the boundary hash.
+		for end < len(entries) && entries[end].hash == entries[end-1].hash {
+			end++
+		}
+		if end >= len(entries) {
+			pages = append(pages, newPage(lo, max, entries[start:]))
+			break
+		}
+		boundary := entries[end].hash
+		pages = append(pages, newPage(lo, boundary, entries[start:end]))
+		lo = boundary
+		start = end
+	}
+	return pages
+}
+
+// ErrWrongPage is returned when an update's key does not hash into the page
+// being modified.
+var ErrWrongPage = errors.New("vstore: update key outside page range")
+
+// ApplyToPage performs copy-on-write modification of one index page
+// (§IV: "modify that page to include the ID of the new tuple, and write out
+// that modified page as the new index page for the region of the table
+// surrounding the updated tuple"). It returns the replacement page(s) —
+// more than one if the page overflowed and split — and the tuple versions
+// to write. seq supplies unique page sequence numbers within (relation,
+// epoch).
+func ApplyToPage(old *Page, s *tuple.Schema, epoch tuple.Epoch, ups []Update, maxPerPage int, seq *uint32) ([]Page, []TupleWrite, error) {
+	if maxPerPage <= 0 {
+		maxPerPage = DefaultMaxPageEntries
+	}
+	byKey := make(map[string]pageEntry, len(old.IDs)+len(ups))
+	for _, id := range old.IDs {
+		byKey[id.Key] = pageEntry{id: id, hash: id.Hash()}
+	}
+	var writes []TupleWrite
+	for _, u := range ups {
+		switch u.Op {
+		case OpInsert, OpUpdate:
+			if len(u.Row) != s.Arity() {
+				return nil, nil, fmt.Errorf("vstore: update row arity %d != schema %d", len(u.Row), s.Arity())
+			}
+			id := tuple.NewID(s, u.Row, epoch)
+			h := id.Hash()
+			if !old.Ref.Contains(h) {
+				return nil, nil, fmt.Errorf("%w: %s not in %s", ErrWrongPage, id, old.Ref.ID)
+			}
+			byKey[id.Key] = pageEntry{id: id, hash: h}
+			writes = append(writes, TupleWrite{ID: id, Row: u.Row})
+		case OpDelete:
+			id := tuple.NewID(s, u.Row, epoch)
+			if !old.Ref.Contains(id.Hash()) {
+				return nil, nil, fmt.Errorf("%w: delete %s not in %s", ErrWrongPage, id, old.Ref.ID)
+			}
+			delete(byKey, id.Key)
+		default:
+			return nil, nil, fmt.Errorf("vstore: unknown op %v", u.Op)
+		}
+	}
+	entries := make([]pageEntry, 0, len(byKey))
+	for _, e := range byKey {
+		entries = append(entries, e)
+	}
+	sortEntries(entries)
+	pages := chunkIntoPages(s.Relation, epoch, seq, entries, old.Ref.Min, old.Ref.Max, maxPerPage)
+	return pages, writes, nil
+}
+
+// GroupByPage partitions updates by the page (in coord) whose range contains
+// each update's key hash. Updates are grouped in input order.
+func GroupByPage(coord *Coordinator, s *tuple.Schema, ups []Update) (map[PageID][]Update, error) {
+	out := make(map[PageID][]Update)
+	for _, u := range ups {
+		id := tuple.NewID(s, u.Row, 0)
+		ref, ok := coord.PageFor(id.Hash())
+		if !ok {
+			return nil, fmt.Errorf("vstore: no page covers hash of %s in %s@%d",
+				id, coord.Relation, coord.Epoch)
+		}
+		out[ref.ID] = append(out[ref.ID], u)
+	}
+	return out, nil
+}

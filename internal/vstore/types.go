@@ -1,0 +1,288 @@
+package vstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"orchestra/internal/keyspace"
+	"orchestra/internal/tuple"
+)
+
+// PageID identifies an index page version: the relation name, the epoch in
+// which the page was last modified, and a unique sequence number for that
+// relation and epoch (paper Example 4.1).
+type PageID struct {
+	Relation string
+	Epoch    tuple.Epoch
+	Seq      uint32
+}
+
+func (p PageID) String() string {
+	return fmt.Sprintf("%s@%d#%d", p.Relation, p.Epoch, p.Seq)
+}
+
+// PageRef is a coordinator's pointer to a page: its ID plus the tuple-hash
+// range it covers. The page's placement key — "the middle of the range of
+// tuple keys it encompasses" (§IV) — colocates the page with most of the
+// tuples it references.
+type PageRef struct {
+	ID  PageID
+	Min keyspace.Key // inclusive
+	Max keyspace.Key // exclusive; Min==Max means the full ring
+}
+
+// Placement returns the ring key where the page is stored.
+func (p PageRef) Placement() keyspace.Key {
+	if p.Min == p.Max {
+		// Full ring: place at the midpoint of the numeric key space.
+		return keyspace.Midpoint(keyspace.Zero, keyspace.Max)
+	}
+	if p.Min.Less(p.Max) {
+		return keyspace.Midpoint(p.Min, p.Max)
+	}
+	// Wrapped range: midpoint along the clockwise arc.
+	arc := p.Max.Sub(p.Min)
+	return p.Min.Add(arc.Half())
+}
+
+// Contains reports whether a tuple-hash belongs to this page's range.
+func (p PageRef) Contains(h keyspace.Key) bool {
+	return h.InRange(p.Min, p.Max)
+}
+
+// Page is the content stored at an index node: the tuple IDs present in the
+// page's hash range for the page's version, at most one per distinct key.
+// Entries are kept sorted by (hash, key) for deterministic encoding and
+// ordered scans.
+type Page struct {
+	Ref PageRef
+	IDs []tuple.ID
+}
+
+// sortIDs orders tuple IDs by (hash, key encoding).
+func sortIDs(ids []tuple.ID) {
+	sort.Slice(ids, func(i, j int) bool {
+		hi, hj := ids[i].Hash(), ids[j].Hash()
+		if c := hi.Cmp(hj); c != 0 {
+			return c < 0
+		}
+		return ids[i].Key < ids[j].Key
+	})
+}
+
+// EncodePage serializes a page.
+func EncodePage(p *Page) []byte {
+	var w writer
+	w.str(p.Ref.ID.Relation)
+	w.u64(uint64(p.Ref.ID.Epoch))
+	w.u32(p.Ref.ID.Seq)
+	w.key(p.Ref.Min)
+	w.key(p.Ref.Max)
+	w.uvarint(uint64(len(p.IDs)))
+	for _, id := range p.IDs {
+		w.u64(uint64(id.Epoch))
+		w.str(id.Key)
+	}
+	return w.buf
+}
+
+// DecodePage reverses EncodePage.
+func DecodePage(data []byte) (*Page, error) {
+	r := reader{data: data}
+	p := &Page{}
+	p.Ref.ID.Relation = r.str()
+	p.Ref.ID.Epoch = tuple.Epoch(r.u64())
+	p.Ref.ID.Seq = r.u32()
+	p.Ref.Min = r.keyVal()
+	p.Ref.Max = r.keyVal()
+	n := r.uvarint()
+	if n > 1<<24 {
+		return nil, fmt.Errorf("vstore: implausible page entry count %d", n)
+	}
+	for i := uint64(0); i < n; i++ {
+		e := tuple.Epoch(r.u64())
+		k := r.str()
+		p.IDs = append(p.IDs, tuple.ID{Key: k, Epoch: e})
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Coordinator is the relation coordinator record for (relation, epoch): the
+// list of page IDs and their tuple-hash ranges (Fig 3).
+type Coordinator struct {
+	Relation string
+	Epoch    tuple.Epoch
+	Pages    []PageRef
+}
+
+// EncodeCoordinator serializes a coordinator record.
+func EncodeCoordinator(c *Coordinator) []byte {
+	var w writer
+	w.str(c.Relation)
+	w.u64(uint64(c.Epoch))
+	w.uvarint(uint64(len(c.Pages)))
+	for _, ref := range c.Pages {
+		w.str(ref.ID.Relation)
+		w.u64(uint64(ref.ID.Epoch))
+		w.u32(ref.ID.Seq)
+		w.key(ref.Min)
+		w.key(ref.Max)
+	}
+	return w.buf
+}
+
+// DecodeCoordinator reverses EncodeCoordinator.
+func DecodeCoordinator(data []byte) (*Coordinator, error) {
+	r := reader{data: data}
+	c := &Coordinator{}
+	c.Relation = r.str()
+	c.Epoch = tuple.Epoch(r.u64())
+	n := r.uvarint()
+	if n > 1<<24 {
+		return nil, fmt.Errorf("vstore: implausible page count %d", n)
+	}
+	for i := uint64(0); i < n; i++ {
+		var ref PageRef
+		ref.ID.Relation = r.str()
+		ref.ID.Epoch = tuple.Epoch(r.u64())
+		ref.ID.Seq = r.u32()
+		ref.Min = r.keyVal()
+		ref.Max = r.keyVal()
+		c.Pages = append(c.Pages, ref)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// PageFor returns the page ref covering hash h, or false if none does (which
+// indicates a corrupt coordinator: pages must partition the ring).
+func (c *Coordinator) PageFor(h keyspace.Key) (PageRef, bool) {
+	for _, ref := range c.Pages {
+		if ref.Contains(h) {
+			return ref, true
+		}
+	}
+	return PageRef{}, false
+}
+
+// Catalog records a relation's schema and the epochs at which it was
+// modified, in increasing order. It is the entry point for resolving "the
+// state of R as of epoch e" to the coordinator record to read.
+type Catalog struct {
+	Schema *tuple.Schema
+	Epochs []tuple.Epoch
+}
+
+// EffectiveEpoch returns the largest modification epoch <= e: a query at
+// epoch e sees the effects of all state published up to e and nothing later
+// (§IV). ok is false if the relation did not exist at e.
+func (c *Catalog) EffectiveEpoch(e tuple.Epoch) (tuple.Epoch, bool) {
+	i := sort.Search(len(c.Epochs), func(i int) bool { return c.Epochs[i] > e })
+	if i == 0 {
+		return 0, false
+	}
+	return c.Epochs[i-1], true
+}
+
+// LatestEpoch returns the relation's most recent modification epoch.
+func (c *Catalog) LatestEpoch() (tuple.Epoch, bool) {
+	if len(c.Epochs) == 0 {
+		return 0, false
+	}
+	return c.Epochs[len(c.Epochs)-1], true
+}
+
+// WithEpoch returns a copy of the catalog including epoch e (idempotent).
+func (c *Catalog) WithEpoch(e tuple.Epoch) *Catalog {
+	out := &Catalog{Schema: c.Schema}
+	out.Epochs = append(out.Epochs, c.Epochs...)
+	n := len(out.Epochs)
+	if n > 0 && out.Epochs[n-1] == e {
+		return out
+	}
+	out.Epochs = append(out.Epochs, e)
+	sort.Slice(out.Epochs, func(i, j int) bool { return out.Epochs[i] < out.Epochs[j] })
+	return out
+}
+
+// EncodeCatalog serializes a catalog record.
+func EncodeCatalog(c *Catalog) []byte {
+	var w writer
+	w.bytes(EncodeSchema(c.Schema))
+	w.uvarint(uint64(len(c.Epochs)))
+	for _, e := range c.Epochs {
+		w.u64(uint64(e))
+	}
+	return w.buf
+}
+
+// DecodeCatalog reverses EncodeCatalog.
+func DecodeCatalog(data []byte) (*Catalog, error) {
+	r := reader{data: data}
+	sb := r.bytes()
+	if r.err != nil {
+		return nil, r.err
+	}
+	schema, err := DecodeSchema(sb)
+	if err != nil {
+		return nil, err
+	}
+	c := &Catalog{Schema: schema}
+	n := r.uvarint()
+	if n > 1<<24 {
+		return nil, errors.New("vstore: implausible epoch count")
+	}
+	for i := uint64(0); i < n; i++ {
+		c.Epochs = append(c.Epochs, tuple.Epoch(r.u64()))
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// TupleRecord is a full tuple version as stored at a data storage node.
+type TupleRecord struct {
+	ID  tuple.ID
+	Row tuple.Row
+}
+
+// EncodeTupleRecord serializes a stored tuple (schema-directed row codec).
+func EncodeTupleRecord(s *tuple.Schema, rec TupleRecord) ([]byte, error) {
+	var w writer
+	w.u64(uint64(rec.ID.Epoch))
+	w.str(rec.ID.Key)
+	rowBytes, err := tuple.AppendRow(nil, s, rec.Row)
+	if err != nil {
+		return nil, err
+	}
+	w.bytes(rowBytes)
+	return w.buf, nil
+}
+
+// DecodeTupleRecord reverses EncodeTupleRecord.
+func DecodeTupleRecord(s *tuple.Schema, data []byte) (TupleRecord, error) {
+	r := reader{data: data}
+	var rec TupleRecord
+	rec.ID.Epoch = tuple.Epoch(r.u64())
+	rec.ID.Key = r.str()
+	rowBytes := r.bytes()
+	if r.err != nil {
+		return rec, r.err
+	}
+	row, n, err := tuple.DecodeRow(rowBytes, s)
+	if err != nil {
+		return rec, err
+	}
+	if n != len(rowBytes) {
+		return rec, errors.New("vstore: trailing bytes in tuple row")
+	}
+	rec.Row = row
+	return rec, r.done()
+}

@@ -1,0 +1,564 @@
+package vstore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"orchestra/internal/keyspace"
+	"orchestra/internal/tuple"
+)
+
+func rSchema(t *testing.T) *tuple.Schema {
+	t.Helper()
+	s, err := tuple.NewSchema("R",
+		[]tuple.Column{{Name: "x", Type: tuple.String}, {Name: "y", Type: tuple.String}}, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchemaCodecRoundTrip(t *testing.T) {
+	s := rSchema(t)
+	got, err := DecodeSchema(EncodeSchema(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(s) {
+		t.Errorf("round trip: %s != %s", got, s)
+	}
+}
+
+func TestSchemaCodecRejectsGarbage(t *testing.T) {
+	if _, err := DecodeSchema([]byte{0xFF, 0xFF}); err == nil {
+		t.Error("garbage should fail")
+	}
+	s := rSchema(t)
+	enc := EncodeSchema(s)
+	if _, err := DecodeSchema(enc[:len(enc)-1]); err == nil {
+		t.Error("truncated should fail")
+	}
+	if _, err := DecodeSchema(append(enc, 0x01)); err == nil {
+		t.Error("trailing bytes should fail")
+	}
+}
+
+func TestPageCodecRoundTrip(t *testing.T) {
+	s := rSchema(t)
+	p := &Page{
+		Ref: PageRef{
+			ID:  PageID{Relation: "R", Epoch: 3, Seq: 7},
+			Min: keyspace.FromUint64(100),
+			Max: keyspace.FromUint64(900),
+		},
+	}
+	for i := 0; i < 20; i++ {
+		row := tuple.Row{tuple.S(fmt.Sprintf("k%d", i)), tuple.S("v")}
+		p.IDs = append(p.IDs, tuple.NewID(s, row, tuple.Epoch(i%4)))
+	}
+	got, err := DecodePage(EncodePage(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ref != p.Ref {
+		t.Errorf("ref mismatch: %+v != %+v", got.Ref, p.Ref)
+	}
+	if len(got.IDs) != len(p.IDs) {
+		t.Fatalf("id count %d != %d", len(got.IDs), len(p.IDs))
+	}
+	for i := range p.IDs {
+		if got.IDs[i] != p.IDs[i] {
+			t.Errorf("id %d: %v != %v", i, got.IDs[i], p.IDs[i])
+		}
+	}
+}
+
+func TestCoordinatorCodecRoundTrip(t *testing.T) {
+	c := &Coordinator{
+		Relation: "R",
+		Epoch:    5,
+		Pages: []PageRef{
+			{ID: PageID{"R", 5, 0}, Min: keyspace.Zero, Max: keyspace.FromUint64(500)},
+			{ID: PageID{"R", 2, 1}, Min: keyspace.FromUint64(500), Max: keyspace.Zero},
+		},
+	}
+	got, err := DecodeCoordinator(EncodeCoordinator(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Relation != c.Relation || got.Epoch != c.Epoch || len(got.Pages) != 2 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range c.Pages {
+		if got.Pages[i] != c.Pages[i] {
+			t.Errorf("page %d: %+v != %+v", i, got.Pages[i], c.Pages[i])
+		}
+	}
+}
+
+func TestCatalogEffectiveEpoch(t *testing.T) {
+	c := &Catalog{Schema: rSchema(t), Epochs: []tuple.Epoch{1, 4, 9}}
+	cases := []struct {
+		at   tuple.Epoch
+		want tuple.Epoch
+		ok   bool
+	}{
+		{0, 0, false}, {1, 1, true}, {3, 1, true}, {4, 4, true},
+		{8, 4, true}, {9, 9, true}, {100, 9, true},
+	}
+	for _, cse := range cases {
+		got, ok := c.EffectiveEpoch(cse.at)
+		if ok != cse.ok || (ok && got != cse.want) {
+			t.Errorf("EffectiveEpoch(%d) = %d,%v want %d,%v", cse.at, got, ok, cse.want, cse.ok)
+		}
+	}
+	if latest, ok := c.LatestEpoch(); !ok || latest != 9 {
+		t.Errorf("LatestEpoch = %d,%v", latest, ok)
+	}
+	empty := &Catalog{Schema: rSchema(t)}
+	if _, ok := empty.LatestEpoch(); ok {
+		t.Error("empty catalog has a latest epoch")
+	}
+}
+
+func TestCatalogWithEpochIdempotent(t *testing.T) {
+	c := &Catalog{Schema: rSchema(t), Epochs: []tuple.Epoch{2}}
+	c2 := c.WithEpoch(5).WithEpoch(5).WithEpoch(3)
+	if len(c2.Epochs) != 3 || c2.Epochs[0] != 2 || c2.Epochs[1] != 3 || c2.Epochs[2] != 5 {
+		t.Errorf("Epochs = %v", c2.Epochs)
+	}
+	if len(c.Epochs) != 1 {
+		t.Error("WithEpoch mutated the original")
+	}
+}
+
+func TestCatalogCodecRoundTrip(t *testing.T) {
+	c := &Catalog{Schema: rSchema(t), Epochs: []tuple.Epoch{1, 2, 3}}
+	got, err := DecodeCatalog(EncodeCatalog(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Schema.Equal(c.Schema) || len(got.Epochs) != 3 || got.Epochs[2] != 3 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestTupleRecordCodec(t *testing.T) {
+	s := rSchema(t)
+	row := tuple.Row{tuple.S("key1"), tuple.S("val1")}
+	rec := TupleRecord{ID: tuple.NewID(s, row, 4), Row: row}
+	enc, err := EncodeTupleRecord(s, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTupleRecord(s, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != rec.ID || !got.Row.Equal(rec.Row) {
+		t.Errorf("round trip: %+v != %+v", got, rec)
+	}
+}
+
+func TestBuildInitialPagesSmall(t *testing.T) {
+	s := rSchema(t)
+	var ups []Update
+	for i := 0; i < 10; i++ {
+		ups = append(ups, Update{Op: OpInsert, Row: tuple.Row{tuple.S(fmt.Sprintf("k%d", i)), tuple.S("v")}})
+	}
+	pages, writes, err := BuildInitialPages(s, 1, ups, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 1 {
+		t.Fatalf("want 1 page, got %d", len(pages))
+	}
+	p := pages[0]
+	if p.Ref.Min != keyspace.Zero || p.Ref.Max != keyspace.Zero {
+		t.Error("single page should cover the full ring")
+	}
+	if len(p.IDs) != 10 || len(writes) != 10 {
+		t.Errorf("ids=%d writes=%d", len(p.IDs), len(writes))
+	}
+	// IDs sorted by hash.
+	for i := 1; i < len(p.IDs); i++ {
+		if p.IDs[i-1].Hash().Cmp(p.IDs[i].Hash()) > 0 {
+			t.Error("page IDs not sorted by hash")
+		}
+	}
+}
+
+func TestBuildInitialPagesSplitsAndPartitions(t *testing.T) {
+	s := rSchema(t)
+	var ups []Update
+	const n = 1000
+	for i := 0; i < n; i++ {
+		ups = append(ups, Update{Op: OpInsert, Row: tuple.Row{tuple.S(fmt.Sprintf("key-%04d", i)), tuple.S("v")}})
+	}
+	pages, writes, err := BuildInitialPages(s, 1, ups, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(writes) != n {
+		t.Fatalf("writes = %d", len(writes))
+	}
+	if len(pages) < n/64 {
+		t.Fatalf("too few pages: %d", len(pages))
+	}
+	// Page ranges must partition the full ring in order.
+	if pages[0].Ref.Min != keyspace.Zero {
+		t.Error("first page must start at zero")
+	}
+	if pages[len(pages)-1].Ref.Max != keyspace.Zero {
+		t.Error("last page must wrap to zero")
+	}
+	total := 0
+	seqs := map[uint32]bool{}
+	for i, p := range pages {
+		if i > 0 && p.Ref.Min != pages[i-1].Ref.Max {
+			t.Errorf("page %d not contiguous", i)
+		}
+		if len(p.IDs) > 64+5 { // small slack for equal-hash runs
+			t.Errorf("page %d overfull: %d", i, len(p.IDs))
+		}
+		if seqs[p.Ref.ID.Seq] {
+			t.Errorf("duplicate page seq %d", p.Ref.ID.Seq)
+		}
+		seqs[p.Ref.ID.Seq] = true
+		for _, id := range p.IDs {
+			if !p.Ref.Contains(id.Hash()) {
+				t.Fatalf("page %d contains out-of-range ID %v", i, id)
+			}
+		}
+		total += len(p.IDs)
+	}
+	if total != n {
+		t.Errorf("total ids %d != %d", total, n)
+	}
+}
+
+func TestBuildInitialPagesEmptyAndDedup(t *testing.T) {
+	s := rSchema(t)
+	pages, writes, err := BuildInitialPages(s, 1, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 1 || len(pages[0].IDs) != 0 || len(writes) != 0 {
+		t.Errorf("empty build: %d pages, %d ids", len(pages), len(pages[0].IDs))
+	}
+	// Same key twice: last wins, one entry.
+	ups := []Update{
+		{Op: OpInsert, Row: tuple.Row{tuple.S("k"), tuple.S("v1")}},
+		{Op: OpUpdate, Row: tuple.Row{tuple.S("k"), tuple.S("v2")}},
+	}
+	pages, writes, err = BuildInitialPages(s, 1, ups, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages[0].IDs) != 1 {
+		t.Errorf("dedup failed: %d ids", len(pages[0].IDs))
+	}
+	if len(writes) != 2 {
+		t.Errorf("both versions should be written: %d", len(writes))
+	}
+	// Insert then delete: no entry.
+	ups = []Update{
+		{Op: OpInsert, Row: tuple.Row{tuple.S("k"), tuple.S("v1")}},
+		{Op: OpDelete, Row: tuple.Row{tuple.S("k"), tuple.S("")}},
+	}
+	pages, _, err = BuildInitialPages(s, 1, ups, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages[0].IDs) != 0 {
+		t.Error("delete after insert should leave no entry")
+	}
+}
+
+func TestApplyToPageModify(t *testing.T) {
+	// Mirrors the paper's running example: R(f,z) at epoch 0 changed to
+	// R(f,a) at epoch 1 — the page entry for key f is replaced with the
+	// new-epoch ID; the old tuple version remains (only writes for the new).
+	s := rSchema(t)
+	initial := []Update{
+		{Op: OpInsert, Row: tuple.Row{tuple.S("a"), tuple.S("b")}},
+		{Op: OpInsert, Row: tuple.Row{tuple.S("f"), tuple.S("z")}},
+	}
+	pages, _, err := BuildInitialPages(s, 0, initial, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := &pages[0]
+
+	var seq uint32
+	ups := []Update{
+		{Op: OpUpdate, Row: tuple.Row{tuple.S("f"), tuple.S("a")}},
+		{Op: OpInsert, Row: tuple.Row{tuple.S("b"), tuple.S("c")}},
+	}
+	newPages, writes, err := ApplyToPage(old, s, 1, ups, 100, &seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newPages) != 1 {
+		t.Fatalf("want 1 page, got %d", len(newPages))
+	}
+	np := newPages[0]
+	if np.Ref.ID.Epoch != 1 || np.Ref.ID.Relation != "R" {
+		t.Errorf("new page ID = %v", np.Ref.ID)
+	}
+	if np.Ref.Min != old.Ref.Min || np.Ref.Max != old.Ref.Max {
+		t.Error("page range must be preserved on modify")
+	}
+	if len(np.IDs) != 3 {
+		t.Fatalf("want 3 ids, got %d", len(np.IDs))
+	}
+	wantEpochs := map[string]tuple.Epoch{"a": 0, "f": 1, "b": 1}
+	for _, id := range np.IDs {
+		vals, err := id.KeyValues()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := wantEpochs[vals[0].Str]; id.Epoch != want {
+			t.Errorf("key %s at epoch %d, want %d", vals[0].Str, id.Epoch, want)
+		}
+	}
+	if len(writes) != 2 {
+		t.Errorf("want 2 tuple writes, got %d", len(writes))
+	}
+	// Old page untouched (copy-on-write).
+	if len(old.IDs) != 2 {
+		t.Error("ApplyToPage mutated the old page")
+	}
+}
+
+func TestApplyToPageDeleteAndSplit(t *testing.T) {
+	s := rSchema(t)
+	var initial []Update
+	for i := 0; i < 50; i++ {
+		initial = append(initial, Update{Op: OpInsert, Row: tuple.Row{tuple.S(fmt.Sprintf("k%02d", i)), tuple.S("v")}})
+	}
+	pages, _, err := BuildInitialPages(s, 0, initial, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := &pages[0]
+
+	// Delete one.
+	var seq uint32
+	newPages, writes, err := ApplyToPage(old, s, 1,
+		[]Update{{Op: OpDelete, Row: tuple.Row{tuple.S("k07"), tuple.S("")}}}, 1000, &seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newPages[0].IDs) != 49 || len(writes) != 0 {
+		t.Errorf("after delete: %d ids, %d writes", len(newPages[0].IDs), len(writes))
+	}
+
+	// Overflow: small page cap forces a split within the old range.
+	var ups []Update
+	for i := 0; i < 60; i++ {
+		ups = append(ups, Update{Op: OpInsert, Row: tuple.Row{tuple.S(fmt.Sprintf("new%02d", i)), tuple.S("v")}})
+	}
+	seq = 0
+	split, _, err := ApplyToPage(old, s, 2, ups, 64, &seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(split) < 2 {
+		t.Fatalf("expected split, got %d pages", len(split))
+	}
+	if split[0].Ref.Min != old.Ref.Min || split[len(split)-1].Ref.Max != old.Ref.Max {
+		t.Error("split pages must cover exactly the old range")
+	}
+	total := 0
+	for i, p := range split {
+		if i > 0 && p.Ref.Min != split[i-1].Ref.Max {
+			t.Errorf("split page %d not contiguous", i)
+		}
+		for _, id := range p.IDs {
+			if !p.Ref.Contains(id.Hash()) {
+				t.Error("split page contains out-of-range id")
+			}
+		}
+		total += len(p.IDs)
+	}
+	if total != 110 {
+		t.Errorf("total after split = %d, want 110", total)
+	}
+}
+
+func TestApplyToPageRejectsForeignKeyHash(t *testing.T) {
+	s := rSchema(t)
+	// Construct a page covering a tiny range that cannot contain our key.
+	old := &Page{Ref: PageRef{
+		ID:  PageID{"R", 0, 0},
+		Min: keyspace.FromUint64(1),
+		Max: keyspace.FromUint64(2),
+	}}
+	var seq uint32
+	_, _, err := ApplyToPage(old, s, 1,
+		[]Update{{Op: OpInsert, Row: tuple.Row{tuple.S("zzz"), tuple.S("v")}}}, 10, &seq)
+	if err == nil {
+		t.Fatal("expected ErrWrongPage")
+	}
+}
+
+func TestGroupByPage(t *testing.T) {
+	s := rSchema(t)
+	var initial []Update
+	for i := 0; i < 300; i++ {
+		initial = append(initial, Update{Op: OpInsert, Row: tuple.Row{tuple.S(fmt.Sprintf("k%03d", i)), tuple.S("v")}})
+	}
+	pages, _, err := BuildInitialPages(s, 0, initial, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := &Coordinator{Relation: "R", Epoch: 0}
+	for _, p := range pages {
+		coord.Pages = append(coord.Pages, p.Ref)
+	}
+	var ups []Update
+	for i := 0; i < 50; i++ {
+		ups = append(ups, Update{Op: OpInsert, Row: tuple.Row{tuple.S(fmt.Sprintf("n%02d", i)), tuple.S("v")}})
+	}
+	groups, err := GroupByPage(coord, s, ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for pid, g := range groups {
+		ref := PageRef{}
+		for _, p := range coord.Pages {
+			if p.ID == pid {
+				ref = p
+			}
+		}
+		for _, u := range g {
+			id := tuple.NewID(s, u.Row, 0)
+			if !ref.Contains(id.Hash()) {
+				t.Errorf("update grouped into wrong page %v", pid)
+			}
+		}
+		total += len(g)
+	}
+	if total != 50 {
+		t.Errorf("grouped %d updates, want 50", total)
+	}
+}
+
+func TestPagePlacementColocation(t *testing.T) {
+	// Placement of a page is the midpoint of its range, so it falls inside
+	// the range (the colocation invariant of §IV) — including wrapped
+	// ranges and the full ring.
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		var a, b keyspace.Key
+		r.Read(a[:])
+		r.Read(b[:])
+		if a == b {
+			continue
+		}
+		ref := PageRef{Min: a, Max: b}
+		if !ref.Contains(ref.Placement()) {
+			t.Fatalf("placement %s outside page range [%s,%s)",
+				ref.Placement().Short(), a.Short(), b.Short())
+		}
+	}
+	full := PageRef{Min: keyspace.Zero, Max: keyspace.Zero}
+	if !full.Contains(full.Placement()) {
+		t.Error("full-ring placement outside range")
+	}
+}
+
+func TestPaperExample41(t *testing.T) {
+	// Paper Example 4.1: R(x,y), key x. Epoch 0 inserts R(a,b), R(f,z).
+	// Epoch 1 inserts R(b,c), R(e,e), R(c,f) and changes R(f,z)→R(f,a).
+	// Epoch 2 inserts R(d,d). The tuple ID of R(f,a) must be ⟨f,1⟩, and the
+	// catalog view at epoch 2 must contain exactly the six current tuples.
+	s := rSchema(t)
+	var seq0 uint32
+	e0 := []Update{
+		{Op: OpInsert, Row: tuple.Row{tuple.S("a"), tuple.S("b")}},
+		{Op: OpInsert, Row: tuple.Row{tuple.S("f"), tuple.S("z")}},
+	}
+	pages0, _, err := BuildInitialPages(s, 0, e0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = seq0
+
+	e1 := []Update{
+		{Op: OpInsert, Row: tuple.Row{tuple.S("b"), tuple.S("c")}},
+		{Op: OpInsert, Row: tuple.Row{tuple.S("e"), tuple.S("e")}},
+		{Op: OpInsert, Row: tuple.Row{tuple.S("c"), tuple.S("f")}},
+		{Op: OpUpdate, Row: tuple.Row{tuple.S("f"), tuple.S("a")}},
+	}
+	var seq1 uint32
+	pages1, _, err := ApplyToPage(&pages0[0], s, 1, e1, 100, &seq1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := []Update{{Op: OpInsert, Row: tuple.Row{tuple.S("d"), tuple.S("d")}}}
+	var seq2 uint32
+	pages2, _, err := ApplyToPage(&pages1[0], s, 2, e2, 100, &seq2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]tuple.Epoch{
+		"a": 0, "f": 1, "b": 1, "e": 1, "c": 1, "d": 2,
+	}
+	if len(pages2[0].IDs) != len(want) {
+		t.Fatalf("%d current ids, want %d", len(pages2[0].IDs), len(want))
+	}
+	for _, id := range pages2[0].IDs {
+		vals, err := id.KeyValues()
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := vals[0].Str
+		if id.Epoch != want[k] {
+			t.Errorf("tuple ID for %s = ⟨%s,%d⟩, want epoch %d", k, k, id.Epoch, want[k])
+		}
+	}
+}
+
+func TestTupleKVKeyRoundTrip(t *testing.T) {
+	s := rSchema(t)
+	row := tuple.Row{tuple.S("some-key\x00tricky"), tuple.S("v")}
+	id := tuple.NewID(s, row, 9)
+	kv := TupleKVKey(id)
+	gotHash, ok := TupleKeyHash(kv)
+	if !ok || gotHash != id.Hash() {
+		t.Errorf("TupleKeyHash = %v, %v", gotHash, ok)
+	}
+	gotID, ok := TupleIDFromKVKey(kv)
+	if !ok || gotID != id {
+		t.Errorf("TupleIDFromKVKey = %v, %v", gotID, ok)
+	}
+	if _, ok := TupleIDFromKVKey([]byte("x/short")); ok {
+		t.Error("bad kv key accepted")
+	}
+}
+
+func TestTupleScanBounds(t *testing.T) {
+	min := keyspace.FromUint64(100)
+	max := keyspace.FromUint64(200)
+	lo, hi, wrapped := TupleScanBounds(min, max)
+	if wrapped {
+		t.Error("forward range reported wrapped")
+	}
+	kv := TupleKVKey(tuple.ID{Key: "k", Epoch: 0})
+	_ = kv
+	if string(lo[:2]) != "t/" || string(hi[:2]) != "t/" {
+		t.Error("bounds must carry the tuple prefix")
+	}
+	_, _, wrapped = TupleScanBounds(max, min)
+	if !wrapped {
+		t.Error("reversed range must report wrapped")
+	}
+	fullLo, fullHi, wrapped := TupleScanBounds(keyspace.Zero, keyspace.Zero)
+	if wrapped || string(fullLo) != "t/" || string(fullHi) != "t0" {
+		t.Errorf("full-ring bounds = %q %q %v", fullLo, fullHi, wrapped)
+	}
+}

@@ -1,0 +1,429 @@
+// Package orchestra is the public face of this repository: a reliable,
+// replicated, versioned storage and distributed query processing system
+// for collaborative data sharing, reproducing Taylor & Ives, "Reliable
+// Storage and Querying for Collaborative Data Sharing Systems" (ICDE 2010).
+//
+// A Cluster is a set of storage/query nodes connected by a simulated
+// message network (real byte-level encoding, optional latency and
+// bandwidth shaping, failure injection). Relations are horizontally
+// partitioned by key hash, replicated, and fully versioned: every Publish
+// advances a global epoch, and queries run against a consistent snapshot
+// of any epoch. SQL queries are optimized into distributed plans and
+// executed with exactly-once semantics even when nodes fail mid-query
+// (restart or incremental recomputation).
+//
+// Quickstart:
+//
+//	c, _ := orchestra.NewCluster(4)
+//	defer c.Shutdown()
+//	c.CreateRelation(orchestra.NewSchema("inv", "item:string", "qty:int").Key("item"))
+//	c.Publish("inv", orchestra.Rows{{"bolt", 90}, {"nut", 120}})
+//	res, _ := c.Query("SELECT item, qty FROM inv WHERE qty > 100")
+package orchestra
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"orchestra/internal/cluster"
+	"orchestra/internal/engine"
+	"orchestra/internal/optimizer"
+	"orchestra/internal/ring"
+	"orchestra/internal/transport"
+	"orchestra/internal/tuple"
+	"orchestra/internal/vstore"
+)
+
+// Epoch is the global logical timestamp; it advances after each Publish.
+type Epoch = tuple.Epoch
+
+// Row is one relational tuple as Go values (int64/int, float64, string).
+type Row []any
+
+// Rows is a batch of tuples.
+type Rows []Row
+
+// Option configures a Cluster.
+type Option func(*config)
+
+type config struct {
+	replication int
+	latency     time.Duration
+	bandwidth   int64
+	scheme      ring.Scheme
+	capacities  []float64
+	nodeCfg     cluster.Config
+}
+
+// WithReplication sets the total copy count r kept of each data item
+// (default 3, as in the paper's Pastry-style replica placement).
+func WithReplication(r int) Option { return func(c *config) { c.replication = r } }
+
+// WithLatency injects a one-way delivery delay on every inter-node message
+// (the paper's NetEm substitute, §VI-C).
+func WithLatency(d time.Duration) Option { return func(c *config) { c.latency = d } }
+
+// WithBandwidth caps each node's outbound bytes/second (the paper's HTB
+// substitute, §VI-C). 0 means unlimited.
+func WithBandwidth(bps int64) Option { return func(c *config) { c.bandwidth = bps } }
+
+// WithPastryAllocation switches range allocation from the default balanced
+// scheme (Fig 2b) to Pastry-style nearest-hash allocation (Fig 2a).
+func WithPastryAllocation() Option {
+	return func(c *config) { c.scheme = ring.PastryStyle }
+}
+
+// WithCapacities sizes each node's key-space share proportionally to its
+// capacity — the automatic load-balancing extension of the paper's future
+// work (§VIII). The slice length determines the cluster size and overrides
+// the n argument of NewCluster.
+func WithCapacities(capacities ...float64) Option {
+	return func(c *config) { c.capacities = capacities }
+}
+
+// Cluster is a local ORCHESTRA deployment: n storage/query nodes over a
+// simulated network, each pairing a versioned store with a query engine.
+type Cluster struct {
+	local   *cluster.Local
+	engines []*engine.Engine
+
+	mu      sync.Mutex
+	schemas map[string]*tuple.Schema
+	rows    map[string]int64 // published row counts, for optimizer stats
+	views   *viewCache       // nil unless EnableQueryCache was called
+}
+
+// NewCluster starts n nodes with balanced range allocation and replication
+// factor 3 (override via options).
+func NewCluster(n int, opts ...Option) (*Cluster, error) {
+	cfg := config{replication: 3, scheme: ring.Balanced}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var local *cluster.Local
+	var err error
+	netCfg := transport.Config{Latency: cfg.latency, BandwidthBps: cfg.bandwidth}
+	if len(cfg.capacities) > 0 {
+		local, err = cluster.NewLocalWeighted(cfg.capacities,
+			cluster.Config{Replication: cfg.replication}, netCfg)
+	} else {
+		local, err = cluster.NewLocalScheme(n,
+			cluster.Config{Replication: cfg.replication}, netCfg, cfg.scheme)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		local:   local,
+		schemas: make(map[string]*tuple.Schema),
+		rows:    make(map[string]int64),
+	}
+	for _, node := range local.Nodes() {
+		c.engines = append(c.engines, engine.New(node))
+	}
+	return c, nil
+}
+
+// Size returns the number of nodes ever started (including killed ones).
+func (c *Cluster) Size() int { return len(c.engines) }
+
+// NodeID returns the i-th node's identity.
+func (c *Cluster) NodeID(i int) string { return string(c.local.Node(i).ID()) }
+
+// Shutdown stops all nodes and the network.
+func (c *Cluster) Shutdown() { c.local.Shutdown() }
+
+// Kill abruptly severs a node (crash-stop), as in the paper's failure
+// experiments. In-flight queries recover per their QueryOptions.
+func (c *Cluster) Kill(i int) { c.local.Kill(c.local.Node(i).ID()) }
+
+// Hang makes a node stop responding while keeping connections open — the
+// "hung machine" case detected by background pings (§V-C).
+func (c *Cluster) Hang(i int) { c.local.Hang(c.local.Node(i).ID()) }
+
+// OnNodeDown registers a callback at node i invoked when that node detects
+// a peer failure — via connection drop (crash) or ping timeout (hang).
+func (c *Cluster) OnNodeDown(i int, fn func(peer string)) {
+	c.local.Node(i).OnPeerDown(func(id ring.NodeID) { fn(string(id)) })
+}
+
+// StartPingers enables background hung-machine detection on all nodes.
+func (c *Cluster) StartPingers(interval, timeout time.Duration) {
+	c.local.StartPingers(interval, timeout)
+}
+
+// AddNode joins a fresh node; data is rebalanced and the node participates
+// in queries whose snapshot is taken after the join (§V-C).
+func (c *Cluster) AddNode() (int, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	node, err := c.local.AddNode(ctx)
+	if err != nil {
+		return 0, err
+	}
+	c.engines = append(c.engines, engine.New(node))
+	return len(c.engines) - 1, nil
+}
+
+// RemoveNode gracefully retires node i, rebalancing its data first.
+func (c *Cluster) RemoveNode(i int) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	return c.local.RemoveNode(ctx, c.local.Node(i).ID())
+}
+
+// NetworkStats reports accumulated traffic counters (bytes and messages
+// are genuine wire sizes — all payloads are really encoded).
+func (c *Cluster) NetworkStats() transport.Stats { return c.local.Net.Stats() }
+
+// ResetNetworkStats zeroes the traffic counters (used between experiment
+// phases to isolate a query's traffic).
+func (c *Cluster) ResetNetworkStats() { c.local.Net.ResetStats() }
+
+// CurrentEpoch returns the node-0 view of the global epoch.
+func (c *Cluster) CurrentEpoch() Epoch {
+	return c.local.Node(0).Gossip().Current()
+}
+
+// --- schema DDL ---
+
+// SchemaDef builds a relation schema fluently; see NewSchema.
+type SchemaDef struct {
+	name string
+	cols []tuple.Column
+	keys []string
+	err  error
+}
+
+// NewSchema starts a schema definition. Columns are "name:type" with type
+// one of int, float, string.
+func NewSchema(relation string, columns ...string) *SchemaDef {
+	d := &SchemaDef{name: relation}
+	for _, c := range columns {
+		var name, typ string
+		if n, err := fmt.Sscanf(c, "%s", &name); n != 1 || err != nil {
+			d.err = fmt.Errorf("orchestra: bad column %q", c)
+			return d
+		}
+		for i := 0; i < len(c); i++ {
+			if c[i] == ':' {
+				name, typ = c[:i], c[i+1:]
+				break
+			}
+		}
+		var t tuple.Type
+		switch typ {
+		case "int", "int64":
+			t = tuple.Int64
+		case "float", "float64":
+			t = tuple.Float64
+		case "string", "str":
+			t = tuple.String
+		default:
+			d.err = fmt.Errorf("orchestra: bad column type in %q", c)
+			return d
+		}
+		d.cols = append(d.cols, tuple.Column{Name: name, Type: t})
+	}
+	return d
+}
+
+// Key declares the key columns (data is partitioned by their hash).
+func (d *SchemaDef) Key(columns ...string) *SchemaDef {
+	d.keys = columns
+	return d
+}
+
+func (d *SchemaDef) build() (*tuple.Schema, error) {
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.keys) == 0 && len(d.cols) > 0 {
+		d.keys = []string{d.cols[0].Name} // default: first column
+	}
+	return tuple.NewSchema(d.name, d.cols, d.keys...)
+}
+
+// CreateRelation registers a relation across the cluster.
+func (c *Cluster) CreateRelation(def *SchemaDef) error {
+	schema, err := def.build()
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.local.Node(0).CreateRelation(ctx, schema); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.schemas[schema.Relation] = schema
+	c.mu.Unlock()
+	return nil
+}
+
+// CreateRelationSchema registers a pre-built tuple schema across the
+// cluster (used by workload loaders that generate typed rows directly).
+func (c *Cluster) CreateRelationSchema(s *tuple.Schema) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.local.Node(0).CreateRelation(ctx, s); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.schemas[s.Relation] = s
+	c.mu.Unlock()
+	return nil
+}
+
+// Schema returns the registered schema for a relation.
+func (c *Cluster) Schema(relation string) (*tuple.Schema, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.schemas[relation]
+	return s, ok
+}
+
+// --- publish / import ---
+
+// convertRow coerces Go values onto the schema's column types.
+func convertRow(s *tuple.Schema, r Row) (tuple.Row, error) {
+	if len(r) != s.Arity() {
+		return nil, fmt.Errorf("orchestra: row arity %d != schema arity %d", len(r), s.Arity())
+	}
+	out := make(tuple.Row, len(r))
+	for i, v := range r {
+		switch s.Columns[i].Type {
+		case tuple.Int64:
+			switch x := v.(type) {
+			case int:
+				out[i] = tuple.I(int64(x))
+			case int64:
+				out[i] = tuple.I(x)
+			case Epoch:
+				out[i] = tuple.I(int64(x))
+			default:
+				return nil, fmt.Errorf("orchestra: column %s wants int, got %T", s.Columns[i].Name, v)
+			}
+		case tuple.Float64:
+			switch x := v.(type) {
+			case float64:
+				out[i] = tuple.F(x)
+			case int:
+				out[i] = tuple.F(float64(x))
+			case int64:
+				out[i] = tuple.F(float64(x))
+			default:
+				return nil, fmt.Errorf("orchestra: column %s wants float, got %T", s.Columns[i].Name, v)
+			}
+		case tuple.String:
+			x, ok := v.(string)
+			if !ok {
+				return nil, fmt.Errorf("orchestra: column %s wants string, got %T", s.Columns[i].Name, v)
+			}
+			out[i] = tuple.S(x)
+		}
+	}
+	return out, nil
+}
+
+// Publish inserts a batch of rows as one published update log, advancing
+// the global epoch (§IV). It returns the new epoch.
+func (c *Cluster) Publish(relation string, rows Rows) (Epoch, error) {
+	return c.PublishFrom(0, relation, rows)
+}
+
+// PublishFrom publishes via a specific node (participants publish through
+// their own node in a real deployment).
+func (c *Cluster) PublishFrom(node int, relation string, rows Rows) (Epoch, error) {
+	s, ok := c.Schema(relation)
+	if !ok {
+		return 0, fmt.Errorf("orchestra: unknown relation %q", relation)
+	}
+	ups := make([]vstore.Update, len(rows))
+	for i, r := range rows {
+		tr, err := convertRow(s, r)
+		if err != nil {
+			return 0, err
+		}
+		ups[i] = vstore.Update{Op: vstore.OpInsert, Row: tr}
+	}
+	return c.publishUpdates(node, relation, ups, int64(len(rows)))
+}
+
+// PublishTyped publishes pre-converted rows (used by workload generators
+// that already produce tuple.Rows).
+func (c *Cluster) PublishTyped(node int, relation string, rows []tuple.Row) (Epoch, error) {
+	ups := make([]vstore.Update, len(rows))
+	for i, r := range rows {
+		ups[i] = vstore.Update{Op: vstore.OpInsert, Row: r}
+	}
+	return c.publishUpdates(node, relation, ups, int64(len(rows)))
+}
+
+// Update publishes value changes for existing keys (copy-on-write: prior
+// versions remain queryable at their epochs).
+func (c *Cluster) Update(relation string, rows Rows) (Epoch, error) {
+	s, ok := c.Schema(relation)
+	if !ok {
+		return 0, fmt.Errorf("orchestra: unknown relation %q", relation)
+	}
+	ups := make([]vstore.Update, len(rows))
+	for i, r := range rows {
+		tr, err := convertRow(s, r)
+		if err != nil {
+			return 0, err
+		}
+		ups[i] = vstore.Update{Op: vstore.OpUpdate, Row: tr}
+	}
+	return c.publishUpdates(0, relation, ups, 0)
+}
+
+// Delete publishes deletions (key columns of each row are consulted).
+func (c *Cluster) Delete(relation string, rows Rows) (Epoch, error) {
+	s, ok := c.Schema(relation)
+	if !ok {
+		return 0, fmt.Errorf("orchestra: unknown relation %q", relation)
+	}
+	ups := make([]vstore.Update, len(rows))
+	for i, r := range rows {
+		tr, err := convertRow(s, r)
+		if err != nil {
+			return 0, err
+		}
+		ups[i] = vstore.Update{Op: vstore.OpDelete, Row: tr}
+	}
+	return c.publishUpdates(0, relation, ups, 0)
+}
+
+func (c *Cluster) publishUpdates(node int, relation string, ups []vstore.Update, added int64) (Epoch, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	e, err := c.local.Node(node).Publish(ctx, relation, ups)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	c.rows[relation] += added
+	c.mu.Unlock()
+	return e, nil
+}
+
+// catalog adapts the cluster's cached schemas and row counts for the
+// optimizer.
+func (c *Cluster) catalog() optimizer.Catalog {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cat := &optimizer.MapCatalog{
+		Schemas: make(map[string]*tuple.Schema, len(c.schemas)),
+		Tables:  make(map[string]optimizer.TableStats, len(c.rows)),
+	}
+	for k, v := range c.schemas {
+		cat.Schemas[k] = v
+	}
+	for k, v := range c.rows {
+		cat.Tables[k] = optimizer.TableStats{Rows: v}
+	}
+	return cat
+}

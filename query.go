@@ -1,0 +1,173 @@
+package orchestra
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"orchestra/internal/engine"
+	"orchestra/internal/optimizer"
+	"orchestra/internal/sql"
+	"orchestra/internal/tuple"
+)
+
+// RecoveryMode selects the reaction to node failure during a query.
+type RecoveryMode = engine.RecoveryMode
+
+// Recovery modes, re-exported from the engine.
+const (
+	// RecoverFail aborts the query and reports the failure.
+	RecoverFail = engine.RecoverFail
+	// RecoverRestart terminates and restarts over the remaining nodes.
+	RecoverRestart = engine.RecoverRestart
+	// RecoverIncremental recomputes only the state lost with the failed
+	// node (§V-D), with provenance tracking enabled.
+	RecoverIncremental = engine.RecoverIncremental
+)
+
+// QueryOptions tunes one query execution.
+type QueryOptions struct {
+	// Node is the initiator index (default 0).
+	Node int
+	// Epoch pins the snapshot epoch; 0 means current.
+	Epoch Epoch
+	// Recovery selects the failure reaction (default RecoverRestart).
+	Recovery RecoveryMode
+	// Provenance forces provenance tracking even without incremental
+	// recovery (to measure its overhead, §VI-E).
+	Provenance bool
+	// Timeout bounds the execution (default 5 minutes).
+	Timeout time.Duration
+}
+
+// Result is a completed query.
+type Result struct {
+	// Columns are the output column names (select aliases where given).
+	Columns []string
+	// Rows is the complete, duplicate-free answer set.
+	Rows []tuple.Row
+	// Epoch is the snapshot the query executed against.
+	Epoch Epoch
+	// Phases is 1 + the number of incremental recovery invocations.
+	Phases uint32
+	// Restarts counts full restarts performed.
+	Restarts int
+	// Stats aggregates per-node work counters.
+	Stats engine.NodeStats
+	// PerNode holds each node's counters keyed by node id.
+	PerNode map[string]engine.NodeStats
+	// Plan is the optimizer's explanation of the executed plan.
+	Plan string
+	// Cached reports that the result came from the materialized-view cache
+	// (same query text at the same epoch; see Cluster.EnableQueryCache).
+	Cached bool
+}
+
+// Query parses, optimizes, and executes a single-block SQL query with
+// default options.
+func (c *Cluster) Query(src string) (*Result, error) {
+	return c.QueryOpts(src, QueryOptions{})
+}
+
+// QueryOpts parses, optimizes, and executes a single-block SQL query.
+func (c *Cluster) QueryOpts(src string, opts QueryOptions) (*Result, error) {
+	if hit, key, views := c.viewLookup(src, opts); views != nil {
+		if hit != nil {
+			return hit, nil
+		}
+		opts.Epoch = key.epoch // pin the epoch the cache entry will be keyed by
+		res, err := c.queryUncached(src, opts)
+		if err != nil {
+			return nil, err
+		}
+		c.viewStore(key, views, res)
+		return res, nil
+	}
+	return c.queryUncached(src, opts)
+}
+
+func (c *Cluster) queryUncached(src string, opts QueryOptions) (*Result, error) {
+	q, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	plan, info, err := c.Optimize(q)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.RunPlan(plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Columns = outputColumns(q, c)
+	res.Plan = optimizer.Explain(plan, info)
+	return res, nil
+}
+
+// Optimize runs the Volcano-style optimizer against the cluster's catalog.
+func (c *Cluster) Optimize(q *sql.Query) (*engine.Plan, *optimizer.Info, error) {
+	env := optimizer.Environment{Nodes: c.liveNodes()}
+	return optimizer.Build(q, c.catalog(), env)
+}
+
+// liveNodes counts nodes in the current routing table.
+func (c *Cluster) liveNodes() int {
+	return c.local.Node(0).Table().Size()
+}
+
+// RunPlan executes a (finalized or finalizable) engine plan directly —
+// the escape hatch used by benchmarks that hand-build plans.
+func (c *Cluster) RunPlan(plan *engine.Plan, opts QueryOptions) (*Result, error) {
+	if opts.Timeout <= 0 {
+		opts.Timeout = 5 * time.Minute
+	}
+	if opts.Node < 0 || opts.Node >= len(c.engines) {
+		return nil, fmt.Errorf("orchestra: no node %d", opts.Node)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), opts.Timeout)
+	defer cancel()
+	eres, err := c.engines[opts.Node].Run(ctx, plan, engine.Options{
+		Provenance: opts.Provenance,
+		Recovery:   opts.Recovery,
+		Epoch:      opts.Epoch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Rows:     eres.Rows,
+		Epoch:    eres.Epoch,
+		Phases:   eres.Phases,
+		Restarts: eres.Restarts,
+		Stats:    eres.TotalStats(),
+		PerNode:  make(map[string]engine.NodeStats, len(eres.Stats)),
+	}
+	for id, st := range eres.Stats {
+		res.PerNode[string(id)] = st
+	}
+	return res, nil
+}
+
+// outputColumns derives display names for the result columns.
+func outputColumns(q *sql.Query, c *Cluster) []string {
+	var out []string
+	for _, item := range q.Select {
+		if item.Star {
+			for _, ref := range q.From {
+				if s, ok := c.Schema(ref.Table); ok {
+					for _, col := range s.Columns {
+						out = append(out, col.Name)
+					}
+				}
+			}
+			continue
+		}
+		switch {
+		case item.Alias != "":
+			out = append(out, item.Alias)
+		default:
+			out = append(out, item.Expr.String())
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package orchestra
+
+import (
+	"container/list"
+	"sync"
+
+	"orchestra/internal/engine"
+	"orchestra/internal/tuple"
+)
+
+// viewCache implements the materialized-view extension the paper lists as
+// future work (§VIII): "make use of materialized views, perhaps arising
+// from the cached results of previous queries". Because storage is fully
+// versioned and a query executes against an immutable epoch snapshot, a
+// result cached under (query text, epoch) can never go stale — the
+// "cost of freshening" the paper worries about reduces to comparing the
+// current epoch, and any publish naturally invalidates by advancing it.
+type viewCache struct {
+	mu  sync.Mutex
+	max int
+	lru *list.List // front = most recent; values are *viewEntry
+	m   map[viewKey]*list.Element
+}
+
+type viewKey struct {
+	sql   string
+	epoch Epoch
+}
+
+type viewEntry struct {
+	key  viewKey
+	rows []tuple.Row
+	cols []string
+	plan string
+}
+
+func newViewCache(max int) *viewCache {
+	return &viewCache{max: max, lru: list.New(), m: make(map[viewKey]*list.Element)}
+}
+
+func (v *viewCache) get(k viewKey) (*viewEntry, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	el, ok := v.m[k]
+	if !ok {
+		return nil, false
+	}
+	v.lru.MoveToFront(el)
+	return el.Value.(*viewEntry), true
+}
+
+func (v *viewCache) put(e *viewEntry) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if el, ok := v.m[e.key]; ok {
+		v.lru.MoveToFront(el)
+		el.Value = e
+		return
+	}
+	v.m[e.key] = v.lru.PushFront(e)
+	for v.lru.Len() > v.max {
+		old := v.lru.Back()
+		v.lru.Remove(old)
+		delete(v.m, old.Value.(*viewEntry).key)
+	}
+}
+
+// EnableQueryCache turns on materialized-view caching of query results,
+// keeping up to maxEntries (query, epoch) result sets. Hits are reported
+// via Result.Cached. Safe to call once, before issuing queries.
+func (c *Cluster) EnableQueryCache(maxEntries int) {
+	if maxEntries <= 0 {
+		maxEntries = 64
+	}
+	c.mu.Lock()
+	c.views = newViewCache(maxEntries)
+	c.mu.Unlock()
+}
+
+// viewLookup resolves the effective epoch and consults the cache.
+func (c *Cluster) viewLookup(src string, opts QueryOptions) (*Result, viewKey, *viewCache) {
+	c.mu.Lock()
+	views := c.views
+	c.mu.Unlock()
+	if views == nil || opts.Node != 0 || opts.Provenance {
+		return nil, viewKey{}, nil
+	}
+	epoch := opts.Epoch
+	if epoch == 0 {
+		epoch = c.CurrentEpoch()
+	}
+	k := viewKey{sql: src, epoch: epoch}
+	if e, ok := views.get(k); ok {
+		rows := make([]tuple.Row, len(e.rows))
+		copy(rows, e.rows)
+		return &Result{
+			Columns: e.cols,
+			Rows:    rows,
+			Epoch:   k.epoch,
+			Phases:  1,
+			Plan:    e.plan,
+			Cached:  true,
+			PerNode: map[string]engine.NodeStats{},
+		}, k, views
+	}
+	return nil, k, views
+}
+
+// viewStore records a completed query in the cache.
+func (c *Cluster) viewStore(k viewKey, views *viewCache, res *Result) {
+	if views == nil {
+		return
+	}
+	views.put(&viewEntry{key: k, rows: res.Rows, cols: res.Columns, plan: res.Plan})
+}

@@ -1,0 +1,214 @@
+package orchestra
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"orchestra/internal/stbench"
+	"orchestra/internal/tpch"
+	"orchestra/internal/tuple"
+)
+
+// loadTPCH publishes a generated TPC-H instance into the cluster and
+// returns the raw data for reference computations.
+func loadTPCH(t *testing.T, c *Cluster, sf float64) map[string][]tuple.Row {
+	t.Helper()
+	data := tpch.Generate(sf, 42)
+	for _, s := range tpch.Schemas() {
+		if err := c.CreateRelationSchema(s); err != nil {
+			t.Fatalf("create %s: %v", s.Relation, err)
+		}
+		if _, err := c.PublishTyped(0, s.Relation, data[s.Relation]); err != nil {
+			t.Fatalf("publish %s: %v", s.Relation, err)
+		}
+	}
+	return data
+}
+
+func loadSTBench(t *testing.T, c *Cluster, tuples int) map[string][]tuple.Row {
+	t.Helper()
+	data := stbench.Generate(stbench.Config{Tuples: tuples, Seed: 42})
+	for _, s := range stbench.Schemas() {
+		if err := c.CreateRelationSchema(s); err != nil {
+			t.Fatalf("create %s: %v", s.Relation, err)
+		}
+		if _, err := c.PublishTyped(0, s.Relation, data[s.Relation]); err != nil {
+			t.Fatalf("publish %s: %v", s.Relation, err)
+		}
+	}
+	return data
+}
+
+func TestTPCHAllQueriesExecute(t *testing.T) {
+	c := newTestCluster(t, 4)
+	data := loadTPCH(t, c, 0.002)
+
+	results := map[string]*Result{}
+	for _, q := range tpch.Queries() {
+		res, err := c.Query(q.SQL)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		results[q.Name] = res
+	}
+
+	// Q1: exactly the (returnflag, linestatus) groups present in the data,
+	// and the quantity sums must match a direct computation.
+	type q1key struct{ rf, ls string }
+	wantQ1 := map[q1key]float64{}
+	wantCnt := map[q1key]int64{}
+	for _, l := range data["lineitem"] {
+		if l[10].AsInt() <= 19980902 {
+			k := q1key{l[8].Str, l[9].Str}
+			wantQ1[k] += l[4].AsFloat()
+			wantCnt[k]++
+		}
+	}
+	q1 := results["Q1"]
+	if len(q1.Rows) != len(wantQ1) {
+		t.Fatalf("Q1 groups: got %d want %d", len(q1.Rows), len(wantQ1))
+	}
+	for _, r := range q1.Rows {
+		k := q1key{r[0].Str, r[1].Str}
+		if math.Abs(r[2].AsFloat()-wantQ1[k]) > 1e-6*math.Max(1, wantQ1[k]) {
+			t.Fatalf("Q1 %v sum_qty: got %f want %f", k, r[2].AsFloat(), wantQ1[k])
+		}
+		if r[9].AsInt() != wantCnt[k] {
+			t.Fatalf("Q1 %v count: got %d want %d", k, r[9].AsInt(), wantCnt[k])
+		}
+	}
+
+	// Q6: single row matching the reference revenue.
+	var wantQ6 float64
+	for _, l := range data["lineitem"] {
+		ship, disc, qty := l[10].AsInt(), l[6].AsFloat(), l[4].AsFloat()
+		if ship >= 19940101 && ship < 19950101 && disc >= 0.05 && disc <= 0.07 && qty < 24 {
+			wantQ6 += l[5].AsFloat() * disc
+		}
+	}
+	q6 := results["Q6"]
+	if len(q6.Rows) != 1 {
+		t.Fatalf("Q6 rows: %v", q6.Rows)
+	}
+	if got := q6.Rows[0][0].AsFloat(); math.Abs(got-wantQ6) > 1e-6*math.Max(1, wantQ6) {
+		t.Fatalf("Q6 revenue: got %f want %f", got, wantQ6)
+	}
+
+	// Q3/Q10 honor their LIMITs and descending order.
+	for _, name := range []string{"Q3", "Q10"} {
+		res := results[name]
+		limit := 10
+		revCol := 1
+		if name == "Q10" {
+			limit = 20
+			revCol = 2
+		}
+		if len(res.Rows) > limit {
+			t.Fatalf("%s: %d rows exceeds limit", name, len(res.Rows))
+		}
+		for i := 1; i < len(res.Rows); i++ {
+			if res.Rows[i-1][revCol].AsFloat() < res.Rows[i][revCol].AsFloat()-1e-9 {
+				t.Fatalf("%s: revenue not descending", name)
+			}
+		}
+	}
+
+	// Q5 returns at most the number of ASIA nations.
+	if len(results["Q5"].Rows) > 5 {
+		t.Fatalf("Q5 rows: %d", len(results["Q5"].Rows))
+	}
+}
+
+func TestSTBenchAllScenariosExecute(t *testing.T) {
+	c := newTestCluster(t, 4)
+	data := loadSTBench(t, c, 400)
+
+	for _, sc := range stbench.Scenarios() {
+		res, err := c.Query(sc.SQL)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		switch sc.Name {
+		case "Copy":
+			if len(res.Rows) != 400 {
+				t.Fatalf("Copy: %d rows", len(res.Rows))
+			}
+		case "Select":
+			want := 0
+			for _, r := range data["stb_sel"] {
+				if r[1].AsInt() < 500 {
+					want++
+				}
+			}
+			if len(res.Rows) != want {
+				t.Fatalf("Select: %d rows, want %d", len(res.Rows), want)
+			}
+		case "Join":
+			// Reference double-join count.
+			j5ByJ1 := map[string]int{}
+			for _, r := range data["stb_j5"] {
+				j5ByJ1[r[1].Str]++
+			}
+			j9ByJ2 := map[string]int{}
+			for _, r := range data["stb_j9"] {
+				j9ByJ2[r[1].Str]++
+			}
+			want := 0
+			j5Join9 := map[string]int{} // j1 → matched (j5 ⋈ j9) count
+			for _, r := range data["stb_j5"] {
+				j5Join9[r[1].Str] += j9ByJ2[r[2].Str]
+			}
+			for _, r := range data["stb_j7"] {
+				want += j5Join9[r[1].Str]
+			}
+			if len(res.Rows) != want {
+				t.Fatalf("Join: %d rows, want %d", len(res.Rows), want)
+			}
+		case "Concatenate":
+			if len(res.Rows) != 400 {
+				t.Fatalf("Concatenate: %d rows", len(res.Rows))
+			}
+			r0 := res.Rows[0]
+			if len(r0[0].Str) < 40 {
+				t.Fatalf("Concatenate output suspiciously short: %q", r0[0].Str)
+			}
+		case "Correspondence":
+			if len(res.Rows) != 400 {
+				t.Fatalf("Correspondence: %d rows (every pair must resolve)", len(res.Rows))
+			}
+			for _, r := range res.Rows {
+				if r[5].AsInt() < 100000 {
+					t.Fatalf("Correspondence id missing: %v", r)
+				}
+			}
+		}
+	}
+}
+
+func TestTPCHQueryWithFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	c := newTestCluster(t, 6)
+	data := loadTPCH(t, c, 0.005)
+	var want float64
+	for _, l := range data["lineitem"] {
+		ship, disc, qty := l[10].AsInt(), l[6].AsFloat(), l[4].AsFloat()
+		if ship >= 19940101 && ship < 19950101 && disc >= 0.05 && disc <= 0.07 && qty < 24 {
+			want += l[5].AsFloat() * disc
+		}
+	}
+	go func() {
+		time.Sleep(time.Millisecond)
+		c.Kill(4)
+	}()
+	res, err := c.QueryOpts(tpch.QueryByName("Q6").SQL,
+		QueryOptions{Recovery: RecoverIncremental})
+	if err != nil {
+		t.Fatalf("Q6 with failure: %v", err)
+	}
+	if got := res.Rows[0][0].AsFloat(); math.Abs(got-want) > 1e-6*math.Max(1, want) {
+		t.Fatalf("Q6 after recovery: got %f want %f", got, want)
+	}
+}
