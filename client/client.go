@@ -1,0 +1,359 @@
+// Package client is the Go client for a served ORCHESTRA deployment
+// (an orchestra.Cluster with Serve enabled, or an orchestra-node started
+// with -serve). It speaks the length-prefixed JSON wire protocol over
+// TCP, reuses a small pool of connections across calls, and surfaces
+// server-side failures as typed errors.
+//
+//	cl, _ := client.Dial("127.0.0.1:7101")
+//	defer cl.Close()
+//	cl.Create(ctx, "inv", []string{"item:string", "qty:int"}, "item")
+//	cl.Publish(ctx, "inv", [][]any{{"bolt", 90}, {"nut", 120}})
+//	res, _ := cl.Query(ctx, "SELECT item, qty FROM inv WHERE qty > 100")
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"orchestra/internal/server"
+)
+
+// Typed error categories; unwrap with errors.Is. The full server message
+// is available via errors.As on *Error.
+var (
+	// ErrBadRequest reports a malformed or unparsable request.
+	ErrBadRequest = errors.New("bad request")
+	// ErrNotFound reports a missing relation.
+	ErrNotFound = errors.New("not found")
+	// ErrTimeout reports a server-side request timeout (admission wait
+	// included).
+	ErrTimeout = errors.New("timeout")
+	// ErrServer reports any other server-side failure.
+	ErrServer = errors.New("server error")
+)
+
+// Error is a failure reported by the server.
+type Error struct {
+	// Code is the wire code ("bad_request", "not_found", "timeout",
+	// "internal").
+	Code string
+	// Message is the server's description.
+	Message string
+}
+
+func (e *Error) Error() string { return "orchestra server: " + e.Code + ": " + e.Message }
+
+// Unwrap maps the code onto the typed sentinel errors.
+func (e *Error) Unwrap() error {
+	switch e.Code {
+	case server.CodeBadRequest:
+		return ErrBadRequest
+	case server.CodeNotFound:
+		return ErrNotFound
+	case server.CodeTimeout:
+		return ErrTimeout
+	}
+	return ErrServer
+}
+
+// Options tunes a Client.
+type Options struct {
+	// PoolSize caps idle connections kept for reuse (default 2).
+	// Concurrent calls beyond the pool dial extra connections that are
+	// dropped when the pool is full on release.
+	PoolSize int
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+}
+
+// Client is a connection-reusing client for one server endpoint. It is
+// safe for concurrent use; each in-flight call holds one connection.
+type Client struct {
+	addr string
+	opts Options
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool
+}
+
+// Dial validates connectivity to addr and returns a Client.
+func Dial(addr string, opts ...Options) (*Client, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if o.PoolSize <= 0 {
+		o.PoolSize = 2
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	c := &Client{addr: addr, opts: o}
+	conn, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	c.release(conn)
+	return c, nil
+}
+
+// Close drops all pooled connections; subsequent calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, conn := range c.idle {
+		conn.Close()
+	}
+	c.idle = nil
+	return nil
+}
+
+func (c *Client) dial() (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("orchestra client: %w", err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return conn, nil
+}
+
+func (c *Client) acquire() (net.Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("orchestra client: closed")
+	}
+	if n := len(c.idle); n > 0 {
+		conn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+	return c.dial()
+}
+
+func (c *Client) release(conn net.Conn) {
+	c.mu.Lock()
+	if !c.closed && len(c.idle) < c.opts.PoolSize {
+		c.idle = append(c.idle, conn)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	conn.Close()
+}
+
+// roundTrip sends one request and reads its response on a pooled
+// connection. Calls are synchronous per connection; concurrency comes
+// from multiple connections. Context cancellation interrupts an
+// in-flight call (the connection is dropped, since its response may
+// still arrive).
+func (c *Client) roundTrip(ctx context.Context, req *server.Request) (*server.Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("orchestra client: %w", err)
+	}
+	conn, err := c.acquire()
+	if err != nil {
+		return nil, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
+	} else {
+		conn.SetDeadline(time.Time{})
+	}
+	watchDone := make(chan struct{})
+	if done := ctx.Done(); done != nil {
+		go func() {
+			select {
+			case <-done:
+				conn.SetDeadline(time.Unix(1, 0)) // unblock read/write now
+			case <-watchDone:
+			}
+		}()
+	}
+	finish := func(err error) error {
+		close(watchDone)
+		conn.Close()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return fmt.Errorf("orchestra client: %w", ctxErr)
+		}
+		return err
+	}
+	var resp server.Response
+	if err := server.WriteFrame(conn, req); err != nil {
+		return nil, finish(fmt.Errorf("orchestra client: write: %w", err))
+	}
+	if err := server.ReadFrame(conn, &resp); err != nil {
+		return nil, finish(fmt.Errorf("orchestra client: read: %w", err))
+	}
+	close(watchDone)
+	conn.SetDeadline(time.Time{})
+	c.release(conn)
+	if resp.Error != nil {
+		return nil, &Error{Code: resp.Error.Code, Message: resp.Error.Message}
+	}
+	return &resp, nil
+}
+
+// Ping checks liveness and returns the server's current epoch.
+func (c *Client) Ping(ctx context.Context) (uint64, error) {
+	resp, err := c.roundTrip(ctx, &server.Request{Op: server.OpPing})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Epoch, nil
+}
+
+// Create registers a relation. Columns are "name:type" (int, float,
+// string); keys name the partitioning key columns (default: first
+// column).
+func (c *Client) Create(ctx context.Context, relation string, columns []string, keys ...string) error {
+	_, err := c.roundTrip(ctx, &server.Request{
+		Op:     server.OpCreate,
+		Create: &server.CreateRequest{Relation: relation, Columns: columns, Keys: keys},
+	})
+	return err
+}
+
+// Publish inserts a batch of rows as one published update and returns
+// the new global epoch. Values may be int, int64, float64, or string.
+func (c *Client) Publish(ctx context.Context, relation string, rows [][]any) (uint64, error) {
+	resp, err := c.roundTrip(ctx, &server.Request{
+		Op:      server.OpPublish,
+		Publish: &server.PublishRequest{Relation: relation, Rows: rows},
+	})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Epoch, nil
+}
+
+// QueryOptions tunes one query; the zero value queries the current
+// epoch with restart recovery.
+type QueryOptions struct {
+	// Epoch pins the snapshot (0 = current).
+	Epoch uint64
+	// Recovery is "", "fail", "restart", or "incremental".
+	Recovery string
+	// Provenance forces provenance tracking.
+	Provenance bool
+	// Explain asks for the optimizer's plan in Result.Plan.
+	Explain bool
+}
+
+// Result is a completed query. Row values are int64, float64, or string.
+type Result struct {
+	Columns  []string
+	Rows     [][]any
+	Epoch    uint64
+	Cached   bool
+	Phases   uint32
+	Restarts int
+	Plan     string
+}
+
+// Query runs a SQL query at the current epoch with default options.
+func (c *Client) Query(ctx context.Context, sql string) (*Result, error) {
+	return c.QueryOpts(ctx, sql, QueryOptions{})
+}
+
+// QueryOpts runs a SQL query with explicit options.
+func (c *Client) QueryOpts(ctx context.Context, sql string, opts QueryOptions) (*Result, error) {
+	req := &server.Request{
+		Op: server.OpQuery,
+		Query: &server.QueryRequest{
+			SQL:        sql,
+			Epoch:      opts.Epoch,
+			Recovery:   opts.Recovery,
+			Provenance: opts.Provenance,
+			Explain:    opts.Explain,
+		},
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			req.Query.TimeoutMs = ms
+		}
+	}
+	resp, err := c.roundTrip(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	q := resp.Query
+	if q == nil {
+		return nil, fmt.Errorf("orchestra client: malformed response (no query payload)")
+	}
+	rows := make([][]any, len(q.Rows))
+	for i, wr := range q.Rows {
+		row := make([]any, len(wr))
+		for j, v := range wr {
+			row[j], err = server.DecodeValue(v)
+			if err != nil {
+				return nil, fmt.Errorf("orchestra client: row %d col %d: %w", i, j, err)
+			}
+		}
+		rows[i] = row
+	}
+	return &Result{
+		Columns:  q.Columns,
+		Rows:     rows,
+		Epoch:    q.Epoch,
+		Cached:   q.Cached,
+		Phases:   q.Phases,
+		Restarts: q.Restarts,
+		Plan:     q.Plan,
+	}, nil
+}
+
+// Relation describes one catalog entry.
+type Relation = server.RelationInfo
+
+// Schema fetches one relation's catalog entry.
+func (c *Client) Schema(ctx context.Context, relation string) (*Relation, error) {
+	resp, err := c.roundTrip(ctx, &server.Request{
+		Op:     server.OpSchema,
+		Schema: &server.SchemaRequest{Relation: relation},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Schema == nil || len(resp.Schema.Relations) == 0 {
+		return nil, &Error{Code: server.CodeNotFound, Message: "relation " + relation}
+	}
+	return &resp.Schema.Relations[0], nil
+}
+
+// Catalog lists all relations the server knows about.
+func (c *Client) Catalog(ctx context.Context) ([]Relation, error) {
+	resp, err := c.roundTrip(ctx, &server.Request{Op: server.OpSchema, Schema: &server.SchemaRequest{}})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Schema == nil {
+		return nil, nil
+	}
+	return resp.Schema.Relations, nil
+}
+
+// Status reports the server's identity and load counters.
+type Status = server.StatusResponse
+
+// Status fetches the server's status/stats snapshot.
+func (c *Client) Status(ctx context.Context) (*Status, error) {
+	resp, err := c.roundTrip(ctx, &server.Request{Op: server.OpStatus})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status == nil {
+		return nil, fmt.Errorf("orchestra client: malformed response (no status payload)")
+	}
+	return resp.Status, nil
+}

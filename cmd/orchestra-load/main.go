@@ -1,0 +1,280 @@
+// Command orchestra-load is a closed-loop load generator for a served
+// ORCHESTRA deployment: N concurrent clients each run queries
+// back-to-back against one or more endpoints for a fixed duration, then
+// the tool reports aggregate throughput, client-observed latency
+// percentiles, and the servers' own admission-control and per-op
+// counters.
+//
+// Drive an external deployment (orchestra-node -serve, one addr per
+// node, clients round-robin across them):
+//
+//	orchestra-load -addrs 127.0.0.1:7101,127.0.0.1:7102 -clients 16 -duration 10s
+//
+// Or self-host an in-process cluster and serve every node on a loopback
+// port — the one-command benchmark scenario:
+//
+//	orchestra-load -local 3 -clients 8 -duration 10s
+//
+// By default each client draws from -distinct query templates; with
+// -cache the cluster's materialized-view cache absorbs repeats (local
+// mode only).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"orchestra"
+	"orchestra/client"
+)
+
+func main() {
+	addrs := flag.String("addrs", "", "comma-separated served endpoints to drive")
+	local := flag.Int("local", 0, "self-host an in-process cluster of this many nodes, serving each on a loopback port")
+	clients := flag.Int("clients", 8, "concurrent closed-loop clients")
+	duration := flag.Duration("duration", 10*time.Second, "measured run length")
+	warmup := flag.Duration("warmup", time.Second, "untimed warmup before measuring")
+	rows := flag.Int("rows", 500, "rows seeded into the load relation (local mode, or when -seed is set)")
+	distinct := flag.Int("distinct", 16, "distinct query templates per run")
+	maxQ := flag.Int("maxq", 0, "local mode: per-endpoint admission-control limit (0 = 2×GOMAXPROCS)")
+	useCache := flag.Bool("cache", false, "local mode: enable the cluster's materialized-view cache")
+	seed := flag.Bool("seed", false, "create and seed the load relation on external endpoints too")
+	flag.Parse()
+
+	var endpoints []string
+	var cleanup func()
+	switch {
+	case *local > 0:
+		var err error
+		endpoints, cleanup, err = selfHost(*local, *maxQ, *useCache)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cleanup()
+	case *addrs != "":
+		for _, a := range strings.Split(*addrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				endpoints = append(endpoints, a)
+			}
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "orchestra-load: need -addrs or -local; see -help")
+		os.Exit(2)
+	}
+
+	ctx := context.Background()
+	if *local > 0 || *seed {
+		if err := seedData(ctx, endpoints[0], *rows); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	queries := makeQueries(*distinct, *rows)
+	run(ctx, endpoints, queries, *clients, *warmup, *duration)
+}
+
+// selfHost starts an n-node in-process cluster and serves every node on
+// its own loopback port, so clients exercise the full wire path.
+func selfHost(n, maxQ int, useCache bool) ([]string, func(), error) {
+	c, err := orchestra.NewCluster(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	if useCache {
+		c.EnableQueryCache(4096)
+	}
+	var servers []*orchestra.Server
+	var endpoints []string
+	for i := 0; i < n; i++ {
+		s, err := c.Serve("127.0.0.1:0", orchestra.ServeOptions{Node: i, MaxConcurrentQueries: maxQ})
+		if err != nil {
+			c.Shutdown()
+			return nil, nil, err
+		}
+		servers = append(servers, s)
+		endpoints = append(endpoints, s.Addr())
+	}
+	log.Printf("local cluster: %d nodes served on %s", n, strings.Join(endpoints, ", "))
+	cleanup := func() {
+		for _, s := range servers {
+			s.Close()
+		}
+		c.Shutdown()
+	}
+	return endpoints, cleanup, nil
+}
+
+// seedData creates the load relation and publishes rows through the wire.
+func seedData(ctx context.Context, addr string, rows int) error {
+	cl, err := client.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	if err := cl.Create(ctx, "load", []string{"k:string", "grp:int", "v:int"}, "k"); err != nil {
+		return err
+	}
+	const batch = 250
+	for lo := 0; lo < rows; lo += batch {
+		hi := lo + batch
+		if hi > rows {
+			hi = rows
+		}
+		b := make([][]any, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			b = append(b, []any{fmt.Sprintf("k%06d", i), i % 17, i})
+		}
+		if _, err := cl.Publish(ctx, "load", b); err != nil {
+			return err
+		}
+	}
+	log.Printf("seeded %d rows into load", rows)
+	return nil
+}
+
+// makeQueries builds the template mix: selective scans and one grouped
+// aggregate, parameterized so -distinct controls view-cache reuse.
+func makeQueries(distinct, rows int) []string {
+	if distinct < 1 {
+		distinct = 1
+	}
+	qs := make([]string, 0, distinct)
+	width := rows/16 + 1
+	for i := 0; i < distinct; i++ {
+		switch i % 4 {
+		case 0, 1:
+			lo := (i * rows) / (distinct + 1)
+			qs = append(qs, fmt.Sprintf("SELECT k, v FROM load WHERE v >= %d AND v < %d", lo, lo+width))
+		case 2:
+			qs = append(qs, fmt.Sprintf("SELECT k FROM load WHERE grp = %d", i%17))
+		default:
+			qs = append(qs, "SELECT grp, COUNT(*) AS n FROM load GROUP BY grp")
+		}
+	}
+	return qs
+}
+
+type clientStats struct {
+	lat  []time.Duration
+	errs int
+}
+
+// run drives the closed loop and prints the report.
+func run(ctx context.Context, endpoints, queries []string, clients int, warmup, duration time.Duration) {
+	conns := make([]*client.Client, clients)
+	for i := range conns {
+		cl, err := client.Dial(endpoints[i%len(endpoints)], client.Options{PoolSize: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		conns[i] = cl
+		defer cl.Close()
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	measuring := make(chan struct{})
+	stats := make([]clientStats, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i) * 2654435761))
+			cl := conns[i]
+			armed := measuring // local: nil-ed once the window opens
+			measure := false
+			for {
+				select {
+				case <-stop:
+					return
+				case <-armed:
+					measure = true
+					armed = nil
+				default:
+				}
+				q := queries[rng.Intn(len(queries))]
+				start := time.Now()
+				_, err := cl.Query(ctx, q)
+				if measure {
+					if err != nil {
+						stats[i].errs++
+					} else {
+						stats[i].lat = append(stats[i].lat, time.Since(start))
+					}
+				} else if err != nil {
+					log.Printf("warmup error (client %d): %v", i, err)
+				}
+			}
+		}(i)
+	}
+
+	time.Sleep(warmup)
+	close(measuring)
+	t0 := time.Now()
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	var all []time.Duration
+	errs := 0
+	for _, s := range stats {
+		all = append(all, s.lat...)
+		errs += s.errs
+	}
+	if len(all) == 0 {
+		log.Fatal("no queries completed in the measurement window")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		idx := int(p / 100 * float64(len(all)-1))
+		return all[idx].Round(time.Microsecond)
+	}
+	var sum time.Duration
+	for _, d := range all {
+		sum += d
+	}
+
+	fmt.Printf("\n--- orchestra-load: %d clients x %s against %d endpoint(s) ---\n",
+		clients, elapsed.Round(time.Millisecond), len(endpoints))
+	fmt.Printf("queries:    %d ok, %d errors\n", len(all), errs)
+	fmt.Printf("throughput: %.0f queries/s\n", float64(len(all))/elapsed.Seconds())
+	fmt.Printf("latency:    mean %s  p50 %s  p90 %s  p99 %s  max %s\n",
+		(sum / time.Duration(len(all))).Round(time.Microsecond),
+		pct(50), pct(90), pct(99), all[len(all)-1].Round(time.Microsecond))
+
+	for _, addr := range endpoints {
+		printServerStats(ctx, addr)
+	}
+}
+
+// printServerStats fetches and prints one endpoint's own counters.
+func printServerStats(ctx context.Context, addr string) {
+	cl, err := client.Dial(addr)
+	if err != nil {
+		log.Printf("status %s: %v", addr, err)
+		return
+	}
+	defer cl.Close()
+	st, err := cl.Status(ctx)
+	if err != nil {
+		log.Printf("status %s: %v", addr, err)
+		return
+	}
+	q := st.Ops["query"]
+	var mean int64
+	if q.Count > 0 {
+		mean = q.TotalUs / int64(q.Count)
+	}
+	fmt.Printf("server %s (node %s): %d queries (%d errors), mean %dus, max %dus, peak in-flight %d/%d\n",
+		addr, st.NodeID, q.Count, q.Errors, mean, q.MaxUs,
+		st.PeakInFlightQueries, st.MaxConcurrentQueries)
+}

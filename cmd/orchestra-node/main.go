@@ -16,6 +16,12 @@
 //	publish inv bolt 90
 //	publish inv nut 120
 //	query SELECT item, qty FROM inv WHERE qty > 100
+//
+// With -serve ADDR the node additionally exposes the wire protocol of
+// internal/server on ADDR, so external processes can create, publish,
+// and query through the orchestra/client package (or cmd/orchestra-load)
+// instead of stdin. -maxq bounds concurrent query executions on that
+// endpoint.
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 	"orchestra/internal/kvstore"
 	"orchestra/internal/optimizer"
 	"orchestra/internal/ring"
+	"orchestra/internal/server"
 	"orchestra/internal/sql"
 	"orchestra/internal/transport"
 	"orchestra/internal/tuple"
@@ -46,6 +53,8 @@ func main() {
 	replication := flag.Int("replication", 3, "total copies of each data item")
 	dataDir := flag.String("data", "", "persist the local store to this directory (default: memory)")
 	pingEvery := flag.Duration("ping", 2*time.Second, "hung-peer probe interval (0 disables)")
+	serveAddr := flag.String("serve", "", "also serve the client wire protocol on this address")
+	maxQ := flag.Int("maxq", 0, "served endpoint: max concurrent query executions (0 = 2×GOMAXPROCS)")
 	flag.Parse()
 
 	members := strings.Split(*peers, ",")
@@ -90,6 +99,17 @@ func main() {
 		log.Printf("peer down: %s", id)
 	})
 	defer node.Close()
+
+	if *serveAddr != "" {
+		srv, err := server.Start(*serveAddr, server.NewNodeBackend(node, eng),
+			server.Config{MaxConcurrentQueries: *maxQ})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("serving clients on %s (max %d concurrent queries)",
+			srv.Addr(), srv.Stats().MaxConcurrentQueries)
+	}
 
 	log.Printf("node %s up; %d members, replication %d", *listen, len(ids), *replication)
 	repl(node, eng)

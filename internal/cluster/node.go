@@ -83,18 +83,22 @@ type Node struct {
 	nextScan uint64
 	downMu   sync.Mutex
 	downSubs []func(ring.NodeID)
+
+	pubMu   sync.Mutex
+	pubRels map[string]*sync.Mutex
 }
 
 // NewNode constructs a node on an endpoint with a local store and the
 // initial routing table, and registers all storage message handlers.
 func NewNode(ep transport.Endpoint, store *kvstore.Store, table *ring.Table, cfg Config) *Node {
 	n := &Node{
-		id:    ep.ID(),
-		ep:    ep,
-		store: store,
-		cfg:   cfg.withDefaults(),
-		table: table,
-		scans: make(map[uint64]*scanCollector),
+		id:      ep.ID(),
+		ep:      ep,
+		store:   store,
+		cfg:     cfg.withDefaults(),
+		table:   table,
+		scans:   make(map[uint64]*scanCollector),
+		pubRels: make(map[string]*sync.Mutex),
 	}
 	n.gsp = gossip.New(ep, int64(ep.ID().Hash().Uint64()))
 	n.gsp.SetPeers(table.Members())

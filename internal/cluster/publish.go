@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"orchestra/internal/tuple"
 	"orchestra/internal/vstore"
@@ -54,7 +55,17 @@ func (n *Node) CreateRelation(ctx context.Context, schema *tuple.Schema) error {
 // Write ordering guarantees snapshot consistency for readers: tuples before
 // pages, pages before the coordinator, the coordinator before the catalog —
 // so a reader that can see epoch e in the catalog can reach all of e's data.
+//
+// Publishes to the same relation are serialized within this process: the
+// whole sequence is a distributed read-modify-write of the relation's
+// catalog, and two concurrent publishes building on the same base epoch
+// would each link only their own pages — the last catalog write would win
+// and silently drop the other's tuples. (The paper's model has a single
+// publisher per update log; publishers in other processes are not covered.)
 func (n *Node) Publish(ctx context.Context, relation string, ups []vstore.Update) (tuple.Epoch, error) {
+	mu := n.relationLock(relation)
+	mu.Lock()
+	defer mu.Unlock()
 	cat, err := n.GetCatalog(ctx, relation)
 	if err != nil {
 		return 0, err
@@ -148,6 +159,18 @@ func (n *Node) Publish(ctx context.Context, relation string, ups []vstore.Update
 	}
 	n.gsp.Advance(epoch)
 	return epoch, nil
+}
+
+// relationLock returns the per-relation publish lock.
+func (n *Node) relationLock(relation string) *sync.Mutex {
+	n.pubMu.Lock()
+	defer n.pubMu.Unlock()
+	mu, ok := n.pubRels[relation]
+	if !ok {
+		mu = new(sync.Mutex)
+		n.pubRels[relation] = mu
+	}
+	return mu
 }
 
 // fetchPage loads an index page from its replicas.

@@ -1,0 +1,45 @@
+package server
+
+import (
+	"context"
+
+	"orchestra/internal/engine"
+	"orchestra/internal/tuple"
+)
+
+// Backend is the deployment the server fronts: an embedded orchestra
+// Cluster (adapter in the root package) or a real TCP cluster.Node
+// (NodeBackend below).
+type Backend interface {
+	// Create registers a relation and returns the current epoch.
+	Create(ctx context.Context, req *CreateRequest) (tuple.Epoch, error)
+	// Publish applies one batch and returns the new epoch.
+	Publish(ctx context.Context, req *PublishRequest) (tuple.Epoch, error)
+	// Query executes one SQL query against a snapshot.
+	Query(ctx context.Context, req *QueryRequest) (*QueryResponse, error)
+	// Catalog describes one relation (or all known ones when rel == "").
+	Catalog(ctx context.Context, rel string) (*SchemaResponse, error)
+	// Epoch is the backend's current view of the global epoch.
+	Epoch() tuple.Epoch
+	// Info identifies the serving node.
+	Info() BackendInfo
+}
+
+// BackendInfo identifies the deployment behind a server.
+type BackendInfo struct {
+	NodeID  string
+	Members int
+}
+
+// RecoveryMode maps a wire recovery-mode name to the engine constant.
+func RecoveryMode(name string) (engine.RecoveryMode, error) {
+	switch name {
+	case "", "restart":
+		return engine.RecoverRestart, nil
+	case "fail":
+		return engine.RecoverFail, nil
+	case "incremental":
+		return engine.RecoverIncremental, nil
+	}
+	return 0, Errorf(CodeBadRequest, "unknown recovery mode %q", name)
+}

@@ -1,0 +1,206 @@
+package server
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"orchestra/internal/cluster"
+	"orchestra/internal/engine"
+	"orchestra/internal/optimizer"
+	"orchestra/internal/sql"
+	"orchestra/internal/tuple"
+	"orchestra/internal/vstore"
+)
+
+// NodeBackend serves a real TCP cluster.Node (the orchestra-node binary).
+// Schemas are resolved from the cluster's replicated catalogs; the
+// relation list for the catalog op is the set of relations this server
+// has seen (created, published, or queried through it) — catalogs are
+// hash-placed across the ring, so no cheap global listing exists.
+type NodeBackend struct {
+	node *cluster.Node
+	eng  *engine.Engine
+
+	mu   sync.Mutex
+	rels map[string]struct{}
+}
+
+// NewNodeBackend wraps a node and its engine.
+func NewNodeBackend(node *cluster.Node, eng *engine.Engine) *NodeBackend {
+	return &NodeBackend{node: node, eng: eng, rels: make(map[string]struct{})}
+}
+
+func (b *NodeBackend) noteRelation(rel string) {
+	b.mu.Lock()
+	b.rels[rel] = struct{}{}
+	b.mu.Unlock()
+}
+
+// Create implements Backend.
+func (b *NodeBackend) Create(ctx context.Context, req *CreateRequest) (tuple.Epoch, error) {
+	cols, err := ParseColumns(req.Columns)
+	if err != nil {
+		return 0, err
+	}
+	if len(cols) == 0 {
+		return 0, Errorf(CodeBadRequest, "relation %q has no columns", req.Relation)
+	}
+	keys := req.Keys
+	if len(keys) == 0 {
+		keys = []string{cols[0].Name}
+	}
+	s, err := tuple.NewSchema(req.Relation, cols, keys...)
+	if err != nil {
+		return 0, Errorf(CodeBadRequest, "%v", err)
+	}
+	if err := b.node.CreateRelation(ctx, s); err != nil {
+		return 0, err
+	}
+	b.noteRelation(req.Relation)
+	return b.node.Gossip().Current(), nil
+}
+
+// Publish implements Backend.
+func (b *NodeBackend) Publish(ctx context.Context, req *PublishRequest) (tuple.Epoch, error) {
+	cat, err := b.node.GetCatalog(ctx, req.Relation)
+	if err != nil {
+		return 0, Errorf(CodeNotFound, "relation %q: %v", req.Relation, err)
+	}
+	ups := make([]vstore.Update, len(req.Rows))
+	for i, r := range req.Rows {
+		row, err := CoerceRow(cat.Schema, r)
+		if err != nil {
+			return 0, err
+		}
+		ups[i] = vstore.Update{Op: vstore.OpInsert, Row: row}
+	}
+	e, err := b.node.Publish(ctx, req.Relation, ups)
+	if err != nil {
+		return 0, err
+	}
+	b.noteRelation(req.Relation)
+	return e, nil
+}
+
+// Query implements Backend.
+func (b *NodeBackend) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
+	q, err := sql.Parse(req.SQL)
+	if err != nil {
+		return nil, Errorf(CodeBadRequest, "%v", err)
+	}
+	rec, err := RecoveryMode(req.Recovery)
+	if err != nil {
+		return nil, err
+	}
+	cat := &nodeCatalog{ctx: ctx, node: b.node}
+	plan, info, err := optimizer.Build(q, cat, optimizer.Environment{Nodes: b.node.Table().Size()})
+	if err != nil {
+		return nil, err
+	}
+	res, err := b.eng.Run(ctx, plan, engine.Options{
+		Epoch:      tuple.Epoch(req.Epoch),
+		Recovery:   rec,
+		Provenance: req.Provenance,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, ref := range q.From {
+		b.noteRelation(ref.Table)
+	}
+	cols := q.OutputColumns(func(table string) ([]string, bool) {
+		s, err := cat.Schema(table)
+		if err != nil {
+			return nil, false
+		}
+		names := make([]string, len(s.Columns))
+		for i, col := range s.Columns {
+			names[i] = col.Name
+		}
+		return names, true
+	})
+	qr := &QueryResponse{
+		Columns:  cols,
+		Rows:     EncodeRows(res.Rows),
+		Epoch:    uint64(res.Epoch),
+		Phases:   res.Phases,
+		Restarts: res.Restarts,
+	}
+	if req.Explain {
+		qr.Plan = optimizer.Explain(plan, info)
+	}
+	return qr, nil
+}
+
+// Catalog implements Backend.
+func (b *NodeBackend) Catalog(ctx context.Context, rel string) (*SchemaResponse, error) {
+	var names []string
+	if rel != "" {
+		names = []string{rel}
+	} else {
+		b.mu.Lock()
+		for r := range b.rels {
+			names = append(names, r)
+		}
+		b.mu.Unlock()
+		sort.Strings(names)
+	}
+	out := &SchemaResponse{}
+	for _, name := range names {
+		cat, err := b.node.GetCatalog(ctx, name)
+		if err != nil {
+			if rel != "" {
+				return nil, Errorf(CodeNotFound, "relation %q: %v", name, err)
+			}
+			continue // dropped or unreachable; skip in listings
+		}
+		cols, keys := FormatColumns(cat.Schema)
+		out.Relations = append(out.Relations, RelationInfo{
+			Relation: name,
+			Columns:  cols,
+			Keys:     keys,
+		})
+	}
+	return out, nil
+}
+
+// Epoch implements Backend.
+func (b *NodeBackend) Epoch() tuple.Epoch { return b.node.Gossip().Current() }
+
+// Info implements Backend.
+func (b *NodeBackend) Info() BackendInfo {
+	return BackendInfo{NodeID: string(b.node.ID()), Members: b.node.Table().Size()}
+}
+
+// nodeCatalog resolves schemas from the replicated catalogs for the
+// optimizer (no table stats are kept node-side).
+type nodeCatalog struct {
+	ctx  context.Context
+	node *cluster.Node
+
+	mu    sync.Mutex
+	cache map[string]*tuple.Schema
+}
+
+func (c *nodeCatalog) Schema(table string) (*tuple.Schema, error) {
+	c.mu.Lock()
+	if s, ok := c.cache[table]; ok {
+		c.mu.Unlock()
+		return s, nil
+	}
+	c.mu.Unlock()
+	cat, err := c.node.GetCatalog(c.ctx, table)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.cache == nil {
+		c.cache = make(map[string]*tuple.Schema)
+	}
+	c.cache[table] = cat.Schema
+	c.mu.Unlock()
+	return cat.Schema, nil
+}
+
+func (c *nodeCatalog) Stats(string) optimizer.TableStats { return optimizer.TableStats{} }

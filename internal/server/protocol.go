@@ -1,0 +1,394 @@
+// Package server exposes a running ORCHESTRA deployment (an embedded
+// Cluster node or a real TCP cluster.Node) to external clients over a
+// small length-prefixed JSON wire protocol. This is the missing piece
+// between the paper's embedded prototype and a deployable service: peers
+// connect over TCP, publish updates, and run snapshot queries — many of
+// them concurrently — while the server bounds in-flight query executions
+// with an admission-control semaphore and accounts per-operation request,
+// error, and latency counters.
+//
+// Wire format: every message is one frame — a 4-byte big-endian length
+// followed by that many bytes of JSON (a Request from the client, a
+// Response from the server). Requests carry a client-chosen ID echoed in
+// the matching Response, so a client may pipeline several requests on one
+// connection; the server executes them concurrently and replies in
+// completion order.
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"orchestra/internal/tuple"
+)
+
+// MaxFrame bounds a single frame; larger frames abort the connection.
+const MaxFrame = 64 << 20
+
+// EncodeFrame marshals v into one length-prefixed frame (header + body).
+func EncodeFrame(v any) ([]byte, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > MaxFrame {
+		return nil, fmt.Errorf("server: frame of %d bytes exceeds max %d", len(body), MaxFrame)
+	}
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
+	copy(frame[4:], body)
+	return frame, nil
+}
+
+// WriteFrame marshals v and writes it as one length-prefixed frame.
+func WriteFrame(w io.Writer, v any) error {
+	frame, err := EncodeFrame(v)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(frame)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame and unmarshals it into v.
+// Numbers are decoded as json.Number so int64 values survive intact.
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("server: frame of %d bytes exceeds max %d", n, MaxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.UseNumber()
+	return dec.Decode(v)
+}
+
+// Operation names carried in Request.Op.
+const (
+	OpPing    = "ping"
+	OpCreate  = "create"
+	OpPublish = "publish"
+	OpQuery   = "query"
+	OpSchema  = "schema"
+	OpStatus  = "status"
+)
+
+// Request is one client frame.
+type Request struct {
+	// ID is echoed in the matching Response (clients pick it; pipelined
+	// requests on one connection are matched by it).
+	ID uint64 `json:"id"`
+	// Op selects the operation; exactly one payload field below is set.
+	Op      string          `json:"op"`
+	Create  *CreateRequest  `json:"create,omitempty"`
+	Publish *PublishRequest `json:"publish,omitempty"`
+	Query   *QueryRequest   `json:"query,omitempty"`
+	Schema  *SchemaRequest  `json:"schema,omitempty"`
+}
+
+// CreateRequest registers a relation. Columns are "name:type" with type
+// one of int, float, string; Keys name the partitioning key columns
+// (default: the first column).
+type CreateRequest struct {
+	Relation string   `json:"relation"`
+	Columns  []string `json:"columns"`
+	Keys     []string `json:"keys,omitempty"`
+}
+
+// PublishRequest inserts a batch of rows as one published update,
+// advancing the global epoch. Values are coerced onto the relation's
+// column types server-side.
+type PublishRequest struct {
+	Relation string  `json:"relation"`
+	Rows     [][]any `json:"rows"`
+}
+
+// QueryRequest runs a single-block SQL query against a snapshot.
+type QueryRequest struct {
+	SQL string `json:"sql"`
+	// Epoch pins the snapshot (0 = current).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Recovery is "", "fail", "restart", or "incremental".
+	Recovery string `json:"recovery,omitempty"`
+	// Provenance forces provenance tracking (overhead measurement, §VI-E).
+	Provenance bool `json:"provenance,omitempty"`
+	// TimeoutMs bounds execution; capped by the server's RequestTimeout.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Explain asks for the optimizer's plan explanation in the response.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// SchemaRequest fetches one relation's schema, or the server's whole
+// known catalog when Relation is empty.
+type SchemaRequest struct {
+	Relation string `json:"relation,omitempty"`
+}
+
+// Response is one server frame.
+type Response struct {
+	ID    uint64     `json:"id"`
+	Error *WireError `json:"error,omitempty"`
+	// Epoch is set by ping (current), create, and publish (resulting).
+	Epoch  uint64          `json:"epoch,omitempty"`
+	Query  *QueryResponse  `json:"query,omitempty"`
+	Schema *SchemaResponse `json:"schema,omitempty"`
+	Status *StatusResponse `json:"status,omitempty"`
+}
+
+// Error codes carried in WireError.Code.
+const (
+	CodeBadRequest = "bad_request"
+	CodeNotFound   = "not_found"
+	CodeTimeout    = "timeout"
+	CodeInternal   = "internal"
+)
+
+// WireError is a typed error crossing the wire.
+type WireError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *WireError) Error() string { return e.Code + ": " + e.Message }
+
+// Errorf builds a WireError with the given code.
+func Errorf(code, format string, args ...any) *WireError {
+	return &WireError{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// QueryResponse is a completed query.
+type QueryResponse struct {
+	Columns []string `json:"columns"`
+	Rows    [][]any  `json:"rows"`
+	Epoch   uint64   `json:"epoch"`
+	// Cached reports a materialized-view cache hit.
+	Cached bool `json:"cached,omitempty"`
+	// Phases is 1 + incremental recovery invocations; Restarts counts
+	// full restarts.
+	Phases   uint32 `json:"phases,omitempty"`
+	Restarts int    `json:"restarts,omitempty"`
+	// Plan is the optimizer explanation (only when Explain was requested).
+	Plan string `json:"plan,omitempty"`
+}
+
+// RelationInfo describes one catalog entry.
+type RelationInfo struct {
+	Relation string   `json:"relation"`
+	Columns  []string `json:"columns"` // "name:type"
+	Keys     []string `json:"keys"`
+	// Rows is the server's row-count estimate (0 when unknown).
+	Rows int64 `json:"rows,omitempty"`
+}
+
+// SchemaResponse lists catalog entries.
+type SchemaResponse struct {
+	Relations []RelationInfo `json:"relations"`
+}
+
+// OpCounters accumulates per-operation accounting.
+type OpCounters struct {
+	Count  uint64 `json:"count"`
+	Errors uint64 `json:"errors"`
+	// TotalUs and MaxUs are service-time microseconds (admission wait
+	// included — that is what the client observes).
+	TotalUs int64 `json:"total_us"`
+	MaxUs   int64 `json:"max_us"`
+}
+
+// StatusResponse reports server identity and load counters.
+type StatusResponse struct {
+	NodeID  string `json:"node_id"`
+	Members int    `json:"members"`
+	Epoch   uint64 `json:"epoch"`
+	// UptimeMs is milliseconds since the server started.
+	UptimeMs int64 `json:"uptime_ms"`
+	// Connections is the live session count; TotalConnections ever.
+	Connections      int64 `json:"connections"`
+	TotalConnections int64 `json:"total_connections"`
+	// InFlightQueries / PeakInFlightQueries expose the admission-control
+	// semaphore: peak never exceeds MaxConcurrentQueries.
+	InFlightQueries      int64 `json:"in_flight_queries"`
+	PeakInFlightQueries  int64 `json:"peak_in_flight_queries"`
+	MaxConcurrentQueries int   `json:"max_concurrent_queries"`
+	// Ops keys are the Op* operation names.
+	Ops map[string]OpCounters `json:"ops"`
+}
+
+// --- value codec ---
+//
+// Result values cross the wire as plain JSON scalars, kept unambiguous by
+// construction: Int64 values never carry a decimal point or exponent,
+// Float64 values always do. Decoding with json.Number (ReadFrame does)
+// recovers the exact type.
+
+// wireValue wraps a tuple.Value for unambiguous JSON encoding.
+type wireValue struct{ v tuple.Value }
+
+func (w wireValue) MarshalJSON() ([]byte, error) {
+	switch w.v.T {
+	case tuple.Int64:
+		return strconv.AppendInt(nil, w.v.I64, 10), nil
+	case tuple.Float64:
+		b := strconv.AppendFloat(nil, w.v.F64, 'g', -1, 64)
+		if !strings.ContainsAny(string(b), ".eE") && w.v.F64 == w.v.F64 { // integral, non-NaN
+			b = append(b, '.', '0')
+		}
+		return b, nil
+	case tuple.String:
+		return json.Marshal(w.v.Str)
+	default:
+		return nil, fmt.Errorf("server: invalid tuple value")
+	}
+}
+
+// EncodeRows converts engine rows to wire rows.
+func EncodeRows(rows []tuple.Row) [][]any {
+	out := make([][]any, len(rows))
+	for i, r := range rows {
+		wr := make([]any, len(r))
+		for j, v := range r {
+			wr[j] = wireValue{v}
+		}
+		out[i] = wr
+	}
+	return out
+}
+
+// DecodeValue maps a json.Number/string wire scalar back to a Go scalar
+// (int64, float64, or string). Used by clients reading query results.
+func DecodeValue(v any) (any, error) {
+	switch x := v.(type) {
+	case json.Number:
+		if i, err := x.Int64(); err == nil {
+			return i, nil
+		}
+		f, err := x.Float64()
+		if err != nil {
+			return nil, fmt.Errorf("server: bad number %q", x.String())
+		}
+		return f, nil
+	case string:
+		return x, nil
+	case float64: // decoder without UseNumber
+		return x, nil
+	default:
+		return nil, fmt.Errorf("server: unexpected wire value %T", v)
+	}
+}
+
+// CoerceRow converts one wire row onto a schema's column types: numbers
+// are accepted for numeric columns (integral floats for int columns),
+// strings for string columns.
+func CoerceRow(s *tuple.Schema, in []any) (tuple.Row, error) {
+	if len(in) != s.Arity() {
+		return nil, Errorf(CodeBadRequest, "row arity %d != schema arity %d", len(in), s.Arity())
+	}
+	out := make(tuple.Row, len(in))
+	for i, v := range in {
+		col := s.Columns[i]
+		switch col.Type {
+		case tuple.Int64:
+			switch x := v.(type) {
+			case json.Number:
+				n, err := x.Int64()
+				if err != nil {
+					f, ferr := x.Float64()
+					if ferr != nil || f != float64(int64(f)) {
+						return nil, Errorf(CodeBadRequest, "column %s wants int, got %q", col.Name, x.String())
+					}
+					n = int64(f)
+				}
+				out[i] = tuple.I(n)
+			case float64:
+				if x != float64(int64(x)) {
+					return nil, Errorf(CodeBadRequest, "column %s wants int, got %v", col.Name, x)
+				}
+				out[i] = tuple.I(int64(x))
+			case int:
+				out[i] = tuple.I(int64(x))
+			case int64:
+				out[i] = tuple.I(x)
+			default:
+				return nil, Errorf(CodeBadRequest, "column %s wants int, got %T", col.Name, v)
+			}
+		case tuple.Float64:
+			switch x := v.(type) {
+			case json.Number:
+				f, err := x.Float64()
+				if err != nil {
+					return nil, Errorf(CodeBadRequest, "column %s wants float, got %q", col.Name, x.String())
+				}
+				out[i] = tuple.F(f)
+			case float64:
+				out[i] = tuple.F(x)
+			case int:
+				out[i] = tuple.F(float64(x))
+			case int64:
+				out[i] = tuple.F(float64(x))
+			default:
+				return nil, Errorf(CodeBadRequest, "column %s wants float, got %T", col.Name, v)
+			}
+		case tuple.String:
+			x, ok := v.(string)
+			if !ok {
+				return nil, Errorf(CodeBadRequest, "column %s wants string, got %T", col.Name, v)
+			}
+			out[i] = tuple.S(x)
+		}
+	}
+	return out, nil
+}
+
+// ParseColumns converts "name:type" specs into tuple columns.
+func ParseColumns(specs []string) ([]tuple.Column, error) {
+	cols := make([]tuple.Column, 0, len(specs))
+	for _, c := range specs {
+		name, typ, ok := strings.Cut(c, ":")
+		if !ok || name == "" {
+			return nil, Errorf(CodeBadRequest, "bad column %q (want name:type)", c)
+		}
+		var t tuple.Type
+		switch typ {
+		case "int", "int64":
+			t = tuple.Int64
+		case "float", "float64":
+			t = tuple.Float64
+		case "string", "str":
+			t = tuple.String
+		default:
+			return nil, Errorf(CodeBadRequest, "bad column type in %q", c)
+		}
+		cols = append(cols, tuple.Column{Name: name, Type: t})
+	}
+	return cols, nil
+}
+
+// FormatColumns renders a schema's columns back to "name:type" specs.
+func FormatColumns(s *tuple.Schema) (cols, keys []string) {
+	for _, c := range s.Columns {
+		typ := "string"
+		switch c.Type {
+		case tuple.Int64:
+			typ = "int"
+		case tuple.Float64:
+			typ = "float"
+		}
+		cols = append(cols, c.Name+":"+typ)
+	}
+	for _, k := range s.Key {
+		keys = append(keys, s.Columns[k].Name)
+	}
+	return cols, keys
+}

@@ -1,0 +1,377 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// MaxConcurrentQueries bounds query executions in flight at once —
+	// the admission-control semaphore. Excess queries wait their turn
+	// (closed-loop clients self-throttle; waiting counts toward the
+	// request timeout). Default: 2 × GOMAXPROCS.
+	MaxConcurrentQueries int
+	// RequestTimeout caps the server-side execution time of any single
+	// request, including admission wait (default 30s). A QueryRequest
+	// may ask for less, never more.
+	RequestTimeout time.Duration
+	// MaxPipelinedRequests bounds requests in flight per connection
+	// (default 64). When a client pipelines past the cap, the session
+	// stops reading frames until a response drains — backpressure via
+	// TCP, so one connection cannot accumulate unbounded handler
+	// goroutines and payloads.
+	MaxPipelinedRequests int
+	// OnQueryStart, when set, is invoked at the start of every query
+	// execution while its admission slot is held — an instrumentation
+	// hook (tests use it to make executions overlap deterministically).
+	OnQueryStart func()
+	// Logf receives connection-level diagnostics (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrentQueries <= 0 {
+		c.MaxConcurrentQueries = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxPipelinedRequests <= 0 {
+		c.MaxPipelinedRequests = 64
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// Server accepts wire-protocol sessions and dispatches them to a Backend.
+type Server struct {
+	cfg     Config
+	backend Backend
+	ln      net.Listener
+	start   time.Time
+
+	sem chan struct{} // admission-control slots for query execution
+
+	inFlight   atomic.Int64
+	peakFlight atomic.Int64
+	conns      atomic.Int64
+	totalConns atomic.Int64
+
+	ops map[string]*opCounters
+
+	mu      sync.Mutex
+	active  map[net.Conn]struct{}
+	closed  bool
+	accepts sync.WaitGroup
+}
+
+type opCounters struct {
+	count, errors atomic.Uint64
+	totalUs       atomic.Int64
+	maxUs         atomic.Int64
+}
+
+func (o *opCounters) observe(d time.Duration, failed bool) {
+	o.count.Add(1)
+	if failed {
+		o.errors.Add(1)
+	}
+	us := d.Microseconds()
+	o.totalUs.Add(us)
+	for {
+		cur := o.maxUs.Load()
+		if us <= cur || o.maxUs.CompareAndSwap(cur, us) {
+			return
+		}
+	}
+}
+
+// Start listens on addr ("host:port"; ":0" picks a free port) and serves
+// until Close.
+func Start(addr string, backend Backend, cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		backend: backend,
+		ln:      ln,
+		start:   time.Now(),
+		sem:     make(chan struct{}, cfg.MaxConcurrentQueries),
+		active:  make(map[net.Conn]struct{}),
+		ops: map[string]*opCounters{
+			OpPing:    {},
+			OpCreate:  {},
+			OpPublish: {},
+			OpQuery:   {},
+			OpSchema:  {},
+			OpStatus:  {},
+		},
+	}
+	s.accepts.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting, severs all sessions, and waits for the accept
+// loop to exit. In-flight request goroutines drain on their own.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.active))
+	for c := range s.active {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.accepts.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.accepts.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.active[conn] = struct{}{}
+		s.mu.Unlock()
+		s.conns.Add(1)
+		s.totalConns.Add(1)
+		go s.session(conn)
+	}
+}
+
+// session owns one connection: it reads request frames and dispatches
+// each to its own goroutine, so a slow query does not block later
+// requests pipelined on the same connection. Responses are serialized
+// by a per-connection write lock and carry the request's ID.
+func (s *Server) session(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.conns.Add(-1)
+		s.mu.Lock()
+		delete(s.active, conn)
+		s.mu.Unlock()
+	}()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	var wmu sync.Mutex
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	pipeline := make(chan struct{}, s.cfg.MaxPipelinedRequests)
+	for {
+		var req Request
+		if err := ReadFrame(conn, &req); err != nil {
+			if !errors.Is(err, net.ErrClosed) && !isEOF(err) {
+				s.cfg.Logf("server: %s: read: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		pipeline <- struct{}{} // backpressure: stop reading at the cap
+		handlers.Add(1)
+		go func(req Request) {
+			defer handlers.Done()
+			defer func() { <-pipeline }()
+			resp := s.dispatch(&req)
+			frame, err := EncodeFrame(resp)
+			if err != nil {
+				// A result the codec cannot carry (e.g. NaN/Inf floats)
+				// fails only this request, not the whole session.
+				frame, err = EncodeFrame(&Response{ID: req.ID,
+					Error: Errorf(CodeInternal, "encode response: %v", err)})
+				if err != nil {
+					s.cfg.Logf("server: %s: encode: %v", conn.RemoteAddr(), err)
+					conn.Close()
+					return
+				}
+			}
+			wmu.Lock()
+			_, err = conn.Write(frame)
+			wmu.Unlock()
+			if err != nil && !errors.Is(err, net.ErrClosed) {
+				s.cfg.Logf("server: %s: write: %v", conn.RemoteAddr(), err)
+				conn.Close() // wake the read loop
+			}
+		}(req)
+	}
+}
+
+func isEOF(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// dispatch executes one request and accounts it.
+func (s *Server) dispatch(req *Request) *Response {
+	op := req.Op
+	counters, known := s.ops[op]
+	start := time.Now()
+	resp := &Response{ID: req.ID}
+	if !known {
+		resp.Error = Errorf(CodeBadRequest, "unknown op %q", op)
+		return resp
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+	defer cancel()
+	err := s.handle(ctx, req, resp)
+	if err != nil {
+		resp.Error = toWireError(ctx, err)
+	}
+	counters.observe(time.Since(start), resp.Error != nil)
+	return resp
+}
+
+func (s *Server) handle(ctx context.Context, req *Request, resp *Response) error {
+	switch req.Op {
+	case OpPing:
+		resp.Epoch = uint64(s.backend.Epoch())
+		return nil
+	case OpCreate:
+		if req.Create == nil {
+			return Errorf(CodeBadRequest, "create payload missing")
+		}
+		e, err := s.backend.Create(ctx, req.Create)
+		if err != nil {
+			return err
+		}
+		resp.Epoch = uint64(e)
+		return nil
+	case OpPublish:
+		if req.Publish == nil {
+			return Errorf(CodeBadRequest, "publish payload missing")
+		}
+		e, err := s.backend.Publish(ctx, req.Publish)
+		if err != nil {
+			return err
+		}
+		resp.Epoch = uint64(e)
+		return nil
+	case OpQuery:
+		if req.Query == nil {
+			return Errorf(CodeBadRequest, "query payload missing")
+		}
+		if ms := req.Query.TimeoutMs; ms > 0 {
+			if d := time.Duration(ms) * time.Millisecond; d < s.cfg.RequestTimeout {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, d)
+				defer cancel()
+			}
+		}
+		qr, err := s.runQuery(ctx, req.Query)
+		if err != nil {
+			return err
+		}
+		resp.Query = qr
+		return nil
+	case OpSchema:
+		rel := ""
+		if req.Schema != nil {
+			rel = req.Schema.Relation
+		}
+		sr, err := s.backend.Catalog(ctx, rel)
+		if err != nil {
+			return err
+		}
+		resp.Schema = sr
+		return nil
+	case OpStatus:
+		resp.Status = s.status()
+		return nil
+	}
+	return Errorf(CodeBadRequest, "unknown op %q", req.Op)
+}
+
+// runQuery passes the admission-control semaphore, then executes. The
+// wait is bounded by the request context so an overloaded server times
+// out queued queries instead of letting them pile up forever.
+func (s *Server) runQuery(ctx context.Context, q *QueryRequest) (*QueryResponse, error) {
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, Errorf(CodeTimeout, "admission wait: %v", ctx.Err())
+	}
+	defer func() { <-s.sem }()
+	n := s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	for {
+		peak := s.peakFlight.Load()
+		if n <= peak || s.peakFlight.CompareAndSwap(peak, n) {
+			break
+		}
+	}
+	if s.cfg.OnQueryStart != nil {
+		s.cfg.OnQueryStart()
+	}
+	return s.backend.Query(ctx, q)
+}
+
+func (s *Server) status() *StatusResponse {
+	info := s.backend.Info()
+	st := &StatusResponse{
+		NodeID:               info.NodeID,
+		Members:              info.Members,
+		Epoch:                uint64(s.backend.Epoch()),
+		UptimeMs:             time.Since(s.start).Milliseconds(),
+		Connections:          s.conns.Load(),
+		TotalConnections:     s.totalConns.Load(),
+		InFlightQueries:      s.inFlight.Load(),
+		PeakInFlightQueries:  s.peakFlight.Load(),
+		MaxConcurrentQueries: s.cfg.MaxConcurrentQueries,
+		Ops:                  make(map[string]OpCounters, len(s.ops)),
+	}
+	for op, c := range s.ops {
+		st.Ops[op] = OpCounters{
+			Count:   c.count.Load(),
+			Errors:  c.errors.Load(),
+			TotalUs: c.totalUs.Load(),
+			MaxUs:   c.maxUs.Load(),
+		}
+	}
+	return st
+}
+
+// Stats snapshots the server's own counters (the status op, server-side).
+func (s *Server) Stats() *StatusResponse { return s.status() }
+
+// toWireError maps backend errors onto wire codes, preserving codes that
+// are already typed.
+func toWireError(ctx context.Context, err error) *WireError {
+	var we *WireError
+	if errors.As(err, &we) {
+		return we
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return Errorf(CodeTimeout, "%v", err)
+	}
+	return Errorf(CodeInternal, "%v", err)
+}

@@ -1,0 +1,469 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"orchestra/internal/tuple"
+)
+
+// --- protocol ---
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Request{ID: 7, Op: OpQuery, Query: &QueryRequest{SQL: "SELECT 1", Epoch: 42}}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out Request
+	if err := ReadFrame(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != 7 || out.Op != OpQuery || out.Query == nil || out.Query.SQL != "SELECT 1" || out.Query.Epoch != 42 {
+		t.Fatalf("round trip mangled request: %+v", out)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	hdr := []byte{0xff, 0xff, 0xff, 0xff}
+	var req Request
+	if err := ReadFrame(bytes.NewReader(hdr), &req); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+// TestValueCodec checks the int/float disambiguation: integral floats
+// must keep a decimal point on the wire so clients recover the type.
+func TestValueCodec(t *testing.T) {
+	rows := EncodeRows([]tuple.Row{{tuple.I(5), tuple.F(2), tuple.F(2.5), tuple.S("x")}})
+	body, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `[[5,2.0,2.5,"x"]]`
+	if string(body) != want {
+		t.Fatalf("encoded %s, want %s", body, want)
+	}
+	var wire [][]any
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.UseNumber()
+	if err := dec.Decode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]any, len(wire[0]))
+	for i, v := range wire[0] {
+		if got[i], err = DecodeValue(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got[0] != int64(5) || got[1] != float64(2) || got[2] != 2.5 || got[3] != "x" {
+		t.Fatalf("decoded %#v", got)
+	}
+}
+
+func TestCoerceRow(t *testing.T) {
+	s := tuple.MustSchema("r", []tuple.Column{
+		{Name: "a", Type: tuple.Int64},
+		{Name: "b", Type: tuple.Float64},
+		{Name: "c", Type: tuple.String},
+	})
+	row, err := CoerceRow(s, []any{json.Number("9"), json.Number("1.5"), "hi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tuple.Row{tuple.I(9), tuple.F(1.5), tuple.S("hi")}
+	for i := range want {
+		if !row[i].Equal(want[i]) {
+			t.Fatalf("col %d: got %v want %v", i, row[i], want[i])
+		}
+	}
+	if _, err := CoerceRow(s, []any{json.Number("9.5"), json.Number("1"), "hi"}); err == nil {
+		t.Fatal("fractional value accepted for int column")
+	}
+	if _, err := CoerceRow(s, []any{json.Number("9"), json.Number("1")}); err == nil {
+		t.Fatal("short row accepted")
+	}
+	var we *WireError
+	_, err = CoerceRow(s, []any{"no", json.Number("1"), "hi"})
+	if !errors.As(err, &we) || we.Code != CodeBadRequest {
+		t.Fatalf("type mismatch not a bad_request: %v", err)
+	}
+}
+
+// --- server core, against a stub backend ---
+
+// stubBackend answers queries after an optional gate, so tests control
+// execution overlap precisely.
+type stubBackend struct {
+	queryDelay time.Duration
+	queryErr   error
+	queryResp  *QueryResponse
+}
+
+func (b *stubBackend) Create(ctx context.Context, req *CreateRequest) (tuple.Epoch, error) {
+	return 1, nil
+}
+
+func (b *stubBackend) Publish(ctx context.Context, req *PublishRequest) (tuple.Epoch, error) {
+	return 2, nil
+}
+
+func (b *stubBackend) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
+	if b.queryErr != nil {
+		return nil, b.queryErr
+	}
+	if b.queryDelay > 0 {
+		select {
+		case <-time.After(b.queryDelay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if b.queryResp != nil {
+		return b.queryResp, nil
+	}
+	return &QueryResponse{Columns: []string{"one"}, Rows: [][]any{{1}}, Epoch: 3}, nil
+}
+
+func (b *stubBackend) Catalog(ctx context.Context, rel string) (*SchemaResponse, error) {
+	if rel != "" && rel != "known" {
+		return nil, Errorf(CodeNotFound, "relation %q", rel)
+	}
+	return &SchemaResponse{Relations: []RelationInfo{{Relation: "known"}}}, nil
+}
+
+func (b *stubBackend) Epoch() tuple.Epoch { return 3 }
+func (b *stubBackend) Info() BackendInfo  { return BackendInfo{NodeID: "stub", Members: 1} }
+
+func startTestServer(t *testing.T, b Backend, cfg Config) *Server {
+	t.Helper()
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	s, err := Start("127.0.0.1:0", b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func dialTest(t *testing.T, s *Server) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func TestServerBasicOps(t *testing.T) {
+	s := startTestServer(t, &stubBackend{}, Config{})
+	conn := dialTest(t, s)
+	for i, req := range []*Request{
+		{ID: 1, Op: OpPing},
+		{ID: 2, Op: OpCreate, Create: &CreateRequest{Relation: "r", Columns: []string{"a:int"}}},
+		{ID: 3, Op: OpQuery, Query: &QueryRequest{SQL: "SELECT 1"}},
+		{ID: 4, Op: OpSchema, Schema: &SchemaRequest{Relation: "known"}},
+		{ID: 5, Op: OpStatus},
+	} {
+		if err := WriteFrame(conn, req); err != nil {
+			t.Fatal(err)
+		}
+		var resp Response
+		if err := ReadFrame(conn, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Error != nil {
+			t.Fatalf("op %d: %v", i, resp.Error)
+		}
+		if resp.ID != req.ID {
+			t.Fatalf("op %d: response id %d for request %d", i, resp.ID, req.ID)
+		}
+	}
+}
+
+func TestServerErrorMapping(t *testing.T) {
+	s := startTestServer(t, &stubBackend{}, Config{})
+	conn := dialTest(t, s)
+	cases := []struct {
+		req  *Request
+		code string
+	}{
+		{&Request{ID: 1, Op: "bogus"}, CodeBadRequest},
+		{&Request{ID: 2, Op: OpQuery}, CodeBadRequest}, // missing payload
+		{&Request{ID: 3, Op: OpSchema, Schema: &SchemaRequest{Relation: "nope"}}, CodeNotFound},
+	}
+	for _, tc := range cases {
+		if err := WriteFrame(conn, tc.req); err != nil {
+			t.Fatal(err)
+		}
+		var resp Response
+		if err := ReadFrame(conn, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Error == nil || resp.Error.Code != tc.code {
+			t.Fatalf("op %q: got %v, want code %s", tc.req.Op, resp.Error, tc.code)
+		}
+	}
+	// Errors are accounted.
+	if st := s.Stats(); st.Ops[OpSchema].Errors != 1 {
+		t.Fatalf("schema errors = %d, want 1", st.Ops[OpSchema].Errors)
+	}
+}
+
+// TestServerInternalErrorMapping: untyped backend errors become
+// CodeInternal without killing the session.
+func TestServerInternalErrorMapping(t *testing.T) {
+	s := startTestServer(t, &stubBackend{queryErr: errors.New("boom")}, Config{})
+	conn := dialTest(t, s)
+	if err := WriteFrame(conn, &Request{ID: 1, Op: OpQuery, Query: &QueryRequest{SQL: "x"}}); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := ReadFrame(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == nil || resp.Error.Code != CodeInternal {
+		t.Fatalf("got %v, want internal", resp.Error)
+	}
+	// Session still alive.
+	if err := WriteFrame(conn, &Request{ID: 2, Op: OpPing}); err != nil {
+		t.Fatal(err)
+	}
+	resp = Response{}
+	if err := ReadFrame(conn, &resp); err != nil || resp.Error != nil {
+		t.Fatalf("session died after error: %v %v", err, resp.Error)
+	}
+}
+
+// TestUnencodableResultFailsRequestOnly: a query result JSON cannot
+// carry (NaN float) turns into an internal error for that request; the
+// session and pipelined requests survive.
+func TestUnencodableResultFailsRequestOnly(t *testing.T) {
+	s := startTestServer(t, &stubBackend{
+		queryResp: &QueryResponse{Columns: []string{"x"}, Rows: [][]any{{math.NaN()}}},
+	}, Config{})
+	conn := dialTest(t, s)
+	if err := WriteFrame(conn, &Request{ID: 1, Op: OpQuery, Query: &QueryRequest{SQL: "nan"}}); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := ReadFrame(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == nil || resp.Error.Code != CodeInternal {
+		t.Fatalf("got %v, want internal encode error", resp.Error)
+	}
+	if err := WriteFrame(conn, &Request{ID: 2, Op: OpPing}); err != nil {
+		t.Fatal(err)
+	}
+	resp = Response{}
+	if err := ReadFrame(conn, &resp); err != nil || resp.Error != nil || resp.ID != 2 {
+		t.Fatalf("session died after unencodable result: %v %+v", err, resp)
+	}
+}
+
+// TestPipelineCapBackpressure: a connection cannot hold more than
+// MaxPipelinedRequests handlers; the reader stops consuming frames
+// until responses drain, and all requests still complete.
+func TestPipelineCapBackpressure(t *testing.T) {
+	gate := make(chan struct{})
+	var started atomic.Int64
+	s := startTestServer(t, &stubBackend{}, Config{
+		MaxConcurrentQueries: 64,
+		MaxPipelinedRequests: 2,
+		OnQueryStart:         func() { started.Add(1); <-gate },
+	})
+	conn := dialTest(t, s)
+	const N = 6
+	for i := 1; i <= N; i++ {
+		if err := WriteFrame(conn, &Request{ID: uint64(i), Op: OpQuery, Query: &QueryRequest{SQL: "q"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := started.Load(); got > 2 {
+		t.Fatalf("%d handlers started past the pipeline cap of 2", got)
+	}
+	close(gate)
+	seen := 0
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for seen < N {
+		var resp Response
+		if err := ReadFrame(conn, &resp); err != nil {
+			t.Fatalf("after %d responses: %v", seen, err)
+		}
+		if resp.Error != nil {
+			t.Fatalf("request %d: %v", resp.ID, resp.Error)
+		}
+		seen++
+	}
+}
+
+// TestAdmissionControl proves the semaphore bounds concurrent query
+// executions: 8 pipelined queries against a limit of 2 never run more
+// than 2 at once, and the observed peak actually reaches the limit.
+func TestAdmissionControl(t *testing.T) {
+	var inFlight, peak, over atomic.Int64
+	gate := make(chan struct{})
+	b := &stubBackend{}
+	s := startTestServer(t, b, Config{
+		MaxConcurrentQueries: 2,
+		OnQueryStart: func() {
+			n := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			if n > 2 {
+				over.Add(1)
+			}
+			<-gate
+			inFlight.Add(-1)
+		},
+	})
+	conn := dialTest(t, s)
+	const N = 8
+	for i := 1; i <= N; i++ {
+		if err := WriteFrame(conn, &Request{ID: uint64(i), Op: OpQuery, Query: &QueryRequest{SQL: "q"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let the first two executions start, then release everyone in waves.
+	deadline := time.After(5 * time.Second)
+	for inFlight.Load() < 2 {
+		select {
+		case <-deadline:
+			t.Fatal("executions never reached the admission limit")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(gate)
+	seen := make(map[uint64]bool)
+	for i := 0; i < N; i++ {
+		var resp Response
+		if err := ReadFrame(conn, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Error != nil {
+			t.Fatalf("query %d: %v", resp.ID, resp.Error)
+		}
+		seen[resp.ID] = true
+	}
+	if len(seen) != N {
+		t.Fatalf("got %d distinct responses, want %d", len(seen), N)
+	}
+	if over.Load() > 0 {
+		t.Fatalf("%d executions exceeded the admission limit", over.Load())
+	}
+	if peak.Load() != 2 {
+		t.Fatalf("peak in-flight %d, want 2", peak.Load())
+	}
+	if st := s.Stats(); st.PeakInFlightQueries != 2 || st.MaxConcurrentQueries != 2 {
+		t.Fatalf("status peak %d / max %d, want 2 / 2", st.PeakInFlightQueries, st.MaxConcurrentQueries)
+	}
+}
+
+// TestRequestTimeout: a query slower than the server's RequestTimeout
+// comes back as a timeout error, not a hung connection.
+func TestRequestTimeout(t *testing.T) {
+	s := startTestServer(t, &stubBackend{queryDelay: 10 * time.Second},
+		Config{RequestTimeout: 50 * time.Millisecond})
+	conn := dialTest(t, s)
+	if err := WriteFrame(conn, &Request{ID: 1, Op: OpQuery, Query: &QueryRequest{SQL: "slow"}}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var resp Response
+	if err := ReadFrame(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == nil || resp.Error.Code != CodeTimeout {
+		t.Fatalf("got %v, want timeout", resp.Error)
+	}
+}
+
+// TestPerQueryTimeout: a client-requested budget below the server cap is
+// honored.
+func TestPerQueryTimeout(t *testing.T) {
+	s := startTestServer(t, &stubBackend{queryDelay: 10 * time.Second}, Config{})
+	conn := dialTest(t, s)
+	req := &Request{ID: 1, Op: OpQuery, Query: &QueryRequest{SQL: "slow", TimeoutMs: 50}}
+	if err := WriteFrame(conn, req); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	var resp Response
+	if err := ReadFrame(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == nil || resp.Error.Code != CodeTimeout {
+		t.Fatalf("got %v, want timeout", resp.Error)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("per-query timeout not honored")
+	}
+}
+
+// TestPipelining: responses carry the right IDs even when a slow query
+// is pipelined before fast ones (completion-order replies).
+func TestPipelining(t *testing.T) {
+	gate := make(chan struct{})
+	var once sync.Once
+	s := startTestServer(t, &stubBackend{}, Config{
+		MaxConcurrentQueries: 4,
+		OnQueryStart:         func() { once.Do(func() { <-gate }) }, // first query stalls
+	})
+	conn := dialTest(t, s)
+	if err := WriteFrame(conn, &Request{ID: 100, Op: OpQuery, Query: &QueryRequest{SQL: "slow"}}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond) // let it occupy its slot
+	if err := WriteFrame(conn, &Request{ID: 101, Op: OpPing}); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := ReadFrame(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 101 {
+		t.Fatalf("fast request did not overtake: got id %d", resp.ID)
+	}
+	close(gate)
+	if err := ReadFrame(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 100 || resp.Error != nil {
+		t.Fatalf("stalled query: id %d err %v", resp.ID, resp.Error)
+	}
+}
+
+func TestServerCloseSeversSessions(t *testing.T) {
+	s := startTestServer(t, &stubBackend{}, Config{})
+	conn := dialTest(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	var resp Response
+	if err := ReadFrame(conn, &resp); err == nil {
+		t.Fatal("read succeeded after server close")
+	}
+	if _, err := net.Dial("tcp", s.Addr().String()); err == nil {
+		t.Fatal("dial succeeded after server close")
+	}
+}

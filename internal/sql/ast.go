@@ -43,6 +43,30 @@ type OrderItem struct {
 	Desc bool
 }
 
+// OutputColumns derives display names for the query's result columns:
+// select aliases where given, expression text otherwise, and — for * —
+// the FROM tables' columns in order. columnsOf resolves a table's
+// column names; tables it cannot resolve contribute nothing.
+func (q *Query) OutputColumns(columnsOf func(table string) ([]string, bool)) []string {
+	var out []string
+	for _, item := range q.Select {
+		if item.Star {
+			for _, ref := range q.From {
+				if cols, ok := columnsOf(ref.Table); ok {
+					out = append(out, cols...)
+				}
+			}
+			continue
+		}
+		if item.Alias != "" {
+			out = append(out, item.Alias)
+			continue
+		}
+		out = append(out, item.Expr.String())
+	}
+	return out
+}
+
 // --- expressions ---
 
 // Expr is a scalar or aggregate expression in the AST.

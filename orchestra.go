@@ -24,6 +24,7 @@ package orchestra
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -283,6 +284,26 @@ func (c *Cluster) Schema(relation string) (*tuple.Schema, bool) {
 	defer c.mu.Unlock()
 	s, ok := c.schemas[relation]
 	return s, ok
+}
+
+// Relations lists the registered relation names, sorted.
+func (c *Cluster) Relations() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.schemas))
+	for name := range c.schemas {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RowCount returns the cluster's published-row estimate for a relation
+// (the same statistic the optimizer sees).
+func (c *Cluster) RowCount(relation string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rows[relation]
 }
 
 // --- publish / import ---

@@ -150,24 +150,20 @@ func (c *Cluster) RunPlan(plan *engine.Plan, opts QueryOptions) (*Result, error)
 
 // outputColumns derives display names for the result columns.
 func outputColumns(q *sql.Query, c *Cluster) []string {
-	var out []string
-	for _, item := range q.Select {
-		if item.Star {
-			for _, ref := range q.From {
-				if s, ok := c.Schema(ref.Table); ok {
-					for _, col := range s.Columns {
-						out = append(out, col.Name)
-					}
-				}
-			}
-			continue
+	return q.OutputColumns(func(table string) ([]string, bool) {
+		s, ok := c.Schema(table)
+		if !ok {
+			return nil, false
 		}
-		switch {
-		case item.Alias != "":
-			out = append(out, item.Alias)
-		default:
-			out = append(out, item.Expr.String())
-		}
+		return columnNames(s), true
+	})
+}
+
+// columnNames lists a schema's column names in order.
+func columnNames(s *tuple.Schema) []string {
+	names := make([]string, len(s.Columns))
+	for i, col := range s.Columns {
+		names[i] = col.Name
 	}
-	return out
+	return names
 }

@@ -1,0 +1,166 @@
+package orchestra
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"orchestra/internal/server"
+	"orchestra/internal/tuple"
+)
+
+// ServeOptions tunes a served endpoint; the zero value is sensible.
+type ServeOptions struct {
+	// Node is the cluster node index that initiates the served work
+	// (default 0). Serving each node on its own address turns an
+	// embedded cluster into a multi-endpoint deployment for clients to
+	// spread load across.
+	Node int
+	// MaxConcurrentQueries bounds query executions in flight on this
+	// endpoint — the admission-control semaphore (default 2×GOMAXPROCS).
+	MaxConcurrentQueries int
+	// RequestTimeout caps any single request's server-side time,
+	// including admission wait (default 30s).
+	RequestTimeout time.Duration
+	// OnQueryStart, when set, runs at the start of every query execution
+	// while its admission slot is held (instrumentation hook).
+	OnQueryStart func()
+}
+
+// Server is a wire-protocol endpoint serving this cluster; see
+// Cluster.Serve. Clients connect with the orchestra/client package.
+type Server struct {
+	s *server.Server
+}
+
+// Addr returns the endpoint's listen address (useful with ":0").
+func (s *Server) Addr() string { return s.s.Addr().String() }
+
+// Close stops the endpoint and severs its sessions.
+func (s *Server) Close() error { return s.s.Close() }
+
+// Stats snapshots the endpoint's request/latency/error counters.
+func (s *Server) Stats() *server.StatusResponse { return s.s.Stats() }
+
+// Serve exposes the cluster at addr (TCP, ":0" picks a free port) over
+// the length-prefixed JSON wire protocol: create, publish, query (with
+// epoch pinning, recovery mode, provenance), schema/catalog, and
+// status/stats. Each connection is a session served by its own
+// goroutine; query executions pass an admission-control semaphore. Call
+// Serve once per node index to give every node its own endpoint.
+func (c *Cluster) Serve(addr string, opts ServeOptions) (*Server, error) {
+	if opts.Node < 0 || opts.Node >= len(c.engines) {
+		return nil, fmt.Errorf("orchestra: no node %d", opts.Node)
+	}
+	s, err := server.Start(addr, &clusterBackend{c: c, node: opts.Node}, server.Config{
+		MaxConcurrentQueries: opts.MaxConcurrentQueries,
+		RequestTimeout:       opts.RequestTimeout,
+		OnQueryStart:         opts.OnQueryStart,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{s: s}, nil
+}
+
+// clusterBackend adapts a Cluster to the server.Backend interface.
+type clusterBackend struct {
+	c    *Cluster
+	node int
+}
+
+func (b *clusterBackend) Create(ctx context.Context, req *server.CreateRequest) (tuple.Epoch, error) {
+	def := NewSchema(req.Relation, req.Columns...)
+	if len(req.Keys) > 0 {
+		def.Key(req.Keys...)
+	}
+	if err := b.c.CreateRelation(def); err != nil {
+		return 0, server.Errorf(server.CodeBadRequest, "%v", err)
+	}
+	return b.c.CurrentEpoch(), nil
+}
+
+func (b *clusterBackend) Publish(ctx context.Context, req *server.PublishRequest) (tuple.Epoch, error) {
+	s, ok := b.c.Schema(req.Relation)
+	if !ok {
+		return 0, server.Errorf(server.CodeNotFound, "unknown relation %q", req.Relation)
+	}
+	rows := make([]tuple.Row, len(req.Rows))
+	for i, r := range req.Rows {
+		row, err := server.CoerceRow(s, r)
+		if err != nil {
+			return 0, err
+		}
+		rows[i] = row
+	}
+	return b.c.PublishTyped(b.node, req.Relation, rows)
+}
+
+func (b *clusterBackend) Query(ctx context.Context, req *server.QueryRequest) (*server.QueryResponse, error) {
+	rec, err := server.RecoveryMode(req.Recovery)
+	if err != nil {
+		return nil, err
+	}
+	opts := QueryOptions{
+		Node:       b.node,
+		Epoch:      Epoch(req.Epoch),
+		Recovery:   rec,
+		Provenance: req.Provenance,
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		d := time.Until(dl)
+		if d <= 0 {
+			// Don't let an expired budget fall through to RunPlan's
+			// 5-minute default while holding an admission slot.
+			return nil, server.Errorf(server.CodeTimeout, "request deadline expired before execution")
+		}
+		opts.Timeout = d
+	}
+	res, err := b.c.QueryOpts(req.SQL, opts)
+	if err != nil {
+		return nil, err
+	}
+	qr := &server.QueryResponse{
+		Columns:  res.Columns,
+		Rows:     server.EncodeRows(res.Rows),
+		Epoch:    uint64(res.Epoch),
+		Cached:   res.Cached,
+		Phases:   res.Phases,
+		Restarts: res.Restarts,
+	}
+	if req.Explain {
+		qr.Plan = res.Plan
+	}
+	return qr, nil
+}
+
+func (b *clusterBackend) Catalog(ctx context.Context, rel string) (*server.SchemaResponse, error) {
+	names := b.c.Relations()
+	if rel != "" {
+		if _, ok := b.c.Schema(rel); !ok {
+			return nil, server.Errorf(server.CodeNotFound, "unknown relation %q", rel)
+		}
+		names = []string{rel}
+	}
+	out := &server.SchemaResponse{}
+	for _, name := range names {
+		s, ok := b.c.Schema(name)
+		if !ok {
+			continue
+		}
+		cols, keys := server.FormatColumns(s)
+		out.Relations = append(out.Relations, server.RelationInfo{
+			Relation: name,
+			Columns:  cols,
+			Keys:     keys,
+			Rows:     b.c.RowCount(name),
+		})
+	}
+	return out, nil
+}
+
+func (b *clusterBackend) Epoch() tuple.Epoch { return b.c.CurrentEpoch() }
+
+func (b *clusterBackend) Info() server.BackendInfo {
+	return server.BackendInfo{NodeID: b.c.NodeID(b.node), Members: b.c.liveNodes()}
+}
