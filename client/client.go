@@ -1,8 +1,14 @@
 // Package client is the Go client for a served ORCHESTRA deployment
 // (an orchestra.Cluster with Serve enabled, or an orchestra-node started
-// with -serve). It speaks the length-prefixed JSON wire protocol over
-// TCP, reuses a small pool of connections across calls, and surfaces
+// with -serve). It speaks the length-prefixed wire protocol over TCP,
+// reuses a small pool of connections across calls, and surfaces
 // server-side failures as typed errors.
+//
+// By default the client negotiates the binary streaming extension on
+// each connection (a hello handshake): query results then arrive as
+// column-major row-batch frames decoded incrementally — both behind the
+// buffered Query API and the incremental QueryStream iterator — and fall
+// back to plain JSON frames transparently against old servers.
 //
 //	cl, _ := client.Dial("127.0.0.1:7101")
 //	defer cl.Close()
@@ -12,14 +18,17 @@
 package client
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"orchestra/internal/server"
+	"orchestra/internal/tuple"
 )
 
 // Typed error categories; unwrap with errors.Is. The full server message
@@ -32,6 +41,14 @@ var (
 	// ErrTimeout reports a server-side request timeout (admission wait
 	// included).
 	ErrTimeout = errors.New("timeout")
+	// ErrFrameTooLarge reports a single wire frame exceeding the
+	// connection's negotiated limit — typically a buffered JSON result
+	// too big for one frame. Streamed binary results are not subject to
+	// a whole-result cap; retry with the binary codec.
+	ErrFrameTooLarge = errors.New("frame too large")
+	// ErrBinaryUnsupported reports that the server does not speak the
+	// binary streaming extension while Options.Codec required it.
+	ErrBinaryUnsupported = errors.New("server does not support binary streaming")
 	// ErrServer reports any other server-side failure.
 	ErrServer = errors.New("server error")
 )
@@ -39,7 +56,7 @@ var (
 // Error is a failure reported by the server.
 type Error struct {
 	// Code is the wire code ("bad_request", "not_found", "timeout",
-	// "internal").
+	// "frame_too_large", "internal").
 	Code string
 	// Message is the server's description.
 	Message string
@@ -56,9 +73,23 @@ func (e *Error) Unwrap() error {
 		return ErrNotFound
 	case server.CodeTimeout:
 		return ErrTimeout
+	case server.CodeFrameTooLarge:
+		return ErrFrameTooLarge
 	}
 	return ErrServer
 }
+
+// Codec names for Options.Codec.
+const (
+	// CodecAuto negotiates binary streaming and falls back to JSON
+	// against servers that predate it (the default).
+	CodecAuto = "auto"
+	// CodecBinary requires binary streaming; dialing an old server
+	// fails with ErrBinaryUnsupported.
+	CodecBinary = "binary"
+	// CodecJSON forces the plain JSON result path (no hello handshake).
+	CodecJSON = "json"
+)
 
 // Options tunes a Client.
 type Options struct {
@@ -68,6 +99,16 @@ type Options struct {
 	PoolSize int
 	// DialTimeout bounds connection establishment (default 5s).
 	DialTimeout time.Duration
+	// Codec selects the result codec: CodecAuto (default), CodecBinary,
+	// or CodecJSON.
+	Codec string
+	// MaxFrame bounds a single inbound frame (default server.MaxFrame);
+	// offered to the server during negotiation, which uses the min of
+	// the two peers' limits.
+	MaxFrame int64
+	// StreamWindow is the flow-control credit window requested for
+	// streamed results, in batch frames (default the server's offer).
+	StreamWindow int
 }
 
 // Client is a connection-reusing client for one server endpoint. It is
@@ -76,12 +117,30 @@ type Client struct {
 	addr string
 	opts Options
 
+	// jsonOnly latches when the server rejects the hello handshake, so
+	// later dials skip the wasted round trip (CodecAuto only).
+	jsonOnly atomic.Bool
+
 	mu     sync.Mutex
-	idle   []net.Conn
+	idle   []*wireConn
 	closed bool
 }
 
-// Dial validates connectivity to addr and returns a Client.
+// wireConn is one pooled connection plus its negotiated protocol state.
+type wireConn struct {
+	net.Conn
+	br *bufio.Reader
+	// binary reports a successful FeatureBinaryStream negotiation.
+	binary bool
+	// maxFrame is the negotiated frame limit, enforced in both
+	// directions. (The negotiated stream window needs no client state:
+	// it governs the server's sending, and the client grants one credit
+	// per consumed batch regardless of window size.)
+	maxFrame int64
+}
+
+// Dial validates connectivity to addr (performing the protocol handshake
+// unless Codec is CodecJSON) and returns a Client.
 func Dial(addr string, opts ...Options) (*Client, error) {
 	var o Options
 	if len(opts) > 0 {
@@ -92,6 +151,19 @@ func Dial(addr string, opts ...Options) (*Client, error) {
 	}
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = 5 * time.Second
+	}
+	switch o.Codec {
+	case "", CodecAuto:
+		o.Codec = CodecAuto
+	case CodecBinary, CodecJSON:
+	default:
+		return nil, fmt.Errorf("orchestra client: unknown codec %q", o.Codec)
+	}
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = server.MaxFrame
+	}
+	if o.MaxFrame > server.MaxFrameLimit {
+		o.MaxFrame = server.MaxFrameLimit // lengths must stay below the tag bit
 	}
 	c := &Client{addr: addr, opts: o}
 	conn, err := c.dial()
@@ -114,18 +186,121 @@ func (c *Client) Close() error {
 	return nil
 }
 
-func (c *Client) dial() (net.Conn, error) {
-	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+// dial establishes one connection and negotiates the protocol on it.
+func (c *Client) dial() (*wireConn, error) {
+	nc, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("orchestra client: %w", err)
 	}
-	if tc, ok := conn.(*net.TCPConn); ok {
+	if tc, ok := nc.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
+	}
+	conn := &wireConn{
+		Conn:     nc,
+		br:       bufio.NewReaderSize(nc, 32<<10),
+		maxFrame: c.opts.MaxFrame,
+	}
+	if c.opts.Codec == CodecJSON || (c.opts.Codec == CodecAuto && c.jsonOnly.Load()) {
+		return conn, nil
+	}
+	if err := c.hello(conn); err != nil {
+		nc.Close()
+		return nil, err
 	}
 	return conn, nil
 }
 
-func (c *Client) acquire() (net.Conn, error) {
+// hello negotiates the binary streaming extension on a fresh connection.
+// Old servers answer with bad_request (unknown op); CodecAuto degrades
+// to JSON, CodecBinary surfaces ErrBinaryUnsupported.
+func (c *Client) hello(conn *wireConn) error {
+	conn.SetDeadline(time.Now().Add(c.opts.DialTimeout))
+	defer conn.SetDeadline(time.Time{})
+	req := &server.Request{
+		ID: 1,
+		Op: server.OpHello,
+		Hello: &server.HelloRequest{
+			Version:  server.ProtocolVersion,
+			Features: []string{server.FeatureBinaryStream},
+			MaxFrame: c.opts.MaxFrame,
+			Window:   c.opts.StreamWindow,
+		},
+	}
+	if err := server.WriteFrame(conn.Conn, req); err != nil {
+		return fmt.Errorf("orchestra client: hello: %w", err)
+	}
+	resp, _, err := readResponse(conn)
+	if err != nil {
+		return fmt.Errorf("orchestra client: hello: %w", err)
+	}
+	if resp.Error != nil {
+		if resp.Error.Code == server.CodeBadRequest {
+			// Pre-hello server.
+			if c.opts.Codec == CodecBinary {
+				return fmt.Errorf("orchestra client: %w (%s)", ErrBinaryUnsupported, resp.Error.Message)
+			}
+			c.jsonOnly.Store(true)
+			return nil
+		}
+		return &Error{Code: resp.Error.Code, Message: resp.Error.Message}
+	}
+	h := resp.Hello
+	if h == nil {
+		return errors.New("orchestra client: malformed hello response")
+	}
+	for _, f := range h.Features {
+		if f == server.FeatureBinaryStream {
+			conn.binary = true
+		}
+	}
+	if !conn.binary {
+		if c.opts.Codec == CodecBinary {
+			return fmt.Errorf("orchestra client: %w (server version %d)", ErrBinaryUnsupported, h.Version)
+		}
+		c.jsonOnly.Store(true)
+		return nil
+	}
+	if h.MaxFrame > 0 {
+		// Adopt the negotiated limit in both directions (the server
+		// already took the min of the two offers, floored at MinFrame so
+		// control frames always fit).
+		conn.maxFrame = h.MaxFrame
+	}
+	return nil
+}
+
+// readResponse reads one JSON response of either framing, returning the
+// frame's wire size for accounting.
+func readResponse(conn *wireConn) (*server.Response, int64, error) {
+	kind, payload, isBinary, err := server.ReadRawFrame(conn.br, conn.maxFrame)
+	if err != nil {
+		var fse *server.FrameSizeError
+		if errors.As(err, &fse) {
+			return nil, 0, fmt.Errorf("%w: inbound frame of %d bytes exceeds limit %d",
+				ErrFrameTooLarge, fse.Size, fse.Max)
+		}
+		return nil, 0, err
+	}
+	n := frameWireSize(payload, isBinary)
+	if kind != server.FrameJSON {
+		return nil, n, fmt.Errorf("orchestra client: unexpected %v frame", kind)
+	}
+	var resp server.Response
+	if err := server.UnmarshalJSONFrame(payload, &resp); err != nil {
+		return nil, n, err
+	}
+	return &resp, n, nil
+}
+
+func frameWireSize(payload []byte, isBinary bool) int64 {
+	n := int64(4 + len(payload))
+	if isBinary {
+		n++ // kind byte
+	}
+	return n
+}
+
+func (c *Client) acquire() (*wireConn, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -141,7 +316,7 @@ func (c *Client) acquire() (net.Conn, error) {
 	return c.dial()
 }
 
-func (c *Client) release(conn net.Conn) {
+func (c *Client) release(conn *wireConn) {
 	c.mu.Lock()
 	if !c.closed && len(c.idle) < c.opts.PoolSize {
 		c.idle = append(c.idle, conn)
@@ -152,61 +327,113 @@ func (c *Client) release(conn net.Conn) {
 	conn.Close()
 }
 
-// roundTrip sends one request and reads its response on a pooled
-// connection. Calls are synchronous per connection; concurrency comes
-// from multiple connections. Context cancellation interrupts an
-// in-flight call (the connection is dropped, since its response may
-// still arrive).
-func (c *Client) roundTrip(ctx context.Context, req *server.Request) (*server.Response, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("orchestra client: %w", err)
-	}
-	conn, err := c.acquire()
-	if err != nil {
-		return nil, err
-	}
+// connCall wires context cancellation to a connection held by one call:
+// cancellation forces an immediate deadline so blocked reads/writes
+// unblock now.
+type connCall struct {
+	conn      *wireConn
+	ctx       context.Context
+	watchDone chan struct{}
+}
+
+func newConnCall(ctx context.Context, conn *wireConn) *connCall {
+	cc := &connCall{conn: conn, ctx: ctx, watchDone: make(chan struct{})}
 	if dl, ok := ctx.Deadline(); ok {
 		conn.SetDeadline(dl)
 	} else {
 		conn.SetDeadline(time.Time{})
 	}
-	watchDone := make(chan struct{})
 	if done := ctx.Done(); done != nil {
 		go func() {
 			select {
 			case <-done:
-				conn.SetDeadline(time.Unix(1, 0)) // unblock read/write now
-			case <-watchDone:
+				cc.conn.SetDeadline(time.Unix(1, 0)) // unblock read/write now
+			case <-cc.watchDone:
 			}
 		}()
 	}
-	finish := func(err error) error {
-		close(watchDone)
-		conn.Close()
-		if ctxErr := ctx.Err(); ctxErr != nil {
-			return fmt.Errorf("orchestra client: %w", ctxErr)
+	return cc
+}
+
+// finish tears down the watchdog. keep reports whether the connection is
+// clean (all response frames consumed) and may return to the pool.
+func (cc *connCall) finish(c *Client, keep bool) {
+	close(cc.watchDone)
+	if keep && cc.ctx.Err() == nil {
+		cc.conn.SetDeadline(time.Time{})
+		c.release(cc.conn)
+		return
+	}
+	cc.conn.Close()
+}
+
+// wrapErr folds a context cancellation into err.
+func (cc *connCall) wrapErr(err error) error {
+	if ctxErr := cc.ctx.Err(); ctxErr != nil {
+		return fmt.Errorf("orchestra client: %w", ctxErr)
+	}
+	return err
+}
+
+// roundTrip sends one request and reads its response on a pooled
+// connection. Calls are synchronous per connection; concurrency comes
+// from multiple connections.
+func (c *Client) roundTrip(ctx context.Context, req *server.Request) (*server.Response, int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, fmt.Errorf("orchestra client: %w", err)
+	}
+	conn, err := c.acquire()
+	if err != nil {
+		return nil, 0, err
+	}
+	return c.roundTripOn(ctx, conn, req)
+}
+
+// writeRequest encodes and sends one request frame, enforcing the
+// connection's negotiated frame limit before any bytes hit the wire —
+// an oversized request fails fast with ErrFrameTooLarge instead of
+// making the server abort the connection.
+func writeRequest(conn *wireConn, req *server.Request) error {
+	frame, err := server.AppendFrame(nil, req, conn.maxFrame)
+	if err != nil {
+		var fse *server.FrameSizeError
+		if errors.As(err, &fse) {
+			return fmt.Errorf("%w: request frame of %d bytes exceeds negotiated limit %d",
+				ErrFrameTooLarge, fse.Size, fse.Max)
 		}
 		return err
 	}
-	var resp server.Response
-	if err := server.WriteFrame(conn, req); err != nil {
-		return nil, finish(fmt.Errorf("orchestra client: write: %w", err))
+	_, err = conn.Write(frame)
+	return err
+}
+
+// roundTripOn runs one request/response exchange on an already-acquired
+// connection, handling cancellation, cleanup, and error typing; the
+// connection returns to the pool only on a clean exchange.
+func (c *Client) roundTripOn(ctx context.Context, conn *wireConn, req *server.Request) (*server.Response, int64, error) {
+	cc := newConnCall(ctx, conn)
+	if err := writeRequest(conn, req); err != nil {
+		keep := errors.Is(err, ErrFrameTooLarge) // nothing was sent; conn is clean
+		err = cc.wrapErr(fmt.Errorf("orchestra client: write: %w", err))
+		cc.finish(c, keep)
+		return nil, 0, err
 	}
-	if err := server.ReadFrame(conn, &resp); err != nil {
-		return nil, finish(fmt.Errorf("orchestra client: read: %w", err))
+	resp, n, err := readResponse(conn)
+	if err != nil {
+		err = cc.wrapErr(fmt.Errorf("orchestra client: read: %w", err))
+		cc.finish(c, false)
+		return nil, 0, err
 	}
-	close(watchDone)
-	conn.SetDeadline(time.Time{})
-	c.release(conn)
+	cc.finish(c, true)
 	if resp.Error != nil {
-		return nil, &Error{Code: resp.Error.Code, Message: resp.Error.Message}
+		return nil, n, &Error{Code: resp.Error.Code, Message: resp.Error.Message}
 	}
-	return &resp, nil
+	return resp, n, nil
 }
 
 // Ping checks liveness and returns the server's current epoch.
 func (c *Client) Ping(ctx context.Context) (uint64, error) {
-	resp, err := c.roundTrip(ctx, &server.Request{Op: server.OpPing})
+	resp, _, err := c.roundTrip(ctx, &server.Request{Op: server.OpPing})
 	if err != nil {
 		return 0, err
 	}
@@ -217,7 +444,7 @@ func (c *Client) Ping(ctx context.Context) (uint64, error) {
 // string); keys name the partitioning key columns (default: first
 // column).
 func (c *Client) Create(ctx context.Context, relation string, columns []string, keys ...string) error {
-	_, err := c.roundTrip(ctx, &server.Request{
+	_, _, err := c.roundTrip(ctx, &server.Request{
 		Op:     server.OpCreate,
 		Create: &server.CreateRequest{Relation: relation, Columns: columns, Keys: keys},
 	})
@@ -227,7 +454,7 @@ func (c *Client) Create(ctx context.Context, relation string, columns []string, 
 // Publish inserts a batch of rows as one published update and returns
 // the new global epoch. Values may be int, int64, float64, or string.
 func (c *Client) Publish(ctx context.Context, relation string, rows [][]any) (uint64, error) {
-	resp, err := c.roundTrip(ctx, &server.Request{
+	resp, _, err := c.roundTrip(ctx, &server.Request{
 		Op:      server.OpPublish,
 		Publish: &server.PublishRequest{Relation: relation, Rows: rows},
 	})
@@ -259,6 +486,11 @@ type Result struct {
 	Phases   uint32
 	Restarts int
 	Plan     string
+	// WireBytes is the total size of the response frames that carried
+	// this result (codec comparison/accounting).
+	WireBytes int64
+	// Streamed reports that the result arrived as binary batch frames.
+	Streamed bool
 }
 
 // Query runs a SQL query at the current epoch with default options.
@@ -266,8 +498,35 @@ func (c *Client) Query(ctx context.Context, sql string) (*Result, error) {
 	return c.QueryOpts(ctx, sql, QueryOptions{})
 }
 
-// QueryOpts runs a SQL query with explicit options.
+// QueryOpts runs a SQL query with explicit options. On connections that
+// negotiated binary streaming the result arrives as batch frames and is
+// assembled incrementally; otherwise as one JSON response.
 func (c *Client) QueryOpts(ctx context.Context, sql string, opts QueryOptions) (*Result, error) {
+	st, err := c.QueryStream(ctx, sql, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: st.Columns()}
+	for st.Next() {
+		res.Rows = append(res.Rows, st.Batch()...)
+	}
+	if err := st.Err(); err != nil {
+		st.Close()
+		return nil, err
+	}
+	st.Close()
+	res.Epoch = st.Epoch()
+	res.Cached = st.Cached()
+	res.Phases = st.Phases()
+	res.Restarts = st.Restarts()
+	res.Plan = st.Plan()
+	res.WireBytes = st.WireBytes()
+	res.Streamed = st.Streamed()
+	return res, nil
+}
+
+// queryRequest builds the wire request for one query.
+func queryRequest(ctx context.Context, sql string, opts QueryOptions, stream bool) *server.Request {
 	req := &server.Request{
 		Op: server.OpQuery,
 		Query: &server.QueryRequest{
@@ -276,6 +535,7 @@ func (c *Client) QueryOpts(ctx context.Context, sql string, opts QueryOptions) (
 			Recovery:   opts.Recovery,
 			Provenance: opts.Provenance,
 			Explain:    opts.Explain,
+			Stream:     stream,
 		},
 	}
 	if dl, ok := ctx.Deadline(); ok {
@@ -283,7 +543,105 @@ func (c *Client) QueryOpts(ctx context.Context, sql string, opts QueryOptions) (
 			req.Query.TimeoutMs = ms
 		}
 	}
-	resp, err := c.roundTrip(ctx, req)
+	return req
+}
+
+// Stream is an incrementally decoded query result: a sequence of row
+// batches followed by terminal metadata. Iterate with Next/Batch, check
+// Err, then read the metadata accessors; Close must always be called.
+// On JSON-fallback connections the whole result arrives buffered and is
+// replayed as a single batch, so code written against Stream works
+// unchanged against old servers.
+type Stream struct {
+	c    *Client
+	conn *wireConn
+	cc   *connCall
+	id   uint64
+
+	cols      []string
+	batch     [][]any
+	pending   bool // a consumed batch needs a credit grant
+	err       error
+	done      bool
+	end       *server.StreamEnd
+	wireBytes int64
+	streamed  bool
+
+	// fallback holds a buffered JSON result replayed as one batch.
+	fallback *Result
+	played   bool
+}
+
+// QueryStream starts a streamed query and returns its result iterator.
+//
+//	st, err := cl.QueryStream(ctx, "SELECT * FROM big")
+//	if err != nil { ... }
+//	defer st.Close()
+//	for st.Next() {
+//	    for _, row := range st.Batch() { ... }
+//	}
+//	if err := st.Err(); err != nil { ... }
+func (c *Client) QueryStream(ctx context.Context, sql string, opts ...QueryOptions) (*Stream, error) {
+	var o QueryOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("orchestra client: %w", err)
+	}
+	conn, err := c.acquire()
+	if err != nil {
+		return nil, err
+	}
+	if !conn.binary {
+		return c.bufferedStream(ctx, conn, sql, o)
+	}
+	st := &Stream{c: c, conn: conn, id: 1, streamed: true}
+	st.cc = newConnCall(ctx, conn)
+	req := queryRequest(ctx, sql, o, true)
+	req.ID = st.id
+	if err := writeRequest(conn, req); err != nil {
+		keep := errors.Is(err, ErrFrameTooLarge) // nothing was sent; conn is clean
+		err = st.cc.wrapErr(fmt.Errorf("orchestra client: write: %w", err))
+		st.cc.finish(c, keep)
+		return nil, err
+	}
+	// The first frame is Schema — or End when the query failed outright.
+	kind, payload, isBinary, err := st.readFrame()
+	if err != nil {
+		st.cc.finish(c, false)
+		return nil, err
+	}
+	st.wireBytes += frameWireSize(payload, isBinary)
+	switch kind {
+	case server.FrameSchema:
+		_, cols, err := server.DecodeSchemaPayload(payload)
+		if err != nil {
+			st.cc.finish(c, false)
+			return nil, err
+		}
+		st.cols = cols
+		return st, nil
+	case server.FrameEnd:
+		_, end, err := server.DecodeEndPayload(payload)
+		if err == nil {
+			if end.Error != nil {
+				err = &Error{Code: end.Error.Code, Message: end.Error.Message}
+			} else {
+				err = errors.New("orchestra client: stream ended before schema")
+			}
+		}
+		st.cc.finish(c, true)
+		return nil, err
+	default:
+		st.cc.finish(c, false)
+		return nil, fmt.Errorf("orchestra client: unexpected %v frame at stream start", kind)
+	}
+}
+
+// bufferedStream adapts the JSON single-frame path to the Stream API.
+func (c *Client) bufferedStream(ctx context.Context, conn *wireConn, sql string, opts QueryOptions) (*Stream, error) {
+	resp, n, err := c.roundTripOn(ctx, conn, queryRequest(ctx, sql, opts, false))
 	if err != nil {
 		return nil, err
 	}
@@ -291,8 +649,8 @@ func (c *Client) QueryOpts(ctx context.Context, sql string, opts QueryOptions) (
 	if q == nil {
 		return nil, fmt.Errorf("orchestra client: malformed response (no query payload)")
 	}
-	rows := make([][]any, len(q.Rows))
-	for i, wr := range q.Rows {
+	rows := make([][]any, len(q.Rows.Any))
+	for i, wr := range q.Rows.Any {
 		row := make([]any, len(wr))
 		for j, v := range wr {
 			row[j], err = server.DecodeValue(v)
@@ -302,15 +660,226 @@ func (c *Client) QueryOpts(ctx context.Context, sql string, opts QueryOptions) (
 		}
 		rows[i] = row
 	}
-	return &Result{
-		Columns:  q.Columns,
-		Rows:     rows,
-		Epoch:    q.Epoch,
-		Cached:   q.Cached,
-		Phases:   q.Phases,
-		Restarts: q.Restarts,
-		Plan:     q.Plan,
+	return &Stream{
+		done: true,
+		fallback: &Result{
+			Columns:   q.Columns,
+			Rows:      rows,
+			Epoch:     q.Epoch,
+			Cached:    q.Cached,
+			Phases:    q.Phases,
+			Restarts:  q.Restarts,
+			Plan:      q.Plan,
+			WireBytes: n,
+		},
+		wireBytes: n,
 	}, nil
+}
+
+// readFrame reads one raw frame off the stream's connection, mapping
+// frame-size violations onto ErrFrameTooLarge.
+func (s *Stream) readFrame() (server.FrameKind, []byte, bool, error) {
+	kind, payload, isBinary, err := server.ReadRawFrame(s.conn.br, s.conn.maxFrame)
+	if err != nil {
+		var fse *server.FrameSizeError
+		if errors.As(err, &fse) {
+			err = fmt.Errorf("%w: inbound frame of %d bytes exceeds limit %d",
+				ErrFrameTooLarge, fse.Size, fse.Max)
+		}
+		return kind, payload, isBinary, s.cc.wrapErr(err)
+	}
+	return kind, payload, isBinary, nil
+}
+
+// Next advances to the next batch, returning false at the end of the
+// stream or on error (check Err).
+func (s *Stream) Next() bool {
+	if s.fallback != nil {
+		if s.played || len(s.fallback.Rows) == 0 {
+			return false
+		}
+		s.batch = s.fallback.Rows
+		s.played = true
+		return true
+	}
+	if s.done || s.err != nil {
+		return false
+	}
+	if s.pending {
+		// Grant one credit for the batch just consumed so the server's
+		// window keeps sliding.
+		s.pending = false
+		buf := server.AppendCreditPayload(make([]byte, 0, 16), s.id, 1)
+		frame, err := server.AppendBinaryFrame(make([]byte, 0, 32), server.FrameCredit, buf, s.conn.maxFrame)
+		if err == nil {
+			_, err = s.conn.Write(frame)
+		}
+		if err != nil {
+			s.fail(s.cc.wrapErr(fmt.Errorf("orchestra client: credit: %w", err)))
+			return false
+		}
+	}
+	for {
+		kind, payload, isBinary, err := s.readFrame()
+		if err != nil {
+			s.fail(err)
+			return false
+		}
+		s.wireBytes += frameWireSize(payload, isBinary)
+		switch kind {
+		case server.FrameBatch:
+			_, rows, err := server.DecodeBatchPayload(payload)
+			if err != nil {
+				s.fail(err)
+				return false
+			}
+			s.batch = boxRows(rows)
+			s.pending = true
+			return true
+		case server.FrameEnd:
+			_, end, err := server.DecodeEndPayload(payload)
+			if err != nil {
+				s.fail(err)
+				return false
+			}
+			s.done = true
+			s.end = end
+			if end.Error != nil {
+				s.err = &Error{Code: end.Error.Code, Message: end.Error.Message}
+			}
+			s.finishConn(true)
+			return false
+		default:
+			s.fail(fmt.Errorf("orchestra client: unexpected %v frame mid-stream", kind))
+			return false
+		}
+	}
+}
+
+// fail records the stream's terminal error; the connection is dirty.
+func (s *Stream) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+	s.done = true
+	s.finishConn(false)
+}
+
+func (s *Stream) finishConn(keep bool) {
+	if s.cc != nil {
+		s.cc.finish(s.c, keep)
+		s.cc = nil
+	}
+}
+
+// boxRows converts typed tuple rows into []any rows.
+func boxRows(rows []tuple.Row) [][]any {
+	out := make([][]any, len(rows))
+	for i, r := range rows {
+		row := make([]any, len(r))
+		for j, v := range r {
+			switch v.T {
+			case tuple.Int64:
+				row[j] = v.I64
+			case tuple.Float64:
+				row[j] = v.F64
+			default:
+				row[j] = v.Str
+			}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// Batch returns the current batch of rows (valid until the next call to
+// Next). Row values are int64, float64, or string.
+func (s *Stream) Batch() [][]any { return s.batch }
+
+// Columns returns the result column names (available immediately).
+func (s *Stream) Columns() []string {
+	if s.fallback != nil {
+		return s.fallback.Columns
+	}
+	return s.cols
+}
+
+// Err returns the stream's terminal error, if any.
+func (s *Stream) Err() error { return s.err }
+
+// Close releases the stream's connection. A stream abandoned before its
+// End frame drops the connection (its remaining frames are undrained);
+// fully consumed streams return it to the pool. Close is idempotent.
+func (s *Stream) Close() error {
+	if !s.done {
+		s.done = true
+		if s.err == nil {
+			s.err = errors.New("orchestra client: stream closed before end")
+		}
+		s.finishConn(false)
+	}
+	return nil
+}
+
+// Streamed reports whether the result arrived as binary batch frames
+// (false: buffered JSON fallback).
+func (s *Stream) Streamed() bool { return s.streamed }
+
+// WireBytes returns the bytes of response frames consumed so far.
+func (s *Stream) WireBytes() int64 { return s.wireBytes }
+
+// tail accessors are valid after Next has returned false with nil Err.
+
+// Epoch returns the snapshot epoch the query executed against.
+func (s *Stream) Epoch() uint64 {
+	if s.fallback != nil {
+		return s.fallback.Epoch
+	}
+	if s.end != nil {
+		return s.end.Epoch
+	}
+	return 0
+}
+
+// Cached reports a materialized-view cache hit.
+func (s *Stream) Cached() bool {
+	if s.fallback != nil {
+		return s.fallback.Cached
+	}
+	return s.end != nil && s.end.Cached
+}
+
+// Phases returns 1 + incremental recovery invocations.
+func (s *Stream) Phases() uint32 {
+	if s.fallback != nil {
+		return s.fallback.Phases
+	}
+	if s.end != nil {
+		return s.end.Phases
+	}
+	return 0
+}
+
+// Restarts counts full restarts performed.
+func (s *Stream) Restarts() int {
+	if s.fallback != nil {
+		return s.fallback.Restarts
+	}
+	if s.end != nil {
+		return s.end.Restarts
+	}
+	return 0
+}
+
+// Plan returns the optimizer explanation (when Explain was requested).
+func (s *Stream) Plan() string {
+	if s.fallback != nil {
+		return s.fallback.Plan
+	}
+	if s.end != nil {
+		return s.end.Plan
+	}
+	return ""
 }
 
 // Relation describes one catalog entry.
@@ -318,7 +887,7 @@ type Relation = server.RelationInfo
 
 // Schema fetches one relation's catalog entry.
 func (c *Client) Schema(ctx context.Context, relation string) (*Relation, error) {
-	resp, err := c.roundTrip(ctx, &server.Request{
+	resp, _, err := c.roundTrip(ctx, &server.Request{
 		Op:     server.OpSchema,
 		Schema: &server.SchemaRequest{Relation: relation},
 	})
@@ -333,7 +902,7 @@ func (c *Client) Schema(ctx context.Context, relation string) (*Relation, error)
 
 // Catalog lists all relations the server knows about.
 func (c *Client) Catalog(ctx context.Context) ([]Relation, error) {
-	resp, err := c.roundTrip(ctx, &server.Request{Op: server.OpSchema, Schema: &server.SchemaRequest{}})
+	resp, _, err := c.roundTrip(ctx, &server.Request{Op: server.OpSchema, Schema: &server.SchemaRequest{}})
 	if err != nil {
 		return nil, err
 	}
@@ -343,12 +912,12 @@ func (c *Client) Catalog(ctx context.Context) ([]Relation, error) {
 	return resp.Schema.Relations, nil
 }
 
-// Status reports the server's identity and load counters.
+// Status is the server's identity and load counters.
 type Status = server.StatusResponse
 
 // Status fetches the server's status/stats snapshot.
 func (c *Client) Status(ctx context.Context) (*Status, error) {
-	resp, err := c.roundTrip(ctx, &server.Request{Op: server.OpStatus})
+	resp, _, err := c.roundTrip(ctx, &server.Request{Op: server.OpStatus})
 	if err != nil {
 		return nil, err
 	}

@@ -2,8 +2,8 @@
 // ORCHESTRA deployment: N concurrent clients each run queries
 // back-to-back against one or more endpoints for a fixed duration, then
 // the tool reports aggregate throughput, client-observed latency
-// percentiles, and the servers' own admission-control and per-op
-// counters.
+// percentiles, wire bytes per query, and the servers' own
+// admission-control and per-op counters.
 //
 // Drive an external deployment (orchestra-node -serve, one addr per
 // node, clients round-robin across them):
@@ -15,13 +15,20 @@
 //
 //	orchestra-load -local 3 -clients 8 -duration 10s
 //
-// By default each client draws from -distinct query templates; with
-// -cache the cluster's materialized-view cache absorbs repeats (local
-// mode only).
+// The wire codec is selectable (-codec json|binary|auto) and the result
+// size per query is controllable (-resultrows), so the two codecs can be
+// compared on identical workloads:
+//
+//	orchestra-load -local 3 -clients 8 -rows 5000 -resultrows 1000 -codec json
+//	orchestra-load -local 3 -clients 8 -rows 5000 -resultrows 1000 -codec binary
+//
+// Each run appends a machine-readable record to -out (default
+// BENCH_wire.json), accumulating the perf trajectory across runs/PRs.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -43,10 +50,14 @@ func main() {
 	duration := flag.Duration("duration", 10*time.Second, "measured run length")
 	warmup := flag.Duration("warmup", time.Second, "untimed warmup before measuring")
 	rows := flag.Int("rows", 500, "rows seeded into the load relation (local mode, or when -seed is set)")
+	resultRows := flag.Int("resultrows", 0, "target result rows per query (0: legacy mixed templates of ~rows/16)")
 	distinct := flag.Int("distinct", 16, "distinct query templates per run")
+	codec := flag.String("codec", client.CodecAuto, "result codec: auto, json, or binary")
+	compress := flag.Bool("compress", true, "local mode: flate-compress streamed batches (disable on loopback to trade bytes for CPU)")
 	maxQ := flag.Int("maxq", 0, "local mode: per-endpoint admission-control limit (0 = 2×GOMAXPROCS)")
 	useCache := flag.Bool("cache", false, "local mode: enable the cluster's materialized-view cache")
 	seed := flag.Bool("seed", false, "create and seed the load relation on external endpoints too")
+	out := flag.String("out", "BENCH_wire.json", "append the run record to this JSON file (empty: skip)")
 	flag.Parse()
 
 	var endpoints []string
@@ -54,7 +65,7 @@ func main() {
 	switch {
 	case *local > 0:
 		var err error
-		endpoints, cleanup, err = selfHost(*local, *maxQ, *useCache)
+		endpoints, cleanup, err = selfHost(*local, *maxQ, *useCache, *compress)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -77,13 +88,25 @@ func main() {
 		}
 	}
 
-	queries := makeQueries(*distinct, *rows)
-	run(ctx, endpoints, queries, *clients, *warmup, *duration)
+	queries := makeQueries(*distinct, *rows, *resultRows)
+	rep := run(ctx, endpoints, queries, *clients, *codec, *warmup, *duration)
+	rep.Rows = *rows
+	rep.ResultRows = *resultRows
+	rep.Distinct = *distinct
+	rep.LocalNodes = *local
+	rep.Compress = *compress
+	if *out != "" {
+		if err := appendBenchRecord(*out, rep); err != nil {
+			log.Printf("orchestra-load: write %s: %v", *out, err)
+		} else {
+			log.Printf("run recorded in %s", *out)
+		}
+	}
 }
 
 // selfHost starts an n-node in-process cluster and serves every node on
 // its own loopback port, so clients exercise the full wire path.
-func selfHost(n, maxQ int, useCache bool) ([]string, func(), error) {
+func selfHost(n, maxQ int, useCache, compress bool) ([]string, func(), error) {
 	c, err := orchestra.NewCluster(n)
 	if err != nil {
 		return nil, nil, err
@@ -91,10 +114,18 @@ func selfHost(n, maxQ int, useCache bool) ([]string, func(), error) {
 	if useCache {
 		c.EnableQueryCache(4096)
 	}
+	compressMin := 0 // server default
+	if !compress {
+		compressMin = -1
+	}
 	var servers []*orchestra.Server
 	var endpoints []string
 	for i := 0; i < n; i++ {
-		s, err := c.Serve("127.0.0.1:0", orchestra.ServeOptions{Node: i, MaxConcurrentQueries: maxQ})
+		s, err := c.Serve("127.0.0.1:0", orchestra.ServeOptions{
+			Node:                 i,
+			MaxConcurrentQueries: maxQ,
+			StreamCompressMin:    compressMin,
+		})
 		if err != nil {
 			c.Shutdown()
 			return nil, nil, err
@@ -140,13 +171,31 @@ func seedData(ctx context.Context, addr string, rows int) error {
 	return nil
 }
 
-// makeQueries builds the template mix: selective scans and one grouped
-// aggregate, parameterized so -distinct controls view-cache reuse.
-func makeQueries(distinct, rows int) []string {
+// makeQueries builds the template mix. With resultRows > 0 every
+// template is a range scan answering ~resultRows rows — the
+// codec-comparison workload. Otherwise the legacy mix: selective scans
+// and one grouped aggregate, parameterized so -distinct controls
+// view-cache reuse.
+func makeQueries(distinct, rows, resultRows int) []string {
 	if distinct < 1 {
 		distinct = 1
 	}
 	qs := make([]string, 0, distinct)
+	if resultRows > 0 {
+		width := resultRows
+		if width > rows {
+			width = rows
+		}
+		span := rows - width
+		for i := 0; i < distinct; i++ {
+			lo := 0
+			if distinct > 1 && span > 0 {
+				lo = (i * span) / (distinct - 1)
+			}
+			qs = append(qs, fmt.Sprintf("SELECT k, grp, v FROM load WHERE v >= %d AND v < %d", lo, lo+width))
+		}
+		return qs
+	}
 	width := rows/16 + 1
 	for i := 0; i < distinct; i++ {
 		switch i % 4 {
@@ -163,15 +212,45 @@ func makeQueries(distinct, rows int) []string {
 }
 
 type clientStats struct {
-	lat  []time.Duration
-	errs int
+	lat      []time.Duration
+	bytes    int64
+	respRows int64
+	errs     int
+	streamed bool
 }
 
-// run drives the closed loop and prints the report.
-func run(ctx context.Context, endpoints, queries []string, clients int, warmup, duration time.Duration) {
+// benchRecord is one run's machine-readable result.
+type benchRecord struct {
+	Timestamp  string  `json:"timestamp"`
+	Codec      string  `json:"codec"`
+	Streamed   bool    `json:"streamed"`
+	LocalNodes int     `json:"local_nodes,omitempty"`
+	Endpoints  int     `json:"endpoints"`
+	Clients    int     `json:"clients"`
+	Rows       int     `json:"rows"`
+	ResultRows int     `json:"resultrows"`
+	Distinct   int     `json:"distinct"`
+	Compress   bool    `json:"compress"`
+	DurationS  float64 `json:"duration_s"`
+	QueriesOK  int     `json:"queries_ok"`
+	Errors     int     `json:"errors"`
+	QPS        float64 `json:"qps"`
+	MeanUs     int64   `json:"mean_us"`
+	P50Us      int64   `json:"p50_us"`
+	P90Us      int64   `json:"p90_us"`
+	P95Us      int64   `json:"p95_us"`
+	P99Us      int64   `json:"p99_us"`
+	MaxUs      int64   `json:"max_us"`
+	BytesPerQ  int64   `json:"bytes_per_query"`
+	RowsPerQ   float64 `json:"rows_per_query"`
+	WireMBps   float64 `json:"wire_mb_per_s"`
+}
+
+// run drives the closed loop, prints the report, and returns the record.
+func run(ctx context.Context, endpoints, queries []string, clients int, codec string, warmup, duration time.Duration) *benchRecord {
 	conns := make([]*client.Client, clients)
 	for i := range conns {
-		cl, err := client.Dial(endpoints[i%len(endpoints)], client.Options{PoolSize: 1})
+		cl, err := client.Dial(endpoints[i%len(endpoints)], client.Options{PoolSize: 1, Codec: codec})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -202,12 +281,17 @@ func run(ctx context.Context, endpoints, queries []string, clients int, warmup, 
 				}
 				q := queries[rng.Intn(len(queries))]
 				start := time.Now()
-				_, err := cl.Query(ctx, q)
+				res, err := cl.Query(ctx, q)
 				if measure {
 					if err != nil {
 						stats[i].errs++
 					} else {
 						stats[i].lat = append(stats[i].lat, time.Since(start))
+						stats[i].bytes += res.WireBytes
+						stats[i].respRows += int64(len(res.Rows))
+						if res.Streamed {
+							stats[i].streamed = true
+						}
 					}
 				} else if err != nil {
 					log.Printf("warmup error (client %d): %v", i, err)
@@ -225,10 +309,15 @@ func run(ctx context.Context, endpoints, queries []string, clients int, warmup, 
 	elapsed := time.Since(t0)
 
 	var all []time.Duration
+	var bytes, respRows int64
+	var streamed bool
 	errs := 0
 	for _, s := range stats {
 		all = append(all, s.lat...)
+		bytes += s.bytes
+		respRows += s.respRows
 		errs += s.errs
+		streamed = streamed || s.streamed
 	}
 	if len(all) == 0 {
 		log.Fatal("no queries completed in the measurement window")
@@ -242,18 +331,63 @@ func run(ctx context.Context, endpoints, queries []string, clients int, warmup, 
 	for _, d := range all {
 		sum += d
 	}
+	qps := float64(len(all)) / elapsed.Seconds()
 
-	fmt.Printf("\n--- orchestra-load: %d clients x %s against %d endpoint(s) ---\n",
-		clients, elapsed.Round(time.Millisecond), len(endpoints))
+	fmt.Printf("\n--- orchestra-load: %d clients x %s against %d endpoint(s), codec %s ---\n",
+		clients, elapsed.Round(time.Millisecond), len(endpoints), codec)
 	fmt.Printf("queries:    %d ok, %d errors\n", len(all), errs)
-	fmt.Printf("throughput: %.0f queries/s\n", float64(len(all))/elapsed.Seconds())
+	fmt.Printf("throughput: %.0f queries/s\n", qps)
 	fmt.Printf("latency:    mean %s  p50 %s  p90 %s  p99 %s  max %s\n",
 		(sum / time.Duration(len(all))).Round(time.Microsecond),
 		pct(50), pct(90), pct(99), all[len(all)-1].Round(time.Microsecond))
+	fmt.Printf("wire:       %d bytes/query, %.1f rows/query, %.2f MB/s\n",
+		bytes/int64(len(all)), float64(respRows)/float64(len(all)),
+		float64(bytes)/1e6/elapsed.Seconds())
 
 	for _, addr := range endpoints {
 		printServerStats(ctx, addr)
 	}
+
+	return &benchRecord{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Codec:     codec,
+		Streamed:  streamed,
+		Endpoints: len(endpoints),
+		Clients:   clients,
+		DurationS: elapsed.Seconds(),
+		QueriesOK: len(all),
+		Errors:    errs,
+		QPS:       qps,
+		MeanUs:    (sum / time.Duration(len(all))).Microseconds(),
+		P50Us:     pct(50).Microseconds(),
+		P90Us:     pct(90).Microseconds(),
+		P95Us:     pct(95).Microseconds(),
+		P99Us:     pct(99).Microseconds(),
+		MaxUs:     all[len(all)-1].Microseconds(),
+		BytesPerQ: bytes / int64(len(all)),
+		RowsPerQ:  float64(respRows) / float64(len(all)),
+		WireMBps:  float64(bytes) / 1e6 / elapsed.Seconds(),
+	}
+}
+
+// appendBenchRecord merges the run into the {"runs": [...]} file at path.
+func appendBenchRecord(path string, rec *benchRecord) error {
+	var doc struct {
+		Runs []json.RawMessage `json:"runs"`
+	}
+	if data, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(data, &doc) // unreadable history: start over
+	}
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	doc.Runs = append(doc.Runs, raw)
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // printServerStats fetches and prints one endpoint's own counters.

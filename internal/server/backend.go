@@ -31,6 +31,44 @@ type BackendInfo struct {
 	Members int
 }
 
+// ResultStream receives a query's result incrementally: the column shape
+// once, then zero or more row batches. The server's implementation
+// re-chunks batches to the wire's size bounds and applies flow-control
+// backpressure, so backends may emit batches of any size, as soon as
+// they are produced. Emitted rows are referenced, not copied — backends
+// must not mutate them afterwards.
+type ResultStream interface {
+	// Columns announces the output column names; called exactly once,
+	// before any Batch.
+	Columns(cols []string) error
+	// Batch emits a slice of result rows.
+	Batch(rows []tuple.Row) error
+}
+
+// QueryTail is the terminal metadata of a streamed query — everything a
+// QueryResponse carries except the rows themselves. The JSON tags are
+// its wire form inside a StreamEnd frame.
+type QueryTail struct {
+	Epoch    uint64 `json:"epoch,omitempty"`
+	Cached   bool   `json:"cached,omitempty"`
+	Phases   uint32 `json:"phases,omitempty"`
+	Restarts int    `json:"restarts,omitempty"`
+	Plan     string `json:"plan,omitempty"`
+}
+
+// StreamingBackend is implemented by backends that can emit query
+// results incrementally. Backends without it still serve streamed
+// requests via the buffered Query path (the server re-chunks), but pay
+// the full materialization of the wire representation.
+type StreamingBackend interface {
+	Backend
+	// QueryStream executes one query, emitting results through out, and
+	// returns the terminal metadata. On error, frames already emitted
+	// are followed by an error End frame — partial results are
+	// explicitly invalidated for the client.
+	QueryStream(ctx context.Context, req *QueryRequest, out ResultStream) (*QueryTail, error)
+}
+
 // RecoveryMode maps a wire recovery-mode name to the engine constant.
 func RecoveryMode(name string) (engine.RecoveryMode, error) {
 	switch name {

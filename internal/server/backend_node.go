@@ -83,20 +83,22 @@ func (b *NodeBackend) Publish(ctx context.Context, req *PublishRequest) (tuple.E
 	return e, nil
 }
 
-// Query implements Backend.
-func (b *NodeBackend) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
+// runQuery parses, plans, and executes one wire query, returning the
+// engine result plus the derived output column names and (when asked
+// for) the plan explanation. Shared by the buffered and streaming paths.
+func (b *NodeBackend) runQuery(ctx context.Context, req *QueryRequest) (*engine.Result, []string, string, error) {
 	q, err := sql.Parse(req.SQL)
 	if err != nil {
-		return nil, Errorf(CodeBadRequest, "%v", err)
+		return nil, nil, "", Errorf(CodeBadRequest, "%v", err)
 	}
 	rec, err := RecoveryMode(req.Recovery)
 	if err != nil {
-		return nil, err
+		return nil, nil, "", err
 	}
 	cat := &nodeCatalog{ctx: ctx, node: b.node}
 	plan, info, err := optimizer.Build(q, cat, optimizer.Environment{Nodes: b.node.Table().Size()})
 	if err != nil {
-		return nil, err
+		return nil, nil, "", err
 	}
 	res, err := b.eng.Run(ctx, plan, engine.Options{
 		Epoch:      tuple.Epoch(req.Epoch),
@@ -104,7 +106,7 @@ func (b *NodeBackend) Query(ctx context.Context, req *QueryRequest) (*QueryRespo
 		Provenance: req.Provenance,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, "", err
 	}
 	for _, ref := range q.From {
 		b.noteRelation(ref.Table)
@@ -120,17 +122,51 @@ func (b *NodeBackend) Query(ctx context.Context, req *QueryRequest) (*QueryRespo
 		}
 		return names, true
 	})
-	qr := &QueryResponse{
+	explain := ""
+	if req.Explain {
+		explain = optimizer.Explain(plan, info)
+	}
+	return res, cols, explain, nil
+}
+
+// Query implements Backend.
+func (b *NodeBackend) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
+	res, cols, explain, err := b.runQuery(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResponse{
 		Columns:  cols,
 		Rows:     EncodeRows(res.Rows),
 		Epoch:    uint64(res.Epoch),
 		Phases:   res.Phases,
 		Restarts: res.Restarts,
+		Plan:     explain,
+	}, nil
+}
+
+// QueryStream implements StreamingBackend: the engine's exactly-once
+// answer (materialized at the initiator by the recovery contract) drains
+// to the wire under stream flow control, with no wire-encoded copy of
+// the whole result — the stream writer re-chunks into size-bounded
+// frames, so the rows are handed over in one call.
+func (b *NodeBackend) QueryStream(ctx context.Context, req *QueryRequest, out ResultStream) (*QueryTail, error) {
+	res, cols, explain, err := b.runQuery(ctx, req)
+	if err != nil {
+		return nil, err
 	}
-	if req.Explain {
-		qr.Plan = optimizer.Explain(plan, info)
+	if err := out.Columns(cols); err != nil {
+		return nil, err
 	}
-	return qr, nil
+	if err := out.Batch(res.Rows); err != nil {
+		return nil, err
+	}
+	return &QueryTail{
+		Epoch:    uint64(res.Epoch),
+		Phases:   res.Phases,
+		Restarts: res.Restarts,
+		Plan:     explain,
+	}, nil
 }
 
 // Catalog implements Backend.

@@ -13,6 +13,13 @@
 // the matching Response, so a client may pipeline several requests on one
 // connection; the server executes them concurrently and replies in
 // completion order.
+//
+// A connection may additionally negotiate the binary streaming extension
+// with a hello request (see OpHello and stream.go): query results then
+// flow as a sequence of column-major row-batch frames with credit-based
+// backpressure instead of one buffered JSON frame, lifting the MaxFrame
+// ceiling on result size. Old peers never send hello and keep speaking
+// plain JSON frames; new clients fall back when hello is rejected.
 package server
 
 import (
@@ -21,28 +28,73 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
 	"orchestra/internal/tuple"
 )
 
-// MaxFrame bounds a single frame; larger frames abort the connection.
+// MaxFrame is the default bound on a single frame; larger frames fail
+// the request (and, for unreadable inbound frames, the connection).
+// Streamed results are not subject to it as a whole — only each batch
+// frame is. Server Config.MaxFrame and client options can lower it.
 const MaxFrame = 64 << 20
+
+// MinFrame is the floor a hello handshake can negotiate MaxFrame down
+// to: control frames (responses, stream End frames) must always fit.
+const MinFrame = 4 << 10
+
+// MaxFrameLimit is the hard ceiling any configuration can raise the
+// frame bound to: the length header's high bit tags binary frames, so
+// lengths must stay below 2^31.
+const MaxFrameLimit = 1<<31 - 1
+
+// FrameSizeError reports a frame exceeding the negotiated limit. It is
+// surfaced instead of a raw connection abort so peers can tell "result
+// too big for one frame" from a torn connection.
+type FrameSizeError struct {
+	Size, Max int64
+}
+
+func (e *FrameSizeError) Error() string {
+	return fmt.Sprintf("server: frame of %d bytes exceeds max %d", e.Size, e.Max)
+}
 
 // EncodeFrame marshals v into one length-prefixed frame (header + body).
 func EncodeFrame(v any) ([]byte, error) {
+	return AppendFrame(nil, v, MaxFrame)
+}
+
+// AppendFrame appends one length-prefixed JSON frame for v to dst,
+// reusing dst's capacity — the allocation-lean variant for hot write
+// paths (pair with a sync.Pool of buffers). maxFrame bounds the body; an
+// oversized body returns a *FrameSizeError.
+func AppendFrame(dst []byte, v any, maxFrame int64) ([]byte, error) {
+	mark := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	body, err := appendJSON(dst, v)
+	if err != nil {
+		return nil, err
+	}
+	n := len(body) - mark - 4
+	if int64(n) > maxFrame {
+		return nil, &FrameSizeError{Size: int64(n), Max: maxFrame}
+	}
+	binary.BigEndian.PutUint32(body[mark:mark+4], uint32(n))
+	return body, nil
+}
+
+// appendJSON marshals v appending to dst. encoding/json has no public
+// append API; go through a bytes.Buffer wrapper only when dst is short on
+// capacity would still copy, so accept one copy here — the caller's pooled
+// buffer absorbs the allocation across requests.
+func appendJSON(dst []byte, v any) ([]byte, error) {
 	body, err := json.Marshal(v)
 	if err != nil {
 		return nil, err
 	}
-	if len(body) > MaxFrame {
-		return nil, fmt.Errorf("server: frame of %d bytes exceeds max %d", len(body), MaxFrame)
-	}
-	frame := make([]byte, 4+len(body))
-	binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
-	copy(frame[4:], body)
-	return frame, nil
+	return append(dst, body...), nil
 }
 
 // WriteFrame marshals v and writes it as one length-prefixed frame.
@@ -58,18 +110,18 @@ func WriteFrame(w io.Writer, v any) error {
 // ReadFrame reads one length-prefixed frame and unmarshals it into v.
 // Numbers are decoded as json.Number so int64 values survive intact.
 func ReadFrame(r io.Reader, v any) error {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	kind, body, _, err := ReadRawFrame(r, MaxFrame)
+	if err != nil {
 		return err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		return fmt.Errorf("server: frame of %d bytes exceeds max %d", n, MaxFrame)
+	if kind != FrameJSON {
+		return fmt.Errorf("server: unexpected %v frame, want JSON", kind)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return err
-	}
+	return UnmarshalJSONFrame(body, v)
+}
+
+// UnmarshalJSONFrame decodes a JSON frame body with json.Number numbers.
+func UnmarshalJSONFrame(body []byte, v any) error {
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.UseNumber()
 	return dec.Decode(v)
@@ -83,7 +135,17 @@ const (
 	OpQuery   = "query"
 	OpSchema  = "schema"
 	OpStatus  = "status"
+	OpHello   = "hello"
 )
+
+// ProtocolVersion is this build's wire-protocol version, exchanged in the
+// hello handshake. Version 1 (implicit, no hello) is plain JSON frames;
+// version 2 adds the negotiated binary streaming extension.
+const ProtocolVersion = 2
+
+// FeatureBinaryStream names the binary row-batch streaming extension in
+// hello feature lists.
+const FeatureBinaryStream = "binary-stream"
 
 // Request is one client frame.
 type Request struct {
@@ -96,6 +158,32 @@ type Request struct {
 	Publish *PublishRequest `json:"publish,omitempty"`
 	Query   *QueryRequest   `json:"query,omitempty"`
 	Schema  *SchemaRequest  `json:"schema,omitempty"`
+	Hello   *HelloRequest   `json:"hello,omitempty"`
+}
+
+// HelloRequest opens feature negotiation on a connection. Old servers
+// answer it with a bad_request error (unknown op), which clients treat as
+// "JSON only" — mixed-version clusters keep working.
+type HelloRequest struct {
+	Version int `json:"version"`
+	// Features lists extensions the client can speak (FeatureBinaryStream).
+	Features []string `json:"features,omitempty"`
+	// MaxFrame is the largest single frame the client accepts (0 = the
+	// MaxFrame default). The connection uses min(client, server).
+	MaxFrame int64 `json:"max_frame,omitempty"`
+	// Window is the client's preferred stream credit window: the number
+	// of un-acknowledged batch frames the server may have in flight per
+	// stream (0 = server default). The connection uses min(client, server).
+	Window int `json:"window,omitempty"`
+}
+
+// HelloResponse reports the negotiated settings: the intersection of the
+// two peers' features and the min of their frame/window limits.
+type HelloResponse struct {
+	Version  int      `json:"version"`
+	Features []string `json:"features,omitempty"`
+	MaxFrame int64    `json:"max_frame,omitempty"`
+	Window   int      `json:"window,omitempty"`
 }
 
 // CreateRequest registers a relation. Columns are "name:type" with type
@@ -128,6 +216,10 @@ type QueryRequest struct {
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
 	// Explain asks for the optimizer's plan explanation in the response.
 	Explain bool `json:"explain,omitempty"`
+	// Stream asks for the result as binary row-batch frames instead of
+	// one JSON response. Only honored on connections that negotiated
+	// FeatureBinaryStream; otherwise ignored and answered with JSON.
+	Stream bool `json:"stream,omitempty"`
 }
 
 // SchemaRequest fetches one relation's schema, or the server's whole
@@ -145,6 +237,7 @@ type Response struct {
 	Query  *QueryResponse  `json:"query,omitempty"`
 	Schema *SchemaResponse `json:"schema,omitempty"`
 	Status *StatusResponse `json:"status,omitempty"`
+	Hello  *HelloResponse  `json:"hello,omitempty"`
 }
 
 // Error codes carried in WireError.Code.
@@ -153,6 +246,10 @@ const (
 	CodeNotFound   = "not_found"
 	CodeTimeout    = "timeout"
 	CodeInternal   = "internal"
+	// CodeFrameTooLarge reports a single-frame result or request
+	// exceeding the connection's frame limit. Retrying the query over a
+	// binary-stream connection avoids the single-frame cap entirely.
+	CodeFrameTooLarge = "frame_too_large"
 )
 
 // WireError is a typed error crossing the wire.
@@ -171,7 +268,7 @@ func Errorf(code, format string, args ...any) *WireError {
 // QueryResponse is a completed query.
 type QueryResponse struct {
 	Columns []string `json:"columns"`
-	Rows    [][]any  `json:"rows"`
+	Rows    WireRows `json:"rows"`
 	Epoch   uint64   `json:"epoch"`
 	// Cached reports a materialized-view cache hit.
 	Cached bool `json:"cached,omitempty"`
@@ -233,37 +330,164 @@ type StatusResponse struct {
 // Float64 values always do. Decoding with json.Number (ReadFrame does)
 // recovers the exact type.
 
-// wireValue wraps a tuple.Value for unambiguous JSON encoding.
-type wireValue struct{ v tuple.Value }
+// WireRows carries a result's rows across the JSON wire. Server-side it
+// wraps the engine's typed rows and marshals them with a single
+// append-based encoder pass — no per-cell allocation or interface boxing
+// (the old per-value MarshalJSON dominated large-result serving cost).
+// Client-side UnmarshalJSON fills Any with json.Number/string scalars.
+type WireRows struct {
+	// Typed is the server-side source of truth (set via EncodeRows).
+	Typed []tuple.Row `json:"-"`
+	// Any is the decoded client-side form (also accepted when marshaling,
+	// for callers that construct responses from plain values).
+	Any [][]any `json:"-"`
+}
 
-func (w wireValue) MarshalJSON() ([]byte, error) {
-	switch w.v.T {
-	case tuple.Int64:
-		return strconv.AppendInt(nil, w.v.I64, 10), nil
-	case tuple.Float64:
-		b := strconv.AppendFloat(nil, w.v.F64, 'g', -1, 64)
-		if !strings.ContainsAny(string(b), ".eE") && w.v.F64 == w.v.F64 { // integral, non-NaN
-			b = append(b, '.', '0')
+// EncodeRows wraps engine rows for wire encoding (zero-copy: the response
+// references the engine's rows until marshaled).
+func EncodeRows(rows []tuple.Row) WireRows { return WireRows{Typed: rows} }
+
+// AnyRows wraps already-boxed rows for wire encoding.
+func AnyRows(rows [][]any) WireRows { return WireRows{Any: rows} }
+
+// Len returns the number of rows.
+func (w WireRows) Len() int {
+	if w.Typed != nil {
+		return len(w.Typed)
+	}
+	return len(w.Any)
+}
+
+// MarshalJSON encodes all rows in one pass into one buffer.
+func (w WireRows) MarshalJSON() ([]byte, error) {
+	if w.Typed == nil {
+		if w.Any == nil {
+			return []byte("[]"), nil
 		}
-		return b, nil
+		return json.Marshal(w.Any)
+	}
+	// Size estimate keeps growth reallocations rare on large results.
+	est := 2
+	for _, r := range w.Typed {
+		est += 2 + 16*len(r)
+	}
+	dst := make([]byte, 0, est)
+	dst = append(dst, '[')
+	for i, r := range w.Typed {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, '[')
+		for j, v := range r {
+			if j > 0 {
+				dst = append(dst, ',')
+			}
+			var err error
+			dst, err = appendJSONValue(dst, v)
+			if err != nil {
+				return nil, err
+			}
+		}
+		dst = append(dst, ']')
+	}
+	return append(dst, ']'), nil
+}
+
+// UnmarshalJSON decodes wire rows into Any with json.Number numbers.
+func (w *WireRows) UnmarshalJSON(data []byte) error {
+	w.Typed = nil
+	w.Any = nil
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	return dec.Decode(&w.Any)
+}
+
+// appendJSONValue appends one tuple value as a JSON scalar. Int64 values
+// never carry a decimal point; Float64 values always do.
+func appendJSONValue(dst []byte, v tuple.Value) ([]byte, error) {
+	switch v.T {
+	case tuple.Int64:
+		return strconv.AppendInt(dst, v.I64, 10), nil
+	case tuple.Float64:
+		if math.IsNaN(v.F64) || math.IsInf(v.F64, 0) {
+			return nil, fmt.Errorf("server: unsupported float value %v", v.F64)
+		}
+		mark := len(dst)
+		dst = strconv.AppendFloat(dst, v.F64, 'g', -1, 64)
+		if !bytes.ContainsAny(dst[mark:], ".eE") { // integral: keep it a float on the wire
+			dst = append(dst, '.', '0')
+		}
+		return dst, nil
 	case tuple.String:
-		return json.Marshal(w.v.Str)
+		return appendJSONString(dst, v.Str), nil
 	default:
 		return nil, fmt.Errorf("server: invalid tuple value")
 	}
 }
 
-// EncodeRows converts engine rows to wire rows.
-func EncodeRows(rows []tuple.Row) [][]any {
-	out := make([][]any, len(rows))
-	for i, r := range rows {
-		wr := make([]any, len(r))
-		for j, v := range r {
-			wr[j] = wireValue{v}
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a quoted JSON string, escaping quotes,
+// backslashes, and control characters (other bytes pass through verbatim;
+// published values arrive as JSON, so they are valid UTF-8 already).
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x20 && c != '"' && c != '\\' {
+			continue
 		}
-		out[i] = wr
+		dst = append(dst, s[start:i]...)
+		switch c {
+		case '"', '\\':
+			dst = append(dst, '\\', c)
+		case '\n':
+			dst = append(dst, '\\', 'n')
+		case '\r':
+			dst = append(dst, '\\', 'r')
+		case '\t':
+			dst = append(dst, '\\', 't')
+		default:
+			dst = append(dst, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		}
+		start = i + 1
 	}
-	return out
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// rowsFromAny converts boxed wire rows back into typed tuple rows — the
+// streaming fallback for backends that answer with pre-boxed values.
+func rowsFromAny(in [][]any) ([]tuple.Row, error) {
+	rows := make([]tuple.Row, len(in))
+	for i, r := range in {
+		row := make(tuple.Row, len(r))
+		for j, v := range r {
+			switch x := v.(type) {
+			case int:
+				row[j] = tuple.I(int64(x))
+			case int64:
+				row[j] = tuple.I(x)
+			case float64:
+				row[j] = tuple.F(x)
+			case string:
+				row[j] = tuple.S(x)
+			case json.Number:
+				if n, err := x.Int64(); err == nil {
+					row[j] = tuple.I(n)
+				} else if f, err := x.Float64(); err == nil {
+					row[j] = tuple.F(f)
+				} else {
+					return nil, fmt.Errorf("server: bad number %q in row %d", x.String(), i)
+				}
+			default:
+				return nil, fmt.Errorf("server: unstreamable value %T in row %d", v, i)
+			}
+		}
+		rows[i] = row
+	}
+	return rows, nil
 }
 
 // DecodeValue maps a json.Number/string wire scalar back to a Go scalar

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"io"
@@ -29,6 +30,20 @@ type Config struct {
 	// TCP, so one connection cannot accumulate unbounded handler
 	// goroutines and payloads.
 	MaxPipelinedRequests int
+	// MaxFrame bounds a single wire frame (default MaxFrame const). A
+	// hello handshake may negotiate it lower per connection. Single-frame
+	// JSON results larger than this fail with frame_too_large; streamed
+	// binary results are bounded per batch frame, not in total.
+	MaxFrame int64
+	// StreamWindow is the per-stream credit window offered to clients:
+	// the number of un-acknowledged batch frames in flight per streamed
+	// query (default DefaultStreamWindow). The handshake uses
+	// min(client, server).
+	StreamWindow int
+	// StreamCompressMin is the raw batch size in bytes at which streamed
+	// batches are flate-compressed (0 = default 4 KiB, negative = never —
+	// useful on loopback where compression CPU exceeds the byte savings).
+	StreamCompressMin int
 	// OnQueryStart, when set, is invoked at the start of every query
 	// execution while its admission slot is held — an instrumentation
 	// hook (tests use it to make executions overlap deterministically).
@@ -46,6 +61,17 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxPipelinedRequests <= 0 {
 		c.MaxPipelinedRequests = 64
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = MaxFrame
+	}
+	if c.MaxFrame > MaxFrameLimit {
+		// The length header's high bit is the binary-frame tag: frames at
+		// or past 2 GiB would corrupt the framing entirely.
+		c.MaxFrame = MaxFrameLimit
+	}
+	if c.StreamWindow <= 0 {
+		c.StreamWindow = DefaultStreamWindow
 	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
@@ -118,6 +144,7 @@ func Start(addr string, backend Backend, cfg Config) (*Server, error) {
 			OpQuery:   {},
 			OpSchema:  {},
 			OpStatus:  {},
+			OpHello:   {},
 		},
 	}
 	s.accepts.Add(1)
@@ -174,9 +201,129 @@ func (s *Server) acceptLoop() {
 // session owns one connection: it reads request frames and dispatches
 // each to its own goroutine, so a slow query does not block later
 // requests pipelined on the same connection. Responses are serialized
-// by a per-connection write lock and carry the request's ID.
+// by a per-connection write lock and carry the request's ID; streamed
+// results interleave their frames with other responses under the same
+// lock, one frame at a time.
+type session struct {
+	srv  *Server
+	conn net.Conn
+	br   *bufio.Reader
+
+	// ctx is canceled when the read loop exits, unblocking any stream
+	// writers waiting on credit from a dead connection.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	wmu sync.Mutex
+
+	// lim holds the negotiated limits; swapped atomically by hello.
+	lim atomic.Pointer[sessionLimits]
+
+	smu     sync.Mutex
+	streams map[uint64]*streamWriter // in-flight streams by request ID
+}
+
+// sessionLimits are the per-connection negotiated protocol settings.
+type sessionLimits struct {
+	binary   bool // FeatureBinaryStream negotiated
+	maxFrame int64
+	window   int
+}
+
+func (sess *session) limits() *sessionLimits { return sess.lim.Load() }
+
+// write sends one pre-encoded frame under the write lock. On failure the
+// connection is closed to wake the read loop.
+func (sess *session) write(frame []byte) error {
+	sess.wmu.Lock()
+	_, err := sess.conn.Write(frame)
+	sess.wmu.Unlock()
+	if err != nil {
+		if !errors.Is(err, net.ErrClosed) {
+			sess.srv.cfg.Logf("server: %s: write: %v", sess.conn.RemoteAddr(), err)
+		}
+		sess.conn.Close()
+	}
+	return err
+}
+
+// writeResponse encodes and sends one JSON response, using the framing
+// the connection negotiated and a pooled buffer.
+func (sess *session) writeResponse(resp *Response) error {
+	lim := sess.limits()
+	buf := getFrameBuf()
+	defer putFrameBuf(buf)
+	var frame []byte
+	var err error
+	if lim.binary {
+		frame, err = AppendTaggedJSONFrame((*buf)[:0], resp, lim.maxFrame)
+	} else {
+		frame, err = AppendFrame((*buf)[:0], resp, lim.maxFrame)
+	}
+	if err != nil {
+		// A result the codec cannot carry (NaN/Inf floats, or one larger
+		// than the frame cap) fails only this request, not the session.
+		code := CodeInternal
+		var fse *FrameSizeError
+		if errors.As(err, &fse) {
+			code = CodeFrameTooLarge
+		}
+		fallback := &Response{ID: resp.ID, Error: Errorf(code, "encode response: %v", err)}
+		if lim.binary {
+			frame, err = AppendTaggedJSONFrame((*buf)[:0], fallback, lim.maxFrame)
+		} else {
+			frame, err = AppendFrame((*buf)[:0], fallback, lim.maxFrame)
+		}
+		if err != nil {
+			sess.srv.cfg.Logf("server: %s: encode: %v", sess.conn.RemoteAddr(), err)
+			sess.conn.Close()
+			return err
+		}
+	}
+	err = sess.write(frame)
+	*buf = frame[:0]
+	return err
+}
+
+// registerStream claims id for w; it fails when another stream on the
+// session is still using the id (frames would be un-demultiplexable and
+// the later dropStream would orphan the survivor's credits).
+func (sess *session) registerStream(id uint64, w *streamWriter) bool {
+	sess.smu.Lock()
+	defer sess.smu.Unlock()
+	if _, taken := sess.streams[id]; taken {
+		return false
+	}
+	sess.streams[id] = w
+	return true
+}
+
+func (sess *session) dropStream(id uint64) {
+	sess.smu.Lock()
+	delete(sess.streams, id)
+	sess.smu.Unlock()
+}
+
+func (sess *session) creditStream(id uint64, n uint64) {
+	sess.smu.Lock()
+	w := sess.streams[id]
+	sess.smu.Unlock()
+	if w != nil {
+		w.credit(n)
+	}
+}
+
 func (s *Server) session(conn net.Conn) {
+	sess := &session{
+		srv:     s,
+		conn:    conn,
+		br:      bufio.NewReaderSize(conn, 32<<10),
+		streams: make(map[uint64]*streamWriter),
+	}
+	sess.ctx, sess.cancel = context.WithCancel(context.Background())
+	sess.lim.Store(&sessionLimits{maxFrame: s.cfg.MaxFrame, window: s.cfg.StreamWindow})
 	defer func() {
+		sess.cancel()
 		conn.Close()
 		s.conns.Add(-1)
 		s.mu.Lock()
@@ -186,45 +333,253 @@ func (s *Server) session(conn net.Conn) {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	var wmu sync.Mutex
+	// Requests pass through a bounded admission pump instead of blocking
+	// the read loop directly on the pipeline cap: the read loop must stay
+	// responsive to FrameCredit flow-control frames even while a full
+	// pipeline of streamed queries is blocked awaiting those very credits.
+	// Memory stays bounded at ~2× MaxPipelinedRequests parked requests;
+	// a client that pipelines beyond that stalls via TCP as before.
 	var handlers sync.WaitGroup
-	defer handlers.Wait()
 	pipeline := make(chan struct{}, s.cfg.MaxPipelinedRequests)
+	reqCh := make(chan Request, s.cfg.MaxPipelinedRequests)
+	pumpDone := make(chan struct{})
+	go func() {
+		defer close(pumpDone)
+		for req := range reqCh {
+			select {
+			case pipeline <- struct{}{}:
+			case <-sess.ctx.Done():
+				return // connection gone; drop parked requests
+			}
+			handlers.Add(1)
+			go func(req Request) {
+				defer handlers.Done()
+				defer func() { <-pipeline }()
+				if req.Op == OpQuery && req.Query != nil && req.Query.Stream && sess.limits().binary {
+					s.dispatchStream(sess, &req)
+					return
+				}
+				sess.writeResponse(s.dispatch(&req))
+			}(req)
+		}
+	}()
+	defer func() {
+		sess.cancel() // unblock the pump and any credit-waiting streams
+		close(reqCh)
+		<-pumpDone
+		handlers.Wait()
+	}()
 	for {
-		var req Request
-		if err := ReadFrame(conn, &req); err != nil {
-			if !errors.Is(err, net.ErrClosed) && !isEOF(err) {
+		kind, payload, _, err := ReadRawFrame(sess.br, sess.limits().maxFrame)
+		if err != nil {
+			var fse *FrameSizeError
+			if errors.As(err, &fse) {
+				// Tell the peer why before closing: framing cannot be
+				// re-synchronized after an unread oversized body.
+				sess.writeResponse(&Response{Error: Errorf(CodeFrameTooLarge, "%v", err)})
+			} else if !errors.Is(err, net.ErrClosed) && !isEOF(err) {
 				s.cfg.Logf("server: %s: read: %v", conn.RemoteAddr(), err)
 			}
 			return
 		}
-		pipeline <- struct{}{} // backpressure: stop reading at the cap
-		handlers.Add(1)
-		go func(req Request) {
-			defer handlers.Done()
-			defer func() { <-pipeline }()
-			resp := s.dispatch(&req)
-			frame, err := EncodeFrame(resp)
+		switch kind {
+		case FrameCredit:
+			id, n, err := DecodeCreditPayload(payload)
 			if err != nil {
-				// A result the codec cannot carry (e.g. NaN/Inf floats)
-				// fails only this request, not the whole session.
-				frame, err = EncodeFrame(&Response{ID: req.ID,
-					Error: Errorf(CodeInternal, "encode response: %v", err)})
-				if err != nil {
-					s.cfg.Logf("server: %s: encode: %v", conn.RemoteAddr(), err)
-					conn.Close()
-					return
-				}
+				s.cfg.Logf("server: %s: %v", conn.RemoteAddr(), err)
+				return
 			}
-			wmu.Lock()
-			_, err = conn.Write(frame)
-			wmu.Unlock()
-			if err != nil && !errors.Is(err, net.ErrClosed) {
-				s.cfg.Logf("server: %s: write: %v", conn.RemoteAddr(), err)
-				conn.Close() // wake the read loop
-			}
-		}(req)
+			sess.creditStream(id, uint64(n))
+			continue
+		case FrameJSON:
+		default:
+			s.cfg.Logf("server: %s: client sent unexpected %v frame", conn.RemoteAddr(), kind)
+			return
+		}
+		var req Request
+		if err := UnmarshalJSONFrame(payload, &req); err != nil {
+			s.cfg.Logf("server: %s: read: %v", conn.RemoteAddr(), err)
+			return
+		}
+		if req.Op == OpHello {
+			// Handled inline so the framing switch is ordered with the
+			// response: the client sends no tagged frame until it reads it.
+			s.handleHello(sess, &req)
+			continue
+		}
+		reqCh <- req // backpressure: stop reading when the pump is saturated
 	}
+}
+
+// handleHello negotiates protocol features: the intersection of the two
+// peers' feature lists and the min of their frame/window limits.
+func (s *Server) handleHello(sess *session, req *Request) {
+	start := time.Now()
+	resp := &Response{ID: req.ID}
+	if req.Hello == nil {
+		resp.Error = Errorf(CodeBadRequest, "hello payload missing")
+	} else {
+		cur := sess.limits()
+		lim := &sessionLimits{maxFrame: cur.maxFrame, window: cur.window}
+		if mf := req.Hello.MaxFrame; mf > 0 && mf < lim.maxFrame {
+			lim.maxFrame = mf
+		}
+		if lim.maxFrame < MinFrame {
+			lim.maxFrame = MinFrame // control frames must always fit
+		}
+		if w := req.Hello.Window; w > 0 && w < lim.window {
+			lim.window = w
+		}
+		var features []string
+		for _, f := range req.Hello.Features {
+			if f == FeatureBinaryStream {
+				lim.binary = true
+				features = append(features, FeatureBinaryStream)
+			}
+		}
+		resp.Hello = &HelloResponse{
+			Version:  ProtocolVersion,
+			Features: features,
+			MaxFrame: lim.maxFrame,
+			Window:   lim.window,
+		}
+		sess.lim.Store(lim)
+	}
+	err := sess.writeResponse(resp)
+	s.ops[OpHello].observe(time.Since(start), resp.Error != nil || err != nil)
+}
+
+// dispatchStream answers one query request with a binary result stream:
+// Schema, Batch*, End — with errors carried in the End frame.
+func (s *Server) dispatchStream(sess *session, req *Request) {
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(sess.ctx, s.cfg.RequestTimeout)
+	defer cancel()
+	if ms := req.Query.TimeoutMs; ms > 0 {
+		if d := time.Duration(ms) * time.Millisecond; d < s.cfg.RequestTimeout {
+			var c2 context.CancelFunc
+			ctx, c2 = context.WithTimeout(ctx, d)
+			defer c2()
+		}
+	}
+	w := newStreamWriter(ctx, sess, req.ID, sess.limits().window)
+	if !sess.registerStream(req.ID, w) {
+		w.end(&StreamEnd{Error: Errorf(CodeBadRequest, "stream id %d already active on this connection", req.ID)})
+		s.ops[OpQuery].observe(time.Since(start), true)
+		return
+	}
+	defer sess.dropStream(req.ID)
+
+	tail, err := s.runQueryStreamed(ctx, req.Query, w)
+	failed := err != nil
+	if failed {
+		tail = &StreamEnd{Error: toWireError(ctx, err)}
+	}
+	if werr := w.end(tail); werr != nil {
+		failed = true
+		if !errors.Is(werr, net.ErrClosed) {
+			// The tail itself would not encode (e.g. a plan or error
+			// message past the negotiated frame cap): a stream must never
+			// end without its End frame, so degrade to a minimal error
+			// End — and sever the connection if even that cannot be sent,
+			// rather than leave the client waiting forever.
+			code := CodeInternal
+			var fse *FrameSizeError
+			if errors.As(werr, &fse) {
+				code = CodeFrameTooLarge
+			}
+			fallback := &StreamEnd{Error: Errorf(code, "encode stream end: frame limit exceeded")}
+			if werr2 := w.end(fallback); werr2 != nil {
+				sess.conn.Close()
+			}
+		}
+	}
+	s.ops[OpQuery].observe(time.Since(start), failed)
+}
+
+// acquireAdmission passes the admission-control semaphore and accounts
+// the in-flight query; the returned release is idempotent.
+func (s *Server) acquireAdmission(ctx context.Context) (func(), error) {
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, Errorf(CodeTimeout, "admission wait: %v", ctx.Err())
+	}
+	n := s.inFlight.Add(1)
+	for {
+		peak := s.peakFlight.Load()
+		if n <= peak || s.peakFlight.CompareAndSwap(peak, n) {
+			break
+		}
+	}
+	if s.cfg.OnQueryStart != nil {
+		s.cfg.OnQueryStart()
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.inFlight.Add(-1)
+			<-s.sem
+		})
+	}, nil
+}
+
+// admissionReleasingStream wraps a ResultStream to release the query's
+// admission slot as soon as the schema frame is emitted: at that point
+// execution is complete and what remains is draining the answer at the
+// client's pace — a slow stream reader must not starve admission for
+// other queries.
+type admissionReleasingStream struct {
+	ResultStream
+	release func()
+}
+
+func (a *admissionReleasingStream) Columns(cols []string) error {
+	err := a.ResultStream.Columns(cols)
+	a.release()
+	return err
+}
+
+// runQueryStreamed passes admission control, then executes the query
+// against a streaming backend — or falls back to the buffered Query path
+// re-chunked into batches for backends that predate streaming.
+func (s *Server) runQueryStreamed(ctx context.Context, q *QueryRequest, out ResultStream) (*StreamEnd, error) {
+	release, err := s.acquireAdmission(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	out = &admissionReleasingStream{ResultStream: out, release: release}
+	if sb, ok := s.backend.(StreamingBackend); ok {
+		tail, err := sb.QueryStream(ctx, q, out)
+		if err != nil {
+			return nil, err
+		}
+		return &StreamEnd{QueryTail: *tail}, nil
+	}
+	resp, err := s.backend.Query(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	if err := out.Columns(resp.Columns); err != nil {
+		return nil, err
+	}
+	rows := resp.Rows.Typed
+	if rows == nil && resp.Rows.Any != nil {
+		if rows, err = rowsFromAny(resp.Rows.Any); err != nil {
+			return nil, err
+		}
+	}
+	if err := out.Batch(rows); err != nil {
+		return nil, err
+	}
+	return &StreamEnd{QueryTail: QueryTail{
+		Epoch:    resp.Epoch,
+		Cached:   resp.Cached,
+		Phases:   resp.Phases,
+		Restarts: resp.Restarts,
+		Plan:     resp.Plan,
+	}}, nil
 }
 
 func isEOF(err error) bool {
@@ -315,23 +670,11 @@ func (s *Server) handle(ctx context.Context, req *Request, resp *Response) error
 // wait is bounded by the request context so an overloaded server times
 // out queued queries instead of letting them pile up forever.
 func (s *Server) runQuery(ctx context.Context, q *QueryRequest) (*QueryResponse, error) {
-	select {
-	case s.sem <- struct{}{}:
-	case <-ctx.Done():
-		return nil, Errorf(CodeTimeout, "admission wait: %v", ctx.Err())
+	release, err := s.acquireAdmission(ctx)
+	if err != nil {
+		return nil, err
 	}
-	defer func() { <-s.sem }()
-	n := s.inFlight.Add(1)
-	defer s.inFlight.Add(-1)
-	for {
-		peak := s.peakFlight.Load()
-		if n <= peak || s.peakFlight.CompareAndSwap(peak, n) {
-			break
-		}
-	}
-	if s.cfg.OnQueryStart != nil {
-		s.cfg.OnQueryStart()
-	}
+	defer release()
 	return s.backend.Query(ctx, q)
 }
 

@@ -130,7 +130,7 @@ func (b *stubBackend) Query(ctx context.Context, req *QueryRequest) (*QueryRespo
 	if b.queryResp != nil {
 		return b.queryResp, nil
 	}
-	return &QueryResponse{Columns: []string{"one"}, Rows: [][]any{{1}}, Epoch: 3}, nil
+	return &QueryResponse{Columns: []string{"one"}, Rows: AnyRows([][]any{{1}}), Epoch: 3}, nil
 }
 
 func (b *stubBackend) Catalog(ctx context.Context, rel string) (*SchemaResponse, error) {
@@ -251,7 +251,7 @@ func TestServerInternalErrorMapping(t *testing.T) {
 // session and pipelined requests survive.
 func TestUnencodableResultFailsRequestOnly(t *testing.T) {
 	s := startTestServer(t, &stubBackend{
-		queryResp: &QueryResponse{Columns: []string{"x"}, Rows: [][]any{{math.NaN()}}},
+		queryResp: &QueryResponse{Columns: []string{"x"}, Rows: AnyRows([][]any{{math.NaN()}})},
 	}, Config{})
 	conn := dialTest(t, s)
 	if err := WriteFrame(conn, &Request{ID: 1, Op: OpQuery, Query: &QueryRequest{SQL: "nan"}}); err != nil {

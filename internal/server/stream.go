@@ -1,0 +1,500 @@
+package server
+
+// Binary streaming extension (negotiated via OpHello, FeatureBinaryStream).
+//
+// Framing: every frame still starts with a 4-byte big-endian length, but a
+// frame with the high bit of the length set is a *tagged binary frame*: the
+// first payload byte is a FrameKind, the rest is kind-specific. Legacy JSON
+// frames never set the bit (MaxFrame caps lengths far below it), so both
+// framings coexist on one connection and old peers are never confused — a
+// peer only sends tagged frames after hello succeeds.
+//
+// A streamed query result is the frame sequence
+//
+//	Schema(id, columns) Batch(id, rows)* End(id, tail|error)
+//
+// where each Batch carries a column-major tuple batch (tuple.EncodeBatch
+// format: row count, arity, per-column type tags, optional flate). Frames of
+// concurrent streams interleave freely on a connection — every frame carries
+// its request ID. Backpressure is credit-based: the server may have at most
+// `window` un-acknowledged batch frames in flight per stream and the client
+// returns one credit per batch it consumes (Credit frames), so a slow reader
+// bounds server-side buffering at window × batch size instead of the old
+// buffer-the-whole-result MaxFrame cap.
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"orchestra/internal/tuple"
+)
+
+// FrameKind tags a binary frame's payload.
+type FrameKind byte
+
+const (
+	// FrameJSON is a JSON Request/Response (also the implicit kind of
+	// every legacy untagged frame).
+	FrameJSON FrameKind = 0
+	// FrameSchema opens a result stream: request ID + column names.
+	FrameSchema FrameKind = 1
+	// FrameBatch carries one columnar row batch: request ID + batch.
+	FrameBatch FrameKind = 2
+	// FrameEnd closes a result stream: request ID + JSON StreamEnd.
+	FrameEnd FrameKind = 3
+	// FrameCredit grants stream flow-control credits: request ID + count.
+	FrameCredit FrameKind = 4
+)
+
+func (k FrameKind) String() string {
+	switch k {
+	case FrameJSON:
+		return "json"
+	case FrameSchema:
+		return "schema"
+	case FrameBatch:
+		return "batch"
+	case FrameEnd:
+		return "end"
+	case FrameCredit:
+		return "credit"
+	default:
+		return fmt.Sprintf("kind(%d)", byte(k))
+	}
+}
+
+// binaryFrameBit marks a tagged binary frame in the length header.
+const binaryFrameBit = uint32(1) << 31
+
+// Stream tuning defaults (server side; window is negotiated down by hello).
+const (
+	// DefaultStreamWindow is the default per-stream credit window, in
+	// batch frames.
+	DefaultStreamWindow = 8
+	// defaultStreamBatchBytes is the target encoded size of one batch
+	// frame (pre-compression).
+	defaultStreamBatchBytes = 256 << 10
+	// defaultStreamCompressMin is the raw batch size at which flate
+	// compression kicks in on the wire path; small batches are cheaper to
+	// send than to compress.
+	defaultStreamCompressMin = 4 << 10
+	// maxStreamBatchRows caps rows per batch frame so decode-side
+	// allocations stay bounded regardless of row width.
+	maxStreamBatchRows = 4096
+)
+
+// StreamEnd is the JSON payload of a FrameEnd: the query's terminal
+// status and provenance/epoch metadata (or its error).
+type StreamEnd struct {
+	Error *WireError `json:"error,omitempty"`
+	QueryTail
+	// Rows and Batches summarize the stream for integrity checks.
+	Rows    int64 `json:"rows,omitempty"`
+	Batches int   `json:"batches,omitempty"`
+}
+
+// --- raw frame I/O ---
+
+// frameBufPool recycles frame build buffers across requests and batches.
+var frameBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 8<<10)
+		return &b
+	},
+}
+
+// maxPooledFrameBuf bounds what returns to the pool: one huge buffered
+// response must not permanently pin its capacity in every session.
+const maxPooledFrameBuf = 1 << 20
+
+func getFrameBuf() *[]byte { return frameBufPool.Get().(*[]byte) }
+
+func putFrameBuf(b *[]byte) {
+	if cap(*b) > maxPooledFrameBuf {
+		return // let the outlier be collected
+	}
+	*b = (*b)[:0]
+	frameBufPool.Put(b)
+}
+
+// ReadRawFrame reads one frame of either framing. It returns the frame's
+// kind (FrameJSON for legacy frames), its payload (excluding the kind
+// byte), and whether the frame was binary-tagged. Oversized frames return
+// a *FrameSizeError; the connection cannot be re-synchronized afterwards.
+func ReadRawFrame(r io.Reader, maxFrame int64) (FrameKind, []byte, bool, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, false, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	isBinary := n&binaryFrameBit != 0
+	n &^= binaryFrameBit
+	if int64(n) > maxFrame {
+		return 0, nil, isBinary, &FrameSizeError{Size: int64(n), Max: maxFrame}
+	}
+	if isBinary && n == 0 {
+		return 0, nil, true, errors.New("server: empty binary frame")
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, isBinary, err
+	}
+	if !isBinary {
+		return FrameJSON, body, false, nil
+	}
+	return FrameKind(body[0]), body[1:], true, nil
+}
+
+// beginBinaryFrame appends a placeholder header + kind byte to dst and
+// returns the extended slice plus the header offset for finishBinaryFrame.
+func beginBinaryFrame(dst []byte, kind FrameKind) ([]byte, int) {
+	mark := len(dst)
+	return append(dst, 0, 0, 0, 0, byte(kind)), mark
+}
+
+// finishBinaryFrame back-fills the tagged length header begun at mark.
+func finishBinaryFrame(dst []byte, mark int, maxFrame int64) ([]byte, error) {
+	n := len(dst) - mark - 4 // kind byte + payload
+	if int64(n) > maxFrame {
+		return nil, &FrameSizeError{Size: int64(n), Max: maxFrame}
+	}
+	binary.BigEndian.PutUint32(dst[mark:mark+4], uint32(n)|binaryFrameBit)
+	return dst, nil
+}
+
+// AppendBinaryFrame appends one tagged frame carrying payload.
+func AppendBinaryFrame(dst []byte, kind FrameKind, payload []byte, maxFrame int64) ([]byte, error) {
+	dst, mark := beginBinaryFrame(dst, kind)
+	dst = append(dst, payload...)
+	return finishBinaryFrame(dst, mark, maxFrame)
+}
+
+// AppendTaggedJSONFrame appends a binary-tagged FrameJSON frame for v.
+func AppendTaggedJSONFrame(dst []byte, v any, maxFrame int64) ([]byte, error) {
+	dst, mark := beginBinaryFrame(dst, FrameJSON)
+	var err error
+	dst, err = appendJSON(dst, v)
+	if err != nil {
+		return nil, err
+	}
+	return finishBinaryFrame(dst, mark, maxFrame)
+}
+
+// --- stream frame payload codecs ---
+//
+// Every stream payload begins with the 8-byte big-endian request ID.
+
+// AppendSchemaPayload encodes a FrameSchema payload.
+func AppendSchemaPayload(dst []byte, id uint64, cols []string) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	dst = binary.AppendUvarint(dst, uint64(len(cols)))
+	for _, c := range cols {
+		dst = binary.AppendUvarint(dst, uint64(len(c)))
+		dst = append(dst, c...)
+	}
+	return dst
+}
+
+// DecodeSchemaPayload reverses AppendSchemaPayload.
+func DecodeSchemaPayload(p []byte) (id uint64, cols []string, err error) {
+	id, rest, err := splitStreamID(p)
+	if err != nil {
+		return 0, nil, err
+	}
+	n, k := binary.Uvarint(rest)
+	if k <= 0 || n > 1<<16 {
+		return 0, nil, errors.New("server: bad schema frame column count")
+	}
+	rest = rest[k:]
+	cols = make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		l, k := binary.Uvarint(rest)
+		if k <= 0 || l > uint64(len(rest)-k) {
+			return 0, nil, errors.New("server: truncated schema frame")
+		}
+		cols = append(cols, string(rest[k:k+int(l)]))
+		rest = rest[k+int(l):]
+	}
+	return id, cols, nil
+}
+
+// AppendCreditPayload encodes a FrameCredit payload granting n credits.
+func AppendCreditPayload(dst []byte, id uint64, n int) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	return binary.AppendUvarint(dst, uint64(n))
+}
+
+// DecodeCreditPayload reverses AppendCreditPayload.
+func DecodeCreditPayload(p []byte) (id uint64, n int, err error) {
+	id, rest, err := splitStreamID(p)
+	if err != nil {
+		return 0, 0, err
+	}
+	v, k := binary.Uvarint(rest)
+	if k <= 0 || v == 0 || v > 1<<20 {
+		return 0, 0, errors.New("server: bad credit frame")
+	}
+	return id, int(v), nil
+}
+
+// splitStreamID splits the leading request ID off a stream payload.
+func splitStreamID(p []byte) (uint64, []byte, error) {
+	if len(p) < 8 {
+		return 0, nil, errors.New("server: stream frame too short")
+	}
+	return binary.BigEndian.Uint64(p[:8]), p[8:], nil
+}
+
+// StreamFrameID reads the request ID of any stream frame payload.
+func StreamFrameID(p []byte) (uint64, error) {
+	id, _, err := splitStreamID(p)
+	return id, err
+}
+
+// DecodeBatchPayload decodes a FrameBatch payload into rows.
+func DecodeBatchPayload(p []byte) (id uint64, rows []tuple.Row, err error) {
+	id, rest, err := splitStreamID(p)
+	if err != nil {
+		return 0, nil, err
+	}
+	rows, err = tuple.DecodeBatch(rest)
+	return id, rows, err
+}
+
+// DecodeEndPayload decodes a FrameEnd payload.
+func DecodeEndPayload(p []byte) (id uint64, end *StreamEnd, err error) {
+	id, rest, err := splitStreamID(p)
+	if err != nil {
+		return 0, nil, err
+	}
+	end = &StreamEnd{}
+	if err := json.Unmarshal(rest, end); err != nil {
+		return 0, nil, fmt.Errorf("server: bad end frame: %w", err)
+	}
+	return id, end, nil
+}
+
+// --- server-side stream writer ---
+
+// streamWriter emits one query's result stream over a session. It
+// implements ResultStream for backends: backends hand it row slices as
+// the engine produces them; the writer re-chunks them into size-bounded,
+// type-homogeneous wire batches, encodes each into a pooled buffer, and
+// blocks for flow-control credit when the window is exhausted.
+type streamWriter struct {
+	ctx     context.Context
+	sess    *session
+	id      uint64
+	window  int         // negotiated credit window (batch frames)
+	credits chan uint64 // replenished by the session's read loop
+
+	maxFrame    int64
+	targetBytes int // soft cut point for one batch (pre-compression)
+	compressMin int // raw bytes at which flate kicks in (<0: never)
+
+	started bool // schema frame sent
+	avail   int  // send credits remaining
+	rows    int64
+	batches int
+
+	pending  []tuple.Row  // rows accumulated toward the next batch frame
+	pendSize int          // size hint of pending
+	sig      []tuple.Type // type signature of pending[0]
+}
+
+func newStreamWriter(ctx context.Context, sess *session, id uint64, window int) *streamWriter {
+	maxFrame := sess.limits().maxFrame
+	target := defaultStreamBatchBytes
+	// Leave generous headroom under the frame cap: compression is applied
+	// after the cut, but incompressible data must still fit.
+	if lim := int(maxFrame / 4); lim > 0 && target > lim {
+		target = lim
+	}
+	compressMin := sess.srv.cfg.StreamCompressMin
+	if compressMin == 0 {
+		compressMin = defaultStreamCompressMin
+	}
+	if window < 1 {
+		window = 1
+	}
+	return &streamWriter{
+		ctx:    ctx,
+		sess:   sess,
+		id:     id,
+		window: window,
+		// Sized to the window: a well-behaved client never has more
+		// un-drained credits in flight than un-acknowledged batches, so
+		// nothing legitimate is ever dropped by credit().
+		credits:     make(chan uint64, window),
+		maxFrame:    maxFrame,
+		targetBytes: target,
+		compressMin: compressMin,
+		avail:       window,
+	}
+}
+
+// Columns implements ResultStream: announces the result shape. Must be
+// called once, before any Batch.
+func (w *streamWriter) Columns(cols []string) error {
+	if w.started {
+		return errors.New("server: stream schema already sent")
+	}
+	w.started = true
+	buf := getFrameBuf()
+	defer putFrameBuf(buf)
+	dst, mark := beginBinaryFrame((*buf)[:0], FrameSchema)
+	dst = AppendSchemaPayload(dst, w.id, cols)
+	dst, err := finishBinaryFrame(dst, mark, w.maxFrame)
+	if err != nil {
+		return err
+	}
+	*buf = dst[:0]
+	return w.sess.write(dst)
+}
+
+// Batch implements ResultStream: stages rows for emission. Rows are
+// referenced, not copied — callers must not mutate them afterwards.
+func (w *streamWriter) Batch(rows []tuple.Row) error {
+	if !w.started {
+		return errors.New("server: stream batch before schema")
+	}
+	for _, row := range rows {
+		if len(w.pending) == 0 {
+			w.setSig(row) // first row of a batch defines its signature
+		} else if !w.sigMatches(row) {
+			if err := w.flush(); err != nil {
+				return err
+			}
+			w.setSig(row)
+		}
+		w.pending = append(w.pending, row)
+		w.pendSize += tuple.RowSizeHint(row)
+		if w.pendSize >= w.targetBytes || len(w.pending) >= maxStreamBatchRows {
+			if err := w.flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sigMatches reports whether row matches the pending batch's column type
+// signature (EncodeBatch requires type-homogeneous batches; expression
+// results can legally vary row to row, so we cut batches at changes).
+func (w *streamWriter) sigMatches(row tuple.Row) bool {
+	if len(row) != len(w.sig) {
+		return false
+	}
+	for i, v := range row {
+		if v.T != w.sig[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (w *streamWriter) setSig(row tuple.Row) {
+	w.sig = w.sig[:0]
+	for _, v := range row {
+		w.sig = append(w.sig, v.T)
+	}
+}
+
+// flush encodes and sends the pending rows as one batch frame, waiting
+// for a flow-control credit first.
+func (w *streamWriter) flush() error {
+	if len(w.pending) == 0 {
+		return nil
+	}
+	if err := w.waitCredit(); err != nil {
+		return err
+	}
+	buf := getFrameBuf()
+	defer putFrameBuf(buf)
+	dst, mark := beginBinaryFrame((*buf)[:0], FrameBatch)
+	dst = binary.BigEndian.AppendUint64(dst, w.id)
+	dst, err := tuple.AppendBatch(dst, w.pending, w.compressMin)
+	if err != nil {
+		return err
+	}
+	dst, err = finishBinaryFrame(dst, mark, w.maxFrame)
+	if err != nil {
+		return err
+	}
+	w.rows += int64(len(w.pending))
+	w.batches++
+	w.pending = w.pending[:0]
+	w.pendSize = 0
+	*buf = dst[:0]
+	return w.sess.write(dst)
+}
+
+// waitCredit consumes one send credit, blocking on the client when the
+// window is exhausted. Bounded by the request context (so an abandoned
+// stream times out) and the session lifetime (so a dead connection
+// unblocks immediately).
+func (w *streamWriter) waitCredit() error {
+	for w.avail <= 0 {
+		select {
+		case n := <-w.credits:
+			w.avail += int(n)
+		case <-w.ctx.Done():
+			return Errorf(CodeTimeout, "stream stalled awaiting credit: %v", w.ctx.Err())
+		case <-w.sess.ctx.Done():
+			return errors.New("server: session closed mid-stream")
+		}
+	}
+	// Drain any credits that arrived while we were sending.
+	for {
+		select {
+		case n := <-w.credits:
+			w.avail += int(n)
+		default:
+			w.avail--
+			return nil
+		}
+	}
+}
+
+// end flushes pending rows and sends the terminal frame. When the stream
+// failed before producing its schema frame, the End frame is still the
+// first and only frame — clients handle End-before-Schema.
+func (w *streamWriter) end(tail *StreamEnd) error {
+	if tail.Error == nil {
+		if err := w.flush(); err != nil {
+			// Credit starvation or encode failure: degrade to an error end.
+			tail = &StreamEnd{Error: toWireError(w.ctx, err)}
+		}
+	}
+	tail.Rows = w.rows
+	tail.Batches = w.batches
+	buf := getFrameBuf()
+	defer putFrameBuf(buf)
+	dst, mark := beginBinaryFrame((*buf)[:0], FrameEnd)
+	dst = binary.BigEndian.AppendUint64(dst, w.id)
+	dst, err := appendJSON(dst, tail)
+	if err != nil {
+		return err
+	}
+	dst, err = finishBinaryFrame(dst, mark, w.maxFrame)
+	if err != nil {
+		return err
+	}
+	*buf = dst[:0]
+	return w.sess.write(dst)
+}
+
+// credit is called by the session read loop when a FrameCredit arrives.
+func (w *streamWriter) credit(n uint64) {
+	select {
+	case w.credits <- n:
+	default:
+		// Window is bounded; a client flooding credits beyond the buffer
+		// is misbehaving — dropping extras only ever slows its stream.
+	}
+}

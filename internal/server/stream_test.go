@@ -1,0 +1,621 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"orchestra/internal/tuple"
+)
+
+// streamStub is a StreamingBackend emitting scripted batches.
+type streamStub struct {
+	stubBackend
+	cols    []string
+	batches [][]tuple.Row
+	tail    QueryTail
+	gate    chan struct{} // when set, received before each batch
+}
+
+func (b *streamStub) QueryStream(ctx context.Context, req *QueryRequest, out ResultStream) (*QueryTail, error) {
+	if b.queryErr != nil {
+		return nil, b.queryErr
+	}
+	if err := out.Columns(b.cols); err != nil {
+		return nil, err
+	}
+	for _, rows := range b.batches {
+		if b.gate != nil {
+			select {
+			case <-b.gate:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		if err := out.Batch(rows); err != nil {
+			return nil, err
+		}
+	}
+	t := b.tail
+	return &t, nil
+}
+
+// doHello performs the handshake on a raw test connection and returns
+// the negotiated settings.
+func doHello(t *testing.T, conn net.Conn, br *bufio.Reader, req *HelloRequest) *HelloResponse {
+	t.Helper()
+	if req == nil {
+		req = &HelloRequest{Version: ProtocolVersion, Features: []string{FeatureBinaryStream}}
+	}
+	if err := WriteFrame(conn, &Request{ID: 99, Op: OpHello, Hello: req}); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := readAnyResponse(br, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error != nil {
+		t.Fatalf("hello: %v", resp.Error)
+	}
+	if resp.Hello == nil {
+		t.Fatal("hello: no payload")
+	}
+	return resp.Hello
+}
+
+// readAnyResponse reads one JSON response of either framing.
+func readAnyResponse(br *bufio.Reader, resp *Response) error {
+	kind, payload, _, err := ReadRawFrame(br, MaxFrame)
+	if err != nil {
+		return err
+	}
+	if kind != FrameJSON {
+		return errors.New("not a JSON frame")
+	}
+	return UnmarshalJSONFrame(payload, resp)
+}
+
+func TestHelloNegotiation(t *testing.T) {
+	s := startTestServer(t, &stubBackend{}, Config{StreamWindow: 6})
+	conn := dialTest(t, s)
+	br := bufio.NewReader(conn)
+	h := doHello(t, conn, br, &HelloRequest{
+		Version:  ProtocolVersion,
+		Features: []string{FeatureBinaryStream, "future-feature"},
+		MaxFrame: 1 << 20,
+		Window:   4,
+	})
+	if h.Version != ProtocolVersion {
+		t.Fatalf("version %d", h.Version)
+	}
+	if len(h.Features) != 1 || h.Features[0] != FeatureBinaryStream {
+		t.Fatalf("features %v: unknown features must not be echoed", h.Features)
+	}
+	if h.MaxFrame != 1<<20 {
+		t.Fatalf("max frame %d, want the client's lower 1MiB", h.MaxFrame)
+	}
+	if h.Window != 4 {
+		t.Fatalf("window %d, want min(4, 6)", h.Window)
+	}
+	// Hello is accounted like any op.
+	if st := s.Stats(); st.Ops[OpHello].Count != 1 {
+		t.Fatalf("hello count %d", st.Ops[OpHello].Count)
+	}
+}
+
+func TestHelloWithoutBinaryKeepsJSON(t *testing.T) {
+	stub := &stubBackend{}
+	s := startTestServer(t, stub, Config{})
+	conn := dialTest(t, s)
+	br := bufio.NewReader(conn)
+	h := doHello(t, conn, br, &HelloRequest{Version: ProtocolVersion})
+	if len(h.Features) != 0 {
+		t.Fatalf("features %v", h.Features)
+	}
+	// A Stream query on a JSON session is answered as plain JSON.
+	req := &Request{ID: 5, Op: OpQuery, Query: &QueryRequest{SQL: "q", Stream: true}}
+	if err := WriteFrame(conn, req); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := readAnyResponse(br, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error != nil || resp.Query == nil {
+		t.Fatalf("stream-on-json fallback: %+v", resp)
+	}
+}
+
+// TestStreamedQueryFrames drives the full frame sequence against a
+// scripted streaming backend and checks shape, content, and IDs.
+func TestStreamedQueryFrames(t *testing.T) {
+	rows := func(lo, hi int) []tuple.Row {
+		var out []tuple.Row
+		for i := lo; i < hi; i++ {
+			out = append(out, tuple.Row{tuple.I(int64(i)), tuple.S("v")})
+		}
+		return out
+	}
+	stub := &streamStub{
+		cols:    []string{"a", "b"},
+		batches: [][]tuple.Row{rows(0, 10), rows(10, 25)},
+		tail:    QueryTail{Epoch: 42, Phases: 1},
+	}
+	s := startTestServer(t, stub, Config{})
+	conn := dialTest(t, s)
+	br := bufio.NewReader(conn)
+	doHello(t, conn, br, nil)
+
+	const reqID = 777
+	if err := WriteFrame(conn, &Request{ID: reqID, Op: OpQuery,
+		Query: &QueryRequest{SQL: "q", Stream: true}}); err != nil {
+		t.Fatal(err)
+	}
+	kind, payload, _, err := ReadRawFrame(br, MaxFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != FrameSchema {
+		t.Fatalf("first frame %v, want schema", kind)
+	}
+	id, cols, err := DecodeSchemaPayload(payload)
+	if err != nil || id != reqID {
+		t.Fatalf("schema: id=%d err=%v", id, err)
+	}
+	if len(cols) != 2 || cols[0] != "a" || cols[1] != "b" {
+		t.Fatalf("cols %v", cols)
+	}
+	var got []tuple.Row
+	for {
+		kind, payload, _, err = ReadRawFrame(br, MaxFrame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind == FrameBatch {
+			id, rows, err := DecodeBatchPayload(payload)
+			if err != nil || id != reqID {
+				t.Fatalf("batch: id=%d err=%v", id, err)
+			}
+			got = append(got, rows...)
+			continue
+		}
+		break
+	}
+	if kind != FrameEnd {
+		t.Fatalf("terminal frame %v, want end", kind)
+	}
+	id, end, err := DecodeEndPayload(payload)
+	if err != nil || id != reqID {
+		t.Fatalf("end: id=%d err=%v", id, err)
+	}
+	if end.Error != nil || end.Epoch != 42 || end.Rows != 25 {
+		t.Fatalf("end: %+v", end)
+	}
+	if len(got) != 25 {
+		t.Fatalf("streamed %d rows, want 25", len(got))
+	}
+	for i, r := range got {
+		if r[0].I64 != int64(i) || r[1].Str != "v" {
+			t.Fatalf("row %d: %v", i, r)
+		}
+	}
+}
+
+// TestStreamCreditBackpressure negotiates a window of 1 and shows (a)
+// the server stalls after one un-acknowledged batch, (b) other requests
+// still interleave on the connection mid-stream, and (c) credits resume
+// the stream to completion.
+func TestStreamCreditBackpressure(t *testing.T) {
+	big := make([]tuple.Row, 2000)
+	for i := range big {
+		big[i] = tuple.Row{tuple.I(int64(i)), tuple.S("padpadpadpadpadpadpadpad")}
+	}
+	stub := &streamStub{
+		cols:    []string{"a", "b"},
+		batches: [][]tuple.Row{big[:700], big[700:1400], big[1400:]},
+	}
+	s := startTestServer(t, stub, Config{})
+	conn := dialTest(t, s)
+	br := bufio.NewReader(conn)
+	// Negotiate a small frame cap so the byte target (maxFrame/4 = 16KiB)
+	// cuts the ~70KiB result into several wire batches; window 1 then
+	// stalls the stream after each un-credited batch.
+	h := doHello(t, conn, br, &HelloRequest{
+		Version: ProtocolVersion, Features: []string{FeatureBinaryStream},
+		Window: 1, MaxFrame: 64 << 10,
+	})
+	if h.Window != 1 {
+		t.Fatalf("window %d", h.Window)
+	}
+	const reqID = 9
+	if err := WriteFrame(conn, &Request{ID: reqID, Op: OpQuery,
+		Query: &QueryRequest{SQL: "q", Stream: true}}); err != nil {
+		t.Fatal(err)
+	}
+	// Schema, then exactly one batch; the server now owes us nothing
+	// until we grant credit.
+	kind, _, _, err := ReadRawFrame(br, MaxFrame)
+	if err != nil || kind != FrameSchema {
+		t.Fatalf("kind=%v err=%v", kind, err)
+	}
+	kind, payload, _, err := ReadRawFrame(br, MaxFrame)
+	if err != nil || kind != FrameBatch {
+		t.Fatalf("kind=%v err=%v", kind, err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	_, rows1, err := DecodeBatchPayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave: a ping mid-stream gets its response while the stream
+	// is stalled on credit.
+	if err := WriteFrame(conn, &Request{ID: 10, Op: OpPing}); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := readAnyResponse(br, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 10 || resp.Error != nil {
+		t.Fatalf("interleaved ping: %+v", resp)
+	}
+	// Grant credits until the stream completes.
+	total := len(rows1)
+	for {
+		credit := AppendCreditPayload(nil, reqID, 1)
+		frame, err := AppendBinaryFrame(nil, FrameCredit, credit, MaxFrame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+		kind, payload, _, err := ReadRawFrame(br, MaxFrame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind == FrameEnd {
+			_, end, err := DecodeEndPayload(payload)
+			if err != nil || end.Error != nil {
+				t.Fatalf("end: %+v err=%v", end, err)
+			}
+			if int(end.Rows) != len(big) {
+				t.Fatalf("end rows %d, want %d", end.Rows, len(big))
+			}
+			break
+		}
+		if kind != FrameBatch {
+			t.Fatalf("kind=%v", kind)
+		}
+		_, rows, err := DecodeBatchPayload(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(rows)
+	}
+	if total != len(big) {
+		t.Fatalf("streamed %d rows, want %d", total, len(big))
+	}
+}
+
+// TestStreamHeterogeneousRowTypes: result rows whose column types vary
+// row to row (legal for expression results) must be cut into
+// type-homogeneous batches, never co-batched or dropped.
+func TestStreamHeterogeneousRowTypes(t *testing.T) {
+	var rows []tuple.Row
+	for i := 0; i < 30; i++ {
+		switch i % 3 {
+		case 0:
+			rows = append(rows, tuple.Row{tuple.I(int64(i))})
+		case 1:
+			rows = append(rows, tuple.Row{tuple.S(fmt.Sprintf("s%d", i))})
+		default:
+			rows = append(rows, tuple.Row{tuple.F(float64(i))})
+		}
+	}
+	stub := &streamStub{cols: []string{"x"}, batches: [][]tuple.Row{rows}}
+	s := startTestServer(t, stub, Config{StreamWindow: 64})
+	conn := dialTest(t, s)
+	br := bufio.NewReader(conn)
+	doHello(t, conn, br, nil)
+	if err := WriteFrame(conn, &Request{ID: 1, Op: OpQuery,
+		Query: &QueryRequest{SQL: "q", Stream: true}}); err != nil {
+		t.Fatal(err)
+	}
+	var got []tuple.Row
+	for {
+		kind, payload, _, err := ReadRawFrame(br, MaxFrame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch kind {
+		case FrameSchema:
+		case FrameBatch:
+			_, batch, err := DecodeBatchPayload(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, batch...)
+		case FrameEnd:
+			_, end, err := DecodeEndPayload(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if end.Error != nil {
+				t.Fatalf("heterogeneous stream failed: %v", end.Error)
+			}
+			if len(got) != len(rows) {
+				t.Fatalf("streamed %d rows, want %d", len(got), len(rows))
+			}
+			for i := range rows {
+				if !got[i].Equal(rows[i]) || got[i][0].T != rows[i][0].T {
+					t.Fatalf("row %d: %v (type %v) != %v", i, got[i], got[i][0].T, rows[i])
+				}
+			}
+			return
+		default:
+			t.Fatalf("unexpected %v frame", kind)
+		}
+	}
+}
+
+// TestStreamDuplicateIDRejected: a second streamed query reusing an
+// active stream's ID is refused with an error End frame (its frames
+// would be un-demultiplexable), and the first stream is unaffected.
+func TestStreamDuplicateIDRejected(t *testing.T) {
+	rows := make([]tuple.Row, 4)
+	for i := range rows {
+		rows[i] = tuple.Row{tuple.I(int64(i))}
+	}
+	gate := make(chan struct{})
+	stub := &streamStub{cols: []string{"x"}, batches: [][]tuple.Row{rows}, gate: gate}
+	s := startTestServer(t, stub, Config{MaxConcurrentQueries: 4})
+	conn := dialTest(t, s)
+	br := bufio.NewReader(conn)
+	doHello(t, conn, br, nil)
+	// First stream: parks before its batch, holding ID 5 active.
+	if err := WriteFrame(conn, &Request{ID: 5, Op: OpQuery,
+		Query: &QueryRequest{SQL: "q", Stream: true}}); err != nil {
+		t.Fatal(err)
+	}
+	kind, _, _, err := ReadRawFrame(br, MaxFrame)
+	if err != nil || kind != FrameSchema {
+		t.Fatalf("kind=%v err=%v", kind, err)
+	}
+	// Second stream reusing ID 5 is rejected outright.
+	if err := WriteFrame(conn, &Request{ID: 5, Op: OpQuery,
+		Query: &QueryRequest{SQL: "q", Stream: true}}); err != nil {
+		t.Fatal(err)
+	}
+	kind, payload, _, err := ReadRawFrame(br, MaxFrame)
+	if err != nil || kind != FrameEnd {
+		t.Fatalf("kind=%v err=%v", kind, err)
+	}
+	if _, end, err := DecodeEndPayload(payload); err != nil ||
+		end.Error == nil || end.Error.Code != CodeBadRequest {
+		t.Fatalf("end %+v err=%v, want bad_request", end, err)
+	}
+	// The first stream completes untouched.
+	close(gate)
+	var got int
+	for {
+		kind, payload, _, err := ReadRawFrame(br, MaxFrame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind == FrameBatch {
+			_, batch, err := DecodeBatchPayload(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got += len(batch)
+			continue
+		}
+		if kind != FrameEnd {
+			t.Fatalf("kind=%v", kind)
+		}
+		if _, end, err := DecodeEndPayload(payload); err != nil || end.Error != nil {
+			t.Fatalf("first stream end %+v err=%v", end, err)
+		}
+		break
+	}
+	if got != len(rows) {
+		t.Fatalf("first stream rows %d, want %d", got, len(rows))
+	}
+}
+
+// TestStreamErrorInEndFrame: a failing query on a stream request is
+// reported in the End frame, and the session survives.
+func TestStreamErrorInEndFrame(t *testing.T) {
+	stub := &streamStub{}
+	stub.queryErr = errors.New("boom")
+	s := startTestServer(t, stub, Config{})
+	conn := dialTest(t, s)
+	br := bufio.NewReader(conn)
+	doHello(t, conn, br, nil)
+	if err := WriteFrame(conn, &Request{ID: 3, Op: OpQuery,
+		Query: &QueryRequest{SQL: "q", Stream: true}}); err != nil {
+		t.Fatal(err)
+	}
+	kind, payload, _, err := ReadRawFrame(br, MaxFrame)
+	if err != nil || kind != FrameEnd {
+		t.Fatalf("kind=%v err=%v", kind, err)
+	}
+	id, end, err := DecodeEndPayload(payload)
+	if err != nil || id != 3 {
+		t.Fatal(err)
+	}
+	if end.Error == nil || end.Error.Code != CodeInternal {
+		t.Fatalf("end error %+v", end.Error)
+	}
+	// Session alive.
+	if err := WriteFrame(conn, &Request{ID: 4, Op: OpPing}); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := readAnyResponse(br, &resp); err != nil || resp.Error != nil {
+		t.Fatalf("session died: %v %v", err, resp.Error)
+	}
+}
+
+// TestStreamFallbackChunksBufferedBackend: a backend without
+// StreamingBackend still serves stream requests (server-side re-chunk).
+func TestStreamFallbackChunksBufferedBackend(t *testing.T) {
+	s := startTestServer(t, &stubBackend{}, Config{})
+	conn := dialTest(t, s)
+	br := bufio.NewReader(conn)
+	doHello(t, conn, br, nil)
+	if err := WriteFrame(conn, &Request{ID: 8, Op: OpQuery,
+		Query: &QueryRequest{SQL: "q", Stream: true}}); err != nil {
+		t.Fatal(err)
+	}
+	kind, payload, _, err := ReadRawFrame(br, MaxFrame)
+	if err != nil || kind != FrameSchema {
+		t.Fatalf("kind=%v err=%v", kind, err)
+	}
+	kind, payload, _, err = ReadRawFrame(br, MaxFrame)
+	if err != nil || kind != FrameBatch {
+		t.Fatalf("kind=%v err=%v", kind, err)
+	}
+	_, rows, err := DecodeBatchPayload(payload)
+	if err != nil || len(rows) != 1 || rows[0][0].I64 != 1 {
+		t.Fatalf("rows %v err=%v", rows, err)
+	}
+	kind, payload, _, err = ReadRawFrame(br, MaxFrame)
+	if err != nil || kind != FrameEnd {
+		t.Fatalf("kind=%v err=%v", kind, err)
+	}
+	if _, end, err := DecodeEndPayload(payload); err != nil || end.Error != nil || end.Epoch != 3 {
+		t.Fatalf("end %+v err=%v", end, err)
+	}
+}
+
+// TestInboundFrameTooLarge: the server reports frame_too_large before
+// closing instead of silently dropping the connection.
+func TestInboundFrameTooLarge(t *testing.T) {
+	s := startTestServer(t, &stubBackend{}, Config{MaxFrame: 1 << 10})
+	conn := dialTest(t, s)
+	br := bufio.NewReader(conn)
+	big := &Request{ID: 1, Op: OpQuery, Query: &QueryRequest{SQL: string(make([]byte, 4<<10))}}
+	if err := WriteFrame(conn, big); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if err := readAnyResponse(br, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == nil || resp.Error.Code != CodeFrameTooLarge {
+		t.Fatalf("got %+v, want frame_too_large", resp.Error)
+	}
+	// The connection is closed afterwards (framing lost).
+	if err := readAnyResponse(br, &resp); err == nil {
+		t.Fatal("connection survived unreadable frame")
+	}
+}
+
+// TestOversizedJSONResultFailsRequest: a result bigger than the frame
+// cap fails that request with frame_too_large; the session survives and
+// the same query succeeds via streaming.
+func TestOversizedJSONResultFailsRequest(t *testing.T) {
+	var rows []tuple.Row
+	for i := 0; i < 3000; i++ {
+		rows = append(rows, tuple.Row{tuple.I(int64(i)), tuple.S("pad pad pad pad pad pad")})
+	}
+	stub := &streamStub{cols: []string{"a", "b"}, batches: [][]tuple.Row{rows}}
+	stub.queryResp = &QueryResponse{Columns: []string{"a", "b"}, Rows: EncodeRows(rows), Epoch: 3}
+	s := startTestServer(t, stub, Config{MaxFrame: 16 << 10})
+	conn := dialTest(t, s)
+	br := bufio.NewReader(conn)
+
+	if err := WriteFrame(conn, &Request{ID: 1, Op: OpQuery, Query: &QueryRequest{SQL: "big"}}); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := readAnyResponse(br, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error == nil || resp.Error.Code != CodeFrameTooLarge {
+		t.Fatalf("got %+v, want frame_too_large", resp.Error)
+	}
+
+	// Same result via streaming completes: each batch frame fits.
+	doHello(t, conn, br, nil)
+	if err := WriteFrame(conn, &Request{ID: 2, Op: OpQuery,
+		Query: &QueryRequest{SQL: "big", Stream: true}}); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	for {
+		kind, payload, _, err := ReadRawFrame(br, MaxFrame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch kind {
+		case FrameSchema:
+		case FrameBatch:
+			_, batch, err := DecodeBatchPayload(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n += len(batch)
+			// Keep the credit window sliding: with a 16KiB frame cap the
+			// result spans far more batch frames than the default window.
+			credit := AppendCreditPayload(nil, 2, 1)
+			frame, err := AppendBinaryFrame(nil, FrameCredit, credit, MaxFrame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := conn.Write(frame); err != nil {
+				t.Fatal(err)
+			}
+		case FrameEnd:
+			_, end, err := DecodeEndPayload(payload)
+			if err != nil || end.Error != nil {
+				t.Fatalf("end %+v err=%v", end, err)
+			}
+			if n != len(rows) {
+				t.Fatalf("streamed %d rows, want %d", n, len(rows))
+			}
+			return
+		default:
+			t.Fatalf("unexpected %v frame", kind)
+		}
+	}
+}
+
+// TestWireRowsJSON checks the append-based row encoder against
+// encoding/json output and the NaN rejection.
+func TestWireRowsJSON(t *testing.T) {
+	rows := []tuple.Row{
+		{tuple.I(5), tuple.F(2), tuple.F(2.5), tuple.S("x")},
+		{tuple.I(-7), tuple.F(1e300), tuple.F(-0.125), tuple.S("quote\"back\\slash\nnewline\x01ctl")},
+	}
+	got, err := json.Marshal(EncodeRows(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The encoder's output must itself be valid JSON that decodes to the
+	// same values.
+	var wire WireRows
+	if err := wire.UnmarshalJSON(got); err != nil {
+		t.Fatalf("self-decode: %v (payload %s)", err, got)
+	}
+	if len(wire.Any) != 2 {
+		t.Fatalf("rows %d", len(wire.Any))
+	}
+	if v, _ := DecodeValue(wire.Any[1][3]); v != "quote\"back\\slash\nnewline\x01ctl" {
+		t.Fatalf("string mangled: %q", v)
+	}
+	if v, _ := DecodeValue(wire.Any[0][1]); v != float64(2) {
+		t.Fatalf("integral float mangled: %v", v)
+	}
+	if v, _ := DecodeValue(wire.Any[0][0]); v != int64(5) {
+		t.Fatalf("int mangled: %v", v)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
 
 // Batch codec. The query processor batches tuples into blocks by destination,
@@ -15,30 +16,94 @@ import (
 // in a format that exploits their commonalities (§V-A). We marshal
 // column-major — values of one attribute are adjacent, so flate's LZ77 window
 // sees their shared prefixes/structure — and compress with compress/flate.
+//
+// The same format is the wire representation of streamed query results
+// (internal/server): a batch is self-describing (row count, arity, per-column
+// type tags), so the serving path ships engine rows without re-encoding them
+// per value.
 
 const (
 	batchVersion     = 1
 	flagCompressed   = 0x01
 	minCompressBytes = 256 // below this, compression overhead dominates
+	// maxBatchBody caps a batch's decompressed body — far above any
+	// legitimate batch (wire batches are cut at ~256KiB), far below a
+	// decompression bomb.
+	maxBatchBody = 1 << 30
 )
+
+// flate writers are expensive to construct (~tens of KB of window state);
+// reuse them across batches. Readers are cheap but reusable too.
+var flateWriterPool = sync.Pool{
+	New: func() any {
+		fw, err := flate.NewWriter(io.Discard, flate.BestSpeed)
+		if err != nil {
+			panic(err) // BestSpeed is a valid level
+		}
+		return fw
+	},
+}
 
 // EncodeBatch serializes rows column-major and compresses the payload. All
 // rows must have the same arity and positional types. Empty batches are
 // legal.
 func EncodeBatch(rows []Row) ([]byte, error) {
-	var body []byte
-	body = binary.AppendUvarint(body, uint64(len(rows)))
+	return AppendBatch(nil, rows, minCompressBytes)
+}
+
+// AppendBatch appends the batch encoding of rows to dst and returns the
+// extended slice, reusing dst's capacity — the allocation-lean variant for
+// hot paths that encode many batches. minCompress sets the raw-body size at
+// which flate compression kicks in; pass a negative value to never compress
+// (e.g. loopback serving, where the CPU spent compressing exceeds the wire
+// bytes saved). Decoding handles both forms transparently.
+func AppendBatch(dst []byte, rows []Row, minCompress int) ([]byte, error) {
+	mark := len(dst)
+	dst = append(dst, batchVersion, 0)
+	body, err := appendBatchBody(dst, rows)
+	if err != nil {
+		return nil, err
+	}
+	rawLen := len(body) - mark - 2
+	if minCompress < 0 || rawLen < minCompress {
+		return body, nil
+	}
+	// Compress the body in place semantics: flate the raw body into a
+	// scratch buffer, then overwrite. If compression did not help (e.g.
+	// random strings), keep it anyway: framing simplicity beats the rare
+	// byte savings.
+	var cbuf bytes.Buffer
+	cbuf.Grow(rawLen / 2)
+	fw := flateWriterPool.Get().(*flate.Writer)
+	fw.Reset(&cbuf)
+	if _, err := fw.Write(body[mark+2:]); err != nil {
+		flateWriterPool.Put(fw)
+		return nil, fmt.Errorf("tuple: compress batch: %w", err)
+	}
+	if err := fw.Close(); err != nil {
+		flateWriterPool.Put(fw)
+		return nil, fmt.Errorf("tuple: compress batch: %w", err)
+	}
+	flateWriterPool.Put(fw)
+	body = body[:mark+2]
+	body[mark+1] = flagCompressed
+	return append(body, cbuf.Bytes()...), nil
+}
+
+// appendBatchBody appends the uncompressed column-major body.
+func appendBatchBody(dst []byte, rows []Row) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, uint64(len(rows)))
 	arity := 0
 	if len(rows) > 0 {
 		arity = len(rows[0])
 	}
-	body = binary.AppendUvarint(body, uint64(arity))
+	dst = binary.AppendUvarint(dst, uint64(arity))
 	for c := 0; c < arity; c++ {
 		t := rows[0][c].T
 		if !t.IsValidType() {
 			return nil, fmt.Errorf("tuple: batch column %d has invalid type", c)
 		}
-		body = append(body, byte(t))
+		dst = append(dst, byte(t))
 		for r, row := range rows {
 			if len(row) != arity {
 				return nil, fmt.Errorf("tuple: batch row %d arity %d != %d", r, len(row), arity)
@@ -49,39 +114,38 @@ func EncodeBatch(rows []Row) ([]byte, error) {
 			}
 			switch t {
 			case Int64:
-				body = binary.AppendVarint(body, v.I64)
+				dst = binary.AppendVarint(dst, v.I64)
 			case Float64:
 				var b [8]byte
 				binary.BigEndian.PutUint64(b[:], math.Float64bits(v.F64))
-				body = append(body, b[:]...)
+				dst = append(dst, b[:]...)
 			case String:
-				body = binary.AppendUvarint(body, uint64(len(v.Str)))
-				body = append(body, v.Str...)
+				dst = binary.AppendUvarint(dst, uint64(len(v.Str)))
+				dst = append(dst, v.Str...)
 			}
 		}
 	}
+	return dst, nil
+}
 
-	if len(body) < minCompressBytes {
-		out := make([]byte, 0, len(body)+2)
-		out = append(out, batchVersion, 0)
-		return append(out, body...), nil
+// RowSizeHint estimates one row's encoded (uncompressed) size — used by
+// streaming writers to cut batches near a target frame size without
+// encoding twice.
+func RowSizeHint(row Row) int {
+	n := 0
+	for _, v := range row {
+		switch v.T {
+		case Int64:
+			n += 5 // varint, typical
+		case Float64:
+			n += 8
+		case String:
+			n += len(v.Str) + 2
+		default:
+			n += 1
+		}
 	}
-	var cbuf bytes.Buffer
-	cbuf.WriteByte(batchVersion)
-	cbuf.WriteByte(flagCompressed)
-	fw, err := flate.NewWriter(&cbuf, flate.BestSpeed)
-	if err != nil {
-		return nil, fmt.Errorf("tuple: flate: %w", err)
-	}
-	if _, err := fw.Write(body); err != nil {
-		return nil, fmt.Errorf("tuple: compress batch: %w", err)
-	}
-	if err := fw.Close(); err != nil {
-		return nil, fmt.Errorf("tuple: compress batch: %w", err)
-	}
-	// If compression did not help (e.g. random strings), keep it anyway:
-	// framing simplicity beats the rare byte savings.
-	return cbuf.Bytes(), nil
+	return n
 }
 
 // IsValidType reports whether t is a known column type.
@@ -99,9 +163,15 @@ func DecodeBatch(data []byte) ([]Row, error) {
 	body := data[2:]
 	if flags&flagCompressed != 0 {
 		fr := flate.NewReader(bytes.NewReader(body))
-		decompressed, err := io.ReadAll(fr)
+		// Bound decompression before reading: flate expands up to ~1032x,
+		// so a small malicious frame could otherwise balloon to tens of
+		// GB before the dims guard below ever runs.
+		decompressed, err := io.ReadAll(io.LimitReader(fr, maxBatchBody+1))
 		if err != nil {
 			return nil, fmt.Errorf("tuple: decompress batch: %w", err)
+		}
+		if len(decompressed) > maxBatchBody {
+			return nil, fmt.Errorf("tuple: batch decompresses past %d bytes", maxBatchBody)
 		}
 		if err := fr.Close(); err != nil {
 			return nil, fmt.Errorf("tuple: decompress batch: %w", err)
@@ -128,6 +198,13 @@ func DecodeBatch(data []byte) ([]Row, error) {
 	}
 	if nRows > 1<<28 || arity > 1<<16 {
 		return nil, fmt.Errorf("tuple: implausible batch dims %d x %d", nRows, arity)
+	}
+	// A decompressed body bounds the values it can carry: every value costs
+	// at least one byte, so reject dims the payload cannot possibly hold
+	// before allocating nRows*arity value slots (guards fuzzed/malicious
+	// headers; the dims caps above keep the product far from overflow).
+	if arity > 0 && nRows*arity > uint64(len(body)) {
+		return nil, fmt.Errorf("tuple: batch dims %d x %d exceed payload %dB", nRows, arity, len(body))
 	}
 	rows := make([]Row, nRows)
 	if nRows == 0 {
@@ -166,7 +243,7 @@ func DecodeBatch(data []byte) ([]Row, error) {
 				if err != nil {
 					return nil, err
 				}
-				if off+int(l) > len(body) {
+				if l > uint64(len(body)-off) {
 					return nil, errors.New("tuple: truncated string in batch")
 				}
 				rows[r][c] = S(string(body[off : off+int(l)]))

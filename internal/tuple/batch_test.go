@@ -1,0 +1,329 @@
+package tuple
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randBatchRows builds a random type-homogeneous batch: random column
+// signature, then values drawn per type (including adversarial ones:
+// extreme ints, ±0, NaN-adjacent floats, empty/NUL/long strings).
+func randBatchRows(rng *rand.Rand, nRows, arity int) []Row {
+	types := make([]Type, arity)
+	for i := range types {
+		types[i] = Type(rng.Intn(3) + 1)
+	}
+	rows := make([]Row, nRows)
+	for r := range rows {
+		row := make(Row, arity)
+		for c, t := range types {
+			switch t {
+			case Int64:
+				switch rng.Intn(4) {
+				case 0:
+					row[c] = I(rng.Int63() - rng.Int63())
+				case 1:
+					row[c] = I(math.MaxInt64)
+				case 2:
+					row[c] = I(math.MinInt64)
+				default:
+					row[c] = I(int64(rng.Intn(1000)))
+				}
+			case Float64:
+				switch rng.Intn(4) {
+				case 0:
+					row[c] = F(rng.NormFloat64() * 1e18)
+				case 1:
+					row[c] = F(math.Copysign(0, -1))
+				case 2:
+					row[c] = F(math.MaxFloat64)
+				default:
+					row[c] = F(float64(rng.Intn(100)) / 4)
+				}
+			case String:
+				switch rng.Intn(4) {
+				case 0:
+					row[c] = S("")
+				case 1:
+					row[c] = S("with\x00nul\nand\tctrl")
+				case 2:
+					row[c] = S(strings.Repeat("pad", rng.Intn(200)))
+				default:
+					row[c] = S(fmt.Sprintf("k%06d", rng.Intn(1e6)))
+				}
+			}
+		}
+		rows[r] = row
+	}
+	return rows
+}
+
+// TestBatchRoundTripProperty round-trips randomized batches across all
+// types, shapes, and both compression regimes.
+func TestBatchRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		nRows := rng.Intn(300)
+		arity := rng.Intn(6) + 1
+		rows := randBatchRows(rng, nRows, arity)
+		// Alternate the codec entry points and compression thresholds.
+		var enc []byte
+		var err error
+		switch trial % 3 {
+		case 0:
+			enc, err = EncodeBatch(rows)
+		case 1:
+			enc, err = AppendBatch(nil, rows, -1) // never compress
+		default:
+			enc, err = AppendBatch(make([]byte, 0, 64), rows, 1) // always compress
+		}
+		if err != nil {
+			t.Fatalf("trial %d: encode: %v", trial, err)
+		}
+		got, err := DecodeBatch(enc)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if len(got) != len(rows) {
+			t.Fatalf("trial %d: %d rows, want %d", trial, len(got), len(rows))
+		}
+		for i := range rows {
+			if len(got[i]) != len(rows[i]) {
+				t.Fatalf("trial %d row %d: arity %d, want %d", trial, i, len(got[i]), len(rows[i]))
+			}
+			for j := range rows[i] {
+				a, b := rows[i][j], got[i][j]
+				if a.T != b.T || a.I64 != b.I64 || a.Str != b.Str ||
+					math.Float64bits(a.F64) != math.Float64bits(b.F64) {
+					t.Fatalf("trial %d row %d col %d: %v != %v", trial, i, j, b, a)
+				}
+			}
+		}
+	}
+}
+
+// TestAppendBatchReusesScratch verifies AppendBatch appends after
+// existing bytes and reuses capacity instead of allocating fresh.
+func TestAppendBatchReusesScratch(t *testing.T) {
+	rows := []Row{{I(1), S("a")}, {I(2), S("b")}}
+	scratch := make([]byte, 0, 4096)
+	scratch = append(scratch, 0xAA, 0xBB)
+	out, err := AppendBatch(scratch, rows, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0xAA || out[1] != 0xBB {
+		t.Fatal("prefix clobbered")
+	}
+	if &out[0] != &scratch[0] {
+		t.Fatal("AppendBatch reallocated despite sufficient capacity")
+	}
+	got, err := DecodeBatch(out[2:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !got[0].Equal(rows[0]) || !got[1].Equal(rows[1]) {
+		t.Fatalf("round trip mangled rows: %v", got)
+	}
+}
+
+// TestBatchHuge exercises a batch well past the streaming chunk size.
+func TestBatchHuge(t *testing.T) {
+	const n = 50_000
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{I(int64(i)), F(float64(i) / 3), S(fmt.Sprintf("key-%09d", i))}
+	}
+	enc, err := EncodeBatch(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatch(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("%d rows, want %d", len(got), n)
+	}
+	for _, i := range []int{0, 1, n / 2, n - 1} {
+		if !got[i].Equal(rows[i]) {
+			t.Fatalf("row %d: %v != %v", i, got[i], rows[i])
+		}
+	}
+}
+
+// TestDecodeBatchRejectsMalformed feeds corrupted encodings and expects
+// an error, never a panic or a bogus success.
+func TestDecodeBatchRejectsMalformed(t *testing.T) {
+	good, err := EncodeBatch([]Row{{I(42), S("hello"), F(2.5)}, {I(-1), S(""), F(0)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":          {},
+		"one byte":       {batchVersion},
+		"bad version":    append([]byte{99}, good[1:]...),
+		"truncated body": good[:len(good)-1],
+		"header only":    good[:2],
+		"implausible dims": append([]byte{batchVersion, 0},
+			0xff, 0xff, 0xff, 0xff, 0x7f, 0x03),
+		"bogus compressed": {batchVersion, flagCompressed, 0xde, 0xad, 0xbe, 0xef},
+	}
+	for name, data := range cases {
+		if _, err := DecodeBatch(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Truncation at every prefix must error, not panic (the two-byte
+	// header of an empty batch is the only valid prefix).
+	raw, err := AppendBatch(nil, []Row{{I(7), S("x")}}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(raw); i++ {
+		if _, err := DecodeBatch(raw[:i]); err == nil && i != 2 {
+			t.Errorf("prefix %d/%d accepted", i, len(raw))
+		}
+	}
+}
+
+// TestDecodeBatchDimsBomb rejects headers whose claimed dimensions
+// exceed what the payload could possibly carry (allocation guard).
+func TestDecodeBatchDimsBomb(t *testing.T) {
+	var b []byte
+	b = append(b, batchVersion, 0)
+	b = appendUvarintT(b, 1<<27) // rows
+	b = appendUvarintT(b, 1<<15) // arity
+	b = append(b, byte(Int64), 1, 1, 1)
+	if _, err := DecodeBatch(b); err == nil {
+		t.Fatal("dims bomb accepted")
+	}
+	// Modest row count but huge arity: the rows*arity product must be
+	// checked, not the row count alone (a 2KB payload claiming 100k x
+	// 64k would otherwise force a ~250GiB Value allocation).
+	b = b[:0]
+	b = append(b, batchVersion, 0)
+	b = appendUvarintT(b, 100_000)
+	b = appendUvarintT(b, 1<<16)
+	b = append(b, make([]byte, 2048)...)
+	if _, err := DecodeBatch(b); err == nil {
+		t.Fatal("rows*arity bomb accepted")
+	}
+}
+
+func appendUvarintT(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// FuzzDecodeBatch asserts DecodeBatch never panics and that everything
+// it accepts re-encodes to an equivalent batch.
+func FuzzDecodeBatch(f *testing.F) {
+	seedRows := [][]Row{
+		nil,
+		{{I(1)}},
+		{{I(1), F(2.5), S("x")}, {I(-9), F(0), S("")}},
+		randBatchRows(rand.New(rand.NewSource(1)), 40, 3),
+	}
+	for _, rows := range seedRows {
+		if enc, err := EncodeBatch(rows); err == nil {
+			f.Add(enc)
+		}
+		if enc, err := AppendBatch(nil, rows, 1); err == nil {
+			f.Add(enc)
+		}
+	}
+	f.Add([]byte{batchVersion, 0, 0x80})
+	f.Add([]byte{batchVersion, flagCompressed, 0x01, 0x02})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rows, err := DecodeBatch(data)
+		if err != nil {
+			return
+		}
+		enc, err := EncodeBatch(rows)
+		if err != nil {
+			// Mixed-type columns cannot come out of DecodeBatch; any
+			// accepted input must re-encode.
+			t.Fatalf("decoded batch does not re-encode: %v", err)
+		}
+		again, err := DecodeBatch(enc)
+		if err != nil {
+			t.Fatalf("re-encoded batch does not decode: %v", err)
+		}
+		if len(again) != len(rows) {
+			t.Fatalf("row count changed: %d != %d", len(again), len(rows))
+		}
+		for i := range rows {
+			for j := range rows[i] {
+				a, b := rows[i][j], again[i][j]
+				if a.T != b.T || a.I64 != b.I64 || a.Str != b.Str ||
+					math.Float64bits(a.F64) != math.Float64bits(b.F64) {
+					t.Fatalf("row %d col %d changed: %v != %v", i, j, b, a)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkWireEncodeBatch measures the streaming path's batch encode
+// (no compression — the loopback configuration).
+func BenchmarkWireEncodeBatch(b *testing.B) {
+	rows := benchRows(1024)
+	var scratch []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		scratch, err = AppendBatch(scratch[:0], rows, -1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(scratch)))
+}
+
+// BenchmarkWireEncodeBatchCompressed includes flate (the WAN config).
+func BenchmarkWireEncodeBatchCompressed(b *testing.B) {
+	rows := benchRows(1024)
+	var scratch []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		scratch, err = AppendBatch(scratch[:0], rows, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(scratch)))
+}
+
+// BenchmarkWireDecodeBatch measures the client-side decode.
+func BenchmarkWireDecodeBatch(b *testing.B) {
+	enc, err := AppendBatch(nil, benchRows(1024), -1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeBatch(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchRows(n int) []Row {
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{S(fmt.Sprintf("k%06d", i)), I(int64(i % 17)), I(int64(i))}
+	}
+	return rows
+}

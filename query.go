@@ -69,6 +69,49 @@ func (c *Cluster) Query(src string) (*Result, error) {
 	return c.QueryOpts(src, QueryOptions{})
 }
 
+// resultBatchRows is the granularity at which QueryBatches hands rows to
+// its consumer. The wire layer re-chunks by encoded size, so this only
+// bounds how much the emit callback sees at once.
+const resultBatchRows = 1024
+
+// QueryBatches executes a query and emits the answer through callbacks
+// in row batches instead of returning it attached to the Result — the
+// serving path for streamed results. start receives the completed
+// query's metadata (columns, epoch, plan; Rows nil) exactly once before
+// the first batch; emit then receives the rows in batches, and the same
+// metadata Result is returned at the end.
+//
+// The engine's exactly-once contract requires the complete,
+// duplicate-free answer set to exist at the initiator before any row is
+// final (restart/incremental recovery may replace partial state, and
+// final sort/aggregate/limit operators act on the whole set), so batches
+// are drained from that answer under the consumer's backpressure rather
+// than produced speculatively mid-query; what this path eliminates is
+// the second, wire-encoded copy of the result. Emitted batches alias
+// engine memory and must not be mutated.
+func (c *Cluster) QueryBatches(src string, opts QueryOptions, start func(*Result) error, emit func(rows []tuple.Row) error) (*Result, error) {
+	res, err := c.QueryOpts(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	meta := *res
+	meta.Rows = nil
+	if err := start(&meta); err != nil {
+		return nil, err
+	}
+	rows := res.Rows
+	for lo := 0; lo < len(rows); lo += resultBatchRows {
+		hi := lo + resultBatchRows
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		if err := emit(rows[lo:hi]); err != nil {
+			return nil, err
+		}
+	}
+	return &meta, nil
+}
+
 // QueryOpts parses, optimizes, and executes a single-block SQL query.
 func (c *Cluster) QueryOpts(src string, opts QueryOptions) (*Result, error) {
 	if hit, key, views := c.viewLookup(src, opts); views != nil {

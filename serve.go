@@ -2,10 +2,12 @@ package orchestra
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"orchestra/internal/server"
+	"orchestra/internal/sql"
 	"orchestra/internal/tuple"
 )
 
@@ -25,6 +27,16 @@ type ServeOptions struct {
 	// OnQueryStart, when set, runs at the start of every query execution
 	// while its admission slot is held (instrumentation hook).
 	OnQueryStart func()
+	// MaxFrame bounds a single wire frame (default server.MaxFrame).
+	// Results larger than this must use the binary streaming path, which
+	// bounds per-batch frames instead of the whole result.
+	MaxFrame int64
+	// StreamWindow is the per-stream credit window offered to streaming
+	// clients, in batch frames (default server.DefaultStreamWindow).
+	StreamWindow int
+	// StreamCompressMin sets the raw batch size at which streamed batches
+	// are flate-compressed (0 = default 4 KiB, negative = never).
+	StreamCompressMin int
 }
 
 // Server is a wire-protocol endpoint serving this cluster; see
@@ -56,6 +68,9 @@ func (c *Cluster) Serve(addr string, opts ServeOptions) (*Server, error) {
 		MaxConcurrentQueries: opts.MaxConcurrentQueries,
 		RequestTimeout:       opts.RequestTimeout,
 		OnQueryStart:         opts.OnQueryStart,
+		MaxFrame:             opts.MaxFrame,
+		StreamWindow:         opts.StreamWindow,
+		StreamCompressMin:    opts.StreamCompressMin,
 	})
 	if err != nil {
 		return nil, err
@@ -67,6 +82,16 @@ func (c *Cluster) Serve(addr string, opts ServeOptions) (*Server, error) {
 type clusterBackend struct {
 	c    *Cluster
 	node int
+}
+
+// wireQueryError types untyped embedded-query failures for the wire:
+// SQL parse errors are the client's fault, not the server's.
+func wireQueryError(err error) error {
+	var se *sql.Error
+	if errors.As(err, &se) {
+		return server.Errorf(server.CodeBadRequest, "%v", err)
+	}
+	return err
 }
 
 func (b *clusterBackend) Create(ctx context.Context, req *server.CreateRequest) (tuple.Epoch, error) {
@@ -96,10 +121,11 @@ func (b *clusterBackend) Publish(ctx context.Context, req *server.PublishRequest
 	return b.c.PublishTyped(b.node, req.Relation, rows)
 }
 
-func (b *clusterBackend) Query(ctx context.Context, req *server.QueryRequest) (*server.QueryResponse, error) {
+// queryOptions maps a wire query request onto embedded query options.
+func (b *clusterBackend) queryOptions(ctx context.Context, req *server.QueryRequest) (QueryOptions, error) {
 	rec, err := server.RecoveryMode(req.Recovery)
 	if err != nil {
-		return nil, err
+		return QueryOptions{}, err
 	}
 	opts := QueryOptions{
 		Node:       b.node,
@@ -112,13 +138,21 @@ func (b *clusterBackend) Query(ctx context.Context, req *server.QueryRequest) (*
 		if d <= 0 {
 			// Don't let an expired budget fall through to RunPlan's
 			// 5-minute default while holding an admission slot.
-			return nil, server.Errorf(server.CodeTimeout, "request deadline expired before execution")
+			return QueryOptions{}, server.Errorf(server.CodeTimeout, "request deadline expired before execution")
 		}
 		opts.Timeout = d
 	}
-	res, err := b.c.QueryOpts(req.SQL, opts)
+	return opts, nil
+}
+
+func (b *clusterBackend) Query(ctx context.Context, req *server.QueryRequest) (*server.QueryResponse, error) {
+	opts, err := b.queryOptions(ctx, req)
 	if err != nil {
 		return nil, err
+	}
+	res, err := b.c.QueryOpts(req.SQL, opts)
+	if err != nil {
+		return nil, wireQueryError(err)
 	}
 	qr := &server.QueryResponse{
 		Columns:  res.Columns,
@@ -132,6 +166,32 @@ func (b *clusterBackend) Query(ctx context.Context, req *server.QueryRequest) (*
 		qr.Plan = res.Plan
 	}
 	return qr, nil
+}
+
+// QueryStream implements server.StreamingBackend: the result flows to
+// the wire as row batches under the stream's flow control, never as one
+// materialized wire-encoded response.
+func (b *clusterBackend) QueryStream(ctx context.Context, req *server.QueryRequest, out server.ResultStream) (*server.QueryTail, error) {
+	opts, err := b.queryOptions(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	res, err := b.c.QueryBatches(req.SQL, opts,
+		func(meta *Result) error { return out.Columns(meta.Columns) },
+		out.Batch)
+	if err != nil {
+		return nil, wireQueryError(err)
+	}
+	tail := &server.QueryTail{
+		Epoch:    uint64(res.Epoch),
+		Cached:   res.Cached,
+		Phases:   res.Phases,
+		Restarts: res.Restarts,
+	}
+	if req.Explain {
+		tail.Plan = res.Plan
+	}
+	return tail, nil
 }
 
 func (b *clusterBackend) Catalog(ctx context.Context, rel string) (*server.SchemaResponse, error) {
