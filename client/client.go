@@ -49,6 +49,8 @@ var (
 	// ErrBinaryUnsupported reports that the server does not speak the
 	// binary streaming extension while Options.Codec required it.
 	ErrBinaryUnsupported = errors.New("server does not support binary streaming")
+	// ErrCancelled reports a stream terminated by a cancel frame.
+	ErrCancelled = errors.New("stream cancelled")
 	// ErrServer reports any other server-side failure.
 	ErrServer = errors.New("server error")
 )
@@ -75,6 +77,8 @@ func (e *Error) Unwrap() error {
 		return ErrTimeout
 	case server.CodeFrameTooLarge:
 		return ErrFrameTooLarge
+	case server.CodeCancelled:
+		return ErrCancelled
 	}
 	return ErrServer
 }
@@ -807,10 +811,77 @@ func (s *Stream) Columns() []string {
 // Err returns the stream's terminal error, if any.
 func (s *Stream) Err() error { return s.err }
 
-// Close releases the stream's connection. A stream abandoned before its
-// End frame drops the connection (its remaining frames are undrained);
-// fully consumed streams return it to the pool. Close is idempotent.
+// Cancel abandons a stream in flight while keeping the connection (and
+// its negotiated protocol state) usable: it sends a cancel frame, then
+// drains frames until the server's terminal End arrives. The server
+// stops emitting batches and returns the query's admission slot. After a
+// clean cancel, Err reports nil and the connection returns to the pool.
+// Cancelling a finished or fallback stream is a no-op.
+func (s *Stream) Cancel() error {
+	if s.fallback != nil || s.done {
+		return nil
+	}
+	if s.cc.ctx.Err() != nil {
+		// The caller's context is already gone: the watchdog forced the
+		// connection deadline, so a cancel round-trip would only delay.
+		// Drop the connection instead of draining.
+		s.fail(s.cc.wrapErr(errors.New("orchestra client: stream closed before end")))
+		return nil
+	}
+	buf := server.AppendCancelPayload(make([]byte, 0, 8), s.id)
+	frame, err := server.AppendBinaryFrame(make([]byte, 0, 16), server.FrameCancel, buf, s.conn.maxFrame)
+	if err == nil {
+		_, err = s.conn.Write(frame)
+	}
+	if err != nil {
+		s.fail(s.cc.wrapErr(fmt.Errorf("orchestra client: cancel: %w", err)))
+		return s.err
+	}
+	// Bound the drain so a wedged server cannot hold the caller: the
+	// server acks promptly (End follows at most a window of batches).
+	s.conn.SetDeadline(time.Now().Add(10 * time.Second))
+	for {
+		kind, payload, isBinary, err := s.readFrame()
+		if err != nil {
+			s.fail(err)
+			return s.err
+		}
+		s.wireBytes += frameWireSize(payload, isBinary)
+		switch kind {
+		case server.FrameBatch:
+			// Discard: in-flight batches the server sent before seeing the
+			// cancel. No credits are granted — the server is past waiting.
+		case server.FrameEnd:
+			_, end, err := server.DecodeEndPayload(payload)
+			if err != nil {
+				s.fail(err)
+				return s.err
+			}
+			s.done = true
+			s.end = end
+			if end.Error != nil && end.Error.Code != server.CodeCancelled {
+				// The query failed for its own reasons before the cancel
+				// landed; surface that, not the cancellation.
+				s.err = &Error{Code: end.Error.Code, Message: end.Error.Message}
+			}
+			s.finishConn(true)
+			return s.err
+		default:
+			s.fail(fmt.Errorf("orchestra client: unexpected %v frame draining cancelled stream", kind))
+			return s.err
+		}
+	}
+}
+
+// Close releases the stream's connection. A binary stream abandoned
+// before its End frame is cancelled first (see Cancel), so the
+// connection usually survives into the pool; if the cancel itself fails
+// the connection is dropped. Fully consumed streams return their
+// connection directly. Close is idempotent.
 func (s *Stream) Close() error {
+	if !s.done && s.fallback == nil && s.cc != nil {
+		return s.Cancel()
+	}
 	if !s.done {
 		s.done = true
 		if s.err == nil {

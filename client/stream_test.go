@@ -308,3 +308,88 @@ func TestStreamContextCancel(t *testing.T) {
 		t.Logf("stream error after cancel: %v", err)
 	}
 }
+
+// TestStreamCancelKeepsConnection: abandoning a QueryStream mid-flight
+// cancels it on the server instead of dropping the connection — the same
+// pooled connection (PoolSize 1) then serves further queries, and the
+// server's admission slots drain back to zero.
+func TestStreamCancelKeepsConnection(t *testing.T) {
+	// A small frame cap cuts the result into many wire batches, so the
+	// cancel lands mid-stream with the credit window full and batches in
+	// flight — the interesting case.
+	_, srv := serveCluster(t, 1, orchestra.ServeOptions{MaxFrame: 64 << 10})
+	seedWide(t, srv.Addr(), 4000)
+	cl, err := client.Dial(srv.Addr(), client.Options{PoolSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	st, err := cl.QueryStream(ctx, "SELECT k, grp, v, f FROM wide WHERE v >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Next() {
+		t.Fatalf("no first batch: %v", st.Err())
+	}
+	got := len(st.Batch())
+	if err := st.Cancel(); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	if err := st.Err(); err != nil {
+		t.Fatalf("Err after clean cancel: %v", err)
+	}
+	if st.Next() {
+		t.Fatal("Next advanced after cancel")
+	}
+	if got == 0 {
+		t.Fatal("expected some rows before cancelling")
+	}
+
+	// The pooled connection survived the cancel and serves more queries.
+	for i := 0; i < 3; i++ {
+		res, err := cl.Query(ctx, "SELECT k FROM wide WHERE v < 10")
+		if err != nil {
+			t.Fatalf("post-cancel query %d: %v", i, err)
+		}
+		if len(res.Rows) != 10 || !res.Streamed {
+			t.Fatalf("post-cancel query %d: %d rows, streamed=%v", i, len(res.Rows), res.Streamed)
+		}
+	}
+
+	// Close after cancel is a no-op; Close of a live stream cancels too.
+	if err := st.Close(); err != nil {
+		t.Fatalf("close after cancel: %v", err)
+	}
+	st2, err := cl.QueryStream(ctx, "SELECT k, grp, v, f FROM wide WHERE v >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Next() {
+		t.Fatalf("stream 2: no first batch: %v", st2.Err())
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatalf("close mid-stream: %v", err)
+	}
+	res, err := cl.Query(ctx, "SELECT k FROM wide WHERE v < 5")
+	if err != nil || len(res.Rows) != 5 {
+		t.Fatalf("query after close-cancel: %d rows, err=%v", len(res.Rows), err)
+	}
+
+	// Admission slots all returned.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		stt, err := cl.Status(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stt.InFlightQueries == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("in-flight queries stuck at %d", stt.InFlightQueries)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

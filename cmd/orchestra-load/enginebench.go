@@ -1,0 +1,141 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"sort"
+	"time"
+
+	"orchestra"
+	"orchestra/internal/tuple"
+)
+
+// engineBenchRecord is one engine-scan run's machine-readable result,
+// appended to BENCH_engine.json. Unlike the wire benchmark it bypasses
+// the serving stack entirely: queries run on an embedded single-node
+// cluster pinned to one core, so the numbers isolate the engine scan
+// path (B-tree pass, predicate, decode, ship) from codec and transport.
+type engineBenchRecord struct {
+	Timestamp     string  `json:"timestamp"`
+	Workload      string  `json:"workload"`
+	Note          string  `json:"note,omitempty"`
+	Rows          int     `json:"rows"`
+	ResultRows    int     `json:"resultrows"`
+	DurationS     float64 `json:"duration_s"`
+	Queries       int     `json:"queries"`
+	QPS           float64 `json:"qps"`
+	ScanRowsPerS  float64 `json:"scan_rows_per_s"`
+	OutRowsPerS   float64 `json:"out_rows_per_s"`
+	MeanUs        int64   `json:"mean_us"`
+	P50Us         int64   `json:"p50_us"`
+	P99Us         int64   `json:"p99_us"`
+	ProvenanceQPS float64 `json:"provenance_qps,omitempty"`
+}
+
+// runEngineBench drives the scan-heavy engine workload: a single-node
+// embedded cluster, GOMAXPROCS(1), one closed loop of filtered scans
+// over a rows-sized relation. resultRows bounds the answer per query
+// via a range predicate on a non-key column, so the full distributed
+// scan machinery runs (index side, ID shipment, data pass, filter,
+// project, ship) with nothing hidden behind a covering shortcut.
+func runEngineBench(rows, resultRows int, duration time.Duration, note, out string) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	if resultRows <= 0 || resultRows > rows {
+		resultRows = rows
+	}
+	c, err := orchestra.NewCluster(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Shutdown()
+	if err := c.CreateRelation(orchestra.NewSchema("load", "k:string", "grp:int", "v:int").Key("k")); err != nil {
+		log.Fatal(err)
+	}
+	const batch = 1000
+	for lo := 0; lo < rows; lo += batch {
+		hi := lo + batch
+		if hi > rows {
+			hi = rows
+		}
+		b := make([]tuple.Row, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			b = append(b, tuple.Row{tuple.S(fmt.Sprintf("k%06d", i)), tuple.I(int64(i % 17)), tuple.I(int64(i))})
+		}
+		if _, err := c.PublishTyped(0, "load", b); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	q := fmt.Sprintf("SELECT k, grp, v FROM load WHERE v >= 0 AND v < %d", resultRows)
+	if res, err := c.Query(q); err != nil {
+		log.Fatal(err)
+	} else if len(res.Rows) != resultRows {
+		log.Fatalf("engine bench: query answered %d rows, want %d", len(res.Rows), resultRows)
+	}
+
+	var lat []time.Duration
+	t0 := time.Now()
+	for time.Since(t0) < duration {
+		qs := time.Now()
+		if _, err := c.Query(q); err != nil {
+			log.Fatal(err)
+		}
+		lat = append(lat, time.Since(qs))
+	}
+	elapsed := time.Since(t0)
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	pct := func(p float64) time.Duration { return lat[int(p/100*float64(len(lat)-1))] }
+	qps := float64(len(lat)) / elapsed.Seconds()
+
+	// A short provenance-mode pass, so the recovery-support overhead on
+	// the scan path stays visible across PRs.
+	provN := 0
+	pt0 := time.Now()
+	for time.Since(pt0) < duration/4 {
+		if _, err := c.QueryOpts(q, orchestra.QueryOptions{Provenance: true}); err != nil {
+			log.Fatal(err)
+		}
+		provN++
+	}
+	provQPS := float64(provN) / time.Since(pt0).Seconds()
+
+	rec := &engineBenchRecord{
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+		Workload:      "engine-scan",
+		Note:          note,
+		Rows:          rows,
+		ResultRows:    resultRows,
+		DurationS:     elapsed.Seconds(),
+		Queries:       len(lat),
+		QPS:           qps,
+		ScanRowsPerS:  qps * float64(rows),
+		OutRowsPerS:   qps * float64(resultRows),
+		MeanUs:        (sum / time.Duration(len(lat))).Microseconds(),
+		P50Us:         pct(50).Microseconds(),
+		P99Us:         pct(99).Microseconds(),
+		ProvenanceQPS: provQPS,
+	}
+	fmt.Printf("\n--- orchestra-load engine-scan: %d rows, %d result rows, 1 core ---\n", rows, resultRows)
+	fmt.Printf("queries:    %d in %s (%.0f/s)\n", len(lat), elapsed.Round(time.Millisecond), qps)
+	fmt.Printf("scan rate:  %.0f scanned rows/s, %.0f result rows/s\n", rec.ScanRowsPerS, rec.OutRowsPerS)
+	fmt.Printf("latency:    mean %s  p50 %s  p99 %s\n",
+		(sum / time.Duration(len(lat))).Round(time.Microsecond),
+		pct(50).Round(time.Microsecond), pct(99).Round(time.Microsecond))
+	fmt.Printf("provenance: %.0f queries/s\n", provQPS)
+
+	if out != "" {
+		if err := appendBenchRecord(out, rec); err != nil {
+			log.Printf("orchestra-load: write %s: %v", out, err)
+		} else {
+			log.Printf("run recorded in %s", out)
+		}
+	}
+}

@@ -58,7 +58,22 @@ func main() {
 	useCache := flag.Bool("cache", false, "local mode: enable the cluster's materialized-view cache")
 	seed := flag.Bool("seed", false, "create and seed the load relation on external endpoints too")
 	out := flag.String("out", "BENCH_wire.json", "append the run record to this JSON file (empty: skip)")
+	engineBench := flag.Bool("enginebench", false, "run the scan-heavy engine workload (embedded, single core, no wire) instead of the wire load")
+	note := flag.String("note", "", "free-form label recorded with the run")
 	flag.Parse()
+
+	if *engineBench {
+		o := *out
+		if o == "BENCH_wire.json" {
+			o = "BENCH_engine.json"
+		}
+		er := *rows
+		if !isFlagSet("rows") {
+			er = 5000 // the ROADMAP's reference scan size
+		}
+		runEngineBench(er, *resultRows, *duration, *note, o)
+		return
+	}
 
 	var endpoints []string
 	var cleanup func()
@@ -102,6 +117,17 @@ func main() {
 			log.Printf("run recorded in %s", *out)
 		}
 	}
+}
+
+// isFlagSet reports whether the named flag was passed explicitly.
+func isFlagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 // selfHost starts an n-node in-process cluster and serves every node on
@@ -371,7 +397,7 @@ func run(ctx context.Context, endpoints, queries []string, clients int, codec st
 }
 
 // appendBenchRecord merges the run into the {"runs": [...]} file at path.
-func appendBenchRecord(path string, rec *benchRecord) error {
+func appendBenchRecord(path string, rec any) error {
 	var doc struct {
 		Runs []json.RawMessage `json:"runs"`
 	}

@@ -1,0 +1,95 @@
+package orchestra
+
+// Engine scan-path microbenchmarks (single node, no wire): the reference
+// workload for the batched-pipeline / compiled-predicate optimization
+// work. CI runs these as a smoke test alongside the Wire codec benches;
+// cmd/orchestra-load -enginebench runs the same shape for longer and
+// records BENCH_engine.json.
+
+import (
+	"fmt"
+	"testing"
+
+	"orchestra/internal/tuple"
+)
+
+const engineScanRows = 5000
+
+func loadScanRelation(rows int) func(*Cluster) error {
+	return func(c *Cluster) error {
+		if err := c.CreateRelation(NewSchema("scanload", "k:string", "grp:int", "v:int").Key("k")); err != nil {
+			return err
+		}
+		const batch = 1000
+		for lo := 0; lo < rows; lo += batch {
+			hi := lo + batch
+			if hi > rows {
+				hi = rows
+			}
+			b := make([]tuple.Row, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				b = append(b, tuple.Row{tuple.S(fmt.Sprintf("k%06d", i)), tuple.I(int64(i % 17)), tuple.I(int64(i))})
+			}
+			if _, err := c.PublishTyped(0, "scanload", b); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func benchEngineScan(b *testing.B, sqlText string, wantRows int) {
+	b.Helper()
+	c := benchCluster(b, "enginescan1", 1, loadScanRelation(engineScanRows))
+	res, err := c.Query(sqlText)
+	if err != nil {
+		b.Fatalf("warm: %v", err)
+	}
+	if len(res.Rows) != wantRows {
+		b.Fatalf("query answered %d rows, want %d", len(res.Rows), wantRows)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query(sqlText); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(engineScanRows)*float64(b.N)/b.Elapsed().Seconds(), "scanrows/s")
+}
+
+// BenchmarkEngineScanFiltered is the reference 5k-row filtered scan: a
+// range predicate on a non-key column, so every stored tuple is scanned
+// and filtered (nothing is satisfied by the index side alone).
+func BenchmarkEngineScanFiltered(b *testing.B) {
+	benchEngineScan(b,
+		fmt.Sprintf("SELECT k, grp, v FROM scanload WHERE v >= 0 AND v < %d", engineScanRows),
+		engineScanRows)
+}
+
+// BenchmarkEngineScanSelective keeps 10% of the scanned rows: the
+// filter-dominated variant (select cost amortizes over dropped rows).
+func BenchmarkEngineScanSelective(b *testing.B) {
+	benchEngineScan(b,
+		fmt.Sprintf("SELECT k, grp, v FROM scanload WHERE v >= %d AND v < %d", engineScanRows/2, engineScanRows/2+engineScanRows/10),
+		engineScanRows/10)
+}
+
+// BenchmarkEngineScanProvenance measures the filtered scan with
+// provenance tracking on (the recovery-support overhead of §VI-E on the
+// scan path).
+func BenchmarkEngineScanProvenance(b *testing.B) {
+	c := benchCluster(b, "enginescan1", 1, loadScanRelation(engineScanRows))
+	q := fmt.Sprintf("SELECT k, grp, v FROM scanload WHERE v >= 0 AND v < %d", engineScanRows)
+	if _, err := c.QueryOpts(q, QueryOptions{Provenance: true}); err != nil {
+		b.Fatalf("warm: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.QueryOpts(q, QueryOptions{Provenance: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(engineScanRows)*float64(b.N)/b.Elapsed().Seconds(), "scanrows/s")
+}

@@ -389,12 +389,14 @@ func (n *Node) scanPageImpl(payload []byte) ([]byte, error) {
 	table := n.Table()
 	byOwner := make(map[ring.NodeID][]tuple.ID)
 	matched := 0
-	for _, id := range page.IDs {
+	page.EnsureHashes() // route by the page's cached placement hashes
+	for i, id := range page.IDs {
 		if !r.Pred.Match(id.Key) {
 			continue
 		}
 		matched++
-		byOwner[table.Owner(id.Hash())] = append(byOwner[table.Owner(id.Hash())], id)
+		owner := table.Owner(page.Hashes[i])
+		byOwner[owner] = append(byOwner[owner], id)
 	}
 	for owner, ids := range byOwner {
 		fwd := encodeFetchFwd(r.ScanID, r.Requester, ids)

@@ -126,6 +126,72 @@ func ProvFromKey(k string) Prov {
 	return p
 }
 
+// Bitset is a plain selection bitset: the batch predicate evaluators mark
+// the rows of a column-major batch that pass a filter, and the batch is
+// compacted in one pass over the set bits. Distinct from Prov only in
+// intent — Prov encodes node sets with set-algebra semantics, Bitset is a
+// transient per-batch row mask.
+type Bitset []uint64
+
+// NewBitset returns a zeroed bitset with capacity for n bits.
+func NewBitset(n int) Bitset { return make(Bitset, (n+63)/64) }
+
+// Set marks bit i.
+func (s Bitset) Set(i int) { s[i>>6] |= 1 << (uint(i) & 63) }
+
+// Has reports whether bit i is set.
+func (s Bitset) Has(i int) bool { return s[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Clear zeroes every bit.
+func (s Bitset) Clear() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// SetFirst sets bits [0, n).
+func (s Bitset) SetFirst(n int) {
+	for i := 0; i < n>>6; i++ {
+		s[i] = ^uint64(0)
+	}
+	if rem := uint(n) & 63; rem != 0 {
+		s[n>>6] |= (1 << rem) - 1
+	}
+}
+
+// Count returns the number of set bits.
+func (s Bitset) Count() int {
+	c := 0
+	for _, w := range s {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// AndWith intersects s with o in place.
+func (s Bitset) AndWith(o Bitset) {
+	for i := range s {
+		s[i] &= o[i]
+	}
+}
+
+// OrWith unions o into s in place.
+func (s Bitset) OrWith(o Bitset) {
+	for i := range s {
+		s[i] |= o[i]
+	}
+}
+
+// FlipFirst complements bits [0, n).
+func (s Bitset) FlipFirst(n int) {
+	for i := 0; i < n>>6; i++ {
+		s[i] = ^s[i]
+	}
+	if rem := uint(n) & 63; rem != 0 {
+		s[n>>6] ^= (1 << rem) - 1
+	}
+}
+
 // Tup is a tuple flowing through the engine: the row, its provenance, and
 // the execution phase that produced it. Phases correspond to the initial
 // execution (0) and successive incremental recovery invocations (§V-D);

@@ -1,0 +1,269 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"orchestra/internal/tuple"
+)
+
+// randValue draws a value of the given type; invalid (zero) values are
+// mixed in by randRow, not here.
+func randValue(rng *rand.Rand, t tuple.Type) tuple.Value {
+	switch t {
+	case tuple.Int64:
+		return tuple.I(rng.Int63n(7) - 3)
+	case tuple.Float64:
+		switch rng.Intn(8) {
+		case 0:
+			return tuple.F(math.NaN())
+		case 1:
+			return tuple.F(math.Inf(1))
+		case 2:
+			return tuple.F(math.Copysign(0, -1))
+		default:
+			return tuple.F(float64(rng.Intn(7)-3) / 2)
+		}
+	default:
+		return tuple.S(string(rune('a' + rng.Intn(4))))
+	}
+}
+
+func randType(rng *rand.Rand) tuple.Type {
+	return tuple.Type(rng.Intn(3) + 1)
+}
+
+// randExpr builds a random expression tree over arity columns.
+func randExpr(rng *rand.Rand, arity, depth int) Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		if rng.Intn(2) == 0 {
+			return Col{Idx: rng.Intn(arity)}
+		}
+		if rng.Intn(8) == 0 {
+			return Const{} // invalid literal: Eval must still agree
+		}
+		return Const{Val: randValue(rng, randType(rng))}
+	}
+	if rng.Intn(6) == 0 {
+		return Not{E: randExpr(rng, arity, depth-1)}
+	}
+	ops := []OpCode{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpAdd, OpSub, OpMul, OpDiv, OpAnd, OpOr, OpConcat}
+	return Bin{
+		Op: ops[rng.Intn(len(ops))],
+		L:  randExpr(rng, arity, depth-1),
+		R:  randExpr(rng, arity, depth-1),
+	}
+}
+
+func valueEqual(a, b tuple.Value) bool {
+	if a.T != b.T {
+		return false
+	}
+	if a.T == tuple.Float64 {
+		if math.IsNaN(a.F64) && math.IsNaN(b.F64) {
+			return true
+		}
+	}
+	return a == b
+}
+
+// TestCompiledScalarMatchesInterpreted is the compiled-vs-interpreted
+// property test over random trees and random row contents, including
+// invalid (zero) values, NaN/Inf floats, and every operator.
+func TestCompiledScalarMatchesInterpreted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const arity = 4
+	for trial := 0; trial < 5000; trial++ {
+		e := randExpr(rng, arity, 3)
+		cf := compileExpr(e)
+		pf := compilePred(e)
+		row := make(tuple.Row, arity)
+		for i := range row {
+			if rng.Intn(10) == 0 {
+				row[i] = tuple.Value{} // invalid value on the row
+			} else {
+				row[i] = randValue(rng, randType(rng))
+			}
+		}
+		want := e.Eval(row)
+		if got := cf(row); !valueEqual(got, want) {
+			t.Fatalf("trial %d: %s over %v:\n  compiled %v\n  interpreted %v", trial, e, row, got, want)
+		}
+		if got := pf(row); got != truth(want) {
+			t.Fatalf("trial %d: pred %s over %v: compiled %v, interpreted %v", trial, e, row, got, truth(want))
+		}
+	}
+}
+
+// TestCompiledBatchMatchesInterpreted checks the batch/bitset evaluator
+// against interpreted Eval over column-typed batches with randomized type
+// mixes (batches are type-homogeneous per column, as the scan produces).
+func TestCompiledBatchMatchesInterpreted(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 2000; trial++ {
+		arity := rng.Intn(3) + 1
+		types := make([]tuple.Type, arity)
+		for i := range types {
+			types[i] = randType(rng)
+		}
+		n := rng.Intn(130) // cross the 64-bit word boundary sometimes
+		var b tuple.Batch
+		b.ResetTypes(types)
+		rows := make([]tuple.Row, n)
+		for r := 0; r < n; r++ {
+			row := make(tuple.Row, arity)
+			for c := range row {
+				row[c] = randValue(rng, types[c])
+			}
+			rows[r] = row
+			if err := b.AppendRow(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e := randExpr(rng, arity, 3)
+		bf := compileBatchPred(e)
+		sel := NewBitset(n)
+		bf(&b, sel)
+		for r := 0; r < n; r++ {
+			want := truth(e.Eval(rows[r]))
+			if got := sel.Has(r); got != want {
+				t.Fatalf("trial %d row %d: %s over %v: batch %v, interpreted %v",
+					trial, r, e, rows[r], got, want)
+			}
+		}
+	}
+}
+
+// TestCompiledCmpColConstShapes pins the vectorized column-vs-literal
+// fast paths against the interpreter for every comparison operator and
+// type pairing, including the NaN-compares-equal quirk of Value.Cmp.
+func TestCompiledCmpColConstShapes(t *testing.T) {
+	colVals := map[tuple.Type][]tuple.Value{
+		tuple.Int64:   {tuple.I(-2), tuple.I(0), tuple.I(3)},
+		tuple.Float64: {tuple.F(-1.5), tuple.F(0), tuple.F(2.5), tuple.F(math.NaN())},
+		tuple.String:  {tuple.S(""), tuple.S("a"), tuple.S("b")},
+	}
+	consts := []tuple.Value{
+		tuple.I(0), tuple.I(3), tuple.F(0), tuple.F(2.5), tuple.F(math.NaN()),
+		tuple.S("a"), {},
+	}
+	ops := []OpCode{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	for colType, vals := range colVals {
+		for _, cv := range consts {
+			for _, op := range ops {
+				e := Bin{Op: op, L: Col{Idx: 0}, R: Const{Val: cv}}
+				var b tuple.Batch
+				b.ResetTypes([]tuple.Type{colType})
+				for _, v := range vals {
+					if err := b.AppendRow(tuple.Row{v}); err != nil {
+						t.Fatal(err)
+					}
+				}
+				bf := compileBatchPred(e)
+				pf := compilePred(e)
+				sel := NewBitset(b.N)
+				bf(&b, sel)
+				for r, v := range vals {
+					row := tuple.Row{v}
+					want := truth(e.Eval(row))
+					if got := pf(row); got != want {
+						t.Errorf("scalar %v %s %v: got %v want %v", v, op, cv, got, want)
+					}
+					if got := sel.Has(r); got != want {
+						t.Errorf("batch %v %s %v: got %v want %v", v, op, cv, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBitsetOps(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 130} {
+		s := NewBitset(n)
+		s.SetFirst(n)
+		if got := s.Count(); got != n {
+			t.Fatalf("SetFirst(%d).Count() = %d", n, got)
+		}
+		s.FlipFirst(n)
+		if got := s.Count(); got != 0 {
+			t.Fatalf("FlipFirst(%d) left %d bits", n, got)
+		}
+	}
+	s := NewBitset(100)
+	s.Set(3)
+	s.Set(77)
+	o := NewBitset(100)
+	o.Set(77)
+	o.Set(99)
+	and := append(Bitset(nil), s...)
+	and.AndWith(o)
+	if and.Count() != 1 || !and.Has(77) {
+		t.Fatalf("AndWith wrong: %v", and)
+	}
+	s.OrWith(o)
+	if s.Count() != 3 || !s.Has(3) || !s.Has(77) || !s.Has(99) {
+		t.Fatalf("OrWith wrong: %v", s)
+	}
+}
+
+// FuzzCompiledPred cross-checks compiled vs interpreted evaluation on
+// fuzz-derived expression shapes and row contents.
+func FuzzCompiledPred(f *testing.F) {
+	f.Add(int64(1), int64(2))
+	f.Add(int64(-9), int64(0))
+	f.Fuzz(func(t *testing.T, seed, vseed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		e := randExpr(rng, 3, 4)
+		vrng := rand.New(rand.NewSource(vseed))
+		row := tuple.Row{
+			randValue(vrng, randType(vrng)),
+			randValue(vrng, randType(vrng)),
+			randValue(vrng, randType(vrng)),
+		}
+		want := e.Eval(row)
+		if got := compileExpr(e)(row); !valueEqual(got, want) {
+			t.Fatalf("%s over %v: compiled %v, interpreted %v", e, row, got, want)
+		}
+	})
+}
+
+var benchSink bool
+
+// BenchmarkPredicate compares interpreted, compiled-scalar, and batch
+// predicate evaluation on the reference filter shape.
+func BenchmarkPredicate(b *testing.B) {
+	pred := B(OpAnd, B(OpGe, C(2), CI(1000)), B(OpLt, C(2), CI(4000)))
+	rows := make([]tuple.Row, 1024)
+	var batch tuple.Batch
+	batch.ResetTypes([]tuple.Type{tuple.String, tuple.Int64, tuple.Int64})
+	for i := range rows {
+		rows[i] = tuple.Row{tuple.S(fmt.Sprintf("k%06d", i)), tuple.I(int64(i % 17)), tuple.I(int64(i * 5))}
+		if err := batch.AppendRow(rows[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("Interpreted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink = truth(pred.Eval(rows[i%len(rows)]))
+		}
+	})
+	b.Run("CompiledScalar", func(b *testing.B) {
+		pf := compilePred(pred)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchSink = pf(rows[i%len(rows)])
+		}
+	})
+	b.Run("CompiledBatch", func(b *testing.B) {
+		bf := compileBatchPred(pred)
+		b.ResetTimer()
+		for i := 0; i < b.N; i += batch.N {
+			sel := NewBitset(batch.N)
+			bf(&batch, sel)
+			benchSink = sel.Has(0)
+		}
+	})
+}

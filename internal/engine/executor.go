@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"orchestra/internal/cluster"
+	"orchestra/internal/keyspace"
 	"orchestra/internal/ring"
 	"orchestra/internal/transport"
 	"orchestra/internal/tuple"
@@ -190,7 +191,8 @@ func (r *Result) TotalStats() NodeStats {
 // on the node's transport endpoint and hosts one executor per in-flight
 // query (local or remote).
 type Engine struct {
-	node *cluster.Node
+	node  *cluster.Node
+	pages *pageCache // decoded index pages, shared across queries
 
 	mu    sync.Mutex
 	execs map[uint64]*executor
@@ -201,6 +203,7 @@ type Engine struct {
 func New(node *cluster.Node) *Engine {
 	e := &Engine{
 		node:  node,
+		pages: newPageCache(defaultPageCachePages),
 		execs: make(map[uint64]*executor),
 	}
 	e.registerHandlers()
@@ -338,11 +341,11 @@ func (ex *executor) build(n Node, out sink) error {
 		ex.scans[t.ScanID] = leaf
 		return nil
 	case *SelectNode:
-		return ex.build(t.Child, &selectOp{pred: t.Pred, out: out})
+		return ex.build(t.Child, newSelectOp(t.Pred, out))
 	case *ProjectNode:
-		return ex.build(t.Child, &projectOp{cols: t.Cols, out: out})
+		return ex.build(t.Child, &projectOp{cols: t.Cols, out: out, outB: asBatchSink(out)})
 	case *ComputeNode:
-		return ex.build(t.Child, &computeOp{exprs: t.Exprs, out: out})
+		return ex.build(t.Child, &computeOp{fns: compileExprs(t.Exprs), out: out})
 	case *JoinNode:
 		j := newJoinOp(t.LeftKeys, t.RightKeys, ex.phaseNow, out)
 		ex.recoverables = append(ex.recoverables, j)
@@ -448,6 +451,16 @@ func cloneTups(ts []Tup) []Tup {
 	return out
 }
 
+// loopbackTups prepares a batch for loopback delivery: without provenance
+// there are no shared bitsets to protect, so the batch is handed over
+// as-is (senders never reuse pushed slices).
+func (ex *executor) loopbackTups(ts []Tup) []Tup {
+	if !ex.opts.Provenance {
+		return ts
+	}
+	return cloneTups(ts)
+}
+
 // --- message sending ---
 
 func (ex *executor) header(dst []byte) []byte {
@@ -462,7 +475,7 @@ func (ex *executor) sendExchBatch(exchID int, dest ring.NodeID, ts []Tup) {
 	if dest == ex.self() {
 		if cons := ex.consumers[exchID]; cons != nil {
 			ex.stats.addExchRecv(len(ts))
-			cons.receive(cloneTups(ts))
+			cons.receive(ex.loopbackTups(ts))
 		}
 		return
 	}
@@ -495,12 +508,13 @@ func (ex *executor) broadcastExchEOS(exchID int, phase uint32) {
 	}
 }
 
-// sendScanIDs ships filtered tuple IDs from the index side to a data
-// storage node (Algorithm 1's inner request).
-func (ex *executor) sendScanIDs(scanID int, dest ring.NodeID, ids []tuple.ID) {
+// sendScanIDs ships filtered tuple IDs (with their cached placement
+// hashes) from the index side to a data storage node (Algorithm 1's inner
+// request).
+func (ex *executor) sendScanIDs(scanID int, dest ring.NodeID, ids []tuple.ID, hashes []keyspace.Key) {
 	if dest == ex.self() {
 		if leaf := ex.scans[scanID]; leaf != nil {
-			leaf.addWanted(ids, ex.selfIdx)
+			leaf.addWanted(ids, hashes, ex.selfIdx)
 		}
 		return
 	}
@@ -508,10 +522,11 @@ func (ex *executor) sendScanIDs(scanID int, dest ring.NodeID, ids []tuple.ID) {
 	payload = binary.AppendUvarint(payload, uint64(scanID))
 	payload = binary.AppendUvarint(payload, uint64(ex.selfIdx))
 	payload = binary.AppendUvarint(payload, uint64(len(ids)))
-	for _, id := range ids {
+	for i, id := range ids {
 		payload = binary.BigEndian.AppendUint64(payload, uint64(id.Epoch))
 		payload = binary.AppendUvarint(payload, uint64(len(id.Key)))
 		payload = append(payload, id.Key...)
+		payload = append(payload, hashes[i][:]...)
 	}
 	ex.stats.addSentBytes(len(payload))
 	_ = ex.eng.node.Endpoint().Send(dest, msgScanIDs, payload)
@@ -540,7 +555,7 @@ func (ex *executor) sendShipBatch(ts []Tup) {
 	ex.stats.addShipped(len(ts))
 	if ex.initiator == ex.self() {
 		if ex.shipCons != nil {
-			ex.shipCons.receive(cloneTups(ts))
+			ex.shipCons.receive(ex.loopbackTups(ts))
 		}
 		return
 	}
@@ -679,6 +694,7 @@ func (e *Engine) registerHandlers() {
 		}
 		rest = rest[n:]
 		ids := make([]tuple.ID, 0, count)
+		hashes := make([]keyspace.Key, 0, count)
 		for i := uint64(0); i < count; i++ {
 			if len(rest) < 8 {
 				return nil, errors.New("engine: truncated scan id")
@@ -686,15 +702,19 @@ func (e *Engine) registerHandlers() {
 			ep := tuple.Epoch(binary.BigEndian.Uint64(rest))
 			rest = rest[8:]
 			l, n := binary.Uvarint(rest)
-			if n <= 0 || len(rest) < n+int(l) {
+			if n <= 0 || len(rest) < n+int(l)+keyspace.Size {
 				return nil, errors.New("engine: truncated scan key")
 			}
 			ids = append(ids, tuple.ID{Key: string(rest[n : n+int(l)]), Epoch: ep})
 			rest = rest[n+int(l):]
+			var h keyspace.Key
+			copy(h[:], rest)
+			hashes = append(hashes, h)
+			rest = rest[keyspace.Size:]
 		}
 		ex.stats.addRecvBytes(len(payload))
 		if leaf := ex.scans[int(scanID)]; leaf != nil {
-			leaf.addWanted(ids, int(fromIdx))
+			leaf.addWanted(ids, hashes, int(fromIdx))
 		}
 		return nil, nil
 	})

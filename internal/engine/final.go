@@ -19,10 +19,11 @@ func applyFinalOps(ops []FinalOp, rows []tuple.Row) ([]tuple.Row, error) {
 		case *FinalSort:
 			sortRows(rows, f.Keys)
 		case *FinalCompute:
+			fns := compileExprs(f.Exprs) // compiled once, applied per row
 			for i, row := range rows {
-				out := make(tuple.Row, len(f.Exprs))
-				for j, e := range f.Exprs {
-					out[j] = e.Eval(row)
+				out := make(tuple.Row, len(fns))
+				for j, fn := range fns {
+					out[j] = fn(row)
 				}
 				rows[i] = out
 			}

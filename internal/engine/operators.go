@@ -27,21 +27,46 @@ type recoverable interface {
 
 // --- select ---
 
+// selectOp filters rows. The predicate is compiled once per query: the
+// row form for per-tuple pushes, the batch form evaluating over column
+// vectors into a selection bitset for columnar pushes.
 type selectOp struct {
-	pred Expr
-	out  sink
+	pred  predFn
+	batch batchPredFn
+	out   sink
+	outB  batchSink
+}
+
+func newSelectOp(pred Expr, out sink) *selectOp {
+	return &selectOp{
+		pred:  compilePred(pred),
+		batch: compileBatchPred(pred),
+		out:   out,
+		outB:  asBatchSink(out),
+	}
 }
 
 func (s *selectOp) push(ts []Tup) {
 	kept := ts[:0:len(ts)]
 	for _, t := range ts {
-		if truth(s.pred.Eval(t.Row)) {
+		if s.pred(t.Row) {
 			kept = append(kept, t)
 		}
 	}
 	if len(kept) > 0 {
 		s.out.push(kept)
 	}
+}
+
+func (s *selectOp) pushCols(cb *colBatch) {
+	sel := NewBitset(cb.cols.N)
+	s.batch(&cb.cols, sel)
+	if n := sel.Count(); n == 0 {
+		return
+	} else if n < cb.cols.N {
+		cb.cols.CompactWords(sel)
+	}
+	forwardBatch(s.out, s.outB, cb)
 }
 
 func (s *selectOp) eos(phase uint32) { s.out.eos(phase) }
@@ -51,6 +76,7 @@ func (s *selectOp) eos(phase uint32) { s.out.eos(phase) }
 type projectOp struct {
 	cols []int
 	out  sink
+	outB batchSink
 }
 
 func (p *projectOp) push(ts []Tup) {
@@ -60,20 +86,30 @@ func (p *projectOp) push(ts []Tup) {
 	p.out.push(ts)
 }
 
+// pushCols projects by rearranging column headers: O(arity), not O(rows).
+func (p *projectOp) pushCols(cb *colBatch) {
+	cb.cols.Project(p.cols)
+	forwardBatch(p.out, p.outB, cb)
+}
+
 func (p *projectOp) eos(phase uint32) { p.out.eos(phase) }
 
 // --- compute-function ---
 
+// computeOp evaluates compiled scalar expressions per row. It is not
+// batch-aware (expression results may change type row to row, which would
+// fracture column vectors); upstream batches materialize at its input
+// edge and the compiled closures keep the per-row cost low.
 type computeOp struct {
-	exprs []Expr
-	out   sink
+	fns []evalFn
+	out sink
 }
 
 func (c *computeOp) push(ts []Tup) {
 	for i := range ts {
-		row := make(tuple.Row, len(c.exprs))
-		for j, e := range c.exprs {
-			row[j] = e.Eval(ts[i].Row)
+		row := make(tuple.Row, len(c.fns))
+		for j, f := range c.fns {
+			row[j] = f(ts[i].Row)
 		}
 		ts[i].Row = row
 	}

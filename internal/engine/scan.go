@@ -1,10 +1,14 @@
 package engine
 
 import (
+	"bytes"
 	"context"
+	"encoding/binary"
+	"sort"
 	"sync"
 
 	"orchestra/internal/cluster"
+	"orchestra/internal/keyspace"
 	"orchestra/internal/ring"
 	"orchestra/internal/tuple"
 	"orchestra/internal/vstore"
@@ -53,9 +57,29 @@ type scanLeaf struct {
 	passSeq sequencer
 
 	mu       sync.Mutex
-	wanted   map[tuple.ID]int // tuple ID → index-node snapshot member index
+	ships    []*idShipment
 	doneFrom map[uint32]map[ring.NodeID]bool
 	passRun  map[uint32]bool
+
+	// scratch is the reusable columnar batch of the data pass (see
+	// batchFor); scratchCols keeps the leaf's own column header array so a
+	// downstream projection cannot leak the vectors. Touched only by
+	// runPass, which passSeq serializes.
+	scratch     *colBatch
+	scratchCols []tuple.ColVec
+}
+
+// idShipment is one sender's batch of filtered tuple IDs plus their
+// placement hashes (read off the index page, never recomputed) and the
+// sender's snapshot member index. The wanted set is a list of shipments
+// rather than a per-ID map: arrival costs nothing per ID (loopback
+// shipments even alias the index page's own slices), and the data pass
+// sorts all live entries into storage-key order once and merge-walks them
+// against the B-tree scan.
+type idShipment struct {
+	ids     []tuple.ID
+	hashes  []keyspace.Key
+	fromIdx int32
 }
 
 func newScanLeaf(ex *executor, spec *ScanNode, meta *relMeta, out sink) *scanLeaf {
@@ -64,7 +88,6 @@ func newScanLeaf(ex *executor, spec *ScanNode, meta *relMeta, out sink) *scanLea
 		spec:     spec,
 		meta:     meta,
 		out:      out,
-		wanted:   make(map[tuple.ID]int),
 		doneFrom: make(map[uint32]map[ring.NodeID]bool),
 		passRun:  make(map[uint32]bool),
 	}
@@ -81,9 +104,12 @@ func (l *scanLeaf) runIndexSide(phase uint32, inherited []ring.Range, prevTable 
 	defer l.idxSeq.done()
 	cur := l.ex.currentTable()
 	self := l.ex.self()
+	// Single-member snapshots (and recovered-to-one clusters) route every
+	// ID to this node; skip the per-ID binary search over the ring.
+	soleOwner := cur.Size() == 1
 	var coveringOut []Tup
 	if l.meta != nil && l.meta.coord != nil {
-		byDest := make(map[ring.NodeID][]tuple.ID)
+		byDest := make(map[ring.NodeID]*idShipment)
 		for _, ref := range l.meta.coord.Pages {
 			placement := ref.Placement()
 			full := false
@@ -110,7 +136,18 @@ func (l *scanLeaf) runIndexSide(phase uint32, inherited []ring.Range, prevTable 
 			if err != nil {
 				continue // replicas unreachable; data side observes the gap
 			}
-			for _, id := range page.IDs {
+			// Unbounded scan on a single-member snapshot: every entry of
+			// every page routes to this node, so the page's own (immutable,
+			// cached) ID and hash slices ship as-is — no per-ID routing, no
+			// copies.
+			if soleOwner && full && !l.spec.Covering && l.spec.Pred.Lo == nil && l.spec.Pred.Hi == nil {
+				l.ex.sendScanIDs(l.spec.ScanID, self, page.IDs, page.Hashes)
+				continue
+			}
+			// Pages carry each entry's placement hash (computed once at
+			// publish time; loadPage guarantees it), so routing below never
+			// hashes a tuple ID.
+			for i, id := range page.IDs {
 				if !l.spec.Pred.Match(id.Key) {
 					continue
 				}
@@ -122,18 +159,28 @@ func (l *scanLeaf) runIndexSide(phase uint32, inherited []ring.Range, prevTable 
 					}
 					continue
 				}
-				owner := cur.Owner(id.Hash())
+				h := page.Hashes[i]
+				owner := self
+				if !soleOwner {
+					owner = cur.Owner(h)
+				}
 				if !full {
 					// Resend mode: only IDs whose old data owner failed.
-					if cur.Contains(prevTable.Owner(id.Hash())) {
+					if cur.Contains(prevTable.Owner(h)) {
 						continue
 					}
 				}
-				byDest[owner] = append(byDest[owner], id)
+				s := byDest[owner]
+				if s == nil {
+					s = &idShipment{}
+					byDest[owner] = s
+				}
+				s.ids = append(s.ids, id)
+				s.hashes = append(s.hashes, h)
 			}
 		}
-		for dest, ids := range byDest {
-			l.ex.sendScanIDs(l.spec.ScanID, dest, ids)
+		for dest, s := range byDest {
+			l.ex.sendScanIDs(l.spec.ScanID, dest, s.ids, s.hashes)
 		}
 	}
 	if l.spec.Covering {
@@ -151,54 +198,60 @@ func (l *scanLeaf) runIndexSide(phase uint32, inherited []ring.Range, prevTable 
 	l.ex.broadcastScanDone(l.spec.ScanID, phase)
 }
 
-// loadPage fetches a page from the local store, falling back to replicas.
+// loadPage fetches a page, consulting the engine's decoded-page cache
+// first (page versions are immutable, so hits are always valid), then the
+// local store, then replicas.
 func (l *scanLeaf) loadPage(ref vstore.PageRef) (*vstore.Page, error) {
-	kv := vstore.PageKVKey(ref.ID)
-	if data, ok := l.ex.eng.node.Store().Get(kv); ok {
-		return vstore.DecodePage(data)
+	if p, ok := l.ex.eng.pages.get(ref.ID); ok {
+		return p, nil
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), l.ex.eng.node.Config().RequestTimeout)
-	defer cancel()
-	data, err := l.ex.eng.node.GetRecord(ctx, ref.Placement(), kv)
+	kv := vstore.PageKVKey(ref.ID)
+	// GetRetained: page decoding copies what it keeps, so the store's
+	// no-copy read suffices and saves a page-sized allocation per scan.
+	data, ok := l.ex.eng.node.Store().GetRetained(kv)
+	if !ok {
+		ctx, cancel := context.WithTimeout(context.Background(), l.ex.eng.node.Config().RequestTimeout)
+		defer cancel()
+		remote, err := l.ex.eng.node.GetRecord(ctx, ref.Placement(), kv)
+		if err != nil {
+			return nil, err
+		}
+		data = remote
+	}
+	p, err := vstore.DecodePage(data)
 	if err != nil {
 		return nil, err
 	}
-	return vstore.DecodePage(data)
+	p.EnsureHashes() // fully initialize before sharing read-only
+	l.ex.eng.pages.put(ref.ID, p)
+	return p, nil
 }
 
-// addWanted records incoming tuple IDs from an index node. Shipments from
-// senders already known to have failed are ignored, and a failed sender
-// never displaces a clean requester: a dead node's in-flight bulk shipment
-// must not clobber the heir's re-shipped entries, or the whole block would
-// be emitted tainted and dropped downstream. (A clean entry recorded before
-// the sender's failure becomes known is removed by purgeTainted, which runs
-// after the failed bit is set.)
-func (l *scanLeaf) addWanted(ids []tuple.ID, fromIdx int) {
-	failed := l.ex.failedProv()
-	if failed.Has(fromIdx) {
+// addWanted records an incoming shipment of tuple IDs (with their
+// placement hashes) from an index node. Shipments from senders already
+// known to have failed are ignored; the shipment's slices are referenced,
+// not copied (callers hand over ownership — loopback fast paths may even
+// alias index-page slices, which are immutable). Duplicate IDs from
+// several senders simply coexist; the pass emits each distinct ID once,
+// from a sender that is still clean at pass time — so a dead node's
+// in-flight bulk shipment can never displace the heir's re-shipped
+// entries, and shipments recorded before their sender's failure became
+// known are filtered by preparePass (after purgeTainted/markFailed set
+// the failed bits).
+func (l *scanLeaf) addWanted(ids []tuple.ID, hashes []keyspace.Key, fromIdx int) {
+	if l.ex.failedProv().Has(fromIdx) {
 		return
 	}
 	l.mu.Lock()
-	for _, id := range ids {
-		if cur, ok := l.wanted[id]; ok && !failed.Has(cur) {
-			continue
-		}
-		l.wanted[id] = fromIdx
-	}
+	l.ships = append(l.ships, &idShipment{ids: ids, hashes: hashes, fromIdx: int32(fromIdx)})
 	l.mu.Unlock()
 }
 
-// purgeTainted drops pending wanted IDs whose index node failed; the
-// inheriting nodes re-ship them in the new phase.
-func (l *scanLeaf) purgeTainted(failed Prov) {
-	l.mu.Lock()
-	for id, idx := range l.wanted {
-		if failed.Has(idx) {
-			delete(l.wanted, id)
-		}
-	}
-	l.mu.Unlock()
-}
+// purgeTainted exists for interface symmetry with the other recoverable
+// state holders: tainted shipments need no eager purge — preparePass
+// filters by the failed set when the pass runs, and shipments of an
+// already-run pass were snapshotted out of l.ships.
+func (l *scanLeaf) purgeTainted(Prov) {}
 
 // doneMark records an index-side completion marker; when all live nodes
 // have finished the current phase, the data pass runs (once per phase).
@@ -248,21 +301,45 @@ func (l *scanLeaf) readyLocked() (bool, uint32, uint64) {
 	return true, phase, l.passSeq.ticket()
 }
 
+// passEntry is one live wanted entry prepared for the merge walk: its full
+// local-store key (carved from a shared slab), the shipment and position
+// it came from, and whether the pass has handled it.
+type passEntry struct {
+	key  []byte
+	ship int32
+	pos  int32
+	done bool
+}
+
 // runPass is the data-storage-node half: a single pass through the local
 // hash-ID ranges, emitting the wanted tuple versions (§V-B: "the tuples
 // from each index page are stored nearby on disk, and are retrieved in a
 // single pass through the hash ID range for that page").
+//
+// The pass is the engine's hottest loop, so it is allocation-lean end to
+// end: the wanted entries are sorted into storage-key order once and
+// merge-walked against the B-tree scan (one bytes.Compare per visited
+// tuple instead of a hash-map probe; the scan seeks to the first wanted
+// key and stops past the last), matched records decode straight into
+// column-major batches (no per-row Row/Value boxing; string values alias
+// the store's immutable record bytes), and whole batches flow into the
+// operator pipeline. With provenance enabled the per-row form is kept —
+// every tuple then carries its own mutable provenance set stamped with
+// the requesting index node.
 func (l *scanLeaf) runPass(phase uint32, tick uint64) {
 	l.passSeq.wait(tick)
 	defer l.passSeq.done()
 	l.mu.Lock()
-	wanted := l.wanted
-	l.wanted = make(map[tuple.ID]int)
+	ships := l.ships
+	l.ships = nil
 	l.mu.Unlock()
 
 	store := l.ex.eng.node.Store()
 	self := l.ex.self()
 	cur := l.ex.currentTable()
+	prov := l.ex.opts.Provenance
+
+	// Row-at-a-time emission (provenance mode and the replica fallback).
 	var batch []Tup
 	flush := func() {
 		if len(batch) > 0 {
@@ -271,10 +348,10 @@ func (l *scanLeaf) runPass(phase uint32, tick uint64) {
 			batch = nil
 		}
 	}
-	emit := func(rec vstore.TupleRecord, fromIdx int) {
+	emit := func(rec vstore.TupleRecord, fromIdx int32) {
 		t := l.ex.originTup(rec.Row, phase)
 		if t.Prov != nil && fromIdx >= 0 {
-			t.Prov.Set(fromIdx)
+			t.Prov.Set(int(fromIdx))
 		}
 		batch = append(batch, t)
 		if len(batch) >= flushRows {
@@ -282,24 +359,88 @@ func (l *scanLeaf) runPass(phase uint32, tick uint64) {
 		}
 	}
 
-	if len(wanted) > 0 && l.meta != nil {
-		scanRange := func(lo, hi []byte) {
-			store.Scan(lo, hi, func(k, v []byte) bool {
-				id, ok := vstore.TupleIDFromKVKey(k)
-				if !ok {
-					return true
+	// Column-major emission (the default path).
+	var cb *colBatch
+	var colTypes []tuple.Type
+	flushCols := func() {
+		if cb != nil && cb.cols.N > 0 {
+			l.ex.stats.addScanned(cb.cols.N)
+			forwardBatch(l.out, l.outB(), cb)
+			cb = nil
+		}
+	}
+	if !prov && l.meta != nil {
+		colTypes = make([]tuple.Type, len(l.meta.schema.Columns))
+		for i, c := range l.meta.schema.Columns {
+			colTypes[i] = c.Type
+		}
+	}
+
+	if len(ships) > 0 && l.meta != nil {
+		pes := preparePass(ships, l.ex.failedProv())
+		// handle decodes and emits one matched record, reporting success.
+		// A local decode failure (truncated/corrupt record) leaves the
+		// entry un-done so the replica fallback below fetches the exact
+		// version remotely, as §IV requires.
+		handle := func(pe *passEntry, v []byte) bool {
+			if colTypes != nil {
+				if cb == nil {
+					cb = l.batchFor(phase, colTypes)
 				}
-				fromIdx, want := wanted[id]
-				if !want {
-					return true
+				n := cb.cols.N
+				if err := vstore.DecodeTupleRecordCols(l.meta.schema, v, &cb.cols); err != nil {
+					cb.cols.Truncate(n) // back out the partial row
+					return false
 				}
-				rec, err := vstore.DecodeTupleRecord(l.meta.schema, v)
-				if err != nil {
-					return true
+				if cb.cols.N >= flushRows {
+					flushCols()
 				}
-				delete(wanted, id)
-				emit(rec, fromIdx)
 				return true
+			}
+			rec, err := vstore.DecodeTupleRecord(l.meta.schema, v)
+			if err != nil {
+				return false
+			}
+			emit(rec, ships[pe.ship].fromIdx)
+			return true
+		}
+		scanRange := func(lo, hi []byte) {
+			// Seek past wanted keys below the range, and start the B-tree
+			// walk at the first wanted key at or above lo.
+			ptr := sort.Search(len(pes), func(i int) bool { return bytes.Compare(pes[i].key, lo) >= 0 })
+			if ptr >= len(pes) || (hi != nil && bytes.Compare(pes[ptr].key, hi) >= 0) {
+				return // nothing wanted in this range
+			}
+			lo = pes[ptr].key
+			store.Scan(lo, hi, func(k, v []byte) bool {
+				for ptr < len(pes) {
+					c := bytes.Compare(pes[ptr].key, k)
+					if c < 0 {
+						ptr++ // not stored locally; replica fallback below
+						continue
+					}
+					if c > 0 {
+						return true
+					}
+					pe := &pes[ptr]
+					ptr++
+					dupStart := ptr
+					for ptr < len(pes) && bytes.Equal(pes[ptr].key, k) {
+						ptr++
+					}
+					if handle(pe, v) {
+						// Emitted: retire this entry and every duplicate of
+						// it (same ID shipped by several senders — one
+						// emission). On failure all stay live for the
+						// replica fallback.
+						pe.done = true
+						for j := dupStart; j < ptr; j++ {
+							pes[j].done = true
+						}
+					}
+					return true
+				}
+				return false // wanted set exhausted: stop the walk
 			})
 		}
 		for _, r := range cur.RangesOf(self) {
@@ -313,25 +454,99 @@ func (l *scanLeaf) runPass(phase uint32, tick uint64) {
 		}
 		// Any IDs not found locally (replication lag, churn) are fetched
 		// from other replicas — the exact version, never stale data (§IV).
-		if len(wanted) > 0 {
-			ctx, cancel := context.WithTimeout(context.Background(), l.ex.eng.node.Config().RequestTimeout)
-			for id, fromIdx := range wanted {
-				data, err := l.ex.eng.node.GetRecord(ctx, id.Hash(), vstore.TupleKVKey(id))
-				if err != nil {
-					continue
-				}
-				rec, err := vstore.DecodeTupleRecord(l.meta.schema, data)
-				if err != nil {
-					continue
-				}
-				emit(rec, fromIdx)
+		var fetched map[string]bool
+		for i := range pes {
+			pe := &pes[i]
+			if pe.done {
+				continue
 			}
+			pe.done = true
+			if fetched[string(pe.key)] {
+				continue // duplicate of an already-fetched ID
+			}
+			sh := ships[pe.ship]
+			id := sh.ids[pe.pos]
+			ctx, cancel := context.WithTimeout(context.Background(), l.ex.eng.node.Config().RequestTimeout)
+			data, err := l.ex.eng.node.GetRecord(ctx, sh.hashes[pe.pos], vstore.TupleKVKey(id))
 			cancel()
+			if fetched == nil {
+				fetched = make(map[string]bool)
+			}
+			fetched[string(pe.key)] = true
+			if err != nil {
+				continue
+			}
+			rec, err := vstore.DecodeTupleRecord(l.meta.schema, data)
+			if err != nil {
+				continue
+			}
+			emit(rec, sh.fromIdx)
 		}
 	}
+	flushCols()
 	flush()
 	l.out.eos(phase)
 }
+
+// batchFor returns a columnar batch ready for decoding, reusing the leaf's
+// vectors: once a batch has been handed downstream the whole operator
+// chain has finished with it (pushCols retains nothing; materialization
+// copies), so the vectors can be truncated and refilled. The column header
+// array is restored from the leaf's own copy because a projection
+// downstream may have replaced it.
+func (l *scanLeaf) batchFor(phase uint32, colTypes []tuple.Type) *colBatch {
+	if l.scratch == nil {
+		l.scratch = &colBatch{}
+		l.scratch.cols.ResetTypes(colTypes)
+		l.scratchCols = l.scratch.cols.Cols
+		l.scratch.cols.Grow(flushRows)
+	} else {
+		l.scratch.cols.Cols = l.scratchCols
+		l.scratch.cols.ResetTypes(colTypes)
+	}
+	l.scratch.phase = phase
+	l.scratch.prov = nil
+	return l.scratch
+}
+
+// preparePass expands the live shipments (sender still clean) into one
+// entry per ID, builds each entry's full local-store key in a single
+// shared slab, and sorts them into storage-key order for the merge walk.
+func preparePass(ships []*idShipment, failed Prov) []passEntry {
+	size, n := 0, 0
+	for _, sh := range ships {
+		if failed.Has(int(sh.fromIdx)) {
+			continue
+		}
+		n += len(sh.ids)
+		for _, id := range sh.ids {
+			size += 2 + keyspace.Size + len(id.Key) + 1 + 8
+		}
+	}
+	slab := make([]byte, 0, size)
+	pes := make([]passEntry, 0, n)
+	for si, sh := range ships {
+		if failed.Has(int(sh.fromIdx)) {
+			continue
+		}
+		for i, id := range sh.ids {
+			start := len(slab)
+			slab = append(slab, 't', '/')
+			slab = append(slab, sh.hashes[i][:]...)
+			slab = append(slab, id.Key...)
+			slab = append(slab, 0)
+			slab = binary.BigEndian.AppendUint64(slab, uint64(id.Epoch))
+			pes = append(pes, passEntry{key: slab[start:len(slab):len(slab)], ship: int32(si), pos: int32(i)})
+		}
+	}
+	// Shipments arrive in page (hash) order, so the list is mostly sorted
+	// already; pdqsort makes this pass cheap.
+	sort.Slice(pes, func(i, j int) bool { return bytes.Compare(pes[i].key, pes[j].key) < 0 })
+	return pes
+}
+
+// outB resolves the batch-aware view of the leaf's output sink.
+func (l *scanLeaf) outB() batchSink { return asBatchSink(l.out) }
 
 // CoveringPred builds the scan predicate for an equality on the leading
 // key attribute.

@@ -100,6 +100,17 @@ func (s *Store) Get(key []byte) ([]byte, bool) {
 	return append([]byte(nil), v...), true
 }
 
+// GetRetained returns the stored value for key without copying. The
+// returned slice follows the store's immutability contract (see Scan): its
+// contents are never mutated by the store, so callers may retain and read
+// it indefinitely, but must not modify it. The allocation-free variant for
+// hot read paths that decode large records (index pages) per query.
+func (s *Store) GetRetained(key []byte) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.get(key)
+}
+
 // Has reports whether key exists.
 func (s *Store) Has(key []byte) bool {
 	s.mu.RLock()
@@ -131,7 +142,13 @@ func (s *Store) Delete(key []byte) (bool, error) {
 
 // Scan calls fn for every pair with lo <= key < hi in key order (nil bounds
 // are open). fn must not mutate the store; returning false stops the scan.
-// The key and value slices are only valid during the callback.
+//
+// Key/value reuse contract: the slices passed to fn are the store's own —
+// keys and values are copied once on Put and their contents are never
+// mutated afterwards (replacement swaps the slice wholesale). Callers may
+// therefore retain them read-only past the callback (the engine's scan
+// pipeline aliases tuple-record bytes this way to decode without copying);
+// they must never write into them.
 func (s *Store) Scan(lo, hi []byte, fn func(k, v []byte) bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()

@@ -452,3 +452,36 @@ func TestPropRangeScanMatchesModel(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestGetRetainedImmutableAcrossMutations pins the key/value reuse
+// contract the engine's zero-copy scan decode relies on: slices returned
+// by GetRetained (and passed to Scan callbacks) keep their contents even
+// after the key is overwritten or deleted — replacement swaps the stored
+// slice wholesale, it never mutates in place.
+func TestGetRetainedImmutableAcrossMutations(t *testing.T) {
+	s := NewMemory()
+	if err := s.Put([]byte("k"), []byte("original")); err != nil {
+		t.Fatal(err)
+	}
+	v1, ok := s.GetRetained([]byte("k"))
+	if !ok || string(v1) != "original" {
+		t.Fatalf("GetRetained = %q, %v", v1, ok)
+	}
+	var scanned []byte
+	s.Scan(nil, nil, func(k, v []byte) bool {
+		scanned = v
+		return true
+	})
+	if err := s.Put([]byte("k"), []byte("replaced")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Delete([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if string(v1) != "original" || string(scanned) != "original" {
+		t.Fatalf("retained slices mutated: get=%q scan=%q", v1, scanned)
+	}
+	if _, ok := s.GetRetained([]byte("k")); ok {
+		t.Fatal("deleted key still resolves")
+	}
+}

@@ -250,6 +250,10 @@ const (
 	// exceeding the connection's frame limit. Retrying the query over a
 	// binary-stream connection avoids the single-frame cap entirely.
 	CodeFrameTooLarge = "frame_too_large"
+	// CodeCancelled terminates a stream the client abandoned with a
+	// cancel frame: emission stopped at the client's request, the
+	// connection remains usable.
+	CodeCancelled = "cancelled"
 )
 
 // WireError is a typed error crossing the wire.

@@ -313,6 +313,19 @@ func (sess *session) creditStream(id uint64, n uint64) {
 	}
 }
 
+// cancelStream aborts an in-flight stream on a client's FrameCancel. A
+// cancel for an id with no registered stream is dropped — the protocol
+// only permits cancelling after the stream's schema frame was received,
+// which orders the cancel after registration.
+func (sess *session) cancelStream(id uint64) {
+	sess.smu.Lock()
+	w := sess.streams[id]
+	sess.smu.Unlock()
+	if w != nil {
+		w.cancelReq()
+	}
+}
+
 func (s *Server) session(conn net.Conn) {
 	sess := &session{
 		srv:     s,
@@ -391,6 +404,14 @@ func (s *Server) session(conn net.Conn) {
 			}
 			sess.creditStream(id, uint64(n))
 			continue
+		case FrameCancel:
+			id, err := StreamFrameID(payload)
+			if err != nil {
+				s.cfg.Logf("server: %s: %v", conn.RemoteAddr(), err)
+				return
+			}
+			sess.cancelStream(id)
+			continue
 		case FrameJSON:
 		default:
 			s.cfg.Logf("server: %s: client sent unexpected %v frame", conn.RemoteAddr(), kind)
@@ -463,19 +484,31 @@ func (s *Server) dispatchStream(sess *session, req *Request) {
 		}
 	}
 	w := newStreamWriter(ctx, sess, req.ID, sess.limits().window)
+	w.cancelFn = cancel // a FrameCancel aborts the query context
 	if !sess.registerStream(req.ID, w) {
-		w.end(&StreamEnd{Error: Errorf(CodeBadRequest, "stream id %d already active on this connection", req.ID)})
+		w.end(&StreamEnd{Error: Errorf(CodeBadRequest, "stream id %d already active on this connection", req.ID)}, nil)
 		s.ops[OpQuery].observe(time.Since(start), true)
 		return
 	}
+	// Unregistered by end()'s beforeEnd hook — before the End frame hits
+	// the wire — so a client reacting to End by reusing the ID on its next
+	// pipelined query cannot race the cleanup; the defer only covers error
+	// exits (dropStream is idempotent).
 	defer sess.dropStream(req.ID)
+	drop := func() { sess.dropStream(req.ID) }
 
 	tail, err := s.runQueryStreamed(ctx, req.Query, w)
 	failed := err != nil
 	if failed {
-		tail = &StreamEnd{Error: toWireError(ctx, err)}
+		if w.cancelled.Load() {
+			// The client abandoned the stream; whatever the aborted
+			// execution reported, the terminal status is "cancelled".
+			tail = &StreamEnd{Error: Errorf(CodeCancelled, "stream cancelled by client")}
+		} else {
+			tail = &StreamEnd{Error: toWireError(ctx, err)}
+		}
 	}
-	if werr := w.end(tail); werr != nil {
+	if werr := w.end(tail, drop); werr != nil {
 		failed = true
 		if !errors.Is(werr, net.ErrClosed) {
 			// The tail itself would not encode (e.g. a plan or error
@@ -489,7 +522,7 @@ func (s *Server) dispatchStream(sess *session, req *Request) {
 				code = CodeFrameTooLarge
 			}
 			fallback := &StreamEnd{Error: Errorf(code, "encode stream end: frame limit exceeded")}
-			if werr2 := w.end(fallback); werr2 != nil {
+			if werr2 := w.end(fallback, nil); werr2 != nil {
 				sess.conn.Close()
 			}
 		}

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"orchestra/internal/tuple"
 )
@@ -49,6 +50,12 @@ const (
 	FrameEnd FrameKind = 3
 	// FrameCredit grants stream flow-control credits: request ID + count.
 	FrameCredit FrameKind = 4
+	// FrameCancel abandons a result stream: request ID only. The server
+	// stops emitting batches, releases the query's resources, and still
+	// terminates the stream with an End frame (code "cancelled"), so the
+	// connection and its negotiated state remain usable. A cancel for an
+	// unknown or already-ended stream is a no-op.
+	FrameCancel FrameKind = 5
 )
 
 func (k FrameKind) String() string {
@@ -63,6 +70,8 @@ func (k FrameKind) String() string {
 		return "end"
 	case FrameCredit:
 		return "credit"
+	case FrameCancel:
+		return "cancel"
 	default:
 		return fmt.Sprintf("kind(%d)", byte(k))
 	}
@@ -242,6 +251,11 @@ func DecodeCreditPayload(p []byte) (id uint64, n int, err error) {
 	return id, int(v), nil
 }
 
+// AppendCancelPayload encodes a FrameCancel payload.
+func AppendCancelPayload(dst []byte, id uint64) []byte {
+	return binary.BigEndian.AppendUint64(dst, id)
+}
+
 // splitStreamID splits the leading request ID off a stream payload.
 func splitStreamID(p []byte) (uint64, []byte, error) {
 	if len(p) < 8 {
@@ -302,9 +316,16 @@ type streamWriter struct {
 	rows    int64
 	batches int
 
+	// cancelled latches when a FrameCancel arrives; cancelFn (set by
+	// dispatchStream before the stream registers) aborts the query
+	// context so a running execution or a credit wait unblocks.
+	cancelled atomic.Bool
+	cancelFn  context.CancelFunc
+
 	pending  []tuple.Row  // rows accumulated toward the next batch frame
 	pendSize int          // size hint of pending
 	sig      []tuple.Type // type signature of pending[0]
+	sigFixed int          // bytes per row when sig has no strings (else 0)
 }
 
 func newStreamWriter(ctx context.Context, sess *session, id uint64, window int) *streamWriter {
@@ -359,22 +380,47 @@ func (w *streamWriter) Columns(cols []string) error {
 
 // Batch implements ResultStream: stages rows for emission. Rows are
 // referenced, not copied — callers must not mutate them afterwards.
+//
+// Rows are staged span-wise, not one at a time: the writer finds the
+// longest run matching the pending batch's type signature and budget and
+// appends it in one copy. For fixed-width signatures (no string columns)
+// the per-row size hint collapses to a multiplication, so handing a whole
+// engine batch to the frame encoder costs one signature scan per span.
 func (w *streamWriter) Batch(rows []tuple.Row) error {
 	if !w.started {
 		return errors.New("server: stream batch before schema")
 	}
-	for _, row := range rows {
+	for i := 0; i < len(rows); {
 		if len(w.pending) == 0 {
-			w.setSig(row) // first row of a batch defines its signature
-		} else if !w.sigMatches(row) {
-			if err := w.flush(); err != nil {
-				return err
-			}
-			w.setSig(row)
+			w.setSig(rows[i]) // first row of a batch defines its signature
 		}
-		w.pending = append(w.pending, row)
-		w.pendSize += tuple.RowSizeHint(row)
-		if w.pendSize >= w.targetBytes || len(w.pending) >= maxStreamBatchRows {
+		j := i
+		budget := w.targetBytes - w.pendSize
+		roomRows := maxStreamBatchRows - len(w.pending)
+		if fixed := w.sigFixed; fixed > 0 {
+			// The row that crosses the target still goes into the batch,
+			// mirroring the append-then-check cut of the variable path.
+			n := budget/fixed + 1
+			if n > roomRows {
+				n = roomRows
+			}
+			for j < len(rows) && j-i < n && w.sigMatches(rows[j]) {
+				j++
+			}
+			w.pendSize += (j - i) * fixed
+		} else {
+			for j < len(rows) && budget > 0 && j-i < roomRows && w.sigMatches(rows[j]) {
+				h := tuple.RowSizeHint(rows[j])
+				w.pendSize += h
+				budget -= h
+				j++
+			}
+		}
+		w.pending = append(w.pending, rows[i:j]...)
+		moved := j > i
+		i = j
+		if w.pendSize >= w.targetBytes || len(w.pending) >= maxStreamBatchRows ||
+			(i < len(rows) && (!moved || !w.sigMatches(rows[i]))) {
 			if err := w.flush(); err != nil {
 				return err
 			}
@@ -400,14 +446,45 @@ func (w *streamWriter) sigMatches(row tuple.Row) bool {
 
 func (w *streamWriter) setSig(row tuple.Row) {
 	w.sig = w.sig[:0]
+	fixed, variable := 0, false
 	for _, v := range row {
 		w.sig = append(w.sig, v.T)
+		switch v.T {
+		case tuple.Int64:
+			fixed += 5
+		case tuple.Float64:
+			fixed += 8
+		default:
+			variable = true // per-row hints stay in charge
+		}
+	}
+	if variable {
+		fixed = 0
+	}
+	w.sigFixed = fixed
+}
+
+// errStreamCancelled aborts emission after a client cancel; dispatch
+// maps it onto the "cancelled" End code.
+var errStreamCancelled = errors.New("server: stream cancelled by client")
+
+// cancelReq handles an inbound FrameCancel: further emission is dropped
+// and the query context aborts (stopping execution or a credit wait).
+func (w *streamWriter) cancelReq() {
+	w.cancelled.Store(true)
+	if w.cancelFn != nil {
+		w.cancelFn()
 	}
 }
 
 // flush encodes and sends the pending rows as one batch frame, waiting
 // for a flow-control credit first.
 func (w *streamWriter) flush() error {
+	if w.cancelled.Load() {
+		w.pending = w.pending[:0]
+		w.pendSize = 0
+		return errStreamCancelled
+	}
 	if len(w.pending) == 0 {
 		return nil
 	}
@@ -464,12 +541,25 @@ func (w *streamWriter) waitCredit() error {
 // end flushes pending rows and sends the terminal frame. When the stream
 // failed before producing its schema frame, the End frame is still the
 // first and only frame — clients handle End-before-Schema.
-func (w *streamWriter) end(tail *StreamEnd) error {
+//
+// beforeEnd (optional) runs after the final flush but before the End
+// frame is written: the dispatcher unregisters the stream there, so by
+// the time a client sees End — and may immediately reuse the request ID
+// on its next query — the ID is already free. (Unregistering after the
+// write, as a deferred cleanup, raced exactly that reuse.)
+func (w *streamWriter) end(tail *StreamEnd, beforeEnd func()) error {
 	if tail.Error == nil {
 		if err := w.flush(); err != nil {
-			// Credit starvation or encode failure: degrade to an error end.
-			tail = &StreamEnd{Error: toWireError(w.ctx, err)}
+			if errors.Is(err, errStreamCancelled) {
+				tail = &StreamEnd{Error: Errorf(CodeCancelled, "stream cancelled by client")}
+			} else {
+				// Credit starvation or encode failure: degrade to an error end.
+				tail = &StreamEnd{Error: toWireError(w.ctx, err)}
+			}
 		}
+	}
+	if beforeEnd != nil {
+		beforeEnd()
 	}
 	tail.Rows = w.rows
 	tail.Batches = w.batches

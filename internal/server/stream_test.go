@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -617,5 +618,125 @@ func TestWireRowsJSON(t *testing.T) {
 	}
 	if v, _ := DecodeValue(wire.Any[0][0]); v != int64(5) {
 		t.Fatalf("int mangled: %v", v)
+	}
+}
+
+// TestStreamCancelFrame: a cancel frame stops server-side emission, the
+// stream still terminates with a "cancelled" End frame, the admission
+// slot is returned, and the connection (with its negotiated state)
+// remains usable for further requests.
+func TestStreamCancelFrame(t *testing.T) {
+	// Rows big enough that each backend batch crosses the writer's flush
+	// threshold (256 KiB), so batch frames go out before stream end.
+	pad := strings.Repeat("p", 400)
+	big := make([]tuple.Row, 3000)
+	for i := range big {
+		big[i] = tuple.Row{tuple.I(int64(i)), tuple.S(pad)}
+	}
+	gate := make(chan struct{}, 1)
+	stub := &streamStub{
+		cols:    []string{"a", "b"},
+		batches: [][]tuple.Row{big[:1000], big[1000:2000], big[2000:]},
+		gate:    gate,
+	}
+	s := startTestServer(t, stub, Config{StreamWindow: 1})
+	conn := dialTest(t, s)
+	br := bufio.NewReader(conn)
+	doHello(t, conn, br, &HelloRequest{
+		Version:  ProtocolVersion,
+		Features: []string{FeatureBinaryStream},
+		Window:   1,
+	})
+
+	const reqID = 11
+	if err := WriteFrame(conn, &Request{ID: reqID, Op: OpQuery,
+		Query: &QueryRequest{SQL: "q", Stream: true}}); err != nil {
+		t.Fatal(err)
+	}
+	gate <- struct{}{} // release the first backend batch
+	kind, payload, _, err := ReadRawFrame(br, MaxFrame)
+	if err != nil || kind != FrameSchema {
+		t.Fatalf("first frame %v err=%v, want schema", kind, err)
+	}
+	// Consume frames until the first batch arrives; the window of 1 then
+	// stalls the writer while the backend waits on its gate.
+	kind, payload, _, err = ReadRawFrame(br, MaxFrame)
+	if err != nil || kind != FrameBatch {
+		t.Fatalf("second frame %v err=%v, want batch", kind, err)
+	}
+	if id, _, err := DecodeBatchPayload(payload); err != nil || id != reqID {
+		t.Fatalf("batch id=%d err=%v", id, err)
+	}
+
+	// Abandon the stream: no credits, just a cancel frame.
+	cancel := AppendCancelPayload(nil, reqID)
+	frame, err := AppendBinaryFrame(nil, FrameCancel, cancel, MaxFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+
+	// Everything up to End is drained; End must carry the cancelled code.
+	for {
+		kind, payload, _, err = ReadRawFrame(br, MaxFrame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind == FrameBatch {
+			continue // in-flight before the cancel landed
+		}
+		break
+	}
+	if kind != FrameEnd {
+		t.Fatalf("terminal frame %v, want end", kind)
+	}
+	id, end, err := DecodeEndPayload(payload)
+	if err != nil || id != reqID {
+		t.Fatalf("end: id=%d err=%v", id, err)
+	}
+	if end.Error == nil || end.Error.Code != CodeCancelled {
+		t.Fatalf("end error %+v, want code %q", end.Error, CodeCancelled)
+	}
+
+	// The admission slot came back.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().InFlightQueries != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("in-flight queries stuck at %d after cancel", s.Stats().InFlightQueries)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The connection and its negotiated binary framing remain usable.
+	if err := WriteFrame(conn, &Request{ID: 12, Op: OpPing}); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := readAnyResponse(br, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 12 || resp.Error != nil {
+		t.Fatalf("post-cancel ping: %+v", resp)
+	}
+
+	// A cancel for an unknown stream is ignored, not fatal.
+	unknown := AppendCancelPayload(nil, 9999)
+	frame, err = AppendBinaryFrame(nil, FrameCancel, unknown, MaxFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(conn, &Request{ID: 13, Op: OpPing}); err != nil {
+		t.Fatal(err)
+	}
+	if err := readAnyResponse(br, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 13 || resp.Error != nil {
+		t.Fatalf("ping after unknown-id cancel: %+v", resp)
 	}
 }

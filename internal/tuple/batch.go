@@ -64,14 +64,18 @@ func AppendBatch(dst []byte, rows []Row, minCompress int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	return compressBatchTail(body, mark, minCompress)
+}
+
+// compressBatchTail optionally flate-compresses the batch body appended
+// after the two header bytes at mark. If compression did not help (e.g.
+// random strings), we keep it anyway: framing simplicity beats the rare
+// byte savings.
+func compressBatchTail(body []byte, mark, minCompress int) ([]byte, error) {
 	rawLen := len(body) - mark - 2
 	if minCompress < 0 || rawLen < minCompress {
 		return body, nil
 	}
-	// Compress the body in place semantics: flate the raw body into a
-	// scratch buffer, then overwrite. If compression did not help (e.g.
-	// random strings), keep it anyway: framing simplicity beats the rare
-	// byte savings.
 	var cbuf bytes.Buffer
 	cbuf.Grow(rawLen / 2)
 	fw := flateWriterPool.Get().(*flate.Writer)
@@ -88,6 +92,18 @@ func AppendBatch(dst []byte, rows []Row, minCompress int) ([]byte, error) {
 	body = body[:mark+2]
 	body[mark+1] = flagCompressed
 	return append(body, cbuf.Bytes()...), nil
+}
+
+// Small append helpers shared by the row-major and column-major encoders.
+
+func appendUvarint(dst []byte, v uint64) []byte { return binary.AppendUvarint(dst, v) }
+
+func appendVarint(dst []byte, v int64) []byte { return binary.AppendVarint(dst, v) }
+
+func appendFloat64(dst []byte, f float64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(f))
+	return append(dst, b[:]...)
 }
 
 // appendBatchBody appends the uncompressed column-major body.

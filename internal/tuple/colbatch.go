@@ -1,0 +1,365 @@
+package tuple
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"unsafe"
+)
+
+// Column-major in-memory batches: the unit the engine's scan pipeline
+// operates on (MonetDB/X100-style vectorized execution). A Batch holds one
+// typed vector per column, so predicates run as tight loops over []int64 /
+// []float64 / []string instead of per-row Value dispatch, and the wire batch
+// codec (batch.go) can serialize straight from the vectors.
+//
+// Batches are not safe for concurrent mutation; the engine hands each batch
+// through its operator chain synchronously.
+
+// ColVec is one column of a batch: a typed vector. Only the slice matching
+// T is populated.
+type ColVec struct {
+	T   Type
+	I64 []int64
+	F64 []float64
+	Str []string
+}
+
+// Len returns the number of values in the vector.
+func (v *ColVec) Len() int {
+	switch v.T {
+	case Int64:
+		return len(v.I64)
+	case Float64:
+		return len(v.F64)
+	case String:
+		return len(v.Str)
+	}
+	return 0
+}
+
+// Value boxes the i-th element.
+func (v *ColVec) Value(i int) Value {
+	switch v.T {
+	case Int64:
+		return I(v.I64[i])
+	case Float64:
+		return F(v.F64[i])
+	case String:
+		return S(v.Str[i])
+	}
+	return Value{}
+}
+
+// append adds one boxed value, which must match the vector's type.
+func (v *ColVec) append(val Value) error {
+	if val.T != v.T {
+		return fmt.Errorf("tuple: column vector type %v, got %v", v.T, val.T)
+	}
+	switch v.T {
+	case Int64:
+		v.I64 = append(v.I64, val.I64)
+	case Float64:
+		v.F64 = append(v.F64, val.F64)
+	case String:
+		v.Str = append(v.Str, val.Str)
+	}
+	return nil
+}
+
+// reset re-types the vector and truncates it, keeping capacity.
+func (v *ColVec) reset(t Type) {
+	v.T = t
+	v.I64 = v.I64[:0]
+	v.F64 = v.F64[:0]
+	v.Str = v.Str[:0]
+}
+
+// Batch is a column-major block of rows.
+type Batch struct {
+	N    int
+	Cols []ColVec
+}
+
+// NewBatch returns an empty batch typed by the schema's columns.
+func NewBatch(s *Schema) *Batch {
+	b := &Batch{}
+	b.ResetTypes(columnTypes(s))
+	return b
+}
+
+func columnTypes(s *Schema) []Type {
+	ts := make([]Type, len(s.Columns))
+	for i, c := range s.Columns {
+		ts[i] = c.Type
+	}
+	return ts
+}
+
+// ResetTypes empties the batch and re-types its columns, reusing vector
+// capacity where the arity allows.
+func (b *Batch) ResetTypes(types []Type) {
+	if cap(b.Cols) < len(types) {
+		b.Cols = make([]ColVec, len(types))
+	} else {
+		b.Cols = b.Cols[:len(types)]
+	}
+	for i := range b.Cols {
+		b.Cols[i].reset(types[i])
+	}
+	b.N = 0
+}
+
+// AppendRow appends one row; its values must match the column types.
+func (b *Batch) AppendRow(row Row) error {
+	if len(row) != len(b.Cols) {
+		return fmt.Errorf("tuple: batch arity %d, row arity %d", len(b.Cols), len(row))
+	}
+	for i := range row {
+		if err := b.Cols[i].append(row[i]); err != nil {
+			return err
+		}
+	}
+	b.N++
+	return nil
+}
+
+// Row materializes row i into dst (grown as needed) and returns it.
+func (b *Batch) Row(i int, dst Row) Row {
+	if cap(dst) < len(b.Cols) {
+		dst = make(Row, len(b.Cols))
+	} else {
+		dst = dst[:len(b.Cols)]
+	}
+	for c := range b.Cols {
+		dst[c] = b.Cols[c].Value(i)
+	}
+	return dst
+}
+
+// Rows materializes the whole batch as row slices carved from a single
+// backing slab: two allocations total instead of one per row. The rows do
+// not alias the batch's vectors (string contents are shared, which is safe
+// — strings are immutable).
+func (b *Batch) Rows() []Row {
+	if b.N == 0 {
+		return nil
+	}
+	arity := len(b.Cols)
+	backing := make([]Value, b.N*arity)
+	rows := make([]Row, b.N)
+	for c := range b.Cols {
+		v := &b.Cols[c]
+		switch v.T {
+		case Int64:
+			for i, x := range v.I64 {
+				backing[i*arity+c] = I(x)
+			}
+		case Float64:
+			for i, x := range v.F64 {
+				backing[i*arity+c] = F(x)
+			}
+		case String:
+			for i, x := range v.Str {
+				backing[i*arity+c] = S(x)
+			}
+		}
+	}
+	for i := range rows {
+		rows[i] = Row(backing[i*arity : (i+1)*arity])
+	}
+	return rows
+}
+
+// Grow ensures every column vector has capacity for at least n values,
+// so a decode loop filling the batch never reallocates mid-stream.
+func (b *Batch) Grow(n int) {
+	for c := range b.Cols {
+		v := &b.Cols[c]
+		switch v.T {
+		case Int64:
+			if cap(v.I64) < n {
+				v.I64 = append(make([]int64, 0, n), v.I64...)
+			}
+		case Float64:
+			if cap(v.F64) < n {
+				v.F64 = append(make([]float64, 0, n), v.F64...)
+			}
+		case String:
+			if cap(v.Str) < n {
+				v.Str = append(make([]string, 0, n), v.Str...)
+			}
+		}
+	}
+}
+
+// Truncate drops any rows past n — used to back out a partially decoded
+// row after a mid-row decode error.
+func (b *Batch) Truncate(n int) {
+	for c := range b.Cols {
+		v := &b.Cols[c]
+		switch v.T {
+		case Int64:
+			if len(v.I64) > n {
+				v.I64 = v.I64[:n]
+			}
+		case Float64:
+			if len(v.F64) > n {
+				v.F64 = v.F64[:n]
+			}
+		case String:
+			if len(v.Str) > n {
+				v.Str = v.Str[:n]
+			}
+		}
+	}
+	if b.N > n {
+		b.N = n
+	}
+}
+
+// CompactWords keeps exactly the rows whose bit is set in sel (bit i of
+// sel[i/64]), compacting every column vector in place, and returns the new
+// row count. sel must cover at least N bits.
+func (b *Batch) CompactWords(sel []uint64) int {
+	kept := 0
+	for c := range b.Cols {
+		v := &b.Cols[c]
+		w := 0
+		switch v.T {
+		case Int64:
+			for i := 0; i < b.N; i++ {
+				if sel[i>>6]&(1<<(uint(i)&63)) != 0 {
+					v.I64[w] = v.I64[i]
+					w++
+				}
+			}
+			v.I64 = v.I64[:w]
+		case Float64:
+			for i := 0; i < b.N; i++ {
+				if sel[i>>6]&(1<<(uint(i)&63)) != 0 {
+					v.F64[w] = v.F64[i]
+					w++
+				}
+			}
+			v.F64 = v.F64[:w]
+		case String:
+			for i := 0; i < b.N; i++ {
+				if sel[i>>6]&(1<<(uint(i)&63)) != 0 {
+					v.Str[w] = v.Str[i]
+					w++
+				}
+			}
+			v.Str = v.Str[:w]
+		}
+		kept = w
+	}
+	b.N = kept
+	return kept
+}
+
+// Project restricts the batch to the given columns, in order. Column
+// headers are copied, so a column may appear more than once; the underlying
+// vectors are shared.
+func (b *Batch) Project(cols []int) {
+	out := make([]ColVec, len(cols))
+	for i, c := range cols {
+		out[i] = b.Cols[c]
+	}
+	b.Cols = out
+}
+
+// DecodeRowCols decodes one AppendRow-encoded row straight onto the
+// batch's column vectors (the batch must be typed by the same schema) and
+// returns the bytes consumed. This is the scan path's allocation-free
+// decode: no Row or Value boxing is built, and string values ALIAS data
+// instead of copying — the caller must guarantee that data is never
+// mutated and outlives the batch (stored kvstore values satisfy this: they
+// are copied on insert and immutable afterwards).
+func DecodeRowCols(data []byte, s *Schema, b *Batch) (int, error) {
+	if len(b.Cols) != len(s.Columns) {
+		return 0, fmt.Errorf("tuple: batch arity %d != schema arity %d", len(b.Cols), len(s.Columns))
+	}
+	off := 0
+	for i, col := range s.Columns {
+		v := &b.Cols[i]
+		switch col.Type {
+		case Int64:
+			x, n := binary.Varint(data[off:])
+			if n <= 0 {
+				return 0, fmt.Errorf("tuple: bad varint in column %s", col.Name)
+			}
+			v.I64 = append(v.I64, x)
+			off += n
+		case Float64:
+			if off+8 > len(data) {
+				return 0, fmt.Errorf("tuple: truncated float in column %s", col.Name)
+			}
+			v.F64 = append(v.F64, math.Float64frombits(binary.BigEndian.Uint64(data[off:])))
+			off += 8
+		case String:
+			l, n := binary.Uvarint(data[off:])
+			if n <= 0 || off+n+int(l) > len(data) {
+				return 0, fmt.Errorf("tuple: truncated string in column %s", col.Name)
+			}
+			off += n
+			if l == 0 {
+				v.Str = append(v.Str, "")
+			} else {
+				v.Str = append(v.Str, unsafe.String(&data[off], int(l)))
+			}
+			off += int(l)
+		default:
+			return 0, fmt.Errorf("tuple: unknown column type %v", col.Type)
+		}
+	}
+	b.N++
+	return off, nil
+}
+
+// AppendBatchCols appends the wire encoding of a columnar batch to dst —
+// identical format to AppendBatch, produced without materializing rows.
+func AppendBatchCols(dst []byte, b *Batch, minCompress int) ([]byte, error) {
+	mark := len(dst)
+	dst = append(dst, batchVersion, 0)
+	body, err := appendBatchColsBody(dst, b)
+	if err != nil {
+		return nil, err
+	}
+	return compressBatchTail(body, mark, minCompress)
+}
+
+func appendBatchColsBody(dst []byte, b *Batch) ([]byte, error) {
+	dst = appendUvarint(dst, uint64(b.N))
+	arity := 0
+	if b.N > 0 {
+		arity = len(b.Cols)
+	}
+	dst = appendUvarint(dst, uint64(arity))
+	for c := 0; c < arity; c++ {
+		v := &b.Cols[c]
+		if !v.T.IsValidType() {
+			return nil, fmt.Errorf("tuple: batch column %d has invalid type", c)
+		}
+		if v.Len() != b.N {
+			return nil, fmt.Errorf("tuple: batch column %d has %d values, want %d", c, v.Len(), b.N)
+		}
+		dst = append(dst, byte(v.T))
+		switch v.T {
+		case Int64:
+			for _, x := range v.I64 {
+				dst = appendVarint(dst, x)
+			}
+		case Float64:
+			for _, x := range v.F64 {
+				dst = appendFloat64(dst, x)
+			}
+		case String:
+			for _, x := range v.Str {
+				dst = appendUvarint(dst, uint64(len(x)))
+				dst = append(dst, x...)
+			}
+		}
+	}
+	return dst, nil
+}

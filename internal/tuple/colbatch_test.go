@@ -1,0 +1,226 @@
+package tuple
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func colTestSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema("r", []Column{
+		{Name: "k", Type: String},
+		{Name: "g", Type: Int64},
+		{Name: "f", Type: Float64},
+	}, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func randRows(rng *rand.Rand, s *Schema, n int) []Row {
+	rows := make([]Row, n)
+	for i := range rows {
+		row := make(Row, len(s.Columns))
+		for c, col := range s.Columns {
+			switch col.Type {
+			case Int64:
+				row[c] = I(rng.Int63n(1000) - 500)
+			case Float64:
+				row[c] = F(rng.Float64() * 100)
+			case String:
+				row[c] = S(string(rune('a' + rng.Intn(26))))
+			}
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+func TestBatchRoundTripRows(t *testing.T) {
+	s := colTestSchema(t)
+	rng := rand.New(rand.NewSource(3))
+	rows := randRows(rng, s, 100)
+	b := NewBatch(s)
+	for _, r := range rows {
+		if err := b.AppendRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := b.Rows()
+	if len(got) != len(rows) {
+		t.Fatalf("Rows() returned %d rows, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		if !got[i].Equal(rows[i]) {
+			t.Fatalf("row %d: got %v want %v", i, got[i], rows[i])
+		}
+	}
+	// Row materializes a single row into a reused buffer.
+	var buf Row
+	for i := range rows {
+		buf = b.Row(i, buf)
+		if !buf.Equal(rows[i]) {
+			t.Fatalf("Row(%d): got %v want %v", i, buf, rows[i])
+		}
+	}
+}
+
+func TestBatchCompactWords(t *testing.T) {
+	s := colTestSchema(t)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(150)
+		rows := randRows(rng, s, n)
+		b := NewBatch(s)
+		for _, r := range rows {
+			if err := b.AppendRow(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sel := make([]uint64, (n+63)/64)
+		var want []Row
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				sel[i>>6] |= 1 << (uint(i) & 63)
+				want = append(want, rows[i])
+			}
+		}
+		kept := b.CompactWords(sel)
+		if kept != len(want) || b.N != len(want) {
+			t.Fatalf("kept %d (N=%d), want %d", kept, b.N, len(want))
+		}
+		got := b.Rows()
+		for i := range want {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("trial %d row %d: got %v want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBatchProjectAndTruncate(t *testing.T) {
+	s := colTestSchema(t)
+	rows := randRows(rand.New(rand.NewSource(5)), s, 10)
+	b := NewBatch(s)
+	for _, r := range rows {
+		if err := b.AppendRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Project([]int{2, 0})
+	got := b.Rows()
+	for i := range rows {
+		want := Row{rows[i][2], rows[i][0]}
+		if !got[i].Equal(want) {
+			t.Fatalf("projected row %d: got %v want %v", i, got[i], want)
+		}
+	}
+	b.Truncate(4)
+	if b.N != 4 || len(b.Rows()) != 4 {
+		t.Fatalf("Truncate(4) left N=%d", b.N)
+	}
+}
+
+// TestAppendBatchColsMatchesRowEncoder checks that the columnar encoder
+// produces bytes DecodeBatch understands, identically to the row encoder.
+func TestAppendBatchColsMatchesRowEncoder(t *testing.T) {
+	s := colTestSchema(t)
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{0, 1, 17, 300} {
+		rows := randRows(rng, s, n)
+		b := NewBatch(s)
+		for _, r := range rows {
+			if err := b.AppendRow(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, minCompress := range []int{-1, 64} {
+			fromRows, err := AppendBatch(nil, rows, minCompress)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromCols, err := AppendBatchCols(nil, b, minCompress)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fromRows, fromCols) {
+				t.Fatalf("n=%d compress=%d: columnar encoding differs from row encoding", n, minCompress)
+			}
+			dec, err := DecodeBatch(fromCols)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(dec) != n {
+				t.Fatalf("decoded %d rows, want %d", len(dec), n)
+			}
+			for i := range rows {
+				if !dec[i].Equal(rows[i]) {
+					t.Fatalf("row %d: got %v want %v", i, dec[i], rows[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeRowCols(t *testing.T) {
+	s := colTestSchema(t)
+	rows := randRows(rand.New(rand.NewSource(7)), s, 64)
+	b := NewBatch(s)
+	for _, r := range rows {
+		enc, err := AppendRow(nil, s, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := DecodeRowCols(enc, s, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(enc) {
+			t.Fatalf("consumed %d of %d bytes", n, len(enc))
+		}
+	}
+	got := b.Rows()
+	for i := range rows {
+		if !got[i].Equal(rows[i]) {
+			t.Fatalf("row %d: got %v want %v", i, got[i], rows[i])
+		}
+	}
+	// Truncated input backs out cleanly with Truncate.
+	enc, err := AppendRow(nil, s, rows[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := b.N
+	if _, err := DecodeRowCols(enc[:len(enc)-1], s, b); err == nil {
+		t.Fatal("truncated row decoded without error")
+	}
+	b.Truncate(before)
+	if b.N != before || b.Cols[0].Len() != before {
+		t.Fatalf("Truncate did not restore the batch: N=%d len=%d want %d", b.N, b.Cols[0].Len(), before)
+	}
+}
+
+func TestBatchGrowKeepsContents(t *testing.T) {
+	s := colTestSchema(t)
+	b := NewBatch(s)
+	rows := randRows(rand.New(rand.NewSource(8)), s, 5)
+	for _, r := range rows {
+		if err := b.AppendRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Grow(1024)
+	for c := range b.Cols {
+		if b.Cols[c].Len() != 5 {
+			t.Fatalf("Grow changed column %d length to %d", c, b.Cols[c].Len())
+		}
+	}
+	got := b.Rows()
+	for i := range rows {
+		if !got[i].Equal(rows[i]) {
+			t.Fatalf("row %d after Grow: got %v want %v", i, got[i], rows[i])
+		}
+	}
+}

@@ -59,8 +59,17 @@ type Schema struct {
 	Key      []int // indices into Columns of the key attributes
 }
 
+// MaxRelationNameLen bounds relation names. Besides sanity, this keeps
+// the vstore page codec's version detection unambiguous: a legacy page
+// encoding starts with the name-length uvarint, whose first byte can
+// only equal the v2 tag (0xFF) for names of 255+ bytes.
+const MaxRelationNameLen = 200
+
 // NewSchema builds a schema; keyCols name the key attributes.
 func NewSchema(relation string, cols []Column, keyCols ...string) (*Schema, error) {
+	if len(relation) > MaxRelationNameLen {
+		return nil, fmt.Errorf("tuple: relation name %d bytes long exceeds limit %d", len(relation), MaxRelationNameLen)
+	}
 	s := &Schema{Relation: relation, Columns: cols}
 	for _, kc := range keyCols {
 		i := s.ColumnIndex(kc)

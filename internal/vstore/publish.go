@@ -113,8 +113,10 @@ func BuildInitialPages(s *tuple.Schema, epoch tuple.Epoch, ups []Update, maxPerP
 func chunkIntoPages(relation string, epoch tuple.Epoch, seq *uint32, entries []pageEntry, min, max keyspace.Key, maxPerPage int) []Page {
 	newPage := func(lo, hi keyspace.Key, es []pageEntry) Page {
 		ids := make([]tuple.ID, len(es))
+		hashes := make([]keyspace.Key, len(es))
 		for i, e := range es {
 			ids[i] = e.id
+			hashes[i] = e.hash
 		}
 		p := Page{
 			Ref: PageRef{
@@ -122,7 +124,8 @@ func chunkIntoPages(relation string, epoch tuple.Epoch, seq *uint32, entries []p
 				Min: lo,
 				Max: hi,
 			},
-			IDs: ids,
+			IDs:    ids,
+			Hashes: hashes,
 		}
 		*seq++
 		return p
@@ -173,9 +176,10 @@ func ApplyToPage(old *Page, s *tuple.Schema, epoch tuple.Epoch, ups []Update, ma
 	if maxPerPage <= 0 {
 		maxPerPage = DefaultMaxPageEntries
 	}
+	old.EnsureHashes()
 	byKey := make(map[string]pageEntry, len(old.IDs)+len(ups))
-	for _, id := range old.IDs {
-		byKey[id.Key] = pageEntry{id: id, hash: id.Hash()}
+	for i, id := range old.IDs {
+		byKey[id.Key] = pageEntry{id: id, hash: old.Hashes[i]}
 	}
 	var writes []TupleWrite
 	for _, u := range ups {

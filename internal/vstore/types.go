@@ -54,42 +54,68 @@ func (p PageRef) Contains(h keyspace.Key) bool {
 // Page is the content stored at an index node: the tuple IDs present in the
 // page's hash range for the page's version, at most one per distinct key.
 // Entries are kept sorted by (hash, key) for deterministic encoding and
-// ordered scans.
+// ordered scans. Hashes caches each ID's placement key (SHA-1 of its key
+// encoding): the scan path routes every entry by this hash, and computing
+// it per scanned row used to dominate query profiles, so pages persist it
+// alongside the IDs (EnsureHashes fills it for pages decoded from the
+// legacy, hash-less encoding).
 type Page struct {
-	Ref PageRef
-	IDs []tuple.ID
+	Ref    PageRef
+	IDs    []tuple.ID
+	Hashes []keyspace.Key // parallel to IDs; see EnsureHashes
 }
 
-// sortIDs orders tuple IDs by (hash, key encoding).
-func sortIDs(ids []tuple.ID) {
-	sort.Slice(ids, func(i, j int) bool {
-		hi, hj := ids[i].Hash(), ids[j].Hash()
-		if c := hi.Cmp(hj); c != 0 {
-			return c < 0
-		}
-		return ids[i].Key < ids[j].Key
-	})
+// EnsureHashes makes Hashes parallel to IDs, computing any missing entries.
+func (p *Page) EnsureHashes() {
+	if len(p.Hashes) == len(p.IDs) {
+		return
+	}
+	p.Hashes = make([]keyspace.Key, len(p.IDs))
+	for i, id := range p.IDs {
+		p.Hashes[i] = id.Hash()
+	}
 }
 
-// EncodePage serializes a page.
+// pageV2Tag marks the page encoding that carries cached placement hashes.
+// Legacy encodings begin with the relation name's uvarint length, whose
+// first byte equals 0xFF only for names of 255+ bytes — which schema
+// creation rejects (tuple.MaxRelationNameLen), so the tag is unambiguous
+// for every page either codec ever produced.
+const pageV2Tag = 0xFF
+
+// EncodePage serializes a page, including its entry placement hashes.
 func EncodePage(p *Page) []byte {
+	p.EnsureHashes()
 	var w writer
+	w.u8(pageV2Tag)
+	w.u8(2) // version
 	w.str(p.Ref.ID.Relation)
 	w.u64(uint64(p.Ref.ID.Epoch))
 	w.u32(p.Ref.ID.Seq)
 	w.key(p.Ref.Min)
 	w.key(p.Ref.Max)
 	w.uvarint(uint64(len(p.IDs)))
-	for _, id := range p.IDs {
+	for i, id := range p.IDs {
 		w.u64(uint64(id.Epoch))
 		w.str(id.Key)
+		w.key(p.Hashes[i])
 	}
 	return w.buf
 }
 
-// DecodePage reverses EncodePage.
+// DecodePage reverses EncodePage. It also accepts the legacy (pre-hash)
+// encoding, recomputing the placement hashes on the way in, so stores
+// written by earlier versions keep working.
 func DecodePage(data []byte) (*Page, error) {
 	r := reader{data: data}
+	version := uint8(1)
+	if len(data) >= 2 && data[0] == pageV2Tag {
+		r.u8()
+		version = r.u8()
+		if version != 2 {
+			return nil, fmt.Errorf("vstore: unknown page version %d", version)
+		}
+	}
 	p := &Page{}
 	p.Ref.ID.Relation = r.str()
 	p.Ref.ID.Epoch = tuple.Epoch(r.u64())
@@ -104,10 +130,14 @@ func DecodePage(data []byte) (*Page, error) {
 		e := tuple.Epoch(r.u64())
 		k := r.str()
 		p.IDs = append(p.IDs, tuple.ID{Key: k, Epoch: e})
+		if version >= 2 {
+			p.Hashes = append(p.Hashes, r.keyVal())
+		}
 	}
 	if err := r.done(); err != nil {
 		return nil, err
 	}
+	p.EnsureHashes()
 	return p, nil
 }
 
@@ -264,6 +294,28 @@ func EncodeTupleRecord(s *tuple.Schema, rec TupleRecord) ([]byte, error) {
 	}
 	w.bytes(rowBytes)
 	return w.buf, nil
+}
+
+// DecodeTupleRecordCols decodes a stored tuple record's row straight onto
+// a columnar batch, skipping the ID and all per-row allocations. String
+// values alias data (see tuple.DecodeRowCols): data must be an immutable,
+// retained buffer — stored kvstore values qualify.
+func DecodeTupleRecordCols(s *tuple.Schema, data []byte, b *tuple.Batch) error {
+	r := reader{data: data}
+	r.u64()   // ID epoch
+	r.bytes() // ID key encoding
+	rowBytes := r.bytes()
+	if r.err != nil {
+		return r.err
+	}
+	n, err := tuple.DecodeRowCols(rowBytes, s, b)
+	if err != nil {
+		return err
+	}
+	if n != len(rowBytes) {
+		return errors.New("vstore: trailing bytes in tuple row")
+	}
+	return r.done()
 }
 
 // DecodeTupleRecord reverses EncodeTupleRecord.

@@ -562,3 +562,115 @@ func TestTupleScanBounds(t *testing.T) {
 		t.Errorf("full-ring bounds = %q %q %v", fullLo, fullHi, wrapped)
 	}
 }
+
+// encodePageV1 reproduces the legacy (hash-less) page encoding so the
+// decoder's back-compat path stays covered.
+func encodePageV1(p *Page) []byte {
+	var w writer
+	w.str(p.Ref.ID.Relation)
+	w.u64(uint64(p.Ref.ID.Epoch))
+	w.u32(p.Ref.ID.Seq)
+	w.key(p.Ref.Min)
+	w.key(p.Ref.Max)
+	w.uvarint(uint64(len(p.IDs)))
+	for _, id := range p.IDs {
+		w.u64(uint64(id.Epoch))
+		w.str(id.Key)
+	}
+	return w.buf
+}
+
+// TestPageCodecCachesHashes checks that the v2 encoding persists each
+// entry's placement hash and that decoding a legacy v1 page recomputes
+// the hashes, so routing never hashes tuple IDs at scan time.
+func TestPageCodecCachesHashes(t *testing.T) {
+	s := rSchema(t)
+	p := &Page{
+		Ref: PageRef{
+			ID:  PageID{Relation: "R", Epoch: 3, Seq: 7},
+			Min: keyspace.FromUint64(100),
+			Max: keyspace.FromUint64(900),
+		},
+	}
+	for i := 0; i < 20; i++ {
+		row := tuple.Row{tuple.S(fmt.Sprintf("k%d", i)), tuple.S("v")}
+		p.IDs = append(p.IDs, tuple.NewID(s, row, tuple.Epoch(i%4)))
+	}
+	for name, data := range map[string][]byte{
+		"v2": EncodePage(p),
+		"v1": encodePageV1(p),
+	} {
+		got, err := DecodePage(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got.Hashes) != len(p.IDs) {
+			t.Fatalf("%s: %d hashes for %d ids", name, len(got.Hashes), len(p.IDs))
+		}
+		for i, id := range p.IDs {
+			if got.IDs[i] != id {
+				t.Errorf("%s id %d: %v != %v", name, i, got.IDs[i], id)
+			}
+			if got.Hashes[i] != id.Hash() {
+				t.Errorf("%s hash %d: %v != %v", name, i, got.Hashes[i], id.Hash())
+			}
+		}
+	}
+}
+
+// TestBuildInitialPagesCarryHashes checks the publish path fills the
+// hash cache without recomputation surprises.
+func TestBuildInitialPagesCarryHashes(t *testing.T) {
+	s := rSchema(t)
+	var ups []Update
+	for i := 0; i < 50; i++ {
+		ups = append(ups, Update{Op: OpInsert, Row: tuple.Row{tuple.S(fmt.Sprintf("k%d", i)), tuple.S("v")}})
+	}
+	pages, _, err := BuildInitialPages(s, 1, ups, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pages {
+		if len(p.Hashes) != len(p.IDs) {
+			t.Fatalf("page %v: %d hashes for %d ids", p.Ref.ID, len(p.Hashes), len(p.IDs))
+		}
+		for i, id := range p.IDs {
+			if p.Hashes[i] != id.Hash() {
+				t.Fatalf("page %v entry %d: cached hash mismatch", p.Ref.ID, i)
+			}
+		}
+	}
+}
+
+// TestDecodeTupleRecordCols checks the columnar record decode against the
+// row-building decoder.
+func TestDecodeTupleRecordCols(t *testing.T) {
+	s, err := tuple.NewSchema("m", []tuple.Column{
+		{Name: "k", Type: tuple.String},
+		{Name: "n", Type: tuple.Int64},
+		{Name: "x", Type: tuple.Float64},
+	}, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := tuple.NewBatch(s)
+	var want []tuple.Row
+	for i := 0; i < 30; i++ {
+		row := tuple.Row{tuple.S(fmt.Sprintf("key-%d", i)), tuple.I(int64(i)), tuple.F(float64(i) / 3)}
+		rec := TupleRecord{ID: tuple.NewID(s, row, 2), Row: row}
+		data, err := EncodeTupleRecord(s, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := DecodeTupleRecordCols(s, data, b); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, row)
+	}
+	got := b.Rows()
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("row %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -185,7 +185,13 @@ func (c *Cluster) ResetNetworkStats() { c.local.Net.ResetStats() }
 
 // CurrentEpoch returns the node-0 view of the global epoch.
 func (c *Cluster) CurrentEpoch() Epoch {
-	return c.local.Node(0).Gossip().Current()
+	return c.currentEpochAt(0)
+}
+
+// currentEpochAt returns node i's view of the global epoch — serving
+// paths resolve epochs at their own node, not node 0.
+func (c *Cluster) currentEpochAt(i int) Epoch {
+	return c.local.Node(i).Gossip().Current()
 }
 
 // --- schema DDL ---

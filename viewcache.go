@@ -77,17 +77,23 @@ func (c *Cluster) EnableQueryCache(maxEntries int) {
 	c.mu.Unlock()
 }
 
-// viewLookup resolves the effective epoch and consults the cache.
+// viewLookup resolves the effective epoch and consults the cache. The
+// cache is epoch-keyed and shared across serving nodes: a query pinned to
+// an epoch answers identically from every initiator (results are snapshot
+// deterministic), so any node's endpoint may both hit and fill it. An
+// unpinned query resolves the epoch at its own serving node — different
+// nodes' gossip views may briefly differ, and each must serve what it
+// would have computed.
 func (c *Cluster) viewLookup(src string, opts QueryOptions) (*Result, viewKey, *viewCache) {
 	c.mu.Lock()
 	views := c.views
 	c.mu.Unlock()
-	if views == nil || opts.Node != 0 || opts.Provenance {
+	if views == nil || opts.Provenance || opts.Node < 0 || opts.Node >= len(c.engines) {
 		return nil, viewKey{}, nil
 	}
 	epoch := opts.Epoch
 	if epoch == 0 {
-		epoch = c.CurrentEpoch()
+		epoch = c.currentEpochAt(opts.Node)
 	}
 	k := viewKey{sql: src, epoch: epoch}
 	if e, ok := views.get(k); ok {

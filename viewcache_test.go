@@ -120,3 +120,52 @@ func TestQueryCacheRepeatedHits(t *testing.T) {
 		}
 	}
 }
+
+// TestQueryCachePerNode: every serving node benefits from the
+// materialized-view cache, not just initiator 0 — a node-1 query is
+// served from cache (filled by node 1 itself, and shared with node 0
+// since entries are epoch-keyed).
+func TestQueryCachePerNode(t *testing.T) {
+	c := newTestCluster(t, 3)
+	setupInventory(t, c)
+	c.EnableQueryCache(8)
+
+	const q = "SELECT item, qty FROM inv WHERE qty > 100"
+	first, err := c.QueryOpts(q, QueryOptions{Node: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first node-1 execution reported a cache hit")
+	}
+	hit, err := c.QueryOpts(q, QueryOptions{Node: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached {
+		t.Fatal("node-1 repeat was not served from cache")
+	}
+	if len(hit.Rows) != len(first.Rows) || hit.Epoch != first.Epoch {
+		t.Fatalf("node-1 hit: %d rows at epoch %d, want %d at %d",
+			len(hit.Rows), hit.Epoch, len(first.Rows), first.Epoch)
+	}
+	// Epoch-keyed sharing: node 0 (and node 2) reuse node 1's entry.
+	for _, n := range []int{0, 2} {
+		r, err := c.QueryOpts(q, QueryOptions{Node: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Cached {
+			t.Fatalf("node-%d query missed the shared cache", n)
+		}
+	}
+	// A publish advances the epoch and invalidates every node's view.
+	mustPublish(t, c, "inv", Rows{{"rivet", 500, 0.08}})
+	r, err := c.QueryOpts(q, QueryOptions{Node: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cached {
+		t.Fatal("node-1 served a stale entry across epochs")
+	}
+}
