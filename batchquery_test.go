@@ -1,0 +1,165 @@
+package orchestra
+
+import (
+	"fmt"
+	"testing"
+
+	"orchestra/internal/tuple"
+)
+
+func newScanCluster(t *testing.T, rows int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Shutdown)
+	if err := c.CreateRelation(NewSchema("bq", "k:string", "grp:int", "v:int").Key("k")); err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]tuple.Row, 0, rows)
+	for i := 0; i < rows; i++ {
+		batch = append(batch, tuple.Row{tuple.S(fmt.Sprintf("k%05d", i)), tuple.I(int64(i % 7)), tuple.I(int64(i))})
+	}
+	if _, err := c.PublishTyped(0, "bq", batch); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestQueryBatchesColumnar checks the serving hand-off: a non-provenance
+// scan emits its whole answer through the columnar callback — the row
+// callback must never fire — and the content matches the buffered Query.
+func TestQueryBatchesColumnar(t *testing.T) {
+	c := newScanCluster(t, 500)
+	q := "SELECT k, grp, v FROM bq WHERE v >= 100 AND v < 400"
+	want, err := c.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Rows) != 300 {
+		t.Fatalf("reference query: %d rows", len(want.Rows))
+	}
+
+	var gotRows []tuple.Row
+	var rowEmits, colEmits int
+	var meta *Result
+	res, err := c.QueryBatches(q, QueryOptions{},
+		func(m *Result) error { meta = m; return nil },
+		func(rows []tuple.Row) error { rowEmits++; return nil },
+		func(b *tuple.Batch) error {
+			colEmits++
+			gotRows = append(gotRows, b.Rows()...)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta == nil || meta.Rows != nil {
+		t.Fatalf("start meta: %+v", meta)
+	}
+	if rowEmits != 0 {
+		t.Fatalf("row callback fired %d times on the columnar path", rowEmits)
+	}
+	if colEmits == 0 {
+		t.Fatal("columnar callback never fired")
+	}
+	if res.Epoch != want.Epoch || len(res.Columns) != 3 {
+		t.Fatalf("meta: %+v", res)
+	}
+	if len(gotRows) != len(want.Rows) {
+		t.Fatalf("columnar emitted %d rows, query answered %d", len(gotRows), len(want.Rows))
+	}
+	seen := make(map[string]bool, len(want.Rows))
+	for _, r := range want.Rows {
+		seen[fmt.Sprint(r)] = true
+	}
+	for _, r := range gotRows {
+		if !seen[fmt.Sprint(r)] {
+			t.Fatalf("columnar row %v not in reference answer", r)
+		}
+	}
+}
+
+// TestQueryBatchesProvenanceFallsBackToRows: provenance-mode collections
+// are row-granular, so the answer must arrive through the row callback.
+func TestQueryBatchesProvenanceFallsBackToRows(t *testing.T) {
+	c := newScanCluster(t, 200)
+	q := "SELECT k, v FROM bq WHERE v < 50"
+	var rowCount, colEmits int
+	_, err := c.QueryBatches(q, QueryOptions{Provenance: true},
+		func(*Result) error { return nil },
+		func(rows []tuple.Row) error { rowCount += len(rows); return nil },
+		func(b *tuple.Batch) error { colEmits++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if colEmits != 0 {
+		t.Fatalf("columnar callback fired %d times in provenance mode", colEmits)
+	}
+	if rowCount != 50 {
+		t.Fatalf("row callback delivered %d rows, want 50", rowCount)
+	}
+}
+
+// TestQueryLimitPushdown: a limit-only final pipeline must still answer
+// exactly N valid rows through both the buffered and columnar paths (the
+// early-completion optimization must never change the answer size).
+func TestQueryLimitPushdown(t *testing.T) {
+	c := newScanCluster(t, 2000)
+	q := "SELECT k, grp, v FROM bq WHERE v >= 0 LIMIT 25"
+	res, err := c.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 25 {
+		t.Fatalf("LIMIT 25 answered %d rows", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if len(r) != 3 || r[2].I64 < 0 || r[2].I64 >= 2000 {
+			t.Fatalf("row out of domain: %v", r)
+		}
+	}
+	var got int
+	if _, err := c.QueryBatches(q, QueryOptions{},
+		func(*Result) error { return nil },
+		func(rows []tuple.Row) error { got += len(rows); return nil },
+		func(b *tuple.Batch) error { got += b.N; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got != 25 {
+		t.Fatalf("columnar LIMIT 25 emitted %d rows", got)
+	}
+}
+
+// TestQueryBatchesCacheHitEmitsRows: view-cache hits are stored as rows
+// and must replay through the row callback.
+func TestQueryBatchesCacheHitEmitsRows(t *testing.T) {
+	c := newScanCluster(t, 100)
+	c.EnableQueryCache(16)
+	q := "SELECT k, v FROM bq WHERE v < 40"
+	start := func(*Result) error { return nil }
+	var rowsA, rowsB, colsA, colsB int
+	if _, err := c.QueryBatches(q, QueryOptions{},
+		start,
+		func(rows []tuple.Row) error { rowsA += len(rows); return nil },
+		func(b *tuple.Batch) error { colsA += b.N; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.QueryBatches(q, QueryOptions{},
+		start,
+		func(rows []tuple.Row) error { rowsB += len(rows); return nil },
+		func(b *tuple.Batch) error { colsB += b.N; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Fatal("second query not served from cache")
+	}
+	if rowsA+colsA != 40 || rowsB+colsB != 40 {
+		t.Fatalf("first run %d+%d rows, cached run %d+%d rows, want 40 each", rowsA, colsA, rowsB, colsB)
+	}
+	if rowsB != 40 {
+		t.Fatalf("cache hit emitted %d rows via the row callback, want 40", rowsB)
+	}
+}

@@ -136,6 +136,9 @@ type wireConn struct {
 	br *bufio.Reader
 	// binary reports a successful FeatureBinaryStream negotiation.
 	binary bool
+	// binaryPublish reports FeatureBinaryPublish: publishes may cross the
+	// wire as one typed column-major batch frame instead of JSON rows.
+	binaryPublish bool
 	// maxFrame is the negotiated frame limit, enforced in both
 	// directions. (The negotiated stream window needs no client state:
 	// it governs the server's sending, and the client grants one credit
@@ -225,7 +228,7 @@ func (c *Client) hello(conn *wireConn) error {
 		Op: server.OpHello,
 		Hello: &server.HelloRequest{
 			Version:  server.ProtocolVersion,
-			Features: []string{server.FeatureBinaryStream},
+			Features: []string{server.FeatureBinaryStream, server.FeatureBinaryPublish},
 			MaxFrame: c.opts.MaxFrame,
 			Window:   c.opts.StreamWindow,
 		},
@@ -253,10 +256,14 @@ func (c *Client) hello(conn *wireConn) error {
 		return errors.New("orchestra client: malformed hello response")
 	}
 	for _, f := range h.Features {
-		if f == server.FeatureBinaryStream {
+		switch f {
+		case server.FeatureBinaryStream:
 			conn.binary = true
+		case server.FeatureBinaryPublish:
+			conn.binaryPublish = true
 		}
 	}
+	conn.binaryPublish = conn.binaryPublish && conn.binary // tagged frames require the stream extension
 	if !conn.binary {
 		if c.opts.Codec == CodecBinary {
 			return fmt.Errorf("orchestra client: %w (server version %d)", ErrBinaryUnsupported, h.Version)
@@ -457,8 +464,32 @@ func (c *Client) Create(ctx context.Context, relation string, columns []string, 
 
 // Publish inserts a batch of rows as one published update and returns
 // the new global epoch. Values may be int, int64, float64, or string.
+//
+// On connections that negotiated the binary publish extension the rows
+// cross the wire as one typed column-major batch frame (tuple.AppendBatch),
+// eliminating JSON marshaling here and per-value coercion on the server;
+// rows the batch codec cannot carry (mixed value types within a column,
+// unsupported Go types) and old servers fall back to the JSON request
+// transparently.
 func (c *Client) Publish(ctx context.Context, relation string, rows [][]any) (uint64, error) {
-	resp, _, err := c.roundTrip(ctx, &server.Request{
+	if err := ctx.Err(); err != nil {
+		return 0, fmt.Errorf("orchestra client: %w", err)
+	}
+	conn, err := c.acquire()
+	if err != nil {
+		return 0, err
+	}
+	if conn.binaryPublish {
+		if typed, ok := typedRowsOf(rows); ok {
+			epoch, err, fellBack := c.publishBinary(ctx, conn, relation, typed)
+			if !fellBack {
+				return epoch, err
+			}
+			// The batch frame could not be built (e.g. mixed column
+			// types): the connection is untouched, reuse it for JSON.
+		}
+	}
+	resp, _, err := c.roundTripOn(ctx, conn, &server.Request{
 		Op:      server.OpPublish,
 		Publish: &server.PublishRequest{Relation: relation, Rows: rows},
 	})
@@ -466,6 +497,71 @@ func (c *Client) Publish(ctx context.Context, relation string, rows [][]any) (ui
 		return 0, err
 	}
 	return resp.Epoch, nil
+}
+
+// publishCompressMin is the raw batch size at which a binary publish
+// frame is flate-compressed (mirrors the server's streamed-batch
+// default; small publishes are cheaper to send raw).
+const publishCompressMin = 4 << 10
+
+// typedRowsOf converts caller values into typed tuple rows; !ok when a
+// value has no direct tuple type (the JSON path handles those).
+func typedRowsOf(rows [][]any) ([]tuple.Row, bool) {
+	out := make([]tuple.Row, len(rows))
+	for i, r := range rows {
+		row := make(tuple.Row, len(r))
+		for j, v := range r {
+			switch x := v.(type) {
+			case int:
+				row[j] = tuple.I(int64(x))
+			case int64:
+				row[j] = tuple.I(x)
+			case float64:
+				row[j] = tuple.F(x)
+			case string:
+				row[j] = tuple.S(x)
+			default:
+				return nil, false
+			}
+		}
+		out[i] = row
+	}
+	return out, true
+}
+
+// publishBinary sends one publish as a FramePublish batch frame on conn
+// and reads its JSON response. fellBack reports that nothing was sent
+// (frame could not be built) and the caller should retry over JSON on
+// the same connection.
+func (c *Client) publishBinary(ctx context.Context, conn *wireConn, relation string, rows []tuple.Row) (epoch uint64, err error, fellBack bool) {
+	payload, err := server.AppendPublishPayload(make([]byte, 0, 4096), 1, relation, rows, publishCompressMin)
+	if err != nil {
+		return 0, nil, true // heterogeneous batch: JSON carries it
+	}
+	frame, err := server.AppendBinaryFrame(make([]byte, 0, len(payload)+8), server.FramePublish, payload, conn.maxFrame)
+	if err != nil {
+		// Nothing was sent; let the JSON path carry the request — and,
+		// for a frame over the negotiated size limit, produce the typed
+		// error the caller expects.
+		return 0, nil, true
+	}
+	cc := newConnCall(ctx, conn)
+	if _, err := conn.Write(frame); err != nil {
+		err = cc.wrapErr(fmt.Errorf("orchestra client: write: %w", err))
+		cc.finish(c, false)
+		return 0, err, false
+	}
+	resp, _, err := readResponse(conn)
+	if err != nil {
+		err = cc.wrapErr(fmt.Errorf("orchestra client: read: %w", err))
+		cc.finish(c, false)
+		return 0, err, false
+	}
+	cc.finish(c, true)
+	if resp.Error != nil {
+		return 0, &Error{Code: resp.Error.Code, Message: resp.Error.Message}, false
+	}
+	return resp.Epoch, nil, false
 }
 
 // QueryOptions tunes one query; the zero value queries the current
@@ -732,12 +828,12 @@ func (s *Stream) Next() bool {
 		s.wireBytes += frameWireSize(payload, isBinary)
 		switch kind {
 		case server.FrameBatch:
-			_, rows, err := server.DecodeBatchPayload(payload)
+			_, rows, err := server.DecodeBatchPayloadAny(payload)
 			if err != nil {
 				s.fail(err)
 				return false
 			}
-			s.batch = boxRows(rows)
+			s.batch = rows
 			s.pending = true
 			return true
 		case server.FrameEnd:
@@ -774,26 +870,6 @@ func (s *Stream) finishConn(keep bool) {
 		s.cc.finish(s.c, keep)
 		s.cc = nil
 	}
-}
-
-// boxRows converts typed tuple rows into []any rows.
-func boxRows(rows []tuple.Row) [][]any {
-	out := make([][]any, len(rows))
-	for i, r := range rows {
-		row := make([]any, len(r))
-		for j, v := range r {
-			switch v.T {
-			case tuple.Int64:
-				row[j] = v.I64
-			case tuple.Float64:
-				row[j] = v.F64
-			default:
-				row[j] = v.Str
-			}
-		}
-		out[i] = row
-	}
-	return out
 }
 
 // Batch returns the current batch of rows (valid until the next call to

@@ -1,0 +1,129 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"orchestra"
+	"orchestra/client"
+)
+
+// TestBinaryPublishEndToEnd publishes through the negotiated binary
+// batch frame (the default against this server) and reads the rows back,
+// covering server-side type coercion of typed batches (ints into a float
+// column) and the JSON fallback for rows the batch codec cannot carry
+// (mixed value types within one column).
+func TestBinaryPublishEndToEnd(t *testing.T) {
+	_, srv := serveCluster(t, 1, orchestra.ServeOptions{})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	cl, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Create(ctx, "bp", []string{"item:string", "qty:int", "price:float"}, "item"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Homogeneous columns: crosses the wire as one typed batch frame.
+	// The price column is fed ints — the server coerces them onto float.
+	if _, err := cl.Publish(ctx, "bp", [][]any{
+		{"bolt", 90, 10},
+		{"nut", 120, 25},
+	}); err != nil {
+		t.Fatalf("binary publish: %v", err)
+	}
+	// Mixed types within the price column: the batch codec cannot carry
+	// it, so the client transparently falls back to the JSON request.
+	if _, err := cl.Publish(ctx, "bp", [][]any{
+		{"washer", 7, 1},
+		{"screw", 55, 2.5},
+	}); err != nil {
+		t.Fatalf("fallback publish: %v", err)
+	}
+
+	res, err := cl.Query(ctx, "SELECT item, qty, price FROM bp WHERE qty >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(res.Rows))
+	}
+	prices := map[string]float64{}
+	for _, r := range res.Rows {
+		prices[r[0].(string)] = r[2].(float64)
+	}
+	want := map[string]float64{"bolt": 10, "nut": 25, "washer": 1, "screw": 2.5}
+	for item, p := range want {
+		if prices[item] != p {
+			t.Fatalf("item %q price %v, want %v (all: %v)", item, prices[item], p, prices)
+		}
+	}
+
+	// A typed batch violating the schema (string into an int column)
+	// surfaces the server's bad_request, not a torn connection.
+	if _, err := cl.Publish(ctx, "bp", [][]any{{"bad", "not-an-int", 1.0}}); err == nil {
+		t.Fatal("schema-violating publish succeeded")
+	} else if !errors.Is(err, client.ErrBadRequest) {
+		t.Fatalf("schema-violating publish: %v", err)
+	}
+	// The connection survives the rejected publish.
+	if _, err := cl.Query(ctx, "SELECT item FROM bp WHERE qty = 90"); err != nil {
+		t.Fatalf("query after rejected publish: %v", err)
+	}
+}
+
+// TestStreamedLimitQuery drives a LIMIT query through the streamed wire
+// path end to end (the limit-only pushdown completes collection early
+// server-side; the stream must still deliver exactly N rows).
+func TestStreamedLimitQuery(t *testing.T) {
+	c, srv := serveCluster(t, 1, orchestra.ServeOptions{})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := c.CreateRelation(orchestra.NewSchema("lim", "k:string", "v:int").Key("k")); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	rows := make([][]any, 0, 3000)
+	for i := 0; i < 3000; i++ {
+		rows = append(rows, []any{item(i), i})
+	}
+	for lo := 0; lo < len(rows); lo += 500 {
+		if _, err := cl.Publish(ctx, "lim", rows[lo:lo+500]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := cl.Query(ctx, "SELECT k, v FROM lim WHERE v >= 0 LIMIT 37")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Streamed {
+		t.Fatal("result did not stream")
+	}
+	if len(res.Rows) != 37 {
+		t.Fatalf("LIMIT 37 delivered %d rows", len(res.Rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range res.Rows {
+		k := r[0].(string)
+		if seen[k] {
+			t.Fatalf("duplicate key %q in limited answer", k)
+		}
+		seen[k] = true
+	}
+}
+
+func item(i int) string {
+	const digits = "0123456789"
+	return "k" + string([]byte{
+		digits[i/1000%10], digits[i/100%10], digits[i/10%10], digits[i%10],
+	})
+}

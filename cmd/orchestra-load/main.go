@@ -105,6 +105,7 @@ func main() {
 
 	queries := makeQueries(*distinct, *rows, *resultRows)
 	rep := run(ctx, endpoints, queries, *clients, *codec, *warmup, *duration)
+	rep.Note = *note
 	rep.Rows = *rows
 	rep.ResultRows = *resultRows
 	rep.Distinct = *distinct
@@ -248,6 +249,7 @@ type clientStats struct {
 // benchRecord is one run's machine-readable result.
 type benchRecord struct {
 	Timestamp  string  `json:"timestamp"`
+	Note       string  `json:"note,omitempty"`
 	Codec      string  `json:"codec"`
 	Streamed   bool    `json:"streamed"`
 	LocalNodes int     `json:"local_nodes,omitempty"`

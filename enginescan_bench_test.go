@@ -48,6 +48,7 @@ func benchEngineScan(b *testing.B, sqlText string, wantRows int) {
 	if len(res.Rows) != wantRows {
 		b.Fatalf("query answered %d rows, want %d", len(res.Rows), wantRows)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := c.Query(sqlText); err != nil {
@@ -75,6 +76,47 @@ func BenchmarkEngineScanSelective(b *testing.B) {
 		engineScanRows/10)
 }
 
+// TestEngineScanAllocBudget is the GC-allocations regression gate on the
+// served scan path: the reference 5k-row filtered scan, drained through
+// the columnar QueryBatches hand-off, must stay far below one allocation
+// per scanned row. The batched pipeline runs at ~0.05 allocs/row; the
+// ceiling leaves room for background cluster noise while still failing
+// loudly if per-row materialization (the pre-PR state: several allocs
+// per row) ever creeps back in.
+func TestEngineScanAllocBudget(t *testing.T) {
+	c, err := NewCluster(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if err := loadScanRelation(engineScanRows)(c); err != nil {
+		t.Fatal(err)
+	}
+	q := fmt.Sprintf("SELECT k, grp, v FROM scanload WHERE v >= 0 AND v < %d", engineScanRows)
+	run := func() {
+		n := 0
+		_, err := c.QueryBatches(q, QueryOptions{},
+			func(*Result) error { return nil },
+			func(rows []tuple.Row) error { n += len(rows); return nil },
+			func(b *tuple.Batch) error { n += b.N; return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != engineScanRows {
+			t.Fatalf("query answered %d rows, want %d", n, engineScanRows)
+		}
+	}
+	run() // warm caches and pools
+	allocs := testing.AllocsPerRun(10, run)
+	perRow := allocs / float64(engineScanRows)
+	t.Logf("served scan: %.0f allocs/query, %.3f allocs/row", allocs, perRow)
+	const ceiling = 0.5 // allocs per scanned row
+	if perRow > ceiling {
+		t.Fatalf("scan path allocates %.3f per scanned row (%.0f per query), ceiling %.2f — result materialization is back on the hot path",
+			perRow, allocs, ceiling)
+	}
+}
+
 // BenchmarkEngineScanProvenance measures the filtered scan with
 // provenance tracking on (the recovery-support overhead of §VI-E on the
 // scan path).
@@ -84,6 +126,7 @@ func BenchmarkEngineScanProvenance(b *testing.B) {
 	if _, err := c.QueryOpts(q, QueryOptions{Provenance: true}); err != nil {
 		b.Fatalf("warm: %v", err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := c.QueryOpts(q, QueryOptions{Provenance: true}); err != nil {

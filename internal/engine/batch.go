@@ -5,9 +5,11 @@ package engine
 // stateless row-shaping operators (select, project, compute's input edge)
 // process whole batches — compiled predicates evaluate into a selection
 // Bitset and the batch compacts in place, projection rearranges column
-// headers in O(arity) — and the first sink that is not batch-aware
-// receives the rows materialized from one backing slab. Stateful operators
-// (join, aggregate, exchange, ship) keep their per-row form: their
+// headers in O(arity) — and the ship operator forwards batches columnar
+// to the initiator's collection accumulator, so a plain scan query never
+// materializes rows anywhere. The first sink that is not batch-aware
+// receives the rows materialized from one backing slab. Stateful
+// operators (join, aggregate, exchange) keep their per-row form: their
 // semantics (provenance unions, sub-group bookkeeping, destination
 // batching) are row-granular by design.
 //
@@ -15,7 +17,11 @@ package engine
 // each scanned tuple carries its own mutable Prov bitset (origin node plus
 // the requesting index node), so the scan uses the row path there.
 
-import "orchestra/internal/tuple"
+import (
+	"sync"
+
+	"orchestra/internal/tuple"
+)
 
 // colBatch is a columnar batch annotated with the engine metadata every
 // row of the batch shares.
@@ -47,6 +53,37 @@ func (cb *colBatch) materialize() []Tup {
 		}
 	}
 	return ts
+}
+
+// resultBatchPool recycles the columnar slabs that back query answers:
+// each served query's Result.Batch returns here (RecycleResultBatch) once
+// its wire frames are flushed, so steady-state serving reuses the same
+// vector arenas instead of re-growing (and collecting) them per query.
+var resultBatchPool = sync.Pool{New: func() any { return &tuple.Batch{} }}
+
+// maxPooledBatchRows bounds what returns to the pool: one freak result
+// must not pin its slabs in the pool forever.
+const maxPooledBatchRows = 1 << 20
+
+// getResultBatch takes an empty, untyped batch from the pool. Its first
+// AppendBatchInto/DecodeBatchInto adopts the incoming column types while
+// reusing whatever vector capacity the previous life left behind.
+func getResultBatch() *tuple.Batch {
+	b := resultBatchPool.Get().(*tuple.Batch)
+	b.ResetTypes(nil)
+	return b
+}
+
+// RecycleResultBatch returns a query answer's columnar slab to the arena
+// pool. Callers must be completely done with the batch — including every
+// Slice view and every string still aliasing its vectors' backing.
+func RecycleResultBatch(b *tuple.Batch) {
+	if b == nil || b.N > maxPooledBatchRows {
+		return
+	}
+	b.Truncate(0)
+	b.ClearStrings() // a parked batch must not pin its result's strings
+	resultBatchPool.Put(b)
 }
 
 // asBatchSink resolves the batch-aware view of a sink once, at plan build

@@ -322,12 +322,19 @@ func (c *exchConsumer) completeLocked() (bool, uint32) {
 // --- ship ---
 
 // shipProducer sends final fragment output to the query initiator
-// (Table I, ship).
+// (Table I, ship). It is batch-aware: columnar batches from the operator
+// pipeline stay columnar — on the initiator's own node they hand over to
+// the ship consumer directly (which appends their vectors into its
+// columnar accumulator), remotely they coalesce into a pending batch and
+// ship batch-encoded. Row pushes (provenance mode, covering scans,
+// stateful operators) keep the original path.
 type shipProducer struct {
 	ex *executor
 
 	mu      sync.Mutex
 	pending []Tup
+	cols    *tuple.Batch // remote coalescing; nil until first columnar push
+	spare   *tuple.Batch // recycled after a flush to keep vector capacity
 }
 
 func (s *shipProducer) push(ts []Tup) {
@@ -344,11 +351,55 @@ func (s *shipProducer) push(ts []Tup) {
 	}
 }
 
+// pushCols receives a columnar batch from the operator pipeline. The
+// batch is borrowed (pushCols contract): loopback hand-off copies it into
+// the consumer's accumulator before returning; the remote path copies it
+// into the pending coalescing batch.
+func (s *shipProducer) pushCols(cb *colBatch) {
+	if cb.prov != nil {
+		s.push(cb.materialize())
+		return
+	}
+	if s.ex.initiator == s.ex.self() {
+		s.ex.sendShipCols(&cb.cols)
+		return
+	}
+	s.mu.Lock()
+	if s.cols == nil {
+		s.cols = &tuple.Batch{}
+	}
+	if err := s.cols.AppendBatchInto(&cb.cols); err != nil {
+		s.mu.Unlock()
+		s.push(cb.materialize()) // shape mismatch: degrade to rows
+		return
+	}
+	var flush *tuple.Batch
+	if s.cols.N >= flushRows {
+		flush, s.cols = s.cols, s.spare
+		s.spare = nil
+	}
+	s.mu.Unlock()
+	if flush != nil {
+		s.ex.sendShipCols(flush)
+		flush.Truncate(0)
+		s.mu.Lock()
+		if s.spare == nil {
+			s.spare = flush
+		}
+		s.mu.Unlock()
+	}
+}
+
 func (s *shipProducer) eos(phase uint32) {
 	s.mu.Lock()
 	flush := s.pending
 	s.pending = nil
+	flushCols := s.cols
+	s.cols = nil
 	s.mu.Unlock()
+	if flushCols != nil && flushCols.N > 0 {
+		s.ex.sendShipCols(flushCols)
+	}
 	if len(flush) > 0 {
 		s.ex.sendShipBatch(flush)
 	}
@@ -366,6 +417,9 @@ type shipConsumer struct {
 
 	mu         sync.Mutex
 	rows       []Tup
+	cols       *tuple.Batch // columnar accumulator (non-provenance batches)
+	limit      int          // limit-only final pipeline: stop at N rows (-1: none)
+	sealed     bool         // accepted completion: drop late arrivals
 	eosFrom    map[uint32]map[ring.NodeID]bool
 	statsBy    map[ring.NodeID]NodeStats
 	firedPhase map[uint32]bool
@@ -375,6 +429,8 @@ type shipConsumer struct {
 func newShipConsumer(ex *executor) *shipConsumer {
 	return &shipConsumer{
 		ex:         ex,
+		cols:       getResultBatch(),
+		limit:      -1,
 		eosFrom:    make(map[uint32]map[ring.NodeID]bool),
 		statsBy:    make(map[ring.NodeID]NodeStats),
 		firedPhase: make(map[uint32]bool),
@@ -382,11 +438,104 @@ func newShipConsumer(ex *executor) *shipConsumer {
 	}
 }
 
+// collectedLocked is the number of result rows gathered so far.
+func (s *shipConsumer) collectedLocked() int { return len(s.rows) + s.cols.N }
+
+// limitReachedLocked reports whether a pushed-down limit is satisfied:
+// with a limit-only final pipeline any N collected rows are a complete
+// answer (the collected set is duplicate-free by the scan contract), so
+// further shipments can be dropped and the query completed early.
+func (s *shipConsumer) limitReachedLocked() bool {
+	return s.limit >= 0 && s.collectedLocked() >= s.limit
+}
+
+// checkLimitLocked fires an early completion when the pushed-down limit
+// has just been satisfied. firedPhase keeps it single-shot per phase; the
+// later EOS wave for the same phase is then a no-op.
+func (s *shipConsumer) checkLimitLocked() {
+	if !s.limitReachedLocked() {
+		return
+	}
+	phase := s.ex.phaseNow()
+	if s.firedPhase[phase] {
+		return
+	}
+	s.firedPhase[phase] = true
+	select {
+	case s.completeCh <- phase:
+	default:
+	}
+}
+
 func (s *shipConsumer) receive(ts []Tup) {
 	ts = s.ex.filterTainted(ts)
 	s.mu.Lock()
+	if s.sealed || s.limitReachedLocked() {
+		s.mu.Unlock()
+		return
+	}
 	s.rows = append(s.rows, ts...)
+	s.checkLimitLocked()
 	s.mu.Unlock()
+}
+
+// receiveCols folds a columnar batch into the accumulator — one bulk copy
+// per column vector, no per-row boxing. The batch is borrowed: the caller
+// keeps ownership and may reuse it after the call returns.
+func (s *shipConsumer) receiveCols(b *tuple.Batch) {
+	if b.N == 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.sealed || s.limitReachedLocked() {
+		s.mu.Unlock()
+		return
+	}
+	if err := s.cols.AppendBatchInto(b); err != nil {
+		s.mu.Unlock()
+		s.receive(tupsOfBatch(b)) // shape mismatch: degrade to rows
+		return
+	}
+	s.checkLimitLocked()
+	s.mu.Unlock()
+}
+
+// receiveWire handles an inbound ship payload (after the query-ID
+// header): phase, provenance flag, batch body. Non-provenance bodies
+// decode into a pooled scratch batch outside the consumer lock — decode
+// (including flate decompression) of concurrent fan-in from many nodes
+// must not serialize on s.mu — and then fold in with one locked
+// vector-wise append. Provenance bodies take the row path (each tuple
+// carries its own provenance set).
+func (s *shipConsumer) receiveWire(rest []byte) error {
+	if len(rest) >= 5 && rest[4] == 0 {
+		scratch := getResultBatch()
+		_, err := tuple.DecodeBatchInto(rest[5:], scratch)
+		if err == nil {
+			s.receiveCols(scratch)
+			RecycleResultBatch(scratch)
+			return nil
+		}
+		RecycleResultBatch(scratch)
+		// Malformed body: fall through to the row decoder, which
+		// re-validates and reports the error.
+	}
+	ts, _, err := decodeTupBatch(rest)
+	if err != nil {
+		return err
+	}
+	s.receive(ts)
+	return nil
+}
+
+// tupsOfBatch materializes a borrowed batch into owned tuples.
+func tupsOfBatch(b *tuple.Batch) []Tup {
+	rows := b.Rows()
+	ts := make([]Tup, len(rows))
+	for i, r := range rows {
+		ts[i] = Tup{Row: r}
+	}
+	return ts
 }
 
 func (s *shipConsumer) eosFromNode(from ring.NodeID, phase uint32, st NodeStats) {
@@ -439,11 +588,15 @@ func (s *shipConsumer) completeLocked() {
 	}
 }
 
-// results returns the collected rows (after done fires).
-func (s *shipConsumer) results() []Tup {
+// seal latches the consumer shut — late straggler shipments are dropped —
+// and returns the collected answer: the row tuples and the columnar
+// accumulator. Called exactly once, when the initiator accepts a
+// completion for the current phase.
+func (s *shipConsumer) seal() ([]Tup, *tuple.Batch) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.rows
+	s.sealed = true
+	return s.rows, s.cols
 }
 
 // nodeStats returns the per-node counters reported with ship EOS.

@@ -72,6 +72,14 @@ type Options struct {
 	Epoch tuple.Epoch
 	// MaxRestarts bounds RecoverRestart attempts (default 3).
 	MaxRestarts int
+	// ColumnarResult leaves the collected answer columnar: Result.Batch
+	// carries the column vectors accumulated at the initiator and
+	// Result.Rows stays nil — no per-row materialization. The serving
+	// path's hand-off; callers that want rows leave it off. Queries whose
+	// collection involved row-granular tuples (provenance mode, covering
+	// scans, aggregates demoting the final pipeline) return rows even when
+	// it is set.
+	ColumnarResult bool
 }
 
 func (o Options) withDefaults() Options {
@@ -165,7 +173,13 @@ func (s *statsCounters) snapshot() NodeStats {
 // Result is a completed query's answer set and execution metadata.
 type Result struct {
 	// Rows is the final answer set (after initiator-side final operators).
+	// Nil when Batch carries the answer instead.
 	Rows []tuple.Row
+	// Batch is the columnar answer set, populated instead of Rows when
+	// Options.ColumnarResult was set and the whole collection stayed
+	// columnar. Its slabs may be returned to the arena with
+	// RecycleResultBatch once the caller is completely done with them.
+	Batch *tuple.Batch
 	// Stats maps each participating node to its work counters (the last
 	// report received from each).
 	Stats map[ring.NodeID]NodeStats
@@ -285,6 +299,11 @@ type executor struct {
 	phase     uint32
 	failed    Prov       // accumulated failed snapshot-member indices
 	recoverMu sync.Mutex // serializes applyRecover invocations
+
+	// aborted asks in-flight local work (scan passes) to stop early: set
+	// when the query is cancelled or its answer is already complete (a
+	// pushed-down limit was satisfied before the scans finished).
+	aborted atomic.Bool
 
 	scans        map[int]*scanLeaf
 	producers    map[int]*exchProducer
@@ -569,6 +588,33 @@ func (ex *executor) sendShipBatch(ts []Tup) {
 	_ = ex.eng.node.Endpoint().Send(ex.initiator, msgShipBatch, payload)
 }
 
+// shipCompressMin mirrors the tuple batch codec's default compression
+// threshold for remote columnar ship bodies.
+const shipCompressMin = 256
+
+// sendShipCols delivers columnar fragment output to the query initiator.
+// The batch is borrowed: loopback appends it into the ship consumer's
+// accumulator, the remote path encodes it — either way the caller keeps
+// ownership after the call.
+func (ex *executor) sendShipCols(b *tuple.Batch) {
+	ex.stats.addShipped(b.N)
+	if ex.initiator == ex.self() {
+		if ex.shipCons != nil {
+			ex.shipCons.receiveCols(b)
+		}
+		return
+	}
+	payload := ex.header(nil)
+	payload = binary.BigEndian.AppendUint32(payload, ex.phaseNow())
+	payload = append(payload, 0) // no provenance column
+	payload, err := tuple.AppendBatchCols(payload, b, shipCompressMin)
+	if err != nil {
+		return
+	}
+	ex.stats.addSentBytes(len(payload))
+	_ = ex.eng.node.Endpoint().Send(ex.initiator, msgShipBatch, payload)
+}
+
 // sendShipEOS reports fragment completion for the given wave phase, along
 // with this node's work counters.
 func (ex *executor) sendShipEOS(phase uint32) {
@@ -749,13 +795,10 @@ func (e *Engine) registerHandlers() {
 		if ex == nil || ex.shipCons == nil {
 			return nil, nil
 		}
-		ts, _, err := decodeTupBatch(rest)
-		if err != nil {
-			return nil, err
-		}
 		ex.stats.addRecvBytes(len(payload))
-		ex.shipCons.receive(ts)
-		return nil, nil
+		// Non-provenance bodies decode straight into the consumer's
+		// columnar accumulator; provenance bodies take the row path.
+		return nil, ex.shipCons.receiveWire(rest)
 	})
 
 	ep.Handle(msgShipEOS, func(from ring.NodeID, payload []byte) ([]byte, error) {
@@ -808,6 +851,9 @@ func (e *Engine) registerHandlers() {
 		q, _, err := readHeader(payload)
 		if err != nil {
 			return nil, err
+		}
+		if ex := e.getExec(q); ex != nil {
+			ex.aborted.Store(true) // stop in-flight local scan passes
 		}
 		e.dropExec(q)
 		return nil, nil
@@ -1036,6 +1082,27 @@ func (e *FailureError) Error() string {
 	return fmt.Sprintf("engine: node failure during query: %v", e.Failed)
 }
 
+// limitOnlyFinal reports N when the final pipeline is limit-only (no
+// agg/sort/compute): such a query can stop collecting — and cancel
+// outstanding scan passes — once N rows have been gathered, because any N
+// collected rows are a complete answer. Returns -1 otherwise.
+func limitOnlyFinal(ops []FinalOp) int {
+	if len(ops) == 0 {
+		return -1
+	}
+	n := -1
+	for _, op := range ops {
+		f, ok := op.(*FinalLimit)
+		if !ok {
+			return -1
+		}
+		if n < 0 || f.N < n {
+			n = f.N
+		}
+	}
+	return n
+}
+
 func (e *Engine) runOnce(ctx context.Context, p *Plan, opts Options, epoch tuple.Epoch, snap *ring.Table) (*Result, error) {
 	metas, err := e.resolveMetas(ctx, p, epoch)
 	if err != nil {
@@ -1046,8 +1113,18 @@ func (e *Engine) runOnce(ctx context.Context, p *Plan, opts Options, epoch tuple
 	if err != nil {
 		return nil, err
 	}
+	// The limit pushdown drops shipments once N rows are collected, which
+	// is only sound when collected rows can never be retracted: with
+	// incremental recovery (provenance mode) a later purge of tainted
+	// rows could leave fewer than N even though dropped clean shipments
+	// held the difference. Restart mode discards the whole executor
+	// instead, so nothing collected is ever retracted.
+	if !opts.Provenance {
+		ex.shipCons.limit = limitOnlyFinal(p.Final)
+	}
 	e.putExec(queryID, ex)
 	defer func() {
+		ex.aborted.Store(true) // stop any local pass still running
 		e.dropExec(queryID)
 		ex.broadcastCancel()
 	}()
@@ -1118,21 +1195,52 @@ func (e *Engine) runOnce(ctx context.Context, p *Plan, opts Options, epoch tuple
 			if phase != ex.phaseNow() {
 				continue // stale completion from before a recovery
 			}
-			rows := make([]tuple.Row, 0, len(ex.shipCons.results()))
-			for _, t := range ex.shipCons.results() {
+			tups, colsB := ex.shipCons.seal()
+			res := &Result{
+				Stats:  ex.shipCons.nodeStats(),
+				Phases: ex.phaseNow() + 1,
+				Epoch:  epoch,
+			}
+			if len(tups) == 0 {
+				// Pure columnar collection: run the batch-native final
+				// pipeline; no row is materialized unless an op demotes.
+				// (String contents alias kvstore record bytes, never the
+				// vectors themselves, so recycling a batch after copying
+				// its values out is safe.)
+				b, rows, err := applyFinalOpsCols(p.Final, colsB)
+				if err != nil {
+					return nil, err
+				}
+				if b != colsB {
+					RecycleResultBatch(colsB)
+				}
+				switch {
+				case b == nil:
+					res.Rows = rows // an op demoted the flow
+				case opts.ColumnarResult:
+					res.Batch = b
+				default:
+					res.Rows = b.Rows()
+					RecycleResultBatch(b)
+				}
+				return res, nil
+			}
+			// Mixed or row-granular collection (provenance mode, covering
+			// scans, replica fallbacks): materialize and run the row form.
+			rows := make([]tuple.Row, 0, len(tups)+colsB.N)
+			for _, t := range tups {
 				rows = append(rows, t.Row)
 			}
+			if colsB.N > 0 {
+				rows = append(rows, colsB.Rows()...)
+			}
+			RecycleResultBatch(colsB)
 			final, err := applyFinalOps(p.Final, rows)
 			if err != nil {
 				return nil, err
 			}
-			stats := ex.shipCons.nodeStats()
-			return &Result{
-				Rows:   final,
-				Stats:  stats,
-				Phases: ex.phaseNow() + 1,
-				Epoch:  epoch,
-			}, nil
+			res.Rows = final
+			return res, nil
 		}
 	}
 }

@@ -3,39 +3,110 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"orchestra/internal/tuple"
 )
 
-// applyFinalOps runs the initiator-side final processing pipeline over the
-// collected rows (§V-B: "All data is ultimately collected at the query
-// initiator node, which may do final processing, such as the last stage of
-// aggregation, or a final sort").
+// Initiator-side final processing (§V-B: "All data is ultimately collected
+// at the query initiator node, which may do final processing, such as the
+// last stage of aggregation, or a final sort"). Two forms exist: the row
+// pipeline (provenance mode and mixed collections) and the columnar
+// pipeline over the batch the ship consumer accumulated — sort runs as an
+// index permutation over the column vectors, limit is a truncation, and
+// compute evaluates into fresh vectors. Aggregation (and a compute whose
+// output types vary row to row) demotes to rows: its output is small and
+// type-heterogeneous by nature.
+
+// applyFinalOps runs the final pipeline over collected rows.
 func applyFinalOps(ops []FinalOp, rows []tuple.Row) ([]tuple.Row, error) {
 	for _, op := range ops {
-		switch f := op.(type) {
-		case *FinalAgg:
-			rows = mergeFinal(f.GroupCols, f.Aggs, rows)
-		case *FinalSort:
-			sortRows(rows, f.Keys)
-		case *FinalCompute:
-			fns := compileExprs(f.Exprs) // compiled once, applied per row
-			for i, row := range rows {
-				out := make(tuple.Row, len(fns))
-				for j, fn := range fns {
-					out[j] = fn(row)
-				}
-				rows[i] = out
-			}
-		case *FinalLimit:
-			if len(rows) > f.N {
-				rows = rows[:f.N]
-			}
-		default:
-			return nil, fmt.Errorf("engine: unknown final op %T", op)
+		var err error
+		rows, err = applyFinalOpRows(op, rows)
+		if err != nil {
+			return nil, err
 		}
 	}
 	return rows, nil
+}
+
+// applyFinalOpRows applies one final operator in row form.
+func applyFinalOpRows(op FinalOp, rows []tuple.Row) ([]tuple.Row, error) {
+	switch f := op.(type) {
+	case *FinalAgg:
+		return mergeFinal(f.GroupCols, f.Aggs, rows), nil
+	case *FinalSort:
+		sortRows(rows, f.Keys)
+		return rows, nil
+	case *FinalCompute:
+		fns := compileExprs(f.Exprs) // compiled once, applied per row
+		// One backing slab for every output row instead of a per-row
+		// allocation: the old make-per-row dominated compute-heavy finals.
+		width := len(fns)
+		slab := make(tuple.Row, len(rows)*width)
+		for i, row := range rows {
+			out := slab[i*width : (i+1)*width : (i+1)*width]
+			for j, fn := range fns {
+				out[j] = fn(row)
+			}
+			rows[i] = out
+		}
+		return rows, nil
+	case *FinalLimit:
+		if len(rows) > f.N {
+			rows = rows[:f.N]
+		}
+		return rows, nil
+	}
+	return nil, fmt.Errorf("engine: unknown final op %T", op)
+}
+
+// applyFinalOpsCols runs the final pipeline over a columnar answer. The
+// result is either a batch (still columnar) or rows (an op demoted the
+// flow); exactly one return is non-nil for a non-empty answer.
+func applyFinalOpsCols(ops []FinalOp, b *tuple.Batch) (*tuple.Batch, []tuple.Row, error) {
+	var rows []tuple.Row
+	demoted := false
+	for _, op := range ops {
+		if demoted {
+			var err error
+			rows, err = applyFinalOpRows(op, rows)
+			if err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		switch f := op.(type) {
+		case *FinalAgg:
+			rows = mergeFinalCols(f.GroupCols, f.Aggs, b)
+			demoted = true
+		case *FinalSort:
+			sortCols(b, f.Keys)
+		case *FinalCompute:
+			nb, ok := computeCols(f.Exprs, b)
+			if ok {
+				b = nb
+				continue
+			}
+			// Heterogeneous output types: demote and re-apply in row form.
+			var err error
+			rows, err = applyFinalOpRows(op, b.Rows())
+			if err != nil {
+				return nil, nil, err
+			}
+			demoted = true
+		case *FinalLimit:
+			if b.N > f.N {
+				b.Truncate(f.N)
+			}
+		default:
+			return nil, nil, fmt.Errorf("engine: unknown final op %T", op)
+		}
+	}
+	if demoted {
+		return nil, rows, nil
+	}
+	return b, nil, nil
 }
 
 // sortRows orders rows by the sort keys (stable, so equal keys preserve
@@ -54,4 +125,261 @@ func sortRows(rows []tuple.Row, keys []SortKey) {
 		}
 		return false
 	})
+}
+
+// sortCols stably orders the batch by the sort keys via an index
+// permutation: the comparator reads the column vectors directly (the
+// per-key type dispatch is hoisted out of the comparison loop), then each
+// vector is gathered once by the final permutation. Ordering matches
+// Value.Cmp exactly — including its NaN-compares-equal float quirk — and a
+// batch column is type-homogeneous, so no cross-type compares arise.
+func sortCols(b *tuple.Batch, keys []SortKey) {
+	if b.N < 2 {
+		return
+	}
+	cmps := make([]func(i, j int) int, len(keys))
+	for ki, k := range keys {
+		v := &b.Cols[k.Col]
+		switch v.T {
+		case tuple.Int64:
+			xs := v.I64
+			cmps[ki] = func(i, j int) int { return cmpI64(xs[i], xs[j]) }
+		case tuple.Float64:
+			xs := v.F64
+			cmps[ki] = func(i, j int) int { return cmpF64(xs[i], xs[j]) }
+		case tuple.String:
+			xs := v.Str
+			cmps[ki] = func(i, j int) int { return strings.Compare(xs[i], xs[j]) }
+		default:
+			cmps[ki] = func(i, j int) int { return 0 }
+		}
+	}
+	perm := make([]int, b.N)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(i, j int) bool {
+		a, bb := perm[i], perm[j]
+		for ki := range keys {
+			c := cmps[ki](a, bb)
+			if c == 0 {
+				continue
+			}
+			if keys[ki].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	for c := range b.Cols {
+		v := &b.Cols[c]
+		switch v.T {
+		case tuple.Int64:
+			out := make([]int64, b.N)
+			for i, p := range perm {
+				out[i] = v.I64[p]
+			}
+			v.I64 = out
+		case tuple.Float64:
+			out := make([]float64, b.N)
+			for i, p := range perm {
+				out[i] = v.F64[p]
+			}
+			v.F64 = out
+		case tuple.String:
+			out := make([]string, b.N)
+			for i, p := range perm {
+				out[i] = v.Str[p]
+			}
+			v.Str = out
+		}
+	}
+}
+
+func cmpI64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// cmpF64 mirrors Value.Cmp's float ordering, NaN-compares-equal included.
+func cmpF64(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// computeCols evaluates compiled expressions over the batch into a fresh
+// columnar batch, reading input rows through one reused scratch row.
+// Output column types are fixed by the first row; expression results may
+// legally vary type row to row, in which case it reports !ok and the
+// caller demotes to the row form.
+func computeCols(exprs []Expr, b *tuple.Batch) (*tuple.Batch, bool) {
+	fns := compileExprs(exprs)
+	out := &tuple.Batch{}
+	if b.N == 0 {
+		out.ResetTypes(nil)
+		return out, true
+	}
+	var scratch tuple.Row
+	scratch = b.Row(0, scratch)
+	types := make([]tuple.Type, len(fns))
+	first := make([]tuple.Value, len(fns))
+	for j, fn := range fns {
+		v := fn(scratch)
+		if !v.IsValid() {
+			return nil, false
+		}
+		types[j] = v.T
+		first[j] = v
+	}
+	out.ResetTypes(types)
+	out.Grow(b.N)
+	if err := out.AppendRow(first); err != nil {
+		return nil, false
+	}
+	for i := 1; i < b.N; i++ {
+		scratch = b.Row(i, scratch)
+		for j, fn := range fns {
+			v := fn(scratch)
+			if v.T != types[j] {
+				return nil, false
+			}
+			w := &out.Cols[j]
+			switch v.T {
+			case tuple.Int64:
+				w.I64 = append(w.I64, v.I64)
+			case tuple.Float64:
+				w.F64 = append(w.F64, v.F64)
+			case tuple.String:
+				w.Str = append(w.Str, v.Str)
+			}
+		}
+		out.N++
+	}
+	return out, true
+}
+
+// mergeFinalCols merges shipped partial aggregate rows straight off the
+// columnar collection, reading through one reused scratch row — no
+// per-input-row allocation before the (small) merged output.
+func mergeFinalCols(groupCols []int, specs []AggSpec, b *tuple.Batch) []tuple.Row {
+	acc := newFinalAggAcc(groupCols, specs)
+	var scratch tuple.Row
+	for i := 0; i < b.N; i++ {
+		scratch = b.Row(i, scratch)
+		acc.add(scratch)
+	}
+	return acc.rows()
+}
+
+// mergeFinal merges shipped partial rows at the initiator (FinalAgg).
+func mergeFinal(groupCols []int, specs []AggSpec, rows []tuple.Row) []tuple.Row {
+	acc := newFinalAggAcc(groupCols, specs)
+	for _, row := range rows {
+		acc.add(row)
+	}
+	return acc.rows()
+}
+
+// finalAggAcc accumulates the initiator-side merge of partial aggregate
+// rows; add reads its row argument only during the call (group values are
+// copied out), so callers may pass a reused scratch row.
+type finalAggAcc struct {
+	groupCols []int
+	specs     []AggSpec
+	groups    map[string]*finalAggGroup
+}
+
+type finalAggGroup struct {
+	groupVals tuple.Row
+	st        *aggState
+}
+
+func newFinalAggAcc(groupCols []int, specs []AggSpec) *finalAggAcc {
+	return &finalAggAcc{groupCols: groupCols, specs: specs, groups: make(map[string]*finalAggGroup)}
+}
+
+func (a *finalAggAcc) add(row tuple.Row) {
+	gk := string(tuple.EncodeKey(row, a.groupCols))
+	g := a.groups[gk]
+	if g == nil {
+		g = &finalAggGroup{groupVals: row.Project(a.groupCols), st: newAggState(len(a.specs))}
+		for i := range a.specs {
+			g.st.allInt[i] = true
+		}
+		a.groups[gk] = g
+	}
+	// Partial layout: group cols, then per spec 1 col (2 for AVG).
+	col := len(a.groupCols)
+	for i, spec := range a.specs {
+		v := row[col]
+		switch spec.Func {
+		case AggCount:
+			g.st.counts[i] += v.AsInt()
+			col++
+		case AggSum:
+			if v.T == tuple.Int64 {
+				g.st.isums[i] += v.I64
+				g.st.sums[i] += float64(v.I64)
+			} else {
+				g.st.allInt[i] = false
+				g.st.sums[i] += v.F64
+			}
+			g.st.counts[i]++
+			col++
+		case AggMin:
+			if g.st.counts[i] == 0 || v.Cmp(g.st.mins[i]) < 0 {
+				g.st.mins[i] = v
+			}
+			g.st.counts[i]++
+			col++
+		case AggMax:
+			if g.st.counts[i] == 0 || v.Cmp(g.st.maxs[i]) > 0 {
+				g.st.maxs[i] = v
+			}
+			g.st.counts[i]++
+			col++
+		case AggAvg:
+			g.st.sums[i] += v.AsFloat()
+			g.st.counts[i] += row[col+1].AsInt()
+			col += 2
+		}
+	}
+}
+
+func (a *finalAggAcc) rows() []tuple.Row {
+	out := make([]tuple.Row, 0, len(a.groups))
+	for _, g := range a.groups {
+		row := g.groupVals.Clone()
+		for i, spec := range a.specs {
+			switch spec.Func {
+			case AggCount:
+				row = append(row, tuple.I(g.st.counts[i]))
+			case AggSum:
+				row = append(row, g.st.sumValue(i))
+			case AggMin:
+				row = append(row, g.st.mins[i])
+			case AggMax:
+				row = append(row, g.st.maxs[i])
+			case AggAvg:
+				if g.st.counts[i] == 0 {
+					row = append(row, tuple.F(0))
+				} else {
+					row = append(row, tuple.F(g.st.sums[i]/float64(g.st.counts[i])))
+				}
+			}
+		}
+		out = append(out, row)
+	}
+	return out
 }

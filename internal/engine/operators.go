@@ -623,82 +623,5 @@ func (a *aggOp) recover(failed Prov) {
 	a.mu.Unlock()
 }
 
-// mergeFinal merges shipped partial rows at the initiator (FinalAgg).
-func mergeFinal(groupCols []int, specs []AggSpec, rows []tuple.Row) []tuple.Row {
-	type acc struct {
-		groupVals tuple.Row
-		st        *aggState
-	}
-	groups := make(map[string]*acc)
-	for _, row := range rows {
-		gk := string(tuple.EncodeKey(row, groupCols))
-		g := groups[gk]
-		if g == nil {
-			g = &acc{groupVals: row.Project(groupCols), st: newAggState(len(specs))}
-			for i := range specs {
-				g.st.allInt[i] = true
-			}
-			groups[gk] = g
-		}
-		// Partial layout: group cols, then per spec 1 col (2 for AVG).
-		col := len(groupCols)
-		for i, spec := range specs {
-			v := row[col]
-			switch spec.Func {
-			case AggCount:
-				g.st.counts[i] += v.AsInt()
-				col++
-			case AggSum:
-				if v.T == tuple.Int64 {
-					g.st.isums[i] += v.I64
-					g.st.sums[i] += float64(v.I64)
-				} else {
-					g.st.allInt[i] = false
-					g.st.sums[i] += v.F64
-				}
-				g.st.counts[i]++
-				col++
-			case AggMin:
-				if g.st.counts[i] == 0 || v.Cmp(g.st.mins[i]) < 0 {
-					g.st.mins[i] = v
-				}
-				g.st.counts[i]++
-				col++
-			case AggMax:
-				if g.st.counts[i] == 0 || v.Cmp(g.st.maxs[i]) > 0 {
-					g.st.maxs[i] = v
-				}
-				g.st.counts[i]++
-				col++
-			case AggAvg:
-				g.st.sums[i] += v.AsFloat()
-				g.st.counts[i] += row[col+1].AsInt()
-				col += 2
-			}
-		}
-	}
-	out := make([]tuple.Row, 0, len(groups))
-	for _, g := range groups {
-		row := g.groupVals.Clone()
-		for i, spec := range specs {
-			switch spec.Func {
-			case AggCount:
-				row = append(row, tuple.I(g.st.counts[i]))
-			case AggSum:
-				row = append(row, g.st.sumValue(i))
-			case AggMin:
-				row = append(row, g.st.mins[i])
-			case AggMax:
-				row = append(row, g.st.maxs[i])
-			case AggAvg:
-				if g.st.counts[i] == 0 {
-					row = append(row, tuple.F(0))
-				} else {
-					row = append(row, tuple.F(g.st.sums[i]/float64(g.st.counts[i])))
-				}
-			}
-		}
-		out = append(out, row)
-	}
-	return out
-}
+// mergeFinal (the initiator-side FinalAgg merge) lives in final.go as
+// finalAggAcc, shared by the row and columnar final pipelines.

@@ -9,6 +9,7 @@ import (
 
 	"orchestra/internal/cluster"
 	"orchestra/internal/keyspace"
+	"orchestra/internal/kvstore"
 	"orchestra/internal/ring"
 	"orchestra/internal/tuple"
 	"orchestra/internal/vstore"
@@ -404,60 +405,88 @@ func (l *scanLeaf) runPass(phase uint32, tick uint64) {
 			emit(rec, ships[pe.ship].fromIdx)
 			return true
 		}
-		scanRange := func(lo, hi []byte) {
-			// Seek past wanted keys below the range, and start the B-tree
-			// walk at the first wanted key at or above lo.
+		// The walk merges the sorted wanted list against a seekable B-tree
+		// iterator: dense wanted sets advance pair-by-pair (one compare per
+		// visited tuple, as before), but when the gap to the next wanted
+		// key exceeds a few linear probes the iterator seeks — skipping
+		// whole subtrees instead of visiting every tuple in between.
+		const seekAfterSteps = 8
+		scanRange := func(it *kvstore.Iterator, lo, hi []byte) {
+			// Skip wanted keys below the range, and start the walk at the
+			// first wanted key at or above lo.
 			ptr := sort.Search(len(pes), func(i int) bool { return bytes.Compare(pes[i].key, lo) >= 0 })
 			if ptr >= len(pes) || (hi != nil && bytes.Compare(pes[ptr].key, hi) >= 0) {
 				return // nothing wanted in this range
 			}
-			lo = pes[ptr].key
-			store.Scan(lo, hi, func(k, v []byte) bool {
-				for ptr < len(pes) {
-					c := bytes.Compare(pes[ptr].key, k)
-					if c < 0 {
-						ptr++ // not stored locally; replica fallback below
-						continue
-					}
-					if c > 0 {
-						return true
-					}
-					pe := &pes[ptr]
-					ptr++
-					dupStart := ptr
-					for ptr < len(pes) && bytes.Equal(pes[ptr].key, k) {
-						ptr++
-					}
-					if handle(pe, v) {
-						// Emitted: retire this entry and every duplicate of
-						// it (same ID shipped by several senders — one
-						// emission). On failure all stay live for the
-						// replica fallback.
-						pe.done = true
-						for j := dupStart; j < ptr; j++ {
-							pes[j].done = true
+			it.Seek(pes[ptr].key)
+			for it.Valid() && ptr < len(pes) {
+				if l.ex.aborted.Load() {
+					return // answer already complete or query cancelled
+				}
+				k := it.Key()
+				if hi != nil && bytes.Compare(k, hi) >= 0 {
+					return
+				}
+				c := bytes.Compare(pes[ptr].key, k)
+				if c < 0 {
+					ptr++ // not stored locally; replica fallback below
+					continue
+				}
+				if c > 0 {
+					// Stored keys below the next wanted key: probe a few
+					// pairs linearly, then seek past the whole gap.
+					probed := false
+					for step := 0; step < seekAfterSteps; step++ {
+						it.Next()
+						if !it.Valid() {
+							return
+						}
+						if bytes.Compare(it.Key(), pes[ptr].key) >= 0 {
+							probed = true
+							break
 						}
 					}
-					return true
+					if !probed {
+						it.Seek(pes[ptr].key)
+					}
+					continue
 				}
-				return false // wanted set exhausted: stop the walk
-			})
-		}
-		for _, r := range cur.RangesOf(self) {
-			lo, hi, wrapped := vstore.TupleScanBounds(r.Lo, r.Hi)
-			if wrapped {
-				scanRange(lo, []byte("t0"))
-				scanRange([]byte("t/"), hi)
-			} else {
-				scanRange(lo, hi)
+				pe := &pes[ptr]
+				ptr++
+				dupStart := ptr
+				for ptr < len(pes) && bytes.Equal(pes[ptr].key, k) {
+					ptr++
+				}
+				if handle(pe, it.Value()) {
+					// Emitted: retire this entry and every duplicate of
+					// it (same ID shipped by several senders — one
+					// emission). On failure all stay live for the
+					// replica fallback.
+					pe.done = true
+					for j := dupStart; j < ptr; j++ {
+						pes[j].done = true
+					}
+				}
+				it.Next()
 			}
 		}
+		store.Iter(func(it *kvstore.Iterator) {
+			for _, r := range cur.RangesOf(self) {
+				lo, hi, wrapped := vstore.TupleScanBounds(r.Lo, r.Hi)
+				if wrapped {
+					scanRange(it, lo, []byte("t0"))
+					scanRange(it, []byte("t/"), hi)
+				} else {
+					scanRange(it, lo, hi)
+				}
+			}
+		})
 		// Any IDs not found locally (replication lag, churn) are fetched
 		// from other replicas — the exact version, never stale data (§IV).
 		var fetched map[string]bool
 		for i := range pes {
 			pe := &pes[i]
-			if pe.done {
+			if pe.done || l.ex.aborted.Load() {
 				continue
 			}
 			pe.done = true

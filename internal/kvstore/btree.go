@@ -209,6 +209,62 @@ func (t *btree) scan(lo, hi []byte, fn func(k, v []byte) bool) {
 	}
 }
 
+// Iterator is a forward cursor over the tree's pairs in key order, with
+// O(depth) repositioning via Seek — the primitive sparse merge walks use to
+// skip whole subtrees between wanted keys instead of visiting every pair.
+// An Iterator is only valid while the tree is unmodified (Store.Iter holds
+// the read lock for the callback's duration).
+type Iterator struct {
+	t *btree
+	n *node
+	i int
+}
+
+// Valid reports whether the iterator is positioned on a pair.
+func (it *Iterator) Valid() bool { return it.n != nil }
+
+// Key returns the current pair's key. The slice is the store's own: it is
+// immutable and may be retained read-only (see Store.Scan's contract).
+func (it *Iterator) Key() []byte { return it.n.keys[it.i] }
+
+// Value returns the current pair's value, under the same contract as Key.
+func (it *Iterator) Value() []byte { return it.n.vals[it.i] }
+
+// Next advances to the next pair in key order.
+func (it *Iterator) Next() {
+	it.i++
+	it.skipExhausted()
+}
+
+// skipExhausted walks the leaf chain past empty or exhausted leaves (lazy
+// deletion can leave empty leaves in the chain).
+func (it *Iterator) skipExhausted() {
+	for it.n != nil && it.i >= len(it.n.keys) {
+		it.n = it.n.next
+		it.i = 0
+	}
+}
+
+// Seek positions the iterator at the first pair with key >= key,
+// descending from the root (O(depth), independent of the current
+// position). Seeking backwards is legal; nil seeks to the first pair.
+func (it *Iterator) Seek(key []byte) {
+	if key == nil {
+		n := it.t.root
+		for !n.leaf {
+			n = n.children[0]
+		}
+		it.n, it.i = n, 0
+	} else {
+		it.n = it.t.leafFor(key)
+		it.i = it.n.search(key)
+	}
+	it.skipExhausted()
+}
+
+// iter returns an unpositioned iterator; call Seek before use.
+func (t *btree) iter() Iterator { return Iterator{t: t} }
+
 // depth returns the tree height (for tests and stats).
 func (t *btree) depth() int {
 	d := 1

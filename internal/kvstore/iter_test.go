@@ -1,0 +1,237 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// collectIter drains the iterator from a seek position into key/value
+// copies, bounded by limit (-1: unbounded).
+func collectIter(it *Iterator, seek []byte, limit int) (keys, vals [][]byte) {
+	for it.Seek(seek); it.Valid(); it.Next() {
+		keys = append(keys, append([]byte(nil), it.Key()...))
+		vals = append(vals, append([]byte(nil), it.Value()...))
+		if limit >= 0 && len(keys) >= limit {
+			break
+		}
+	}
+	return keys, vals
+}
+
+func TestIteratorSeekBasic(t *testing.T) {
+	s := NewMemory()
+	const n = 500 // several leaf splits deep
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("k%04d", i*2)) // even keys only
+		if err := s.Put(key, []byte(fmt.Sprintf("v%d", i*2))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Iter(func(it *Iterator) {
+		// Seek to an existing key lands on it.
+		it.Seek([]byte("k0100"))
+		if !it.Valid() || string(it.Key()) != "k0100" {
+			t.Fatalf("seek existing: got %q", it.Key())
+		}
+		if string(it.Value()) != "v100" {
+			t.Fatalf("seek existing value: got %q", it.Value())
+		}
+		// Seek between keys lands on the next greater key.
+		it.Seek([]byte("k0101"))
+		if !it.Valid() || string(it.Key()) != "k0102" {
+			t.Fatalf("seek between: got %q", it.Key())
+		}
+		// Seek before the first key lands on the first.
+		it.Seek([]byte("a"))
+		if !it.Valid() || string(it.Key()) != "k0000" {
+			t.Fatalf("seek before first: got %q", it.Key())
+		}
+		// nil seeks to the first pair too.
+		it.Seek(nil)
+		if !it.Valid() || string(it.Key()) != "k0000" {
+			t.Fatalf("seek nil: got %q", it.Key())
+		}
+		// Seek past the last key invalidates.
+		it.Seek([]byte("z"))
+		if it.Valid() {
+			t.Fatalf("seek past last: still valid at %q", it.Key())
+		}
+		// Backward re-seek after exhaustion works (root descent, not chain).
+		it.Seek([]byte("k0500"))
+		if !it.Valid() || string(it.Key()) != "k0500" {
+			t.Fatalf("re-seek backward: got %q", it.Key())
+		}
+	})
+}
+
+func TestIteratorNextMatchesScan(t *testing.T) {
+	s := NewMemory()
+	for i := 0; i < 1000; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("k%05d", i)), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var scanKeys [][]byte
+	s.Scan(nil, nil, func(k, v []byte) bool {
+		scanKeys = append(scanKeys, append([]byte(nil), k...))
+		return true
+	})
+	var iterKeys [][]byte
+	s.Iter(func(it *Iterator) {
+		iterKeys, _ = collectIter(it, nil, -1)
+	})
+	if len(scanKeys) != len(iterKeys) {
+		t.Fatalf("scan saw %d keys, iter %d", len(scanKeys), len(iterKeys))
+	}
+	for i := range scanKeys {
+		if !bytes.Equal(scanKeys[i], iterKeys[i]) {
+			t.Fatalf("key %d: scan %q, iter %q", i, scanKeys[i], iterKeys[i])
+		}
+	}
+}
+
+func TestIteratorSeekAfterDeletes(t *testing.T) {
+	s := NewMemory()
+	for i := 0; i < 300; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete a whole contiguous run, potentially emptying leaves (deletion
+	// is lazy: underflowed leaves stay in the chain).
+	for i := 50; i < 200; i++ {
+		if _, err := s.Delete([]byte(fmt.Sprintf("k%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Iter(func(it *Iterator) {
+		it.Seek([]byte("k0050"))
+		if !it.Valid() || string(it.Key()) != "k0200" {
+			t.Fatalf("seek into deleted run: got %q", it.Key())
+		}
+		// Walk across the deleted gap.
+		it.Seek([]byte("k0049"))
+		if string(it.Key()) != "k0049" {
+			t.Fatalf("got %q", it.Key())
+		}
+		it.Next()
+		if !it.Valid() || string(it.Key()) != "k0200" {
+			t.Fatalf("next across gap: got %q", it.Key())
+		}
+	})
+}
+
+// TestIteratorSeekProperty cross-checks random seeks against the sorted
+// key list over randomly built (insert/delete) trees.
+func TestIteratorSeekProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 20; round++ {
+		s := NewMemory()
+		live := make(map[string]bool)
+		nOps := rng.Intn(2000)
+		for i := 0; i < nOps; i++ {
+			key := fmt.Sprintf("%06x", rng.Intn(4096))
+			if rng.Intn(4) == 0 {
+				if _, err := s.Delete([]byte(key)); err != nil {
+					t.Fatal(err)
+				}
+				delete(live, key)
+			} else {
+				if err := s.Put([]byte(key), []byte(key)); err != nil {
+					t.Fatal(err)
+				}
+				live[key] = true
+			}
+		}
+		var sorted [][]byte
+		s.Scan(nil, nil, func(k, v []byte) bool {
+			sorted = append(sorted, append([]byte(nil), k...))
+			return true
+		})
+		if len(sorted) != len(live) {
+			t.Fatalf("round %d: scan %d keys, want %d", round, len(sorted), len(live))
+		}
+		s.Iter(func(it *Iterator) {
+			for probe := 0; probe < 200; probe++ {
+				target := []byte(fmt.Sprintf("%06x", rng.Intn(4200)))
+				it.Seek(target)
+				// Expected: first sorted key >= target.
+				var want []byte
+				for _, k := range sorted {
+					if bytes.Compare(k, target) >= 0 {
+						want = k
+						break
+					}
+				}
+				if want == nil {
+					if it.Valid() {
+						t.Fatalf("round %d: seek %q: want exhausted, got %q", round, target, it.Key())
+					}
+					continue
+				}
+				if !it.Valid() || !bytes.Equal(it.Key(), want) {
+					got := []byte("<exhausted>")
+					if it.Valid() {
+						got = it.Key()
+					}
+					t.Fatalf("round %d: seek %q: want %q, got %q", round, target, want, got)
+				}
+			}
+		})
+	}
+}
+
+// FuzzIteratorSeek feeds arbitrary op tapes (put/delete/seek) and checks
+// every seek result against a model kept as a sorted scan.
+func FuzzIteratorSeek(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 0, 3, 2, 1})
+	f.Add([]byte("\x00a\x01a\x02a\x00b\x02c"))
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		s := NewMemory()
+		var seeks [][]byte
+		for i := 0; i+1 < len(tape); i += 2 {
+			op, x := tape[i]%3, tape[i+1]
+			key := []byte{x >> 4, x & 0xf}
+			switch op {
+			case 0:
+				if err := s.Put(key, []byte{x}); err != nil {
+					t.Fatal(err)
+				}
+			case 1:
+				if _, err := s.Delete(key); err != nil {
+					t.Fatal(err)
+				}
+			case 2:
+				seeks = append(seeks, key)
+			}
+		}
+		var sorted [][]byte
+		s.Scan(nil, nil, func(k, v []byte) bool {
+			sorted = append(sorted, append([]byte(nil), k...))
+			return true
+		})
+		s.Iter(func(it *Iterator) {
+			for _, target := range seeks {
+				it.Seek(target)
+				var want []byte
+				for _, k := range sorted {
+					if bytes.Compare(k, target) >= 0 {
+						want = k
+						break
+					}
+				}
+				if want == nil {
+					if it.Valid() {
+						t.Fatalf("seek %q: want exhausted, got %q", target, it.Key())
+					}
+					continue
+				}
+				if !it.Valid() || !bytes.Equal(it.Key(), want) {
+					t.Fatalf("seek %q: want %q", target, want)
+				}
+			}
+		})
+	})
+}

@@ -155,6 +155,18 @@ func (s *Store) Scan(lo, hi []byte, fn func(k, v []byte) bool) {
 	s.tree.scan(lo, hi, fn)
 }
 
+// Iter runs fn with a seekable forward iterator over the store, holding
+// the read lock for the duration — fn must not mutate the store. The
+// iterator starts unpositioned; call Seek first. Key/value slices follow
+// Scan's immutability/retention contract. Compared to Scan, Iter lets a
+// sparse consumer skip ahead in O(depth) instead of visiting every pair.
+func (s *Store) Iter(fn func(it *Iterator)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	it := s.tree.iter()
+	fn(&it)
+}
+
 // ScanPrefix scans all keys beginning with prefix.
 func (s *Store) ScanPrefix(prefix []byte, fn func(k, v []byte) bool) {
 	if len(prefix) == 0 {

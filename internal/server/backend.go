@@ -45,6 +45,20 @@ type ResultStream interface {
 	Batch(rows []tuple.Row) error
 }
 
+// BatchStream is optionally implemented by a ResultStream that can
+// consume columnar tuple batches directly — the allocation-lean hand-off
+// for backends whose engine produces column vectors. The server's stream
+// writer implements it: wire batch frames are encoded straight from the
+// vectors (re-slicing columns to fit the frame size hints), producing
+// byte-identical frames to the row path for identical content. Batches
+// are borrowed: the backend may recycle them after the call returns, so
+// implementations must not retain the batch or its vectors.
+type BatchStream interface {
+	ResultStream
+	// Batches emits a columnar batch of result rows.
+	Batches(b *tuple.Batch) error
+}
+
 // QueryTail is the terminal metadata of a streamed query — everything a
 // QueryResponse carries except the rows themselves. The JSON tags are
 // its wire form inside a StreamEnd frame.

@@ -67,13 +67,25 @@ func (b *NodeBackend) Publish(ctx context.Context, req *PublishRequest) (tuple.E
 	if err != nil {
 		return 0, Errorf(CodeNotFound, "relation %q: %v", req.Relation, err)
 	}
-	ups := make([]vstore.Update, len(req.Rows))
-	for i, r := range req.Rows {
-		row, err := CoerceRow(cat.Schema, r)
-		if err != nil {
+	var ups []vstore.Update
+	if req.TypedRows != nil {
+		// Binary publish: already typed; per-column check, no JSON parsing.
+		if err := CoerceTypedRows(cat.Schema, req.TypedRows); err != nil {
 			return 0, err
 		}
-		ups[i] = vstore.Update{Op: vstore.OpInsert, Row: row}
+		ups = make([]vstore.Update, len(req.TypedRows))
+		for i, row := range req.TypedRows {
+			ups[i] = vstore.Update{Op: vstore.OpInsert, Row: row}
+		}
+	} else {
+		ups = make([]vstore.Update, len(req.Rows))
+		for i, r := range req.Rows {
+			row, err := CoerceRow(cat.Schema, r)
+			if err != nil {
+				return 0, err
+			}
+			ups[i] = vstore.Update{Op: vstore.OpInsert, Row: row}
+		}
 	}
 	e, err := b.node.Publish(ctx, req.Relation, ups)
 	if err != nil {
@@ -86,7 +98,7 @@ func (b *NodeBackend) Publish(ctx context.Context, req *PublishRequest) (tuple.E
 // runQuery parses, plans, and executes one wire query, returning the
 // engine result plus the derived output column names and (when asked
 // for) the plan explanation. Shared by the buffered and streaming paths.
-func (b *NodeBackend) runQuery(ctx context.Context, req *QueryRequest) (*engine.Result, []string, string, error) {
+func (b *NodeBackend) runQuery(ctx context.Context, req *QueryRequest, columnar bool) (*engine.Result, []string, string, error) {
 	q, err := sql.Parse(req.SQL)
 	if err != nil {
 		return nil, nil, "", Errorf(CodeBadRequest, "%v", err)
@@ -101,9 +113,10 @@ func (b *NodeBackend) runQuery(ctx context.Context, req *QueryRequest) (*engine.
 		return nil, nil, "", err
 	}
 	res, err := b.eng.Run(ctx, plan, engine.Options{
-		Epoch:      tuple.Epoch(req.Epoch),
-		Recovery:   rec,
-		Provenance: req.Provenance,
+		Epoch:          tuple.Epoch(req.Epoch),
+		Recovery:       rec,
+		Provenance:     req.Provenance,
+		ColumnarResult: columnar,
 	})
 	if err != nil {
 		return nil, nil, "", err
@@ -131,7 +144,7 @@ func (b *NodeBackend) runQuery(ctx context.Context, req *QueryRequest) (*engine.
 
 // Query implements Backend.
 func (b *NodeBackend) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
-	res, cols, explain, err := b.runQuery(ctx, req)
+	res, cols, explain, err := b.runQuery(ctx, req, false)
 	if err != nil {
 		return nil, err
 	}
@@ -146,19 +159,32 @@ func (b *NodeBackend) Query(ctx context.Context, req *QueryRequest) (*QueryRespo
 }
 
 // QueryStream implements StreamingBackend: the engine's exactly-once
-// answer (materialized at the initiator by the recovery contract) drains
-// to the wire under stream flow control, with no wire-encoded copy of
-// the whole result — the stream writer re-chunks into size-bounded
-// frames, so the rows are handed over in one call.
+// answer (complete at the initiator by the recovery contract) drains to
+// the wire under stream flow control, with no wire-encoded copy of the
+// whole result — the stream writer re-chunks into size-bounded frames.
+// Against a BatchStream the answer stays columnar end to end: frames
+// encode straight from the engine's column vectors, which are recycled
+// into the engine's arena after the hand-off.
 func (b *NodeBackend) QueryStream(ctx context.Context, req *QueryRequest, out ResultStream) (*QueryTail, error) {
-	res, cols, explain, err := b.runQuery(ctx, req)
+	bs, batchAware := out.(BatchStream)
+	res, cols, explain, err := b.runQuery(ctx, req, batchAware)
 	if err != nil {
 		return nil, err
 	}
 	if err := out.Columns(cols); err != nil {
+		engine.RecycleResultBatch(res.Batch) // nil-safe; don't leak the slab
 		return nil, err
 	}
-	if err := out.Batch(res.Rows); err != nil {
+	if res.Batch != nil && batchAware {
+		emitErr := error(nil)
+		if res.Batch.N > 0 {
+			emitErr = bs.Batches(res.Batch)
+		}
+		engine.RecycleResultBatch(res.Batch)
+		if emitErr != nil {
+			return nil, emitErr
+		}
+	} else if err := out.Batch(res.Rows); err != nil {
 		return nil, err
 	}
 	return &QueryTail{

@@ -147,6 +147,12 @@ const ProtocolVersion = 2
 // hello feature lists.
 const FeatureBinaryStream = "binary-stream"
 
+// FeatureBinaryPublish names the binary publish extension: publishes
+// cross the wire as one typed column-major batch frame (FramePublish)
+// instead of JSON rows with per-value coercion. Requires
+// FeatureBinaryStream (tagged frames) on the same connection.
+const FeatureBinaryPublish = "binary-publish"
+
 // Request is one client frame.
 type Request struct {
 	// ID is echoed in the matching Response (clients pick it; pipelined
@@ -201,6 +207,11 @@ type CreateRequest struct {
 type PublishRequest struct {
 	Relation string  `json:"relation"`
 	Rows     [][]any `json:"rows"`
+	// TypedRows carries the rows of a binary publish frame (already
+	// typed by the wire batch codec); when set it takes precedence over
+	// Rows. Never marshaled — it exists only between the frame decoder
+	// and the backend.
+	TypedRows []tuple.Row `json:"-"`
 }
 
 // QueryRequest runs a single-block SQL query against a snapshot.
@@ -577,6 +588,34 @@ func CoerceRow(s *tuple.Schema, in []any) (tuple.Row, error) {
 		}
 	}
 	return out, nil
+}
+
+// CoerceTypedRows coerces batch-decoded rows onto a schema's column
+// types, in place where the types already match. The rules mirror
+// CoerceRow: numeric columns accept either numeric type (integral floats
+// for int columns), string columns accept strings.
+func CoerceTypedRows(s *tuple.Schema, rows []tuple.Row) error {
+	for i, row := range rows {
+		if len(row) != s.Arity() {
+			return Errorf(CodeBadRequest, "row %d arity %d != schema arity %d", i, len(row), s.Arity())
+		}
+		for j := range row {
+			v := &row[j]
+			col := s.Columns[j]
+			if v.T == col.Type {
+				continue
+			}
+			switch {
+			case col.Type == tuple.Float64 && v.T == tuple.Int64:
+				*v = tuple.F(float64(v.I64))
+			case col.Type == tuple.Int64 && v.T == tuple.Float64 && v.F64 == float64(int64(v.F64)):
+				*v = tuple.I(int64(v.F64))
+			default:
+				return Errorf(CodeBadRequest, "column %s wants %v, got %v", col.Name, col.Type, v.T)
+			}
+		}
+	}
+	return nil
 }
 
 // ParseColumns converts "name:type" specs into tuple columns.

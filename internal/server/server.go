@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"orchestra/internal/tuple"
 )
 
 // Config tunes a Server.
@@ -412,6 +414,26 @@ func (s *Server) session(conn net.Conn) {
 			}
 			sess.cancelStream(id)
 			continue
+		case FramePublish:
+			// Binary publish: rows arrive as one typed batch, so the
+			// handler skips JSON value coercion entirely. Answered with a
+			// normal JSON Response through the same pipeline (counters,
+			// pipelining backpressure) as a JSON publish.
+			id, rel, rows, err := DecodePublishPayload(payload)
+			if err != nil {
+				if id2, iderr := StreamFrameID(payload); iderr == nil {
+					sess.writeResponse(&Response{ID: id2, Error: Errorf(CodeBadRequest, "%v", err)})
+					continue
+				}
+				s.cfg.Logf("server: %s: %v", conn.RemoteAddr(), err)
+				return
+			}
+			reqCh <- Request{
+				ID:      id,
+				Op:      OpPublish,
+				Publish: &PublishRequest{Relation: rel, TypedRows: rows},
+			}
+			continue
 		case FrameJSON:
 		default:
 			s.cfg.Logf("server: %s: client sent unexpected %v frame", conn.RemoteAddr(), kind)
@@ -453,9 +475,12 @@ func (s *Server) handleHello(sess *session, req *Request) {
 		}
 		var features []string
 		for _, f := range req.Hello.Features {
-			if f == FeatureBinaryStream {
+			switch f {
+			case FeatureBinaryStream:
 				lim.binary = true
 				features = append(features, FeatureBinaryStream)
+			case FeatureBinaryPublish:
+				features = append(features, FeatureBinaryPublish)
 			}
 		}
 		resp.Hello = &HelloResponse{
@@ -571,6 +596,16 @@ func (a *admissionReleasingStream) Columns(cols []string) error {
 	err := a.ResultStream.Columns(cols)
 	a.release()
 	return err
+}
+
+// Batches forwards columnar batches to the wrapped stream, so wrapping
+// does not hide the BatchStream upgrade from backends; a wrapped stream
+// without it receives the batch materialized.
+func (a *admissionReleasingStream) Batches(b *tuple.Batch) error {
+	if bs, ok := a.ResultStream.(BatchStream); ok {
+		return bs.Batches(b)
+	}
+	return a.ResultStream.Batch(b.Rows())
 }
 
 // runQueryStreamed passes admission control, then executes the query

@@ -56,6 +56,10 @@ const (
 	// connection and its negotiated state remain usable. A cancel for an
 	// unknown or already-ended stream is a no-op.
 	FrameCancel FrameKind = 5
+	// FramePublish carries one publish as a typed column-major batch:
+	// request ID + relation + tuple batch (negotiated via
+	// FeatureBinaryPublish; answered with a normal JSON Response).
+	FramePublish FrameKind = 6
 )
 
 func (k FrameKind) String() string {
@@ -72,6 +76,8 @@ func (k FrameKind) String() string {
 		return "credit"
 	case FrameCancel:
 		return "cancel"
+	case FramePublish:
+		return "publish"
 	default:
 		return fmt.Sprintf("kind(%d)", byte(k))
 	}
@@ -256,6 +262,33 @@ func AppendCancelPayload(dst []byte, id uint64) []byte {
 	return binary.BigEndian.AppendUint64(dst, id)
 }
 
+// AppendPublishPayload encodes a FramePublish payload: request ID,
+// relation name, and the rows as one column-major tuple batch.
+func AppendPublishPayload(dst []byte, id uint64, relation string, rows []tuple.Row, minCompress int) ([]byte, error) {
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	dst = binary.AppendUvarint(dst, uint64(len(relation)))
+	dst = append(dst, relation...)
+	return tuple.AppendBatch(dst, rows, minCompress)
+}
+
+// DecodePublishPayload reverses AppendPublishPayload.
+func DecodePublishPayload(p []byte) (id uint64, relation string, rows []tuple.Row, err error) {
+	id, rest, err := splitStreamID(p)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	l, k := binary.Uvarint(rest)
+	if k <= 0 || l > tuple.MaxRelationNameLen || l > uint64(len(rest)-k) {
+		return 0, "", nil, errors.New("server: bad publish frame relation")
+	}
+	relation = string(rest[k : k+int(l)])
+	rows, err = tuple.DecodeBatch(rest[k+int(l):])
+	if err != nil {
+		return 0, "", nil, fmt.Errorf("server: bad publish frame batch: %w", err)
+	}
+	return id, relation, rows, nil
+}
+
 // splitStreamID splits the leading request ID off a stream payload.
 func splitStreamID(p []byte) (uint64, []byte, error) {
 	if len(p) < 8 {
@@ -277,6 +310,18 @@ func DecodeBatchPayload(p []byte) (id uint64, rows []tuple.Row, err error) {
 		return 0, nil, err
 	}
 	rows, err = tuple.DecodeBatch(rest)
+	return id, rows, err
+}
+
+// DecodeBatchPayloadAny decodes a FrameBatch payload straight into boxed
+// []any rows — the client's consumption form, skipping the typed Row
+// intermediate.
+func DecodeBatchPayloadAny(p []byte) (id uint64, rows [][]any, err error) {
+	id, rest, err := splitStreamID(p)
+	if err != nil {
+		return 0, nil, err
+	}
+	rows, err = tuple.DecodeBatchAny(rest)
 	return id, rows, err
 }
 
@@ -323,9 +368,15 @@ type streamWriter struct {
 	cancelFn  context.CancelFunc
 
 	pending  []tuple.Row  // rows accumulated toward the next batch frame
-	pendSize int          // size hint of pending
-	sig      []tuple.Type // type signature of pending[0]
+	pendSize int          // size hint of pending (rows or columnar)
+	sig      []tuple.Type // type signature of pending content
 	sigFixed int          // bytes per row when sig has no strings (else 0)
+
+	// pendCols stages columnar batches toward the next frame (the
+	// Batches path); at most one of pending/pendCols is non-empty. slice
+	// is the scratch view used to carve spans off inbound batches.
+	pendCols *tuple.Batch
+	slice    tuple.Batch
 }
 
 func newStreamWriter(ctx context.Context, sess *session, id uint64, window int) *streamWriter {
@@ -390,6 +441,12 @@ func (w *streamWriter) Batch(rows []tuple.Row) error {
 	if !w.started {
 		return errors.New("server: stream batch before schema")
 	}
+	if w.pendCols != nil && w.pendCols.N > 0 {
+		// Mode switch mid-stream: cut the staged columnar batch first.
+		if err := w.flushCols(); err != nil {
+			return err
+		}
+	}
 	for i := 0; i < len(rows); {
 		if len(w.pending) == 0 {
 			w.setSig(rows[i]) // first row of a batch defines its signature
@@ -427,6 +484,181 @@ func (w *streamWriter) Batch(rows []tuple.Row) error {
 		}
 	}
 	return nil
+}
+
+// stagingBatchPool recycles the columnar staging buffers across streams.
+var stagingBatchPool = sync.Pool{New: func() any { return &tuple.Batch{} }}
+
+// Batches implements BatchStream: stages a columnar batch for emission,
+// carving frame-sized spans straight off the column vectors — no row is
+// materialized anywhere on this path. The cut arithmetic mirrors Batch's
+// exactly, so identical row content produces byte-identical frames on
+// either path (asserted by TestStreamFramesRowVsBatchIdentical). The
+// batch is borrowed: the caller may reuse it once the call returns.
+func (w *streamWriter) Batches(b *tuple.Batch) error {
+	if !w.started {
+		return errors.New("server: stream batch before schema")
+	}
+	if b.N == 0 {
+		return nil
+	}
+	if len(w.pending) > 0 {
+		// Mode switch mid-stream (a backend mixing row and columnar
+		// emissions): cut the pending row batch first.
+		if err := w.flush(); err != nil {
+			return err
+		}
+	}
+	if w.pendCols == nil {
+		w.pendCols = stagingBatchPool.Get().(*tuple.Batch)
+		w.pendCols.ResetTypes(nil)
+	}
+	types := b.Types()
+	for i := 0; i < b.N; {
+		if w.pendCols.N == 0 {
+			w.setSigTypes(types)
+		} else if !w.colSigMatches(types) {
+			if err := w.flushCols(); err != nil {
+				return err
+			}
+			w.setSigTypes(types)
+		}
+		j := i
+		budget := w.targetBytes - w.pendSize
+		roomRows := maxStreamBatchRows - w.pendCols.N
+		if fixed := w.sigFixed; fixed > 0 {
+			// The row that crosses the target still goes into the batch,
+			// mirroring the row path's append-then-check cut.
+			n := budget/fixed + 1
+			if n > roomRows {
+				n = roomRows
+			}
+			if j += n; j > b.N {
+				j = b.N
+			}
+			w.pendSize += (j - i) * fixed
+		} else {
+			for j < b.N && budget > 0 && j-i < roomRows {
+				h := w.colRowSizeHint(b, j)
+				w.pendSize += h
+				budget -= h
+				j++
+			}
+		}
+		if j > i {
+			b.Slice(i, j, &w.slice)
+			if err := w.pendCols.AppendBatchInto(&w.slice); err != nil {
+				return err
+			}
+		}
+		i = j
+		if w.pendSize >= w.targetBytes || w.pendCols.N >= maxStreamBatchRows || i < b.N {
+			if err := w.flushCols(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// setSigTypes records the type signature (and fixed row width, when no
+// string column exists) of the batch about to be staged. Strings reuse
+// per-row hints; the hint constants mirror setSig/RowSizeHint.
+func (w *streamWriter) setSigTypes(types []tuple.Type) {
+	w.sig = append(w.sig[:0], types...)
+	fixed, variable := 0, false
+	for _, t := range types {
+		switch t {
+		case tuple.Int64:
+			fixed += 5
+		case tuple.Float64:
+			fixed += 8
+		default:
+			variable = true
+		}
+	}
+	if variable {
+		fixed = 0
+	}
+	w.sigFixed = fixed
+}
+
+// colSigMatches reports whether the inbound batch's types match the
+// staged signature.
+func (w *streamWriter) colSigMatches(types []tuple.Type) bool {
+	if len(types) != len(w.sig) {
+		return false
+	}
+	for i, t := range types {
+		if t != w.sig[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// colRowSizeHint estimates row i's encoded size from the column vectors
+// (same constants as tuple.RowSizeHint).
+func (w *streamWriter) colRowSizeHint(b *tuple.Batch, i int) int {
+	n := 0
+	for c := range b.Cols {
+		switch b.Cols[c].T {
+		case tuple.Int64:
+			n += 5
+		case tuple.Float64:
+			n += 8
+		case tuple.String:
+			n += len(b.Cols[c].Str[i]) + 2
+		}
+	}
+	return n
+}
+
+// flushCols encodes and sends the staged columnar rows as one batch
+// frame, straight from the vectors.
+func (w *streamWriter) flushCols() error {
+	if w.cancelled.Load() {
+		if w.pendCols != nil {
+			w.pendCols.Truncate(0)
+		}
+		w.pendSize = 0
+		return errStreamCancelled
+	}
+	if w.pendCols == nil || w.pendCols.N == 0 {
+		return nil
+	}
+	if err := w.waitCredit(); err != nil {
+		return err
+	}
+	buf := getFrameBuf()
+	defer putFrameBuf(buf)
+	dst, mark := beginBinaryFrame((*buf)[:0], FrameBatch)
+	dst = binary.BigEndian.AppendUint64(dst, w.id)
+	dst, err := tuple.AppendBatchCols(dst, w.pendCols, w.compressMin)
+	if err != nil {
+		return err
+	}
+	dst, err = finishBinaryFrame(dst, mark, w.maxFrame)
+	if err != nil {
+		return err
+	}
+	w.rows += int64(w.pendCols.N)
+	w.batches++
+	w.pendCols.Truncate(0)
+	w.pendSize = 0
+	*buf = dst[:0]
+	return w.sess.write(dst)
+}
+
+// releaseStaging returns the columnar staging buffer to the pool (the
+// stream has ended; nothing further will be staged).
+func (w *streamWriter) releaseStaging() {
+	if w.pendCols != nil {
+		w.pendCols.Truncate(0)
+		w.pendCols.ClearStrings() // don't pin result strings while pooled
+		stagingBatchPool.Put(w.pendCols)
+		w.pendCols = nil
+	}
 }
 
 // sigMatches reports whether row matches the pending batch's column type
@@ -549,7 +781,11 @@ func (w *streamWriter) waitCredit() error {
 // write, as a deferred cleanup, raced exactly that reuse.)
 func (w *streamWriter) end(tail *StreamEnd, beforeEnd func()) error {
 	if tail.Error == nil {
-		if err := w.flush(); err != nil {
+		err := w.flush()
+		if err == nil {
+			err = w.flushCols()
+		}
+		if err != nil {
 			if errors.Is(err, errStreamCancelled) {
 				tail = &StreamEnd{Error: Errorf(CodeCancelled, "stream cancelled by client")}
 			} else {
@@ -558,6 +794,7 @@ func (w *streamWriter) end(tail *StreamEnd, beforeEnd func()) error {
 			}
 		}
 	}
+	w.releaseStaging()
 	if beforeEnd != nil {
 		beforeEnd()
 	}

@@ -30,6 +30,10 @@ const (
 	// legitimate batch (wire batches are cut at ~256KiB), far below a
 	// decompression bomb.
 	maxBatchBody = 1 << 30
+	// maxZeroArityRows bounds the row count of a zero-arity batch, whose
+	// rows occupy no payload bytes and therefore escape the dims-vs-body
+	// check (wire batches are cut at 4096 rows; this is generous).
+	maxZeroArityRows = 1 << 20
 )
 
 // flate writers are expensive to construct (~tens of KB of window state);
@@ -167,8 +171,9 @@ func RowSizeHint(row Row) int {
 // IsValidType reports whether t is a known column type.
 func (t Type) IsValidType() bool { return t >= Int64 && t <= String }
 
-// DecodeBatch reverses EncodeBatch.
-func DecodeBatch(data []byte) ([]Row, error) {
+// batchBody validates the two header bytes and returns the (decompressed)
+// body shared by the batch decoders.
+func batchBody(data []byte) ([]byte, error) {
 	if len(data) < 2 {
 		return nil, errors.New("tuple: batch too short")
 	}
@@ -194,8 +199,51 @@ func DecodeBatch(data []byte) ([]Row, error) {
 		}
 		body = decompressed
 	}
+	return body, nil
+}
 
-	off := 0
+// batchDims validates the header, decompresses the body, and reads +
+// bounds-checks the row-count/arity prologue shared by the batch
+// decoders; off points past the dims. A decompressed body bounds the
+// values it can carry: every value costs at least one byte, so dims the
+// payload cannot possibly hold are rejected before any decoder
+// allocates nRows*arity slots, and zero-arity rows — which occupy no
+// payload bytes and escape that bound — are capped separately (guards
+// fuzzed/malicious headers; the dims caps keep products far from
+// overflow).
+func batchDims(data []byte) (body []byte, off, nRows, arity int, err error) {
+	body, err = batchBody(data)
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	r, n := binary.Uvarint(body)
+	if n <= 0 {
+		return nil, 0, 0, 0, errors.New("tuple: bad uvarint in batch")
+	}
+	off = n
+	a, n := binary.Uvarint(body[off:])
+	if n <= 0 {
+		return nil, 0, 0, 0, errors.New("tuple: bad uvarint in batch")
+	}
+	off += n
+	if r > 1<<28 || a > 1<<16 {
+		return nil, 0, 0, 0, fmt.Errorf("tuple: implausible batch dims %d x %d", r, a)
+	}
+	if a > 0 && r*a > uint64(len(body)) {
+		return nil, 0, 0, 0, fmt.Errorf("tuple: batch dims %d x %d exceed payload %dB", r, a, len(body))
+	}
+	if a == 0 && r > maxZeroArityRows {
+		return nil, 0, 0, 0, fmt.Errorf("tuple: %d zero-arity batch rows exceed limit", r)
+	}
+	return body, off, int(r), int(a), nil
+}
+
+// DecodeBatch reverses EncodeBatch.
+func DecodeBatch(data []byte) ([]Row, error) {
+	body, off, nRows, arity, err := batchDims(data)
+	if err != nil {
+		return nil, err
+	}
 	readUvarint := func() (uint64, error) {
 		v, n := binary.Uvarint(body[off:])
 		if n <= 0 {
@@ -204,33 +252,15 @@ func DecodeBatch(data []byte) ([]Row, error) {
 		off += n
 		return v, nil
 	}
-	nRows, err := readUvarint()
-	if err != nil {
-		return nil, err
-	}
-	arity, err := readUvarint()
-	if err != nil {
-		return nil, err
-	}
-	if nRows > 1<<28 || arity > 1<<16 {
-		return nil, fmt.Errorf("tuple: implausible batch dims %d x %d", nRows, arity)
-	}
-	// A decompressed body bounds the values it can carry: every value costs
-	// at least one byte, so reject dims the payload cannot possibly hold
-	// before allocating nRows*arity value slots (guards fuzzed/malicious
-	// headers; the dims caps above keep the product far from overflow).
-	if arity > 0 && nRows*arity > uint64(len(body)) {
-		return nil, fmt.Errorf("tuple: batch dims %d x %d exceed payload %dB", nRows, arity, len(body))
-	}
 	rows := make([]Row, nRows)
 	if nRows == 0 {
 		return rows, nil
 	}
-	backing := make([]Value, int(nRows)*int(arity))
+	backing := make([]Value, nRows*arity)
 	for i := range rows {
-		rows[i] = Row(backing[i*int(arity) : (i+1)*int(arity)])
+		rows[i] = Row(backing[i*arity : (i+1)*arity])
 	}
-	for c := 0; c < int(arity); c++ {
+	for c := 0; c < arity; c++ {
 		if off >= len(body) {
 			return nil, errors.New("tuple: truncated batch column header")
 		}
@@ -239,7 +269,7 @@ func DecodeBatch(data []byte) ([]Row, error) {
 		if !t.IsValidType() {
 			return nil, fmt.Errorf("tuple: bad column type %d in batch", t)
 		}
-		for r := 0; r < int(nRows); r++ {
+		for r := 0; r < nRows; r++ {
 			switch t {
 			case Int64:
 				v, n := binary.Varint(body[off:])
@@ -268,4 +298,153 @@ func DecodeBatch(data []byte) ([]Row, error) {
 		}
 	}
 	return rows, nil
+}
+
+// DecodeBatchAny decodes a wire batch straight into boxed []any rows —
+// the client-side form — skipping the typed Row intermediate entirely.
+// Row slices are carved from one backing slab.
+func DecodeBatchAny(data []byte) ([][]any, error) {
+	body, off, nRows, arity, err := batchDims(data)
+	if err != nil {
+		return nil, err
+	}
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(body[off:])
+		if n <= 0 {
+			return 0, errors.New("tuple: bad uvarint in batch")
+		}
+		off += n
+		return v, nil
+	}
+	rows := make([][]any, nRows)
+	if nRows == 0 {
+		return rows, nil
+	}
+	backing := make([]any, nRows*arity)
+	for i := range rows {
+		rows[i] = backing[i*arity : (i+1)*arity : (i+1)*arity]
+	}
+	for c := 0; c < arity; c++ {
+		if off >= len(body) {
+			return nil, errors.New("tuple: truncated batch column header")
+		}
+		t := Type(body[off])
+		off++
+		if !t.IsValidType() {
+			return nil, fmt.Errorf("tuple: bad column type %d in batch", t)
+		}
+		for r := 0; r < nRows; r++ {
+			switch t {
+			case Int64:
+				v, n := binary.Varint(body[off:])
+				if n <= 0 {
+					return nil, errors.New("tuple: bad varint in batch")
+				}
+				off += n
+				rows[r][c] = v
+			case Float64:
+				if off+8 > len(body) {
+					return nil, errors.New("tuple: truncated float in batch")
+				}
+				rows[r][c] = math.Float64frombits(binary.BigEndian.Uint64(body[off:]))
+				off += 8
+			case String:
+				l, err := readUvarint()
+				if err != nil {
+					return nil, err
+				}
+				if l > uint64(len(body)-off) {
+					return nil, errors.New("tuple: truncated string in batch")
+				}
+				rows[r][c] = string(body[off : off+int(l)])
+				off += int(l)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// DecodeBatchInto decodes a wire batch straight onto b's column vectors,
+// appending its rows — the allocation-lean counterpart of DecodeBatch for
+// consumers that accumulate columnar state. A b with no columns yet adopts
+// the payload's types; otherwise they must match positionally. On error b
+// is restored to its prior row count. Returns the decoded row count.
+//
+// String values copy out of data (unlike DecodeRowCols), so the caller may
+// reuse or discard the payload buffer afterwards.
+func DecodeBatchInto(data []byte, b *Batch) (int, error) {
+	body, off, nRows, arity, err := batchDims(data)
+	if err != nil {
+		return 0, err
+	}
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(body[off:])
+		if n <= 0 {
+			return 0, errors.New("tuple: bad uvarint in batch")
+		}
+		off += n
+		return v, nil
+	}
+	if nRows == 0 {
+		return 0, nil
+	}
+	if len(b.Cols) == 0 && b.N == 0 {
+		types := make([]Type, arity)
+		for i := range types {
+			types[i] = Type(0) // fixed up below from the column headers
+		}
+		b.ResetTypes(types)
+	} else if len(b.Cols) != arity {
+		return 0, fmt.Errorf("tuple: batch arity %d, accumulator arity %d", arity, len(b.Cols))
+	}
+	start := b.N
+	fail := func(err error) (int, error) {
+		b.Truncate(start)
+		return 0, err
+	}
+	for c := 0; c < arity; c++ {
+		if off >= len(body) {
+			return fail(errors.New("tuple: truncated batch column header"))
+		}
+		t := Type(body[off])
+		off++
+		if !t.IsValidType() {
+			return fail(fmt.Errorf("tuple: bad column type %d in batch", t))
+		}
+		v := &b.Cols[c]
+		if v.T == 0 && start == 0 {
+			v.T = t
+		} else if v.T != t {
+			return fail(fmt.Errorf("tuple: batch column %d type %v, accumulator %v", c, t, v.T))
+		}
+		for r := 0; r < nRows; r++ {
+			switch t {
+			case Int64:
+				x, n := binary.Varint(body[off:])
+				if n <= 0 {
+					return fail(errors.New("tuple: bad varint in batch"))
+				}
+				off += n
+				v.I64 = append(v.I64, x)
+			case Float64:
+				if off+8 > len(body) {
+					return fail(errors.New("tuple: truncated float in batch"))
+				}
+				v.F64 = append(v.F64, math.Float64frombits(binary.BigEndian.Uint64(body[off:])))
+				off += 8
+			case String:
+				l, err := readUvarint()
+				if err != nil {
+					return fail(err)
+				}
+				if l > uint64(len(body)-off) {
+					return fail(errors.New("tuple: truncated string in batch"))
+				}
+				v.Str = append(v.Str, string(body[off:off+int(l)]))
+				off += int(l)
+			}
+		}
+	}
+	b.N += nRows
+	return nRows, nil
 }

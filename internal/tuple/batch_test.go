@@ -243,8 +243,33 @@ func FuzzDecodeBatch(f *testing.F) {
 	f.Add([]byte{batchVersion, flagCompressed, 0x01, 0x02})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rows, err := DecodeBatch(data)
+		// The sibling decoders must never panic either, and must agree
+		// with DecodeBatch on acceptance.
+		anyRows, anyErr := DecodeBatchAny(data)
+		var into Batch
+		intoN, intoErr := DecodeBatchInto(data, &into)
 		if err != nil {
+			if anyErr == nil || (intoErr == nil && intoN > 0) {
+				t.Fatalf("DecodeBatch rejected (%v) but Any=%v Into=%v", err, anyErr, intoErr)
+			}
 			return
+		}
+		if anyErr != nil || len(anyRows) != len(rows) {
+			t.Fatalf("DecodeBatchAny: err=%v rows=%d want %d", anyErr, len(anyRows), len(rows))
+		}
+		if intoErr != nil || into.N != len(rows) {
+			t.Fatalf("DecodeBatchInto: err=%v rows=%d want %d", intoErr, into.N, len(rows))
+		}
+		var scratch Row
+		for i := range rows {
+			scratch = into.Row(i, scratch)
+			for j := range rows[i] {
+				a, b := rows[i][j], scratch[j]
+				if a.T != b.T || a.I64 != b.I64 || a.Str != b.Str ||
+					math.Float64bits(a.F64) != math.Float64bits(b.F64) {
+					t.Fatalf("DecodeBatchInto row %d col %d: %v != %v", i, j, b, a)
+				}
+			}
 		}
 		enc, err := EncodeBatch(rows)
 		if err != nil {

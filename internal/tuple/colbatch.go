@@ -171,6 +171,86 @@ func (b *Batch) Rows() []Row {
 	return rows
 }
 
+// Types returns the batch's column types (a fresh slice).
+func (b *Batch) Types() []Type {
+	ts := make([]Type, len(b.Cols))
+	for i := range b.Cols {
+		ts[i] = b.Cols[i].T
+	}
+	return ts
+}
+
+// SameTypes reports whether the batch's columns match types positionally.
+func (b *Batch) SameTypes(types []Type) bool {
+	if len(b.Cols) != len(types) {
+		return false
+	}
+	for i := range b.Cols {
+		if b.Cols[i].T != types[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Slice points into at rows [lo, hi) of b without copying values: into's
+// column headers are rewritten to sub-slices of b's vectors. into must not
+// outlive mutations of b; it is a borrowed view for encoding/iteration.
+func (b *Batch) Slice(lo, hi int, into *Batch) {
+	if cap(into.Cols) < len(b.Cols) {
+		into.Cols = make([]ColVec, len(b.Cols))
+	} else {
+		into.Cols = into.Cols[:len(b.Cols)]
+	}
+	for c := range b.Cols {
+		v := &b.Cols[c]
+		w := &into.Cols[c]
+		w.T = v.T
+		w.I64, w.F64, w.Str = nil, nil, nil
+		switch v.T {
+		case Int64:
+			w.I64 = v.I64[lo:hi]
+		case Float64:
+			w.F64 = v.F64[lo:hi]
+		case String:
+			w.Str = v.Str[lo:hi]
+		}
+	}
+	into.N = hi - lo
+}
+
+// AppendBatchInto appends all of src's rows onto b. Column types must match
+// positionally; b typed empty (N == 0, no columns) adopts src's types. The
+// append is vector-wise — one bulk copy per column, no per-row boxing. All
+// shape checks run before any copy, so a mismatch error leaves b intact
+// (callers degrade to a row path and keep using the accumulator).
+func (b *Batch) AppendBatchInto(src *Batch) error {
+	if len(b.Cols) == 0 && b.N == 0 {
+		b.ResetTypes(src.Types())
+	}
+	if len(b.Cols) != len(src.Cols) {
+		return fmt.Errorf("tuple: append batch arity %d onto %d", len(src.Cols), len(b.Cols))
+	}
+	for c := range src.Cols {
+		if src.Cols[c].T != b.Cols[c].T {
+			return fmt.Errorf("tuple: append batch column %d type %v onto %v", c, src.Cols[c].T, b.Cols[c].T)
+		}
+	}
+	for c := range src.Cols {
+		v, w := &src.Cols[c], &b.Cols[c]
+		switch v.T {
+		case Int64:
+			w.I64 = append(w.I64, v.I64...)
+		case Float64:
+			w.F64 = append(w.F64, v.F64...)
+		case String:
+			w.Str = append(w.Str, v.Str...)
+		}
+	}
+	b.N += src.N
+	return nil
+}
+
 // Grow ensures every column vector has capacity for at least n values,
 // so a decode loop filling the batch never reallocates mid-stream.
 func (b *Batch) Grow(n int) {
@@ -189,6 +269,23 @@ func (b *Batch) Grow(n int) {
 			if cap(v.Str) < n {
 				v.Str = append(make([]string, 0, n), v.Str...)
 			}
+		}
+	}
+}
+
+// ClearStrings zeroes every string header the batch's vectors still
+// reference, including capacity beyond the current length. Pool
+// recyclers call it so a parked batch cannot pin the string contents of
+// its previous life across GC cycles (Truncate alone only re-slices).
+func (b *Batch) ClearStrings() {
+	for c := range b.Cols {
+		v := &b.Cols[c]
+		if v.Str == nil {
+			continue
+		}
+		s := v.Str[:cap(v.Str)]
+		for i := range s {
+			s[i] = ""
 		}
 	}
 }

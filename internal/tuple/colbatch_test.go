@@ -224,3 +224,45 @@ func TestBatchGrowKeepsContents(t *testing.T) {
 		}
 	}
 }
+
+// TestAppendBatchIntoMismatchLeavesIntact pins the pre-copy validation:
+// a type mismatch in any column must leave the destination untouched
+// (accumulators degrade to a row path and keep appending afterwards).
+func TestAppendBatchIntoMismatchLeavesIntact(t *testing.T) {
+	mk := func(types []Type, rows ...Row) *Batch {
+		b := &Batch{}
+		b.ResetTypes(types)
+		for _, r := range rows {
+			if err := b.AppendRow(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return b
+	}
+	acc := mk([]Type{Int64, Int64}, Row{I(1), I(2)})
+	// First column matches, second does not: nothing may be copied.
+	bad := mk([]Type{Int64, Float64}, Row{I(3), F(4.5)})
+	if err := acc.AppendBatchInto(bad); err == nil {
+		t.Fatal("mismatched append succeeded")
+	}
+	if acc.N != 1 || len(acc.Cols[0].I64) != 1 || len(acc.Cols[1].I64) != 1 {
+		t.Fatalf("accumulator corrupted after failed append: N=%d lens=%d/%d",
+			acc.N, len(acc.Cols[0].I64), len(acc.Cols[1].I64))
+	}
+	// A subsequent good append and full materialization must work.
+	good := mk([]Type{Int64, Int64}, Row{I(5), I(6)})
+	if err := acc.AppendBatchInto(good); err != nil {
+		t.Fatal(err)
+	}
+	rows := acc.Rows()
+	if len(rows) != 2 || rows[1][0].I64 != 5 || rows[1][1].I64 != 6 {
+		t.Fatalf("rows after recovery: %v", rows)
+	}
+	// Arity mismatch must also leave the accumulator intact.
+	if err := acc.AppendBatchInto(mk([]Type{Int64}, Row{I(9)})); err == nil {
+		t.Fatal("arity-mismatched append succeeded")
+	}
+	if acc.N != 2 {
+		t.Fatalf("N=%d after arity mismatch", acc.N)
+	}
+}

@@ -38,6 +38,11 @@ type QueryOptions struct {
 	Provenance bool
 	// Timeout bounds the execution (default 5 minutes).
 	Timeout time.Duration
+
+	// columnarResult asks the engine to leave the collected answer
+	// columnar (Result.batch) instead of materializing Rows — set by
+	// QueryBatches for the serving hand-off.
+	columnarResult bool
 }
 
 // Result is a completed query.
@@ -61,6 +66,11 @@ type Result struct {
 	// Cached reports that the result came from the materialized-view cache
 	// (same query text at the same epoch; see Cluster.EnableQueryCache).
 	Cached bool
+
+	// batch is the columnar answer backing a served result: populated
+	// instead of Rows when the query ran with columnarResult, emitted and
+	// recycled by QueryBatches.
+	batch *tuple.Batch
 }
 
 // Query parses, optimizes, and executes a single-block SQL query with
@@ -75,11 +85,14 @@ func (c *Cluster) Query(src string) (*Result, error) {
 const resultBatchRows = 1024
 
 // QueryBatches executes a query and emits the answer through callbacks
-// in row batches instead of returning it attached to the Result — the
-// serving path for streamed results. start receives the completed
-// query's metadata (columns, epoch, plan; Rows nil) exactly once before
-// the first batch; emit then receives the rows in batches, and the same
-// metadata Result is returned at the end.
+// instead of returning it attached to the Result — the serving path for
+// streamed results. start receives the completed query's metadata
+// (columns, epoch, plan; no rows) exactly once before the first batch.
+// When emitCols is non-nil the engine keeps the collected answer columnar
+// end-to-end and hands it over as tuple.Batch column vectors — no
+// []tuple.Row is materialized at the initiator; emit serves the fallback
+// cases (view-cache hits, provenance-mode and other row-granular
+// collections). With emitCols nil everything arrives through emit.
 //
 // The engine's exactly-once contract requires the complete,
 // duplicate-free answer set to exist at the initiator before any row is
@@ -87,17 +100,34 @@ const resultBatchRows = 1024
 // final sort/aggregate/limit operators act on the whole set), so batches
 // are drained from that answer under the consumer's backpressure rather
 // than produced speculatively mid-query; what this path eliminates is
-// the second, wire-encoded copy of the result. Emitted batches alias
-// engine memory and must not be mutated.
-func (c *Cluster) QueryBatches(src string, opts QueryOptions, start func(*Result) error, emit func(rows []tuple.Row) error) (*Result, error) {
+// the wire-encoded copy of the result and the row materialization in
+// between. Emitted rows and batches alias engine memory, must not be
+// mutated, and are valid only until QueryBatches returns — the columnar
+// slabs are recycled into the engine's arena afterwards.
+func (c *Cluster) QueryBatches(src string, opts QueryOptions, start func(*Result) error, emit func(rows []tuple.Row) error, emitCols func(b *tuple.Batch) error) (*Result, error) {
+	opts.columnarResult = emitCols != nil
 	res, err := c.QueryOpts(src, opts)
 	if err != nil {
 		return nil, err
 	}
 	meta := *res
 	meta.Rows = nil
+	meta.batch = nil
+	if res.batch != nil {
+		// Installed before any callback so an error exit (a client gone
+		// mid-schema) still returns the slab to the arena.
+		defer engine.RecycleResultBatch(res.batch)
+	}
 	if err := start(&meta); err != nil {
 		return nil, err
+	}
+	if res.batch != nil && emitCols != nil {
+		if res.batch.N > 0 {
+			if err := emitCols(res.batch); err != nil {
+				return nil, err
+			}
+		}
+		return &meta, nil
 	}
 	rows := res.Rows
 	for lo := 0; lo < len(rows); lo += resultBatchRows {
@@ -122,6 +152,13 @@ func (c *Cluster) QueryOpts(src string, opts QueryOptions) (*Result, error) {
 		res, err := c.queryUncached(src, opts)
 		if err != nil {
 			return nil, err
+		}
+		if res.batch != nil && res.Rows == nil {
+			// The cache stores rows (hits are served repeatedly, long
+			// after the columnar slab is recycled), so a columnar answer
+			// materializes here; the batch stays attached for the caller's
+			// hand-off.
+			res.Rows = res.batch.Rows()
 		}
 		c.viewStore(key, views, res)
 		return res, nil
@@ -170,15 +207,17 @@ func (c *Cluster) RunPlan(plan *engine.Plan, opts QueryOptions) (*Result, error)
 	ctx, cancel := context.WithTimeout(context.Background(), opts.Timeout)
 	defer cancel()
 	eres, err := c.engines[opts.Node].Run(ctx, plan, engine.Options{
-		Provenance: opts.Provenance,
-		Recovery:   opts.Recovery,
-		Epoch:      opts.Epoch,
+		Provenance:     opts.Provenance,
+		Recovery:       opts.Recovery,
+		Epoch:          opts.Epoch,
+		ColumnarResult: opts.columnarResult,
 	})
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{
 		Rows:     eres.Rows,
+		batch:    eres.Batch,
 		Epoch:    eres.Epoch,
 		Phases:   eres.Phases,
 		Restarts: eres.Restarts,

@@ -110,6 +110,14 @@ func (b *clusterBackend) Publish(ctx context.Context, req *server.PublishRequest
 	if !ok {
 		return 0, server.Errorf(server.CodeNotFound, "unknown relation %q", req.Relation)
 	}
+	if req.TypedRows != nil {
+		// Binary publish: rows arrived typed by the wire batch codec;
+		// coercion is a per-column type check, not per-value JSON parsing.
+		if err := server.CoerceTypedRows(s, req.TypedRows); err != nil {
+			return 0, err
+		}
+		return b.c.PublishTyped(b.node, req.Relation, req.TypedRows)
+	}
 	rows := make([]tuple.Row, len(req.Rows))
 	for i, r := range req.Rows {
 		row, err := server.CoerceRow(s, r)
@@ -170,15 +178,22 @@ func (b *clusterBackend) Query(ctx context.Context, req *server.QueryRequest) (*
 
 // QueryStream implements server.StreamingBackend: the result flows to
 // the wire as row batches under the stream's flow control, never as one
-// materialized wire-encoded response.
+// materialized wire-encoded response. Against a BatchStream the engine's
+// columnar answer is handed over as column vectors — batch frames are
+// encoded straight from them, with no row materialization anywhere
+// between the B-tree pass and the wire.
 func (b *clusterBackend) QueryStream(ctx context.Context, req *server.QueryRequest, out server.ResultStream) (*server.QueryTail, error) {
 	opts, err := b.queryOptions(ctx, req)
 	if err != nil {
 		return nil, err
 	}
+	var emitCols func(*tuple.Batch) error
+	if bs, ok := out.(server.BatchStream); ok {
+		emitCols = bs.Batches
+	}
 	res, err := b.c.QueryBatches(req.SQL, opts,
 		func(meta *Result) error { return out.Columns(meta.Columns) },
-		out.Batch)
+		out.Batch, emitCols)
 	if err != nil {
 		return nil, wireQueryError(err)
 	}
