@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"orchestra/internal/obs"
 	"orchestra/internal/server"
 	"orchestra/internal/tuple"
 )
@@ -575,6 +576,10 @@ type QueryOptions struct {
 	Provenance bool
 	// Explain asks for the optimizer's plan in Result.Plan.
 	Explain bool
+	// Trace asks for the query's span tree in Result.Trace: planning,
+	// per-fragment scans, ship encode/decode, and the final pipeline,
+	// with durations and row/byte counts.
+	Trace bool
 }
 
 // Result is a completed query. Row values are int64, float64, or string.
@@ -591,7 +596,15 @@ type Result struct {
 	WireBytes int64
 	// Streamed reports that the result arrived as binary batch frames.
 	Streamed bool
+	// TraceID and Trace carry the execution's span tree when
+	// QueryOptions.Trace was set.
+	TraceID string
+	Trace   *TraceSpan
 }
+
+// TraceSpan is one timed stage of a traced query — the nodes of
+// Result.Trace's span tree.
+type TraceSpan = obs.Span
 
 // Query runs a SQL query at the current epoch with default options.
 func (c *Client) Query(ctx context.Context, sql string) (*Result, error) {
@@ -622,6 +635,8 @@ func (c *Client) QueryOpts(ctx context.Context, sql string, opts QueryOptions) (
 	res.Plan = st.Plan()
 	res.WireBytes = st.WireBytes()
 	res.Streamed = st.Streamed()
+	res.TraceID = st.TraceID()
+	res.Trace = st.Trace()
 	return res, nil
 }
 
@@ -636,6 +651,7 @@ func queryRequest(ctx context.Context, sql string, opts QueryOptions, stream boo
 			Provenance: opts.Provenance,
 			Explain:    opts.Explain,
 			Stream:     stream,
+			Trace:      opts.Trace,
 		},
 	}
 	if dl, ok := ctx.Deadline(); ok {
@@ -771,6 +787,8 @@ func (c *Client) bufferedStream(ctx context.Context, conn *wireConn, sql string,
 			Restarts:  q.Restarts,
 			Plan:      q.Plan,
 			WireBytes: n,
+			TraceID:   q.TraceID,
+			Trace:     q.Trace,
 		},
 		wireBytes: n,
 	}, nil
@@ -1029,6 +1047,28 @@ func (s *Stream) Plan() string {
 	return ""
 }
 
+// TraceID identifies the traced execution (when Trace was requested).
+func (s *Stream) TraceID() string {
+	if s.fallback != nil {
+		return s.fallback.TraceID
+	}
+	if s.end != nil {
+		return s.end.TraceID
+	}
+	return ""
+}
+
+// Trace returns the query's span tree (when Trace was requested).
+func (s *Stream) Trace() *TraceSpan {
+	if s.fallback != nil {
+		return s.fallback.Trace
+	}
+	if s.end != nil {
+		return s.end.Trace
+	}
+	return nil
+}
+
 // Relation describes one catalog entry.
 type Relation = server.RelationInfo
 
@@ -1072,4 +1112,20 @@ func (c *Client) Status(ctx context.Context) (*Status, error) {
 		return nil, fmt.Errorf("orchestra client: malformed response (no status payload)")
 	}
 	return resp.Status, nil
+}
+
+// TraceDump is the server's slow-query log with full span trees.
+type TraceDump = server.TraceResponse
+
+// Traces fetches the server's slow-query log: every logged entry with
+// its complete span tree, oldest first.
+func (c *Client) Traces(ctx context.Context) (*TraceDump, error) {
+	resp, _, err := c.roundTrip(ctx, &server.Request{Op: server.OpTrace})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Trace == nil {
+		return nil, fmt.Errorf("orchestra client: malformed response (no trace payload)")
+	}
+	return resp.Trace, nil
 }

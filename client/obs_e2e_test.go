@@ -1,0 +1,203 @@
+package client_test
+
+// The served observability surface end to end: traced queries over the
+// wire (buffered and streamed), the slow-query log and trace op, the
+// status op's quantiles and cache counters, and the ops HTTP endpoint's
+// Prometheus metrics.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"orchestra"
+	"orchestra/client"
+)
+
+func seedObsCluster(t *testing.T, srv *orchestra.Server) *client.Client {
+	t.Helper()
+	ctx := context.Background()
+	cl, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	if err := cl.Create(ctx, "obs", []string{"k:string", "v:int"}, "k"); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]any, 200)
+	for i := range rows {
+		rows[i] = []any{fmt.Sprintf("k%03d", i), i}
+	}
+	if _, err := cl.Publish(ctx, "obs", rows); err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+// TestTracedQueryOverWire: a traced wire query returns its span tree on
+// both response paths, and an untraced one stays clean even while the
+// server is force-tracing for its slow-query log.
+func TestTracedQueryOverWire(t *testing.T) {
+	_, srv := serveCluster(t, 2, orchestra.ServeOptions{
+		SlowQueryThreshold: time.Nanosecond, // every query qualifies
+	})
+	cl := seedObsCluster(t, srv)
+	ctx := context.Background()
+
+	res, err := cl.QueryOpts(ctx, "SELECT k, v FROM obs WHERE v < 150", client.QueryOptions{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 150 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	if len(res.TraceID) != 16 || res.Trace == nil || res.Trace.Name != "query" {
+		t.Fatalf("trace id %q, trace %+v", res.TraceID, res.Trace)
+	}
+	var frag, shipped int64
+	for _, sp := range res.Trace.Children {
+		if sp.Name == "fragment" {
+			frag++
+			shipped += sp.Rows
+		}
+	}
+	if frag != 2 || shipped != int64(len(res.Rows)) {
+		t.Fatalf("%d fragment spans shipping %d rows, want 2 shipping %d", frag, shipped, len(res.Rows))
+	}
+
+	// Streamed path: the trace arrives in the stream's tail.
+	st, err := cl.QueryStream(ctx, "SELECT k, v FROM obs WHERE v < 150", client.QueryOptions{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for st.Next() {
+		n += len(st.Batch())
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 150 {
+		t.Fatalf("streamed rows: %d", n)
+	}
+	if st.TraceID() == "" || st.Trace() == nil {
+		t.Fatalf("streamed trace lost: id %q trace %v", st.TraceID(), st.Trace())
+	}
+
+	// The server force-traces for its slow log but must strip that trace
+	// from responses the client didn't ask to be traced.
+	plain, err := cl.Query(ctx, "SELECT k FROM obs WHERE v < 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TraceID != "" || plain.Trace != nil {
+		t.Fatalf("untraced query leaked the forced trace: %q", plain.TraceID)
+	}
+}
+
+// TestStatusTraceAndMetricsOps: the status op reports latency quantiles,
+// cache counters, and slow-query summaries; the trace op returns full
+// span trees; the ops HTTP listener serves per-op Prometheus histograms.
+func TestStatusTraceAndMetricsOps(t *testing.T) {
+	_, srv := serveCluster(t, 2, orchestra.ServeOptions{
+		SlowQueryThreshold: time.Nanosecond,
+		OpsAddr:            "127.0.0.1:0",
+	})
+	cl := seedObsCluster(t, srv)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Query(ctx, "SELECT k FROM obs WHERE v < 100"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st, err := cl.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := st.Ops["query"]
+	if q.Count < 3 {
+		t.Fatalf("query op count %d, want >= 3", q.Count)
+	}
+	if q.P50Us <= 0 || q.P50Us > q.P95Us || q.P95Us > q.P99Us || q.P99Us > q.MaxUs {
+		t.Fatalf("quantiles not monotone: p50=%d p95=%d p99=%d max=%d", q.P50Us, q.P95Us, q.P99Us, q.MaxUs)
+	}
+	if pages, ok := st.Caches["pages"]; !ok || pages.Hits+pages.Misses == 0 {
+		t.Fatalf("page-cache counters missing or idle: %+v", st.Caches)
+	}
+	if len(st.SlowQueries) == 0 {
+		t.Fatal("slow-query log empty at a 1ns threshold")
+	}
+	for _, sq := range st.SlowQueries {
+		if sq.Trace != nil {
+			t.Fatal("status op must carry trace-stripped slow-query summaries")
+		}
+		if sq.SQL == "" || sq.DurUs < 0 {
+			t.Fatalf("malformed slow-query summary: %+v", sq)
+		}
+	}
+
+	// The trace op returns the same entries with their span trees.
+	dump, err := cl.Traces(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Entries) == 0 {
+		t.Fatal("trace op returned no entries")
+	}
+	traced := 0
+	for _, e := range dump.Entries {
+		if e.Trace != nil {
+			traced++
+			if len(e.TraceID) != 16 {
+				t.Fatalf("slow query with trace but bad id %q", e.TraceID)
+			}
+		}
+	}
+	if traced == 0 {
+		t.Fatal("no slow-query entry kept its span tree")
+	}
+
+	// Ops HTTP endpoint: Prometheus text metrics with per-op histograms.
+	if srv.OpsAddr() == "" {
+		t.Fatal("ops listener not started")
+	}
+	httpRes, err := http.Get("http://" + srv.OpsAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(httpRes.Body)
+	httpRes.Body.Close()
+	if err != nil || httpRes.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d, err %v", httpRes.StatusCode, err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`orchestra_op_duration_us_bucket{op="query",le="`,
+		`orchestra_op_duration_us_count{op="query"}`,
+		`orchestra_op_duration_us{op="query",quantile="0.99"}`,
+		`orchestra_op_errors_total{op="query"}`,
+		`orchestra_cache_hits{cache="pages"}`,
+		"orchestra_connections",
+		"orchestra_uptime_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+
+	// pprof rides on the same listener.
+	pp, err := http.Get("http://" + srv.OpsAddr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/: status %d", pp.StatusCode)
+	}
+}

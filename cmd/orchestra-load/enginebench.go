@@ -29,6 +29,7 @@ type engineBenchRecord struct {
 	OutRowsPerS   float64 `json:"out_rows_per_s"`
 	MeanUs        int64   `json:"mean_us"`
 	P50Us         int64   `json:"p50_us"`
+	P95Us         int64   `json:"p95_us"`
 	P99Us         int64   `json:"p99_us"`
 	ProvenanceQPS float64 `json:"provenance_qps,omitempty"`
 }
@@ -120,6 +121,7 @@ func runEngineBench(rows, resultRows int, duration time.Duration, note, out stri
 		OutRowsPerS:   qps * float64(resultRows),
 		MeanUs:        (sum / time.Duration(len(lat))).Microseconds(),
 		P50Us:         pct(50).Microseconds(),
+		P95Us:         pct(95).Microseconds(),
 		P99Us:         pct(99).Microseconds(),
 		ProvenanceQPS: provQPS,
 	}

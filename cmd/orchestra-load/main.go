@@ -97,14 +97,19 @@ func main() {
 	}
 
 	ctx := context.Background()
+	var seedLat []time.Duration
 	if *local > 0 || *seed {
-		if err := seedData(ctx, endpoints[0], *rows); err != nil {
+		var err error
+		if seedLat, err = seedData(ctx, endpoints[0], *rows); err != nil {
 			log.Fatal(err)
 		}
 	}
 
 	queries := makeQueries(*distinct, *rows, *resultRows)
 	rep := run(ctx, endpoints, queries, *clients, *codec, *warmup, *duration)
+	if ph := latSummary("seed", seedLat); ph != nil {
+		rep.Phases = append([]phaseLat{*ph}, rep.Phases...)
+	}
 	rep.Note = *note
 	rep.Rows = *rows
 	rep.ResultRows = *resultRows
@@ -170,17 +175,19 @@ func selfHost(n, maxQ int, useCache, compress bool) ([]string, func(), error) {
 	return endpoints, cleanup, nil
 }
 
-// seedData creates the load relation and publishes rows through the wire.
-func seedData(ctx context.Context, addr string, rows int) error {
+// seedData creates the load relation and publishes rows through the
+// wire, returning the client-observed latency of each publish batch.
+func seedData(ctx context.Context, addr string, rows int) ([]time.Duration, error) {
 	cl, err := client.Dial(addr)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer cl.Close()
 	if err := cl.Create(ctx, "load", []string{"k:string", "grp:int", "v:int"}, "k"); err != nil {
-		return err
+		return nil, err
 	}
 	const batch = 250
+	var lat []time.Duration
 	for lo := 0; lo < rows; lo += batch {
 		hi := lo + batch
 		if hi > rows {
@@ -190,12 +197,14 @@ func seedData(ctx context.Context, addr string, rows int) error {
 		for i := lo; i < hi; i++ {
 			b = append(b, []any{fmt.Sprintf("k%06d", i), i % 17, i})
 		}
+		start := time.Now()
 		if _, err := cl.Publish(ctx, "load", b); err != nil {
-			return err
+			return nil, err
 		}
+		lat = append(lat, time.Since(start))
 	}
 	log.Printf("seeded %d rows into load", rows)
-	return nil
+	return lat, nil
 }
 
 // makeQueries builds the template mix. With resultRows > 0 every
@@ -246,6 +255,42 @@ type clientStats struct {
 	streamed bool
 }
 
+// phaseLat is one workload phase's client-observed latency summary.
+type phaseLat struct {
+	Phase  string `json:"phase"`
+	Count  int    `json:"count"`
+	MeanUs int64  `json:"mean_us"`
+	P50Us  int64  `json:"p50_us"`
+	P95Us  int64  `json:"p95_us"`
+	P99Us  int64  `json:"p99_us"`
+	MaxUs  int64  `json:"max_us"`
+}
+
+// latSummary condenses a phase's latency samples (nil when empty).
+// Sorts its argument in place.
+func latSummary(phase string, lat []time.Duration) *phaseLat {
+	if len(lat) == 0 {
+		return nil
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) int64 {
+		return lat[int(p/100*float64(len(lat)-1))].Microseconds()
+	}
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	return &phaseLat{
+		Phase:  phase,
+		Count:  len(lat),
+		MeanUs: (sum / time.Duration(len(lat))).Microseconds(),
+		P50Us:  pct(50),
+		P95Us:  pct(95),
+		P99Us:  pct(99),
+		MaxUs:  lat[len(lat)-1].Microseconds(),
+	}
+}
+
 // benchRecord is one run's machine-readable result.
 type benchRecord struct {
 	Timestamp  string  `json:"timestamp"`
@@ -272,6 +317,9 @@ type benchRecord struct {
 	BytesPerQ  int64   `json:"bytes_per_query"`
 	RowsPerQ   float64 `json:"rows_per_query"`
 	WireMBps   float64 `json:"wire_mb_per_s"`
+	// Phases are the per-phase (seed, query) client-side latency
+	// summaries; the top-level latency fields repeat the query phase.
+	Phases []phaseLat `json:"phases,omitempty"`
 }
 
 // run drives the closed loop, prints the report, and returns the record.
@@ -395,6 +443,7 @@ func run(ctx context.Context, endpoints, queries []string, clients int, codec st
 		BytesPerQ: bytes / int64(len(all)),
 		RowsPerQ:  float64(respRows) / float64(len(all)),
 		WireMBps:  float64(bytes) / 1e6 / elapsed.Seconds(),
+		Phases:    []phaseLat{*latSummary("query", all)},
 	}
 }
 

@@ -55,6 +55,8 @@ func main() {
 	pingEvery := flag.Duration("ping", 2*time.Second, "hung-peer probe interval (0 disables)")
 	serveAddr := flag.String("serve", "", "also serve the client wire protocol on this address")
 	maxQ := flag.Int("maxq", 0, "served endpoint: max concurrent query executions (0 = 2×GOMAXPROCS)")
+	opsAddr := flag.String("ops", "", "served endpoint: ops HTTP address for /metrics, /debug/vars, /debug/pprof (requires -serve)")
+	slowMs := flag.Int64("slowms", 0, "served endpoint: slow-query log threshold in ms (0 = 250ms default, negative disables)")
 	flag.Parse()
 
 	members := strings.Split(*peers, ",")
@@ -102,13 +104,25 @@ func main() {
 
 	if *serveAddr != "" {
 		srv, err := server.Start(*serveAddr, server.NewNodeBackend(node, eng),
-			server.Config{MaxConcurrentQueries: *maxQ})
+			server.Config{
+				MaxConcurrentQueries: *maxQ,
+				SlowQueryThreshold:   time.Duration(*slowMs) * time.Millisecond,
+			})
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer srv.Close()
 		log.Printf("serving clients on %s (max %d concurrent queries)",
 			srv.Addr(), srv.Stats().MaxConcurrentQueries)
+		if *opsAddr != "" {
+			a, err := srv.ServeOps(*opsAddr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("serving ops on http://%s (/metrics, /debug/vars, /debug/pprof)", a)
+		}
+	} else if *opsAddr != "" {
+		log.Fatalf("orchestra-node: -ops requires -serve")
 	}
 
 	log.Printf("node %s up; %d members, replication %d", *listen, len(ids), *replication)

@@ -93,28 +93,34 @@ func TestEngineScanAllocBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := fmt.Sprintf("SELECT k, grp, v FROM scanload WHERE v >= 0 AND v < %d", engineScanRows)
-	run := func() {
-		n := 0
-		_, err := c.QueryBatches(q, QueryOptions{},
-			func(*Result) error { return nil },
-			func(rows []tuple.Row) error { n += len(rows); return nil },
-			func(b *tuple.Batch) error { n += b.N; return nil })
-		if err != nil {
-			t.Fatal(err)
+	gate := func(t *testing.T, opts QueryOptions) {
+		run := func() {
+			n := 0
+			_, err := c.QueryBatches(q, opts,
+				func(*Result) error { return nil },
+				func(rows []tuple.Row) error { n += len(rows); return nil },
+				func(b *tuple.Batch) error { n += b.N; return nil })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != engineScanRows {
+				t.Fatalf("query answered %d rows, want %d", n, engineScanRows)
+			}
 		}
-		if n != engineScanRows {
-			t.Fatalf("query answered %d rows, want %d", n, engineScanRows)
+		run() // warm caches and pools
+		allocs := testing.AllocsPerRun(10, run)
+		perRow := allocs / float64(engineScanRows)
+		t.Logf("served scan: %.0f allocs/query, %.3f allocs/row", allocs, perRow)
+		const ceiling = 0.5 // allocs per scanned row
+		if perRow > ceiling {
+			t.Fatalf("scan path allocates %.3f per scanned row (%.0f per query), ceiling %.2f — result materialization is back on the hot path",
+				perRow, allocs, ceiling)
 		}
 	}
-	run() // warm caches and pools
-	allocs := testing.AllocsPerRun(10, run)
-	perRow := allocs / float64(engineScanRows)
-	t.Logf("served scan: %.0f allocs/query, %.3f allocs/row", allocs, perRow)
-	const ceiling = 0.5 // allocs per scanned row
-	if perRow > ceiling {
-		t.Fatalf("scan path allocates %.3f per scanned row (%.0f per query), ceiling %.2f — result materialization is back on the hot path",
-			perRow, allocs, ceiling)
-	}
+	t.Run("default", func(t *testing.T) { gate(t, QueryOptions{}) })
+	// Tracing costs spans per query, never allocations per row; the same
+	// ceiling holds with the span tree collected.
+	t.Run("traced", func(t *testing.T) { gate(t, QueryOptions{Trace: true}) })
 }
 
 // BenchmarkEngineScanProvenance measures the filtered scan with

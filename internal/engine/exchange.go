@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"orchestra/internal/keyspace"
+	"orchestra/internal/obs"
 	"orchestra/internal/ring"
 	"orchestra/internal/tuple"
 )
@@ -422,6 +423,7 @@ type shipConsumer struct {
 	sealed     bool         // accepted completion: drop late arrivals
 	eosFrom    map[uint32]map[ring.NodeID]bool
 	statsBy    map[ring.NodeID]NodeStats
+	spanBy     map[ring.NodeID]*obs.Span // remote fragment traces (last report wins)
 	firedPhase map[uint32]bool
 	completeCh chan uint32
 }
@@ -508,6 +510,14 @@ func (s *shipConsumer) receiveCols(b *tuple.Batch) {
 // vector-wise append. Provenance bodies take the row path (each tuple
 // carries its own provenance set).
 func (s *shipConsumer) receiveWire(rest []byte) error {
+	if tr := s.ex.trace; tr != nil {
+		t0 := tr.SinceUs()
+		defer func() {
+			s.ex.shipDecUs.Add(tr.SinceUs() - t0)
+			s.ex.shipDecBatches.Add(1)
+			s.ex.shipDecBytes.Add(int64(len(rest)))
+		}()
+	}
 	if len(rest) >= 5 && rest[4] == 0 {
 		scratch := getResultBatch()
 		_, err := tuple.DecodeBatchInto(rest[5:], scratch)
@@ -538,7 +548,7 @@ func tupsOfBatch(b *tuple.Batch) []Tup {
 	return ts
 }
 
-func (s *shipConsumer) eosFromNode(from ring.NodeID, phase uint32, st NodeStats) {
+func (s *shipConsumer) eosFromNode(from ring.NodeID, phase uint32, st NodeStats, span *obs.Span) {
 	s.mu.Lock()
 	m := s.eosFrom[phase]
 	if m == nil {
@@ -547,8 +557,26 @@ func (s *shipConsumer) eosFromNode(from ring.NodeID, phase uint32, st NodeStats)
 	}
 	m[from] = true
 	s.statsBy[from] = st
+	if span != nil {
+		if s.spanBy == nil {
+			s.spanBy = make(map[ring.NodeID]*obs.Span)
+		}
+		s.spanBy[from] = span
+	}
 	s.completeLocked()
 	s.mu.Unlock()
+}
+
+// remoteSpans returns the last-reported fragment span of each remote
+// node, for attachment under the trace root at completion.
+func (s *shipConsumer) remoteSpans() []*obs.Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*obs.Span, 0, len(s.spanBy))
+	for _, sp := range s.spanBy {
+		out = append(out, sp)
+	}
+	return out
 }
 
 // purge drops tainted collected rows (recovery at the initiator).

@@ -11,6 +11,7 @@ import (
 
 	"orchestra/internal/cluster"
 	"orchestra/internal/keyspace"
+	"orchestra/internal/obs"
 	"orchestra/internal/ring"
 	"orchestra/internal/transport"
 	"orchestra/internal/tuple"
@@ -80,6 +81,16 @@ type Options struct {
 	// scans, aggregates demoting the final pipeline) return rows even when
 	// it is set.
 	ColumnarResult bool
+	// Trace, when non-nil, collects a span tree for this execution: the
+	// initiator attaches a per-node "fragment" span (scan passes, ship
+	// encode/decode, cache attribution) under the trace root, and the
+	// trace's ID is propagated to remote fragments in the prepare message.
+	// Nil (the default) disables every instrumentation site — tracing
+	// stays off the hot path.
+	Trace *obs.Trace
+	// TraceID carries the initiator's trace id to a remote executor; it
+	// is set by the prepare decoder, never by callers.
+	TraceID obs.TraceID
 }
 
 func (o Options) withDefaults() Options {
@@ -314,6 +325,20 @@ type executor struct {
 
 	failCh chan ring.NodeID // initiator: failures needing Run's attention
 	stats  statsCounters
+
+	// Tracing state: trace is nil when tracing is off (every site guards
+	// on it); frag is this node's "fragment" span. At the initiator the
+	// trace is the caller's query trace and frag hangs off its root; on a
+	// remote node the trace is fragment-local and frag is its root,
+	// shipped back with the fragment's EOS. The accumulators are atomics
+	// so scan and transport goroutines add to them without locks.
+	trace   *obs.Trace
+	frag    *obs.Span
+	encSpan *obs.Span // lazily attached "ship.encode" child of frag
+
+	shipEncUs, shipEncBatches, shipEncBytes atomic.Int64
+	shipDecUs, shipDecBatches, shipDecBytes atomic.Int64
+	pageHits, pageMisses                    atomic.Int64
 }
 
 func newExecutor(eng *Engine, queryID uint64, plan *Plan, opts Options, epoch tuple.Epoch,
@@ -341,6 +366,17 @@ func newExecutor(eng *Engine, queryID uint64, plan *Plan, opts Options, epoch tu
 	if initiator == eng.node.ID() {
 		ex.shipCons = newShipConsumer(ex)
 		ex.failCh = make(chan ring.NodeID, snap.Size())
+		if opts.Trace != nil {
+			ex.trace = opts.Trace
+			ex.frag = ex.trace.Begin("fragment")
+			ex.frag.Node = string(eng.node.ID())
+			ex.trace.Attach(nil, ex.frag)
+		}
+	} else if opts.TraceID != 0 {
+		// Remote fragment: a local trace rooted at this node's fragment
+		// span, encoded back to the initiator with the ship EOS.
+		ex.trace = obs.NewTrace(opts.TraceID, "fragment", string(eng.node.ID()))
+		ex.frag = ex.trace.Root()
 	}
 	ex.shipper = &shipProducer{ex: ex}
 	if err := ex.build(plan.Root, ex.shipper); err != nil {
@@ -578,12 +614,21 @@ func (ex *executor) sendShipBatch(ts []Tup) {
 		}
 		return
 	}
+	var encT0 int64
+	if ex.trace != nil {
+		encT0 = ex.trace.SinceUs()
+	}
 	body, err := encodeTupBatch(ts, ex.phaseNow(), ex.opts.Provenance)
 	if err != nil {
 		return
 	}
 	payload := ex.header(nil)
 	payload = append(payload, body...)
+	if ex.trace != nil {
+		ex.shipEncUs.Add(ex.trace.SinceUs() - encT0)
+		ex.shipEncBatches.Add(1)
+		ex.shipEncBytes.Add(int64(len(payload)))
+	}
 	ex.stats.addSentBytes(len(payload))
 	_ = ex.eng.node.Endpoint().Send(ex.initiator, msgShipBatch, payload)
 }
@@ -604,6 +649,10 @@ func (ex *executor) sendShipCols(b *tuple.Batch) {
 		}
 		return
 	}
+	var encT0 int64
+	if ex.trace != nil {
+		encT0 = ex.trace.SinceUs()
+	}
 	payload := ex.header(nil)
 	payload = binary.BigEndian.AppendUint32(payload, ex.phaseNow())
 	payload = append(payload, 0) // no provenance column
@@ -611,25 +660,65 @@ func (ex *executor) sendShipCols(b *tuple.Batch) {
 	if err != nil {
 		return
 	}
+	if ex.trace != nil {
+		ex.shipEncUs.Add(ex.trace.SinceUs() - encT0)
+		ex.shipEncBatches.Add(1)
+		ex.shipEncBytes.Add(int64(len(payload)))
+	}
 	ex.stats.addSentBytes(len(payload))
 	_ = ex.eng.node.Endpoint().Send(ex.initiator, msgShipBatch, payload)
 }
 
 // sendShipEOS reports fragment completion for the given wave phase, along
-// with this node's work counters.
+// with this node's work counters and (when tracing) the fragment's span
+// subtree, appended after the fixed-size stats block.
 func (ex *executor) sendShipEOS(phase uint32) {
 	st := ex.stats.snapshot()
+	ex.finishFragSpan(phase, st)
 	if ex.initiator == ex.self() {
 		if ex.shipCons != nil {
-			ex.shipCons.eosFromNode(ex.self(), phase, st)
+			ex.shipCons.eosFromNode(ex.self(), phase, st, nil)
 		}
 		return
 	}
 	payload := ex.header(nil)
 	payload = binary.BigEndian.AppendUint32(payload, phase)
 	payload = encodeNodeStats(payload, st)
+	if ex.trace != nil {
+		payload = ex.trace.EncodeRoot(payload)
+	}
 	ex.stats.addSentBytes(len(payload))
 	_ = ex.eng.node.Endpoint().Send(ex.initiator, msgShipEOS, payload)
+}
+
+// finishFragSpan stamps the fragment span with the fragment's totals at
+// an EOS wave. Recovery waves re-stamp it — the last report wins, which
+// matches how the initiator keeps the last stats report per node.
+func (ex *executor) finishFragSpan(phase uint32, st NodeStats) {
+	if ex.trace == nil {
+		return
+	}
+	ex.frag.Phase = phase
+	ex.frag.DurUs = ex.trace.SinceUs() - ex.frag.StartUs
+	ex.frag.Rows = int64(st.Shipped)
+	ex.frag.Bytes = int64(st.BytesSent)
+	ex.frag.CacheHits = ex.pageHits.Load()
+	ex.frag.CacheMisses = ex.pageMisses.Load()
+	if ex.shipEncBatches.Load() > 0 {
+		ex.mu.Lock()
+		sp := ex.encSpan
+		if sp == nil {
+			sp = &obs.Span{Name: "ship.encode"}
+			ex.encSpan = sp
+			ex.mu.Unlock()
+			ex.trace.Attach(ex.frag, sp)
+		} else {
+			ex.mu.Unlock()
+		}
+		sp.DurUs = ex.shipEncUs.Load()
+		sp.Batches = ex.shipEncBatches.Load()
+		sp.Bytes = ex.shipEncBytes.Load()
+	}
 }
 
 // start launches the leaf operations for phase 0. Tickets are issued
@@ -814,12 +903,20 @@ func (e *Engine) registerHandlers() {
 			return nil, errors.New("engine: short ship eos")
 		}
 		phase := binary.BigEndian.Uint32(rest)
-		st, _, err := decodeNodeStats(rest[4:])
+		st, rem, err := decodeNodeStats(rest[4:])
 		if err != nil {
 			return nil, err
 		}
+		// A trailing span blob is the remote fragment's trace subtree; a
+		// decode failure only loses the trace, never the completion.
+		var span *obs.Span
+		if len(rem) > 0 && ex.trace != nil {
+			if sp, _, err := obs.DecodeSpan(rem); err == nil {
+				span = sp
+			}
+		}
 		ex.stats.addRecvBytes(len(payload))
-		ex.shipCons.eosFromNode(from, phase, st)
+		ex.shipCons.eosFromNode(from, phase, st, span)
 		return nil, nil
 	})
 
@@ -934,6 +1031,11 @@ func encodePrepare(queryID uint64, initiator ring.NodeID, epoch tuple.Epoch,
 		flags |= 1
 	}
 	out = append(out, flags, byte(opts.Recovery))
+	var tid obs.TraceID
+	if opts.Trace != nil {
+		tid = opts.Trace.ID
+	}
+	out = binary.BigEndian.AppendUint64(out, uint64(tid))
 	tb, err := table.MarshalBinary()
 	if err != nil {
 		return nil, err
@@ -962,13 +1064,15 @@ func (e *Engine) handlePrepare(payload []byte) error {
 	}
 	initiator := ring.NodeID(data[n : n+int(l)])
 	data = data[n+int(l):]
-	if len(data) < 10 {
+	if len(data) < 18 {
 		return errors.New("engine: short prepare header")
 	}
 	epoch := tuple.Epoch(binary.BigEndian.Uint64(data))
 	data = data[8:]
 	opts := Options{Provenance: data[0]&1 != 0, Recovery: RecoveryMode(data[1])}
 	data = data[2:]
+	opts.TraceID = obs.TraceID(binary.BigEndian.Uint64(data))
+	data = data[8:]
 	l, n = binary.Uvarint(data)
 	if n <= 0 || len(data) < n+int(l) {
 		return errors.New("engine: bad prepare table")
@@ -1196,6 +1300,8 @@ func (e *Engine) runOnce(ctx context.Context, p *Plan, opts Options, epoch tuple
 				continue // stale completion from before a recovery
 			}
 			tups, colsB := ex.shipCons.seal()
+			ex.attachInitiatorSpans()
+			finalSpan := ex.trace.Begin("final")
 			res := &Result{
 				Stats:  ex.shipCons.nodeStats(),
 				Phases: ex.phaseNow() + 1,
@@ -1223,6 +1329,15 @@ func (e *Engine) runOnce(ctx context.Context, p *Plan, opts Options, epoch tuple
 					res.Rows = b.Rows()
 					RecycleResultBatch(b)
 				}
+				if finalSpan != nil {
+					if b != nil {
+						finalSpan.Rows = int64(b.N)
+					} else {
+						finalSpan.Rows = int64(len(rows))
+					}
+					ex.trace.End(finalSpan)
+					ex.trace.Attach(nil, finalSpan)
+				}
 				return res, nil
 			}
 			// Mixed or row-granular collection (provenance mode, covering
@@ -1240,8 +1355,34 @@ func (e *Engine) runOnce(ctx context.Context, p *Plan, opts Options, epoch tuple
 				return nil, err
 			}
 			res.Rows = final
+			if finalSpan != nil {
+				finalSpan.Rows = int64(len(final))
+				ex.trace.End(finalSpan)
+				ex.trace.Attach(nil, finalSpan)
+			}
 			return res, nil
 		}
+	}
+}
+
+// attachInitiatorSpans hangs the spans gathered during execution under
+// the trace root: each remote fragment's shipped subtree (last report
+// per node wins) and the accumulated ship-decode work. Called once, at
+// the accepted completion — nothing races with Attach by then.
+func (ex *executor) attachInitiatorSpans() {
+	if ex.trace == nil {
+		return
+	}
+	for _, sp := range ex.shipCons.remoteSpans() {
+		ex.trace.Attach(nil, sp)
+	}
+	if ex.shipDecBatches.Load() > 0 {
+		ex.trace.Attach(nil, &obs.Span{
+			Name:    "ship.decode",
+			DurUs:   ex.shipDecUs.Load(),
+			Batches: ex.shipDecBatches.Load(),
+			Bytes:   ex.shipDecBytes.Load(),
+		})
 	}
 }
 

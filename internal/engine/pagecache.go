@@ -18,6 +18,10 @@ type pageCache struct {
 	max int
 	lru *list.List // front = most recent; values are *pageCacheEntry
 	m   map[vstore.PageID]*list.Element
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 type pageCacheEntry struct {
@@ -40,8 +44,10 @@ func (c *pageCache) get(id vstore.PageID) (*vstore.Page, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.m[id]
 	if !ok {
+		c.misses++
 		return nil, false
 	}
+	c.hits++
 	c.lru.MoveToFront(el)
 	return el.Value.(*pageCacheEntry).page, true
 }
@@ -60,5 +66,25 @@ func (c *pageCache) put(id vstore.PageID, p *vstore.Page) {
 		old := c.lru.Back()
 		c.lru.Remove(old)
 		delete(c.m, old.Value.(*pageCacheEntry).id)
+		c.evictions++
 	}
 }
+
+// CacheStats are a cache's cumulative hit/miss/eviction counts plus its
+// current and maximum sizes.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Size      int    `json:"size"`
+	Max       int    `json:"max"`
+}
+
+func (c *pageCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Size: c.lru.Len(), Max: c.max}
+}
+
+// PageCacheStats snapshots the decoded-index-page LRU's counters.
+func (e *Engine) PageCacheStats() CacheStats { return e.pages.stats() }

@@ -10,6 +10,7 @@ import (
 	"orchestra/internal/cluster"
 	"orchestra/internal/keyspace"
 	"orchestra/internal/kvstore"
+	"orchestra/internal/obs"
 	"orchestra/internal/ring"
 	"orchestra/internal/tuple"
 	"orchestra/internal/vstore"
@@ -105,6 +106,13 @@ func (l *scanLeaf) runIndexSide(phase uint32, inherited []ring.Range, prevTable 
 	defer l.idxSeq.done()
 	cur := l.ex.currentTable()
 	self := l.ex.self()
+	tr := l.ex.trace
+	var sp *obs.Span
+	var idsOut int64
+	if tr != nil {
+		sp = tr.Begin("scan.index")
+		sp.Phase = phase
+	}
 	// Single-member snapshots (and recovered-to-one clusters) route every
 	// ID to this node; skip the per-ID binary search over the ring.
 	soleOwner := cur.Size() == 1
@@ -142,6 +150,7 @@ func (l *scanLeaf) runIndexSide(phase uint32, inherited []ring.Range, prevTable 
 			// cached) ID and hash slices ship as-is — no per-ID routing, no
 			// copies.
 			if soleOwner && full && !l.spec.Covering && l.spec.Pred.Lo == nil && l.spec.Pred.Hi == nil {
+				idsOut += int64(len(page.IDs))
 				l.ex.sendScanIDs(l.spec.ScanID, self, page.IDs, page.Hashes)
 				continue
 			}
@@ -181,6 +190,7 @@ func (l *scanLeaf) runIndexSide(phase uint32, inherited []ring.Range, prevTable 
 			}
 		}
 		for dest, s := range byDest {
+			idsOut += int64(len(s.ids))
 			l.ex.sendScanIDs(l.spec.ScanID, dest, s.ids, s.hashes)
 		}
 	}
@@ -189,8 +199,18 @@ func (l *scanLeaf) runIndexSide(phase uint32, inherited []ring.Range, prevTable 
 			l.ex.stats.addScanned(len(coveringOut))
 			l.out.push(coveringOut)
 		}
+		if sp != nil {
+			sp.Rows = int64(len(coveringOut))
+			tr.End(sp)
+			tr.Attach(l.ex.frag, sp)
+		}
 		l.out.eos(phase)
 		return
+	}
+	if sp != nil {
+		sp.Rows = idsOut // IDs shipped to data nodes
+		tr.End(sp)
+		tr.Attach(l.ex.frag, sp)
 	}
 	// Signal that this node's index work for the phase is complete; the
 	// marker follows all ID shipments on each link (FIFO), so data sides
@@ -204,8 +224,10 @@ func (l *scanLeaf) runIndexSide(phase uint32, inherited []ring.Range, prevTable 
 // local store, then replicas.
 func (l *scanLeaf) loadPage(ref vstore.PageRef) (*vstore.Page, error) {
 	if p, ok := l.ex.eng.pages.get(ref.ID); ok {
+		l.ex.pageHits.Add(1)
 		return p, nil
 	}
+	l.ex.pageMisses.Add(1)
 	kv := vstore.PageKVKey(ref.ID)
 	// GetRetained: page decoding copies what it keeps, so the store's
 	// no-copy read suffices and saves a page-sized allocation per scan.
@@ -339,11 +361,19 @@ func (l *scanLeaf) runPass(phase uint32, tick uint64) {
 	self := l.ex.self()
 	cur := l.ex.currentTable()
 	prov := l.ex.opts.Provenance
+	tr := l.ex.trace
+	var sp *obs.Span
+	var emitted int64
+	if tr != nil {
+		sp = tr.Begin("scan.pass")
+		sp.Phase = phase
+	}
 
 	// Row-at-a-time emission (provenance mode and the replica fallback).
 	var batch []Tup
 	flush := func() {
 		if len(batch) > 0 {
+			emitted += int64(len(batch))
 			l.ex.stats.addScanned(len(batch))
 			l.out.push(batch)
 			batch = nil
@@ -365,6 +395,7 @@ func (l *scanLeaf) runPass(phase uint32, tick uint64) {
 	var colTypes []tuple.Type
 	flushCols := func() {
 		if cb != nil && cb.cols.N > 0 {
+			emitted += int64(cb.cols.N)
 			l.ex.stats.addScanned(cb.cols.N)
 			forwardBatch(l.out, l.outB(), cb)
 			cb = nil
@@ -514,6 +545,11 @@ func (l *scanLeaf) runPass(phase uint32, tick uint64) {
 	}
 	flushCols()
 	flush()
+	if sp != nil {
+		sp.Rows = emitted
+		tr.End(sp)
+		tr.Attach(l.ex.frag, sp)
+	}
 	l.out.eos(phase)
 }
 

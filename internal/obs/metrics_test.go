@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for us := int64(1); us <= 1000; us++ {
+		h.ObserveUs(us)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	if s.MaxUs != 1000 {
+		t.Fatalf("max = %d, want 1000", s.MaxUs)
+	}
+	if got := s.MeanUs(); got != 500 {
+		t.Fatalf("mean = %d, want 500", got)
+	}
+	// Exponential buckets: quantiles are approximate but must stay within
+	// a bucket (factor ~2) of the true value and be monotone.
+	p50, p95, p99 := s.Quantile(0.5), s.Quantile(0.95), s.Quantile(0.99)
+	if p50 < 250 || p50 > 1000 {
+		t.Fatalf("p50 = %d, want within [250,1000]", p50)
+	}
+	if p95 < 500 || p95 > 1000 {
+		t.Fatalf("p95 = %d, want within [500,1000]", p95)
+	}
+	if p99 < 500 || p99 > 1000 {
+		t.Fatalf("p99 = %d, want within [500,1000]", p99)
+	}
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Fatalf("quantiles not monotone: p50=%d p95=%d p99=%d", p50, p95, p99)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Quantile(0.99) != 0 || s.MeanUs() != 0 {
+		t.Fatal("empty histogram must quantile/mean to zero")
+	}
+	h.ObserveUs(-5) // clamps to zero
+	h.ObserveUs(0)
+	s = h.Snapshot()
+	if s.Count != 2 || s.Quantile(0.5) != 0 {
+		t.Fatalf("zero observations: count=%d p50=%d", s.Count, s.Quantile(0.5))
+	}
+	h.Observe(3 * time.Millisecond)
+	s = h.Snapshot()
+	if s.MaxUs != 3000 {
+		t.Fatalf("max = %d, want 3000", s.MaxUs)
+	}
+	if q := s.Quantile(1); q != 3000 {
+		t.Fatalf("p100 = %d, want clamped to max 3000", q)
+	}
+}
+
+// TestHistogramConcurrentWriters hammers one histogram from many
+// goroutines (meaningful under -race) and checks the snapshot is
+// complete and the merge of per-writer shards equals the shared total.
+func TestHistogramConcurrentWriters(t *testing.T) {
+	const writers = 8
+	const perWriter = 10000
+	var shared Histogram
+	shards := make([]Histogram, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				us := int64((i*7+w)%5000 + 1)
+				shared.ObserveUs(us)
+				shards[w].ObserveUs(us)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	got := shared.Snapshot()
+	var merged HistSnapshot
+	for w := range shards {
+		merged.Merge(shards[w].Snapshot())
+	}
+	if got.Count != writers*perWriter || merged.Count != got.Count {
+		t.Fatalf("count: shared=%d merged=%d want %d", got.Count, merged.Count, writers*perWriter)
+	}
+	if got.SumUs != merged.SumUs {
+		t.Fatalf("sum: shared=%d merged=%d", got.SumUs, merged.SumUs)
+	}
+	if got.MaxUs != merged.MaxUs {
+		t.Fatalf("max: shared=%d merged=%d", got.MaxUs, merged.MaxUs)
+	}
+	for i := range got.Buckets {
+		if got.Buckets[i] != merged.Buckets[i] {
+			t.Fatalf("bucket %d: shared=%d merged=%d", i, got.Buckets[i], merged.Buckets[i])
+		}
+	}
+}
+
+// TestHistogramSnapshotDuringWrites takes snapshots while writers are
+// live: every snapshot must be internally consistent (bucket total never
+// exceeds count+in-flight, quantiles never panic).
+func TestHistogramSnapshotDuringWrites(t *testing.T) {
+	var h Histogram
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.ObserveUs(int64(i%1000 + w))
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		s := h.Snapshot()
+		if q := s.Quantile(0.95); q < 0 {
+			t.Fatalf("negative quantile %d", q)
+		}
+		if s.total() > 0 && s.MaxUs == 0 && s.SumUs > 0 {
+			t.Fatal("snapshot lost max while sum is nonzero")
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestRegistryPrometheusRender(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("orchestra_requests_total").Add(7)
+	r.Gauge("orchestra_connections").Set(3)
+	r.GaugeFunc("orchestra_live", func() int64 { return 42 })
+	h := r.Histogram(`orchestra_op_duration_us{op="query"}`)
+	h.ObserveUs(100)
+	h.ObserveUs(900)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"orchestra_requests_total 7\n",
+		"orchestra_connections 3\n",
+		"orchestra_live 42\n",
+		`orchestra_op_duration_us_sum{op="query"} 1000` + "\n",
+		`orchestra_op_duration_us_count{op="query"} 2` + "\n",
+		`orchestra_op_duration_us{op="query",quantile="0.5"}`,
+		`orchestra_op_duration_us_bucket{op="query",le="127"} 1`,
+		`orchestra_op_duration_us_bucket{op="query",le="+Inf"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistrySameHandle(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("counter handle not stable")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("histogram handle not stable")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("gauge handle not stable")
+	}
+}

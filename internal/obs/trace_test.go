@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTraceIDString(t *testing.T) {
+	if got := TraceID(0xdeadbeef01020304).String(); got != "deadbeef01020304" {
+		t.Fatalf("TraceID.String() = %q", got)
+	}
+	a, b := NewTraceID(), NewTraceID()
+	if a == b {
+		t.Fatal("consecutive trace ids collide")
+	}
+}
+
+func TestTraceSpanTree(t *testing.T) {
+	tr := NewTrace(NewTraceID(), "query", "node-0")
+	plan := tr.Begin("plan")
+	tr.End(plan)
+	tr.Attach(nil, plan)
+	frag := &Span{Name: "fragment", Node: "node-1", Rows: 100}
+	tr.Attach(nil, frag)
+	scan := &Span{Name: "scan.pass", Phase: 1, Rows: 100}
+	frag.Children = append(frag.Children, scan)
+	tr.Finish()
+
+	root := tr.Root()
+	if root.Name != "query" || len(root.Children) != 2 {
+		t.Fatalf("root = %+v", root)
+	}
+	if root.Find("scan.pass") != scan {
+		t.Fatal("Find failed to locate nested span")
+	}
+	var names []string
+	root.Walk(func(s *Span) { names = append(names, s.Name) })
+	if len(names) != 4 {
+		t.Fatalf("walk visited %v", names)
+	}
+}
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	s := tr.Begin("x")
+	tr.End(s)
+	tr.Attach(nil, s)
+	tr.Finish()
+	if tr.Root() != nil {
+		t.Fatal("nil trace must have nil root")
+	}
+	var sp *Span
+	if sp.Find("x") != nil {
+		t.Fatal("nil span Find must return nil")
+	}
+	sp.Walk(func(*Span) { t.Fatal("nil span Walk must not visit") })
+}
+
+func TestTraceConcurrentAttach(t *testing.T) {
+	tr := NewTrace(NewTraceID(), "query", "")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s := tr.Begin("scan.pass")
+				tr.End(s)
+				tr.Attach(nil, s)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := len(tr.Root().Children); n != 800 {
+		t.Fatalf("attached %d spans, want 800", n)
+	}
+}
+
+func TestSpanCodecRoundTrip(t *testing.T) {
+	in := &Span{
+		Name: "fragment", Node: "n3", Phase: 2,
+		StartUs: 10, DurUs: 5000, Rows: 1234, Batches: 5, Bytes: 99999,
+		CacheHits: 7, CacheMisses: 2,
+		Children: []*Span{
+			{Name: "scan.index", Phase: 1, DurUs: 100},
+			{Name: "scan.pass", Phase: 1, DurUs: 4000, Rows: 1234,
+				Children: []*Span{{Name: "ship.encode", DurUs: 50, Bytes: 4096}}},
+		},
+	}
+	buf := AppendSpan(nil, in)
+	buf = append(buf, 0xAA, 0xBB) // trailing bytes must be returned untouched
+	out, rest, err := DecodeSpan(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 2 || rest[0] != 0xAA {
+		t.Fatalf("rest = %x", rest)
+	}
+	assertSpanEqual(t, in, out)
+}
+
+func assertSpanEqual(t *testing.T, a, b *Span) {
+	t.Helper()
+	if a.Name != b.Name || a.Node != b.Node || a.Phase != b.Phase ||
+		a.StartUs != b.StartUs || a.DurUs != b.DurUs || a.Rows != b.Rows ||
+		a.Batches != b.Batches || a.Bytes != b.Bytes ||
+		a.CacheHits != b.CacheHits || a.CacheMisses != b.CacheMisses ||
+		len(a.Children) != len(b.Children) {
+		t.Fatalf("span mismatch:\n%+v\n%+v", a, b)
+	}
+	for i := range a.Children {
+		assertSpanEqual(t, a.Children[i], b.Children[i])
+	}
+}
+
+func TestSpanCodecCorrupt(t *testing.T) {
+	good := AppendSpan(nil, &Span{Name: "x", Children: []*Span{{Name: "y"}}})
+	for cut := 0; cut < len(good); cut++ {
+		if _, _, err := DecodeSpan(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded without error", cut)
+		}
+	}
+	// A huge claimed child count must not allocate unboundedly.
+	bad := appendString(nil, "x")
+	bad = appendString(bad, "")
+	for i := 0; i < 8; i++ {
+		bad = append(bad, 0) // phase + 7 counters = 0
+	}
+	bad = append(bad, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F) // child count ~2^34
+	if _, _, err := DecodeSpan(bad); err == nil {
+		t.Fatal("oversized child count decoded without error")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"orchestra/internal/engine"
+	"orchestra/internal/obs"
 	"orchestra/internal/tuple"
 )
 
@@ -68,6 +69,10 @@ type QueryTail struct {
 	Phases   uint32 `json:"phases,omitempty"`
 	Restarts int    `json:"restarts,omitempty"`
 	Plan     string `json:"plan,omitempty"`
+	// TraceID/Trace carry the query's span tree when tracing was
+	// requested — the streamed counterpart of QueryResponse's fields.
+	TraceID string    `json:"trace_id,omitempty"`
+	Trace   *obs.Span `json:"trace,omitempty"`
 }
 
 // StreamingBackend is implemented by backends that can emit query
@@ -81,6 +86,13 @@ type StreamingBackend interface {
 	// are followed by an error End frame — partial results are
 	// explicitly invalidated for the client.
 	QueryStream(ctx context.Context, req *QueryRequest, out ResultStream) (*QueryTail, error)
+}
+
+// CacheStatsProvider is optionally implemented by backends that expose
+// cache counters (the view cache, the decoded-page LRU); the status op
+// reports them when present.
+type CacheStatsProvider interface {
+	CacheStats() map[string]engine.CacheStats
 }
 
 // RecoveryMode maps a wire recovery-mode name to the engine constant.

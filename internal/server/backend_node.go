@@ -7,6 +7,7 @@ import (
 
 	"orchestra/internal/cluster"
 	"orchestra/internal/engine"
+	"orchestra/internal/obs"
 	"orchestra/internal/optimizer"
 	"orchestra/internal/sql"
 	"orchestra/internal/tuple"
@@ -98,28 +99,38 @@ func (b *NodeBackend) Publish(ctx context.Context, req *PublishRequest) (tuple.E
 // runQuery parses, plans, and executes one wire query, returning the
 // engine result plus the derived output column names and (when asked
 // for) the plan explanation. Shared by the buffered and streaming paths.
-func (b *NodeBackend) runQuery(ctx context.Context, req *QueryRequest, columnar bool) (*engine.Result, []string, string, error) {
+// When req.Trace is set, the returned trace's span tree covers planning
+// and execution; the engine attaches fragment spans under its root.
+func (b *NodeBackend) runQuery(ctx context.Context, req *QueryRequest, columnar bool) (*engine.Result, []string, string, *obs.Trace, error) {
+	var tr *obs.Trace
+	if req.Trace {
+		tr = obs.NewTrace(obs.NewTraceID(), "query", string(b.node.ID()))
+	}
+	planSpan := tr.Begin("plan")
 	q, err := sql.Parse(req.SQL)
 	if err != nil {
-		return nil, nil, "", Errorf(CodeBadRequest, "%v", err)
+		return nil, nil, "", nil, Errorf(CodeBadRequest, "%v", err)
 	}
 	rec, err := RecoveryMode(req.Recovery)
 	if err != nil {
-		return nil, nil, "", err
+		return nil, nil, "", nil, err
 	}
 	cat := &nodeCatalog{ctx: ctx, node: b.node}
 	plan, info, err := optimizer.Build(q, cat, optimizer.Environment{Nodes: b.node.Table().Size()})
 	if err != nil {
-		return nil, nil, "", err
+		return nil, nil, "", nil, err
 	}
+	tr.End(planSpan)
+	tr.Attach(nil, planSpan)
 	res, err := b.eng.Run(ctx, plan, engine.Options{
 		Epoch:          tuple.Epoch(req.Epoch),
 		Recovery:       rec,
 		Provenance:     req.Provenance,
 		ColumnarResult: columnar,
+		Trace:          tr,
 	})
 	if err != nil {
-		return nil, nil, "", err
+		return nil, nil, "", nil, err
 	}
 	for _, ref := range q.From {
 		b.noteRelation(ref.Table)
@@ -139,23 +150,29 @@ func (b *NodeBackend) runQuery(ctx context.Context, req *QueryRequest, columnar 
 	if req.Explain {
 		explain = optimizer.Explain(plan, info)
 	}
-	return res, cols, explain, nil
+	return res, cols, explain, tr, nil
 }
 
 // Query implements Backend.
 func (b *NodeBackend) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
-	res, cols, explain, err := b.runQuery(ctx, req, false)
+	res, cols, explain, tr, err := b.runQuery(ctx, req, false)
 	if err != nil {
 		return nil, err
 	}
-	return &QueryResponse{
+	qr := &QueryResponse{
 		Columns:  cols,
 		Rows:     EncodeRows(res.Rows),
 		Epoch:    uint64(res.Epoch),
 		Phases:   res.Phases,
 		Restarts: res.Restarts,
 		Plan:     explain,
-	}, nil
+	}
+	if tr != nil {
+		tr.Finish()
+		qr.TraceID = tr.ID.String()
+		qr.Trace = tr.Root()
+	}
+	return qr, nil
 }
 
 // QueryStream implements StreamingBackend: the engine's exactly-once
@@ -167,15 +184,18 @@ func (b *NodeBackend) Query(ctx context.Context, req *QueryRequest) (*QueryRespo
 // into the engine's arena after the hand-off.
 func (b *NodeBackend) QueryStream(ctx context.Context, req *QueryRequest, out ResultStream) (*QueryTail, error) {
 	bs, batchAware := out.(BatchStream)
-	res, cols, explain, err := b.runQuery(ctx, req, batchAware)
+	res, cols, explain, tr, err := b.runQuery(ctx, req, batchAware)
 	if err != nil {
 		return nil, err
 	}
+	writeSpan := tr.Begin("stream.write")
 	if err := out.Columns(cols); err != nil {
 		engine.RecycleResultBatch(res.Batch) // nil-safe; don't leak the slab
 		return nil, err
 	}
+	rows := int64(len(res.Rows))
 	if res.Batch != nil && batchAware {
+		rows = int64(res.Batch.N)
 		emitErr := error(nil)
 		if res.Batch.N > 0 {
 			emitErr = bs.Batches(res.Batch)
@@ -187,12 +207,21 @@ func (b *NodeBackend) QueryStream(ctx context.Context, req *QueryRequest, out Re
 	} else if err := out.Batch(res.Rows); err != nil {
 		return nil, err
 	}
-	return &QueryTail{
+	tail := &QueryTail{
 		Epoch:    uint64(res.Epoch),
 		Phases:   res.Phases,
 		Restarts: res.Restarts,
 		Plan:     explain,
-	}, nil
+	}
+	if tr != nil {
+		writeSpan.Rows = rows
+		tr.End(writeSpan)
+		tr.Attach(nil, writeSpan)
+		tr.Finish()
+		tail.TraceID = tr.ID.String()
+		tail.Trace = tr.Root()
+	}
+	return tail, nil
 }
 
 // Catalog implements Backend.
@@ -233,6 +262,12 @@ func (b *NodeBackend) Epoch() tuple.Epoch { return b.node.Gossip().Current() }
 // Info implements Backend.
 func (b *NodeBackend) Info() BackendInfo {
 	return BackendInfo{NodeID: string(b.node.ID()), Members: b.node.Table().Size()}
+}
+
+// CacheStats implements CacheStatsProvider: this node's decoded-page
+// LRU (node backends keep no view cache).
+func (b *NodeBackend) CacheStats() map[string]engine.CacheStats {
+	return map[string]engine.CacheStats{"pages": b.eng.PageCacheStats()}
 }
 
 // nodeCatalog resolves schemas from the replicated catalogs for the

@@ -32,6 +32,8 @@ import (
 	"strconv"
 	"strings"
 
+	"orchestra/internal/engine"
+	"orchestra/internal/obs"
 	"orchestra/internal/tuple"
 )
 
@@ -136,6 +138,9 @@ const (
 	OpSchema  = "schema"
 	OpStatus  = "status"
 	OpHello   = "hello"
+	// OpTrace dumps the server's slow-query log with full span trees —
+	// the heavyweight companion of the status op's summary listing.
+	OpTrace = "trace"
 )
 
 // ProtocolVersion is this build's wire-protocol version, exchanged in the
@@ -231,6 +236,9 @@ type QueryRequest struct {
 	// one JSON response. Only honored on connections that negotiated
 	// FeatureBinaryStream; otherwise ignored and answered with JSON.
 	Stream bool `json:"stream,omitempty"`
+	// Trace asks for the query's span tree in the response (buffered
+	// responses carry it inline; streamed responses in the End frame).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // SchemaRequest fetches one relation's schema, or the server's whole
@@ -249,6 +257,7 @@ type Response struct {
 	Schema *SchemaResponse `json:"schema,omitempty"`
 	Status *StatusResponse `json:"status,omitempty"`
 	Hello  *HelloResponse  `json:"hello,omitempty"`
+	Trace  *TraceResponse  `json:"trace,omitempty"`
 }
 
 // Error codes carried in WireError.Code.
@@ -293,6 +302,10 @@ type QueryResponse struct {
 	Restarts int    `json:"restarts,omitempty"`
 	// Plan is the optimizer explanation (only when Explain was requested).
 	Plan string `json:"plan,omitempty"`
+	// TraceID identifies the execution; Trace is its span tree (only
+	// when Trace was requested).
+	TraceID string    `json:"trace_id,omitempty"`
+	Trace   *obs.Span `json:"trace,omitempty"`
 }
 
 // RelationInfo describes one catalog entry.
@@ -317,6 +330,10 @@ type OpCounters struct {
 	// included — that is what the client observes).
 	TotalUs int64 `json:"total_us"`
 	MaxUs   int64 `json:"max_us"`
+	// P50Us/P95Us/P99Us are latency quantiles from the op's histogram.
+	P50Us int64 `json:"p50_us,omitempty"`
+	P95Us int64 `json:"p95_us,omitempty"`
+	P99Us int64 `json:"p99_us,omitempty"`
 }
 
 // StatusResponse reports server identity and load counters.
@@ -336,6 +353,35 @@ type StatusResponse struct {
 	MaxConcurrentQueries int   `json:"max_concurrent_queries"`
 	// Ops keys are the Op* operation names.
 	Ops map[string]OpCounters `json:"ops"`
+	// Caches reports hit/miss/eviction counters by cache name ("views",
+	// "pages") when the backend exposes them.
+	Caches map[string]engine.CacheStats `json:"caches,omitempty"`
+	// SlowQueries summarizes the slow-query ring (span trees stripped;
+	// the trace op returns them in full).
+	SlowQueries []SlowQuery `json:"slow_queries,omitempty"`
+}
+
+// SlowQuery is one slow-query log entry.
+type SlowQuery struct {
+	SQL     string `json:"sql"`
+	TraceID string `json:"trace_id,omitempty"`
+	DurUs   int64  `json:"dur_us"`
+	// StartUnixMs is the query's wall-clock start.
+	StartUnixMs int64  `json:"start_unix_ms"`
+	Error       string `json:"error,omitempty"`
+	Streamed    bool   `json:"streamed,omitempty"`
+	// Trace is the query's span tree (omitted in status summaries).
+	Trace *obs.Span `json:"trace,omitempty"`
+}
+
+// TraceResponse answers the trace op: the slow-query ring, oldest
+// first, with full span trees.
+type TraceResponse struct {
+	// ThresholdMs is the active slow-query threshold (0 = logging off).
+	ThresholdMs int64 `json:"threshold_ms"`
+	// Dropped counts entries the ring has overwritten.
+	Dropped uint64      `json:"dropped,omitempty"`
+	Entries []SlowQuery `json:"entries,omitempty"`
 }
 
 // --- value codec ---

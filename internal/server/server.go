@@ -7,11 +7,14 @@ import (
 	"io"
 	"log"
 	"net"
+	"net/http"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"orchestra/internal/engine"
+	"orchestra/internal/obs"
 	"orchestra/internal/tuple"
 )
 
@@ -52,7 +55,25 @@ type Config struct {
 	OnQueryStart func()
 	// Logf receives connection-level diagnostics (default log.Printf).
 	Logf func(format string, args ...any)
+	// Registry receives the server's metrics: per-op latency histograms
+	// and error counters, plus live connection/admission gauges. Nil
+	// means a private registry; either way ServeOps exposes it over HTTP.
+	Registry *obs.Registry
+	// SlowQueryThreshold is the duration at which a completed query
+	// enters the slow-query ring log, span tree included (the server
+	// forces tracing on for logged-but-untraced queries and strips the
+	// tree from the client's response). 0 = the 250ms default; negative
+	// disables the log.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLogSize is the slow-query ring's capacity (default 64).
+	SlowQueryLogSize int
 }
+
+// defaultSlowQueryThreshold is the slow-query log's default threshold.
+const defaultSlowQueryThreshold = 250 * time.Millisecond
+
+// defaultSlowQueryLogSize is the slow-query ring's default capacity.
+const defaultSlowQueryLogSize = 64
 
 func (c Config) withDefaults() Config {
 	if c.MaxConcurrentQueries <= 0 {
@@ -78,6 +99,15 @@ func (c Config) withDefaults() Config {
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	if c.SlowQueryThreshold == 0 {
+		c.SlowQueryThreshold = defaultSlowQueryThreshold
+	}
+	if c.SlowQueryLogSize <= 0 {
+		c.SlowQueryLogSize = defaultSlowQueryLogSize
+	}
 	return c
 }
 
@@ -95,33 +125,86 @@ type Server struct {
 	conns      atomic.Int64
 	totalConns atomic.Int64
 
-	ops map[string]*opCounters
+	metrics *obs.Registry
+	ops     map[string]*opMetrics
+	slow    *slowLog
 
 	mu      sync.Mutex
 	active  map[net.Conn]struct{}
+	opsLns  []net.Listener // ops HTTP listeners (ServeOps)
 	closed  bool
 	accepts sync.WaitGroup
 }
 
-type opCounters struct {
-	count, errors atomic.Uint64
-	totalUs       atomic.Int64
-	maxUs         atomic.Int64
+// opMetrics are one operation's registry handles, resolved once at
+// Start so the per-request path never touches the registry lock. The
+// histogram's own count/sum/max replace the old ad-hoc opCounters.
+type opMetrics struct {
+	hist   *obs.Histogram
+	errors *obs.Counter
 }
 
-func (o *opCounters) observe(d time.Duration, failed bool) {
-	o.count.Add(1)
-	if failed {
-		o.errors.Add(1)
+// observeOp records one request's service time and outcome — the single
+// accounting point shared by the JSON dispatch path, the binary stream
+// path, and the inline hello handler.
+func (s *Server) observeOp(op string, d time.Duration, failed bool) {
+	m := s.ops[op]
+	if m == nil {
+		return
 	}
-	us := d.Microseconds()
-	o.totalUs.Add(us)
-	for {
-		cur := o.maxUs.Load()
-		if us <= cur || o.maxUs.CompareAndSwap(cur, us) {
-			return
+	m.hist.Observe(d)
+	if failed {
+		m.errors.Inc()
+	}
+}
+
+// slowLog is a fixed-capacity ring of the slowest-threshold-crossing
+// queries, span trees included.
+type slowLog struct {
+	threshold time.Duration
+
+	mu      sync.Mutex
+	entries []SlowQuery // ring storage, cap fixed
+	next    int         // overwrite cursor once full
+	dropped uint64      // entries overwritten
+}
+
+func newSlowLog(threshold time.Duration, capacity int) *slowLog {
+	return &slowLog{threshold: threshold, entries: make([]SlowQuery, 0, capacity)}
+}
+
+func (l *slowLog) enabled() bool { return l.threshold > 0 }
+
+func (l *slowLog) qualifies(d time.Duration) bool {
+	return l.threshold > 0 && d >= l.threshold
+}
+
+func (l *slowLog) record(e SlowQuery) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) < cap(l.entries) {
+		l.entries = append(l.entries, e)
+		return
+	}
+	l.entries[l.next] = e
+	l.next = (l.next + 1) % len(l.entries)
+	l.dropped++
+}
+
+// snapshot copies the ring oldest-first. withTraces strips the span
+// trees (the status op's lightweight summary form).
+func (l *slowLog) snapshot(withTraces bool) ([]SlowQuery, uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowQuery, 0, len(l.entries))
+	out = append(out, l.entries[l.next:]...)
+	out = append(out, l.entries[:l.next]...)
+	if !withTraces {
+		for i := range out {
+			out[i].Trace = nil
 		}
 	}
+	return out, l.dropped
 }
 
 // Start listens on addr ("host:port"; ":0" picks a free port) and serves
@@ -139,19 +222,69 @@ func Start(addr string, backend Backend, cfg Config) (*Server, error) {
 		start:   time.Now(),
 		sem:     make(chan struct{}, cfg.MaxConcurrentQueries),
 		active:  make(map[net.Conn]struct{}),
-		ops: map[string]*opCounters{
-			OpPing:    {},
-			OpCreate:  {},
-			OpPublish: {},
-			OpQuery:   {},
-			OpSchema:  {},
-			OpStatus:  {},
-			OpHello:   {},
-		},
+		metrics: cfg.Registry,
+		ops:     make(map[string]*opMetrics),
+		slow:    newSlowLog(cfg.SlowQueryThreshold, cfg.SlowQueryLogSize),
 	}
+	for _, op := range []string{OpPing, OpCreate, OpPublish, OpQuery, OpSchema, OpStatus, OpHello, OpTrace} {
+		s.ops[op] = &opMetrics{
+			hist:   s.metrics.Histogram(`orchestra_op_duration_us{op="` + op + `"}`),
+			errors: s.metrics.Counter(`orchestra_op_errors_total{op="` + op + `"}`),
+		}
+	}
+	s.metrics.GaugeFunc("orchestra_connections", s.conns.Load)
+	s.metrics.GaugeFunc("orchestra_connections_total", s.totalConns.Load)
+	s.metrics.GaugeFunc("orchestra_in_flight_queries", s.inFlight.Load)
+	s.metrics.GaugeFunc("orchestra_peak_in_flight_queries", s.peakFlight.Load)
+	s.metrics.GaugeFunc("orchestra_uptime_seconds", func() int64 {
+		return int64(time.Since(s.start).Seconds())
+	})
+	s.registerCacheGauges()
 	s.accepts.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// registerCacheGauges exports the backend's cache counters (view cache,
+// decoded-page LRU) as registry gauges when the backend provides them.
+func (s *Server) registerCacheGauges() {
+	prov, ok := s.backend.(CacheStatsProvider)
+	if !ok {
+		return
+	}
+	stat := func(name string, f func(engine.CacheStats) int64) func() int64 {
+		return func() int64 { return f(prov.CacheStats()[name]) }
+	}
+	for _, name := range []string{"views", "pages"} {
+		s.metrics.GaugeFunc(`orchestra_cache_hits{cache="`+name+`"}`, stat(name, func(c engine.CacheStats) int64 { return int64(c.Hits) }))
+		s.metrics.GaugeFunc(`orchestra_cache_misses{cache="`+name+`"}`, stat(name, func(c engine.CacheStats) int64 { return int64(c.Misses) }))
+		s.metrics.GaugeFunc(`orchestra_cache_evictions{cache="`+name+`"}`, stat(name, func(c engine.CacheStats) int64 { return int64(c.Evictions) }))
+		s.metrics.GaugeFunc(`orchestra_cache_size{cache="`+name+`"}`, stat(name, func(c engine.CacheStats) int64 { return int64(c.Size) }))
+	}
+}
+
+// ServeOps starts an HTTP listener on addr ("host:port"; ":0" picks a
+// free port) serving the ops endpoints off the server's registry:
+// /metrics in Prometheus text format, /debug/vars, and /debug/pprof.
+// The listener closes with the server. Returns the bound address.
+func (s *Server) ServeOps(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("server: closed")
+	}
+	s.opsLns = append(s.opsLns, ln)
+	s.mu.Unlock()
+	h := obs.NewOpsHandler(s.metrics)
+	go func() {
+		_ = http.Serve(ln, h) // exits when the listener closes
+	}()
+	return ln.Addr(), nil
 }
 
 // Addr returns the bound listen address.
@@ -170,7 +303,12 @@ func (s *Server) Close() error {
 	for c := range s.active {
 		conns = append(conns, c)
 	}
+	opsLns := s.opsLns
+	s.opsLns = nil
 	s.mu.Unlock()
+	for _, ln := range opsLns {
+		ln.Close()
+	}
 	err := s.ln.Close()
 	for _, c := range conns {
 		c.Close()
@@ -492,7 +630,7 @@ func (s *Server) handleHello(sess *session, req *Request) {
 		sess.lim.Store(lim)
 	}
 	err := sess.writeResponse(resp)
-	s.ops[OpHello].observe(time.Since(start), resp.Error != nil || err != nil)
+	s.observeOp(OpHello, time.Since(start), resp.Error != nil || err != nil)
 }
 
 // dispatchStream answers one query request with a binary result stream:
@@ -512,7 +650,7 @@ func (s *Server) dispatchStream(sess *session, req *Request) {
 	w.cancelFn = cancel // a FrameCancel aborts the query context
 	if !sess.registerStream(req.ID, w) {
 		w.end(&StreamEnd{Error: Errorf(CodeBadRequest, "stream id %d already active on this connection", req.ID)}, nil)
-		s.ops[OpQuery].observe(time.Since(start), true)
+		s.observeOp(OpQuery, time.Since(start), true)
 		return
 	}
 	// Unregistered by end()'s beforeEnd hook — before the End frame hits
@@ -552,7 +690,7 @@ func (s *Server) dispatchStream(sess *session, req *Request) {
 			}
 		}
 	}
-	s.ops[OpQuery].observe(time.Since(start), failed)
+	s.observeOp(OpQuery, time.Since(start), failed)
 }
 
 // acquireAdmission passes the admission-control semaphore and accounts
@@ -618,16 +756,27 @@ func (s *Server) runQueryStreamed(ctx context.Context, q *QueryRequest, out Resu
 	}
 	defer release()
 	out = &admissionReleasingStream{ResultStream: out, release: release}
+	forced := s.forceTrace(q)
+	start := time.Now()
 	if sb, ok := s.backend.(StreamingBackend); ok {
 		tail, err := sb.QueryStream(ctx, q, out)
 		if err != nil {
+			s.noteSlow(q, start, nil, nil, err, true)
 			return nil, err
+		}
+		s.noteSlow(q, start, nil, tail, nil, true)
+		if forced {
+			tail.Trace, tail.TraceID = nil, ""
 		}
 		return &StreamEnd{QueryTail: *tail}, nil
 	}
 	resp, err := s.backend.Query(ctx, q)
+	s.noteSlow(q, start, resp, nil, err, true)
 	if err != nil {
 		return nil, err
+	}
+	if forced {
+		resp.Trace, resp.TraceID = nil, ""
 	}
 	if err := out.Columns(resp.Columns); err != nil {
 		return nil, err
@@ -647,6 +796,8 @@ func (s *Server) runQueryStreamed(ctx context.Context, q *QueryRequest, out Resu
 		Phases:   resp.Phases,
 		Restarts: resp.Restarts,
 		Plan:     resp.Plan,
+		TraceID:  resp.TraceID,
+		Trace:    resp.Trace,
 	}}, nil
 }
 
@@ -657,10 +808,9 @@ func isEOF(err error) bool {
 // dispatch executes one request and accounts it.
 func (s *Server) dispatch(req *Request) *Response {
 	op := req.Op
-	counters, known := s.ops[op]
 	start := time.Now()
 	resp := &Response{ID: req.ID}
-	if !known {
+	if s.ops[op] == nil {
 		resp.Error = Errorf(CodeBadRequest, "unknown op %q", op)
 		return resp
 	}
@@ -670,7 +820,7 @@ func (s *Server) dispatch(req *Request) *Response {
 	if err != nil {
 		resp.Error = toWireError(ctx, err)
 	}
-	counters.observe(time.Since(start), resp.Error != nil)
+	s.observeOp(op, time.Since(start), resp.Error != nil)
 	return resp
 }
 
@@ -730,6 +880,14 @@ func (s *Server) handle(ctx context.Context, req *Request, resp *Response) error
 	case OpStatus:
 		resp.Status = s.status()
 		return nil
+	case OpTrace:
+		entries, dropped := s.slow.snapshot(true)
+		resp.Trace = &TraceResponse{
+			ThresholdMs: max(s.slow.threshold.Milliseconds(), 0),
+			Dropped:     dropped,
+			Entries:     entries,
+		}
+		return nil
 	}
 	return Errorf(CodeBadRequest, "unknown op %q", req.Op)
 }
@@ -743,7 +901,51 @@ func (s *Server) runQuery(ctx context.Context, q *QueryRequest) (*QueryResponse,
 		return nil, err
 	}
 	defer release()
-	return s.backend.Query(ctx, q)
+	forced := s.forceTrace(q)
+	start := time.Now()
+	qr, err := s.backend.Query(ctx, q)
+	s.noteSlow(q, start, qr, nil, err, false)
+	if forced && qr != nil {
+		qr.Trace, qr.TraceID = nil, ""
+	}
+	return qr, err
+}
+
+// forceTrace turns tracing on for a query the client did not ask to
+// trace, so the slow-query log can capture its span tree; the caller
+// strips the tree back out of the response when it returns true.
+func (s *Server) forceTrace(q *QueryRequest) bool {
+	if q.Trace || !s.slow.enabled() {
+		return false
+	}
+	q.Trace = true
+	return true
+}
+
+// noteSlow records a completed query in the slow-query log when its
+// service time crossed the threshold. Exactly one of qr/tail carries
+// the trace (buffered vs streamed path); both may be nil on error.
+func (s *Server) noteSlow(q *QueryRequest, start time.Time, qr *QueryResponse, tail *QueryTail, err error, streamed bool) {
+	d := time.Since(start)
+	if !s.slow.qualifies(d) {
+		return
+	}
+	e := SlowQuery{
+		SQL:         q.SQL,
+		DurUs:       d.Microseconds(),
+		StartUnixMs: start.UnixMilli(),
+		Streamed:    streamed,
+	}
+	if err != nil {
+		e.Error = err.Error()
+	}
+	if qr != nil {
+		e.TraceID, e.Trace = qr.TraceID, qr.Trace
+	}
+	if tail != nil {
+		e.TraceID, e.Trace = tail.TraceID, tail.Trace
+	}
+	s.slow.record(e)
 }
 
 func (s *Server) status() *StatusResponse {
@@ -760,14 +962,22 @@ func (s *Server) status() *StatusResponse {
 		MaxConcurrentQueries: s.cfg.MaxConcurrentQueries,
 		Ops:                  make(map[string]OpCounters, len(s.ops)),
 	}
-	for op, c := range s.ops {
+	for op, m := range s.ops {
+		snap := m.hist.Snapshot()
 		st.Ops[op] = OpCounters{
-			Count:   c.count.Load(),
-			Errors:  c.errors.Load(),
-			TotalUs: c.totalUs.Load(),
-			MaxUs:   c.maxUs.Load(),
+			Count:   snap.Count,
+			Errors:  m.errors.Load(),
+			TotalUs: snap.SumUs,
+			MaxUs:   snap.MaxUs,
+			P50Us:   snap.Quantile(0.50),
+			P95Us:   snap.Quantile(0.95),
+			P99Us:   snap.Quantile(0.99),
 		}
 	}
+	if prov, ok := s.backend.(CacheStatsProvider); ok {
+		st.Caches = prov.CacheStats()
+	}
+	st.SlowQueries, _ = s.slow.snapshot(false)
 	return st
 }
 

@@ -6,10 +6,21 @@ import (
 	"time"
 
 	"orchestra/internal/engine"
+	"orchestra/internal/obs"
 	"orchestra/internal/optimizer"
 	"orchestra/internal/sql"
 	"orchestra/internal/tuple"
 )
+
+// TraceSpan is one timed stage of a traced query execution — the nodes
+// of Result.Trace's span tree (plan, per-fragment scans, ship
+// encode/decode, the final pipeline). Remote spans carry start offsets
+// relative to their own fragment's clock.
+type TraceSpan = obs.Span
+
+// CacheStats are a cache's cumulative hit/miss/eviction counters (see
+// Cluster.CacheStats).
+type CacheStats = engine.CacheStats
 
 // RecoveryMode selects the reaction to node failure during a query.
 type RecoveryMode = engine.RecoveryMode
@@ -38,11 +49,18 @@ type QueryOptions struct {
 	Provenance bool
 	// Timeout bounds the execution (default 5 minutes).
 	Timeout time.Duration
+	// Trace collects a span tree for the execution (Result.Trace):
+	// planning, each fragment's scan passes, ship encode/decode, and the
+	// final pipeline, with durations and row/byte counts.
+	Trace bool
 
 	// columnarResult asks the engine to leave the collected answer
 	// columnar (Result.batch) instead of materializing Rows — set by
 	// QueryBatches for the serving hand-off.
 	columnarResult bool
+	// trace is the minted trace when the SQL path starts timing before
+	// RunPlan (covering parse/optimize); RunPlan mints its own otherwise.
+	trace *obs.Trace
 }
 
 // Result is a completed query.
@@ -66,6 +84,10 @@ type Result struct {
 	// Cached reports that the result came from the materialized-view cache
 	// (same query text at the same epoch; see Cluster.EnableQueryCache).
 	Cached bool
+	// TraceID and Trace carry the execution's span tree when
+	// QueryOptions.Trace was set.
+	TraceID string
+	Trace   *TraceSpan
 
 	// batch is the columnar answer backing a served result: populated
 	// instead of Rows when the query ran with columnarResult, emitted and
@@ -167,6 +189,10 @@ func (c *Cluster) QueryOpts(src string, opts QueryOptions) (*Result, error) {
 }
 
 func (c *Cluster) queryUncached(src string, opts QueryOptions) (*Result, error) {
+	if opts.Trace && opts.trace == nil {
+		opts.trace = obs.NewTrace(obs.NewTraceID(), "query", c.initiatorID(opts.Node))
+	}
+	planSpan := opts.trace.Begin("plan")
 	q, err := sql.Parse(src)
 	if err != nil {
 		return nil, err
@@ -175,6 +201,8 @@ func (c *Cluster) queryUncached(src string, opts QueryOptions) (*Result, error) 
 	if err != nil {
 		return nil, err
 	}
+	opts.trace.End(planSpan)
+	opts.trace.Attach(nil, planSpan)
 	res, err := c.RunPlan(plan, opts)
 	if err != nil {
 		return nil, err
@@ -182,6 +210,15 @@ func (c *Cluster) queryUncached(src string, opts QueryOptions) (*Result, error) 
 	res.Columns = outputColumns(q, c)
 	res.Plan = optimizer.Explain(plan, info)
 	return res, nil
+}
+
+// initiatorID names a node for trace spans ("" when out of range — the
+// range error surfaces in RunPlan).
+func (c *Cluster) initiatorID(node int) string {
+	if node < 0 || node >= len(c.engines) {
+		return ""
+	}
+	return c.NodeID(node)
 }
 
 // Optimize runs the Volcano-style optimizer against the cluster's catalog.
@@ -204,6 +241,10 @@ func (c *Cluster) RunPlan(plan *engine.Plan, opts QueryOptions) (*Result, error)
 	if opts.Node < 0 || opts.Node >= len(c.engines) {
 		return nil, fmt.Errorf("orchestra: no node %d", opts.Node)
 	}
+	tr := opts.trace
+	if tr == nil && opts.Trace {
+		tr = obs.NewTrace(obs.NewTraceID(), "query", c.initiatorID(opts.Node))
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), opts.Timeout)
 	defer cancel()
 	eres, err := c.engines[opts.Node].Run(ctx, plan, engine.Options{
@@ -211,6 +252,7 @@ func (c *Cluster) RunPlan(plan *engine.Plan, opts QueryOptions) (*Result, error)
 		Recovery:       opts.Recovery,
 		Epoch:          opts.Epoch,
 		ColumnarResult: opts.columnarResult,
+		Trace:          tr,
 	})
 	if err != nil {
 		return nil, err
@@ -226,6 +268,11 @@ func (c *Cluster) RunPlan(plan *engine.Plan, opts QueryOptions) (*Result, error)
 	}
 	for id, st := range eres.Stats {
 		res.PerNode[string(id)] = st
+	}
+	if tr != nil {
+		tr.Finish()
+		res.TraceID = tr.ID.String()
+		res.Trace = tr.Root()
 	}
 	return res, nil
 }

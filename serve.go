@@ -37,12 +37,22 @@ type ServeOptions struct {
 	// StreamCompressMin sets the raw batch size at which streamed batches
 	// are flate-compressed (0 = default 4 KiB, negative = never).
 	StreamCompressMin int
+	// SlowQueryThreshold sets the endpoint's slow-query log threshold:
+	// queries at or above it are recorded with their span trees,
+	// retrievable via the status and trace ops (0 = the server's 250ms
+	// default; negative disables the log).
+	SlowQueryThreshold time.Duration
+	// OpsAddr, when non-empty, additionally serves the ops HTTP
+	// endpoints on that address: /metrics (Prometheus text format),
+	// /debug/vars, and /debug/pprof.
+	OpsAddr string
 }
 
 // Server is a wire-protocol endpoint serving this cluster; see
 // Cluster.Serve. Clients connect with the orchestra/client package.
 type Server struct {
-	s *server.Server
+	s       *server.Server
+	opsAddr string
 }
 
 // Addr returns the endpoint's listen address (useful with ":0").
@@ -53,6 +63,20 @@ func (s *Server) Close() error { return s.s.Close() }
 
 // Stats snapshots the endpoint's request/latency/error counters.
 func (s *Server) Stats() *server.StatusResponse { return s.s.Stats() }
+
+// OpsAddr returns the ops HTTP listener's address ("" when none).
+func (s *Server) OpsAddr() string { return s.opsAddr }
+
+// ServeOps starts an ops HTTP listener (see ServeOptions.OpsAddr) on an
+// already-serving endpoint and returns its bound address.
+func (s *Server) ServeOps(addr string) (string, error) {
+	a, err := s.s.ServeOps(addr)
+	if err != nil {
+		return "", err
+	}
+	s.opsAddr = a.String()
+	return s.opsAddr, nil
+}
 
 // Serve exposes the cluster at addr (TCP, ":0" picks a free port) over
 // the length-prefixed JSON wire protocol: create, publish, query (with
@@ -71,11 +95,19 @@ func (c *Cluster) Serve(addr string, opts ServeOptions) (*Server, error) {
 		MaxFrame:             opts.MaxFrame,
 		StreamWindow:         opts.StreamWindow,
 		StreamCompressMin:    opts.StreamCompressMin,
+		SlowQueryThreshold:   opts.SlowQueryThreshold,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Server{s: s}, nil
+	srv := &Server{s: s}
+	if opts.OpsAddr != "" {
+		if _, err := srv.ServeOps(opts.OpsAddr); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return srv, nil
 }
 
 // clusterBackend adapts a Cluster to the server.Backend interface.
@@ -140,6 +172,7 @@ func (b *clusterBackend) queryOptions(ctx context.Context, req *server.QueryRequ
 		Epoch:      Epoch(req.Epoch),
 		Recovery:   rec,
 		Provenance: req.Provenance,
+		Trace:      req.Trace,
 	}
 	if dl, ok := ctx.Deadline(); ok {
 		d := time.Until(dl)
@@ -169,6 +202,8 @@ func (b *clusterBackend) Query(ctx context.Context, req *server.QueryRequest) (*
 		Cached:   res.Cached,
 		Phases:   res.Phases,
 		Restarts: res.Restarts,
+		TraceID:  res.TraceID,
+		Trace:    res.Trace,
 	}
 	if req.Explain {
 		qr.Plan = res.Plan
@@ -187,21 +222,57 @@ func (b *clusterBackend) QueryStream(ctx context.Context, req *server.QueryReque
 	if err != nil {
 		return nil, err
 	}
+	emit := out.Batch
 	var emitCols func(*tuple.Batch) error
 	if bs, ok := out.(server.BatchStream); ok {
 		emitCols = bs.Batches
 	}
+	// With tracing on, time the wire writes: emission happens inside
+	// QueryBatches (rows alias engine memory until it returns), so the
+	// span is accumulated through wrappers and attached afterwards.
+	var writeUs, writeRows, writeBatches int64
+	if opts.Trace {
+		emit = func(rows []tuple.Row) error {
+			t0 := time.Now()
+			err := out.Batch(rows)
+			writeUs += time.Since(t0).Microseconds()
+			writeRows += int64(len(rows))
+			writeBatches++
+			return err
+		}
+		if emitCols != nil {
+			inner := emitCols
+			emitCols = func(batch *tuple.Batch) error {
+				t0 := time.Now()
+				err := inner(batch)
+				writeUs += time.Since(t0).Microseconds()
+				writeRows += int64(batch.N)
+				writeBatches++
+				return err
+			}
+		}
+	}
 	res, err := b.c.QueryBatches(req.SQL, opts,
 		func(meta *Result) error { return out.Columns(meta.Columns) },
-		out.Batch, emitCols)
+		emit, emitCols)
 	if err != nil {
 		return nil, wireQueryError(err)
+	}
+	if res.Trace != nil && writeBatches > 0 {
+		res.Trace.Children = append(res.Trace.Children, &TraceSpan{
+			Name:    "stream.write",
+			DurUs:   writeUs,
+			Rows:    writeRows,
+			Batches: writeBatches,
+		})
 	}
 	tail := &server.QueryTail{
 		Epoch:    uint64(res.Epoch),
 		Cached:   res.Cached,
 		Phases:   res.Phases,
 		Restarts: res.Restarts,
+		TraceID:  res.TraceID,
+		Trace:    res.Trace,
 	}
 	if req.Explain {
 		tail.Plan = res.Plan
@@ -235,6 +306,12 @@ func (b *clusterBackend) Catalog(ctx context.Context, rel string) (*server.Schem
 }
 
 func (b *clusterBackend) Epoch() tuple.Epoch { return b.c.CurrentEpoch() }
+
+// CacheStats implements server.CacheStatsProvider: the shared view
+// cache plus this node's decoded-page LRU.
+func (b *clusterBackend) CacheStats() map[string]CacheStats {
+	return b.c.CacheStats(b.node)
+}
 
 func (b *clusterBackend) Info() server.BackendInfo {
 	return server.BackendInfo{NodeID: b.c.NodeID(b.node), Members: b.c.liveNodes()}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"orchestra/internal/engine"
+	"orchestra/internal/obs"
 	"orchestra/internal/tuple"
 )
 
@@ -20,6 +21,10 @@ type viewCache struct {
 	max int
 	lru *list.List // front = most recent; values are *viewEntry
 	m   map[viewKey]*list.Element
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 type viewKey struct {
@@ -43,8 +48,10 @@ func (v *viewCache) get(k viewKey) (*viewEntry, bool) {
 	defer v.mu.Unlock()
 	el, ok := v.m[k]
 	if !ok {
+		v.misses++
 		return nil, false
 	}
+	v.hits++
 	v.lru.MoveToFront(el)
 	return el.Value.(*viewEntry), true
 }
@@ -62,7 +69,31 @@ func (v *viewCache) put(e *viewEntry) {
 		old := v.lru.Back()
 		v.lru.Remove(old)
 		delete(v.m, old.Value.(*viewEntry).key)
+		v.evictions++
 	}
+}
+
+func (v *viewCache) stats() engine.CacheStats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return engine.CacheStats{Hits: v.hits, Misses: v.misses, Evictions: v.evictions, Size: v.lru.Len(), Max: v.max}
+}
+
+// CacheStats snapshots the cluster's cache counters by name: "views"
+// (the shared materialized-view cache, when enabled) and "pages" (the
+// node's decoded-index-page LRU).
+func (c *Cluster) CacheStats(node int) map[string]CacheStats {
+	out := make(map[string]CacheStats, 2)
+	c.mu.Lock()
+	views := c.views
+	c.mu.Unlock()
+	if views != nil {
+		out["views"] = views.stats()
+	}
+	if node >= 0 && node < len(c.engines) {
+		out["pages"] = c.engines[node].PageCacheStats()
+	}
+	return out
 }
 
 // EnableQueryCache turns on materialized-view caching of query results,
@@ -99,7 +130,7 @@ func (c *Cluster) viewLookup(src string, opts QueryOptions) (*Result, viewKey, *
 	if e, ok := views.get(k); ok {
 		rows := make([]tuple.Row, len(e.rows))
 		copy(rows, e.rows)
-		return &Result{
+		res := &Result{
 			Columns: e.cols,
 			Rows:    rows,
 			Epoch:   k.epoch,
@@ -107,7 +138,19 @@ func (c *Cluster) viewLookup(src string, opts QueryOptions) (*Result, viewKey, *
 			Plan:    e.plan,
 			Cached:  true,
 			PerNode: map[string]engine.NodeStats{},
-		}, k, views
+		}
+		if opts.Trace {
+			// A hit never reaches the engine; its whole trace is the
+			// cache lookup.
+			tr := obs.NewTrace(obs.NewTraceID(), "query", c.initiatorID(opts.Node))
+			root := tr.Root()
+			root.CacheHits = 1
+			root.Rows = int64(len(rows))
+			tr.Finish()
+			res.TraceID = tr.ID.String()
+			res.Trace = root
+		}
+		return res, k, views
 	}
 	return nil, k, views
 }
