@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"runtime"
 	"sort"
 	"time"
@@ -32,6 +33,57 @@ type engineBenchRecord struct {
 	P95Us         int64   `json:"p95_us"`
 	P99Us         int64   `json:"p99_us"`
 	ProvenanceQPS float64 `json:"provenance_qps,omitempty"`
+	// Publish throughput of the seed phase, in-memory vs durable
+	// (WAL + group-commit fsync per publish), and their ratio — the
+	// measured cost of crash-safe acknowledged publishes.
+	SeedRowsPerS           float64 `json:"seed_rows_per_s,omitempty"`
+	DurableSeedRowsPerS    float64 `json:"durable_seed_rows_per_s,omitempty"`
+	DurablePublishOverhead float64 `json:"durable_publish_overhead,omitempty"`
+}
+
+// seedLoad publishes rows into c's "load" relation in 1000-row batches
+// and returns the elapsed publish time.
+func seedLoad(c *orchestra.Cluster, rows int) time.Duration {
+	if err := c.CreateRelation(orchestra.NewSchema("load", "k:string", "grp:int", "v:int").Key("k")); err != nil {
+		log.Fatal(err)
+	}
+	const batch = 1000
+	t0 := time.Now()
+	for lo := 0; lo < rows; lo += batch {
+		hi := lo + batch
+		if hi > rows {
+			hi = rows
+		}
+		b := make([]tuple.Row, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			b = append(b, tuple.Row{tuple.S(fmt.Sprintf("k%06d", i)), tuple.I(int64(i % 17)), tuple.I(int64(i))})
+		}
+		if _, err := c.PublishTyped(0, "load", b); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return time.Since(t0)
+}
+
+// durableSeedRate runs the same seed against a single durable node
+// (SyncAlways) in a throwaway directory and returns rows/s — the
+// denominator of the durable-publish overhead ratio.
+func durableSeedRate(rows int) float64 {
+	dir, err := os.MkdirTemp("", "orchestra-bench-durable")
+	if err != nil {
+		log.Printf("engine bench: no temp dir for durable seed: %v", err)
+		return 0
+	}
+	defer os.RemoveAll(dir)
+	c, err := orchestra.NewCluster(1,
+		orchestra.WithDataDir(dir), orchestra.WithSyncMode(orchestra.SyncAlways))
+	if err != nil {
+		log.Printf("engine bench: durable cluster: %v", err)
+		return 0
+	}
+	defer c.Shutdown()
+	elapsed := seedLoad(c, rows)
+	return float64(rows) / elapsed.Seconds()
 }
 
 // runEngineBench drives the scan-heavy engine workload: a single-node
@@ -52,23 +104,9 @@ func runEngineBench(rows, resultRows int, duration time.Duration, note, out stri
 		log.Fatal(err)
 	}
 	defer c.Shutdown()
-	if err := c.CreateRelation(orchestra.NewSchema("load", "k:string", "grp:int", "v:int").Key("k")); err != nil {
-		log.Fatal(err)
-	}
-	const batch = 1000
-	for lo := 0; lo < rows; lo += batch {
-		hi := lo + batch
-		if hi > rows {
-			hi = rows
-		}
-		b := make([]tuple.Row, 0, hi-lo)
-		for i := lo; i < hi; i++ {
-			b = append(b, tuple.Row{tuple.S(fmt.Sprintf("k%06d", i)), tuple.I(int64(i % 17)), tuple.I(int64(i))})
-		}
-		if _, err := c.PublishTyped(0, "load", b); err != nil {
-			log.Fatal(err)
-		}
-	}
+	seedElapsed := seedLoad(c, rows)
+	seedRate := float64(rows) / seedElapsed.Seconds()
+	durableRate := durableSeedRate(rows)
 
 	q := fmt.Sprintf("SELECT k, grp, v FROM load WHERE v >= 0 AND v < %d", resultRows)
 	if res, err := c.Query(q); err != nil {
@@ -124,6 +162,11 @@ func runEngineBench(rows, resultRows int, duration time.Duration, note, out stri
 		P95Us:         pct(95).Microseconds(),
 		P99Us:         pct(99).Microseconds(),
 		ProvenanceQPS: provQPS,
+		SeedRowsPerS:  seedRate,
+	}
+	if durableRate > 0 {
+		rec.DurableSeedRowsPerS = durableRate
+		rec.DurablePublishOverhead = seedRate / durableRate
 	}
 	fmt.Printf("\n--- orchestra-load engine-scan: %d rows, %d result rows, 1 core ---\n", rows, resultRows)
 	fmt.Printf("queries:    %d in %s (%.0f/s)\n", len(lat), elapsed.Round(time.Millisecond), qps)
@@ -132,6 +175,10 @@ func runEngineBench(rows, resultRows int, duration time.Duration, note, out stri
 		(sum / time.Duration(len(lat))).Round(time.Microsecond),
 		pct(50).Round(time.Microsecond), pct(99).Round(time.Microsecond))
 	fmt.Printf("provenance: %.0f queries/s\n", provQPS)
+	if durableRate > 0 {
+		fmt.Printf("publish:    %.0f rows/s in-memory, %.0f rows/s durable (%.2fx overhead)\n",
+			seedRate, durableRate, seedRate/durableRate)
+	}
 
 	if out != "" {
 		if err := appendBenchRecord(out, rec); err != nil {

@@ -188,6 +188,7 @@ func seedData(ctx context.Context, addr string, rows int) ([]time.Duration, erro
 	}
 	const batch = 250
 	var lat []time.Duration
+	acked := 0
 	for lo := 0; lo < rows; lo += batch {
 		hi := lo + batch
 		if hi > rows {
@@ -199,11 +200,32 @@ func seedData(ctx context.Context, addr string, rows int) ([]time.Duration, erro
 		}
 		start := time.Now()
 		if _, err := cl.Publish(ctx, "load", b); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("seed aborted: publish failed after %d/%d rows acknowledged: %w",
+				acked, rows, err)
 		}
+		acked = hi
 		lat = append(lat, time.Since(start))
 	}
-	log.Printf("seeded %d rows into load", rows)
+	// Don't run the benchmark against a partially seeded relation: verify
+	// the acknowledged rows are all queryable before declaring the seed
+	// done (a silent shortfall would skew every per-query number).
+	res, err := cl.Query(ctx, "SELECT COUNT(*) FROM load")
+	if err != nil {
+		return nil, fmt.Errorf("seed verification query: %w", err)
+	}
+	got := int64(-1)
+	if len(res.Rows) == 1 && len(res.Rows[0]) == 1 {
+		switch v := res.Rows[0][0].(type) {
+		case int64:
+			got = v
+		case float64:
+			got = int64(v)
+		}
+	}
+	if got != int64(rows) {
+		return nil, fmt.Errorf("seed verification: COUNT(*) = %d, want %d acknowledged rows", got, rows)
+	}
+	log.Printf("seeded %d rows into load (verified by count)", rows)
 	return lat, nil
 }
 

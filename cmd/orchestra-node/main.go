@@ -38,6 +38,7 @@ import (
 	"orchestra/internal/cluster"
 	"orchestra/internal/engine"
 	"orchestra/internal/kvstore"
+	"orchestra/internal/obs"
 	"orchestra/internal/optimizer"
 	"orchestra/internal/ring"
 	"orchestra/internal/server"
@@ -52,6 +53,7 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated full member list (must include -listen)")
 	replication := flag.Int("replication", 3, "total copies of each data item")
 	dataDir := flag.String("data", "", "persist the local store to this directory (default: memory)")
+	syncMode := flag.String("sync", "always", "with -data: fsync policy — always (group-commit fsync per write), interval (periodic), never (OS page cache)")
 	pingEvery := flag.Duration("ping", 2*time.Second, "hung-peer probe interval (0 disables)")
 	serveAddr := flag.String("serve", "", "also serve the client wire protocol on this address")
 	maxQ := flag.Int("maxq", 0, "served endpoint: max concurrent query executions (0 = 2×GOMAXPROCS)")
@@ -84,11 +86,30 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	reg := obs.NewRegistry()
 	store := kvstore.NewMemory()
 	if *dataDir != "" {
-		store, err = kvstore.Open(*dataDir, false)
+		var mode kvstore.SyncMode
+		switch *syncMode {
+		case "always":
+			mode = kvstore.SyncAlways
+		case "interval":
+			mode = kvstore.SyncInterval
+		case "never":
+			mode = kvstore.SyncNever
+		default:
+			log.Fatalf("orchestra-node: -sync must be always, interval, or never (got %q)", *syncMode)
+		}
+		t0 := time.Now()
+		store, err = kvstore.Open(*dataDir, kvstore.Options{Sync: mode, Registry: reg})
 		if err != nil {
 			log.Fatal(err)
+		}
+		defer store.Close()
+		if d, ok := store.DurabilityStats(); ok {
+			log.Printf("recovered %s: epoch %d, generation %d, %d wal records replayed in %s (sync=%s)",
+				*dataDir, d.Epoch, d.Generation, d.ReplayedRecords,
+				time.Since(t0).Round(time.Millisecond), mode)
 		}
 	}
 	node := cluster.NewNode(ep, store, table, cluster.Config{Replication: *replication})
@@ -107,6 +128,7 @@ func main() {
 			server.Config{
 				MaxConcurrentQueries: *maxQ,
 				SlowQueryThreshold:   time.Duration(*slowMs) * time.Millisecond,
+				Registry:             reg,
 			})
 		if err != nil {
 			log.Fatal(err)

@@ -1,0 +1,321 @@
+package orchestra_test
+
+// Kill-and-restart end-to-end test: a child process serves a durable
+// cluster over the real wire protocol, the parent publishes batches
+// through the client, SIGKILLs the child mid-stream, restarts it from
+// the same data directory, and verifies that every acknowledged batch
+// survived with its full row count and that the recovered epoch covers
+// the last acknowledged publish. This is the paper's crash-stop failure
+// model applied to the storage layer: an acknowledged publish must never
+// be lost (§V).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"orchestra"
+	"orchestra/client"
+)
+
+const (
+	crashChildEnv   = "ORCHESTRA_CRASH_CHILD"
+	crashDirEnv     = "ORCHESTRA_CRASH_DIR"
+	crashAddrEnv    = "ORCHESTRA_CRASH_ADDRFILE"
+	crashBatchRows  = 50
+	crashKillAfter  = 15 // acked batches before SIGKILL
+	crashMaxBatches = 60
+)
+
+// TestCrashServerChild is the re-exec target, not a test: it serves a
+// 3-node durable cluster until killed. Skipped in normal runs.
+func TestCrashServerChild(t *testing.T) {
+	if os.Getenv(crashChildEnv) == "" {
+		t.Skip("re-exec child only")
+	}
+	dir := os.Getenv(crashDirEnv)
+	c, err := orchestra.NewCluster(3,
+		orchestra.WithDataDir(dir),
+		orchestra.WithSyncMode(orchestra.SyncAlways))
+	if err != nil {
+		t.Fatalf("child: %v", err)
+	}
+	srv, err := c.Serve("127.0.0.1:0", orchestra.ServeOptions{})
+	if err != nil {
+		t.Fatalf("child serve: %v", err)
+	}
+	// The rename publishes the address atomically: the parent never
+	// reads a half-written file.
+	addrFile := os.Getenv(crashAddrEnv)
+	tmp := addrFile + ".tmp"
+	if err := os.WriteFile(tmp, []byte(srv.Addr()), 0o644); err != nil {
+		t.Fatalf("child addr file: %v", err)
+	}
+	if err := os.Rename(tmp, addrFile); err != nil {
+		t.Fatalf("child addr rename: %v", err)
+	}
+	select {} // serve until SIGKILL
+}
+
+// startCrashChild launches the serving child and waits for its address.
+func startCrashChild(t *testing.T, dir, addrFile string) (*exec.Cmd, string) {
+	t.Helper()
+	os.Remove(addrFile)
+	cmd := exec.Command(os.Args[0], "-test.run=^TestCrashServerChild$")
+	cmd.Env = append(os.Environ(),
+		crashChildEnv+"=1", crashDirEnv+"="+dir, crashAddrEnv+"="+addrFile)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start child: %v", err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			return cmd, string(b)
+		}
+		if cmd.ProcessState != nil {
+			t.Fatal("child exited before serving")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	t.Fatal("child never published its address")
+	return nil, ""
+}
+
+func TestKillAndRestartRecovery(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("SIGKILL semantics required")
+	}
+	if testing.Short() {
+		t.Skip("re-exec e2e")
+	}
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+
+	cmd, addr := startCrashChild(t, dir, addrFile)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	cl, err := client.Dial(addr)
+	if err != nil {
+		cmd.Process.Kill()
+		t.Fatalf("dial: %v", err)
+	}
+	if err := cl.Create(ctx, "crash", []string{"id:int", "batch:int"}, "id"); err != nil {
+		cmd.Process.Kill()
+		t.Fatalf("create: %v", err)
+	}
+
+	// Publish batches from a goroutine; the main goroutine SIGKILLs the
+	// server once enough are acknowledged, so the kill lands mid-stream.
+	type ack struct {
+		batch int
+		epoch uint64
+	}
+	var (
+		mu    sync.Mutex
+		acked []ack
+	)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for b := 0; b < crashMaxBatches; b++ {
+			rows := make([][]any, crashBatchRows)
+			for i := range rows {
+				rows[i] = []any{int64(b*crashBatchRows + i), int64(b)}
+			}
+			e, err := cl.Publish(ctx, "crash", rows)
+			if err != nil {
+				return // the crash: everything after this is unacknowledged
+			}
+			mu.Lock()
+			acked = append(acked, ack{batch: b, epoch: e})
+			mu.Unlock()
+		}
+	}()
+	for {
+		mu.Lock()
+		n := len(acked)
+		mu.Unlock()
+		if n >= crashKillAfter {
+			break
+		}
+		select {
+		case <-done:
+			t.Fatal("publisher finished before the kill threshold")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no shutdown hooks run
+		t.Fatalf("kill: %v", err)
+	}
+	<-done
+	cmd.Wait()
+	cl.Close()
+	mu.Lock()
+	final := append([]ack(nil), acked...)
+	mu.Unlock()
+	if len(final) < crashKillAfter {
+		t.Fatalf("only %d acked batches before kill", len(final))
+	}
+	t.Logf("killed server after %d acked batches (last epoch %d)",
+		len(final), final[len(final)-1].epoch)
+
+	// Restart from the same directory and measure time to first byte.
+	t0 := time.Now()
+	cmd2, addr2 := startCrashChild(t, dir, addrFile)
+	defer func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	}()
+	cl2, err := client.Dial(addr2)
+	if err != nil {
+		t.Fatalf("dial after restart: %v", err)
+	}
+	defer cl2.Close()
+	st, err := cl2.Status(ctx)
+	if err != nil {
+		t.Fatalf("status after restart: %v", err)
+	}
+	recovery := time.Since(t0)
+
+	lastAck := final[len(final)-1]
+	if st.Epoch < lastAck.epoch {
+		t.Errorf("recovered epoch %d < last acknowledged publish epoch %d", st.Epoch, lastAck.epoch)
+	}
+	if st.Durability == nil {
+		t.Error("status after restart reports no durability stats")
+	}
+	for _, a := range final {
+		res, err := cl2.Query(ctx, fmt.Sprintf(
+			"SELECT COUNT(*) FROM crash WHERE batch = %d", a.batch))
+		if err != nil {
+			t.Fatalf("count batch %d: %v", a.batch, err)
+		}
+		if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
+			t.Fatalf("count batch %d: unexpected shape %v", a.batch, res.Rows)
+		}
+		if got := countValue(res.Rows[0][0]); got != crashBatchRows {
+			t.Errorf("acknowledged batch %d: %d rows survived, want %d", a.batch, got, crashBatchRows)
+		}
+	}
+	t.Logf("recovered %d acked batches in %s (epoch %d)", len(final), recovery, st.Epoch)
+
+	if out := os.Getenv("CRASH_BENCH_OUT"); out != "" {
+		rec := map[string]any{
+			"bench":         "crash_recovery",
+			"acked_batches": len(final),
+			"rows":          len(final) * crashBatchRows,
+			"recovery_ms":   recovery.Milliseconds(),
+			"epoch":         st.Epoch,
+		}
+		if b, err := json.Marshal(rec); err == nil {
+			f, err := os.OpenFile(out, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+			if err == nil {
+				fmt.Fprintln(f, string(b))
+				f.Close()
+			}
+		}
+	}
+}
+
+// TestDurabilityObservability verifies a served durable cluster surfaces
+// its WAL/recovery counters through both ops surfaces: the status op
+// (StatusResponse.Durability) and the Prometheus /metrics listener.
+func TestDurabilityObservability(t *testing.T) {
+	c, err := orchestra.NewCluster(1,
+		orchestra.WithDataDir(t.TempDir()),
+		orchestra.WithSyncMode(orchestra.SyncAlways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if err := c.CreateRelation(orchestra.NewSchema("d", "k:string", "v:int").Key("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Publish("d", orchestra.Rows{{"a", 1}, {"b", 2}}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := c.Serve("127.0.0.1:0", orchestra.ServeOptions{OpsAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	cl, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	st, err := cl.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Durability == nil {
+		t.Fatal("status of a durable node carries no durability stats")
+	}
+	if st.Durability.Fsyncs == 0 {
+		t.Error("SyncAlways node reports zero fsyncs after a publish")
+	}
+	if st.Durability.Epoch == 0 {
+		t.Error("durability stats report epoch 0 after a publish")
+	}
+
+	resp, err := http.Get("http://" + srv.OpsAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"orchestra_wal_fsyncs_total",
+		"orchestra_wal_fsync_us",
+		"orchestra_wal_group_commit_records",
+		"orchestra_wal_bytes",
+		"orchestra_store_epoch",
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	// A volatile cluster must not claim durability.
+	mem, err := orchestra.NewCluster(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Shutdown()
+	if _, ok := mem.DurabilityStats(0); ok {
+		t.Error("in-memory cluster claims durability stats")
+	}
+}
+
+// countValue unboxes COUNT(*)'s wire value (int64 natively, float64
+// after a JSON round-trip).
+func countValue(v any) int {
+	switch x := v.(type) {
+	case int64:
+		return int(x)
+	case float64:
+		return int(x)
+	case int:
+		return x
+	}
+	return -1
+}

@@ -50,12 +50,11 @@ func NewLocalWeighted(capacities []float64, cfg Config, netCfg transport.Config)
 		byID: make(map[ring.NodeID]*Node, len(capacities)),
 	}
 	for _, w := range weights {
-		ep, err := l.Net.Join(w.ID)
+		node, err := l.join(w.ID, table)
 		if err != nil {
 			l.Shutdown()
 			return nil, err
 		}
-		node := NewNode(ep, kvstore.NewMemory(), table, cfg)
 		l.nodes = append(l.nodes, node)
 		l.byID[w.ID] = node
 	}
@@ -79,16 +78,41 @@ func NewLocalScheme(n int, cfg Config, netCfg transport.Config, scheme ring.Sche
 		byID: make(map[ring.NodeID]*Node, n),
 	}
 	for _, id := range ids {
-		ep, err := l.Net.Join(id)
+		node, err := l.join(id, table)
 		if err != nil {
 			l.Shutdown()
 			return nil, err
 		}
-		node := NewNode(ep, kvstore.NewMemory(), table, cfg)
 		l.nodes = append(l.nodes, node)
 		l.byID[id] = node
 	}
 	return l, nil
+}
+
+// join opens the node's store (durable when cfg.OpenStore is set),
+// joins the network, and constructs the node.
+func (l *Local) join(id ring.NodeID, table *ring.Table) (*Node, error) {
+	store, err := l.openStore(id)
+	if err != nil {
+		return nil, err
+	}
+	ep, err := l.Net.Join(id)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	return NewNode(ep, store, table, l.cfg), nil
+}
+
+func (l *Local) openStore(id ring.NodeID) (*kvstore.Store, error) {
+	if l.cfg.OpenStore == nil {
+		return kvstore.NewMemory(), nil
+	}
+	store, err := l.cfg.OpenStore(id)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: open store for %s: %w", id, err)
+	}
+	return store, nil
 }
 
 // Nodes returns all nodes (including killed ones; check Alive).
@@ -122,12 +146,11 @@ func (l *Local) Hang(id ring.NodeID) { l.Net.Hang(id) }
 // whose snapshot is taken after the join.
 func (l *Local) AddNode(ctx context.Context) (*Node, error) {
 	id := NodeName(len(l.nodes))
-	ep, err := l.Net.Join(id)
+	node, err := l.join(id, l.Table())
 	if err != nil {
 		return nil, err
 	}
 	oldTable := l.Table()
-	node := NewNode(ep, kvstore.NewMemory(), oldTable, l.cfg)
 	newTable, err := oldTable.WithMembers(append(oldTable.Members(), id))
 	if err != nil {
 		return nil, err
@@ -184,6 +207,7 @@ func (l *Local) RemoveNode(ctx context.Context, id ring.NodeID) error {
 		}
 	}
 	node.Close()
+	node.Store().Close()
 	delete(l.byID, id)
 	for i, n := range l.nodes {
 		if n == node {
@@ -201,10 +225,14 @@ func (l *Local) StartPingers(interval, timeout time.Duration) {
 	}
 }
 
-// Shutdown stops every node and the network fabric.
+// Shutdown stops every node, closes (flushes and syncs) every local
+// store, and stops the network fabric.
 func (l *Local) Shutdown() {
 	for _, n := range l.nodes {
 		n.Close()
+	}
+	for _, n := range l.nodes {
+		n.Store().Close()
 	}
 	l.Net.Shutdown()
 }

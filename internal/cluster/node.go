@@ -17,6 +17,7 @@ import (
 	"orchestra/internal/kvstore"
 	"orchestra/internal/ring"
 	"orchestra/internal/transport"
+	"orchestra/internal/tuple"
 )
 
 // Message types used by the storage layer (engine types live in 0x0200+).
@@ -51,6 +52,10 @@ type Config struct {
 	MaxPageEntries int
 	// RequestTimeout bounds individual storage RPCs (default 10s).
 	RequestTimeout time.Duration
+	// OpenStore provides each node's local store — the durability seam.
+	// nil means volatile in-memory stores. Stores opened through this
+	// are owned (and closed) by the Local cluster.
+	OpenStore func(id ring.NodeID) (*kvstore.Store, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +107,13 @@ func NewNode(ep transport.Endpoint, store *kvstore.Store, table *ring.Table, cfg
 	}
 	n.gsp = gossip.New(ep, int64(ep.ID().Hash().Uint64()))
 	n.gsp.SetPeers(table.Members())
+	// Epochs learned through gossip are persisted so a restart resumes
+	// at (at least) the last epoch this node ever saw; a durable store
+	// that recovered an epoch seeds the gossiper with it.
+	n.gsp.OnAdvance(func(e tuple.Epoch) { _ = store.SetEpoch(uint64(e)) })
+	if e := store.Epoch(); e > 0 {
+		n.gsp.Advance(tuple.Epoch(e))
+	}
 	n.registerHandlers()
 	ep.OnPeerDown(n.notifyDown)
 	return n

@@ -158,6 +158,14 @@ func (n *Node) Publish(ctx context.Context, relation string, ups []vstore.Update
 		return 0, fmt.Errorf("cluster: publish catalog: %w", err)
 	}
 	n.gsp.Advance(epoch)
+	// The epoch advance is part of the publish's acknowledgement: on a
+	// durable store it must survive a crash, or a restarted node would
+	// gossip an old epoch while the catalog already names this one. The
+	// gossip OnAdvance hook persisted it best-effort; this is the
+	// error-checked barrier (idempotent if the hook already succeeded).
+	if err := n.store.SetEpoch(uint64(epoch)); err != nil {
+		return 0, fmt.Errorf("cluster: persist publish epoch %d: %w", epoch, err)
+	}
 	return epoch, nil
 }
 

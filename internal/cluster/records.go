@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"orchestra/internal/keyspace"
+	"orchestra/internal/kvstore"
 	"orchestra/internal/ring"
 )
 
@@ -101,12 +102,13 @@ func (n *Node) registerRecordHandlers() {
 		if err != nil {
 			return nil, err
 		}
-		for _, it := range items {
-			if err := n.store.Put(it[0], it[1]); err != nil {
-				return nil, err
-			}
+		kvs := make([]kvstore.KV, len(items))
+		for i, it := range items {
+			kvs[i] = kvstore.KV{Key: it[0], Val: it[1]}
 		}
-		return nil, nil
+		// One store commit for the whole batch: under SyncAlways this is
+		// what keeps a replicated publish at ~one fsync per destination.
+		return nil, n.store.PutBatch(kvs)
 	})
 	n.ep.Handle(msgGetRecord, func(from ring.NodeID, payload []byte) ([]byte, error) {
 		v, ok := n.store.Get(payload)
@@ -172,9 +174,13 @@ func (n *Node) PutRecords(ctx context.Context, items []RecordPut) error {
 			byDest[rep] = append(byDest[rep], it)
 		}
 	}
-	// Local writes first.
-	for _, it := range byDest[n.id] {
-		if err := n.store.Put(it.KVKey, it.Value); err != nil {
+	// Local writes first, as one batched commit.
+	if locals := byDest[n.id]; len(locals) > 0 {
+		kvs := make([]kvstore.KV, len(locals))
+		for i, it := range locals {
+			kvs[i] = kvstore.KV{Key: it.KVKey, Val: it.Value}
+		}
+		if err := n.store.PutBatch(kvs); err != nil {
 			return err
 		}
 	}

@@ -28,12 +28,13 @@ const Fanout = 3
 type Gossiper struct {
 	ep transport.Endpoint
 
-	mu      sync.Mutex
-	current tuple.Epoch
-	peers   []ring.NodeID
-	rng     *rand.Rand
-	stop    chan struct{}
-	stopped bool
+	mu        sync.Mutex
+	current   tuple.Epoch
+	peers     []ring.NodeID
+	rng       *rand.Rand
+	stop      chan struct{}
+	stopped   bool
+	onAdvance func(tuple.Epoch)
 }
 
 // New creates a gossiper bound to the endpoint and registers its message
@@ -59,6 +60,16 @@ func (g *Gossiper) Current() tuple.Epoch {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.current
+}
+
+// OnAdvance registers a callback fired (outside the gossiper's lock)
+// whenever the local epoch rises — however it was learned: a local
+// publish, a gossip push from a peer, or a pull. The node uses it to
+// persist the epoch in its durable store.
+func (g *Gossiper) OnAdvance(fn func(tuple.Epoch)) {
+	g.mu.Lock()
+	g.onAdvance = fn
+	g.mu.Unlock()
 }
 
 // SetPeers replaces the peer set used for pushes.
@@ -88,17 +99,26 @@ func (g *Gossiper) Next() tuple.Epoch {
 	g.mu.Lock()
 	g.current++
 	e := g.current
+	fn := g.onAdvance
 	g.mu.Unlock()
+	if fn != nil {
+		fn(e)
+	}
 	g.push()
 	return e
 }
 
 func (g *Gossiper) merge(e tuple.Epoch) {
 	g.mu.Lock()
-	if e > g.current {
+	raised := e > g.current
+	if raised {
 		g.current = e
 	}
+	fn := g.onAdvance
 	g.mu.Unlock()
+	if raised && fn != nil {
+		fn(e)
+	}
 }
 
 func (g *Gossiper) encodeCurrent() []byte {

@@ -1,0 +1,209 @@
+package kvstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"orchestra/internal/wal"
+)
+
+func TestEpochPersistence(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetEpoch(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetEpoch(3); err != nil { // lower: no-op
+		t.Fatal(err)
+	}
+	s.Put([]byte("k"), []byte("v"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Epoch() != 5 {
+		t.Fatalf("recovered epoch = %d, want 5", s2.Epoch())
+	}
+	// Through a checkpoint, the epoch rides the snapshot header.
+	if err := s2.SetEpoch(9); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+
+	s3, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.Epoch() != 9 {
+		t.Fatalf("post-checkpoint epoch = %d, want 9", s3.Epoch())
+	}
+	if v, ok := s3.Get([]byte("k")); !ok || string(v) != "v" {
+		t.Fatal("data lost across checkpointed restart")
+	}
+}
+
+func TestPutBatchDurable(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kvs []KV
+	for i := 0; i < 100; i++ {
+		kvs = append(kvs, KV{
+			Key: []byte(fmt.Sprintf("b%03d", i)),
+			Val: []byte(fmt.Sprintf("val%d", i)),
+		})
+	}
+	if err := s.PutBatch(kvs); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := s.DurabilityStats()
+	if !ok {
+		t.Fatal("durable store reported no stats")
+	}
+	// The whole batch must share one commit: far fewer fsyncs than keys.
+	if st.Fsyncs >= 100 {
+		t.Fatalf("batch of 100 cost %d fsyncs", st.Fsyncs)
+	}
+	s.Close()
+
+	s2, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 100 {
+		t.Fatalf("recovered %d keys, want 100", s2.Len())
+	}
+}
+
+func TestGenerationAheadRefused(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put([]byte("a"), []byte("1"))
+	if err := s.Checkpoint(); err != nil { // snapshot gen 1, wal gen 1
+		t.Fatal(err)
+	}
+	s.Put([]byte("b"), []byte("2"))
+	s.Close()
+
+	// Lose the snapshot: the wal now claims a generation whose base
+	// state is gone. Starting would silently drop record "a".
+	if err := os.Remove(filepath.Join(dir, "store.snap")); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(dir, Options{Sync: SyncNever})
+	if err == nil || !strings.Contains(err.Error(), "refusing to start") {
+		t.Fatalf("err = %v, want refusal", err)
+	}
+}
+
+func TestStaleGenerationLogDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put([]byte("kept"), []byte("v"))
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Simulate a crash between snapshot rename and log truncation: put
+	// back a generation-0 log with a record the snapshot already covers.
+	l, err := wal.Reset(wal.OS, filepath.Join(dir, "store.wal"), wal.Header{Gen: 0}, wal.Options{Mode: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, _ := l.Append(opPut, appendPut(nil, []byte("ghost"), []byte("x")))
+	l.Commit(lsn)
+	l.Close()
+
+	s2, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatalf("stale log should be discarded, got: %v", err)
+	}
+	defer s2.Close()
+	if !s2.Has([]byte("kept")) {
+		t.Fatal("snapshot data lost")
+	}
+	if s2.Has([]byte("ghost")) {
+		t.Fatal("stale-generation record replayed")
+	}
+}
+
+func TestEpochMismatchRefused(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetEpoch(4)
+	if err := s.Checkpoint(); err != nil { // snapshot gen 1 @ epoch 4
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Rewrite the log header: same generation, wrong base epoch.
+	l, err := wal.Reset(wal.OS, filepath.Join(dir, "store.wal"), wal.Header{Gen: 1, BaseEpoch: 11}, wal.Options{Mode: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	_, err = Open(dir, Options{Sync: SyncNever})
+	if err == nil || !strings.Contains(err.Error(), "refusing to start") {
+		t.Fatalf("err = %v, want epoch-mismatch refusal", err)
+	}
+}
+
+func TestRecoveryStats(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		s.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	s.Close()
+
+	s2, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st, ok := s2.DurabilityStats()
+	if !ok {
+		t.Fatal("no stats from durable store")
+	}
+	if st.ReplayedRecords != 20 {
+		t.Fatalf("replayed = %d, want 20", st.ReplayedRecords)
+	}
+	if st.WALBytes == 0 {
+		t.Fatal("wal bytes = 0")
+	}
+
+	if _, ok := NewMemory().DurabilityStats(); ok {
+		t.Fatal("memory store claims durability")
+	}
+}

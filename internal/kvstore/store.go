@@ -1,43 +1,109 @@
 package kvstore
 
 import (
-	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
-	"io"
-	"os"
+	"log"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"orchestra/internal/obs"
+	"orchestra/internal/wal"
 )
 
-// Store is a concurrency-safe ordered key-value store, optionally durable via
-// a write-ahead log plus snapshot checkpoints.
+// Store is a concurrency-safe ordered key-value store, optionally durable
+// via a write-ahead log plus snapshot checkpoints (internal/wal).
 //
-// Durability model: every mutation is appended to the WAL before being
-// applied in memory. Checkpoint() writes a full snapshot atomically
-// (write-temp + rename) and truncates the WAL. Open replays snapshot + WAL.
-// Records carry CRC32 checksums; a torn tail is truncated on recovery, like
-// the log-structured stores that inspired the paper's storage design (§IV).
+// Durability model: every mutation is appended to the WAL and applied in
+// memory under the write lock, then committed — under SyncAlways the
+// commit group-batches concurrent writers into one fsync, so a mutation
+// is acknowledged only once it (or a snapshot covering it) is on disk.
+// Checkpoint() streams the full tree into a snapshot (write-temp + fsync
+// + rename), bumps the generation, and truncates the log. Open replays
+// snapshot + WAL, truncating a torn tail, rejecting corrupt records by
+// CRC, and refusing to start when the log and snapshot disagree about
+// generation or epoch — per the reliable-storage contract of §IV.
 type Store struct {
 	mu   sync.RWMutex
 	tree *btree
 
-	dir     string
-	wal     *os.File
-	walBuf  *bufio.Writer
-	walSize int64
-	sync    bool
+	// Durable state; zero/nil for memory stores.
+	dir  string
+	fsys wal.FS
+	log  *wal.Log
+	opts Options
+
+	gen   atomic.Uint64 // snapshot generation the log extends
+	epoch atomic.Uint64 // highest durable epoch
+
+	checkpointing atomic.Bool
+
+	// Recovery + snapshot stats (see DurabilityStats).
+	replayedRecords   uint64
+	replayTornBytes   int64
+	recoveryUs        int64
+	snapshots         atomic.Uint64
+	snapshotErrs      atomic.Uint64
+	lastSnapshotBytes atomic.Int64
+	lastSnapshotUs    atomic.Int64
+
+	mFsyncUs *obs.Histogram
+	mFsyncs  *obs.Counter
+	mBatch   *obs.Histogram
+	mSnapUs  *obs.Histogram
+}
+
+// SyncMode re-exports the WAL sync policy for callers configuring a store.
+type SyncMode = wal.SyncMode
+
+const (
+	SyncAlways   = wal.SyncAlways
+	SyncInterval = wal.SyncInterval
+	SyncNever    = wal.SyncNever
+)
+
+// DefaultCheckpointBytes is the WAL size that triggers a background
+// checkpoint when Options.CheckpointBytes is unset.
+const DefaultCheckpointBytes = 64 << 20
+
+// Options configures a durable store.
+type Options struct {
+	// Sync selects when acknowledged writes reach the disk: SyncAlways
+	// (group-commit fsync per write, the default), SyncInterval
+	// (periodic), or SyncNever (OS page cache).
+	Sync SyncMode
+	// SyncInterval is the period for SyncInterval mode (default 50ms).
+	SyncInterval time.Duration
+	// FS is the filesystem seam; nil means the real one. Tests inject
+	// wal.FaultFS here.
+	FS wal.FS
+	// Registry receives the store's durability metrics; nil creates a
+	// private one.
+	Registry *obs.Registry
+	// CheckpointBytes is the WAL size that triggers a background
+	// snapshot + log truncation. 0 means DefaultCheckpointBytes;
+	// negative disables automatic checkpoints.
+	CheckpointBytes int64
+	// Logf reports background checkpoint failures (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// KV is one pair for PutBatch.
+type KV struct {
+	Key []byte
+	Val []byte
 }
 
 const (
-	walName      = "store.wal"
-	snapName     = "store.snap"
-	snapTempName = "store.snap.tmp"
+	walName  = "store.wal"
+	snapName = "store.snap"
 
 	opPut    = byte(1)
 	opDelete = byte(2)
+	opEpoch  = byte(3)
 )
 
 // NewMemory returns a volatile in-memory store.
@@ -46,47 +112,157 @@ func NewMemory() *Store {
 }
 
 // Open returns a durable store rooted at dir, creating it if needed and
-// recovering any existing snapshot and WAL. If syncEveryWrite is true, each
-// mutation is fsynced (slow but safest); otherwise the OS flushes the log.
-func Open(dir string, syncEveryWrite bool) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// recovering any existing snapshot and WAL. Recovery is paranoid: torn
+// log tails are truncated, CRC-failing records rejected, and a
+// generation or epoch mismatch between snapshot and log refuses to
+// start rather than serve silently wrong data.
+func Open(dir string, opts Options) (*Store, error) {
+	t0 := time.Now()
+	if opts.FS == nil {
+		opts.FS = wal.OS
+	}
+	if opts.Registry == nil {
+		opts.Registry = obs.NewRegistry()
+	}
+	if opts.CheckpointBytes == 0 {
+		opts.CheckpointBytes = DefaultCheckpointBytes
+	}
+	if opts.Logf == nil {
+		opts.Logf = log.Printf
+	}
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("kvstore: create dir: %w", err)
 	}
-	s := &Store{tree: newBtree(), dir: dir, sync: syncEveryWrite}
-	if err := s.loadSnapshot(); err != nil {
+	s := &Store{tree: newBtree(), dir: dir, fsys: opts.FS, opts: opts}
+	reg := opts.Registry
+	s.mFsyncUs = reg.Histogram("orchestra_wal_fsync_us")
+	s.mFsyncs = reg.Counter("orchestra_wal_fsyncs_total")
+	s.mBatch = reg.Histogram("orchestra_wal_group_commit_records")
+	s.mSnapUs = reg.Histogram("orchestra_snapshot_us")
+
+	// 1. Snapshot: the durable base state.
+	var gen, epoch uint64
+	snap, err := wal.ReadSnapshot(s.fsys, filepath.Join(dir, snapName))
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: refusing to start: %w", err)
+	}
+	if snap != nil {
+		gen, epoch = snap.Gen, snap.Epoch
+		if err := snap.Range(func(k, v []byte) error {
+			s.tree.put(k, v)
+			return nil
+		}); err != nil {
+			return nil, fmt.Errorf("kvstore: refusing to start: %w", err)
+		}
+	}
+
+	// 2. Log: replay on top, or reject it if it doesn't extend this
+	// snapshot.
+	walPath := filepath.Join(dir, walName)
+	walOpts := wal.Options{
+		Mode: opts.Sync, Interval: opts.SyncInterval,
+		FsyncUs: s.mFsyncUs, Fsyncs: s.mFsyncs, BatchRecords: s.mBatch,
+	}
+	c, err := wal.ReadAll(s.fsys, walPath)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: refusing to start: %w", err)
+	}
+	switch {
+	case c.Missing:
+		// No log (or one torn before its header was durable — nothing
+		// was ever acknowledged from it). Start fresh at the snapshot.
+		s.log, err = wal.Reset(s.fsys, walPath, wal.Header{Gen: gen, BaseEpoch: epoch}, walOpts)
+	case c.Header.Gen > gen:
+		return nil, fmt.Errorf(
+			"kvstore: refusing to start: wal generation %d is ahead of snapshot generation %d — the snapshot this log extends is missing or was rolled back",
+			c.Header.Gen, gen)
+	case c.Header.Gen < gen:
+		// Stale log from before the last published snapshot (crash
+		// between snapshot rename and log truncation): every record in
+		// it is already covered by the snapshot.
+		s.log, err = wal.Reset(s.fsys, walPath, wal.Header{Gen: gen, BaseEpoch: epoch}, walOpts)
+	default:
+		if c.Header.BaseEpoch != epoch {
+			return nil, fmt.Errorf(
+				"kvstore: refusing to start: wal base epoch %d does not match snapshot epoch %d at generation %d",
+				c.Header.BaseEpoch, epoch, gen)
+		}
+		for i, rec := range c.Records {
+			e, aerr := s.applyRecord(rec)
+			if aerr != nil {
+				return nil, fmt.Errorf("kvstore: refusing to start: wal record %d: %w", i, aerr)
+			}
+			if e > epoch {
+				epoch = e
+			}
+		}
+		s.replayedRecords = uint64(len(c.Records))
+		s.replayTornBytes = c.TornBytes
+		s.log, err = wal.OpenAppend(s.fsys, walPath, c.Size, walOpts)
+	}
+	if err != nil {
 		return nil, err
 	}
-	if err := s.replayWAL(); err != nil {
-		return nil, err
-	}
-	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("kvstore: open wal: %w", err)
-	}
-	st, err := wal.Stat()
-	if err != nil {
-		wal.Close()
-		return nil, fmt.Errorf("kvstore: stat wal: %w", err)
-	}
-	s.wal = wal
-	s.walSize = st.Size()
-	s.walBuf = bufio.NewWriter(wal)
+	s.gen.Store(gen)
+	s.epoch.Store(epoch)
+	s.recoveryUs = time.Since(t0).Microseconds()
+
+	reg.Counter("orchestra_recovery_replayed_records_total").Add(s.replayedRecords)
+	reg.GaugeFunc("orchestra_wal_bytes", s.WALSize)
+	reg.GaugeFunc("orchestra_store_epoch", func() int64 { return int64(s.epoch.Load()) })
+	reg.GaugeFunc("orchestra_store_generation", func() int64 { return int64(s.gen.Load()) })
+	reg.GaugeFunc("orchestra_recovery_us", func() int64 { return s.recoveryUs })
 	return s, nil
 }
 
-// Close flushes and closes the WAL. The store must not be used afterwards.
+// applyRecord replays one WAL record into the tree, returning the epoch
+// it carries (0 for data records). A CRC-valid record with an unknown op
+// means version skew — refuse rather than drop acknowledged writes.
+func (s *Store) applyRecord(rec wal.Record) (uint64, error) {
+	switch rec.Op {
+	case opPut:
+		key, val, ok := decodePut(rec.Payload)
+		if !ok {
+			return 0, errors.New("malformed put payload")
+		}
+		s.tree.put(key, val)
+	case opDelete:
+		s.tree.delete(rec.Payload)
+	case opEpoch:
+		if len(rec.Payload) != 8 {
+			return 0, errors.New("malformed epoch payload")
+		}
+		return binary.BigEndian.Uint64(rec.Payload), nil
+	default:
+		return 0, fmt.Errorf("unknown record op %d", rec.Op)
+	}
+	return 0, nil
+}
+
+// appendPut encodes an opPut payload: keyLen uvarint | key | val.
+func appendPut(dst []byte, key, val []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(key)))
+	dst = append(dst, key...)
+	return append(dst, val...)
+}
+
+func decodePut(payload []byte) (key, val []byte, ok bool) {
+	kl, m := binary.Uvarint(payload)
+	if m <= 0 || uint64(m)+kl > uint64(len(payload)) {
+		return nil, nil, false
+	}
+	return payload[m : uint64(m)+kl], payload[uint64(m)+kl:], true
+}
+
+// Close flushes, syncs, and closes the WAL. The store must not be used
+// afterwards.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.wal == nil {
+	if s.log == nil {
 		return nil
 	}
-	if err := s.walBuf.Flush(); err != nil {
-		return err
-	}
-	err := s.wal.Close()
-	s.wal = nil
-	return err
+	return s.log.Close()
 }
 
 // Get returns a copy of the value for key.
@@ -119,25 +295,131 @@ func (s *Store) Has(key []byte) bool {
 	return ok
 }
 
-// Put stores key → val (replacing any existing value).
+// Put stores key → val (replacing any existing value). For a durable
+// store it returns once the write is committed per the sync policy.
 func (s *Store) Put(key, val []byte) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.logRecord(opPut, key, val); err != nil {
-		return err
+	var lsn int64
+	if s.log != nil {
+		var err error
+		lsn, err = s.log.Append(opPut, appendPut(nil, key, val))
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
 	}
 	s.tree.put(key, val)
-	return nil
+	s.mu.Unlock()
+	return s.commit(lsn)
+}
+
+// PutBatch stores every pair, sharing one WAL commit (and so, under
+// SyncAlways, at most one fsync) across the batch.
+func (s *Store) PutBatch(kvs []KV) error {
+	if len(kvs) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	var lsn int64
+	var payload []byte
+	for _, kv := range kvs {
+		if s.log != nil {
+			var err error
+			payload = appendPut(payload[:0], kv.Key, kv.Val)
+			lsn, err = s.log.Append(opPut, payload)
+			if err != nil {
+				s.mu.Unlock()
+				return err
+			}
+		}
+		s.tree.put(kv.Key, kv.Val)
+	}
+	s.mu.Unlock()
+	return s.commit(lsn)
 }
 
 // Delete removes key if present; reports whether it existed.
 func (s *Store) Delete(key []byte) (bool, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.logRecord(opDelete, key, nil); err != nil {
-		return false, err
+	var lsn int64
+	if s.log != nil {
+		var err error
+		lsn, err = s.log.Append(opDelete, key)
+		if err != nil {
+			s.mu.Unlock()
+			return false, err
+		}
 	}
-	return s.tree.delete(key), nil
+	deleted := s.tree.delete(key)
+	s.mu.Unlock()
+	return deleted, s.commit(lsn)
+}
+
+// commit makes the record at lsn durable and may kick off a background
+// checkpoint once the log has grown past the configured threshold.
+func (s *Store) commit(lsn int64) error {
+	if s.log == nil {
+		return nil
+	}
+	if err := s.log.Commit(lsn); err != nil {
+		return err
+	}
+	s.maybeCheckpoint()
+	return nil
+}
+
+func (s *Store) maybeCheckpoint() {
+	if s.opts.CheckpointBytes <= 0 || s.log.Size() < s.opts.CheckpointBytes {
+		return
+	}
+	if !s.checkpointing.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.checkpointing.Store(false)
+		if err := s.Checkpoint(); err != nil {
+			s.opts.Logf("kvstore: background checkpoint: %v", err)
+		}
+	}()
+}
+
+// SetEpoch durably raises the store's epoch to at least e. Raising the
+// epoch is the last step of a publish — it must not be acknowledged
+// before it would survive a crash.
+func (s *Store) SetEpoch(e uint64) error {
+	if s.log == nil {
+		storeMax(&s.epoch, e)
+		return nil
+	}
+	s.mu.Lock()
+	if e <= s.epoch.Load() {
+		s.mu.Unlock()
+		return nil
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], e)
+	lsn, err := s.log.Append(opEpoch, buf[:])
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := s.commit(lsn); err != nil {
+		return err
+	}
+	storeMax(&s.epoch, e)
+	return nil
+}
+
+// Epoch returns the highest epoch recorded in the store (0 if none).
+func (s *Store) Epoch() uint64 { return s.epoch.Load() }
+
+func storeMax(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // Scan calls fn for every pair with lo <= key < hi in key order (nil bounds
@@ -206,207 +488,105 @@ func (s *Store) Depth() int {
 
 // WALSize returns the current WAL length in bytes (0 for memory stores).
 func (s *Store) WALSize() int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.walSize
+	if s.log == nil {
+		return 0
+	}
+	return s.log.Size()
 }
 
-// --- WAL record format ---
-// op(1) | keyLen uvarint | key | valLen uvarint | val | crc32(4, IEEE, of all prior bytes)
-
-func appendRecord(dst []byte, op byte, key, val []byte) []byte {
-	start := len(dst)
-	dst = append(dst, op)
-	dst = binary.AppendUvarint(dst, uint64(len(key)))
-	dst = append(dst, key...)
-	dst = binary.AppendUvarint(dst, uint64(len(val)))
-	dst = append(dst, val...)
-	crc := crc32.ChecksumIEEE(dst[start:])
-	var b [4]byte
-	binary.BigEndian.PutUint32(b[:], crc)
-	return append(dst, b[:]...)
-}
-
-func (s *Store) logRecord(op byte, key, val []byte) error {
-	if s.wal == nil {
-		return nil // memory-only store
-	}
-	rec := appendRecord(nil, op, key, val)
-	if _, err := s.walBuf.Write(rec); err != nil {
-		return fmt.Errorf("kvstore: wal append: %w", err)
-	}
-	if err := s.walBuf.Flush(); err != nil {
-		return fmt.Errorf("kvstore: wal flush: %w", err)
-	}
-	if s.sync {
-		if err := s.wal.Sync(); err != nil {
-			return fmt.Errorf("kvstore: wal sync: %w", err)
-		}
-	}
-	s.walSize += int64(len(rec))
-	return nil
-}
-
-func (s *Store) replayWAL() error {
-	path := filepath.Join(s.dir, walName)
-	f, err := os.Open(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("kvstore: open wal for replay: %w", err)
-	}
-	defer f.Close()
-	data, err := io.ReadAll(bufio.NewReader(f))
-	if err != nil {
-		return fmt.Errorf("kvstore: read wal: %w", err)
-	}
-	off := 0
-	validEnd := 0
-	for off < len(data) {
-		op, key, val, n, ok := parseRecord(data[off:])
-		if !ok {
-			break // torn tail: stop replay here
-		}
-		switch op {
-		case opPut:
-			s.tree.put(key, val)
-		case opDelete:
-			s.tree.delete(key)
-		default:
-			// Unknown op: treat as corruption, stop.
-			off = len(data) + 1
-		}
-		off += n
-		validEnd = off
-	}
-	if validEnd < len(data) {
-		// Truncate the torn tail so future appends are clean.
-		if err := os.Truncate(path, int64(validEnd)); err != nil {
-			return fmt.Errorf("kvstore: truncate torn wal: %w", err)
-		}
-	}
-	return nil
-}
-
-func parseRecord(data []byte) (op byte, key, val []byte, n int, ok bool) {
-	if len(data) < 1 {
-		return 0, nil, nil, 0, false
-	}
-	op = data[0]
-	off := 1
-	kl, m := binary.Uvarint(data[off:])
-	if m <= 0 || off+m+int(kl) > len(data) {
-		return 0, nil, nil, 0, false
-	}
-	off += m
-	key = data[off : off+int(kl)]
-	off += int(kl)
-	vl, m := binary.Uvarint(data[off:])
-	if m <= 0 || off+m+int(vl) > len(data) {
-		return 0, nil, nil, 0, false
-	}
-	off += m
-	val = data[off : off+int(vl)]
-	off += int(vl)
-	if off+4 > len(data) {
-		return 0, nil, nil, 0, false
-	}
-	want := binary.BigEndian.Uint32(data[off:])
-	if crc32.ChecksumIEEE(data[:off]) != want {
-		return 0, nil, nil, 0, false
-	}
-	return op, key, val, off + 4, true
-}
-
-// Checkpoint writes a snapshot of the full tree and truncates the WAL.
+// Checkpoint writes a snapshot of the full tree at the next generation,
+// publishes it atomically, and truncates the WAL. Concurrent mutations
+// block for the duration (the tree must not move under the writer).
 func (s *Store) Checkpoint() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.wal == nil {
+	if s.log == nil {
 		return nil
 	}
-	tmp := filepath.Join(s.dir, snapTempName)
-	f, err := os.Create(tmp)
+	t0 := time.Now()
+	newGen := s.gen.Load() + 1
+	epoch := s.epoch.Load()
+	w, err := wal.CreateSnapshot(s.fsys, filepath.Join(s.dir, snapName), newGen, epoch)
 	if err != nil {
-		return fmt.Errorf("kvstore: create snapshot: %w", err)
+		s.snapshotErrs.Add(1)
+		return fmt.Errorf("kvstore: checkpoint: %w", err)
 	}
-	w := bufio.NewWriter(f)
-	writeErr := func() error {
-		var hdr [8]byte
-		binary.BigEndian.PutUint64(hdr[:], uint64(s.tree.size))
-		if _, err := w.Write(hdr[:]); err != nil {
-			return err
-		}
-		var rec []byte
-		var failed error
-		s.tree.scan(nil, nil, func(k, v []byte) bool {
-			rec = appendRecord(rec[:0], opPut, k, v)
-			if _, err := w.Write(rec); err != nil {
-				failed = err
-				return false
-			}
-			return true
-		})
-		if failed != nil {
-			return failed
-		}
-		return w.Flush()
-	}()
-	if writeErr != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("kvstore: write snapshot: %w", writeErr)
+	var putErr error
+	s.tree.scan(nil, nil, func(k, v []byte) bool {
+		putErr = w.Put(k, v)
+		return putErr == nil
+	})
+	if putErr != nil {
+		w.Abort()
+		s.snapshotErrs.Add(1)
+		return fmt.Errorf("kvstore: checkpoint: %w", putErr)
 	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("kvstore: sync snapshot: %w", err)
+	bytes, err := w.Commit()
+	if err != nil {
+		s.snapshotErrs.Add(1)
+		return fmt.Errorf("kvstore: checkpoint: %w", err)
 	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("kvstore: close snapshot: %w", err)
+	// Snapshot is live: truncate the log onto the new generation. Every
+	// record appended so far is covered by the snapshot (appends and
+	// tree application both happen under s.mu, which we hold).
+	if err := s.log.Reinit(wal.Header{Gen: newGen, BaseEpoch: epoch}); err != nil {
+		// The snapshot is published but the old-generation log remains;
+		// recovery discards it as stale. Further writes fail sticky.
+		s.snapshotErrs.Add(1)
+		return fmt.Errorf("kvstore: checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(s.dir, snapName)); err != nil {
-		return fmt.Errorf("kvstore: publish snapshot: %w", err)
+	s.gen.Store(newGen)
+	s.snapshots.Add(1)
+	s.lastSnapshotBytes.Store(bytes)
+	us := time.Since(t0).Microseconds()
+	s.lastSnapshotUs.Store(us)
+	if s.mSnapUs != nil {
+		s.mSnapUs.ObserveUs(us)
 	}
-	// Truncate the WAL: everything is in the snapshot now.
-	if err := s.walBuf.Flush(); err != nil {
-		return err
-	}
-	if err := s.wal.Truncate(0); err != nil {
-		return fmt.Errorf("kvstore: truncate wal: %w", err)
-	}
-	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("kvstore: rewind wal: %w", err)
-	}
-	s.walSize = 0
 	return nil
 }
 
-func (s *Store) loadSnapshot() error {
-	f, err := os.Open(filepath.Join(s.dir, snapName))
-	if errors.Is(err, os.ErrNotExist) {
-		return nil
+// DurabilityStats reports the durability subsystem's health for the
+// status op. ok is false for memory stores.
+type DurabilityStats struct {
+	Epoch              uint64 `json:"epoch"`
+	Generation         uint64 `json:"generation"`
+	WALBytes           int64  `json:"wal_bytes"`
+	Fsyncs             uint64 `json:"fsyncs"`
+	FsyncMeanUs        int64  `json:"fsync_mean_us"`
+	FsyncP99Us         int64  `json:"fsync_p99_us"`
+	GroupCommitRecords uint64 `json:"group_commit_records"`
+	Snapshots          uint64 `json:"snapshots"`
+	SnapshotErrors     uint64 `json:"snapshot_errors,omitempty"`
+	LastSnapshotBytes  int64  `json:"last_snapshot_bytes,omitempty"`
+	LastSnapshotUs     int64  `json:"last_snapshot_us,omitempty"`
+	ReplayedRecords    uint64 `json:"replayed_records"`
+	ReplayTornBytes    int64  `json:"replay_torn_bytes,omitempty"`
+	RecoveryUs         int64  `json:"recovery_us"`
+}
+
+// DurabilityStats returns durability health; ok is false for memory
+// stores.
+func (s *Store) DurabilityStats() (st DurabilityStats, ok bool) {
+	if s.log == nil {
+		return DurabilityStats{}, false
 	}
-	if err != nil {
-		return fmt.Errorf("kvstore: open snapshot: %w", err)
-	}
-	defer f.Close()
-	data, err := io.ReadAll(bufio.NewReader(f))
-	if err != nil {
-		return fmt.Errorf("kvstore: read snapshot: %w", err)
-	}
-	if len(data) < 8 {
-		return errors.New("kvstore: snapshot too short")
-	}
-	count := binary.BigEndian.Uint64(data[:8])
-	off := 8
-	for i := uint64(0); i < count; i++ {
-		op, key, val, n, ok := parseRecord(data[off:])
-		if !ok || op != opPut {
-			return fmt.Errorf("kvstore: corrupt snapshot at record %d", i)
-		}
-		s.tree.put(key, val)
-		off += n
-	}
-	return nil
+	fsync := s.mFsyncUs.Snapshot()
+	batch := s.mBatch.Snapshot()
+	return DurabilityStats{
+		Epoch:              s.epoch.Load(),
+		Generation:         s.gen.Load(),
+		WALBytes:           s.WALSize(),
+		Fsyncs:             s.mFsyncs.Load(),
+		FsyncMeanUs:        fsync.MeanUs(),
+		FsyncP99Us:         fsync.Quantile(0.99),
+		GroupCommitRecords: uint64(batch.SumUs),
+		Snapshots:          s.snapshots.Load(),
+		SnapshotErrors:     s.snapshotErrs.Load(),
+		LastSnapshotBytes:  s.lastSnapshotBytes.Load(),
+		LastSnapshotUs:     s.lastSnapshotUs.Load(),
+		ReplayedRecords:    s.replayedRecords,
+		ReplayTornBytes:    s.replayTornBytes,
+		RecoveryUs:         s.recoveryUs,
+	}, true
 }

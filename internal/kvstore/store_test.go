@@ -210,7 +210,7 @@ func TestConcurrentReadersAndWriters(t *testing.T) {
 
 func TestPersistenceRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	s, err := Open(dir, false)
+	s, err := Open(dir, Options{Sync: SyncNever})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +224,7 @@ func TestPersistenceRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	s2, err := Open(dir, false)
+	s2, err := Open(dir, Options{Sync: SyncNever})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,28 +243,29 @@ func TestPersistenceRoundTrip(t *testing.T) {
 
 func TestCheckpointTruncatesWAL(t *testing.T) {
 	dir := t.TempDir()
-	s, err := Open(dir, false)
+	s, err := Open(dir, Options{Sync: SyncNever})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 100; i++ {
 		s.Put([]byte(fmt.Sprintf("k%03d", i)), bytes.Repeat([]byte("v"), 50))
 	}
-	if s.WALSize() == 0 {
-		t.Fatal("WAL should have grown")
+	before := s.WALSize()
+	if before < 1000 {
+		t.Fatalf("WAL should have grown, size = %d", before)
 	}
 	if err := s.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	if s.WALSize() != 0 {
-		t.Errorf("WAL size after checkpoint = %d", s.WALSize())
+	if after := s.WALSize(); after >= before || after > 64 {
+		t.Errorf("WAL size after checkpoint = %d (was %d), want header only", after, before)
 	}
 	// More writes after checkpoint, then recover from snapshot + wal.
 	s.Put([]byte("after"), []byte("checkpoint"))
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	s2, err := Open(dir, false)
+	s2, err := Open(dir, Options{Sync: SyncNever})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +280,7 @@ func TestCheckpointTruncatesWAL(t *testing.T) {
 
 func TestTornWALTailIsDiscarded(t *testing.T) {
 	dir := t.TempDir()
-	s, err := Open(dir, false)
+	s, err := Open(dir, Options{Sync: SyncNever})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +299,7 @@ func TestTornWALTailIsDiscarded(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	s2, err := Open(dir, false)
+	s2, err := Open(dir, Options{Sync: SyncNever})
 	if err != nil {
 		t.Fatalf("recovery from torn WAL failed: %v", err)
 	}
@@ -317,7 +318,7 @@ func TestTornWALTailIsDiscarded(t *testing.T) {
 
 func TestCorruptWALRecordStopsReplay(t *testing.T) {
 	dir := t.TempDir()
-	s, _ := Open(dir, false)
+	s, _ := Open(dir, Options{Sync: SyncNever})
 	for i := 0; i < 10; i++ {
 		s.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
 	}
@@ -326,7 +327,7 @@ func TestCorruptWALRecordStopsReplay(t *testing.T) {
 	data, _ := os.ReadFile(walPath)
 	data[len(data)/2] ^= 0xFF // flip a bit mid-log
 	os.WriteFile(walPath, data, 0o644)
-	s2, err := Open(dir, false)
+	s2, err := Open(dir, Options{Sync: SyncNever})
 	if err != nil {
 		t.Fatalf("recovery: %v", err)
 	}
@@ -338,7 +339,7 @@ func TestCorruptWALRecordStopsReplay(t *testing.T) {
 
 func TestSyncEveryWriteMode(t *testing.T) {
 	dir := t.TempDir()
-	s, err := Open(dir, true)
+	s, err := Open(dir, Options{Sync: SyncAlways})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"orchestra/internal/engine"
+	"orchestra/internal/kvstore"
 	"orchestra/internal/obs"
 	"orchestra/internal/tuple"
 )
@@ -93,6 +94,13 @@ type StreamingBackend interface {
 // reports them when present.
 type CacheStatsProvider interface {
 	CacheStats() map[string]engine.CacheStats
+}
+
+// DurabilityStatsProvider is optionally implemented by backends whose
+// local store is durable (WAL + snapshots); the status op reports the
+// store's recovery/fsync counters when present and ok is true.
+type DurabilityStatsProvider interface {
+	DurabilityStats() (kvstore.DurabilityStats, bool)
 }
 
 // RecoveryMode maps a wire recovery-mode name to the engine constant.

@@ -7,6 +7,7 @@ import (
 
 	"orchestra/internal/cluster"
 	"orchestra/internal/engine"
+	"orchestra/internal/kvstore"
 	"orchestra/internal/obs"
 	"orchestra/internal/optimizer"
 	"orchestra/internal/sql"
@@ -268,6 +269,12 @@ func (b *NodeBackend) Info() BackendInfo {
 // LRU (node backends keep no view cache).
 func (b *NodeBackend) CacheStats() map[string]engine.CacheStats {
 	return map[string]engine.CacheStats{"pages": b.eng.PageCacheStats()}
+}
+
+// DurabilityStats implements DurabilityStatsProvider from the node's
+// local store (ok is false for in-memory stores).
+func (b *NodeBackend) DurabilityStats() (kvstore.DurabilityStats, bool) {
+	return b.node.Store().DurabilityStats()
 }
 
 // nodeCatalog resolves schemas from the replicated catalogs for the

@@ -33,6 +33,7 @@ import (
 	"strings"
 
 	"orchestra/internal/engine"
+	"orchestra/internal/kvstore"
 	"orchestra/internal/obs"
 	"orchestra/internal/tuple"
 )
@@ -359,6 +360,9 @@ type StatusResponse struct {
 	// SlowQueries summarizes the slow-query ring (span trees stripped;
 	// the trace op returns them in full).
 	SlowQueries []SlowQuery `json:"slow_queries,omitempty"`
+	// Durability reports the serving node's WAL/snapshot/recovery
+	// counters when its store is durable (omitted for in-memory stores).
+	Durability *kvstore.DurabilityStats `json:"durability,omitempty"`
 }
 
 // SlowQuery is one slow-query log entry.

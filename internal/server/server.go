@@ -977,6 +977,11 @@ func (s *Server) status() *StatusResponse {
 	if prov, ok := s.backend.(CacheStatsProvider); ok {
 		st.Caches = prov.CacheStats()
 	}
+	if prov, ok := s.backend.(DurabilityStatsProvider); ok {
+		if d, dok := prov.DurabilityStats(); dok {
+			st.Durability = &d
+		}
+	}
 	st.SlowQueries, _ = s.slow.snapshot(false)
 	return st
 }

@@ -1,0 +1,51 @@
+// Package wal is the durability substrate for the per-node stores: a
+// length-prefixed, CRC32C-checksummed write-ahead log with group commit
+// (concurrent committers share one fsync), plus atomic full-state
+// snapshots that let the log be truncated. Everything goes through the
+// FS seam so the fault-injection harness (faultfs.go) can crash the
+// store at any write/sync/rename boundary and prove recovery holds.
+package wal
+
+import (
+	iofs "io/fs"
+	"os"
+)
+
+// File is the subset of *os.File the WAL and snapshot writers need.
+type File interface {
+	Read(p []byte) (int, error)
+	Write(p []byte) (int, error)
+	Seek(offset int64, whence int) (int64, error)
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the filesystem operations on the durability path. The
+// production implementation is OS; tests swap in a FaultFS to inject
+// torn writes and crash-stop errors at chosen steps.
+type FS interface {
+	OpenFile(name string, flag int, perm iofs.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(path string, perm iofs.FileMode) error
+	Stat(name string) (iofs.FileInfo, error)
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm iofs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error           { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                       { return os.Remove(name) }
+func (osFS) MkdirAll(path string, perm iofs.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Stat(name string) (iofs.FileInfo, error)        { return os.Stat(name) }

@@ -1,0 +1,231 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	iofs "io/fs"
+	"os"
+)
+
+// Snapshot layout. A snapshot is the full store state at one
+// generation; committing one lets the log be truncated.
+//
+//	magic "ORCSNP1\n" (8) | version (1) | pad (3) | gen (8) | epoch (8) | count (8) | crc32c (4)
+//
+// followed by count entry frames (the record frame from wal.go with
+// op = snapEntryOp and payload = keyLen uvarint | key | val). The file
+// is written to a .tmp sibling and renamed into place after fsync, so
+// the rename is the commit point: a crash mid-write leaves the previous
+// snapshot untouched.
+const (
+	snapMagic     = "ORCSNP1\n"
+	snapHeaderLen = 40
+	snapEntryOp   = byte(1)
+
+	// minEntryLen is the smallest possible entry frame (empty key and
+	// value): 4-byte length + op + 1-byte keyLen varint + 4-byte CRC.
+	minEntryLen = 10
+)
+
+// SnapshotWriter streams entries into a temp file; Commit atomically
+// publishes it. Either Commit or Abort must be called.
+type SnapshotWriter struct {
+	fsys      FS
+	tmp, path string
+	f         File
+	buf       *bufio.Writer
+	gen       uint64
+	epoch     uint64
+	count     uint64
+	bytes     int64
+	scratch   []byte
+	frame     []byte
+	err       error
+}
+
+// CreateSnapshot starts writing a snapshot that will be published at
+// path. gen is the new generation; epoch is the store epoch it captures.
+func CreateSnapshot(fsys FS, path string, gen, epoch uint64) (*SnapshotWriter, error) {
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create snapshot %s: %w", tmp, err)
+	}
+	w := &SnapshotWriter{fsys: fsys, tmp: tmp, path: path, f: f,
+		buf: bufio.NewWriterSize(f, 1<<16), gen: gen, epoch: epoch}
+	// Placeholder header; Commit rewrites it with the final count.
+	if _, err := w.buf.Write(appendSnapHeader(nil, gen, epoch, 0)); err != nil {
+		w.Abort()
+		return nil, fmt.Errorf("wal: write snapshot header: %w", err)
+	}
+	w.bytes = snapHeaderLen
+	return w, nil
+}
+
+// Put appends one key/value entry.
+func (w *SnapshotWriter) Put(key, val []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	w.scratch = binary.AppendUvarint(w.scratch[:0], uint64(len(key)))
+	w.scratch = append(w.scratch, key...)
+	w.scratch = append(w.scratch, val...)
+	w.frame = AppendRecord(w.frame[:0], snapEntryOp, w.scratch)
+	if _, err := w.buf.Write(w.frame); err != nil {
+		w.err = fmt.Errorf("wal: write snapshot entry: %w", err)
+		return w.err
+	}
+	w.count++
+	w.bytes += int64(len(w.frame))
+	return nil
+}
+
+// Commit finalizes the header, fsyncs, and renames the snapshot into
+// place. It returns the snapshot's byte size. The rename is the
+// durability point — until it happens, recovery sees the old snapshot.
+func (w *SnapshotWriter) Commit() (int64, error) {
+	if w.err != nil {
+		w.Abort()
+		return 0, w.err
+	}
+	err := func() error {
+		if err := w.buf.Flush(); err != nil {
+			return err
+		}
+		if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+			return err
+		}
+		if _, err := w.f.Write(appendSnapHeader(nil, w.gen, w.epoch, w.count)); err != nil {
+			return err
+		}
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+		return w.f.Close()
+	}()
+	if err != nil {
+		w.f.Close()
+		w.f = nil
+		w.Abort()
+		return 0, fmt.Errorf("wal: finalize snapshot: %w", err)
+	}
+	w.f = nil
+	if err := w.fsys.Rename(w.tmp, w.path); err != nil {
+		w.fsys.Remove(w.tmp)
+		return 0, fmt.Errorf("wal: publish snapshot: %w", err)
+	}
+	return w.bytes, nil
+}
+
+// Abort discards the temp file. Safe to call after a failed Commit.
+func (w *SnapshotWriter) Abort() {
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+	w.fsys.Remove(w.tmp)
+	if w.err == nil {
+		w.err = errors.New("wal: snapshot aborted")
+	}
+}
+
+func appendSnapHeader(dst []byte, gen, epoch, count uint64) []byte {
+	start := len(dst)
+	dst = append(dst, snapMagic...)
+	dst = append(dst, version, 0, 0, 0)
+	dst = binary.BigEndian.AppendUint64(dst, gen)
+	dst = binary.BigEndian.AppendUint64(dst, epoch)
+	dst = binary.BigEndian.AppendUint64(dst, count)
+	crc := crc32.Checksum(dst[start:], crcTable)
+	return binary.BigEndian.AppendUint32(dst, crc)
+}
+
+// Snapshot is a parsed, validated-on-iteration snapshot image.
+type Snapshot struct {
+	Gen   uint64
+	Epoch uint64
+	Count uint64
+	data  []byte // entry frames
+}
+
+// ParseSnapshot validates a raw snapshot image's header and structural
+// bounds. Entry checksums are verified during Range.
+func ParseSnapshot(data []byte) (*Snapshot, error) {
+	if len(data) < snapHeaderLen {
+		return nil, fmt.Errorf("%w: snapshot truncated (%d bytes)", ErrCorrupt, len(data))
+	}
+	if string(data[:8]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+	}
+	if crc32.Checksum(data[:snapHeaderLen-4], crcTable) != binary.BigEndian.Uint32(data[snapHeaderLen-4:]) {
+		return nil, fmt.Errorf("%w: snapshot header checksum mismatch", ErrCorrupt)
+	}
+	if v := data[8]; v != version {
+		return nil, fmt.Errorf("%w: unsupported snapshot version %d", ErrCorrupt, v)
+	}
+	s := &Snapshot{
+		Gen:   binary.BigEndian.Uint64(data[12:]),
+		Epoch: binary.BigEndian.Uint64(data[20:]),
+		Count: binary.BigEndian.Uint64(data[28:]),
+		data:  data[snapHeaderLen:],
+	}
+	if s.Count > uint64(len(s.data))/minEntryLen {
+		return nil, fmt.Errorf("%w: snapshot claims %d entries in %d bytes", ErrCorrupt, s.Count, len(s.data))
+	}
+	return s, nil
+}
+
+// ReadSnapshot loads and parses the snapshot at path. A missing file
+// returns (nil, nil) — a store that has never checkpointed.
+func ReadSnapshot(fsys FS, path string) (*Snapshot, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if errors.Is(err, iofs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: open snapshot %s: %w", path, err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(bufio.NewReaderSize(f, 1<<16))
+	if err != nil {
+		return nil, fmt.Errorf("wal: read snapshot %s: %w", path, err)
+	}
+	s, err := ParseSnapshot(data)
+	if err != nil {
+		return nil, fmt.Errorf("wal: snapshot %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Range iterates every entry in order, verifying each frame's checksum.
+// Unlike a log, a snapshot has no legitimate torn tail — it was fsynced
+// before the rename that published it — so any damaged or missing entry
+// is ErrCorrupt. Key/value slices alias the snapshot's buffer.
+func (s *Snapshot) Range(fn func(key, val []byte) error) error {
+	off, n := 0, uint64(0)
+	for off < len(s.data) {
+		op, payload, sz, ok := DecodeRecord(s.data[off:])
+		if !ok || op != snapEntryOp {
+			return fmt.Errorf("%w: snapshot entry %d damaged", ErrCorrupt, n)
+		}
+		klen, m := binary.Uvarint(payload)
+		if m <= 0 || uint64(m)+klen > uint64(len(payload)) {
+			return fmt.Errorf("%w: snapshot entry %d has bad key length", ErrCorrupt, n)
+		}
+		key := payload[m : uint64(m)+klen]
+		val := payload[uint64(m)+klen:]
+		if err := fn(key, val); err != nil {
+			return err
+		}
+		off += sz
+		n++
+	}
+	if n != s.Count {
+		return fmt.Errorf("%w: snapshot holds %d entries, header claims %d", ErrCorrupt, n, s.Count)
+	}
+	return nil
+}

@@ -30,6 +30,8 @@ import (
 
 	"orchestra/internal/cluster"
 	"orchestra/internal/engine"
+	"orchestra/internal/kvstore"
+	"orchestra/internal/obs"
 	"orchestra/internal/optimizer"
 	"orchestra/internal/ring"
 	"orchestra/internal/transport"
@@ -50,12 +52,15 @@ type Rows []Row
 type Option func(*config)
 
 type config struct {
-	replication int
-	latency     time.Duration
-	bandwidth   int64
-	scheme      ring.Scheme
-	capacities  []float64
-	nodeCfg     cluster.Config
+	replication     int
+	latency         time.Duration
+	bandwidth       int64
+	scheme          ring.Scheme
+	capacities      []float64
+	nodeCfg         cluster.Config
+	dataDir         string
+	syncMode        kvstore.SyncMode
+	checkpointBytes int64
 }
 
 // WithReplication sets the total copy count r kept of each data item
@@ -90,10 +95,11 @@ type Cluster struct {
 	local   *cluster.Local
 	engines []*engine.Engine
 
-	mu      sync.Mutex
-	schemas map[string]*tuple.Schema
-	rows    map[string]int64 // published row counts, for optimizer stats
-	views   *viewCache       // nil unless EnableQueryCache was called
+	mu         sync.Mutex
+	schemas    map[string]*tuple.Schema
+	rows       map[string]int64         // published row counts, for optimizer stats
+	views      *viewCache               // nil unless EnableQueryCache was called
+	registries map[string]*obs.Registry // per-node durability metrics, by node ID
 }
 
 // NewCluster starts n nodes with balanced range allocation and replication
@@ -103,26 +109,35 @@ func NewCluster(n int, opts ...Option) (*Cluster, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	c := &Cluster{
+		schemas:    make(map[string]*tuple.Schema),
+		rows:       make(map[string]int64),
+		registries: make(map[string]*obs.Registry),
+	}
+	nodeCfg := cluster.Config{Replication: cfg.replication}
+	if cfg.dataDir != "" {
+		nodeCfg.OpenStore = c.openStoreFunc(&cfg)
+	}
 	var local *cluster.Local
 	var err error
 	netCfg := transport.Config{Latency: cfg.latency, BandwidthBps: cfg.bandwidth}
 	if len(cfg.capacities) > 0 {
-		local, err = cluster.NewLocalWeighted(cfg.capacities,
-			cluster.Config{Replication: cfg.replication}, netCfg)
+		local, err = cluster.NewLocalWeighted(cfg.capacities, nodeCfg, netCfg)
 	} else {
-		local, err = cluster.NewLocalScheme(n,
-			cluster.Config{Replication: cfg.replication}, netCfg, cfg.scheme)
+		local, err = cluster.NewLocalScheme(n, nodeCfg, netCfg, cfg.scheme)
 	}
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{
-		local:   local,
-		schemas: make(map[string]*tuple.Schema),
-		rows:    make(map[string]int64),
-	}
+	c.local = local
 	for _, node := range local.Nodes() {
 		c.engines = append(c.engines, engine.New(node))
+	}
+	if cfg.dataDir != "" {
+		if err := c.recoverCatalogs(); err != nil {
+			c.Shutdown()
+			return nil, err
+		}
 	}
 	return c, nil
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"orchestra/internal/kvstore"
 	"orchestra/internal/server"
 	"orchestra/internal/sql"
 	"orchestra/internal/tuple"
@@ -96,6 +97,10 @@ func (c *Cluster) Serve(addr string, opts ServeOptions) (*Server, error) {
 		StreamWindow:         opts.StreamWindow,
 		StreamCompressMin:    opts.StreamCompressMin,
 		SlowQueryThreshold:   opts.SlowQueryThreshold,
+		// Durable clusters export the node's WAL/fsync/snapshot metrics
+		// through this endpoint's /metrics; nil makes the server allocate
+		// its own registry.
+		Registry: c.nodeRegistry(opts.Node),
 	})
 	if err != nil {
 		return nil, err
@@ -311,6 +316,12 @@ func (b *clusterBackend) Epoch() tuple.Epoch { return b.c.CurrentEpoch() }
 // cache plus this node's decoded-page LRU.
 func (b *clusterBackend) CacheStats() map[string]CacheStats {
 	return b.c.CacheStats(b.node)
+}
+
+// DurabilityStats implements server.DurabilityStatsProvider for durable
+// clusters (ok is false when the serving node's store is in-memory).
+func (b *clusterBackend) DurabilityStats() (kvstore.DurabilityStats, bool) {
+	return b.c.DurabilityStats(b.node)
 }
 
 func (b *clusterBackend) Info() server.BackendInfo {
