@@ -1,10 +1,14 @@
 package kvstore
 
 import (
+	"encoding/binary"
 	"fmt"
+	iofs "io/fs"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"orchestra/internal/wal"
@@ -173,6 +177,92 @@ func TestEpochMismatchRefused(t *testing.T) {
 	_, err = Open(dir, Options{Sync: SyncNever})
 	if err == nil || !strings.Contains(err.Error(), "refusing to start") {
 		t.Fatalf("err = %v, want epoch-mismatch refusal", err)
+	}
+}
+
+// decodePut must reject a keyLen uvarint near 2^64 instead of letting
+// the varint-width + keyLen sum wrap past the bound check and panic on
+// the slice — recovery has to return ErrCorrupt, not crash.
+func TestDecodePutKeyLenOverflow(t *testing.T) {
+	payload := binary.AppendUvarint(nil, math.MaxUint64)
+	if _, _, ok := decodePut(payload); ok {
+		t.Fatal("decodePut accepted an overflowing key length")
+	}
+	if _, _, ok := decodePut(nil); ok {
+		t.Fatal("decodePut accepted an empty payload")
+	}
+}
+
+// gateFS blocks the first Sync of one named file (after arming) until
+// released — it freezes a group-commit leader mid-fsync so a test can
+// interleave a checkpoint at exactly that point.
+type gateFS struct {
+	wal.FS
+	name    string // base name of the gated file
+	armed   atomic.Bool
+	entered chan struct{} // closed when the gated Sync begins
+	release chan struct{} // closed by the test to let it proceed
+}
+
+func (g *gateFS) OpenFile(name string, flag int, perm iofs.FileMode) (wal.File, error) {
+	f, err := g.FS.OpenFile(name, flag, perm)
+	if err != nil || filepath.Base(name) != g.name {
+		return f, err
+	}
+	return &gateFile{File: f, g: g}, nil
+}
+
+type gateFile struct {
+	wal.File
+	g *gateFS
+}
+
+func (f *gateFile) Sync() error {
+	if f.g.armed.CompareAndSwap(true, false) {
+		close(f.g.entered)
+		<-f.g.release
+	}
+	return f.File.Sync()
+}
+
+// TestCheckpointCoversPendingEpoch reproduces the SetEpoch/Checkpoint
+// race: an epoch record has been appended and its SetEpoch is parked
+// inside the group-commit fsync when a checkpoint runs. The
+// checkpoint's Reinit drops the buffered record and marks its LSN
+// durable, so the snapshot it publishes must carry the pending epoch —
+// otherwise SetEpoch acknowledges a raise that exists nowhere on disk
+// and a crash recovers the old epoch.
+func TestCheckpointCoversPendingEpoch(t *testing.T) {
+	dir := t.TempDir()
+	g := &gateFS{FS: wal.OS, name: walName,
+		entered: make(chan struct{}), release: make(chan struct{})}
+	s, err := Open(dir, Options{Sync: SyncAlways, FS: g, CheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.armed.Store(true)
+	done := make(chan error, 1)
+	go func() { done <- s.SetEpoch(7) }()
+	<-g.entered // the epoch record is appended; its commit is frozen
+
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	close(g.release)
+	if err := <-done; err != nil {
+		t.Fatalf("SetEpoch: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer s2.Close()
+	if s2.Epoch() != 7 {
+		t.Fatalf("recovered epoch = %d, want 7 (acknowledged raise lost)", s2.Epoch())
 	}
 }
 

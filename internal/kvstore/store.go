@@ -39,6 +39,15 @@ type Store struct {
 	gen   atomic.Uint64 // snapshot generation the log extends
 	epoch atomic.Uint64 // highest durable epoch
 
+	// Highest epoch appended to the WAL but possibly not yet committed,
+	// and its LSN; guarded by mu. Checkpoint must cover this epoch in the
+	// snapshot it writes: its Reinit marks every appended LSN durable, so
+	// a pending epoch record dropped from the log without making it into
+	// the snapshot would be acknowledged by a concurrent SetEpoch yet
+	// exist nowhere on disk.
+	pendingEpoch    uint64
+	pendingEpochLSN int64
+
 	checkpointing atomic.Bool
 
 	// Recovery + snapshot stats (see DurabilityStats).
@@ -248,7 +257,9 @@ func appendPut(dst []byte, key, val []byte) []byte {
 
 func decodePut(payload []byte) (key, val []byte, ok bool) {
 	kl, m := binary.Uvarint(payload)
-	if m <= 0 || uint64(m)+kl > uint64(len(payload)) {
+	// Overflow-safe bound check: kl can be near 2^64 in a corrupt record,
+	// so compare it against the remaining length rather than adding to m.
+	if m <= 0 || kl > uint64(len(payload)-m) {
 		return nil, nil, false
 	}
 	return payload[m : uint64(m)+kl], payload[uint64(m)+kl:], true
@@ -396,13 +407,27 @@ func (s *Store) SetEpoch(e uint64) error {
 		s.mu.Unlock()
 		return nil
 	}
+	if e <= s.pendingEpoch {
+		// A record covering e is already appended (by a concurrent raise
+		// or one whose commit we interrupted); wait for its durability
+		// rather than appending a duplicate.
+		lsn := s.pendingEpochLSN
+		s.mu.Unlock()
+		if err := s.commit(lsn); err != nil {
+			return err
+		}
+		storeMax(&s.epoch, e)
+		return nil
+	}
 	var buf [8]byte
 	binary.BigEndian.PutUint64(buf[:], e)
 	lsn, err := s.log.Append(opEpoch, buf[:])
-	s.mu.Unlock()
 	if err != nil {
+		s.mu.Unlock()
 		return err
 	}
+	s.pendingEpoch, s.pendingEpochLSN = e, lsn
+	s.mu.Unlock()
 	if err := s.commit(lsn); err != nil {
 		return err
 	}
@@ -497,6 +522,12 @@ func (s *Store) WALSize() int64 {
 // Checkpoint writes a snapshot of the full tree at the next generation,
 // publishes it atomically, and truncates the WAL. Concurrent mutations
 // block for the duration (the tree must not move under the writer).
+//
+// Known limitation: the exclusive lock is held while the entire tree
+// streams to disk, so reads and writes stall for the full snapshot
+// duration — on large stores the background size trigger turns this
+// into a tail-latency cliff. Fixing it needs a frozen/copy-on-write
+// tree image to snapshot from; tracked in ROADMAP.
 func (s *Store) Checkpoint() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -505,7 +536,13 @@ func (s *Store) Checkpoint() error {
 	}
 	t0 := time.Now()
 	newGen := s.gen.Load() + 1
+	// The snapshot must carry every epoch record in the log — including
+	// one appended by a SetEpoch still waiting on its commit — because
+	// Reinit below declares all appended LSNs durable.
 	epoch := s.epoch.Load()
+	if s.pendingEpoch > epoch {
+		epoch = s.pendingEpoch
+	}
 	w, err := wal.CreateSnapshot(s.fsys, filepath.Join(s.dir, snapName), newGen, epoch)
 	if err != nil {
 		s.snapshotErrs.Add(1)
@@ -536,6 +573,9 @@ func (s *Store) Checkpoint() error {
 		return fmt.Errorf("kvstore: checkpoint: %w", err)
 	}
 	s.gen.Store(newGen)
+	// The snapshot durably carries epoch (possibly a pending raise whose
+	// SetEpoch is still parked in commit — Reinit just satisfied it).
+	storeMax(&s.epoch, epoch)
 	s.snapshots.Add(1)
 	s.lastSnapshotBytes.Store(bytes)
 	us := time.Since(t0).Microseconds()

@@ -121,6 +121,15 @@ func (f *FaultFS) Stat(name string) (iofs.FileInfo, error) {
 	return f.base.Stat(name)
 }
 
+// SyncDir is a durability step: crashing here models power loss after a
+// rename reached the directory cache but before the entry was flushed.
+func (f *FaultFS) SyncDir(name string) error {
+	if crash, _ := f.next(); crash {
+		return ErrInjected
+	}
+	return f.base.SyncDir(name)
+}
+
 type faultFile struct {
 	fs *FaultFS
 	f  File

@@ -30,6 +30,12 @@ type FS interface {
 	Remove(name string) error
 	MkdirAll(path string, perm iofs.FileMode) error
 	Stat(name string) (iofs.FileInfo, error)
+	// SyncDir fsyncs the directory at name, making previously completed
+	// renames and file creations inside it durable. A rename is only a
+	// commit point once the directory entry itself is on disk — without
+	// this, power loss can undo a "published" snapshot while keeping the
+	// WAL truncation that assumed it.
+	SyncDir(name string) error
 }
 
 // OS is the real filesystem.
@@ -49,3 +55,16 @@ func (osFS) Rename(oldpath, newpath string) error           { return os.Rename(o
 func (osFS) Remove(name string) error                       { return os.Remove(name) }
 func (osFS) MkdirAll(path string, perm iofs.FileMode) error { return os.MkdirAll(path, perm) }
 func (osFS) Stat(name string) (iofs.FileInfo, error)        { return os.Stat(name) }
+
+func (osFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	syncErr := d.Sync()
+	closeErr := d.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}

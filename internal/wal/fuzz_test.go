@@ -2,6 +2,8 @@ package wal
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
 	"testing"
 )
 
@@ -53,6 +55,11 @@ func FuzzSnapshotDecode(f *testing.F) {
 	f.Add(good[:20])
 	huge := appendSnapHeader(nil, 1, 2, 1<<60) // count bomb, tiny body
 	f.Add(huge)
+	// Entry whose keyLen uvarint is ~2^64: the m+keyLen bound check must
+	// not wrap around and pass (it would panic on the slice expression).
+	wrap := appendSnapHeader(nil, 1, 2, 1)
+	wrap = AppendRecord(wrap, snapEntryOp, binary.AppendUvarint(nil, math.MaxUint64))
+	f.Add(wrap)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := ParseSnapshot(data)

@@ -9,6 +9,7 @@ import (
 	"io"
 	iofs "io/fs"
 	"os"
+	"path/filepath"
 )
 
 // Snapshot layout. A snapshot is the full store state at one
@@ -84,9 +85,12 @@ func (w *SnapshotWriter) Put(key, val []byte) error {
 	return nil
 }
 
-// Commit finalizes the header, fsyncs, and renames the snapshot into
-// place. It returns the snapshot's byte size. The rename is the
-// durability point — until it happens, recovery sees the old snapshot.
+// Commit finalizes the header, fsyncs, renames the snapshot into place,
+// and fsyncs the parent directory. It returns the snapshot's byte size.
+// The rename plus directory sync is the durability point — a rename
+// alone only updates the directory cache, so power loss could undo it
+// after the caller had already truncated the WAL on the strength of the
+// new snapshot. Until Commit returns, recovery sees the old snapshot.
 func (w *SnapshotWriter) Commit() (int64, error) {
 	if w.err != nil {
 		w.Abort()
@@ -117,6 +121,9 @@ func (w *SnapshotWriter) Commit() (int64, error) {
 	if err := w.fsys.Rename(w.tmp, w.path); err != nil {
 		w.fsys.Remove(w.tmp)
 		return 0, fmt.Errorf("wal: publish snapshot: %w", err)
+	}
+	if err := w.fsys.SyncDir(filepath.Dir(w.path)); err != nil {
+		return 0, fmt.Errorf("wal: sync snapshot dir: %w", err)
 	}
 	return w.bytes, nil
 }
@@ -213,7 +220,9 @@ func (s *Snapshot) Range(fn func(key, val []byte) error) error {
 			return fmt.Errorf("%w: snapshot entry %d damaged", ErrCorrupt, n)
 		}
 		klen, m := binary.Uvarint(payload)
-		if m <= 0 || uint64(m)+klen > uint64(len(payload)) {
+		// Overflow-safe bound check: klen can be near 2^64, so compare it
+		// against the remaining length rather than adding to m.
+		if m <= 0 || klen > uint64(len(payload)-m) {
 			return fmt.Errorf("%w: snapshot entry %d has bad key length", ErrCorrupt, n)
 		}
 		key := payload[m : uint64(m)+klen]

@@ -9,6 +9,7 @@ import (
 	"io"
 	iofs "io/fs"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -289,7 +290,8 @@ func newLog(fsys FS, f File, path string, size int64, opts Options) *Log {
 }
 
 // Reset creates (or truncates) the log at path with a fresh header and
-// syncs it, so the generation marker is durable before any record.
+// syncs it — including the directory entry, in case the file was just
+// created — so the generation marker is durable before any record.
 func Reset(fsys FS, path string, hdr Header, opts Options) (*Log, error) {
 	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
@@ -298,6 +300,10 @@ func Reset(fsys FS, path string, hdr Header, opts Options) (*Log, error) {
 	if err := initLogFile(f, hdr); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("wal: init %s: %w", path, err)
+	}
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: sync dir of %s: %w", path, err)
 	}
 	return newLog(fsys, f, path, headerLen, opts), nil
 }
