@@ -1,0 +1,412 @@
+package orchestra_test
+
+// Chaos end-to-end test: three server processes sit behind fault-
+// injecting TCP proxies (internal/netfault) and a smart client runs a
+// closed-loop idempotent query workload against all of them while the
+// test SIGKILLs one process, flaps and resets another's proxy, and
+// SIGTERM-drains the third. The failover layer must absorb all of it:
+// zero client-visible query failures, every answer correct, the drain
+// losing no in-flight work, and the chaos visible in the client's
+// retry/failover counters. This is the serving-layer complement to the
+// storage crash test — the paper's unreliable-participant model (§V)
+// applied to the query path instead of the durability path.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"orchestra"
+	"orchestra/client"
+	"orchestra/internal/netfault"
+)
+
+const (
+	chaosChildEnv = "ORCHESTRA_CHAOS_CHILD"
+	chaosAddrEnv  = "ORCHESTRA_CHAOS_ADDRFILE"
+	chaosAdvEnv   = "ORCHESTRA_CHAOS_ADVERTISE"
+	chaosPeersEnv = "ORCHESTRA_CHAOS_PEERS"
+	chaosRowCount = 200
+)
+
+// TestChaosServerChild is the re-exec target, not a test: it serves one
+// endpoint of a seeded in-memory cluster and drains gracefully on
+// SIGTERM. Skipped in normal runs.
+func TestChaosServerChild(t *testing.T) {
+	if os.Getenv(chaosChildEnv) == "" {
+		t.Skip("re-exec child only")
+	}
+	c, err := orchestra.NewCluster(3)
+	if err != nil {
+		t.Fatalf("child cluster: %v", err)
+	}
+	if err := c.CreateRelation(orchestra.NewSchema("chaos", "id:int", "shard:int").Key("id")); err != nil {
+		t.Fatalf("child create: %v", err)
+	}
+	rows := make(orchestra.Rows, chaosRowCount)
+	for i := range rows {
+		rows[i] = orchestra.Row{int64(i), int64(i % 7)}
+	}
+	if _, err := c.Publish("chaos", rows); err != nil {
+		t.Fatalf("child publish: %v", err)
+	}
+	var peers []string
+	for _, p := range strings.Split(os.Getenv(chaosPeersEnv), ",") {
+		if p != "" {
+			peers = append(peers, p)
+		}
+	}
+	srv, err := c.Serve("127.0.0.1:0", orchestra.ServeOptions{
+		Advertise: os.Getenv(chaosAdvEnv),
+		Peers:     peers,
+	})
+	if err != nil {
+		t.Fatalf("child serve: %v", err)
+	}
+	// SIGTERM means drain: finish in-flight requests, then exit 0. A
+	// non-zero exit tells the parent the drain severed live work.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "chaos child: SIGTERM, draining")
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "chaos child: drain failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "chaos child: drained clean")
+		os.Exit(0)
+	}()
+	addrFile := os.Getenv(chaosAddrEnv)
+	tmp := addrFile + ".tmp"
+	if err := os.WriteFile(tmp, []byte(srv.Addr()), 0o644); err != nil {
+		t.Fatalf("child addr file: %v", err)
+	}
+	if err := os.Rename(tmp, addrFile); err != nil {
+		t.Fatalf("child addr rename: %v", err)
+	}
+	select {} // serve until signalled
+}
+
+// chaosChild is one re-exec'd server process plus its exit watcher.
+type chaosChild struct {
+	cmd     *exec.Cmd
+	backend string // real listen address behind the proxy
+	logPath string // stderr capture (kept on test failure)
+	logFile *os.File
+
+	done    chan struct{} // closed once the process is reaped
+	exitErr error
+	exitAt  time.Time
+}
+
+// exited reports whether the child has been reaped, without blocking.
+func (ch *chaosChild) exited() bool {
+	select {
+	case <-ch.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// startChaosChild launches one serving child, advertising advertise and
+// peers, and waits for its real listen address. A watcher goroutine
+// reaps the process the moment it dies, so phases can both observe exit
+// status and detect unexpected deaths with timestamps.
+func startChaosChild(t *testing.T, idx int, addrFile, advertise, peers string) *chaosChild {
+	t.Helper()
+	os.Remove(addrFile)
+	logf, err := os.CreateTemp("", fmt.Sprintf("chaos-child-%d-*.log", idx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=^TestChaosServerChild$")
+	cmd.Env = append(os.Environ(),
+		chaosChildEnv+"=1",
+		chaosAddrEnv+"="+addrFile,
+		chaosAdvEnv+"="+advertise,
+		chaosPeersEnv+"="+peers)
+	cmd.Stdout = logf
+	cmd.Stderr = logf
+	cmd.SysProcAttr = childSysProcAttr()
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start child: %v", err)
+	}
+	ch := &chaosChild{cmd: cmd, logPath: logf.Name(), logFile: logf, done: make(chan struct{})}
+	go func() {
+		ch.exitErr = cmd.Wait()
+		ch.exitAt = time.Now()
+		close(ch.done)
+	}()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			ch.backend = string(b)
+			return ch
+		}
+		if ch.exited() {
+			t.Fatalf("child %d exited before serving: %v (log %s)", idx, ch.exitErr, ch.logPath)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	t.Fatalf("child %d never published its address", idx)
+	return nil
+}
+
+// reservePort grabs a free localhost port and releases it, so a proxy
+// can bind it after the backend it fronts is known.
+func reservePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+type chaosSample struct {
+	dur time.Duration
+	err error
+}
+
+func TestChaosFailover(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("POSIX signal semantics required")
+	}
+	if testing.Short() {
+		t.Skip("re-exec e2e")
+	}
+	dir := t.TempDir()
+
+	// Each child advertises its proxy address, so clients that discover
+	// members through health checks keep dialing through the faults.
+	proxyAddrs := make([]string, 3)
+	for i := range proxyAddrs {
+		proxyAddrs[i] = reservePort(t)
+	}
+	peers := strings.Join(proxyAddrs, ",")
+
+	children := make([]*chaosChild, 3)
+	proxies := make([]*netfault.Proxy, 3)
+	for i := range children {
+		addrFile := filepath.Join(dir, fmt.Sprintf("addr%d", i))
+		ch := startChaosChild(t, i, addrFile, proxyAddrs[i], peers)
+		children[i] = ch
+		t.Cleanup(func() {
+			ch.cmd.Process.Kill()
+			<-ch.done
+			ch.logFile.Close()
+			if !t.Failed() {
+				os.Remove(ch.logPath)
+			}
+		})
+		p, err := netfault.New(proxyAddrs[i], ch.backend)
+		if err != nil {
+			t.Fatalf("proxy %d: %v", i, err)
+		}
+		proxies[i] = p
+		t.Cleanup(func() { p.Close() })
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	cl, err := client.Dial(proxyAddrs[0], client.Options{
+		Endpoints:       proxyAddrs[1:],
+		DialTimeout:     2 * time.Second,
+		RefreshInterval: 500 * time.Millisecond,
+		Retry: client.RetryPolicy{
+			MaxAttempts: 8,
+			BaseBackoff: 15 * time.Millisecond,
+			MaxBackoff:  250 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cl.Close()
+
+	// Closed-loop idempotent workload: every query is a full count, so
+	// any lost, doubled, or partial answer is detectable.
+	const workers = 4
+	var (
+		mu      sync.Mutex
+		samples []chaosSample
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t0 := time.Now()
+				res, err := cl.QueryOpts(ctx, "SELECT COUNT(*) FROM chaos", client.QueryOptions{})
+				d := time.Since(t0)
+				if err == nil {
+					if len(res.Rows) != 1 || countValue(res.Rows[0][0]) != chaosRowCount {
+						err = fmt.Errorf("wrong answer: %v", res.Rows)
+					}
+				}
+				mu.Lock()
+				samples = append(samples, chaosSample{dur: d, err: err})
+				mu.Unlock()
+			}
+		}()
+	}
+	successes := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		n := 0
+		for _, s := range samples {
+			if s.err == nil {
+				n++
+			}
+		}
+		return n
+	}
+	// diagnose captures the live state of a stall: which children are
+	// alive (SIGQUIT dumps the live ones into their log files), the
+	// socket table, and every parent goroutine.
+	diagnose := func() {
+		for i, ch := range children {
+			if ch.exited() {
+				t.Logf("child %d exited at %s: %v (log %s)",
+					i, ch.exitAt.Format("15:04:05.000"), ch.exitErr, ch.logPath)
+			} else {
+				t.Logf("child %d alive (pid %d, log %s) — sending SIGQUIT",
+					i, ch.cmd.Process.Pid, ch.logPath)
+				ch.cmd.Process.Signal(syscall.SIGQUIT)
+			}
+		}
+		time.Sleep(time.Second) // let the dumps flush
+		if out, err := exec.Command("ss", "-tnp").CombinedOutput(); err == nil {
+			t.Logf("ss -tnp:\n%s", out)
+		}
+		buf := make([]byte, 4<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		stackPath := filepath.Join(os.TempDir(), "chaos-parent-stacks.txt")
+		os.WriteFile(stackPath, buf, 0o644)
+		t.Logf("parent goroutine dump: %s", stackPath)
+	}
+	waitSuccesses := func(n int) {
+		deadline := time.Now().Add(30 * time.Second)
+		for successes() < n {
+			if time.Now().After(deadline) {
+				diagnose()
+				close(stop)
+				// No wg.Wait() here: a wedged worker would hold the
+				// failure message hostage until its query context dies.
+				t.Fatalf("workload stalled at %d successes waiting for %d", successes(), n)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Phase 1: warm up, then crash-stop child 0 (SIGKILL, proxy stays up
+	// fronting a dead backend — dials are accepted then dropped).
+	waitSuccesses(30)
+	base := successes()
+	if err := children[0].cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill child 0: %v", err)
+	}
+	<-children[0].done
+	t.Logf("killed child 0 after %d successes", base)
+
+	// Phase 2: flap child 1's proxy — reset every live connection (mid-
+	// call transport errors on pooled conns) and refuse new dials, then
+	// come back on the same address.
+	waitSuccesses(base + 20)
+	proxies[1].Pause()
+	proxies[1].ResetAll()
+	time.Sleep(400 * time.Millisecond)
+	if err := proxies[1].Resume(); err != nil {
+		t.Fatalf("resume proxy 1: %v", err)
+	}
+	t.Logf("flapped proxy 1 (stats %+v)", proxies[1].Stats())
+
+	// Phase 3: drain child 2 with SIGTERM mid-workload. Exit status 0
+	// certifies its Shutdown completed without severing in-flight work.
+	waitSuccesses(successes() + 20)
+	if children[2].exited() {
+		t.Fatalf("child 2 died before the drain phase: %v", children[2].exitErr)
+	}
+	if err := children[2].cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("sigterm child 2: %v", err)
+	}
+	<-children[2].done
+	if children[2].exitErr != nil {
+		t.Errorf("child 2 drain reported lost in-flight work: %v", children[2].exitErr)
+	}
+	t.Logf("drained child 2 at %d successes", successes())
+
+	// Phase 4: only child 1 remains; the workload must still make
+	// progress before we stop.
+	waitSuccesses(successes() + 20)
+	close(stop)
+	wg.Wait()
+
+	mu.Lock()
+	final := append([]chaosSample(nil), samples...)
+	mu.Unlock()
+
+	var failed []error
+	durs := make([]time.Duration, 0, len(final))
+	for _, s := range final {
+		if s.err != nil {
+			failed = append(failed, s.err)
+			continue
+		}
+		durs = append(durs, s.dur)
+	}
+	if len(failed) > 0 {
+		t.Errorf("%d of %d idempotent queries failed under chaos; first: %v",
+			len(failed), len(final), failed[0])
+	}
+	if len(durs) < 60 {
+		t.Fatalf("only %d successful queries — not enough signal", len(durs))
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	p50 := durs[len(durs)/2]
+	p99 := durs[len(durs)*99/100]
+	t.Logf("%d queries, 0 expected failures: p50=%v p99=%v", len(durs), p50, p99)
+	// Generous bound: retries back off at most ~250ms a hop with 8
+	// attempts; anything beyond this means a stall, not a retry.
+	if p99 > 10*time.Second {
+		t.Errorf("p99 %v exceeds the chaos bound", p99)
+	}
+
+	// The chaos must be visible in the client's own telemetry.
+	ctr := cl.Counters()
+	t.Logf("client counters: %+v", ctr)
+	if ctr.Retries == 0 && ctr.DialErrors == 0 {
+		t.Errorf("no retries or dial errors recorded under chaos: %+v", ctr)
+	}
+	if ctr.Failovers == 0 && ctr.DialErrors == 0 {
+		t.Errorf("no failovers recorded under chaos: %+v", ctr)
+	}
+	if ctr.Refreshes == 0 {
+		t.Errorf("membership refresh never ran: %+v", ctr)
+	}
+}

@@ -1,0 +1,12 @@
+//go:build linux
+
+package orchestra_test
+
+import "syscall"
+
+// childSysProcAttr asks the kernel to SIGKILL re-exec'd test children if
+// the parent test process dies first (timeout panic, SIGKILL), so a
+// failed chaos run cannot leak server processes that pollute later runs.
+func childSysProcAttr() *syscall.SysProcAttr {
+	return &syscall.SysProcAttr{Pdeathsig: syscall.SIGKILL}
+}

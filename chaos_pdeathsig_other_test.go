@@ -1,0 +1,7 @@
+//go:build !linux
+
+package orchestra_test
+
+import "syscall"
+
+func childSysProcAttr() *syscall.SysProcAttr { return nil }

@@ -98,11 +98,14 @@ const (
 
 // Options tunes a Client.
 type Options struct {
-	// PoolSize caps idle connections kept for reuse (default 2).
-	// Concurrent calls beyond the pool dial extra connections that are
-	// dropped when the pool is full on release.
+	// PoolSize caps idle connections kept for reuse per endpoint
+	// (default 2). Concurrent calls beyond the pool dial extra
+	// connections that are dropped when the pool is full on release.
 	PoolSize int
-	// DialTimeout bounds connection establishment (default 5s).
+	// DialTimeout bounds connection establishment (default 5s). It also
+	// bounds client-initiated protocol exchanges with no caller
+	// deadline of their own (hello, stream-cancel drain, membership
+	// refresh).
 	DialTimeout time.Duration
 	// Codec selects the result codec: CodecAuto (default), CodecBinary,
 	// or CodecJSON.
@@ -114,32 +117,60 @@ type Options struct {
 	// StreamWindow is the flow-control credit window requested for
 	// streamed results, in batch frames (default the server's offer).
 	StreamWindow int
+	// Endpoints seeds additional cluster members beyond the dialed
+	// address. The member list grows and shrinks as the cluster
+	// advertises peers (see RefreshInterval); seeds are never dropped.
+	Endpoints []string
+	// Retry governs automatic retry and failover of failed calls; see
+	// RetryPolicy for what is and is not safe to retry.
+	Retry RetryPolicy
+	// RefreshInterval paces background membership refreshes via the
+	// health op (default 30s; negative disables). A refresh is also
+	// triggered whenever an endpoint fails.
+	RefreshInterval time.Duration
+	// Balance selects the endpoint for each call: BalanceRoundRobin
+	// (default) or BalanceLeastLoaded.
+	Balance string
 }
 
-// Client is a connection-reusing client for one server endpoint. It is
-// safe for concurrent use; each in-flight call holds one connection.
+// Client is a connection-reusing client for a served deployment. It
+// maintains a cluster member list (seeded from the dialed address,
+// refreshed from the servers' advertised peers), balances calls across
+// healthy members, and — under Options.Retry — fails idempotent calls
+// over to another member. It is safe for concurrent use; each in-flight
+// call holds one connection.
 type Client struct {
-	addr string
-	opts Options
+	opts  Options
+	retry RetryPolicy
+	seeds []string
 
 	// jsonOnly latches when the server rejects the hello handshake, so
 	// later dials skip the wasted round trip (CodecAuto only).
 	jsonOnly atomic.Bool
 
-	mu     sync.Mutex
-	idle   []*wireConn
-	closed bool
+	rr         atomic.Uint64 // round-robin cursor
+	ctr        counters
+	refreshing atomic.Bool
+
+	mu          sync.Mutex
+	eps         []*endpoint
+	lastRefresh time.Time
+	closed      bool
 }
 
 // wireConn is one pooled connection plus its negotiated protocol state.
 type wireConn struct {
 	net.Conn
 	br *bufio.Reader
+	ep *endpoint // owning endpoint (pool, load and health bookkeeping)
 	// binary reports a successful FeatureBinaryStream negotiation.
 	binary bool
 	// binaryPublish reports FeatureBinaryPublish: publishes may cross the
 	// wire as one typed column-major batch frame instead of JSON rows.
 	binaryPublish bool
+	// publishID reports FeaturePublishID: the server deduplicates
+	// publishes by their client-chosen ID, making them safe to retry.
+	publishID bool
 	// maxFrame is the negotiated frame limit, enforced in both
 	// directions. (The negotiated stream window needs no client state:
 	// it governs the server's sending, and the client grants one credit
@@ -148,7 +179,8 @@ type wireConn struct {
 }
 
 // Dial validates connectivity to addr (performing the protocol handshake
-// unless Codec is CodecJSON) and returns a Client.
+// unless Codec is CodecJSON) and returns a Client. addr plus
+// Options.Endpoints seed the cluster member list.
 func Dial(addr string, opts ...Options) (*Client, error) {
 	var o Options
 	if len(opts) > 0 {
@@ -173,30 +205,50 @@ func Dial(addr string, opts ...Options) (*Client, error) {
 	if o.MaxFrame > server.MaxFrameLimit {
 		o.MaxFrame = server.MaxFrameLimit // lengths must stay below the tag bit
 	}
-	c := &Client{addr: addr, opts: o}
-	conn, err := c.dial()
+	if o.RefreshInterval == 0 {
+		o.RefreshInterval = 30 * time.Second
+	}
+	switch o.Balance {
+	case "":
+		o.Balance = BalanceRoundRobin
+	case BalanceRoundRobin, BalanceLeastLoaded:
+	default:
+		return nil, fmt.Errorf("orchestra client: unknown balance mode %q", o.Balance)
+	}
+	c := &Client{opts: o, retry: o.Retry.normalized()}
+	seen := map[string]bool{}
+	for _, a := range append([]string{addr}, o.Endpoints...) {
+		if a == "" || seen[a] {
+			continue
+		}
+		seen[a] = true
+		c.seeds = append(c.seeds, a)
+		c.eps = append(c.eps, &endpoint{addr: a})
+	}
+	conn, err := c.acquireOn(c.eps[0])
 	if err != nil {
 		return nil, err
 	}
 	c.release(conn)
+	c.refreshAsync() // discover peers in the background
 	return c, nil
 }
 
 // Close drops all pooled connections; subsequent calls fail.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	eps := c.eps
 	c.closed = true
-	for _, conn := range c.idle {
-		conn.Close()
+	c.mu.Unlock()
+	for _, e := range eps {
+		e.drop()
 	}
-	c.idle = nil
 	return nil
 }
 
-// dial establishes one connection and negotiates the protocol on it.
-func (c *Client) dial() (*wireConn, error) {
-	nc, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+// dial establishes one connection to ep and negotiates the protocol.
+func (c *Client) dial(ep *endpoint) (*wireConn, error) {
+	nc, err := net.DialTimeout("tcp", ep.addr, c.opts.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("orchestra client: %w", err)
 	}
@@ -206,6 +258,7 @@ func (c *Client) dial() (*wireConn, error) {
 	conn := &wireConn{
 		Conn:     nc,
 		br:       bufio.NewReaderSize(nc, 32<<10),
+		ep:       ep,
 		maxFrame: c.opts.MaxFrame,
 	}
 	if c.opts.Codec == CodecJSON || (c.opts.Codec == CodecAuto && c.jsonOnly.Load()) {
@@ -229,7 +282,7 @@ func (c *Client) hello(conn *wireConn) error {
 		Op: server.OpHello,
 		Hello: &server.HelloRequest{
 			Version:  server.ProtocolVersion,
-			Features: []string{server.FeatureBinaryStream, server.FeatureBinaryPublish},
+			Features: []string{server.FeatureBinaryStream, server.FeatureBinaryPublish, server.FeaturePublishID},
 			MaxFrame: c.opts.MaxFrame,
 			Window:   c.opts.StreamWindow,
 		},
@@ -262,6 +315,8 @@ func (c *Client) hello(conn *wireConn) error {
 			conn.binary = true
 		case server.FeatureBinaryPublish:
 			conn.binaryPublish = true
+		case server.FeaturePublishID:
+			conn.publishID = true
 		}
 	}
 	conn.binaryPublish = conn.binaryPublish && conn.binary // tagged frames require the stream extension
@@ -312,33 +367,6 @@ func frameWireSize(payload []byte, isBinary bool) int64 {
 	return n
 }
 
-func (c *Client) acquire() (*wireConn, error) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, errors.New("orchestra client: closed")
-	}
-	if n := len(c.idle); n > 0 {
-		conn := c.idle[n-1]
-		c.idle = c.idle[:n-1]
-		c.mu.Unlock()
-		return conn, nil
-	}
-	c.mu.Unlock()
-	return c.dial()
-}
-
-func (c *Client) release(conn *wireConn) {
-	c.mu.Lock()
-	if !c.closed && len(c.idle) < c.opts.PoolSize {
-		c.idle = append(c.idle, conn)
-		c.mu.Unlock()
-		return
-	}
-	c.mu.Unlock()
-	conn.Close()
-}
-
 // connCall wires context cancellation to a connection held by one call:
 // cancellation forces an immediate deadline so blocked reads/writes
 // unblock now.
@@ -376,7 +404,7 @@ func (cc *connCall) finish(c *Client, keep bool) {
 		c.release(cc.conn)
 		return
 	}
-	cc.conn.Close()
+	c.discard(cc.conn)
 }
 
 // wrapErr folds a context cancellation into err.
@@ -388,17 +416,29 @@ func (cc *connCall) wrapErr(err error) error {
 }
 
 // roundTrip sends one request and reads its response on a pooled
-// connection. Calls are synchronous per connection; concurrency comes
-// from multiple connections.
+// connection, retrying across endpoints under the client's RetryPolicy.
+// Calls are synchronous per connection; concurrency comes from multiple
+// connections.
 func (c *Client) roundTrip(ctx context.Context, req *server.Request) (*server.Response, int64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, 0, fmt.Errorf("orchestra client: %w", err)
 	}
-	conn, err := c.acquire()
+	// Creates mutate; everything else that flows through here is a read.
+	idempotent := req.Op != server.OpCreate
+	var resp *server.Response
+	var n int64
+	_, err := c.withRetry(ctx, idempotent, false, func(conn *wireConn) error {
+		r, sz, err := c.roundTripOn(ctx, conn, req)
+		if err != nil {
+			return err
+		}
+		resp, n = r, sz
+		return nil
+	})
 	if err != nil {
 		return nil, 0, err
 	}
-	return c.roundTripOn(ctx, conn, req)
+	return resp, n, nil
 }
 
 // writeRequest encodes and sends one request frame, enforcing the
@@ -466,6 +506,13 @@ func (c *Client) Create(ctx context.Context, relation string, columns []string, 
 // Publish inserts a batch of rows as one published update and returns
 // the new global epoch. Values may be int, int64, float64, or string.
 //
+// Every publish carries a random publish ID. Servers with the
+// publish-id extension record it with the commit and answer a duplicate
+// with the original epoch, which makes a publish whose outcome was lost
+// to a connection failure safe to retry on another endpoint — the
+// client does so automatically under Options.Retry, but only when both
+// the failed and the retry connection negotiated the extension.
+//
 // On connections that negotiated the binary publish extension the rows
 // cross the wire as one typed column-major batch frame (tuple.AppendBatch),
 // eliminating JSON marshaling here and per-value coercion on the server;
@@ -476,28 +523,37 @@ func (c *Client) Publish(ctx context.Context, relation string, rows [][]any) (ui
 	if err := ctx.Err(); err != nil {
 		return 0, fmt.Errorf("orchestra client: %w", err)
 	}
-	conn, err := c.acquire()
-	if err != nil {
-		return 0, err
-	}
-	if conn.binaryPublish {
-		if typed, ok := typedRowsOf(rows); ok {
-			epoch, err, fellBack := c.publishBinary(ctx, conn, relation, typed)
-			if !fellBack {
-				return epoch, err
+	pubID := newPublishID()
+	var epoch uint64
+	_, err := c.withRetry(ctx, false, true, func(conn *wireConn) error {
+		if conn.binaryPublish {
+			if typed, ok := typedRowsOf(rows); ok {
+				e, err, fellBack := c.publishBinary(ctx, conn, relation, pubID, typed)
+				if !fellBack {
+					if err != nil {
+						return err
+					}
+					epoch = e
+					return nil
+				}
+				// The batch frame could not be built (e.g. mixed column
+				// types): the connection is untouched, reuse it for JSON.
 			}
-			// The batch frame could not be built (e.g. mixed column
-			// types): the connection is untouched, reuse it for JSON.
 		}
-	}
-	resp, _, err := c.roundTripOn(ctx, conn, &server.Request{
-		Op:      server.OpPublish,
-		Publish: &server.PublishRequest{Relation: relation, Rows: rows},
+		resp, _, err := c.roundTripOn(ctx, conn, &server.Request{
+			Op:      server.OpPublish,
+			Publish: &server.PublishRequest{Relation: relation, PublishID: pubID, Rows: rows},
+		})
+		if err != nil {
+			return err
+		}
+		epoch = resp.Epoch
+		return nil
 	})
 	if err != nil {
 		return 0, err
 	}
-	return resp.Epoch, nil
+	return epoch, nil
 }
 
 // publishCompressMin is the raw batch size at which a binary publish
@@ -534,8 +590,8 @@ func typedRowsOf(rows [][]any) ([]tuple.Row, bool) {
 // and reads its JSON response. fellBack reports that nothing was sent
 // (frame could not be built) and the caller should retry over JSON on
 // the same connection.
-func (c *Client) publishBinary(ctx context.Context, conn *wireConn, relation string, rows []tuple.Row) (epoch uint64, err error, fellBack bool) {
-	payload, err := server.AppendPublishPayload(make([]byte, 0, 4096), 1, relation, rows, publishCompressMin)
+func (c *Client) publishBinary(ctx context.Context, conn *wireConn, relation string, pubID uint64, rows []tuple.Row) (epoch uint64, err error, fellBack bool) {
+	payload, err := server.AppendPublishPayload(make([]byte, 0, 4096), 1, pubID, relation, rows, publishCompressMin)
 	if err != nil {
 		return 0, nil, true // heterogeneous batch: JSON carries it
 	}
@@ -596,6 +652,12 @@ type Result struct {
 	WireBytes int64
 	// Streamed reports that the result arrived as binary batch frames.
 	Streamed bool
+	// Attempts counts the call attempts this result took (1 = no
+	// retries); Failovers counts attempts that switched endpoint; and
+	// Endpoint is the address that served the final attempt.
+	Attempts  int
+	Failovers int
+	Endpoint  string
 	// TraceID and Trace carry the execution's span tree when
 	// QueryOptions.Trace was set.
 	TraceID string
@@ -614,11 +676,39 @@ func (c *Client) Query(ctx context.Context, sql string) (*Result, error) {
 // QueryOpts runs a SQL query with explicit options. On connections that
 // negotiated binary streaming the result arrives as batch frames and is
 // assembled incrementally; otherwise as one JSON response.
+//
+// Queries are idempotent, so under Options.Retry a buffered query is
+// fully fault-tolerant: a failure at any point — dial, mid-stream, even
+// with partial rows already decoded — discards the partial result and
+// re-runs the query, preferring a different endpoint.
 func (c *Client) QueryOpts(ctx context.Context, sql string, opts QueryOptions) (*Result, error) {
-	st, err := c.QueryStream(ctx, sql, opts)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("orchestra client: %w", err)
+	}
+	var res *Result
+	meta, err := c.withRetry(ctx, true, false, func(conn *wireConn) error {
+		st, err := c.startStream(ctx, conn, sql, opts)
+		if err != nil {
+			return err
+		}
+		r, err := drainStream(st)
+		if err != nil {
+			return err
+		}
+		res = r
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
+	res.Attempts = meta.attempts
+	res.Failovers = meta.failovers
+	res.Endpoint = meta.endpoint
+	return res, nil
+}
+
+// drainStream consumes a stream to completion into a buffered Result.
+func drainStream(st *Stream) (*Result, error) {
 	res := &Result{Columns: st.Columns()}
 	for st.Next() {
 		res.Rows = append(res.Rows, st.Batch()...)
@@ -682,6 +772,7 @@ type Stream struct {
 	end       *server.StreamEnd
 	wireBytes int64
 	streamed  bool
+	endpoint  string
 
 	// fallback holds a buffered JSON result replayed as one batch.
 	fallback *Result
@@ -689,6 +780,14 @@ type Stream struct {
 }
 
 // QueryStream starts a streamed query and returns its result iterator.
+//
+// Under Options.Retry a failure to start the stream — dial error,
+// draining endpoint, connection lost before the first frame — retries
+// on another endpoint; no rows have been surfaced, so the retry is
+// invisible. Once the iterator is returned, failures surface through
+// Err: rows already handed to the caller cannot be un-consumed, so
+// mid-stream recovery is the caller's call (or use Query, which buffers
+// and is therefore fully retryable).
 //
 //	st, err := cl.QueryStream(ctx, "SELECT * FROM big")
 //	if err != nil { ... }
@@ -705,14 +804,29 @@ func (c *Client) QueryStream(ctx context.Context, sql string, opts ...QueryOptio
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("orchestra client: %w", err)
 	}
-	conn, err := c.acquire()
+	var st *Stream
+	_, err := c.withRetry(ctx, true, false, func(conn *wireConn) error {
+		s, err := c.startStream(ctx, conn, sql, o)
+		if err != nil {
+			return err
+		}
+		st = s
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
+	return st, nil
+}
+
+// startStream performs one attempt at starting a streamed query on an
+// already-acquired connection, up to the schema frame (or the buffered
+// JSON exchange on connections without binary streaming).
+func (c *Client) startStream(ctx context.Context, conn *wireConn, sql string, o QueryOptions) (*Stream, error) {
 	if !conn.binary {
 		return c.bufferedStream(ctx, conn, sql, o)
 	}
-	st := &Stream{c: c, conn: conn, id: 1, streamed: true}
+	st := &Stream{c: c, conn: conn, id: 1, streamed: true, endpoint: conn.ep.addr}
 	st.cc = newConnCall(ctx, conn)
 	req := queryRequest(ctx, sql, o, true)
 	req.ID = st.id
@@ -932,8 +1046,14 @@ func (s *Stream) Cancel() error {
 		return s.err
 	}
 	// Bound the drain so a wedged server cannot hold the caller: the
-	// server acks promptly (End follows at most a window of batches).
-	s.conn.SetDeadline(time.Now().Add(10 * time.Second))
+	// caller's own deadline when one is set, else the client's
+	// DialTimeout (the server acks promptly — End follows at most a
+	// window of batches).
+	drainBy := time.Now().Add(s.c.opts.DialTimeout)
+	if dl, ok := s.cc.ctx.Deadline(); ok && dl.Before(drainBy) {
+		drainBy = dl
+	}
+	s.conn.SetDeadline(drainBy)
 	for {
 		kind, payload, isBinary, err := s.readFrame()
 		if err != nil {
@@ -989,6 +1109,10 @@ func (s *Stream) Close() error {
 // Streamed reports whether the result arrived as binary batch frames
 // (false: buffered JSON fallback).
 func (s *Stream) Streamed() bool { return s.streamed }
+
+// Endpoint returns the address of the endpoint serving this stream (""
+// for buffered fallback streams).
+func (s *Stream) Endpoint() string { return s.endpoint }
 
 // WireBytes returns the bytes of response frames consumed so far.
 func (s *Stream) WireBytes() int64 { return s.wireBytes }

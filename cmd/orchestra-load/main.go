@@ -342,6 +342,10 @@ type benchRecord struct {
 	// Phases are the per-phase (seed, query) client-side latency
 	// summaries; the top-level latency fields repeat the query phase.
 	Phases []phaseLat `json:"phases,omitempty"`
+	// Failover aggregates the clients' retry/failover counters: on a
+	// healthy deployment Retries and Failovers stay zero, so a nonzero
+	// value in a recorded run is itself a finding.
+	Failover client.Counters `json:"failover"`
 }
 
 // run drives the closed loop, prints the report, and returns the record.
@@ -417,6 +421,15 @@ func run(ctx context.Context, endpoints, queries []string, clients int, codec st
 		errs += s.errs
 		streamed = streamed || s.streamed
 	}
+	var fo client.Counters
+	for _, cl := range conns {
+		c := cl.Counters()
+		fo.Attempts += c.Attempts
+		fo.Retries += c.Retries
+		fo.Failovers += c.Failovers
+		fo.DialErrors += c.DialErrors
+		fo.Refreshes += c.Refreshes
+	}
 	if len(all) == 0 {
 		log.Fatal("no queries completed in the measurement window")
 	}
@@ -441,6 +454,10 @@ func run(ctx context.Context, endpoints, queries []string, clients int, codec st
 	fmt.Printf("wire:       %d bytes/query, %.1f rows/query, %.2f MB/s\n",
 		bytes/int64(len(all)), float64(respRows)/float64(len(all)),
 		float64(bytes)/1e6/elapsed.Seconds())
+	if fo.Retries > 0 || fo.Failovers > 0 || fo.DialErrors > 0 {
+		fmt.Printf("failover:   %d retries, %d failovers, %d dial errors (of %d attempts)\n",
+			fo.Retries, fo.Failovers, fo.DialErrors, fo.Attempts)
+	}
 
 	for _, addr := range endpoints {
 		printServerStats(ctx, addr)
@@ -466,6 +483,7 @@ func run(ctx context.Context, endpoints, queries []string, clients int, codec st
 		RowsPerQ:  float64(respRows) / float64(len(all)),
 		WireMBps:  float64(bytes) / 1e6 / elapsed.Seconds(),
 		Phases:    []phaseLat{*latSummary("query", all)},
+		Failover:  fo,
 	}
 }
 

@@ -31,8 +31,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"orchestra/internal/cluster"
@@ -56,6 +59,8 @@ func main() {
 	syncMode := flag.String("sync", "always", "with -data: fsync policy — always (group-commit fsync per write), interval (periodic), never (OS page cache)")
 	pingEvery := flag.Duration("ping", 2*time.Second, "hung-peer probe interval (0 disables)")
 	serveAddr := flag.String("serve", "", "also serve the client wire protocol on this address")
+	advertise := flag.String("advertise", "", "served endpoint: address advertised to clients in health responses (default: -serve)")
+	servePeers := flag.String("serve-peers", "", "served endpoint: comma-separated client addresses of the whole deployment to advertise for failover")
 	maxQ := flag.Int("maxq", 0, "served endpoint: max concurrent query executions (0 = 2×GOMAXPROCS)")
 	opsAddr := flag.String("ops", "", "served endpoint: ops HTTP address for /metrics, /debug/vars, /debug/pprof (requires -serve)")
 	slowMs := flag.Int64("slowms", 0, "served endpoint: slow-query log threshold in ms (0 = 250ms default, negative disables)")
@@ -129,6 +134,7 @@ func main() {
 				MaxConcurrentQueries: *maxQ,
 				SlowQueryThreshold:   time.Duration(*slowMs) * time.Millisecond,
 				Registry:             reg,
+				Peers:                func() []string { return advertisedPeers(*advertise, *serveAddr, *servePeers) },
 			})
 		if err != nil {
 			log.Fatal(err)
@@ -143,12 +149,55 @@ func main() {
 			}
 			log.Printf("serving ops on http://%s (/metrics, /debug/vars, /debug/pprof)", a)
 		}
+		// SIGTERM drains: refuse new work with a re-routable error,
+		// finish what is in flight, then exit — a rolling restart loses
+		// nothing that was acknowledged.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+		go func() {
+			s := <-sig
+			log.Printf("%s: draining served endpoint", s)
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				log.Printf("drain severed in-flight work: %v", err)
+				os.Exit(1)
+			}
+			log.Printf("drained clean")
+			os.Exit(0)
+		}()
 	} else if *opsAddr != "" {
 		log.Fatalf("orchestra-node: -ops requires -serve")
 	}
 
 	log.Printf("node %s up; %d members, replication %d", *listen, len(ids), *replication)
 	repl(node, eng)
+}
+
+// advertisedPeers builds the client-facing member list this endpoint
+// advertises: its own advertised address plus the deployment-wide list,
+// deduplicated, so any one reachable endpoint teaches a smart client
+// every endpoint it may fail over to.
+func advertisedPeers(advertise, serveAddr, servePeers string) []string {
+	self := advertise
+	if self == "" {
+		self = serveAddr
+	}
+	seen := make(map[string]struct{})
+	var out []string
+	for _, a := range append([]string{self}, strings.Split(servePeers, ",")...) {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		if _, ok := seen[a]; ok {
+			continue
+		}
+		seen[a] = struct{}{}
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // repl drives the node interactively: create / publish / query / epoch.

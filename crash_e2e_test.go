@@ -210,7 +210,20 @@ func TestKillAndRestartRecovery(t *testing.T) {
 			t.Errorf("acknowledged batch %d: %d rows survived, want %d", a.batch, got, crashBatchRows)
 		}
 	}
-	t.Logf("recovered %d acked batches in %s (epoch %d)", len(final), recovery, st.Epoch)
+	// The per-relation row-count statistic must survive the restart:
+	// it is persisted in the catalog record and restored by recovery,
+	// so the optimizer costs plans from real cardinalities instead of
+	// zeros. Acked rows are the floor; the killed-mid-stream publish
+	// may have committed without its acknowledgement.
+	rel, err := cl2.Schema(ctx, "crash")
+	if err != nil {
+		t.Fatalf("schema after restart: %v", err)
+	}
+	if want := int64(len(final) * crashBatchRows); rel.Rows < want {
+		t.Errorf("row-count stat after restart = %d, want >= %d (acked rows)", rel.Rows, want)
+	}
+	t.Logf("recovered %d acked batches in %s (epoch %d, row stat %d)",
+		len(final), recovery, st.Epoch, rel.Rows)
 
 	if out := os.Getenv("CRASH_BENCH_OUT"); out != "" {
 		rec := map[string]any{

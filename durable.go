@@ -7,6 +7,7 @@ import (
 	"orchestra/internal/kvstore"
 	"orchestra/internal/obs"
 	"orchestra/internal/ring"
+	"orchestra/internal/tuple"
 	"orchestra/internal/vstore"
 )
 
@@ -64,12 +65,11 @@ func (c *Cluster) openStoreFunc(cfg *config) func(id ring.NodeID) (*kvstore.Stor
 	}
 }
 
-// recoverCatalogs repopulates the cluster's schema cache from the durable
-// stores: every relation whose catalog record survived on any node is
-// registered again, so queries and publishes work immediately after a
-// restart. Row-count statistics are not persisted — the optimizer sees
-// zero rows until the next publish, which only affects plan costing, not
-// correctness.
+// recoverCatalogs repopulates the cluster's schema cache and row-count
+// statistics from the durable stores: every relation whose catalog
+// record survived on any node is registered again, so queries and
+// publishes work immediately after a restart and the optimizer costs
+// plans from the pre-crash cardinalities instead of zeros.
 func (c *Cluster) recoverCatalogs() error {
 	var firstErr error
 	recovered := make(map[string]*vstore.Catalog)
@@ -82,7 +82,11 @@ func (c *Cluster) recoverCatalogs() error {
 				}
 				return true
 			}
-			recovered[cat.Schema.Relation] = cat
+			// Replicas may hold the catalog at different epochs; the
+			// newest one carries the freshest row-count statistic.
+			if prev, ok := recovered[cat.Schema.Relation]; !ok || latestEpoch(cat) > latestEpoch(prev) {
+				recovered[cat.Schema.Relation] = cat
+			}
 			return true
 		})
 	}
@@ -92,9 +96,19 @@ func (c *Cluster) recoverCatalogs() error {
 	c.mu.Lock()
 	for name, cat := range recovered {
 		c.schemas[name] = cat.Schema
+		c.rows[name] = cat.Rows
 	}
 	c.mu.Unlock()
 	return nil
+}
+
+// latestEpoch returns the newest epoch a catalog record names, or 0 for
+// a record with no published epochs yet.
+func latestEpoch(cat *vstore.Catalog) tuple.Epoch {
+	if len(cat.Epochs) == 0 {
+		return 0
+	}
+	return cat.Epochs[len(cat.Epochs)-1]
 }
 
 // Checkpoint snapshots every node's store and truncates its WAL. It is a

@@ -4,16 +4,23 @@
 // first by incremental recomputation of only the lost state (§V-D), then
 // by full restart for comparison. A third act stops a durable cluster
 // entirely and restarts it from its write-ahead logs and snapshots: the
-// published data, schemas, and epoch all survive process death.
+// published data, schemas, and epoch all survive process death. A fourth
+// act moves the failure to the wire: two served endpoints are fronted by
+// fault-injecting TCP proxies, one endpoint is degraded and then
+// hard-reset mid-workload, and the smart client completes every
+// idempotent query anyway by retrying onto the surviving endpoint.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"time"
 
 	"orchestra"
+	"orchestra/client"
+	"orchestra/internal/netfault"
 )
 
 const query = `
@@ -134,6 +141,77 @@ func runDurable() {
 	}
 }
 
+// runProxied shows the serving layer's fault tolerance from the
+// client's side. Two endpoints of the same cluster sit behind
+// fault-injecting TCP proxies (internal/netfault); the client's member
+// list is pinned to the proxy addresses so every byte crosses the fault
+// injector. Mid-workload endpoint A first gains latency, then has every
+// connection aborted with RST and stops accepting — a crashed machine,
+// as the wire sees it. Queries are idempotent, so the client re-routes
+// and retries them under its backoff policy: the workload finishes with
+// zero failures and the chaos is visible only in the failover counters.
+func runProxied() {
+	c, err := orchestra.NewCluster(4)
+	check(err)
+	defer c.Shutdown()
+	load(c)
+	ref, err := c.Query(query)
+	check(err)
+
+	srvA, err := c.Serve("127.0.0.1:0", orchestra.ServeOptions{Node: 0})
+	check(err)
+	defer srvA.Close()
+	srvB, err := c.Serve("127.0.0.1:0", orchestra.ServeOptions{Node: 1})
+	check(err)
+	defer srvB.Close()
+	pA, err := netfault.New("127.0.0.1:0", srvA.Addr())
+	check(err)
+	defer pA.Close()
+	pB, err := netfault.New("127.0.0.1:0", srvB.Addr())
+	check(err)
+	defer pB.Close()
+
+	// Membership refresh is disabled: the servers advertise their direct
+	// addresses, and adopting those would let the client route around
+	// the proxies.
+	cl, err := client.Dial(pA.Addr(), client.Options{
+		Endpoints:       []string{pB.Addr()},
+		RefreshInterval: -1,
+		Retry: client.RetryPolicy{
+			MaxAttempts: 4,
+			BaseBackoff: 5 * time.Millisecond,
+		},
+	})
+	check(err)
+	defer cl.Close()
+
+	ctx := context.Background()
+	const n = 40
+	for i := 0; i < n; i++ {
+		switch i {
+		case n / 4:
+			pA.SetFaults(netfault.Faults{Delay: 10 * time.Millisecond})
+			fmt.Println("  [proxied] endpoint A degraded (+10ms injected latency)")
+		case n / 2:
+			pA.ResetAll() // RST every live and pooled connection
+			pA.Pause()    // and refuse new ones
+			fmt.Println("  [proxied] endpoint A reset and unreachable")
+		}
+		res, err := cl.Query(ctx, query)
+		if err != nil {
+			log.Fatalf("[proxied] idempotent query %d failed despite retries: %v", i, err)
+		}
+		if len(res.Rows) != len(ref.Rows) {
+			log.Fatalf("[proxied] query %d: %d rows, want %d", i, len(res.Rows), len(ref.Rows))
+		}
+	}
+	check(pA.Resume())
+	ctr := cl.Counters()
+	fmt.Printf("  [proxied] %d/%d queries exact across degradation and reset — "+
+		"%d attempts, %d retries, %d failovers, %d dial errors\n",
+		n, n, ctr.Attempts, ctr.Retries, ctr.Failovers, ctr.DialErrors)
+}
+
 func main() {
 	fmt.Println("incremental recomputation (§V-D: purge tainted state, replay, restart leaves):")
 	run(orchestra.RecoverIncremental, "incremental")
@@ -143,4 +221,7 @@ func main() {
 
 	fmt.Println("\ndurable stores: stop the whole cluster, restart it from disk:")
 	runDurable()
+
+	fmt.Println("\nwire faults: proxied endpoint degraded, then reset mid-workload:")
+	runProxied()
 }

@@ -30,6 +30,7 @@ const (
 	msgScanResult transport.MsgType = 0x0105
 	msgNewTable   transport.MsgType = 0x0106
 	msgDelRecord  transport.MsgType = 0x0107
+	msgRelLease   transport.MsgType = 0x0108
 )
 
 // Errors surfaced by storage operations.
@@ -91,6 +92,9 @@ type Node struct {
 
 	pubMu   sync.Mutex
 	pubRels map[string]*sync.Mutex
+
+	// leases is this node's publish-lease arbiter state (see lease.go).
+	leases leaseTable
 }
 
 // NewNode constructs a node on an endpoint with a local store and the

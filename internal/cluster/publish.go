@@ -56,19 +56,42 @@ func (n *Node) CreateRelation(ctx context.Context, schema *tuple.Schema) error {
 // pages, pages before the coordinator, the coordinator before the catalog —
 // so a reader that can see epoch e in the catalog can reach all of e's data.
 //
-// Publishes to the same relation are serialized within this process: the
-// whole sequence is a distributed read-modify-write of the relation's
+// Publishes to the same relation are serialized: within this process by
+// the per-relation mutex, and across processes by a short-lived lease on
+// the relation acquired from the catalog's primary replica (lease.go) —
+// the whole sequence is a distributed read-modify-write of the relation's
 // catalog, and two concurrent publishes building on the same base epoch
-// would each link only their own pages — the last catalog write would win
-// and silently drop the other's tuples. (The paper's model has a single
-// publisher per update log; publishers in other processes are not covered.)
+// would each link only their own pages, so the last catalog write would
+// win and silently drop the other's tuples.
 func (n *Node) Publish(ctx context.Context, relation string, ups []vstore.Update) (tuple.Epoch, error) {
+	return n.PublishWith(ctx, relation, ups, PublishOptions{})
+}
+
+// PublishOptions tunes one publish.
+type PublishOptions struct {
+	// ID is a caller-chosen idempotency token. When non-zero, a publish
+	// whose ID matches a recently applied one (Catalog.RecentPubs) is not
+	// re-applied: the previously committed epoch is returned instead. This
+	// is what makes a publish safe to retry after a lost acknowledgement.
+	ID uint64
+}
+
+// PublishWith is Publish with per-call options.
+func (n *Node) PublishWith(ctx context.Context, relation string, ups []vstore.Update, opts PublishOptions) (tuple.Epoch, error) {
 	mu := n.relationLock(relation)
 	mu.Lock()
 	defer mu.Unlock()
+	releaseLease, err := n.acquireRelLease(ctx, relation)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: publish %s: %w", relation, err)
+	}
+	defer releaseLease()
 	cat, err := n.GetCatalog(ctx, relation)
 	if err != nil {
 		return 0, err
+	}
+	if e, ok := cat.FindPub(opts.ID); ok {
+		return e, nil // duplicate of an already-applied publish
 	}
 	epoch := n.gsp.Next()
 
@@ -151,8 +174,21 @@ func (n *Node) Publish(ctx context.Context, relation string, ups []vstore.Update
 		return 0, fmt.Errorf("cluster: publish coordinator: %w", err)
 	}
 
-	// 4. Catalog update makes the epoch visible.
+	// 4. Catalog update makes the epoch visible — and, atomically with
+	// it, the publish mark (idempotent-retry dedup) and the refreshed
+	// row-count statistic.
 	cat2 := cat.WithEpoch(epoch)
+	for _, u := range ups {
+		switch u.Op {
+		case vstore.OpInsert:
+			cat2.Rows++
+		case vstore.OpDelete:
+			if cat2.Rows > 0 {
+				cat2.Rows--
+			}
+		}
+	}
+	cat2.MarkPub(opts.ID, epoch)
 	if err := n.PutRecord(ctx, vstore.CatalogPlacement(relation),
 		vstore.CatalogKVKey(relation), vstore.EncodeCatalog(cat2)); err != nil {
 		return 0, fmt.Errorf("cluster: publish catalog: %w", err)

@@ -275,6 +275,7 @@ func (n *Node) serveFetch(payload []byte) {
 func (n *Node) registerHandlers() {
 	n.registerRecordHandlers()
 	n.registerScanHandlers()
+	n.registerLeaseHandler()
 }
 
 // Retrieve implements Algorithm 1: fetch the tuples of relation as of

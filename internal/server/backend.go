@@ -31,6 +31,9 @@ type Backend interface {
 type BackendInfo struct {
 	NodeID  string
 	Members int
+	// Peers lists the deployment's advertised client endpoints (for the
+	// health/status member list), when the backend knows them.
+	Peers []string
 }
 
 // ResultStream receives a query's result incrementally: the column shape

@@ -89,7 +89,7 @@ func (b *NodeBackend) Publish(ctx context.Context, req *PublishRequest) (tuple.E
 			ups[i] = vstore.Update{Op: vstore.OpInsert, Row: row}
 		}
 	}
-	e, err := b.node.Publish(ctx, req.Relation, ups)
+	e, err := b.node.PublishWith(ctx, req.Relation, ups, cluster.PublishOptions{ID: req.PublishID})
 	if err != nil {
 		return 0, err
 	}
@@ -252,6 +252,7 @@ func (b *NodeBackend) Catalog(ctx context.Context, rel string) (*SchemaResponse,
 			Relation: name,
 			Columns:  cols,
 			Keys:     keys,
+			Rows:     cat.Rows,
 		})
 	}
 	return out, nil
@@ -277,21 +278,23 @@ func (b *NodeBackend) DurabilityStats() (kvstore.DurabilityStats, bool) {
 	return b.node.Store().DurabilityStats()
 }
 
-// nodeCatalog resolves schemas from the replicated catalogs for the
-// optimizer (no table stats are kept node-side).
+// nodeCatalog resolves schemas and row-count statistics from the
+// replicated catalogs for the optimizer. The catalog record carries the
+// relation's persisted row count, so node-side planning sees real
+// statistics — across restarts too.
 type nodeCatalog struct {
 	ctx  context.Context
 	node *cluster.Node
 
 	mu    sync.Mutex
-	cache map[string]*tuple.Schema
+	cache map[string]*vstore.Catalog
 }
 
-func (c *nodeCatalog) Schema(table string) (*tuple.Schema, error) {
+func (c *nodeCatalog) get(table string) (*vstore.Catalog, error) {
 	c.mu.Lock()
-	if s, ok := c.cache[table]; ok {
+	if cat, ok := c.cache[table]; ok {
 		c.mu.Unlock()
-		return s, nil
+		return cat, nil
 	}
 	c.mu.Unlock()
 	cat, err := c.node.GetCatalog(c.ctx, table)
@@ -300,11 +303,25 @@ func (c *nodeCatalog) Schema(table string) (*tuple.Schema, error) {
 	}
 	c.mu.Lock()
 	if c.cache == nil {
-		c.cache = make(map[string]*tuple.Schema)
+		c.cache = make(map[string]*vstore.Catalog)
 	}
-	c.cache[table] = cat.Schema
+	c.cache[table] = cat
 	c.mu.Unlock()
+	return cat, nil
+}
+
+func (c *nodeCatalog) Schema(table string) (*tuple.Schema, error) {
+	cat, err := c.get(table)
+	if err != nil {
+		return nil, err
+	}
 	return cat.Schema, nil
 }
 
-func (c *nodeCatalog) Stats(string) optimizer.TableStats { return optimizer.TableStats{} }
+func (c *nodeCatalog) Stats(table string) optimizer.TableStats {
+	cat, err := c.get(table)
+	if err != nil {
+		return optimizer.TableStats{}
+	}
+	return optimizer.TableStats{Rows: cat.Rows}
+}

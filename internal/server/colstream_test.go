@@ -204,7 +204,7 @@ func TestBinaryPublishFrame(t *testing.T) {
 		{tuple.S("bolt"), tuple.I(90)},
 		{tuple.S("nut"), tuple.I(120)},
 	}
-	payload, err := AppendPublishPayload(nil, 31, "inv", rows, -1)
+	payload, err := AppendPublishPayload(nil, 31, 0, "inv", rows, -1)
 	if err != nil {
 		t.Fatal(err)
 	}

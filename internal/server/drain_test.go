@@ -1,0 +1,139 @@
+package server
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+// respReader collects pipelined responses, which may arrive in any
+// order, so tests can await a specific request ID without dropping the
+// ones read past along the way.
+type respReader struct {
+	conn net.Conn
+	got  map[uint64]*Response
+}
+
+func (r *respReader) awaitResponse(t *testing.T, id uint64) *Response {
+	t.Helper()
+	if r.got == nil {
+		r.got = make(map[uint64]*Response)
+	}
+	for {
+		if resp, ok := r.got[id]; ok {
+			delete(r.got, id)
+			return resp
+		}
+		var resp Response
+		if err := ReadFrame(r.conn, &resp); err != nil {
+			t.Fatalf("reading response %d: %v", id, err)
+		}
+		r.got[resp.ID] = &resp
+	}
+}
+
+func TestHealthOp(t *testing.T) {
+	s := startTestServer(t, &stubBackend{}, Config{
+		Peers: func() []string { return []string{"a:1", "b:2"} },
+	})
+	conn := dialTest(t, s)
+	rd := &respReader{conn: conn}
+	if err := WriteFrame(conn, &Request{ID: 1, Op: OpHealth}); err != nil {
+		t.Fatal(err)
+	}
+	resp := rd.awaitResponse(t, 1)
+	if resp.Error != nil {
+		t.Fatalf("health: %v", resp.Error)
+	}
+	h := resp.Health
+	if h == nil {
+		t.Fatal("health response missing payload")
+	}
+	if h.Status != "ok" {
+		t.Fatalf("status = %q, want ok", h.Status)
+	}
+	if len(h.Peers) != 2 || h.Peers[0] != "a:1" || h.Peers[1] != "b:2" {
+		t.Fatalf("peers = %v", h.Peers)
+	}
+	if h.Connections != 1 {
+		t.Fatalf("connections = %d, want 1", h.Connections)
+	}
+}
+
+// TestShutdownDrains: Shutdown stops accepting, lets in-flight work
+// finish, rejects new work with CodeUnavailable, and keeps answering
+// health (reporting draining) so clients can steer away.
+func TestShutdownDrains(t *testing.T) {
+	s := startTestServer(t, &stubBackend{queryDelay: 300 * time.Millisecond}, Config{})
+	conn := dialTest(t, s)
+	rd := &respReader{conn: conn}
+
+	// In-flight query that outlives the start of the drain.
+	if err := WriteFrame(conn, &Request{ID: 1, Op: OpQuery, Query: &QueryRequest{SQL: "slow"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Give the server a moment to start the handler before draining.
+	time.Sleep(50 * time.Millisecond)
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+
+	// New connections are refused once the listener is down.
+	if c, err := net.DialTimeout("tcp", s.Addr().String(), time.Second); err == nil {
+		c.Close()
+		t.Fatal("dial succeeded during drain")
+	}
+
+	// New work on the existing session is refused with the retryable
+	// proof-of-non-execution code.
+	if err := WriteFrame(conn, &Request{ID: 2, Op: OpQuery, Query: &QueryRequest{SQL: "late"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Health still answers, reporting the drain.
+	if err := WriteFrame(conn, &Request{ID: 3, Op: OpHealth}); err != nil {
+		t.Fatal(err)
+	}
+
+	refused := rd.awaitResponse(t, 2)
+	if refused.Error == nil || refused.Error.Code != CodeUnavailable {
+		t.Fatalf("late query: got %+v, want %s", refused.Error, CodeUnavailable)
+	}
+	health := rd.awaitResponse(t, 3)
+	if health.Error != nil || health.Health == nil || health.Health.Status != "draining" {
+		t.Fatalf("health during drain: %+v %+v", health.Error, health.Health)
+	}
+
+	// The in-flight query still completes successfully.
+	slow := rd.awaitResponse(t, 1)
+	if slow.Error != nil {
+		t.Fatalf("in-flight query failed during drain: %v", slow.Error)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestShutdownTimeout: a drain that cannot finish in time returns the
+// context error and hard-closes the server.
+func TestShutdownTimeout(t *testing.T) {
+	s := startTestServer(t, &stubBackend{queryDelay: 10 * time.Second}, Config{})
+	conn := dialTest(t, s)
+	if err := WriteFrame(conn, &Request{ID: 1, Op: OpQuery, Query: &QueryRequest{SQL: "stuck"}}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("shutdown error = %v, want deadline exceeded", err)
+	}
+}

@@ -142,6 +142,12 @@ const (
 	// OpTrace dumps the server's slow-query log with full span trees —
 	// the heavyweight companion of the status op's summary listing.
 	OpTrace = "trace"
+	// OpHealth is the lightweight liveness/steering probe: current
+	// drain state, load, and the cluster's advertised client endpoints.
+	// Unlike the status op it carries no counters, so smart clients can
+	// poll it cheaply to refresh their member lists and steer away from
+	// draining or loaded endpoints.
+	OpHealth = "health"
 )
 
 // ProtocolVersion is this build's wire-protocol version, exchanged in the
@@ -158,6 +164,14 @@ const FeatureBinaryStream = "binary-stream"
 // instead of JSON rows with per-value coercion. Requires
 // FeatureBinaryStream (tagged frames) on the same connection.
 const FeatureBinaryPublish = "binary-publish"
+
+// FeaturePublishID names publish idempotency support: the server
+// deduplicates publishes by PublishRequest.PublishID, so a client that
+// lost an acknowledgement may retry the same publish (on any endpoint)
+// without double-applying it. A client must never retry a publish on a
+// connection that did not negotiate this feature — an old server would
+// silently ignore the unknown field and apply the batch twice.
+const FeaturePublishID = "publish-id"
 
 // Request is one client frame.
 type Request struct {
@@ -213,6 +227,10 @@ type CreateRequest struct {
 type PublishRequest struct {
 	Relation string  `json:"relation"`
 	Rows     [][]any `json:"rows"`
+	// PublishID is a client-chosen idempotency token (0 = none). A server
+	// that negotiated FeaturePublishID deduplicates retried publishes by
+	// it: a duplicate returns the originally committed epoch.
+	PublishID uint64 `json:"publish_id,omitempty"`
 	// TypedRows carries the rows of a binary publish frame (already
 	// typed by the wire batch codec); when set it takes precedence over
 	// Rows. Never marshaled — it exists only between the frame decoder
@@ -259,6 +277,23 @@ type Response struct {
 	Status *StatusResponse `json:"status,omitempty"`
 	Hello  *HelloResponse  `json:"hello,omitempty"`
 	Trace  *TraceResponse  `json:"trace,omitempty"`
+	Health *HealthResponse `json:"health,omitempty"`
+}
+
+// HealthResponse answers the health op.
+type HealthResponse struct {
+	// Status is "ok" or "draining". A draining server answers health (and
+	// other read-only ops) but refuses new queries and publishes with
+	// CodeUnavailable while its in-flight work finishes.
+	Status string `json:"status"`
+	// InFlight and MaxConcurrent expose current load for least-loaded
+	// endpoint selection.
+	InFlight      int64 `json:"in_flight"`
+	MaxConcurrent int   `json:"max_concurrent"`
+	Connections   int64 `json:"connections"`
+	// Peers lists the advertised client endpoints of the deployment this
+	// server belongs to (itself included), for member-list refresh.
+	Peers []string `json:"peers,omitempty"`
 }
 
 // Error codes carried in WireError.Code.
@@ -275,6 +310,11 @@ const (
 	// cancel frame: emission stopped at the client's request, the
 	// connection remains usable.
 	CodeCancelled = "cancelled"
+	// CodeUnavailable rejects a request *before any execution* — today,
+	// because the server is draining for shutdown. The rejection is a
+	// proof of non-execution, so a client may re-route the request to
+	// another endpoint unconditionally, publishes included.
+	CodeUnavailable = "unavailable"
 )
 
 // WireError is a typed error crossing the wire.
@@ -341,7 +381,10 @@ type OpCounters struct {
 type StatusResponse struct {
 	NodeID  string `json:"node_id"`
 	Members int    `json:"members"`
-	Epoch   uint64 `json:"epoch"`
+	// Peers lists the deployment's advertised client endpoints (the same
+	// list the health op carries) — the seed for smart-client member lists.
+	Peers []string `json:"peers,omitempty"`
+	Epoch uint64   `json:"epoch"`
 	// UptimeMs is milliseconds since the server started.
 	UptimeMs int64 `json:"uptime_ms"`
 	// Connections is the live session count; TotalConnections ever.

@@ -67,6 +67,11 @@ type Config struct {
 	SlowQueryThreshold time.Duration
 	// SlowQueryLogSize is the slow-query ring's capacity (default 64).
 	SlowQueryLogSize int
+	// Peers, when set, supplies the deployment's advertised client
+	// endpoints (this server's included) for the health and status ops —
+	// the member list smart clients refresh from. Overrides the
+	// backend-provided list.
+	Peers func() []string
 }
 
 // defaultSlowQueryThreshold is the slow-query log's default threshold.
@@ -124,6 +129,13 @@ type Server struct {
 	peakFlight atomic.Int64
 	conns      atomic.Int64
 	totalConns atomic.Int64
+
+	// draining flips at Shutdown: new work is refused with
+	// CodeUnavailable while requests already in flight finish.
+	draining atomic.Bool
+	// reqsInFlight counts requests from frame-read to response-written
+	// (streams: to End frame). Shutdown waits for it to reach zero.
+	reqsInFlight atomic.Int64
 
 	metrics *obs.Registry
 	ops     map[string]*opMetrics
@@ -226,7 +238,7 @@ func Start(addr string, backend Backend, cfg Config) (*Server, error) {
 		ops:     make(map[string]*opMetrics),
 		slow:    newSlowLog(cfg.SlowQueryThreshold, cfg.SlowQueryLogSize),
 	}
-	for _, op := range []string{OpPing, OpCreate, OpPublish, OpQuery, OpSchema, OpStatus, OpHello, OpTrace} {
+	for _, op := range []string{OpPing, OpCreate, OpPublish, OpQuery, OpSchema, OpStatus, OpHello, OpTrace, OpHealth} {
 		s.ops[op] = &opMetrics{
 			hist:   s.metrics.Histogram(`orchestra_op_duration_us{op="` + op + `"}`),
 			errors: s.metrics.Counter(`orchestra_op_errors_total{op="` + op + `"}`),
@@ -289,6 +301,41 @@ func (s *Server) ServeOps(addr string) (net.Addr, error) {
 
 // Addr returns the bound listen address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Shutdown drains the server gracefully: it stops accepting new
+// connections, refuses new queries and publishes with CodeUnavailable
+// (answering health with "draining" so smart clients steer away), lets
+// requests already in flight finish — streamed results included — and
+// then closes every session. If ctx expires first, the remaining
+// in-flight work is severed as by Close. Safe to call concurrently with
+// Close; both are idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	// Stop accepting. Close() closes s.ln again; net.Listener.Close is
+	// documented idempotent-safe (second close returns ErrClosed, which
+	// Close ignores for its return only on the first path — acceptable).
+	lnErr := s.ln.Close()
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for s.reqsInFlight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			_ = s.Close()
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+	if err := s.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	if lnErr != nil && !errors.Is(lnErr, net.ErrClosed) {
+		return lnErr
+	}
+	return nil
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Close stops accepting, severs all sessions, and waits for the accept
 // loop to exit. In-flight request goroutines drain on their own.
@@ -502,11 +549,13 @@ func (s *Server) session(conn net.Conn) {
 			select {
 			case pipeline <- struct{}{}:
 			case <-sess.ctx.Done():
-				return // connection gone; drop parked requests
+				s.reqsInFlight.Add(-1) // the request just taken
+				return                 // connection gone; drop parked requests
 			}
 			handlers.Add(1)
 			go func(req Request) {
 				defer handlers.Done()
+				defer s.reqsInFlight.Add(-1)
 				defer func() { <-pipeline }()
 				if req.Op == OpQuery && req.Query != nil && req.Query.Stream && sess.limits().binary {
 					s.dispatchStream(sess, &req)
@@ -521,6 +570,9 @@ func (s *Server) session(conn net.Conn) {
 		close(reqCh)
 		<-pumpDone
 		handlers.Wait()
+		for range reqCh { // parked requests the pump never handled
+			s.reqsInFlight.Add(-1)
+		}
 	}()
 	for {
 		kind, payload, _, err := ReadRawFrame(sess.br, sess.limits().maxFrame)
@@ -557,7 +609,7 @@ func (s *Server) session(conn net.Conn) {
 			// handler skips JSON value coercion entirely. Answered with a
 			// normal JSON Response through the same pipeline (counters,
 			// pipelining backpressure) as a JSON publish.
-			id, rel, rows, err := DecodePublishPayload(payload)
+			id, pubID, rel, rows, err := DecodePublishPayload(payload)
 			if err != nil {
 				if id2, iderr := StreamFrameID(payload); iderr == nil {
 					sess.writeResponse(&Response{ID: id2, Error: Errorf(CodeBadRequest, "%v", err)})
@@ -566,10 +618,11 @@ func (s *Server) session(conn net.Conn) {
 				s.cfg.Logf("server: %s: %v", conn.RemoteAddr(), err)
 				return
 			}
+			s.reqsInFlight.Add(1)
 			reqCh <- Request{
 				ID:      id,
 				Op:      OpPublish,
-				Publish: &PublishRequest{Relation: rel, TypedRows: rows},
+				Publish: &PublishRequest{Relation: rel, PublishID: pubID, TypedRows: rows},
 			}
 			continue
 		case FrameJSON:
@@ -588,6 +641,7 @@ func (s *Server) session(conn net.Conn) {
 			s.handleHello(sess, &req)
 			continue
 		}
+		s.reqsInFlight.Add(1)
 		reqCh <- req // backpressure: stop reading when the pump is saturated
 	}
 }
@@ -619,6 +673,8 @@ func (s *Server) handleHello(sess *session, req *Request) {
 				features = append(features, FeatureBinaryStream)
 			case FeatureBinaryPublish:
 				features = append(features, FeatureBinaryPublish)
+			case FeaturePublishID:
+				features = append(features, FeaturePublishID)
 			}
 		}
 		resp.Hello = &HelloResponse{
@@ -648,6 +704,12 @@ func (s *Server) dispatchStream(sess *session, req *Request) {
 	}
 	w := newStreamWriter(ctx, sess, req.ID, sess.limits().window)
 	w.cancelFn = cancel // a FrameCancel aborts the query context
+	if s.draining.Load() {
+		// Refused before any execution: the client may re-route freely.
+		w.end(&StreamEnd{Error: Errorf(CodeUnavailable, "server draining")}, nil)
+		s.observeOp(OpQuery, time.Since(start), true)
+		return
+	}
 	if !sess.registerStream(req.ID, w) {
 		w.end(&StreamEnd{Error: Errorf(CodeBadRequest, "stream id %d already active on this connection", req.ID)}, nil)
 		s.observeOp(OpQuery, time.Since(start), true)
@@ -814,6 +876,13 @@ func (s *Server) dispatch(req *Request) *Response {
 		resp.Error = Errorf(CodeBadRequest, "unknown op %q", op)
 		return resp
 	}
+	if s.draining.Load() && (op == OpQuery || op == OpPublish || op == OpCreate) {
+		// Refused before any execution — a proof of non-execution the
+		// client may act on by re-routing to another endpoint.
+		resp.Error = Errorf(CodeUnavailable, "server draining")
+		s.observeOp(op, time.Since(start), true)
+		return resp
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
 	defer cancel()
 	err := s.handle(ctx, req, resp)
@@ -879,6 +948,9 @@ func (s *Server) handle(ctx context.Context, req *Request, resp *Response) error
 		return nil
 	case OpStatus:
 		resp.Status = s.status()
+		return nil
+	case OpHealth:
+		resp.Health = s.health()
 		return nil
 	case OpTrace:
 		entries, dropped := s.slow.snapshot(true)
@@ -948,11 +1020,36 @@ func (s *Server) noteSlow(q *QueryRequest, start time.Time, qr *QueryResponse, t
 	s.slow.record(e)
 }
 
+// peers returns the deployment's advertised client endpoints:
+// Config.Peers when set, else whatever the backend reports.
+func (s *Server) peers() []string {
+	if s.cfg.Peers != nil {
+		return s.cfg.Peers()
+	}
+	return s.backend.Info().Peers
+}
+
+// health answers the health op: drain state, load, and the member list.
+func (s *Server) health() *HealthResponse {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	return &HealthResponse{
+		Status:        status,
+		InFlight:      s.inFlight.Load(),
+		MaxConcurrent: s.cfg.MaxConcurrentQueries,
+		Connections:   s.conns.Load(),
+		Peers:         s.peers(),
+	}
+}
+
 func (s *Server) status() *StatusResponse {
 	info := s.backend.Info()
 	st := &StatusResponse{
 		NodeID:               info.NodeID,
 		Members:              info.Members,
+		Peers:                s.peers(),
 		Epoch:                uint64(s.backend.Epoch()),
 		UptimeMs:             time.Since(s.start).Milliseconds(),
 		Connections:          s.conns.Load(),

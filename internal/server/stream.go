@@ -262,31 +262,38 @@ func AppendCancelPayload(dst []byte, id uint64) []byte {
 	return binary.BigEndian.AppendUint64(dst, id)
 }
 
-// AppendPublishPayload encodes a FramePublish payload: request ID,
-// relation name, and the rows as one column-major tuple batch.
-func AppendPublishPayload(dst []byte, id uint64, relation string, rows []tuple.Row, minCompress int) ([]byte, error) {
+// AppendPublishPayload encodes a FramePublish payload: request ID, the
+// publish idempotency ID (0 = none), relation name, and the rows as one
+// column-major tuple batch.
+func AppendPublishPayload(dst []byte, id, pubID uint64, relation string, rows []tuple.Row, minCompress int) ([]byte, error) {
 	dst = binary.BigEndian.AppendUint64(dst, id)
+	dst = binary.BigEndian.AppendUint64(dst, pubID)
 	dst = binary.AppendUvarint(dst, uint64(len(relation)))
 	dst = append(dst, relation...)
 	return tuple.AppendBatch(dst, rows, minCompress)
 }
 
 // DecodePublishPayload reverses AppendPublishPayload.
-func DecodePublishPayload(p []byte) (id uint64, relation string, rows []tuple.Row, err error) {
+func DecodePublishPayload(p []byte) (id, pubID uint64, relation string, rows []tuple.Row, err error) {
 	id, rest, err := splitStreamID(p)
 	if err != nil {
-		return 0, "", nil, err
+		return 0, 0, "", nil, err
 	}
+	if len(rest) < 8 {
+		return 0, 0, "", nil, errors.New("server: publish frame too short")
+	}
+	pubID = binary.BigEndian.Uint64(rest[:8])
+	rest = rest[8:]
 	l, k := binary.Uvarint(rest)
 	if k <= 0 || l > tuple.MaxRelationNameLen || l > uint64(len(rest)-k) {
-		return 0, "", nil, errors.New("server: bad publish frame relation")
+		return 0, 0, "", nil, errors.New("server: bad publish frame relation")
 	}
 	relation = string(rest[k : k+int(l)])
 	rows, err = tuple.DecodeBatch(rest[k+int(l):])
 	if err != nil {
-		return 0, "", nil, fmt.Errorf("server: bad publish frame batch: %w", err)
+		return 0, 0, "", nil, fmt.Errorf("server: bad publish frame batch: %w", err)
 	}
-	return id, relation, rows, nil
+	return id, pubID, relation, rows, nil
 }
 
 // splitStreamID splits the leading request ID off a stream payload.

@@ -204,9 +204,66 @@ func (c *Coordinator) PageFor(h keyspace.Key) (PageRef, bool) {
 // Catalog records a relation's schema and the epochs at which it was
 // modified, in increasing order. It is the entry point for resolving "the
 // state of R as of epoch e" to the coordinator record to read.
+//
+// Beyond the schema and epoch list the catalog carries two trailing
+// bookkeeping sections (absent from records written by older versions;
+// the decoder defaults them):
+//
+//   - Rows: the relation's net row count, maintained at publish time so
+//     the optimizer's statistics survive a restart instead of reading 0
+//     until the next publish.
+//   - RecentPubs: a bounded ring of recently applied publish IDs and the
+//     epochs they produced. A client that retries a publish after losing
+//     the acknowledgement resends the same ID; any publisher that finds
+//     the ID here returns the recorded epoch instead of applying the
+//     batch twice. Because the catalog write is the atomic commit point
+//     of a publish, the mark and the epoch become visible together.
 type Catalog struct {
 	Schema *tuple.Schema
 	Epochs []tuple.Epoch
+
+	// Rows is the relation's net row count (inserts minus deletes) as of
+	// the latest epoch.
+	Rows int64
+	// RecentPubs holds the last PubHistory publish marks, oldest first.
+	RecentPubs []PubMark
+}
+
+// PubMark records one applied publish: the client-chosen idempotency ID
+// and the epoch the publish produced.
+type PubMark struct {
+	ID    uint64
+	Epoch tuple.Epoch
+}
+
+// PubHistory bounds RecentPubs. A retry races only the handful of
+// publishes issued while the original acknowledgement was in flight, so
+// a short window suffices; it is a hard cap on catalog record growth.
+const PubHistory = 64
+
+// FindPub reports the epoch previously recorded for publish ID id.
+func (c *Catalog) FindPub(id uint64) (tuple.Epoch, bool) {
+	if id == 0 {
+		return 0, false
+	}
+	for _, m := range c.RecentPubs {
+		if m.ID == id {
+			return m.Epoch, true
+		}
+	}
+	return 0, false
+}
+
+// MarkPub appends a publish mark, evicting the oldest beyond PubHistory.
+// A zero ID (no idempotency requested) is not recorded.
+func (c *Catalog) MarkPub(id uint64, e tuple.Epoch) {
+	if id == 0 {
+		return
+	}
+	c.RecentPubs = append(c.RecentPubs, PubMark{ID: id, Epoch: e})
+	if n := len(c.RecentPubs) - PubHistory; n > 0 {
+		c.RecentPubs = append(c.RecentPubs[:0], c.RecentPubs[n:]...)
+	}
 }
 
 // EffectiveEpoch returns the largest modification epoch <= e: a query at
@@ -229,8 +286,10 @@ func (c *Catalog) LatestEpoch() (tuple.Epoch, bool) {
 }
 
 // WithEpoch returns a copy of the catalog including epoch e (idempotent).
+// Row counts and publish marks carry over unchanged.
 func (c *Catalog) WithEpoch(e tuple.Epoch) *Catalog {
-	out := &Catalog{Schema: c.Schema}
+	out := &Catalog{Schema: c.Schema, Rows: c.Rows}
+	out.RecentPubs = append(out.RecentPubs, c.RecentPubs...)
 	out.Epochs = append(out.Epochs, c.Epochs...)
 	n := len(out.Epochs)
 	if n > 0 && out.Epochs[n-1] == e {
@@ -241,13 +300,21 @@ func (c *Catalog) WithEpoch(e tuple.Epoch) *Catalog {
 	return out
 }
 
-// EncodeCatalog serializes a catalog record.
+// EncodeCatalog serializes a catalog record. The row-count and
+// publish-mark sections trail the epoch list so records written before
+// they existed still decode (DecodeCatalog defaults them).
 func EncodeCatalog(c *Catalog) []byte {
 	var w writer
 	w.bytes(EncodeSchema(c.Schema))
 	w.uvarint(uint64(len(c.Epochs)))
 	for _, e := range c.Epochs {
 		w.u64(uint64(e))
+	}
+	w.u64(uint64(c.Rows))
+	w.uvarint(uint64(len(c.RecentPubs)))
+	for _, m := range c.RecentPubs {
+		w.u64(m.ID)
+		w.u64(uint64(m.Epoch))
 	}
 	return w.buf
 }
@@ -270,6 +337,18 @@ func DecodeCatalog(data []byte) (*Catalog, error) {
 	}
 	for i := uint64(0); i < n; i++ {
 		c.Epochs = append(c.Epochs, tuple.Epoch(r.u64()))
+	}
+	if r.err == nil && r.off == len(r.data) {
+		return c, nil // legacy record: no stats/pub sections
+	}
+	c.Rows = int64(r.u64())
+	pubs := r.uvarint()
+	if pubs > PubHistory {
+		return nil, errors.New("vstore: implausible publish-mark count")
+	}
+	for i := uint64(0); i < pubs; i++ {
+		id := r.u64()
+		c.RecentPubs = append(c.RecentPubs, PubMark{ID: id, Epoch: tuple.Epoch(r.u64())})
 	}
 	if err := r.done(); err != nil {
 		return nil, err

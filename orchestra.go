@@ -100,6 +100,7 @@ type Cluster struct {
 	rows       map[string]int64         // published row counts, for optimizer stats
 	views      *viewCache               // nil unless EnableQueryCache was called
 	registries map[string]*obs.Registry // per-node durability metrics, by node ID
+	served     map[*Server]string       // live served endpoints, by advertised address
 }
 
 // NewCluster starts n nodes with balanced range allocation and replication
@@ -391,17 +392,25 @@ func (c *Cluster) PublishFrom(node int, relation string, rows Rows) (Epoch, erro
 		}
 		ups[i] = vstore.Update{Op: vstore.OpInsert, Row: tr}
 	}
-	return c.publishUpdates(node, relation, ups, int64(len(rows)))
+	return c.publishUpdates(node, relation, ups, int64(len(rows)), 0)
 }
 
 // PublishTyped publishes pre-converted rows (used by workload generators
 // that already produce tuple.Rows).
 func (c *Cluster) PublishTyped(node int, relation string, rows []tuple.Row) (Epoch, error) {
+	return c.PublishTypedID(node, relation, rows, 0)
+}
+
+// PublishTypedID publishes pre-converted rows under an idempotency
+// token (0 = none): re-publishing the same nonzero pubID returns the
+// original commit's epoch without applying the batch again. Served
+// deployments use it to make client publish retries safe.
+func (c *Cluster) PublishTypedID(node int, relation string, rows []tuple.Row, pubID uint64) (Epoch, error) {
 	ups := make([]vstore.Update, len(rows))
 	for i, r := range rows {
 		ups[i] = vstore.Update{Op: vstore.OpInsert, Row: r}
 	}
-	return c.publishUpdates(node, relation, ups, int64(len(rows)))
+	return c.publishUpdates(node, relation, ups, int64(len(rows)), pubID)
 }
 
 // Update publishes value changes for existing keys (copy-on-write: prior
@@ -419,7 +428,7 @@ func (c *Cluster) Update(relation string, rows Rows) (Epoch, error) {
 		}
 		ups[i] = vstore.Update{Op: vstore.OpUpdate, Row: tr}
 	}
-	return c.publishUpdates(0, relation, ups, 0)
+	return c.publishUpdates(0, relation, ups, 0, 0)
 }
 
 // Delete publishes deletions (key columns of each row are consulted).
@@ -436,13 +445,13 @@ func (c *Cluster) Delete(relation string, rows Rows) (Epoch, error) {
 		}
 		ups[i] = vstore.Update{Op: vstore.OpDelete, Row: tr}
 	}
-	return c.publishUpdates(0, relation, ups, 0)
+	return c.publishUpdates(0, relation, ups, 0, 0)
 }
 
-func (c *Cluster) publishUpdates(node int, relation string, ups []vstore.Update, added int64) (Epoch, error) {
+func (c *Cluster) publishUpdates(node int, relation string, ups []vstore.Update, added int64, pubID uint64) (Epoch, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
-	e, err := c.local.Node(node).Publish(ctx, relation, ups)
+	e, err := c.local.Node(node).PublishWith(ctx, relation, ups, cluster.PublishOptions{ID: pubID})
 	if err != nil {
 		return 0, err
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"orchestra/internal/kvstore"
@@ -47,12 +48,23 @@ type ServeOptions struct {
 	// endpoints on that address: /metrics (Prometheus text format),
 	// /debug/vars, and /debug/pprof.
 	OpsAddr string
+	// Advertise overrides the address this endpoint publishes in the
+	// cluster's member list (health/status peers). Defaults to the
+	// actual listen address; set it when clients reach the endpoint
+	// through a different address (a proxy, NAT, or ":0" listeners).
+	Advertise string
+	// Peers lists additional endpoint addresses to advertise alongside
+	// those served off this cluster in-process — for multi-process
+	// deployments where each process serves one endpoint but the member
+	// list must name them all.
+	Peers []string
 }
 
 // Server is a wire-protocol endpoint serving this cluster; see
 // Cluster.Serve. Clients connect with the orchestra/client package.
 type Server struct {
 	s       *server.Server
+	c       *Cluster
 	opsAddr string
 }
 
@@ -60,7 +72,24 @@ type Server struct {
 func (s *Server) Addr() string { return s.s.Addr().String() }
 
 // Close stops the endpoint and severs its sessions.
-func (s *Server) Close() error { return s.s.Close() }
+func (s *Server) Close() error {
+	s.c.dropServed(s)
+	return s.s.Close()
+}
+
+// Shutdown drains the endpoint gracefully: it leaves the cluster's
+// advertised member list, stops accepting connections, refuses new
+// queries and publishes with the retryable "unavailable" code, answers
+// health checks with "draining" so smart clients steer away, and waits
+// for in-flight requests to finish. If ctx expires first the remaining
+// sessions are severed as by Close.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.c.dropServed(s)
+	return s.s.Shutdown(ctx)
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.s.Draining() }
 
 // Stats snapshots the endpoint's request/latency/error counters.
 func (s *Server) Stats() *server.StatusResponse { return s.s.Stats() }
@@ -97,6 +126,10 @@ func (c *Cluster) Serve(addr string, opts ServeOptions) (*Server, error) {
 		StreamWindow:         opts.StreamWindow,
 		StreamCompressMin:    opts.StreamCompressMin,
 		SlowQueryThreshold:   opts.SlowQueryThreshold,
+		// Every endpoint served off this cluster advertises the whole
+		// set (plus any static extras), so one reachable endpoint
+		// teaches a client the others.
+		Peers: func() []string { return mergePeers(c.servedPeers(), opts.Peers) },
 		// Durable clusters export the node's WAL/fsync/snapshot metrics
 		// through this endpoint's /metrics; nil makes the server allocate
 		// its own registry.
@@ -105,14 +138,69 @@ func (c *Cluster) Serve(addr string, opts ServeOptions) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv := &Server{s: s}
+	srv := &Server{s: s, c: c}
+	advertise := opts.Advertise
+	if advertise == "" {
+		advertise = s.Addr().String()
+	}
+	c.addServed(srv, advertise)
 	if opts.OpsAddr != "" {
 		if _, err := srv.ServeOps(opts.OpsAddr); err != nil {
-			s.Close()
+			srv.Close()
 			return nil, err
 		}
 	}
 	return srv, nil
+}
+
+// addServed registers a served endpoint's advertised address in the
+// cluster's member list.
+func (c *Cluster) addServed(s *Server, advertise string) {
+	c.mu.Lock()
+	if c.served == nil {
+		c.served = make(map[*Server]string)
+	}
+	c.served[s] = advertise
+	c.mu.Unlock()
+}
+
+// dropServed removes an endpoint from the member list (close/drain).
+func (c *Cluster) dropServed(s *Server) {
+	c.mu.Lock()
+	delete(c.served, s)
+	c.mu.Unlock()
+}
+
+// servedPeers lists the advertised addresses of every live endpoint
+// served off this cluster, sorted for stable output.
+func (c *Cluster) servedPeers() []string {
+	c.mu.Lock()
+	out := make([]string, 0, len(c.served))
+	for _, addr := range c.served {
+		out = append(out, addr)
+	}
+	c.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// mergePeers unions two advertised-address lists, dropping blanks and
+// duplicates, sorted for stable output.
+func mergePeers(a, b []string) []string {
+	seen := make(map[string]struct{}, len(a)+len(b))
+	out := make([]string, 0, len(a)+len(b))
+	for _, s := range append(a, b...) {
+		if s == "" {
+			continue
+		}
+		if _, ok := seen[s]; ok {
+			continue
+		}
+		seen[s] = struct{}{}
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // clusterBackend adapts a Cluster to the server.Backend interface.
@@ -153,7 +241,7 @@ func (b *clusterBackend) Publish(ctx context.Context, req *server.PublishRequest
 		if err := server.CoerceTypedRows(s, req.TypedRows); err != nil {
 			return 0, err
 		}
-		return b.c.PublishTyped(b.node, req.Relation, req.TypedRows)
+		return b.c.PublishTypedID(b.node, req.Relation, req.TypedRows, req.PublishID)
 	}
 	rows := make([]tuple.Row, len(req.Rows))
 	for i, r := range req.Rows {
@@ -163,7 +251,7 @@ func (b *clusterBackend) Publish(ctx context.Context, req *server.PublishRequest
 		}
 		rows[i] = row
 	}
-	return b.c.PublishTyped(b.node, req.Relation, rows)
+	return b.c.PublishTypedID(b.node, req.Relation, rows, req.PublishID)
 }
 
 // queryOptions maps a wire query request onto embedded query options.
