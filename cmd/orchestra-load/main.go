@@ -528,4 +528,12 @@ func printServerStats(ctx context.Context, addr string) {
 	fmt.Printf("server %s (node %s): %d queries (%d errors), mean %dus, max %dus, peak in-flight %d/%d\n",
 		addr, st.NodeID, q.Count, q.Errors, mean, q.MaxUs,
 		st.PeakInFlightQueries, st.MaxConcurrentQueries)
+	if r := st.Replication; r != nil {
+		fmt.Printf("  replication: lag %d (max across peers), %d records caught up, %d state transfers, %d anti-entropy repairs\n",
+			r.MaxLag, r.CatchUpRecords, r.StateTransfers, r.AntiEntropyRepairs)
+	}
+	if d := st.Durability; d != nil {
+		fmt.Printf("  durability: seq %d, %d wal segments (%d bytes), last checkpoint stall %dus\n",
+			d.Seq, d.WALSegments, d.WALBytes, d.LastCheckpointStallUs)
+	}
 }

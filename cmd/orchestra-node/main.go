@@ -64,6 +64,8 @@ func main() {
 	maxQ := flag.Int("maxq", 0, "served endpoint: max concurrent query executions (0 = 2×GOMAXPROCS)")
 	opsAddr := flag.String("ops", "", "served endpoint: ops HTTP address for /metrics, /debug/vars, /debug/pprof (requires -serve)")
 	slowMs := flag.Int64("slowms", 0, "served endpoint: slow-query log threshold in ms (0 = 250ms default, negative disables)")
+	repairEvery := flag.Duration("repair", 30*time.Second, "anti-entropy repair interval: periodically reconcile with one replica peer and pull any missed WAL suffix (0 disables)")
+	retainBytes := flag.Int64("retain", 0, "with -data: archived WAL bytes kept for replica catch-up (0 = 32 MiB default)")
 	flag.Parse()
 
 	members := strings.Split(*peers, ",")
@@ -106,7 +108,7 @@ func main() {
 			log.Fatalf("orchestra-node: -sync must be always, interval, or never (got %q)", *syncMode)
 		}
 		t0 := time.Now()
-		store, err = kvstore.Open(*dataDir, kvstore.Options{Sync: mode, Registry: reg})
+		store, err = kvstore.Open(*dataDir, kvstore.Options{Sync: mode, Registry: reg, RetainBytes: *retainBytes})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -127,6 +129,22 @@ func main() {
 		log.Printf("peer down: %s", id)
 	})
 	defer node.Close()
+	if *repairEvery > 0 && len(ids) > 1 {
+		// One immediate pass catches a rejoining node up from its peers'
+		// retained WAL (or a state transfer when they truncated past its
+		// position); the background loop then keeps replicas converged.
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+			defer cancel()
+			if err := node.Repair(ctx); err != nil {
+				log.Printf("startup repair (will retry in background): %v", err)
+			} else if st := node.ReplStats(); st.CatchUpRecords > 0 || st.StateTransfers > 0 {
+				log.Printf("caught up from peers: %d records shipped, %d state transfers, %s",
+					st.CatchUpRecords, st.StateTransfers, time.Duration(st.LastCatchUpUs)*time.Microsecond)
+			}
+		}()
+		node.StartRepair(*repairEvery)
+	}
 
 	if *serveAddr != "" {
 		srv, err := server.Start(*serveAddr, server.NewNodeBackend(node, eng),

@@ -54,6 +54,7 @@ func (c *Cluster) openStoreFunc(cfg *config) func(id ring.NodeID) (*kvstore.Stor
 			Sync:            cfg.syncMode,
 			Registry:        reg,
 			CheckpointBytes: cfg.checkpointBytes,
+			RetainBytes:     cfg.retainBytes,
 		})
 		if err != nil {
 			return nil, err

@@ -140,6 +140,47 @@ func (l *Local) Kill(id ring.NodeID) { l.Net.Kill(id) }
 // Hang simulates a hung node (connections stay up; only pings detect it).
 func (l *Local) Hang(id ring.NodeID) { l.Net.Hang(id) }
 
+// Restart brings a killed node back under the same identity: its store
+// is reopened (recovering from WAL/snapshot when durable), it rejoins
+// the network fabric, and it repairs itself from its peers — WAL
+// catch-up for the delta it missed, state transfer if the peers'
+// logs have been truncated past its position. The table membership is
+// unchanged (the node was killed, not removed), so no rebalance runs.
+func (l *Local) Restart(ctx context.Context, id ring.NodeID) (*Node, error) {
+	old := l.byID[id]
+	if old == nil {
+		return nil, fmt.Errorf("cluster: unknown node %s", id)
+	}
+	if l.Net.Alive(id) {
+		return nil, fmt.Errorf("cluster: node %s is still alive", id)
+	}
+	table := l.Table()
+	if table == nil {
+		return nil, fmt.Errorf("cluster: no live node to rejoin from")
+	}
+	// Release the dead instance's store so the same directory can be
+	// reopened (the in-process analogue of the process having exited).
+	old.Close()
+	old.Store().Close()
+
+	node, err := l.join(id, table)
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range l.nodes {
+		if n == old {
+			l.nodes[i] = node
+		}
+	}
+	l.byID[id] = node
+	// Adopt the latest epoch, then pull everything missed while down.
+	node.Gossip().Sync(ctx, table.Members())
+	if err := node.Repair(ctx); err != nil {
+		return node, err
+	}
+	return node, nil
+}
+
 // AddNode joins a fresh node: it receives the next canonical name, a new
 // balanced table is broadcast, and every prior member rebalances its data
 // to the new allocation. Per §V-C the new node participates only in queries

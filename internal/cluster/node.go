@@ -95,6 +95,13 @@ type Node struct {
 
 	// leases is this node's publish-lease arbiter state (see lease.go).
 	leases leaseTable
+
+	// repair holds the replica-repair counters and anti-entropy loop
+	// (see repair.go).
+	repair repairState
+
+	// retry is the failed-rebalance-push retry queue (see rebalance.go).
+	retry retryState
 }
 
 // NewNode constructs a node on an endpoint with a local store and the
@@ -118,6 +125,8 @@ func NewNode(ep transport.Endpoint, store *kvstore.Store, table *ring.Table, cfg
 	if e := store.Epoch(); e > 0 {
 		n.gsp.Advance(tuple.Epoch(e))
 	}
+	// Gossip piggybacks our shipping position so peers can account lag.
+	n.gsp.SeqFn(store.Seq)
 	n.registerHandlers()
 	ep.OnPeerDown(n.notifyDown)
 	return n
@@ -190,6 +199,8 @@ func (n *Node) Close() {
 	if n.pinger != nil {
 		n.pinger.Stop()
 	}
+	n.StopRepair()
+	n.stopRetry()
 	n.gsp.Stop()
 	_ = n.ep.Close()
 }

@@ -3,6 +3,9 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"orchestra/internal/keyspace"
 	"orchestra/internal/ring"
@@ -153,10 +156,13 @@ func (n *Node) Rebalance(ctx context.Context, oldTable, newTable *ring.Table) er
 		cancel()
 		if err != nil {
 			lastErr = fmt.Errorf("cluster: rebalance push to %s: %w", dest, err)
+			// Hand the failed batch to the background retry queue, which
+			// re-routes under whatever table is current at retry time.
+			n.enqueueRetry(batch.items)
 		}
 	}
 	if lastErr != nil {
-		// Keep the records we failed to move; a later rebalance retries.
+		// Keep the records we failed to move until a retry lands them.
 		return lastErr
 	}
 	for _, k := range drops {
@@ -165,4 +171,150 @@ func (n *Node) Rebalance(ctx context.Context, oldTable, newTable *ring.Table) er
 		}
 	}
 	return nil
+}
+
+// Failed rebalance pushes used to be kept "for a later rebalance" that
+// nothing ever scheduled — the records sat on the old replica invisibly
+// until the next membership change. The retry queue below owns them
+// instead: a background goroutine re-pushes each batch through
+// PutRecords (which re-routes under the table current at retry time)
+// with exponential backoff, and gives up after maxRetryAttempts, at
+// which point the records count as stranded. Stranded records are still
+// recoverable: they remain in this node's store, and the anti-entropy
+// pass (repair.go) will surface the divergence.
+
+// Variables so tests can compress the backoff schedule.
+var (
+	retryBaseDelay   = 250 * time.Millisecond
+	retryMaxDelay    = 30 * time.Second
+	maxRetryAttempts = 8
+)
+
+// retryState is the Node's failed-push retry queue.
+type retryState struct {
+	mu      sync.Mutex
+	pending []retryBatch
+	wake    chan struct{} // signaled when pending grows
+	stop    chan struct{}
+	started bool
+	stopped atomic.Bool
+
+	retried  atomic.Uint64 // records successfully re-pushed
+	stranded atomic.Uint64 // records given up on after maxRetryAttempts
+}
+
+type retryBatch struct {
+	items    []RecordPut
+	attempts int
+	due      time.Time
+}
+
+// RetryQueueStats reports the retry queue's depth and outcome counters:
+// queued is the number of records awaiting a retry, retried counts
+// records eventually pushed, stranded counts records abandoned after
+// the attempt cap.
+func (n *Node) RetryQueueStats() (queued int, retried, stranded uint64) {
+	n.retry.mu.Lock()
+	for _, b := range n.retry.pending {
+		queued += len(b.items)
+	}
+	n.retry.mu.Unlock()
+	return queued, n.retry.retried.Load(), n.retry.stranded.Load()
+}
+
+// enqueueRetry adds failed-push records to the retry queue, starting the
+// background drainer on first use.
+func (n *Node) enqueueRetry(items []RecordPut) {
+	if len(items) == 0 || n.retry.stopped.Load() {
+		return
+	}
+	n.retry.mu.Lock()
+	if !n.retry.started {
+		n.retry.started = true
+		n.retry.wake = make(chan struct{}, 1)
+		n.retry.stop = make(chan struct{})
+		go n.retryLoop()
+	}
+	n.retry.pending = append(n.retry.pending, retryBatch{
+		items: items,
+		due:   time.Now().Add(retryBaseDelay),
+	})
+	wake := n.retry.wake
+	n.retry.mu.Unlock()
+	select {
+	case wake <- struct{}{}:
+	default:
+	}
+}
+
+func (n *Node) stopRetry() {
+	n.retry.mu.Lock()
+	defer n.retry.mu.Unlock()
+	if n.retry.started && n.retry.stopped.CompareAndSwap(false, true) {
+		close(n.retry.stop)
+	}
+}
+
+// retryLoop drains the queue: due batches are re-pushed via PutRecords;
+// failures go back with doubled delay until the attempt cap.
+func (n *Node) retryLoop() {
+	timer := time.NewTimer(retryBaseDelay)
+	defer timer.Stop()
+	for {
+		n.retry.mu.Lock()
+		var due []retryBatch
+		rest := n.retry.pending[:0]
+		now := time.Now()
+		next := now.Add(retryMaxDelay)
+		for _, b := range n.retry.pending {
+			if !b.due.After(now) {
+				due = append(due, b)
+			} else {
+				if b.due.Before(next) {
+					next = b.due
+				}
+				rest = append(rest, b)
+			}
+		}
+		n.retry.pending = rest
+		stop, wake := n.retry.stop, n.retry.wake
+		n.retry.mu.Unlock()
+
+		for _, b := range due {
+			ctx, cancel := context.WithTimeout(context.Background(), n.cfg.RequestTimeout)
+			err := n.PutRecords(ctx, b.items)
+			cancel()
+			if err == nil {
+				n.retry.retried.Add(uint64(len(b.items)))
+				continue
+			}
+			b.attempts++
+			if b.attempts >= maxRetryAttempts {
+				n.retry.stranded.Add(uint64(len(b.items)))
+				continue
+			}
+			delay := retryBaseDelay << b.attempts
+			if delay > retryMaxDelay {
+				delay = retryMaxDelay
+			}
+			b.due = time.Now().Add(delay)
+			n.retry.mu.Lock()
+			n.retry.pending = append(n.retry.pending, b)
+			n.retry.mu.Unlock()
+		}
+
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(time.Until(next))
+		select {
+		case <-stop:
+			return
+		case <-wake:
+		case <-timer.C:
+		}
+	}
 }

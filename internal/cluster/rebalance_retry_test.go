@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"orchestra/internal/ring"
+)
+
+func fastRetries(t *testing.T, attempts int) {
+	t.Helper()
+	oldBase, oldMax, oldAttempts := retryBaseDelay, retryMaxDelay, maxRetryAttempts
+	retryBaseDelay, retryMaxDelay, maxRetryAttempts = 5*time.Millisecond, 50*time.Millisecond, attempts
+	t.Cleanup(func() {
+		retryBaseDelay, retryMaxDelay, maxRetryAttempts = oldBase, oldMax, oldAttempts
+	})
+}
+
+// rebalanceWithDeadDests drives a rebalance whose pushes target dead
+// members: node 3 leaves the table while the listed nodes are down, so
+// the surviving pushers cannot deliver part of their share. The failed
+// batches must land in the pushers' retry queues instead of being
+// silently kept for a rebalance nothing schedules. Returns the live
+// pushers that queued failed batches.
+func rebalanceWithDeadDests(t *testing.T, dead ...int) (*Local, []*Node) {
+	t.Helper()
+	l := testCluster(t, 4)
+	ctx := ctxT(t)
+	if err := l.Node(0).CreateRelation(ctx, rSchema(t)); err != nil {
+		t.Fatal(err)
+	}
+	publishRows(t, l, 0, 0, 120)
+
+	oldTable := l.Table()
+	members := oldTable.Members()
+	keep := make([]ring.NodeID, 0, len(members)-1)
+	for _, m := range members {
+		if m != NodeName(3) {
+			keep = append(keep, m)
+		}
+	}
+	newTable, err := oldTable.WithMembers(keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Node(0).BroadcastTable(ctx, newTable); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dead {
+		l.Kill(NodeName(d))
+	}
+
+	isDead := func(i int) bool {
+		for _, d := range dead {
+			if d == i {
+				return true
+			}
+		}
+		return false
+	}
+	failures := 0
+	var pushers []*Node
+	for i := 0; i < 3; i++ { // surviving members of the new table
+		if isDead(i) {
+			continue
+		}
+		node := l.Node(i)
+		if err := node.Rebalance(ctx, oldTable, newTable); err != nil {
+			failures++
+		}
+		if queued, _, _ := node.RetryQueueStats(); queued > 0 {
+			pushers = append(pushers, node)
+		}
+	}
+	if failures == 0 {
+		t.Fatal("rebalance with dead destinations must report the failure")
+	}
+	if len(pushers) == 0 {
+		t.Fatal("failed pushes were not queued for retry")
+	}
+	return l, pushers
+}
+
+func TestRebalanceRetryLandsAfterRecovery(t *testing.T) {
+	fastRetries(t, 1000)
+	l, pushers := rebalanceWithDeadDests(t, 2)
+	ctx := ctxT(t)
+
+	// The dead destination comes back; the retry queues must drain
+	// (PutRecords re-routes under the current table) without another
+	// rebalance, and the restarted node must converge.
+	restarted, err := l.Restart(ctx, NodeName(2))
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		queued, retried, stranded := 0, uint64(0), uint64(0)
+		for _, p := range pushers {
+			q, r, s := p.RetryQueueStats()
+			queued += q
+			retried += r
+			stranded += s
+		}
+		if queued == 0 && retried > 0 && stranded == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("retry queues never drained: queued=%d retried=%d stranded=%d", queued, retried, stranded)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	assertConverged(t, l, restarted)
+}
+
+func TestRebalanceRetryStrandsAfterCap(t *testing.T) {
+	fastRetries(t, 3)
+	// Both remote replicas of every record are dead and stay dead: every
+	// retry attempt fails outright, so after the attempt cap the records
+	// are counted as stranded rather than retried forever (anti-entropy
+	// owns them once replicas return — the records are still in the
+	// pusher's store).
+	_, pushers := rebalanceWithDeadDests(t, 1, 2)
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		queued, stranded := 0, uint64(0)
+		for _, p := range pushers {
+			q, _, s := p.RetryQueueStats()
+			queued += q
+			stranded += s
+		}
+		if queued == 0 && stranded > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("records never stranded: queued=%d stranded=%d", queued, stranded)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

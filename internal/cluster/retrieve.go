@@ -276,6 +276,7 @@ func (n *Node) registerHandlers() {
 	n.registerRecordHandlers()
 	n.registerScanHandlers()
 	n.registerLeaseHandler()
+	n.registerRepairHandlers()
 }
 
 // Retrieve implements Algorithm 1: fetch the tuples of relation as of

@@ -24,35 +24,74 @@ const MsgEpoch transport.MsgType = 0x00F0
 // Fanout is how many random peers receive each gossip push.
 const Fanout = 3
 
-// Gossiper tracks and disseminates the current epoch on one node.
+// Gossiper tracks and disseminates the current epoch on one node. Each
+// message also piggybacks the sender's WAL-shipping sequence position,
+// giving every node a cheap, eventually-fresh view of its peers'
+// mutation counts for replication-lag accounting (see SeqFn/PeerSeqs).
 type Gossiper struct {
 	ep transport.Endpoint
 
 	mu        sync.Mutex
 	current   tuple.Epoch
 	peers     []ring.NodeID
+	peerSeqs  map[ring.NodeID]uint64
 	rng       *rand.Rand
 	stop      chan struct{}
 	stopped   bool
 	onAdvance func(tuple.Epoch)
+	seqFn     func() uint64
 }
 
 // New creates a gossiper bound to the endpoint and registers its message
 // handler. Call SetPeers and Start to begin anti-entropy.
 func New(ep transport.Endpoint, seed int64) *Gossiper {
 	g := &Gossiper{
-		ep:   ep,
-		rng:  rand.New(rand.NewSource(seed)),
-		stop: make(chan struct{}),
+		ep:       ep,
+		peerSeqs: make(map[ring.NodeID]uint64),
+		rng:      rand.New(rand.NewSource(seed)),
+		stop:     make(chan struct{}),
 	}
 	ep.Handle(MsgEpoch, func(from ring.NodeID, payload []byte) ([]byte, error) {
-		if len(payload) == 8 {
+		// 8 bytes: epoch only (older peers). 16 bytes: epoch | seq.
+		if len(payload) >= 8 {
 			g.merge(tuple.Epoch(binary.BigEndian.Uint64(payload)))
+		}
+		if len(payload) >= 16 {
+			g.noteSeq(from, binary.BigEndian.Uint64(payload[8:]))
 		}
 		// Reply with our (possibly newer) epoch so pulls work too.
 		return g.encodeCurrent(), nil
 	})
 	return g
+}
+
+// SeqFn installs the source of this node's shipping sequence, included
+// in every gossip message. Nil (the default) advertises 0.
+func (g *Gossiper) SeqFn(fn func() uint64) {
+	g.mu.Lock()
+	g.seqFn = fn
+	g.mu.Unlock()
+}
+
+// PeerSeqs returns the most recent sequence position gossiped by each
+// peer. The view is eventually consistent — a peer's real position is
+// at least the reported one.
+func (g *Gossiper) PeerSeqs() map[ring.NodeID]uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[ring.NodeID]uint64, len(g.peerSeqs))
+	for id, s := range g.peerSeqs {
+		out[id] = s
+	}
+	return out
+}
+
+func (g *Gossiper) noteSeq(id ring.NodeID, seq uint64) {
+	g.mu.Lock()
+	if seq > g.peerSeqs[id] {
+		g.peerSeqs[id] = seq
+	}
+	g.mu.Unlock()
 }
 
 // Current returns the highest epoch this node has seen.
@@ -122,9 +161,18 @@ func (g *Gossiper) merge(e tuple.Epoch) {
 }
 
 func (g *Gossiper) encodeCurrent() []byte {
-	var b [8]byte
-	binary.BigEndian.PutUint64(b[:], uint64(g.Current()))
-	return b[:]
+	g.mu.Lock()
+	cur := g.current
+	seqFn := g.seqFn
+	g.mu.Unlock()
+	var seq uint64
+	if seqFn != nil {
+		seq = seqFn()
+	}
+	b := make([]byte, 16)
+	binary.BigEndian.PutUint64(b, uint64(cur))
+	binary.BigEndian.PutUint64(b[8:], seq)
+	return b
 }
 
 // push sends the current epoch to up to Fanout random peers.
@@ -155,8 +203,11 @@ func (g *Gossiper) Sync(ctx context.Context, peers []ring.NodeID) tuple.Epoch {
 			continue
 		}
 		resp, err := g.ep.Request(ctx, p, MsgEpoch, g.encodeCurrent())
-		if err == nil && len(resp) == 8 {
+		if err == nil && len(resp) >= 8 {
 			g.merge(tuple.Epoch(binary.BigEndian.Uint64(resp)))
+			if len(resp) >= 16 {
+				g.noteSeq(p, binary.BigEndian.Uint64(resp[8:]))
+			}
 		}
 	}
 	return g.Current()

@@ -103,15 +103,29 @@ func TestGenerationAheadRefused(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.Put([]byte("a"), []byte("1"))
-	if err := s.Checkpoint(); err != nil { // snapshot gen 1, wal gen 1
+	if err := s.Checkpoint(); err != nil { // snapshot gen 1, wal gen 1, segment gen 0
 		t.Fatal(err)
 	}
 	s.Put([]byte("b"), []byte("2"))
 	s.Close()
 
-	// Lose the snapshot: the wal now claims a generation whose base
-	// state is gone. Starting would silently drop record "a".
+	// Lose the snapshot: the retained gen-0 segment still carries record
+	// "a", so recovery replays the chain instead of refusing.
 	if err := os.Remove(filepath.Join(dir, "store.snap")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatalf("chain recovery after snapshot loss: %v", err)
+	}
+	if !s2.Has([]byte("a")) || !s2.Has([]byte("b")) {
+		t.Fatal("segment-chain recovery lost records")
+	}
+	s2.Close()
+
+	// Lose the segment too: the wal now claims a generation whose base
+	// state is gone everywhere. Starting would silently drop record "a".
+	if err := os.Remove(filepath.Join(dir, segmentName(0))); err != nil {
 		t.Fatal(err)
 	}
 	_, err = Open(dir, Options{Sync: SyncNever})

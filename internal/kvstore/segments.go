@@ -1,0 +1,120 @@
+package kvstore
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"orchestra/internal/wal"
+)
+
+// Archived WAL segments. A checkpoint seals the live log by renaming it
+// to store.wal.<gen> (zero-padded hex, so lexical order is generation
+// order) and continues appending into a fresh store.wal at gen+1.
+// Segments with gen >= the snapshot's generation are required for
+// recovery (the snapshot may not have been published before a crash);
+// older segments are pure retention — kept within Options.RetainBytes
+// so a restarted node can re-seed its shipping ring — and are pruned
+// oldest-first beyond that budget.
+
+const segSuffixLen = 16 // zero-padded hex generation
+
+func segmentName(gen uint64) string {
+	return fmt.Sprintf("%s.%016x", walName, gen)
+}
+
+func parseSegmentName(name string) (uint64, bool) {
+	prefix := walName + "."
+	if !strings.HasPrefix(name, prefix) || len(name) != len(prefix)+segSuffixLen {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(name[len(prefix):], 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+// listSegments returns the archived segment generations in dir,
+// ascending. A missing directory is an empty list.
+func listSegments(fsys wal.FS, dir string) ([]uint64, error) {
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var gens []uint64
+	for _, name := range names {
+		if gen, ok := parseSegmentName(name); ok {
+			gens = append(gens, gen)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+func (s *Store) segPath(gen uint64) string {
+	return filepath.Join(s.dir, segmentName(gen))
+}
+
+// pruneSegments deletes archived segments no longer needed: every
+// segment with gen >= keepFrom is required for recovery and always
+// kept; older ones are retention-only and kept newest-first within the
+// RetainBytes budget. Best effort — a segment that cannot be statted or
+// removed is skipped (recovery tolerates stale retention segments).
+func (s *Store) pruneSegments(keepFrom uint64) {
+	gens, err := listSegments(s.fsys, s.dir)
+	if err != nil {
+		return
+	}
+	budget := s.opts.RetainBytes
+	var keepBytes int64
+	var keepCount int64
+	// Walk newest-first, spending the budget; delete once it is gone.
+	for i := len(gens) - 1; i >= 0; i-- {
+		gen := gens[i]
+		path := s.segPath(gen)
+		fi, err := s.fsys.Stat(path)
+		if err != nil {
+			continue
+		}
+		if gen >= keepFrom {
+			keepBytes += fi.Size()
+			keepCount++
+			continue
+		}
+		if budget > 0 && keepBytes+fi.Size() <= budget {
+			keepBytes += fi.Size()
+			keepCount++
+			continue
+		}
+		if s.fsys.Remove(path) != nil {
+			keepBytes += fi.Size()
+			keepCount++
+		}
+	}
+	s.segBytes.Store(keepBytes)
+	s.segCount.Store(keepCount)
+}
+
+// readSegment loads and validates one sealed segment. Unlike the live
+// log, a sealed segment was fsynced before the rename that archived it,
+// so a torn tail is corruption, not a crash artifact.
+func (s *Store) readSegment(gen uint64) (*wal.Contents, error) {
+	path := s.segPath(gen)
+	c, err := wal.ReadAll(s.fsys, path)
+	if err != nil {
+		return nil, err
+	}
+	if c.Missing {
+		return nil, fmt.Errorf("segment %s missing or headerless", segmentName(gen))
+	}
+	if c.TornBytes > 0 {
+		return nil, fmt.Errorf("segment %s has %d torn trailing bytes", segmentName(gen), c.TornBytes)
+	}
+	if c.Header.Gen != gen {
+		return nil, fmt.Errorf("segment %s claims generation %d", segmentName(gen), c.Header.Gen)
+	}
+	return c, nil
+}

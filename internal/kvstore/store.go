@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -21,11 +22,15 @@ import (
 // memory under the write lock, then committed — under SyncAlways the
 // commit group-batches concurrent writers into one fsync, so a mutation
 // is acknowledged only once it (or a snapshot covering it) is on disk.
-// Checkpoint() streams the full tree into a snapshot (write-temp + fsync
-// + rename), bumps the generation, and truncates the log. Open replays
-// snapshot + WAL, truncating a torn tail, rejecting corrupt records by
-// CRC, and refusing to start when the log and snapshot disagree about
-// generation or epoch — per the reliable-storage contract of §IV.
+// Checkpoint() seals the live log as an archived segment (a brief
+// write-lock window), then streams a fuzzy snapshot from the tree in
+// chunked read-lock acquisitions, so commits keep proceeding while a
+// multi-MB checkpoint runs. Open replays snapshot + the contiguous
+// segment chain + live WAL, truncating a torn tail, rejecting corrupt
+// records by CRC, and refusing to start when the chain's generations,
+// sequences, or epochs disagree — per the reliable-storage contract of
+// §IV. Every mutation also carries a global sequence number retained in
+// a bounded ring for WAL-shipping replication (see repl.go).
 type Store struct {
 	mu   sync.RWMutex
 	tree *btree
@@ -36,19 +41,21 @@ type Store struct {
 	log  *wal.Log
 	opts Options
 
-	gen   atomic.Uint64 // snapshot generation the log extends
+	gen   atomic.Uint64 // generation of the live log (>= snapshot generation)
 	epoch atomic.Uint64 // highest durable epoch
+	seq   atomic.Uint64 // global mutation sequence (see repl.go)
+	repl  replRing      // recent records retained for WAL shipping
 
 	// Highest epoch appended to the WAL but possibly not yet committed,
 	// and its LSN; guarded by mu. Checkpoint must cover this epoch in the
-	// snapshot it writes: its Reinit marks every appended LSN durable, so
-	// a pending epoch record dropped from the log without making it into
-	// the snapshot would be acknowledged by a concurrent SetEpoch yet
-	// exist nowhere on disk.
+	// segment it seals: rotation marks every appended LSN durable, so a
+	// pending epoch record dropped from the log without reaching the disk
+	// would be acknowledged by a concurrent SetEpoch yet exist nowhere.
 	pendingEpoch    uint64
 	pendingEpochLSN int64
 
 	checkpointing atomic.Bool
+	ckptMu        sync.Mutex // serializes checkpoint passes
 
 	// Recovery + snapshot stats (see DurabilityStats).
 	replayedRecords   uint64
@@ -58,11 +65,16 @@ type Store struct {
 	snapshotErrs      atomic.Uint64
 	lastSnapshotBytes atomic.Int64
 	lastSnapshotUs    atomic.Int64
+	lastStallUs       atomic.Int64 // write-lock hold of the last checkpoint rotation
+	stallUsTotal      atomic.Int64
+	segBytes          atomic.Int64
+	segCount          atomic.Int64
 
 	mFsyncUs *obs.Histogram
 	mFsyncs  *obs.Counter
 	mBatch   *obs.Histogram
 	mSnapUs  *obs.Histogram
+	mStallUs *obs.Histogram
 }
 
 // SyncMode re-exports the WAL sync policy for callers configuring a store.
@@ -77,6 +89,12 @@ const (
 // DefaultCheckpointBytes is the WAL size that triggers a background
 // checkpoint when Options.CheckpointBytes is unset.
 const DefaultCheckpointBytes = 64 << 20
+
+// DefaultRetainBytes is the default WAL-shipping retention budget: the
+// in-memory ring of recent records (and, for durable stores, archived
+// segments on disk) kept so lagging replicas can catch up from this
+// node's log instead of a full state transfer.
+const DefaultRetainBytes = 32 << 20
 
 // Options configures a durable store.
 type Options struct {
@@ -96,6 +114,11 @@ type Options struct {
 	// snapshot + log truncation. 0 means DefaultCheckpointBytes;
 	// negative disables automatic checkpoints.
 	CheckpointBytes int64
+	// RetainBytes bounds the WAL-shipping retention (the in-memory
+	// record ring plus archived on-disk segments older than the current
+	// snapshot). 0 means DefaultRetainBytes; negative disables
+	// retention, forcing lagging replicas onto the state-transfer path.
+	RetainBytes int64
 	// Logf reports background checkpoint failures (default log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -113,18 +136,26 @@ const (
 	opPut    = byte(1)
 	opDelete = byte(2)
 	opEpoch  = byte(3)
+	// opPutLocal is a put that never enters the shipping seq/ring:
+	// durable node-private bookkeeping invisible to replication.
+	opPutLocal = byte(4)
 )
 
-// NewMemory returns a volatile in-memory store.
+// NewMemory returns a volatile in-memory store. Memory stores still
+// track mutation sequences and retain recent records for WAL shipping —
+// a replica's catch-up source does not have to be durable.
 func NewMemory() *Store {
-	return &Store{tree: newBtree()}
+	s := &Store{tree: newBtree()}
+	s.repl.max = DefaultRetainBytes
+	return s
 }
 
 // Open returns a durable store rooted at dir, creating it if needed and
-// recovering any existing snapshot and WAL. Recovery is paranoid: torn
-// log tails are truncated, CRC-failing records rejected, and a
-// generation or epoch mismatch between snapshot and log refuses to
-// start rather than serve silently wrong data.
+// recovering any existing snapshot, archived WAL segments, and live
+// WAL. Recovery is paranoid: torn live-log tails are truncated,
+// CRC-failing records rejected, and any break in the generation /
+// sequence / epoch chain between snapshot, segments, and live log
+// refuses to start rather than serve silently wrong data.
 func Open(dir string, opts Options) (*Store, error) {
 	t0 := time.Now()
 	if opts.FS == nil {
@@ -136,6 +167,9 @@ func Open(dir string, opts Options) (*Store, error) {
 	if opts.CheckpointBytes == 0 {
 		opts.CheckpointBytes = DefaultCheckpointBytes
 	}
+	if opts.RetainBytes == 0 {
+		opts.RetainBytes = DefaultRetainBytes
+	}
 	if opts.Logf == nil {
 		opts.Logf = log.Printf
 	}
@@ -143,20 +177,22 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("kvstore: create dir: %w", err)
 	}
 	s := &Store{tree: newBtree(), dir: dir, fsys: opts.FS, opts: opts}
+	s.repl.max = opts.RetainBytes
 	reg := opts.Registry
 	s.mFsyncUs = reg.Histogram("orchestra_wal_fsync_us")
 	s.mFsyncs = reg.Counter("orchestra_wal_fsyncs_total")
 	s.mBatch = reg.Histogram("orchestra_wal_group_commit_records")
 	s.mSnapUs = reg.Histogram("orchestra_snapshot_us")
+	s.mStallUs = reg.Histogram("orchestra_checkpoint_stall_us")
 
 	// 1. Snapshot: the durable base state.
-	var gen, epoch uint64
+	var gen, epoch, seq uint64
 	snap, err := wal.ReadSnapshot(s.fsys, filepath.Join(dir, snapName))
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: refusing to start: %w", err)
 	}
 	if snap != nil {
-		gen, epoch = snap.Gen, snap.Epoch
+		gen, epoch, seq = snap.Gen, snap.Epoch, snap.Seq
 		if err := snap.Range(func(k, v []byte) error {
 			s.tree.put(k, v)
 			return nil
@@ -165,8 +201,25 @@ func Open(dir string, opts Options) (*Store, error) {
 		}
 	}
 
-	// 2. Log: replay on top, or reject it if it doesn't extend this
-	// snapshot.
+	// 2. Archived segments. Ones at or past the snapshot generation are
+	// part of the recovery chain (the checkpoint that would have covered
+	// them never published); older ones are shipping retention only.
+	segGens, err := listSegments(s.fsys, dir)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: refusing to start: list segments: %w", err)
+	}
+	var chain []uint64
+	for _, g := range segGens {
+		if g >= gen {
+			chain = append(chain, g)
+		} else {
+			// Retention-only segment: re-seed the shipping ring from it,
+			// without touching the tree (its effects are in the snapshot).
+			s.seedRing(g)
+		}
+	}
+
+	// 3. Live log.
 	walPath := filepath.Join(dir, walName)
 	walOpts := wal.Options{
 		Mode: opts.Sync, Interval: opts.SyncInterval,
@@ -176,25 +229,94 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: refusing to start: %w", err)
 	}
+
+	// The recovery chain must be contiguous: segments gen, gen+1, ...
+	// then the live log one generation past the last segment. Each link
+	// must agree with the running sequence and epoch.
+	replaySeg := func(g uint64) error {
+		sc, serr := s.readSegment(g)
+		if serr != nil {
+			return serr
+		}
+		if sc.Header.BaseSeq != seq {
+			return fmt.Errorf("segment %d starts at seq %d, expected %d", g, sc.Header.BaseSeq, seq)
+		}
+		if sc.Header.BaseEpoch != epoch {
+			return fmt.Errorf("segment %d starts at epoch %d, expected %d", g, sc.Header.BaseEpoch, epoch)
+		}
+		for i, rec := range sc.Records {
+			e, aerr := s.applyRecord(rec)
+			if aerr != nil {
+				return fmt.Errorf("segment %d record %d: %w", g, i, aerr)
+			}
+			if e > epoch {
+				epoch = e
+			}
+			if rec.Op == opPutLocal {
+				continue // node-private: outside the shipping sequence
+			}
+			seq++
+			s.repl.push(ReplRecord{Seq: seq, Op: rec.Op, Payload: append([]byte(nil), rec.Payload...)})
+		}
+		s.replayedRecords += uint64(len(sc.Records))
+		return nil
+	}
+
 	switch {
-	case c.Missing:
+	case c.Missing && len(chain) == 0:
 		// No log (or one torn before its header was durable — nothing
 		// was ever acknowledged from it). Start fresh at the snapshot.
-		s.log, err = wal.Reset(s.fsys, walPath, wal.Header{Gen: gen, BaseEpoch: epoch}, walOpts)
-	case c.Header.Gen > gen:
-		return nil, fmt.Errorf(
-			"kvstore: refusing to start: wal generation %d is ahead of snapshot generation %d — the snapshot this log extends is missing or was rolled back",
-			c.Header.Gen, gen)
+		s.log, err = wal.Reset(s.fsys, walPath, wal.Header{Gen: gen, BaseEpoch: epoch, BaseSeq: seq}, walOpts)
+	case c.Missing:
+		// Crash inside a rotation: the old log was archived but the new
+		// live log never became durable (nothing was acknowledged from
+		// it). Replay the sealed segments and continue past them.
+		for i, g := range chain {
+			if g != gen+uint64(i) {
+				return nil, fmt.Errorf("kvstore: refusing to start: segment chain gap — have generation %d, expected %d", g, gen+uint64(i))
+			}
+			if err := replaySeg(g); err != nil {
+				return nil, fmt.Errorf("kvstore: refusing to start: %w", err)
+			}
+		}
+		gen = chain[len(chain)-1] + 1
+		s.log, err = wal.Reset(s.fsys, walPath, wal.Header{Gen: gen, BaseEpoch: epoch, BaseSeq: seq}, walOpts)
 	case c.Header.Gen < gen:
 		// Stale log from before the last published snapshot (crash
 		// between snapshot rename and log truncation): every record in
 		// it is already covered by the snapshot.
-		s.log, err = wal.Reset(s.fsys, walPath, wal.Header{Gen: gen, BaseEpoch: epoch}, walOpts)
+		s.log, err = wal.Reset(s.fsys, walPath, wal.Header{Gen: gen, BaseEpoch: epoch, BaseSeq: seq}, walOpts)
 	default:
+		// Live log at or past the snapshot generation: replay the
+		// segment chain up to it, then the live records.
+		want := gen
+		for _, g := range chain {
+			if g >= c.Header.Gen {
+				return nil, fmt.Errorf(
+					"kvstore: refusing to start: segment generation %d is not older than the live log's %d", g, c.Header.Gen)
+			}
+			if g != want {
+				return nil, fmt.Errorf("kvstore: refusing to start: segment chain gap — have generation %d, expected %d", g, want)
+			}
+			if err := replaySeg(g); err != nil {
+				return nil, fmt.Errorf("kvstore: refusing to start: %w", err)
+			}
+			want = g + 1
+		}
+		if c.Header.Gen != want {
+			return nil, fmt.Errorf(
+				"kvstore: refusing to start: wal generation %d does not extend generation %d — an intermediate segment or the snapshot is missing",
+				c.Header.Gen, want)
+		}
 		if c.Header.BaseEpoch != epoch {
 			return nil, fmt.Errorf(
-				"kvstore: refusing to start: wal base epoch %d does not match snapshot epoch %d at generation %d",
-				c.Header.BaseEpoch, epoch, gen)
+				"kvstore: refusing to start: wal base epoch %d does not match recovered epoch %d at generation %d",
+				c.Header.BaseEpoch, epoch, c.Header.Gen)
+		}
+		if c.Header.BaseSeq != seq {
+			return nil, fmt.Errorf(
+				"kvstore: refusing to start: wal base seq %d does not match recovered seq %d at generation %d",
+				c.Header.BaseSeq, seq, c.Header.Gen)
 		}
 		for i, rec := range c.Records {
 			e, aerr := s.applyRecord(rec)
@@ -204,8 +326,14 @@ func Open(dir string, opts Options) (*Store, error) {
 			if e > epoch {
 				epoch = e
 			}
+			if rec.Op == opPutLocal {
+				continue // node-private: outside the shipping sequence
+			}
+			seq++
+			s.repl.push(ReplRecord{Seq: seq, Op: rec.Op, Payload: append([]byte(nil), rec.Payload...)})
 		}
-		s.replayedRecords = uint64(len(c.Records))
+		gen = c.Header.Gen
+		s.replayedRecords += uint64(len(c.Records))
 		s.replayTornBytes = c.TornBytes
 		s.log, err = wal.OpenAppend(s.fsys, walPath, c.Size, walOpts)
 	}
@@ -214,14 +342,48 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s.gen.Store(gen)
 	s.epoch.Store(epoch)
+	s.seq.Store(seq)
+	s.pruneSegments(snapGen(snap))
 	s.recoveryUs = time.Since(t0).Microseconds()
 
 	reg.Counter("orchestra_recovery_replayed_records_total").Add(s.replayedRecords)
 	reg.GaugeFunc("orchestra_wal_bytes", s.WALSize)
 	reg.GaugeFunc("orchestra_store_epoch", func() int64 { return int64(s.epoch.Load()) })
 	reg.GaugeFunc("orchestra_store_generation", func() int64 { return int64(s.gen.Load()) })
+	reg.GaugeFunc("orchestra_store_seq", func() int64 { return int64(s.seq.Load()) })
+	reg.GaugeFunc("orchestra_wal_segments", s.segCount.Load)
+	reg.GaugeFunc("orchestra_wal_segment_bytes", s.segBytes.Load)
 	reg.GaugeFunc("orchestra_recovery_us", func() int64 { return s.recoveryUs })
 	return s, nil
+}
+
+func snapGen(snap *wal.Snapshot) uint64 {
+	if snap == nil {
+		return 0
+	}
+	return snap.Gen
+}
+
+// seedRing re-seeds the shipping ring from a retention-only segment
+// (older than the current snapshot). Best effort: a segment that fails
+// to parse cleanly is simply skipped — it only limits how far back this
+// node can ship, never correctness.
+func (s *Store) seedRing(gen uint64) {
+	if s.opts.RetainBytes <= 0 {
+		return
+	}
+	sc, err := s.readSegment(gen)
+	if err != nil {
+		return
+	}
+	seq := sc.Header.BaseSeq
+	for _, rec := range sc.Records {
+		if rec.Op == opPutLocal {
+			continue // node-private: outside the shipping sequence
+		}
+		seq++
+		s.repl.push(ReplRecord{Seq: seq, Op: rec.Op, Payload: append([]byte(nil), rec.Payload...)})
+	}
 }
 
 // applyRecord replays one WAL record into the tree, returning the epoch
@@ -229,7 +391,7 @@ func Open(dir string, opts Options) (*Store, error) {
 // means version skew — refuse rather than drop acknowledged writes.
 func (s *Store) applyRecord(rec wal.Record) (uint64, error) {
 	switch rec.Op {
-	case opPut:
+	case opPut, opPutLocal:
 		key, val, ok := decodePut(rec.Payload)
 		if !ok {
 			return 0, errors.New("malformed put payload")
@@ -311,9 +473,33 @@ func (s *Store) Has(key []byte) bool {
 func (s *Store) Put(key, val []byte) error {
 	s.mu.Lock()
 	var lsn int64
+	payload := appendPut(nil, key, val)
 	if s.log != nil {
 		var err error
-		lsn, err = s.log.Append(opPut, appendPut(nil, key, val))
+		lsn, err = s.log.Append(opPut, payload)
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	s.tree.put(key, val)
+	s.noteAppend(opPut, payload)
+	s.mu.Unlock()
+	return s.commit(lsn)
+}
+
+// PutLocal stores key → val durably without assigning the write a
+// shipping sequence: it replays from the WAL at recovery like any put
+// but never enters the replication ring or the seq count. For
+// node-private bookkeeping (per-peer repair markers) whose writes must
+// not look like fresh mutations to peers — shipping them would make two
+// otherwise-idle replicas ping-pong marker updates forever.
+func (s *Store) PutLocal(key, val []byte) error {
+	s.mu.Lock()
+	var lsn int64
+	if s.log != nil {
+		var err error
+		lsn, err = s.log.Append(opPutLocal, appendPut(nil, key, val))
 		if err != nil {
 			s.mu.Unlock()
 			return err
@@ -332,11 +518,10 @@ func (s *Store) PutBatch(kvs []KV) error {
 	}
 	s.mu.Lock()
 	var lsn int64
-	var payload []byte
 	for _, kv := range kvs {
+		payload := appendPut(nil, kv.Key, kv.Val)
 		if s.log != nil {
 			var err error
-			payload = appendPut(payload[:0], kv.Key, kv.Val)
 			lsn, err = s.log.Append(opPut, payload)
 			if err != nil {
 				s.mu.Unlock()
@@ -344,6 +529,7 @@ func (s *Store) PutBatch(kvs []KV) error {
 			}
 		}
 		s.tree.put(kv.Key, kv.Val)
+		s.noteAppend(opPut, payload)
 	}
 	s.mu.Unlock()
 	return s.commit(lsn)
@@ -353,15 +539,17 @@ func (s *Store) PutBatch(kvs []KV) error {
 func (s *Store) Delete(key []byte) (bool, error) {
 	s.mu.Lock()
 	var lsn int64
+	payload := append([]byte(nil), key...)
 	if s.log != nil {
 		var err error
-		lsn, err = s.log.Append(opDelete, key)
+		lsn, err = s.log.Append(opDelete, payload)
 		if err != nil {
 			s.mu.Unlock()
 			return false, err
 		}
 	}
 	deleted := s.tree.delete(key)
+	s.noteAppend(opDelete, payload)
 	s.mu.Unlock()
 	return deleted, s.commit(lsn)
 }
@@ -399,7 +587,16 @@ func (s *Store) maybeCheckpoint() {
 // before it would survive a crash.
 func (s *Store) SetEpoch(e uint64) error {
 	if s.log == nil {
+		s.mu.Lock()
+		if e <= s.epoch.Load() {
+			s.mu.Unlock()
+			return nil
+		}
+		payload := make([]byte, 8)
+		binary.BigEndian.PutUint64(payload, e)
+		s.noteAppend(opEpoch, payload)
 		storeMax(&s.epoch, e)
+		s.mu.Unlock()
 		return nil
 	}
 	s.mu.Lock()
@@ -419,14 +616,15 @@ func (s *Store) SetEpoch(e uint64) error {
 		storeMax(&s.epoch, e)
 		return nil
 	}
-	var buf [8]byte
-	binary.BigEndian.PutUint64(buf[:], e)
-	lsn, err := s.log.Append(opEpoch, buf[:])
+	payload := make([]byte, 8)
+	binary.BigEndian.PutUint64(payload, e)
+	lsn, err := s.log.Append(opEpoch, payload)
 	if err != nil {
 		s.mu.Unlock()
 		return err
 	}
 	s.pendingEpoch, s.pendingEpochLSN = e, lsn
+	s.noteAppend(opEpoch, payload)
 	s.mu.Unlock()
 	if err := s.commit(lsn); err != nil {
 		return err
@@ -519,65 +717,119 @@ func (s *Store) WALSize() int64 {
 	return s.log.Size()
 }
 
-// Checkpoint writes a snapshot of the full tree at the next generation,
-// publishes it atomically, and truncates the WAL. Concurrent mutations
-// block for the duration (the tree must not move under the writer).
-//
-// Known limitation: the exclusive lock is held while the entire tree
-// streams to disk, so reads and writes stall for the full snapshot
-// duration — on large stores the background size trigger turns this
-// into a tail-latency cliff. Fixing it needs a frozen/copy-on-write
-// tree image to snapshot from; tracked in ROADMAP.
+// ckptChunk is how many pairs a streaming checkpoint copies per
+// read-lock acquisition.
+const ckptChunk = 1024
+
+// Checkpoint seals the live log as an archived segment (a brief
+// write-lock window — the only time commits stall), then streams a fuzzy
+// snapshot of the tree to disk in chunked read-lock acquisitions and
+// publishes it atomically. Mutations proceed concurrently with the
+// snapshot pass; the snapshot may therefore include effects of records
+// past its recorded sequence boundary, which recovery tolerates because
+// replay is idempotent.
 func (s *Store) Checkpoint() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.log == nil {
 		return nil
 	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+
+	// Phase 1: rotate the log under the write lock. The boundary
+	// (epoch, seq) is exact — both only advance under s.mu. The epoch
+	// must cover a pending raise still parked in commit: rotation marks
+	// every appended LSN durable, so the sealed segment carries it.
 	t0 := time.Now()
-	newGen := s.gen.Load() + 1
-	// The snapshot must carry every epoch record in the log — including
-	// one appended by a SetEpoch still waiting on its commit — because
-	// Reinit below declares all appended LSNs durable.
+	s.mu.Lock()
+	oldGen := s.gen.Load()
+	newGen := oldGen + 1
 	epoch := s.epoch.Load()
 	if s.pendingEpoch > epoch {
 		epoch = s.pendingEpoch
 	}
-	w, err := wal.CreateSnapshot(s.fsys, filepath.Join(s.dir, snapName), newGen, epoch)
+	seq := s.seq.Load()
+	err := s.log.Rotate(s.segPath(oldGen), wal.Header{Gen: newGen, BaseEpoch: epoch, BaseSeq: seq})
+	if err == nil {
+		s.gen.Store(newGen)
+	}
+	s.mu.Unlock()
+	stall := time.Since(t0).Microseconds()
+	s.lastStallUs.Store(stall)
+	s.stallUsTotal.Add(stall)
+	if s.mStallUs != nil {
+		s.mStallUs.ObserveUs(stall)
+	}
+	if err != nil {
+		s.snapshotErrs.Add(1)
+		return fmt.Errorf("kvstore: checkpoint: %w", err)
+	}
+	// The sealed segment durably carries epoch (possibly a pending raise
+	// whose SetEpoch is still parked in commit — Rotate just satisfied it).
+	storeMax(&s.epoch, epoch)
+
+	// Phase 2: stream the snapshot without blocking writers. Each chunk
+	// aliases tree memory under the read lock — safe to write out after
+	// release because keys and values are immutable once stored (see
+	// Scan's contract).
+	w, err := wal.CreateSnapshot(s.fsys, filepath.Join(s.dir, snapName), newGen, epoch, seq)
 	if err != nil {
 		s.snapshotErrs.Add(1)
 		return fmt.Errorf("kvstore: checkpoint: %w", err)
 	}
 	var putErr error
-	s.tree.scan(nil, nil, func(k, v []byte) bool {
-		putErr = w.Put(k, v)
-		return putErr == nil
-	})
+	var lastKey []byte
+	started := false
+	pairs := make([]KV, 0, ckptChunk)
+	for {
+		pairs = pairs[:0]
+		s.mu.RLock()
+		it := s.tree.iter()
+		it.Seek(lastKey)
+		if started {
+			// Skip pairs at or before the previous chunk's boundary; an
+			// exact-match boundary key was already written.
+			for it.Valid() && bytes.Compare(it.Key(), lastKey) <= 0 {
+				it.Next()
+			}
+		}
+		for ; it.Valid() && len(pairs) < ckptChunk; it.Next() {
+			pairs = append(pairs, KV{Key: it.Key(), Val: it.Value()})
+		}
+		s.mu.RUnlock()
+		if len(pairs) == 0 {
+			break
+		}
+		for _, kv := range pairs {
+			if putErr = w.Put(kv.Key, kv.Val); putErr != nil {
+				break
+			}
+		}
+		if putErr != nil {
+			break
+		}
+		lastKey, started = pairs[len(pairs)-1].Key, true
+		if len(pairs) < ckptChunk {
+			break
+		}
+	}
 	if putErr != nil {
 		w.Abort()
 		s.snapshotErrs.Add(1)
 		return fmt.Errorf("kvstore: checkpoint: %w", putErr)
 	}
-	bytes, err := w.Commit()
+	nbytes, err := w.Commit()
 	if err != nil {
+		// The rotation stands — the segment chain still recovers
+		// everything; the next checkpoint retries the snapshot.
 		s.snapshotErrs.Add(1)
 		return fmt.Errorf("kvstore: checkpoint: %w", err)
 	}
-	// Snapshot is live: truncate the log onto the new generation. Every
-	// record appended so far is covered by the snapshot (appends and
-	// tree application both happen under s.mu, which we hold).
-	if err := s.log.Reinit(wal.Header{Gen: newGen, BaseEpoch: epoch}); err != nil {
-		// The snapshot is published but the old-generation log remains;
-		// recovery discards it as stale. Further writes fail sticky.
-		s.snapshotErrs.Add(1)
-		return fmt.Errorf("kvstore: checkpoint: %w", err)
-	}
-	s.gen.Store(newGen)
-	// The snapshot durably carries epoch (possibly a pending raise whose
-	// SetEpoch is still parked in commit — Reinit just satisfied it).
-	storeMax(&s.epoch, epoch)
+
+	// Phase 3: segments older than the published snapshot are now
+	// retention-only; prune past the shipping budget.
+	s.pruneSegments(newGen)
 	s.snapshots.Add(1)
-	s.lastSnapshotBytes.Store(bytes)
+	s.lastSnapshotBytes.Store(nbytes)
 	us := time.Since(t0).Microseconds()
 	s.lastSnapshotUs.Store(us)
 	if s.mSnapUs != nil {
@@ -591,7 +843,11 @@ func (s *Store) Checkpoint() error {
 type DurabilityStats struct {
 	Epoch              uint64 `json:"epoch"`
 	Generation         uint64 `json:"generation"`
+	Seq                uint64 `json:"seq"`
+	FirstRetainedSeq   uint64 `json:"first_retained_seq"`
 	WALBytes           int64  `json:"wal_bytes"`
+	WALSegments        int64  `json:"wal_segments"`
+	SegmentBytes       int64  `json:"segment_bytes"`
 	Fsyncs             uint64 `json:"fsyncs"`
 	FsyncMeanUs        int64  `json:"fsync_mean_us"`
 	FsyncP99Us         int64  `json:"fsync_p99_us"`
@@ -600,9 +856,15 @@ type DurabilityStats struct {
 	SnapshotErrors     uint64 `json:"snapshot_errors,omitempty"`
 	LastSnapshotBytes  int64  `json:"last_snapshot_bytes,omitempty"`
 	LastSnapshotUs     int64  `json:"last_snapshot_us,omitempty"`
-	ReplayedRecords    uint64 `json:"replayed_records"`
-	ReplayTornBytes    int64  `json:"replay_torn_bytes,omitempty"`
-	RecoveryUs         int64  `json:"recovery_us"`
+	// LastCheckpointStallUs is the write-lock hold of the last
+	// checkpoint's log rotation — the only window a checkpoint blocks
+	// commits now that the snapshot itself streams under chunked read
+	// locks.
+	LastCheckpointStallUs  int64  `json:"last_checkpoint_stall_us,omitempty"`
+	CheckpointStallTotalUs int64  `json:"checkpoint_stall_total_us,omitempty"`
+	ReplayedRecords        uint64 `json:"replayed_records"`
+	ReplayTornBytes        int64  `json:"replay_torn_bytes,omitempty"`
+	RecoveryUs             int64  `json:"recovery_us"`
 }
 
 // DurabilityStats returns durability health; ok is false for memory
@@ -613,20 +875,27 @@ func (s *Store) DurabilityStats() (st DurabilityStats, ok bool) {
 	}
 	fsync := s.mFsyncUs.Snapshot()
 	batch := s.mBatch.Snapshot()
+	seq, firstAvail := s.ReplStatus()
 	return DurabilityStats{
-		Epoch:              s.epoch.Load(),
-		Generation:         s.gen.Load(),
-		WALBytes:           s.WALSize(),
-		Fsyncs:             s.mFsyncs.Load(),
-		FsyncMeanUs:        fsync.MeanUs(),
-		FsyncP99Us:         fsync.Quantile(0.99),
-		GroupCommitRecords: uint64(batch.SumUs),
-		Snapshots:          s.snapshots.Load(),
-		SnapshotErrors:     s.snapshotErrs.Load(),
-		LastSnapshotBytes:  s.lastSnapshotBytes.Load(),
-		LastSnapshotUs:     s.lastSnapshotUs.Load(),
-		ReplayedRecords:    s.replayedRecords,
-		ReplayTornBytes:    s.replayTornBytes,
-		RecoveryUs:         s.recoveryUs,
+		Epoch:                  s.epoch.Load(),
+		Generation:             s.gen.Load(),
+		Seq:                    seq,
+		FirstRetainedSeq:       firstAvail,
+		WALBytes:               s.WALSize(),
+		WALSegments:            s.segCount.Load(),
+		SegmentBytes:           s.segBytes.Load(),
+		Fsyncs:                 s.mFsyncs.Load(),
+		FsyncMeanUs:            fsync.MeanUs(),
+		FsyncP99Us:             fsync.Quantile(0.99),
+		GroupCommitRecords:     uint64(batch.SumUs),
+		Snapshots:              s.snapshots.Load(),
+		SnapshotErrors:         s.snapshotErrs.Load(),
+		LastSnapshotBytes:      s.lastSnapshotBytes.Load(),
+		LastSnapshotUs:         s.lastSnapshotUs.Load(),
+		LastCheckpointStallUs:  s.lastStallUs.Load(),
+		CheckpointStallTotalUs: s.stallUsTotal.Load(),
+		ReplayedRecords:        s.replayedRecords,
+		ReplayTornBytes:        s.replayTornBytes,
+		RecoveryUs:             s.recoveryUs,
 	}, true
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 
+	"orchestra/internal/cluster"
 	"orchestra/internal/engine"
 	"orchestra/internal/kvstore"
 	"orchestra/internal/obs"
@@ -104,6 +105,14 @@ type CacheStatsProvider interface {
 // store's recovery/fsync counters when present and ok is true.
 type DurabilityStatsProvider interface {
 	DurabilityStats() (kvstore.DurabilityStats, bool)
+}
+
+// ReplStatsProvider is optionally implemented by backends that can
+// report replica-repair health (WAL-shipping catch-up, anti-entropy,
+// per-peer lag); the status op and /metrics report it when present and
+// ok is true.
+type ReplStatsProvider interface {
+	ReplStats() (cluster.ReplStats, bool)
 }
 
 // RecoveryMode maps a wire recovery-mode name to the engine constant.

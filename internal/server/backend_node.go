@@ -278,6 +278,13 @@ func (b *NodeBackend) DurabilityStats() (kvstore.DurabilityStats, bool) {
 	return b.node.Store().DurabilityStats()
 }
 
+// ReplStats implements ReplStatsProvider: the node's replica-repair
+// counters and per-peer catch-up lag (ok is false when the node has no
+// peers to replicate with).
+func (b *NodeBackend) ReplStats() (cluster.ReplStats, bool) {
+	return b.node.ReplStats(), b.node.Table().Size() > 1
+}
+
 // nodeCatalog resolves schemas and row-count statistics from the
 // replicated catalogs for the optimizer. The catalog record carries the
 // relation's persisted row count, so node-side planning sees real

@@ -32,6 +32,7 @@ import (
 	"strconv"
 	"strings"
 
+	"orchestra/internal/cluster"
 	"orchestra/internal/engine"
 	"orchestra/internal/kvstore"
 	"orchestra/internal/obs"
@@ -406,6 +407,11 @@ type StatusResponse struct {
 	// Durability reports the serving node's WAL/snapshot/recovery
 	// counters when its store is durable (omitted for in-memory stores).
 	Durability *kvstore.DurabilityStats `json:"durability,omitempty"`
+	// Replication reports the serving node's replica-repair health —
+	// catch-up counters, anti-entropy repairs, and per-peer shipping
+	// lag — when the backend exposes it (omitted for single-node
+	// deployments).
+	Replication *cluster.ReplStats `json:"replication,omitempty"`
 }
 
 // SlowQuery is one slow-query log entry.

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"orchestra/internal/cluster"
 	"orchestra/internal/engine"
 	"orchestra/internal/obs"
 	"orchestra/internal/tuple"
@@ -252,6 +253,7 @@ func Start(addr string, backend Backend, cfg Config) (*Server, error) {
 		return int64(time.Since(s.start).Seconds())
 	})
 	s.registerCacheGauges()
+	s.registerReplGauges()
 	s.accepts.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -273,6 +275,30 @@ func (s *Server) registerCacheGauges() {
 		s.metrics.GaugeFunc(`orchestra_cache_evictions{cache="`+name+`"}`, stat(name, func(c engine.CacheStats) int64 { return int64(c.Evictions) }))
 		s.metrics.GaugeFunc(`orchestra_cache_size{cache="`+name+`"}`, stat(name, func(c engine.CacheStats) int64 { return int64(c.Size) }))
 	}
+}
+
+// registerReplGauges exports the backend's replica-repair health as
+// registry gauges when the backend provides it: shipping lag, catch-up
+// and state-transfer counters, and anti-entropy repairs.
+func (s *Server) registerReplGauges() {
+	prov, ok := s.backend.(ReplStatsProvider)
+	if !ok {
+		return
+	}
+	stat := func(f func(cluster.ReplStats) int64) func() int64 {
+		return func() int64 {
+			r, rok := prov.ReplStats()
+			if !rok {
+				return 0
+			}
+			return f(r)
+		}
+	}
+	s.metrics.GaugeFunc("orchestra_repl_max_lag", stat(func(r cluster.ReplStats) int64 { return int64(r.MaxLag) }))
+	s.metrics.GaugeFunc("orchestra_repl_catch_up_records_total", stat(func(r cluster.ReplStats) int64 { return int64(r.CatchUpRecords) }))
+	s.metrics.GaugeFunc("orchestra_repl_state_transfers_total", stat(func(r cluster.ReplStats) int64 { return int64(r.StateTransfers) }))
+	s.metrics.GaugeFunc("orchestra_repl_anti_entropy_repairs_total", stat(func(r cluster.ReplStats) int64 { return int64(r.AntiEntropyRepairs) }))
+	s.metrics.GaugeFunc("orchestra_repl_last_catch_up_us", stat(func(r cluster.ReplStats) int64 { return r.LastCatchUpUs }))
 }
 
 // ServeOps starts an HTTP listener on addr ("host:port"; ":0" picks a
@@ -1077,6 +1103,11 @@ func (s *Server) status() *StatusResponse {
 	if prov, ok := s.backend.(DurabilityStatsProvider); ok {
 		if d, dok := prov.DurabilityStats(); dok {
 			st.Durability = &d
+		}
+	}
+	if prov, ok := s.backend.(ReplStatsProvider); ok {
+		if r, rok := prov.ReplStats(); rok {
+			st.Replication = &r
 		}
 	}
 	st.SlowQueries, _ = s.slow.snapshot(false)

@@ -51,12 +51,26 @@ func NewNetwork(cfg Config) *Network {
 	}
 }
 
-// Join attaches a new endpoint with the given identity.
+// Join attaches a new endpoint with the given identity. A killed node's
+// identity may be reused — the restart path of a crashed replica — which
+// replaces its dead endpoint and retires any links still pointing at it.
 func (n *Network) Join(id ring.NodeID) (Endpoint, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if _, exists := n.nodes[id]; exists {
+	if old, exists := n.nodes[id]; exists && !old.isClosed() {
 		return nil, fmt.Errorf("transport: node %q already joined", id)
+	}
+	// Stale links cache a pointer to a previous endpoint with this
+	// identity (killed or closed) and would silently drop messages meant
+	// for the replacement.
+	for key, l := range n.links {
+		if key.to == id {
+			delete(n.links, key)
+			l.mu.Lock()
+			l.closed = true
+			l.mu.Unlock()
+			l.cond.Signal()
+		}
 	}
 	ep := &simEndpoint{
 		net:      n,

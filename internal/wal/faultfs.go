@@ -121,6 +121,13 @@ func (f *FaultFS) Stat(name string) (iofs.FileInfo, error) {
 	return f.base.Stat(name)
 }
 
+func (f *FaultFS) ReadDir(name string) ([]string, error) {
+	if !f.alive() {
+		return nil, ErrInjected
+	}
+	return f.base.ReadDir(name)
+}
+
 // SyncDir is a durability step: crashing here models power loss after a
 // rename reached the directory cache but before the entry was flushed.
 func (f *FaultFS) SyncDir(name string) error {

@@ -30,6 +30,9 @@ type FS interface {
 	Remove(name string) error
 	MkdirAll(path string, perm iofs.FileMode) error
 	Stat(name string) (iofs.FileInfo, error)
+	// ReadDir lists the file names in a directory in lexical order
+	// (recovery uses it to discover archived WAL segments).
+	ReadDir(name string) ([]string, error)
 	// SyncDir fsyncs the directory at name, making previously completed
 	// renames and file creations inside it durable. A rename is only a
 	// commit point once the directory entry itself is on disk — without
@@ -55,6 +58,18 @@ func (osFS) Rename(oldpath, newpath string) error           { return os.Rename(o
 func (osFS) Remove(name string) error                       { return os.Remove(name) }
 func (osFS) MkdirAll(path string, perm iofs.FileMode) error { return os.MkdirAll(path, perm) }
 func (osFS) Stat(name string) (iofs.FileInfo, error)        { return os.Stat(name) }
+
+func (osFS) ReadDir(name string) ([]string, error) {
+	ents, err := os.ReadDir(name)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
 
 func (osFS) SyncDir(name string) error {
 	d, err := os.Open(name)

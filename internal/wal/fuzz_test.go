@@ -50,14 +50,14 @@ func FuzzWALDecode(f *testing.F) {
 // and every accepted snapshot iterates exactly Count entries.
 func FuzzSnapshotDecode(f *testing.F) {
 	f.Add([]byte{})
-	f.Add(appendSnapHeader(nil, 1, 2, 0))
-	good := appendSnapHeader(nil, 1, 2, 0)
+	f.Add(appendSnapHeader(nil, 1, 2, 0, 0))
+	good := appendSnapHeader(nil, 1, 2, 0, 0)
 	f.Add(good[:20])
-	huge := appendSnapHeader(nil, 1, 2, 1<<60) // count bomb, tiny body
+	huge := appendSnapHeader(nil, 1, 2, 0, 1<<60) // count bomb, tiny body
 	f.Add(huge)
 	// Entry whose keyLen uvarint is ~2^64: the m+keyLen bound check must
 	// not wrap around and pass (it would panic on the slice expression).
-	wrap := appendSnapHeader(nil, 1, 2, 1)
+	wrap := appendSnapHeader(nil, 1, 2, 0, 1)
 	wrap = AppendRecord(wrap, snapEntryOp, binary.AppendUvarint(nil, math.MaxUint64))
 	f.Add(wrap)
 

@@ -13,9 +13,13 @@ import (
 )
 
 // Snapshot layout. A snapshot is the full store state at one
-// generation; committing one lets the log be truncated.
+// generation; committing one lets the log (chain) be truncated. seq is
+// the global record sequence the snapshot covers: every record with a
+// lower-or-equal sequence is reflected in it (a fuzzy snapshot taken
+// concurrently with writers may additionally reflect some later
+// records, which is harmless — log replay is idempotent).
 //
-//	magic "ORCSNP1\n" (8) | version (1) | pad (3) | gen (8) | epoch (8) | count (8) | crc32c (4)
+//	magic "ORCSNP1\n" (8) | version (1) | pad (3) | gen (8) | epoch (8) | seq (8) | count (8) | crc32c (4)
 //
 // followed by count entry frames (the record frame from wal.go with
 // op = snapEntryOp and payload = keyLen uvarint | key | val). The file
@@ -24,7 +28,7 @@ import (
 // snapshot untouched.
 const (
 	snapMagic     = "ORCSNP1\n"
-	snapHeaderLen = 40
+	snapHeaderLen = 48
 	snapEntryOp   = byte(1)
 
 	// minEntryLen is the smallest possible entry frame (empty key and
@@ -41,6 +45,7 @@ type SnapshotWriter struct {
 	buf       *bufio.Writer
 	gen       uint64
 	epoch     uint64
+	seq       uint64
 	count     uint64
 	bytes     int64
 	scratch   []byte
@@ -49,17 +54,18 @@ type SnapshotWriter struct {
 }
 
 // CreateSnapshot starts writing a snapshot that will be published at
-// path. gen is the new generation; epoch is the store epoch it captures.
-func CreateSnapshot(fsys FS, path string, gen, epoch uint64) (*SnapshotWriter, error) {
+// path. gen is the new generation; epoch is the store epoch it
+// captures; seq is the global record sequence it covers.
+func CreateSnapshot(fsys FS, path string, gen, epoch, seq uint64) (*SnapshotWriter, error) {
 	tmp := path + ".tmp"
 	f, err := fsys.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: create snapshot %s: %w", tmp, err)
 	}
 	w := &SnapshotWriter{fsys: fsys, tmp: tmp, path: path, f: f,
-		buf: bufio.NewWriterSize(f, 1<<16), gen: gen, epoch: epoch}
+		buf: bufio.NewWriterSize(f, 1<<16), gen: gen, epoch: epoch, seq: seq}
 	// Placeholder header; Commit rewrites it with the final count.
-	if _, err := w.buf.Write(appendSnapHeader(nil, gen, epoch, 0)); err != nil {
+	if _, err := w.buf.Write(appendSnapHeader(nil, gen, epoch, seq, 0)); err != nil {
 		w.Abort()
 		return nil, fmt.Errorf("wal: write snapshot header: %w", err)
 	}
@@ -103,7 +109,7 @@ func (w *SnapshotWriter) Commit() (int64, error) {
 		if _, err := w.f.Seek(0, io.SeekStart); err != nil {
 			return err
 		}
-		if _, err := w.f.Write(appendSnapHeader(nil, w.gen, w.epoch, w.count)); err != nil {
+		if _, err := w.f.Write(appendSnapHeader(nil, w.gen, w.epoch, w.seq, w.count)); err != nil {
 			return err
 		}
 		if err := w.f.Sync(); err != nil {
@@ -140,12 +146,13 @@ func (w *SnapshotWriter) Abort() {
 	}
 }
 
-func appendSnapHeader(dst []byte, gen, epoch, count uint64) []byte {
+func appendSnapHeader(dst []byte, gen, epoch, seq, count uint64) []byte {
 	start := len(dst)
 	dst = append(dst, snapMagic...)
 	dst = append(dst, version, 0, 0, 0)
 	dst = binary.BigEndian.AppendUint64(dst, gen)
 	dst = binary.BigEndian.AppendUint64(dst, epoch)
+	dst = binary.BigEndian.AppendUint64(dst, seq)
 	dst = binary.BigEndian.AppendUint64(dst, count)
 	crc := crc32.Checksum(dst[start:], crcTable)
 	return binary.BigEndian.AppendUint32(dst, crc)
@@ -155,6 +162,7 @@ func appendSnapHeader(dst []byte, gen, epoch, count uint64) []byte {
 type Snapshot struct {
 	Gen   uint64
 	Epoch uint64
+	Seq   uint64
 	Count uint64
 	data  []byte // entry frames
 }
@@ -177,7 +185,8 @@ func ParseSnapshot(data []byte) (*Snapshot, error) {
 	s := &Snapshot{
 		Gen:   binary.BigEndian.Uint64(data[12:]),
 		Epoch: binary.BigEndian.Uint64(data[20:]),
-		Count: binary.BigEndian.Uint64(data[28:]),
+		Seq:   binary.BigEndian.Uint64(data[28:]),
+		Count: binary.BigEndian.Uint64(data[36:]),
 		data:  data[snapHeaderLen:],
 	}
 	if s.Count > uint64(len(s.data))/minEntryLen {

@@ -20,21 +20,26 @@ import (
 //
 // Log file = header | record*. The header pins the log to a snapshot
 // generation so recovery can tell a live log from a stale one left by a
-// crash mid-checkpoint:
+// crash mid-checkpoint, and to a base sequence number so a chain of
+// rotated segments can be verified contiguous:
 //
-//	magic "ORCWAL1\n" (8) | version (1) | pad (3) | gen (8) | baseEpoch (8) | crc32c (4)
+//	magic "ORCWAL1\n" (8) | version (1) | pad (3) | gen (8) | baseEpoch (8) | baseSeq (8) | crc32c (4)
 //
 // Record frame (also used for snapshot entries):
 //
 //	frameLen u32 BE (= 1 + len(payload)) | op (1) | payload | crc32c (4)
+//
+// Records carry no explicit sequence number: the i'th record of a log
+// (1-based) has global sequence BaseSeq+i, so positions are implicit and
+// the frame format is unchanged from version 1.
 //
 // The CRC (Castagnoli) covers the length prefix, op, and payload, so a
 // torn or bit-flipped frame — including a corrupted length — fails
 // verification instead of desynchronizing the parse.
 const (
 	magic     = "ORCWAL1\n"
-	version   = 1
-	headerLen = 32
+	version   = 2
+	headerLen = 40
 
 	// MaxRecordLen caps a single frame's op+payload length. A frame
 	// claiming more than this is treated as corruption — hostile or
@@ -52,10 +57,12 @@ var (
 	ErrClosed  = errors.New("wal: closed")
 )
 
-// Header identifies which snapshot generation a log extends.
+// Header identifies which snapshot generation a log extends and the
+// global record sequence number it starts after.
 type Header struct {
 	Gen       uint64 // snapshot generation this log's records apply on top of
 	BaseEpoch uint64 // store epoch at the time the log was (re)initialized
+	BaseSeq   uint64 // global sequence of the last record before this log
 }
 
 func appendHeader(dst []byte, h Header) []byte {
@@ -64,6 +71,7 @@ func appendHeader(dst []byte, h Header) []byte {
 	dst = append(dst, version, 0, 0, 0)
 	dst = binary.BigEndian.AppendUint64(dst, h.Gen)
 	dst = binary.BigEndian.AppendUint64(dst, h.BaseEpoch)
+	dst = binary.BigEndian.AppendUint64(dst, h.BaseSeq)
 	crc := crc32.Checksum(dst[start:], crcTable)
 	return binary.BigEndian.AppendUint32(dst, crc)
 }
@@ -84,6 +92,7 @@ func parseHeader(data []byte) (Header, error) {
 	return Header{
 		Gen:       binary.BigEndian.Uint64(data[12:]),
 		BaseEpoch: binary.BigEndian.Uint64(data[20:]),
+		BaseSeq:   binary.BigEndian.Uint64(data[28:]),
 	}, nil
 }
 
@@ -382,17 +391,26 @@ func (l *Log) Commit(lsn int64) error {
 	l.syncMu.Unlock()
 
 	// Leader: flush everything appended so far, then one fsync covers
-	// this record and every follower parked above.
+	// this record and every follower parked above. The file is captured
+	// under mu — a concurrent Rotate may swap it, in which case the
+	// rotation's own seal fsync already made these records durable.
 	l.mu.Lock()
 	target := l.appended
 	err := l.flushLocked()
+	f := l.f
 	l.mu.Unlock()
 	if err == nil {
-		err = l.fsync()
+		err = l.fsyncFile(f)
 	}
 
 	l.syncMu.Lock()
 	l.syncing = false
+	if err != nil && target <= l.synced {
+		// A rotation overtook this fsync and marked everything up to
+		// target durable via its seal fsync; an error on the retired
+		// file (possibly already closed) endangers nothing.
+		err = nil
+	}
 	if err != nil {
 		l.syncErr = err
 	} else if target > l.synced {
@@ -413,12 +431,18 @@ func (l *Log) Sync() error {
 	l.mu.Lock()
 	target := l.appended
 	err := l.flushLocked()
+	f := l.f
 	l.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	if err := l.fsync(); err != nil {
+	if err := l.fsyncFile(f); err != nil {
 		l.syncMu.Lock()
+		if target <= l.synced {
+			// Rotation already covered these records (see Commit).
+			l.syncMu.Unlock()
+			return nil
+		}
 		if l.syncErr == nil {
 			l.syncErr = err
 		}
@@ -433,9 +457,9 @@ func (l *Log) Sync() error {
 	return nil
 }
 
-func (l *Log) fsync() error {
+func (l *Log) fsyncFile(f File) error {
 	t0 := time.Now()
-	if err := l.f.Sync(); err != nil {
+	if err := f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
 	if l.opts.FsyncUs != nil {
@@ -481,6 +505,72 @@ func (l *Log) Reinit(hdr Header) error {
 	}
 	l.syncCond.Broadcast()
 	l.syncMu.Unlock()
+	return nil
+}
+
+// Rotate seals the current log file as an archived segment at segPath
+// and continues appending into a fresh log (with hdr) at the original
+// path — the streaming-checkpoint variant of Reinit. The old file is
+// flushed and fsynced before the rename, so the sealed segment is
+// complete and durable; every record appended so far is then marked
+// durable, releasing any commits parked on the group-commit condition.
+// The caller must prevent concurrent Appends (the store holds its write
+// lock), but unlike Reinit no snapshot needs to exist yet: recovery
+// replays the segment chain.
+func (l *Log) Rotate(segPath string, hdr Header) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	fail := func(stage string, err error) error {
+		l.err = fmt.Errorf("wal: rotate %s: %w", stage, err)
+		return l.err
+	}
+	if err := l.buf.Flush(); err != nil {
+		return fail("flush", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fail("seal fsync", err)
+	}
+	// The fd stays valid across the rename; it is closed only after any
+	// in-flight group-commit fsync drains (a leader may hold the old
+	// file captured outside mu — its records are durable via the seal
+	// fsync above, so its own fsync outcome no longer matters).
+	oldF := l.f
+	if err := l.fsys.Rename(l.path, segPath); err != nil {
+		return fail("archive", err)
+	}
+	f, err := l.fsys.OpenFile(l.path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fail("create", err)
+	}
+	if err := initLogFile(f, hdr); err != nil {
+		f.Close()
+		return fail("init", err)
+	}
+	// One directory sync makes both the rename and the new file durable.
+	if err := l.fsys.SyncDir(filepath.Dir(l.path)); err != nil {
+		f.Close()
+		return fail("sync dir", err)
+	}
+	l.f = f
+	l.buf.Reset(f)
+	l.size = headerLen
+	l.syncMu.Lock()
+	if l.appended > l.synced {
+		l.synced = l.appended
+	}
+	l.syncCond.Broadcast()
+	l.syncMu.Unlock()
+	go func() {
+		l.syncMu.Lock()
+		for l.syncing {
+			l.syncCond.Wait()
+		}
+		l.syncMu.Unlock()
+		oldF.Close()
+	}()
 	return nil
 }
 

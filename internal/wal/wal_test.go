@@ -241,7 +241,7 @@ func TestReinitReleasesCommitters(t *testing.T) {
 
 func TestSnapshotRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "x.snap")
-	w, err := CreateSnapshot(OS, path, 3, 17)
+	w, err := CreateSnapshot(OS, path, 3, 17, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +262,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Gen != 3 || s.Epoch != 17 || s.Count != uint64(len(want)) {
+	if s.Gen != 3 || s.Epoch != 17 || s.Seq != 42 || s.Count != uint64(len(want)) {
 		t.Fatalf("snapshot meta = %+v", s)
 	}
 	got := map[string]string{}
@@ -288,7 +288,7 @@ func TestSnapshotMissing(t *testing.T) {
 
 func TestSnapshotCorruptionRejected(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "x.snap")
-	w, err := CreateSnapshot(OS, path, 1, 1)
+	w, err := CreateSnapshot(OS, path, 1, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +320,7 @@ func TestSnapshotCrashBeforeRenameInvisible(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "x.snap")
 	// Abandon a snapshot mid-write: only the .tmp exists.
-	w, err := CreateSnapshot(OS, path, 1, 1)
+	w, err := CreateSnapshot(OS, path, 1, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

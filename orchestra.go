@@ -61,6 +61,8 @@ type config struct {
 	dataDir         string
 	syncMode        kvstore.SyncMode
 	checkpointBytes int64
+	retainBytes     int64
+	repairInterval  time.Duration
 }
 
 // WithReplication sets the total copy count r kept of each data item
@@ -101,6 +103,10 @@ type Cluster struct {
 	views      *viewCache               // nil unless EnableQueryCache was called
 	registries map[string]*obs.Registry // per-node durability metrics, by node ID
 	served     map[*Server]string       // live served endpoints, by advertised address
+
+	// repairInterval is the anti-entropy period (0 = off); restarted
+	// nodes resume the loop with it.
+	repairInterval time.Duration
 }
 
 // NewCluster starts n nodes with balanced range allocation and replication
@@ -138,6 +144,12 @@ func NewCluster(n int, opts ...Option) (*Cluster, error) {
 		if err := c.recoverCatalogs(); err != nil {
 			c.Shutdown()
 			return nil, err
+		}
+	}
+	if cfg.repairInterval > 0 {
+		c.repairInterval = cfg.repairInterval
+		for _, node := range local.Nodes() {
+			node.StartRepair(cfg.repairInterval)
 		}
 	}
 	return c, nil

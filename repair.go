@@ -1,0 +1,65 @@
+package orchestra
+
+import (
+	"context"
+	"time"
+
+	"orchestra/internal/cluster"
+	"orchestra/internal/engine"
+)
+
+// ReplStats is a node's replica-repair health snapshot: WAL-shipping
+// catch-up counters, anti-entropy rounds and repairs, and per-peer
+// shipping lag. Serving endpoints expose it through the status op and
+// /metrics.
+type ReplStats = cluster.ReplStats
+
+// WithWALRetention bounds the archived WAL segments each durable node
+// keeps for replica catch-up (bytes; default 32 MiB). A rejoining node
+// whose peers still retain its missed records catches up by replaying
+// the shipped log delta; once peers truncate past its position it falls
+// back to a full state transfer. Only meaningful with WithDataDir.
+func WithWALRetention(n int64) Option { return func(c *config) { c.retainBytes = n } }
+
+// WithAntiEntropy starts a low-priority background repair loop on every
+// node: at each interval a node exchanges per-relation summaries with
+// one replica peer, pulls any missed log suffix (WAL shipping), and
+// reconciles divergence it finds. Rejoining nodes converge without an
+// explicit repair call; the loop idles cheaply when replicas agree.
+func WithAntiEntropy(interval time.Duration) Option {
+	return func(c *config) { c.repairInterval = interval }
+}
+
+// ReplStats reports node i's replica-repair counters and catch-up lag.
+func (c *Cluster) ReplStats(i int) ReplStats { return c.local.Node(i).ReplStats() }
+
+// RepairNode runs one synchronous repair pass at node i against every
+// replica peer: WAL-shipping catch-up where markers exist, digest
+// comparison, and state transfer where histories diverged.
+func (c *Cluster) RepairNode(i int) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	return c.local.Node(i).Repair(ctx)
+}
+
+// RestartNode brings a killed node back under the same identity: its
+// store is reopened (durable stores recover from WAL and snapshot;
+// volatile ones come back empty), it rejoins the network, and it
+// catches up from its replica peers — via WAL shipping when their logs
+// still cover its position, else by state transfer. The routing table
+// is untouched: a restart is repair, not a membership change.
+func (c *Cluster) RestartNode(i int) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	node, err := c.local.Restart(ctx, c.local.Node(i).ID())
+	if node != nil {
+		c.engines[i] = engine.New(node)
+		c.mu.Lock()
+		interval := c.repairInterval
+		c.mu.Unlock()
+		if interval > 0 {
+			node.StartRepair(interval)
+		}
+	}
+	return err
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"orchestra/internal/cluster"
 	"orchestra/internal/kvstore"
 	"orchestra/internal/server"
 	"orchestra/internal/sql"
@@ -410,6 +411,13 @@ func (b *clusterBackend) CacheStats() map[string]CacheStats {
 // clusters (ok is false when the serving node's store is in-memory).
 func (b *clusterBackend) DurabilityStats() (kvstore.DurabilityStats, bool) {
 	return b.c.DurabilityStats(b.node)
+}
+
+// ReplStats implements server.ReplStatsProvider: the serving node's
+// replica-repair counters and catch-up lag (ok is false when the
+// cluster has a single node — there is nothing to replicate with).
+func (b *clusterBackend) ReplStats() (cluster.ReplStats, bool) {
+	return b.c.ReplStats(b.node), b.c.Size() > 1
 }
 
 func (b *clusterBackend) Info() server.BackendInfo {
