@@ -1193,6 +1193,35 @@ func (s *Stream) Trace() *TraceSpan {
 	return nil
 }
 
+// TotalRows returns the stream's total row count as reported by the
+// server's End frame (0 for buffered fallback streams, where Batch
+// carries the whole answer).
+func (s *Stream) TotalRows() int64 {
+	if s.end != nil {
+		return s.end.Rows
+	}
+	return 0
+}
+
+// TotalBatches returns how many batch frames the server sent.
+func (s *Stream) TotalBatches() int {
+	if s.end != nil {
+		return s.end.Batches
+	}
+	return 0
+}
+
+// StreamedRows returns how many result rows the server emitted *during*
+// execution — nonzero exactly when the query ran on the server's
+// streaming pushdown path (first batch before the collect), zero when
+// the answer was collected first. Valid after Next returns false.
+func (s *Stream) StreamedRows() int64 {
+	if s.end != nil {
+		return s.end.Streamed
+	}
+	return 0
+}
+
 // Relation describes one catalog entry.
 type Relation = server.RelationInfo
 

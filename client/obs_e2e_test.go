@@ -201,3 +201,85 @@ func TestStatusTraceAndMetricsOps(t *testing.T) {
 		t.Fatalf("GET /debug/pprof/: status %d", pp.StatusCode)
 	}
 }
+
+// TestStreamedQueryObservability: queries that stream during execution
+// must be fully visible in the observability surface — streamed-rows
+// counters and first-batch latency in status and /metrics, and real row
+// counts (not zero) in the slow-query log, which used to only count
+// buffered responses.
+func TestStreamedQueryObservability(t *testing.T) {
+	_, srv := serveCluster(t, 2, orchestra.ServeOptions{
+		SlowQueryThreshold: time.Nanosecond, // every query qualifies
+		OpsAddr:            "127.0.0.1:0",
+	})
+	cl := seedObsCluster(t, srv)
+	ctx := context.Background()
+
+	const sql = "SELECT k, v FROM obs"
+	st, err := cl.QueryStream(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	for st.Next() {
+		rows += len(st.Batch())
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 200 || st.StreamedRows() != 200 {
+		t.Fatalf("rows=%d streamed=%d, want 200/200", rows, st.StreamedRows())
+	}
+	st.Close()
+
+	status, err := cl.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Streams == nil {
+		t.Fatal("status carries no stream stats after a streamed query")
+	}
+	if status.Streams.Queries < 1 || status.Streams.Rows < 200 {
+		t.Fatalf("stream stats %+v, want >=1 query / >=200 rows", status.Streams)
+	}
+	if status.Streams.FirstBatchP50Us < 0 || status.Streams.FirstBatchMaxUs < status.Streams.FirstBatchP50Us {
+		t.Fatalf("first-batch quantiles not monotone: %+v", status.Streams)
+	}
+
+	// The slow-query entry for the streamed query must report the rows
+	// it actually emitted.
+	found := false
+	for _, sq := range status.SlowQueries {
+		if sq.SQL != sql {
+			continue
+		}
+		found = true
+		if sq.Rows != 200 {
+			t.Fatalf("slow-query entry for streamed query has rows=%d, want 200", sq.Rows)
+		}
+	}
+	if !found {
+		t.Fatalf("streamed query missing from slow-query log: %+v", status.SlowQueries)
+	}
+
+	httpRes, err := http.Get("http://" + srv.OpsAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(httpRes.Body)
+	httpRes.Body.Close()
+	if err != nil || httpRes.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d, err %v", httpRes.StatusCode, err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"orchestra_query_first_batch_us_bucket",
+		"orchestra_query_first_batch_us_count",
+		"orchestra_streamed_rows_total",
+		"orchestra_streamed_queries_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+}

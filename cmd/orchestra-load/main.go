@@ -57,6 +57,8 @@ func main() {
 	maxQ := flag.Int("maxq", 0, "local mode: per-endpoint admission-control limit (0 = 2×GOMAXPROCS)")
 	useCache := flag.Bool("cache", false, "local mode: enable the cluster's materialized-view cache")
 	seed := flag.Bool("seed", false, "create and seed the load relation on external endpoints too")
+	firstByte := flag.Bool("firstbyte", false, "consume results via QueryStream and measure time-to-first-batch alongside full-result latency")
+	topK := flag.Int("topk", 0, "append ORDER BY v DESC LIMIT K to every range-scan template (top-K pushdown workload)")
 	out := flag.String("out", "BENCH_wire.json", "append the run record to this JSON file (empty: skip)")
 	engineBench := flag.Bool("enginebench", false, "run the scan-heavy engine workload (embedded, single core, no wire) instead of the wire load")
 	note := flag.String("note", "", "free-form label recorded with the run")
@@ -106,7 +108,15 @@ func main() {
 	}
 
 	queries := makeQueries(*distinct, *rows, *resultRows)
-	rep := run(ctx, endpoints, queries, *clients, *codec, *warmup, *duration)
+	if *topK > 0 {
+		if *resultRows <= 0 {
+			log.Fatal("orchestra-load: -topk requires -resultrows (range-scan templates)")
+		}
+		for i, q := range queries {
+			queries[i] = fmt.Sprintf("%s ORDER BY v DESC LIMIT %d", q, *topK)
+		}
+	}
+	rep := run(ctx, endpoints, queries, *clients, *codec, *warmup, *duration, *firstByte)
 	if ph := latSummary("seed", seedLat); ph != nil {
 		rep.Phases = append([]phaseLat{*ph}, rep.Phases...)
 	}
@@ -271,8 +281,10 @@ func makeQueries(distinct, rows, resultRows int) []string {
 
 type clientStats struct {
 	lat      []time.Duration
+	fbLat    []time.Duration // time-to-first-batch (firstbyte mode)
 	bytes    int64
 	respRows int64
+	strRows  int64 // rows the server streamed during execution
 	errs     int
 	streamed bool
 }
@@ -342,6 +354,16 @@ type benchRecord struct {
 	// Phases are the per-phase (seed, query) client-side latency
 	// summaries; the top-level latency fields repeat the query phase.
 	Phases []phaseLat `json:"phases,omitempty"`
+	// FirstBatch is the time-to-first-batch latency summary (-firstbyte
+	// runs only): how long a streaming consumer waits before the first
+	// result rows are in hand. The top-level latency fields remain
+	// full-result (last byte) latency, so first_batch.p50_us vs p50_us
+	// is the streaming win for the run's workload.
+	FirstBatch *phaseLat `json:"first_batch,omitempty"`
+	// StreamedRows counts rows the servers emitted during execution
+	// (from the stream tails); zero means every query took the
+	// collect-then-emit path (e.g. a pure top-K workload).
+	StreamedRows int64 `json:"streamed_rows,omitempty"`
 	// Failover aggregates the clients' retry/failover counters: on a
 	// healthy deployment Retries and Failovers stay zero, so a nonzero
 	// value in a recorded run is itself a finding.
@@ -349,7 +371,10 @@ type benchRecord struct {
 }
 
 // run drives the closed loop, prints the report, and returns the record.
-func run(ctx context.Context, endpoints, queries []string, clients int, codec string, warmup, duration time.Duration) *benchRecord {
+// With firstByte set, clients consume results through QueryStream and
+// each query contributes two samples: time-to-first-batch and
+// full-result latency.
+func run(ctx context.Context, endpoints, queries []string, clients int, codec string, warmup, duration time.Duration, firstByte bool) *benchRecord {
 	conns := make([]*client.Client, clients)
 	for i := range conns {
 		cl, err := client.Dial(endpoints[i%len(endpoints)], client.Options{PoolSize: 1, Codec: codec})
@@ -382,6 +407,43 @@ func run(ctx context.Context, endpoints, queries []string, clients int, codec st
 				default:
 				}
 				q := queries[rng.Intn(len(queries))]
+				if firstByte {
+					start := time.Now()
+					st, err := cl.QueryStream(ctx, q)
+					var fb, total time.Duration
+					var rows int64
+					if err == nil {
+						for st.Next() {
+							if rows == 0 {
+								fb = time.Since(start)
+							}
+							rows += int64(len(st.Batch()))
+						}
+						err = st.Err()
+						total = time.Since(start)
+						if rows == 0 {
+							fb = total // empty answer: first batch IS the tail
+						}
+					}
+					if measure {
+						if err != nil {
+							stats[i].errs++
+						} else {
+							stats[i].lat = append(stats[i].lat, total)
+							stats[i].fbLat = append(stats[i].fbLat, fb)
+							stats[i].respRows += rows
+							stats[i].strRows += st.StreamedRows()
+							stats[i].bytes += st.WireBytes()
+							stats[i].streamed = true
+						}
+					} else if err != nil {
+						log.Printf("warmup error (client %d): %v", i, err)
+					}
+					if st != nil {
+						st.Close()
+					}
+					continue
+				}
 				start := time.Now()
 				res, err := cl.Query(ctx, q)
 				if measure {
@@ -410,14 +472,16 @@ func run(ctx context.Context, endpoints, queries []string, clients int, codec st
 	wg.Wait()
 	elapsed := time.Since(t0)
 
-	var all []time.Duration
-	var bytes, respRows int64
+	var all, fbAll []time.Duration
+	var bytes, respRows, strRows int64
 	var streamed bool
 	errs := 0
 	for _, s := range stats {
 		all = append(all, s.lat...)
+		fbAll = append(fbAll, s.fbLat...)
 		bytes += s.bytes
 		respRows += s.respRows
+		strRows += s.strRows
 		errs += s.errs
 		streamed = streamed || s.streamed
 	}
@@ -454,6 +518,11 @@ func run(ctx context.Context, endpoints, queries []string, clients int, codec st
 	fmt.Printf("wire:       %d bytes/query, %.1f rows/query, %.2f MB/s\n",
 		bytes/int64(len(all)), float64(respRows)/float64(len(all)),
 		float64(bytes)/1e6/elapsed.Seconds())
+	fb := latSummary("first_batch", fbAll)
+	if fb != nil {
+		fmt.Printf("firstbatch: p50 %dus  p95 %dus  p99 %dus (full-result p50 %s; %d rows streamed during execution)\n",
+			fb.P50Us, fb.P95Us, fb.P99Us, pct(50), strRows)
+	}
 	if fo.Retries > 0 || fo.Failovers > 0 || fo.DialErrors > 0 {
 		fmt.Printf("failover:   %d retries, %d failovers, %d dial errors (of %d attempts)\n",
 			fo.Retries, fo.Failovers, fo.DialErrors, fo.Attempts)
@@ -464,26 +533,28 @@ func run(ctx context.Context, endpoints, queries []string, clients int, codec st
 	}
 
 	return &benchRecord{
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
-		Codec:     codec,
-		Streamed:  streamed,
-		Endpoints: len(endpoints),
-		Clients:   clients,
-		DurationS: elapsed.Seconds(),
-		QueriesOK: len(all),
-		Errors:    errs,
-		QPS:       qps,
-		MeanUs:    (sum / time.Duration(len(all))).Microseconds(),
-		P50Us:     pct(50).Microseconds(),
-		P90Us:     pct(90).Microseconds(),
-		P95Us:     pct(95).Microseconds(),
-		P99Us:     pct(99).Microseconds(),
-		MaxUs:     all[len(all)-1].Microseconds(),
-		BytesPerQ: bytes / int64(len(all)),
-		RowsPerQ:  float64(respRows) / float64(len(all)),
-		WireMBps:  float64(bytes) / 1e6 / elapsed.Seconds(),
-		Phases:    []phaseLat{*latSummary("query", all)},
-		Failover:  fo,
+		Timestamp:    time.Now().UTC().Format(time.RFC3339),
+		Codec:        codec,
+		Streamed:     streamed,
+		Endpoints:    len(endpoints),
+		Clients:      clients,
+		DurationS:    elapsed.Seconds(),
+		QueriesOK:    len(all),
+		Errors:       errs,
+		QPS:          qps,
+		MeanUs:       (sum / time.Duration(len(all))).Microseconds(),
+		P50Us:        pct(50).Microseconds(),
+		P90Us:        pct(90).Microseconds(),
+		P95Us:        pct(95).Microseconds(),
+		P99Us:        pct(99).Microseconds(),
+		MaxUs:        all[len(all)-1].Microseconds(),
+		BytesPerQ:    bytes / int64(len(all)),
+		RowsPerQ:     float64(respRows) / float64(len(all)),
+		WireMBps:     float64(bytes) / 1e6 / elapsed.Seconds(),
+		Phases:       []phaseLat{*latSummary("query", all)},
+		FirstBatch:   fb,
+		StreamedRows: strRows,
+		Failover:     fo,
 	}
 }
 

@@ -93,10 +93,10 @@ func TestEngineScanAllocBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := fmt.Sprintf("SELECT k, grp, v FROM scanload WHERE v >= 0 AND v < %d", engineScanRows)
-	gate := func(t *testing.T, opts QueryOptions) {
+	gate := func(t *testing.T, opts QueryOptions, wantStreamed bool) {
 		run := func() {
 			n := 0
-			_, err := c.QueryBatches(q, opts,
+			res, err := c.QueryBatches(q, opts,
 				func(*Result) error { return nil },
 				func(rows []tuple.Row) error { n += len(rows); return nil },
 				func(b *tuple.Batch) error { n += b.N; return nil })
@@ -105,6 +105,9 @@ func TestEngineScanAllocBudget(t *testing.T) {
 			}
 			if n != engineScanRows {
 				t.Fatalf("query answered %d rows, want %d", n, engineScanRows)
+			}
+			if wantStreamed && res.Streamed != engineScanRows {
+				t.Fatalf("Streamed = %d, want %d — the gate fell back to the collected path", res.Streamed, engineScanRows)
 			}
 		}
 		run() // warm caches and pools
@@ -117,10 +120,15 @@ func TestEngineScanAllocBudget(t *testing.T) {
 				perRow, allocs, ceiling)
 		}
 	}
-	t.Run("default", func(t *testing.T) { gate(t, QueryOptions{}) })
+	t.Run("default", func(t *testing.T) { gate(t, QueryOptions{}, false) })
 	// Tracing costs spans per query, never allocations per row; the same
 	// ceiling holds with the span tree collected.
-	t.Run("traced", func(t *testing.T) { gate(t, QueryOptions{Trace: true}) })
+	t.Run("traced", func(t *testing.T) { gate(t, QueryOptions{Trace: true}, true) })
+	// The streamed-during-execution path must fit the same budget — and
+	// this subtest additionally pins that the scan really does stream
+	// (Result.Streamed counts every row), so a silent fallback to the
+	// collected path fails the gate rather than flattering it.
+	t.Run("streamed", func(t *testing.T) { gate(t, QueryOptions{}, true) })
 }
 
 // BenchmarkEngineScanProvenance measures the filtered scan with

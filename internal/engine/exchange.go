@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"orchestra/internal/keyspace"
 	"orchestra/internal/obs"
@@ -342,7 +343,9 @@ func (s *shipProducer) push(ts []Tup) {
 	var flush []Tup
 	s.mu.Lock()
 	s.pending = append(s.pending, ts...)
-	if len(s.pending) >= flushRows {
+	// Top-K mode buffers the whole fragment output: nothing ships until
+	// eos sorts and truncates it to the local top K.
+	if s.ex.mode != shipTopK && len(s.pending) >= flushRows {
 		flush = s.pending
 		s.pending = nil
 	}
@@ -359,6 +362,21 @@ func (s *shipProducer) push(ts []Tup) {
 func (s *shipProducer) pushCols(cb *colBatch) {
 	if cb.prov != nil {
 		s.push(cb.materialize())
+		return
+	}
+	if s.ex.mode == shipTopK {
+		// Buffer locally (even on the initiator's own fragment): the
+		// whole fragment output is sorted and truncated to K at eos
+		// before anything ships.
+		s.mu.Lock()
+		if s.cols == nil {
+			s.cols = &tuple.Batch{}
+		}
+		err := s.cols.AppendBatchInto(&cb.cols)
+		s.mu.Unlock()
+		if err != nil {
+			s.push(cb.materialize()) // shape mismatch: degrade to rows
+		}
 		return
 	}
 	if s.ex.initiator == s.ex.self() {
@@ -398,11 +416,61 @@ func (s *shipProducer) eos(phase uint32) {
 	flushCols := s.cols
 	s.cols = nil
 	s.mu.Unlock()
+	if s.ex.mode == shipTopK {
+		s.eosTopK(phase, flush, flushCols)
+		return
+	}
 	if flushCols != nil && flushCols.N > 0 {
 		s.ex.sendShipCols(flushCols)
 	}
 	if len(flush) > 0 {
 		s.ex.sendShipBatch(flush)
+	}
+	s.ex.sendShipEOS(phase)
+}
+
+// eosTopK is the fragment half of the top-K pushdown: sort the buffered
+// fragment output with the plan's compiled comparators, truncate to the
+// merged row budget K, and ship only that — at most K rows per fragment
+// reach the initiator. Chunked shipments of one sorted run stay ordered
+// end to end (per-link FIFO), so the initiator's per-source run is
+// sorted by construction.
+func (s *shipProducer) eosTopK(phase uint32, rows []Tup, cols *tuple.Batch) {
+	keys, k := topKParams(s.ex.plan)
+	switch {
+	case len(rows) == 0 && cols != nil && cols.N > 0:
+		sortCols(cols, keys)
+		if cols.N > k {
+			cols.Truncate(k)
+		}
+		var span tuple.Batch
+		for lo := 0; lo < cols.N; lo += flushRows {
+			hi := lo + flushRows
+			if hi > cols.N {
+				hi = cols.N
+			}
+			cols.Slice(lo, hi, &span)
+			s.ex.sendShipCols(&span)
+		}
+	case len(rows) > 0:
+		if cols != nil && cols.N > 0 {
+			// Mixed buffering (a mid-stream shape degrade): fold the
+			// columnar part into the row form and sort once.
+			for _, r := range cols.Rows() {
+				rows = append(rows, Tup{Row: r, Phase: phase})
+			}
+		}
+		sortTups(rows, keys)
+		if len(rows) > k {
+			rows = rows[:k]
+		}
+		for lo := 0; lo < len(rows); lo += flushRows {
+			hi := lo + flushRows
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			s.ex.sendShipBatch(rows[lo:hi])
+		}
 	}
 	s.ex.sendShipEOS(phase)
 }
@@ -426,6 +494,33 @@ type shipConsumer struct {
 	spanBy     map[ring.NodeID]*obs.Span // remote fragment traces (last report wins)
 	firedPhase map[uint32]bool
 	completeCh chan uint32
+
+	// Top-K pushdown (shipTopK): one sorted run per source node, kept
+	// separate for the K-way merge at seal. A per-source shape degrade
+	// lands that source's rows in runsRows instead.
+	runsCols map[ring.NodeID]*tuple.Batch
+	runsRows map[ring.NodeID][]Tup
+
+	// Partial-agg pushdown (shipAggMerge): arriving partial rows fold
+	// straight into the merge accumulator — initiator memory is
+	// O(groups), not O(shipped partials).
+	agg        *finalAggAcc
+	aggScratch tuple.Row
+	aggRecv    int64 // partial rows folded (trace accounting)
+
+	// Streamed emission (shipStream with a sink): receive never blocks —
+	// it appends as before and nudges the drainer goroutine, which swaps
+	// the accumulator out and emits to the sink (possibly blocking on
+	// wire credit there, never on a transport delivery loop).
+	sink      StreamSink
+	streamFin *streamFinalState
+	notify    chan struct{}
+	stopDrain chan struct{}
+	drainDone chan struct{}
+	stopOnce  sync.Once
+	sinkFail  chan error
+	streamed  atomic.Int64
+	peak      int // high-water mark of rows buffered while streaming
 }
 
 func newShipConsumer(ex *executor) *shipConsumer {
@@ -438,6 +533,134 @@ func newShipConsumer(ex *executor) *shipConsumer {
 		firedPhase: make(map[uint32]bool),
 		completeCh: make(chan uint32, 16),
 	}
+}
+
+// startStream arms streamed emission: subsequent arrivals wake a drainer
+// goroutine that hands accumulated batches to sink during execution.
+// Called once, before execution starts.
+func (s *shipConsumer) startStream(sink StreamSink, final []FinalOp) {
+	s.sink = sink
+	s.streamFin = newStreamFinalState(final)
+	s.notify = make(chan struct{}, 1)
+	s.stopDrain = make(chan struct{})
+	s.drainDone = make(chan struct{})
+	s.sinkFail = make(chan error, 1)
+	go s.drainLoop()
+}
+
+// stopStreaming seals the consumer and joins the drainer (which performs
+// one final drain of everything accumulated before the seal). Idempotent;
+// a no-op when streaming was never armed.
+func (s *shipConsumer) stopStreaming() {
+	if s.sink == nil {
+		return
+	}
+	s.stopOnce.Do(func() {
+		s.mu.Lock()
+		s.sealed = true
+		s.mu.Unlock()
+		close(s.stopDrain)
+		<-s.drainDone
+	})
+}
+
+// sinkFailCh exposes the drainer's failure channel to the run loop (nil —
+// blocking forever in a select — when streaming is not armed).
+func (s *shipConsumer) sinkFailCh() <-chan error { return s.sinkFail }
+
+func (s *shipConsumer) notifyDrainLocked() {
+	if s.sink == nil {
+		return
+	}
+	if c := s.collectedLocked(); c > s.peak {
+		s.peak = c
+	}
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// drainLoop is the initiator-side drainer: it swaps the accumulated
+// rows/batch out under the lock (replacing the columnar accumulator with
+// a fresh arena batch) and emits them through the sink. Emission may
+// block on the consumer (wire credit); receive never does. Exits on a
+// sink error (recording it for the run loop) or after the final drain
+// once stopStreaming closed stopDrain.
+func (s *shipConsumer) drainLoop() {
+	defer close(s.drainDone)
+	for {
+		stopping := false
+		select {
+		case <-s.notify:
+			select {
+			case <-s.stopDrain:
+				stopping = true
+			default:
+			}
+		case <-s.stopDrain:
+			stopping = true
+		}
+		s.mu.Lock()
+		rows := s.rows
+		s.rows = nil
+		var cols *tuple.Batch
+		if s.cols.N > 0 {
+			cols = s.cols
+			s.cols = getResultBatch()
+		}
+		s.mu.Unlock()
+		if err := s.emitChunk(rows, cols); err != nil {
+			select {
+			case s.sinkFail <- err:
+			default:
+			}
+			s.ex.aborted.Store(true)
+			return
+		}
+		if stopping {
+			return
+		}
+	}
+}
+
+// emitChunk pushes one drained chunk through the streaming final
+// pipeline and into the sink. The drained batch is recycled afterwards.
+func (s *shipConsumer) emitChunk(ts []Tup, cols *tuple.Batch) error {
+	if len(ts) > 0 {
+		rows := make([]tuple.Row, len(ts))
+		for i, t := range ts {
+			rows[i] = t.Row
+		}
+		rows = s.streamFin.applyRows(rows)
+		if len(rows) > 0 {
+			if err := s.sink.StreamRows(rows); err != nil {
+				return err
+			}
+			s.streamed.Add(int64(len(rows)))
+		}
+	}
+	if cols == nil {
+		return nil
+	}
+	defer RecycleResultBatch(cols)
+	b, rows, err := s.streamFin.applyCols(cols)
+	if err != nil {
+		return err
+	}
+	switch {
+	case b != nil && b.N > 0:
+		if err := s.sink.StreamCols(b); err != nil {
+			return err
+		}
+		s.streamed.Add(int64(b.N))
+	case len(rows) > 0:
+		if err := s.sink.StreamRows(rows); err != nil {
+			return err
+		}
+		s.streamed.Add(int64(len(rows)))
+	}
+	return nil
 }
 
 // collectedLocked is the number of result rows gathered so far.
@@ -469,22 +692,36 @@ func (s *shipConsumer) checkLimitLocked() {
 	}
 }
 
-func (s *shipConsumer) receive(ts []Tup) {
+func (s *shipConsumer) receive(from ring.NodeID, ts []Tup) {
 	ts = s.ex.filterTainted(ts)
 	s.mu.Lock()
 	if s.sealed || s.limitReachedLocked() {
 		s.mu.Unlock()
 		return
 	}
-	s.rows = append(s.rows, ts...)
-	s.checkLimitLocked()
+	switch s.ex.mode {
+	case shipTopK:
+		if s.runsRows == nil {
+			s.runsRows = make(map[ring.NodeID][]Tup)
+		}
+		s.runsRows[from] = append(s.runsRows[from], ts...)
+	case shipAggMerge:
+		s.foldAggLocked(ts)
+	default:
+		s.rows = append(s.rows, ts...)
+		s.checkLimitLocked()
+		s.notifyDrainLocked()
+	}
 	s.mu.Unlock()
 }
 
 // receiveCols folds a columnar batch into the accumulator — one bulk copy
 // per column vector, no per-row boxing. The batch is borrowed: the caller
-// keeps ownership and may reuse it after the call returns.
-func (s *shipConsumer) receiveCols(b *tuple.Batch) {
+// keeps ownership and may reuse it after the call returns. In top-K mode
+// it instead appends onto from's sorted run (chunks of one run arrive in
+// order — per-link FIFO — so the run stays sorted); in partial-agg mode
+// the rows fold straight into the merge accumulator.
+func (s *shipConsumer) receiveCols(from ring.NodeID, b *tuple.Batch) {
 	if b.N == 0 {
 		return
 	}
@@ -493,13 +730,47 @@ func (s *shipConsumer) receiveCols(b *tuple.Batch) {
 		s.mu.Unlock()
 		return
 	}
-	if err := s.cols.AppendBatchInto(b); err != nil {
-		s.mu.Unlock()
-		s.receive(tupsOfBatch(b)) // shape mismatch: degrade to rows
-		return
+	switch s.ex.mode {
+	case shipTopK:
+		if s.runsCols == nil {
+			s.runsCols = make(map[ring.NodeID]*tuple.Batch)
+		}
+		run := s.runsCols[from]
+		if run == nil {
+			run = getResultBatch()
+			s.runsCols[from] = run
+		}
+		if err := run.AppendBatchInto(b); err != nil {
+			s.mu.Unlock()
+			s.receive(from, tupsOfBatch(b)) // shape mismatch: degrade to rows
+			return
+		}
+	case shipAggMerge:
+		for i := 0; i < b.N; i++ {
+			s.aggScratch = b.Row(i, s.aggScratch)
+			s.agg.add(s.aggScratch)
+		}
+		s.aggRecv += int64(b.N)
+	default:
+		if err := s.cols.AppendBatchInto(b); err != nil {
+			s.mu.Unlock()
+			s.receive(from, tupsOfBatch(b)) // shape mismatch: degrade to rows
+			return
+		}
+		s.checkLimitLocked()
+		s.notifyDrainLocked()
 	}
-	s.checkLimitLocked()
 	s.mu.Unlock()
+}
+
+// foldAggLocked folds partial-aggregate tuples into the merge
+// accumulator (shipAggMerge). add copies group values out of the row, so
+// the tuples need not survive the call.
+func (s *shipConsumer) foldAggLocked(ts []Tup) {
+	for _, t := range ts {
+		s.agg.add(t.Row)
+	}
+	s.aggRecv += int64(len(ts))
 }
 
 // receiveWire handles an inbound ship payload (after the query-ID
@@ -509,7 +780,7 @@ func (s *shipConsumer) receiveCols(b *tuple.Batch) {
 // must not serialize on s.mu — and then fold in with one locked
 // vector-wise append. Provenance bodies take the row path (each tuple
 // carries its own provenance set).
-func (s *shipConsumer) receiveWire(rest []byte) error {
+func (s *shipConsumer) receiveWire(from ring.NodeID, rest []byte) error {
 	if tr := s.ex.trace; tr != nil {
 		t0 := tr.SinceUs()
 		defer func() {
@@ -522,7 +793,7 @@ func (s *shipConsumer) receiveWire(rest []byte) error {
 		scratch := getResultBatch()
 		_, err := tuple.DecodeBatchInto(rest[5:], scratch)
 		if err == nil {
-			s.receiveCols(scratch)
+			s.receiveCols(from, scratch)
 			RecycleResultBatch(scratch)
 			return nil
 		}
@@ -534,7 +805,7 @@ func (s *shipConsumer) receiveWire(rest []byte) error {
 	if err != nil {
 		return err
 	}
-	s.receive(ts)
+	s.receive(from, ts)
 	return nil
 }
 
@@ -625,6 +896,69 @@ func (s *shipConsumer) seal() ([]Tup, *tuple.Batch) {
 	defer s.mu.Unlock()
 	s.sealed = true
 	return s.rows, s.cols
+}
+
+// sealTopK latches the consumer and merge-truncates the per-source
+// sorted runs to the top K. When every run stayed columnar it returns
+// the K-way merged batch (shaped like seal's columnar return); a
+// row-form or shape-degraded run falls back to concatenating everything
+// as rows — the full final pipeline re-sorts those, so correctness never
+// depends on the merge. Runs are iterated in snapshot member order so
+// tie-breaking is deterministic for a given placement.
+func (s *shipConsumer) sealTopK(keys []SortKey, k int) ([]Tup, *tuple.Batch) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sealed = true
+	members := s.ex.snapshot.Members()
+	if len(s.runsRows) == 0 {
+		runs := make([]*tuple.Batch, 0, len(s.runsCols))
+		for _, id := range members {
+			if b := s.runsCols[id]; b != nil {
+				runs = append(runs, b)
+			}
+		}
+		merged, err := mergeTruncateCols(runs, keys, k)
+		if err == nil {
+			for _, b := range runs {
+				RecycleResultBatch(b)
+			}
+			s.runsCols = nil
+			return nil, merged
+		}
+	}
+	var ts []Tup
+	for _, id := range members {
+		ts = append(ts, s.runsRows[id]...)
+		if b := s.runsCols[id]; b != nil && b.N > 0 {
+			ts = append(ts, tupsOfBatch(b)...)
+		}
+	}
+	for _, b := range s.runsCols {
+		RecycleResultBatch(b)
+	}
+	s.runsCols = nil
+	return ts, s.cols
+}
+
+// sealAggMerge latches the consumer and emits the merged aggregate rows
+// accumulated incrementally from the fragments' partial states.
+func (s *shipConsumer) sealAggMerge() []tuple.Row {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sealed = true
+	return s.agg.rows()
+}
+
+// streamedRows reports rows already emitted to the sink (0 when not
+// streaming) — once positive, a restart would duplicate output.
+func (s *shipConsumer) streamedRows() int64 { return s.streamed.Load() }
+
+// peakBuffered is the streaming-mode high-water mark of rows buffered at
+// the initiator between drains.
+func (s *shipConsumer) peakBuffered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peak
 }
 
 // nodeStats returns the per-node counters reported with ship EOS.

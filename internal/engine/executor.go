@@ -91,6 +91,13 @@ type Options struct {
 	// TraceID carries the initiator's trace id to a remote executor; it
 	// is set by the prepare decoder, never by callers.
 	TraceID obs.TraceID
+	// Sink, when non-nil, receives result batches during execution for
+	// stream-eligible plans (no provenance, final pipeline of
+	// compute/limit only): Result.Rows/Batch stay nil and
+	// Result.Streamed counts the emitted rows. Ineligible plans ignore
+	// it and return the collected answer as usual. Initiator-only and
+	// never serialized. See StreamSink for the emission contract.
+	Sink StreamSink
 }
 
 func (o Options) withDefaults() Options {
@@ -200,6 +207,14 @@ type Result struct {
 	Restarts int
 	// Epoch is the snapshot epoch the query executed against.
 	Epoch tuple.Epoch
+	// Streamed counts rows emitted through Options.Sink during
+	// execution; when positive, Rows and Batch are nil — the whole
+	// answer went through the sink.
+	Streamed int64
+	// StreamPeak is the high-water mark of result rows buffered at the
+	// initiator while streaming — the memory-bound observability hook
+	// (0 when the query did not stream).
+	StreamPeak int
 }
 
 // TotalStats sums the per-node counters.
@@ -304,6 +319,7 @@ type executor struct {
 	initiator ring.NodeID
 	snapshot  *ring.Table // phase-0 table; member indices = provenance bits
 	selfIdx   int
+	mode      shipMode // how fragment output flows to the initiator
 
 	mu        sync.Mutex
 	table     *ring.Table // current (recovery) table
@@ -363,9 +379,14 @@ func newExecutor(eng *Engine, queryID uint64, plan *Plan, opts Options, epoch tu
 		producers: make(map[int]*exchProducer),
 		consumers: make(map[int]*exchConsumer),
 	}
+	ex.mode = planShipMode(plan, opts)
 	if initiator == eng.node.ID() {
 		ex.shipCons = newShipConsumer(ex)
 		ex.failCh = make(chan ring.NodeID, snap.Size())
+		if ex.mode == shipAggMerge {
+			agg := plan.Final[0].(*FinalAgg)
+			ex.shipCons.agg = newFinalAggAcc(agg.GroupCols, agg.Aggs)
+		}
 		if opts.Trace != nil {
 			ex.trace = opts.Trace
 			ex.frag = ex.trace.Begin("fragment")
@@ -610,7 +631,7 @@ func (ex *executor) sendShipBatch(ts []Tup) {
 	ex.stats.addShipped(len(ts))
 	if ex.initiator == ex.self() {
 		if ex.shipCons != nil {
-			ex.shipCons.receive(ex.loopbackTups(ts))
+			ex.shipCons.receive(ex.self(), ex.loopbackTups(ts))
 		}
 		return
 	}
@@ -645,7 +666,7 @@ func (ex *executor) sendShipCols(b *tuple.Batch) {
 	ex.stats.addShipped(b.N)
 	if ex.initiator == ex.self() {
 		if ex.shipCons != nil {
-			ex.shipCons.receiveCols(b)
+			ex.shipCons.receiveCols(ex.self(), b)
 		}
 		return
 	}
@@ -887,7 +908,7 @@ func (e *Engine) registerHandlers() {
 		ex.stats.addRecvBytes(len(payload))
 		// Non-provenance bodies decode straight into the consumer's
 		// columnar accumulator; provenance bodies take the row path.
-		return nil, ex.shipCons.receiveWire(rest)
+		return nil, ex.shipCons.receiveWire(from, rest)
 	})
 
 	ep.Handle(msgShipEOS, func(from ring.NodeID, payload []byte) ([]byte, error) {
@@ -1226,9 +1247,13 @@ func (e *Engine) runOnce(ctx context.Context, p *Plan, opts Options, epoch tuple
 	if !opts.Provenance {
 		ex.shipCons.limit = limitOnlyFinal(p.Final)
 	}
+	if ex.mode == shipStream && opts.Sink != nil {
+		ex.shipCons.startStream(opts.Sink, p.Final)
+	}
 	e.putExec(queryID, ex)
 	defer func() {
 		ex.aborted.Store(true) // stop any local pass still running
+		ex.shipCons.stopStreaming()
 		e.dropExec(queryID)
 		ex.broadcastCancel()
 	}()
@@ -1293,13 +1318,82 @@ func (e *Engine) runOnce(ctx context.Context, p *Plan, opts Options, epoch tuple
 					return nil, fmt.Errorf("engine: recovery after %s failed: %w", id, err)
 				}
 			default:
+				if n := ex.shipCons.streamedRows(); n > 0 {
+					// Rows already left through the sink: a restart would
+					// emit them again, so the failure is terminal here no
+					// matter the recovery mode.
+					return nil, &StreamAbortedError{Failed: allFailed, Streamed: n}
+				}
 				return nil, &FailureError{Failed: allFailed}
 			}
+		case err := <-ex.shipCons.sinkFailCh():
+			return nil, err
 		case phase := <-ex.shipCons.completeCh:
 			if phase != ex.phaseNow() {
 				continue // stale completion from before a recovery
 			}
-			tups, colsB := ex.shipCons.seal()
+			if ex.mode == shipStream && opts.Sink != nil {
+				// Join the drainer: it flushes whatever the last arrivals
+				// left in the accumulator before stopping, so totals are
+				// exact afterwards.
+				ex.shipCons.stopStreaming()
+				select {
+				case err := <-ex.shipCons.sinkFailCh():
+					return nil, err
+				default:
+				}
+				ex.attachInitiatorSpans()
+				res := &Result{
+					Stats:      ex.shipCons.nodeStats(),
+					Phases:     ex.phaseNow() + 1,
+					Epoch:      epoch,
+					Streamed:   ex.shipCons.streamedRows(),
+					StreamPeak: ex.shipCons.peakBuffered(),
+				}
+				if finalSpan := ex.trace.Begin("final"); finalSpan != nil {
+					finalSpan.Rows = res.Streamed
+					ex.trace.End(finalSpan)
+					ex.trace.Attach(nil, finalSpan)
+				}
+				return res, nil
+			}
+			if ex.mode == shipAggMerge {
+				// The partials were folded on arrival; finish the merge and
+				// run the rest of the pipeline. Final[0] (the FinalAgg) is
+				// already applied — its partial layout no longer matches the
+				// merged rows, so re-applying it would be wrong.
+				rows := ex.shipCons.sealAggMerge()
+				ex.attachInitiatorSpans()
+				finalSpan := ex.trace.Begin("final")
+				final, err := applyFinalOps(p.Final[1:], rows)
+				if err != nil {
+					return nil, err
+				}
+				res := &Result{
+					Rows:   final,
+					Stats:  ex.shipCons.nodeStats(),
+					Phases: ex.phaseNow() + 1,
+					Epoch:  epoch,
+				}
+				if finalSpan != nil {
+					finalSpan.Rows = int64(len(final))
+					ex.trace.End(finalSpan)
+					ex.trace.Attach(nil, finalSpan)
+				}
+				return res, nil
+			}
+			var tups []Tup
+			var colsB *tuple.Batch
+			if ex.mode == shipTopK {
+				// Merge-truncate the per-fragment sorted runs down to the
+				// row budget, then let the generic assembly below re-apply
+				// the full final pipeline over the ≤K survivors (a sort of
+				// ≤K rows is cheap, and trailing ops stay correct).
+				keys, k := topKParams(p)
+				tups, colsB = ex.shipCons.sealTopK(keys, k)
+			} else {
+				tups, colsB = ex.shipCons.seal()
+			}
 			ex.attachInitiatorSpans()
 			finalSpan := ex.trace.Begin("final")
 			res := &Result{

@@ -78,6 +78,10 @@ type QueryTail struct {
 	// requested — the streamed counterpart of QueryResponse's fields.
 	TraceID string    `json:"trace_id,omitempty"`
 	Trace   *obs.Span `json:"trace,omitempty"`
+	// Streamed counts rows that were emitted to the stream *during*
+	// execution (zero on the collect-then-emit path). Nonzero means the
+	// query ran on the streaming pushdown path end to end.
+	Streamed int64 `json:"streamed,omitempty"`
 }
 
 // StreamingBackend is implemented by backends that can emit query

@@ -102,7 +102,10 @@ func (b *NodeBackend) Publish(ctx context.Context, req *PublishRequest) (tuple.E
 // for) the plan explanation. Shared by the buffered and streaming paths.
 // When req.Trace is set, the returned trace's span tree covers planning
 // and execution; the engine attaches fragment spans under its root.
-func (b *NodeBackend) runQuery(ctx context.Context, req *QueryRequest, columnar bool) (*engine.Result, []string, string, *obs.Trace, error) {
+// attach (optional) runs after planning, before execution — the
+// streaming path uses it to hook a sink into the engine options for
+// stream-eligible plans.
+func (b *NodeBackend) runQuery(ctx context.Context, req *QueryRequest, columnar bool, attach func(*engine.Plan, *engine.Options, []string)) (*engine.Result, []string, string, *obs.Trace, error) {
 	var tr *obs.Trace
 	if req.Trace {
 		tr = obs.NewTrace(obs.NewTraceID(), "query", string(b.node.ID()))
@@ -123,19 +126,6 @@ func (b *NodeBackend) runQuery(ctx context.Context, req *QueryRequest, columnar 
 	}
 	tr.End(planSpan)
 	tr.Attach(nil, planSpan)
-	res, err := b.eng.Run(ctx, plan, engine.Options{
-		Epoch:          tuple.Epoch(req.Epoch),
-		Recovery:       rec,
-		Provenance:     req.Provenance,
-		ColumnarResult: columnar,
-		Trace:          tr,
-	})
-	if err != nil {
-		return nil, nil, "", nil, err
-	}
-	for _, ref := range q.From {
-		b.noteRelation(ref.Table)
-	}
 	cols := q.OutputColumns(func(table string) ([]string, bool) {
 		s, err := cat.Schema(table)
 		if err != nil {
@@ -147,6 +137,23 @@ func (b *NodeBackend) runQuery(ctx context.Context, req *QueryRequest, columnar 
 		}
 		return names, true
 	})
+	opts := engine.Options{
+		Epoch:          tuple.Epoch(req.Epoch),
+		Recovery:       rec,
+		Provenance:     req.Provenance,
+		ColumnarResult: columnar,
+		Trace:          tr,
+	}
+	if attach != nil {
+		attach(plan, &opts, cols)
+	}
+	res, err := b.eng.Run(ctx, plan, opts)
+	if err != nil {
+		return nil, nil, "", nil, err
+	}
+	for _, ref := range q.From {
+		b.noteRelation(ref.Table)
+	}
 	explain := ""
 	if req.Explain {
 		explain = optimizer.Explain(plan, info)
@@ -156,7 +163,7 @@ func (b *NodeBackend) runQuery(ctx context.Context, req *QueryRequest, columnar 
 
 // Query implements Backend.
 func (b *NodeBackend) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
-	res, cols, explain, tr, err := b.runQuery(ctx, req, false)
+	res, cols, explain, tr, err := b.runQuery(ctx, req, false, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -176,18 +183,51 @@ func (b *NodeBackend) Query(ctx context.Context, req *QueryRequest) (*QueryRespo
 	return qr, nil
 }
 
-// QueryStream implements StreamingBackend: the engine's exactly-once
-// answer (complete at the initiator by the recovery contract) drains to
-// the wire under stream flow control, with no wire-encoded copy of the
-// whole result — the stream writer re-chunks into size-bounded frames.
+// QueryStream implements StreamingBackend. Stream-eligible plans (no
+// restart-sensitive finals) emit through an engine sink *during*
+// execution: the schema frame goes out with the first fragment batch and
+// the initiator never materializes the full answer. Everything else
+// keeps the collected contract — the engine's exactly-once answer
+// (complete at the initiator) drains to the wire under stream flow
+// control afterwards. Either way there is no wire-encoded copy of the
+// whole result; the stream writer re-chunks into size-bounded frames.
 // Against a BatchStream the answer stays columnar end to end: frames
 // encode straight from the engine's column vectors, which are recycled
 // into the engine's arena after the hand-off.
 func (b *NodeBackend) QueryStream(ctx context.Context, req *QueryRequest, out ResultStream) (*QueryTail, error) {
 	bs, batchAware := out.(BatchStream)
-	res, cols, explain, tr, err := b.runQuery(ctx, req, batchAware)
+	sink := &nodeSink{out: out, bs: bs}
+	res, cols, explain, tr, err := b.runQuery(ctx, req, batchAware, func(plan *engine.Plan, opts *engine.Options, cols []string) {
+		if engine.StreamEligible(plan, *opts) {
+			sink.cols = cols
+			opts.Sink = sink
+		}
+	})
 	if err != nil {
+		// Frames may already be on the wire (mid-stream fault after
+		// emission): the caller terminates the stream with an error End,
+		// which explicitly invalidates the partial result for the client.
 		return nil, err
+	}
+	if sink.attached() {
+		// Streamed during execution. Zero-row answers still owe the
+		// client a schema frame.
+		if err := sink.begin(); err != nil {
+			return nil, err
+		}
+		tail := &QueryTail{
+			Epoch:    uint64(res.Epoch),
+			Phases:   res.Phases,
+			Restarts: res.Restarts,
+			Plan:     explain,
+			Streamed: res.Streamed,
+		}
+		if tr != nil {
+			tr.Finish()
+			tail.TraceID = tr.ID.String()
+			tail.Trace = tr.Root()
+		}
+		return tail, nil
 	}
 	writeSpan := tr.Begin("stream.write")
 	if err := out.Columns(cols); err != nil {
@@ -223,6 +263,55 @@ func (b *NodeBackend) QueryStream(ctx context.Context, req *QueryRequest, out Re
 		tail.Trace = tr.Root()
 	}
 	return tail, nil
+}
+
+// nodeSink adapts a wire ResultStream to the engine's StreamSink: the
+// engine's drainer goroutine hands it chunks during execution and it
+// forwards them to the stream writer, sending the schema frame lazily
+// before the first chunk. Calls are serialized by the drainer, and a
+// write error (credit starvation, dead connection) propagates back into
+// the engine, aborting the query.
+type nodeSink struct {
+	out  ResultStream
+	bs   BatchStream // non-nil when the stream consumes columnar batches
+	cols []string    // set when the sink is attached to the engine options
+
+	started bool
+	rows    int64
+}
+
+func (s *nodeSink) attached() bool { return s.cols != nil }
+
+// begin sends the schema frame once, before the first chunk (or, for
+// empty answers, when execution completes).
+func (s *nodeSink) begin() error {
+	if s.started {
+		return nil
+	}
+	s.started = true
+	return s.out.Columns(s.cols)
+}
+
+// StreamCols implements engine.StreamSink. The batch is borrowed: the
+// writer copies what it stages, so handing it straight down is safe.
+func (s *nodeSink) StreamCols(b *tuple.Batch) error {
+	if err := s.begin(); err != nil {
+		return err
+	}
+	s.rows += int64(b.N)
+	if s.bs != nil {
+		return s.bs.Batches(b)
+	}
+	return s.out.Batch(b.Rows())
+}
+
+// StreamRows implements engine.StreamSink.
+func (s *nodeSink) StreamRows(rows []tuple.Row) error {
+	if err := s.begin(); err != nil {
+		return err
+	}
+	s.rows += int64(len(rows))
+	return s.out.Batch(rows)
 }
 
 // Catalog implements Backend.

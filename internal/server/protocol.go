@@ -401,6 +401,9 @@ type StatusResponse struct {
 	// Caches reports hit/miss/eviction counters by cache name ("views",
 	// "pages") when the backend exposes them.
 	Caches map[string]engine.CacheStats `json:"caches,omitempty"`
+	// Streams summarizes streamed-execution activity (during-execution
+	// emission): query/row counts and first-batch latency quantiles.
+	Streams *StreamStats `json:"streams,omitempty"`
 	// SlowQueries summarizes the slow-query ring (span trees stripped;
 	// the trace op returns them in full).
 	SlowQueries []SlowQuery `json:"slow_queries,omitempty"`
@@ -423,8 +426,26 @@ type SlowQuery struct {
 	StartUnixMs int64  `json:"start_unix_ms"`
 	Error       string `json:"error,omitempty"`
 	Streamed    bool   `json:"streamed,omitempty"`
+	// Rows is the result size — collected rows on the buffered path,
+	// rows handed to the stream writer on the streamed path (so streamed
+	// entries no longer log rows=0).
+	Rows int64 `json:"rows"`
 	// Trace is the query's span tree (omitted in status summaries).
 	Trace *obs.Span `json:"trace,omitempty"`
+}
+
+// StreamStats summarizes the server's streamed-execution activity: how
+// many queries ran on the during-execution streaming path, how many rows
+// they emitted, and the first-batch latency distribution (request start
+// to first batch frame on the wire).
+type StreamStats struct {
+	Queries uint64 `json:"queries"`
+	Rows    uint64 `json:"rows"`
+	// FirstBatch* summarize the first-batch latency histogram.
+	FirstBatchP50Us int64 `json:"first_batch_p50_us,omitempty"`
+	FirstBatchP95Us int64 `json:"first_batch_p95_us,omitempty"`
+	FirstBatchP99Us int64 `json:"first_batch_p99_us,omitempty"`
+	FirstBatchMaxUs int64 `json:"first_batch_max_us,omitempty"`
 }
 
 // TraceResponse answers the trace op: the slow-query ring, oldest

@@ -16,7 +16,6 @@ import (
 	"orchestra/internal/cluster"
 	"orchestra/internal/engine"
 	"orchestra/internal/obs"
-	"orchestra/internal/tuple"
 )
 
 // Config tunes a Server.
@@ -142,6 +141,13 @@ type Server struct {
 	ops     map[string]*opMetrics
 	slow    *slowLog
 
+	// Streamed-execution accounting: first-batch latency (request start
+	// to first batch frame on the wire) and rows/queries that ran on the
+	// during-execution streaming path.
+	firstBatch      *obs.Histogram
+	streamedRows    *obs.Counter
+	streamedQueries *obs.Counter
+
 	mu      sync.Mutex
 	active  map[net.Conn]struct{}
 	opsLns  []net.Listener // ops HTTP listeners (ServeOps)
@@ -245,6 +251,9 @@ func Start(addr string, backend Backend, cfg Config) (*Server, error) {
 			errors: s.metrics.Counter(`orchestra_op_errors_total{op="` + op + `"}`),
 		}
 	}
+	s.firstBatch = s.metrics.Histogram("orchestra_query_first_batch_us")
+	s.streamedRows = s.metrics.Counter("orchestra_streamed_rows_total")
+	s.streamedQueries = s.metrics.Counter("orchestra_streamed_queries_total")
 	s.metrics.GaugeFunc("orchestra_connections", s.conns.Load)
 	s.metrics.GaugeFunc("orchestra_connections_total", s.totalConns.Load)
 	s.metrics.GaugeFunc("orchestra_in_flight_queries", s.inFlight.Load)
@@ -730,6 +739,7 @@ func (s *Server) dispatchStream(sess *session, req *Request) {
 	}
 	w := newStreamWriter(ctx, sess, req.ID, sess.limits().window)
 	w.cancelFn = cancel // a FrameCancel aborts the query context
+	w.onFirst = func() { s.firstBatch.Observe(time.Since(start)) }
 	if s.draining.Load() {
 		// Refused before any execution: the client may re-route freely.
 		w.end(&StreamEnd{Error: Errorf(CodeUnavailable, "server draining")}, nil)
@@ -750,6 +760,10 @@ func (s *Server) dispatchStream(sess *session, req *Request) {
 
 	tail, err := s.runQueryStreamed(ctx, req.Query, w)
 	failed := err != nil
+	if err == nil && tail.Streamed > 0 {
+		s.streamedQueries.Inc()
+		s.streamedRows.Add(uint64(tail.Streamed))
+	}
 	if failed {
 		if w.cancelled.Load() {
 			// The client abandoned the stream; whatever the aborted
@@ -808,58 +822,40 @@ func (s *Server) acquireAdmission(ctx context.Context) (func(), error) {
 	}, nil
 }
 
-// admissionReleasingStream wraps a ResultStream to release the query's
-// admission slot as soon as the schema frame is emitted: at that point
-// execution is complete and what remains is draining the answer at the
-// client's pace — a slow stream reader must not starve admission for
-// other queries.
-type admissionReleasingStream struct {
-	ResultStream
-	release func()
-}
-
-func (a *admissionReleasingStream) Columns(cols []string) error {
-	err := a.ResultStream.Columns(cols)
-	a.release()
-	return err
-}
-
-// Batches forwards columnar batches to the wrapped stream, so wrapping
-// does not hide the BatchStream upgrade from backends; a wrapped stream
-// without it receives the batch materialized.
-func (a *admissionReleasingStream) Batches(b *tuple.Batch) error {
-	if bs, ok := a.ResultStream.(BatchStream); ok {
-		return bs.Batches(b)
-	}
-	return a.ResultStream.Batch(b.Rows())
-}
-
 // runQueryStreamed passes admission control, then executes the query
 // against a streaming backend — or falls back to the buffered Query path
 // re-chunked into batches for backends that predate streaming.
-func (s *Server) runQueryStreamed(ctx context.Context, q *QueryRequest, out ResultStream) (*StreamEnd, error) {
+//
+// The admission slot is held until the backend returns. With streaming
+// pushdown, result frames now flow *during* execution (the schema frame
+// arrives with the first batch, not after the collect), so releasing the
+// slot at the schema frame — as the buffered-era server did — would stop
+// bounding concurrent executions at all. The slot therefore covers
+// execution plus emission; the credit window already bounds how long a
+// slow reader can stretch that (the request timeout severs stalled
+// streams).
+func (s *Server) runQueryStreamed(ctx context.Context, q *QueryRequest, out *streamWriter) (*StreamEnd, error) {
 	release, err := s.acquireAdmission(ctx)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
-	out = &admissionReleasingStream{ResultStream: out, release: release}
 	forced := s.forceTrace(q)
 	start := time.Now()
 	if sb, ok := s.backend.(StreamingBackend); ok {
 		tail, err := sb.QueryStream(ctx, q, out)
 		if err != nil {
-			s.noteSlow(q, start, nil, nil, err, true)
+			s.noteSlow(q, start, out.RowsStaged(), nil, nil, err, true)
 			return nil, err
 		}
-		s.noteSlow(q, start, nil, tail, nil, true)
+		s.noteSlow(q, start, out.RowsStaged(), nil, tail, nil, true)
 		if forced {
 			tail.Trace, tail.TraceID = nil, ""
 		}
 		return &StreamEnd{QueryTail: *tail}, nil
 	}
 	resp, err := s.backend.Query(ctx, q)
-	s.noteSlow(q, start, resp, nil, err, true)
+	s.noteSlow(q, start, responseRows(resp), resp, nil, err, true)
 	if err != nil {
 		return nil, err
 	}
@@ -1002,11 +998,22 @@ func (s *Server) runQuery(ctx context.Context, q *QueryRequest) (*QueryResponse,
 	forced := s.forceTrace(q)
 	start := time.Now()
 	qr, err := s.backend.Query(ctx, q)
-	s.noteSlow(q, start, qr, nil, err, false)
+	s.noteSlow(q, start, responseRows(qr), qr, nil, err, false)
 	if forced && qr != nil {
 		qr.Trace, qr.TraceID = nil, ""
 	}
 	return qr, err
+}
+
+// responseRows counts a buffered response's result rows for accounting.
+func responseRows(qr *QueryResponse) int64 {
+	if qr == nil {
+		return 0
+	}
+	if qr.Rows.Typed != nil {
+		return int64(len(qr.Rows.Typed))
+	}
+	return int64(len(qr.Rows.Any))
 }
 
 // forceTrace turns tracing on for a query the client did not ask to
@@ -1022,8 +1029,12 @@ func (s *Server) forceTrace(q *QueryRequest) bool {
 
 // noteSlow records a completed query in the slow-query log when its
 // service time crossed the threshold. Exactly one of qr/tail carries
-// the trace (buffered vs streamed path); both may be nil on error.
-func (s *Server) noteSlow(q *QueryRequest, start time.Time, qr *QueryResponse, tail *QueryTail, err error, streamed bool) {
+// the trace (buffered vs streamed path); both may be nil on error. rows
+// is the result size — collected rows on the buffered path, rows handed
+// to the stream writer on the streamed path, so streamed entries log
+// their true row count instead of the rows=0 the collect-time accounting
+// used to produce.
+func (s *Server) noteSlow(q *QueryRequest, start time.Time, rows int64, qr *QueryResponse, tail *QueryTail, err error, streamed bool) {
 	d := time.Since(start)
 	if !s.slow.qualifies(d) {
 		return
@@ -1033,6 +1044,7 @@ func (s *Server) noteSlow(q *QueryRequest, start time.Time, qr *QueryResponse, t
 		DurUs:       d.Microseconds(),
 		StartUnixMs: start.UnixMilli(),
 		Streamed:    streamed,
+		Rows:        rows,
 	}
 	if err != nil {
 		e.Error = err.Error()
@@ -1108,6 +1120,17 @@ func (s *Server) status() *StatusResponse {
 	if prov, ok := s.backend.(ReplStatsProvider); ok {
 		if r, rok := prov.ReplStats(); rok {
 			st.Replication = &r
+		}
+	}
+	if n := s.streamedQueries.Load(); n > 0 {
+		snap := s.firstBatch.Snapshot()
+		st.Streams = &StreamStats{
+			Queries:         n,
+			Rows:            s.streamedRows.Load(),
+			FirstBatchP50Us: snap.Quantile(0.50),
+			FirstBatchP95Us: snap.Quantile(0.95),
+			FirstBatchP99Us: snap.Quantile(0.99),
+			FirstBatchMaxUs: snap.MaxUs,
 		}
 	}
 	st.SlowQueries, _ = s.slow.snapshot(false)

@@ -374,6 +374,11 @@ type streamWriter struct {
 	cancelled atomic.Bool
 	cancelFn  context.CancelFunc
 
+	// onFirst (set by dispatchStream) fires once, after the first batch
+	// frame reaches the session writer — the server's first-byte moment
+	// for latency accounting.
+	onFirst func()
+
 	pending  []tuple.Row  // rows accumulated toward the next batch frame
 	pendSize int          // size hint of pending (rows or columnar)
 	sig      []tuple.Type // type signature of pending content
@@ -490,6 +495,14 @@ func (w *streamWriter) Batch(rows []tuple.Row) error {
 			}
 		}
 	}
+	// The opening frame is cut at the first emission boundary rather than
+	// held for a full target-size batch: time-to-first-byte matters more
+	// than frame efficiency for the first frame, and a streamed backend's
+	// first chunk may otherwise sit staged while the scan fills the target.
+	// Steady-state frames keep the targetBytes/maxStreamBatchRows cut.
+	if w.batches == 0 && len(w.pending) > 0 {
+		return w.flush()
+	}
 	return nil
 }
 
@@ -564,6 +577,10 @@ func (w *streamWriter) Batches(b *tuple.Batch) error {
 				return err
 			}
 		}
+	}
+	// Eager opening-frame cut, mirroring Batch (see the comment there).
+	if w.batches == 0 && w.pendCols != nil && w.pendCols.N > 0 {
+		return w.flushCols()
 	}
 	return nil
 }
@@ -654,7 +671,7 @@ func (w *streamWriter) flushCols() error {
 	w.pendCols.Truncate(0)
 	w.pendSize = 0
 	*buf = dst[:0]
-	return w.sess.write(dst)
+	return w.writeBatchFrame(dst)
 }
 
 // releaseStaging returns the columnar staging buffer to the pool (the
@@ -747,7 +764,32 @@ func (w *streamWriter) flush() error {
 	w.pending = w.pending[:0]
 	w.pendSize = 0
 	*buf = dst[:0]
-	return w.sess.write(dst)
+	return w.writeBatchFrame(dst)
+}
+
+// writeBatchFrame sends one encoded batch frame and fires the first-batch
+// hook once the first frame has actually reached the session writer.
+func (w *streamWriter) writeBatchFrame(dst []byte) error {
+	if err := w.sess.write(dst); err != nil {
+		return err
+	}
+	if w.onFirst != nil {
+		w.onFirst()
+		w.onFirst = nil
+	}
+	return nil
+}
+
+// RowsStaged reports how many result rows the writer has accepted so far
+// — flushed frames plus rows still staged toward the next one. Exact at
+// any point where the backend is not mid-call (the dispatcher reads it
+// after the backend returns, before the final flush in end()).
+func (w *streamWriter) RowsStaged() int64 {
+	n := w.rows + int64(len(w.pending))
+	if w.pendCols != nil {
+		n += int64(w.pendCols.N)
+	}
+	return n
 }
 
 // waitCredit consumes one send credit, blocking on the client when the

@@ -61,6 +61,10 @@ type QueryOptions struct {
 	// trace is the minted trace when the SQL path starts timing before
 	// RunPlan (covering parse/optimize); RunPlan mints its own otherwise.
 	trace *obs.Trace
+	// sink receives result batches during execution for stream-eligible
+	// plans — set by QueryBatches when nothing (view cache, provenance)
+	// forces the collected path.
+	sink engine.StreamSink
 }
 
 // Result is a completed query.
@@ -88,6 +92,13 @@ type Result struct {
 	// QueryOptions.Trace was set.
 	TraceID string
 	Trace   *TraceSpan
+	// Streamed counts rows emitted through QueryBatches' callbacks during
+	// execution; when positive the answer never existed whole at the
+	// initiator and Rows stays nil.
+	Streamed int64
+	// StreamPeak is the high-water mark of result rows buffered at the
+	// initiator while streaming (0 for collected executions).
+	StreamPeak int
 
 	// batch is the columnar answer backing a served result: populated
 	// instead of Rows when the query ran with columnarResult, emitted and
@@ -108,30 +119,52 @@ const resultBatchRows = 1024
 
 // QueryBatches executes a query and emits the answer through callbacks
 // instead of returning it attached to the Result — the serving path for
-// streamed results. start receives the completed query's metadata
-// (columns, epoch, plan; no rows) exactly once before the first batch.
-// When emitCols is non-nil the engine keeps the collected answer columnar
-// end-to-end and hands it over as tuple.Batch column vectors — no
-// []tuple.Row is materialized at the initiator; emit serves the fallback
-// cases (view-cache hits, provenance-mode and other row-granular
-// collections). With emitCols nil everything arrives through emit.
+// streamed results. start receives the query's metadata (columns, epoch,
+// plan; no rows) exactly once before the first batch. When emitCols is
+// non-nil columnar chunks arrive as tuple.Batch column vectors — no
+// []tuple.Row is materialized at the initiator; emit serves the
+// row-granular cases (view-cache hits, provenance mode, demoting final
+// pipelines). With emitCols nil everything arrives through emit.
 //
-// The engine's exactly-once contract requires the complete,
-// duplicate-free answer set to exist at the initiator before any row is
-// final (restart/incremental recovery may replace partial state, and
-// final sort/aggregate/limit operators act on the whole set), so batches
-// are drained from that answer under the consumer's backpressure rather
-// than produced speculatively mid-query; what this path eliminates is
-// the wire-encoded copy of the result and the row materialization in
-// between. Emitted rows and batches alias engine memory, must not be
-// mutated, and are valid only until QueryBatches returns — the columnar
-// slabs are recycled into the engine's arena afterwards.
+// Plans whose final pipeline is compute/limit-only stream *during*
+// execution: chunks reach the callbacks as remote fragments deliver them,
+// so the first batch arrives long before the query completes and the
+// initiator never holds the whole answer (Result.Streamed counts the
+// rows, Result.StreamPeak the buffering high-water mark). Everything else
+// — ORDER BY, aggregates, provenance/incremental recovery (restarts may
+// retract partial state), and view-cache-enabled clusters (the cache
+// stores whole answers) — keeps the collect-then-emit contract: the
+// complete, duplicate-free answer set exists at the initiator first and
+// is drained under the consumer's backpressure. Emitted rows and batches
+// alias engine memory, must not be mutated, and are valid only until the
+// callback returns.
 func (c *Cluster) QueryBatches(src string, opts QueryOptions, start func(*Result) error, emit func(rows []tuple.Row) error, emitCols func(b *tuple.Batch) error) (*Result, error) {
 	opts.columnarResult = emitCols != nil
+	if !c.viewsUsable(opts) {
+		return c.queryStreamed(src, opts, start, emit, emitCols)
+	}
 	res, err := c.QueryOpts(src, opts)
 	if err != nil {
 		return nil, err
 	}
+	return emitCollected(res, start, emit, emitCols)
+}
+
+// viewsUsable mirrors viewLookup's gate without touching the cache's
+// hit/miss counters: when it reports true, QueryOpts will consult (and
+// possibly fill) the view cache, so QueryBatches must take the collected
+// path — cached entries are whole-answer row sets.
+func (c *Cluster) viewsUsable(opts QueryOptions) bool {
+	c.mu.Lock()
+	views := c.views
+	c.mu.Unlock()
+	return views != nil && !opts.Provenance && opts.Node >= 0 && opts.Node < len(c.engines)
+}
+
+// emitCollected hands a collected answer to the QueryBatches callbacks:
+// metadata first, then the rows in resultBatchRows chunks (or the whole
+// columnar batch at once — the wire layer re-chunks by encoded size).
+func emitCollected(res *Result, start func(*Result) error, emit func(rows []tuple.Row) error, emitCols func(b *tuple.Batch) error) (*Result, error) {
 	meta := *res
 	meta.Rows = nil
 	meta.batch = nil
@@ -162,6 +195,108 @@ func (c *Cluster) QueryBatches(src string, opts QueryOptions, start func(*Result
 		}
 	}
 	return &meta, nil
+}
+
+// batchEmitSink adapts the QueryBatches callbacks to the engine's
+// StreamSink: the start callback fires lazily before the first emission
+// (the engine's drainer serializes calls, so no locking). meta is the
+// pre-derived metadata start hands over; queryStreamed fills in the
+// completion fields afterwards.
+type batchEmitSink struct {
+	meta     *Result
+	start    func(*Result) error
+	emit     func(rows []tuple.Row) error
+	emitCols func(b *tuple.Batch) error
+	started  bool
+}
+
+func (s *batchEmitSink) begin() error {
+	if s.started {
+		return nil
+	}
+	s.started = true
+	return s.start(s.meta)
+}
+
+func (s *batchEmitSink) StreamRows(rows []tuple.Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	if err := s.begin(); err != nil {
+		return err
+	}
+	return s.emit(rows)
+}
+
+func (s *batchEmitSink) StreamCols(b *tuple.Batch) error {
+	if b.N == 0 {
+		return nil
+	}
+	if err := s.begin(); err != nil {
+		return err
+	}
+	if s.emitCols != nil {
+		return s.emitCols(b)
+	}
+	return s.emit(b.Rows())
+}
+
+// queryStreamed is QueryBatches' during-execution path: parse and
+// optimize up front so the start callback's metadata (columns, plan,
+// epoch) exists before the engine runs, then attach a sink when the plan
+// is stream-eligible. Ineligible plans come back collected and are
+// emitted the classic way.
+func (c *Cluster) queryStreamed(src string, opts QueryOptions, start func(*Result) error, emit func(rows []tuple.Row) error, emitCols func(b *tuple.Batch) error) (*Result, error) {
+	if opts.Node < 0 || opts.Node >= len(c.engines) {
+		return nil, fmt.Errorf("orchestra: no node %d", opts.Node)
+	}
+	if opts.Trace && opts.trace == nil {
+		opts.trace = obs.NewTrace(obs.NewTraceID(), "query", c.initiatorID(opts.Node))
+	}
+	planSpan := opts.trace.Begin("plan")
+	q, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	plan, info, err := c.Optimize(q)
+	if err != nil {
+		return nil, err
+	}
+	opts.trace.End(planSpan)
+	opts.trace.Attach(nil, planSpan)
+	cols := outputColumns(q, c)
+	explain := optimizer.Explain(plan, info)
+	var sink *batchEmitSink
+	if engine.StreamEligible(plan, engine.Options{Provenance: opts.Provenance, Recovery: opts.Recovery}) {
+		if opts.Epoch == 0 {
+			// Pin the epoch now: start's metadata must name the snapshot
+			// before the engine reports back.
+			opts.Epoch = c.currentEpochAt(opts.Node)
+		}
+		meta := &Result{Columns: cols, Epoch: opts.Epoch, Plan: explain, PerNode: map[string]engine.NodeStats{}}
+		if opts.trace != nil {
+			meta.TraceID = opts.trace.ID.String()
+		}
+		sink = &batchEmitSink{meta: meta, start: start, emit: emit, emitCols: emitCols}
+		opts.sink = sink
+	}
+	res, err := c.RunPlan(plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Columns = cols
+	res.Plan = explain
+	if sink == nil {
+		return emitCollected(res, start, emit, emitCols)
+	}
+	// Streamed (possibly an empty answer): finish the handshake if no
+	// chunk ever fired it, then fill the completion metadata into the
+	// Result the start callback already holds.
+	if err := sink.begin(); err != nil {
+		return nil, err
+	}
+	*sink.meta = *res
+	return sink.meta, nil
 }
 
 // QueryOpts parses, optimizes, and executes a single-block SQL query.
@@ -253,18 +388,21 @@ func (c *Cluster) RunPlan(plan *engine.Plan, opts QueryOptions) (*Result, error)
 		Epoch:          opts.Epoch,
 		ColumnarResult: opts.columnarResult,
 		Trace:          tr,
+		Sink:           opts.sink,
 	})
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{
-		Rows:     eres.Rows,
-		batch:    eres.Batch,
-		Epoch:    eres.Epoch,
-		Phases:   eres.Phases,
-		Restarts: eres.Restarts,
-		Stats:    eres.TotalStats(),
-		PerNode:  make(map[string]engine.NodeStats, len(eres.Stats)),
+		Rows:       eres.Rows,
+		batch:      eres.Batch,
+		Epoch:      eres.Epoch,
+		Phases:     eres.Phases,
+		Restarts:   eres.Restarts,
+		Stats:      eres.TotalStats(),
+		Streamed:   eres.Streamed,
+		StreamPeak: eres.StreamPeak,
+		PerNode:    make(map[string]engine.NodeStats, len(eres.Stats)),
 	}
 	for id, st := range eres.Stats {
 		res.PerNode[string(id)] = st

@@ -367,6 +367,7 @@ func (b *clusterBackend) QueryStream(ctx context.Context, req *server.QueryReque
 		Restarts: res.Restarts,
 		TraceID:  res.TraceID,
 		Trace:    res.Trace,
+		Streamed: res.Streamed,
 	}
 	if req.Explain {
 		tail.Plan = res.Plan
